@@ -1,0 +1,94 @@
+//! Engine micro-benchmarks: index probes (single vs composite),
+//! histogram selectivity estimation, expression normalization and model
+//! training/prediction throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpq_datagen::{generate_test, generate_train, table2};
+use mpq_engine::{Atom, AtomPred, Expr, SecondaryIndex, Table, TableStats};
+use mpq_models::{Classifier as _, NaiveBayes};
+use mpq_types::AttrId;
+use std::hint::black_box;
+
+fn bench_index_probes(c: &mut Criterion) {
+    let spec = table2().into_iter().find(|s| s.name == "Shuttle").expect("known dataset");
+    let test = generate_test(&spec, 7, 0.01);
+    let table = Table::from_dataset("t", &test);
+    let single = SecondaryIndex::build(&table, &[AttrId(0)]);
+    let composite = SecondaryIndex::build(&table, &[AttrId(0), AttrId(1), AttrId(2)]);
+
+    let mut g = c.benchmark_group("index/probe");
+    g.bench_function("single_eq", |b| {
+        b.iter(|| black_box(single.probe(&[(AttrId(0), AtomPred::Eq(3))])))
+    });
+    g.bench_function("single_range", |b| {
+        b.iter(|| black_box(single.probe(&[(AttrId(0), AtomPred::Range { lo: 2, hi: 5 })])))
+    });
+    g.bench_function("composite_conjunction", |b| {
+        b.iter(|| {
+            black_box(composite.probe(&[
+                (AttrId(0), AtomPred::Eq(3)),
+                (AttrId(1), AtomPred::Range { lo: 0, hi: 2 }),
+                (AttrId(2), AtomPred::Eq(1)),
+            ]))
+        })
+    });
+    g.bench_function("composite_count_only", |b| {
+        b.iter(|| {
+            black_box(composite.probe_count(&[
+                (AttrId(0), AtomPred::Eq(3)),
+                (AttrId(2), AtomPred::Eq(1)),
+            ]))
+        })
+    });
+    g.finish();
+}
+
+fn bench_stats_and_normalize(c: &mut Criterion) {
+    let spec = table2().into_iter().find(|s| s.name == "Vehicle").expect("known dataset");
+    let test = generate_test(&spec, 7, 0.01);
+    let table = Table::from_dataset("t", &test);
+    let schema = table.schema().clone();
+
+    let mut g = c.benchmark_group("engine/micro");
+    g.bench_function("build_table_stats", |b| {
+        b.iter(|| black_box(TableStats::build(&table)))
+    });
+    let messy = Expr::Not(Box::new(Expr::Or(vec![
+        Expr::And(vec![
+            Expr::Atom(Atom { attr: AttrId(0), pred: AtomPred::Range { lo: 1, hi: 3 } }),
+            Expr::Const(true),
+            Expr::Not(Box::new(Expr::Atom(Atom { attr: AttrId(1), pred: AtomPred::Eq(2) }))),
+        ]),
+        Expr::Const(false),
+        Expr::Atom(Atom { attr: AttrId(2), pred: AtomPred::Eq(0) }),
+    ])));
+    g.bench_function("normalize_expression", |b| {
+        b.iter(|| black_box(messy.clone().normalize(&schema)))
+    });
+    g.finish();
+}
+
+fn bench_model_throughput(c: &mut Criterion) {
+    let spec = table2().into_iter().find(|s| s.name == "Letter").expect("known dataset");
+    let train = generate_train(&spec, 7);
+    let mut g = c.benchmark_group("models");
+    g.sample_size(10);
+    g.bench_function("train_naive_bayes_letter", |b| {
+        b.iter(|| black_box(NaiveBayes::train(&train).unwrap()))
+    });
+    let nb = NaiveBayes::train(&train).unwrap();
+    let rows: Vec<Vec<u16>> = train.data.rows().take(1000).map(|r| r.to_vec()).collect();
+    g.bench_function("predict_1k_rows", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for r in &rows {
+                acc = acc.wrapping_add(nb.predict(r).0 as u32);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_index_probes, bench_stats_and_normalize, bench_model_throughput);
+criterion_main!(benches);

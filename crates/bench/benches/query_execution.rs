@@ -1,0 +1,74 @@
+//! Query-execution benchmarks: the paper's headline comparison as a
+//! micro-benchmark — executing a mining-predicate query with upper
+//! envelopes (index plan) vs the black-box full scan, on one skewed
+//! dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpq_bench::setup::{build_setup, ModelKindTag, Scale};
+use mpq_core::DeriveOptions;
+use mpq_datagen::table2;
+use mpq_engine::{envelope_to_expr, execute, tune_indexes, Expr};
+use mpq_types::ClassId;
+use std::hint::black_box;
+
+fn bench_envelope_vs_scan(c: &mut Criterion) {
+    let spec = table2().into_iter().find(|s| s.name == "Shuttle").expect("known dataset");
+    let mut setup =
+        build_setup(&spec, ModelKindTag::Tree, Scale(0.01), 7, &DeriveOptions::default());
+    let schema = setup.engine.catalog().table(0).table.schema().clone();
+    let workload: Vec<Expr> = (0..setup.n_classes)
+        .map(|k| envelope_to_expr(&schema, setup.envelope(ClassId(k as u16))).normalize(&schema))
+        .collect();
+    let opts = *setup.engine.options();
+    tune_indexes(setup.engine.catalog_mut(), 0, &workload, 24, &opts);
+
+    // The rarest class: where envelopes pay off most.
+    let rare = (0..setup.n_classes)
+        .min_by(|&a, &b| {
+            setup.class_selectivity[a]
+                .partial_cmp(&setup.class_selectivity[b])
+                .expect("finite")
+        })
+        .expect("has classes");
+
+    let mut g = c.benchmark_group("exec/shuttle_tree_rare_class");
+    g.sample_size(20);
+    let env_plan = setup.engine.plan_predicate(0, workload[rare].clone());
+    g.bench_function("envelope_plan", |b| {
+        b.iter(|| black_box(execute(&env_plan, setup.engine.catalog())))
+    });
+    let scan_plan = setup.engine.plan_predicate(0, Expr::Const(true));
+    g.bench_function("full_scan", |b| {
+        b.iter(|| black_box(execute(&scan_plan, setup.engine.catalog())))
+    });
+    g.finish();
+}
+
+fn bench_rewrite_overhead(c: &mut Criterion) {
+    // §4.2's claim: envelope lookup at optimization time is insignificant.
+    let spec = table2().into_iter().find(|s| s.name == "Diabetes").expect("known dataset");
+    let mut setup =
+        build_setup(&spec, ModelKindTag::NaiveBayes, Scale(0.005), 7, &DeriveOptions::default());
+    let mut g = c.benchmark_group("optimize/mining_query");
+    g.bench_function("plan_with_envelopes", |b| {
+        b.iter(|| {
+            black_box(setup.engine.plan_predicate(
+                0,
+                Expr::Mining(mpq_engine::MiningPred::ClassEq { model: 0, class: ClassId(1) }),
+            ))
+        })
+    });
+    setup.engine.set_use_envelopes(false);
+    g.bench_function("plan_without_envelopes", |b| {
+        b.iter(|| {
+            black_box(setup.engine.plan_predicate(
+                0,
+                Expr::Mining(mpq_engine::MiningPred::ClassEq { model: 0, class: ClassId(1) }),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_envelope_vs_scan, bench_rewrite_overhead);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Reproduces the second inline table of **§5.2.1** (fraction of queries
+//! whose physical plan changed; paper: DT 72.7%, NB 75.3%, clustering
+//! 76.6%) and **Figures 3–5** (the per-dataset drill-down).
+//!
+//! `--model tree|nb|cluster` restricts the per-dataset breakdown.
+
+use mpq_bench::report::{kind_name, plan_change_by_dataset, plan_change_by_kind};
+use mpq_bench::{run_full_sweep, ModelKind, Scale};
+
+fn main() {
+    let scale = Scale::from_args(0.02);
+    let args: Vec<String> = std::env::args().collect();
+    let filter = args.iter().position(|a| a == "--model").and_then(|i| args.get(i + 1)).map(|m| {
+        match m.as_str() {
+            "tree" => ModelKind::Tree,
+            "nb" => ModelKind::NaiveBayes,
+            "cluster" => ModelKind::Clustering,
+            other => panic!("unknown --model {other:?} (use tree|nb|cluster)"),
+        }
+    });
+
+    eprintln!("running full sweep at scale {} ...", scale.0);
+    let (rows, _) = run_full_sweep(scale, 7);
+
+    println!("== §5.2.1: % of queries whose plan changed ==\n");
+    println!("{:<16} {:>12} {:>12}", "Model", "measured", "paper");
+    let paper = [72.7, 75.3, 76.6];
+    for ((kind, measured), paper) in plan_change_by_kind(&rows).into_iter().zip(paper) {
+        println!("{:<16} {:>11.1}% {:>11.1}%", kind_name(kind), measured, paper);
+    }
+
+    let kinds = match filter {
+        Some(k) => vec![k],
+        None => vec![ModelKind::Tree, ModelKind::NaiveBayes, ModelKind::Clustering],
+    };
+    for kind in kinds {
+        let figure = match kind {
+            ModelKind::Tree => "Figure 3",
+            ModelKind::NaiveBayes => "Figure 4",
+            ModelKind::Clustering => "Figure 5",
+        };
+        println!("\n== {figure}: % plan changed per dataset — {} ==\n", kind_name(kind));
+        for (dataset, pct) in plan_change_by_dataset(&rows, kind) {
+            let bars = "#".repeat((pct / 5.0).round() as usize);
+            println!("{dataset:<14} {pct:>6.1}%  {bars}");
+        }
+    }
+    println!(
+        "\nPlan changed = the optimizer chose an index (seek or union) or a\n\
+         constant scan instead of the full scan — the paper's criterion."
+    );
+}

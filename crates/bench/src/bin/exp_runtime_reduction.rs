@@ -1,0 +1,23 @@
+//! Reproduces the first inline table of **§5.2.1**: average reduction in
+//! running time of envelope queries vs a full `SELECT *` scan, per model
+//! family. Paper: Decision Tree 73.7%, Naive Bayes 63.5%, Clustering 79.0%.
+
+use mpq_bench::report::{avg_page_reduction_by_kind, avg_reduction_by_kind, kind_name};
+use mpq_bench::{run_full_sweep, Scale};
+
+fn main() {
+    let scale = Scale::from_args(0.02);
+    eprintln!("running full sweep at scale {} ...", scale.0);
+    let (rows, _) = run_full_sweep(scale, 7);
+    println!("== §5.2.1: average reduction vs full scan ==\n");
+    println!("{:<16} {:>12} {:>12} {:>12}", "Model", "wall-clock", "pages", "paper(time)");
+    let paper = [73.7, 63.5, 79.0];
+    let pages = avg_page_reduction_by_kind(&rows);
+    for (((kind, measured), (_, pg)), paper) in
+        avg_reduction_by_kind(&rows).into_iter().zip(pages).zip(paper)
+    {
+        println!("{:<16} {:>11.1}% {:>11.1}% {:>11.1}%", kind_name(kind), measured, pg, paper);
+    }
+    println!("\n(pages = scale-free analogue of the paper's I/O-bound times)");
+    println!("\n({} envelope queries across 10 datasets x 3 model families)", rows.len());
+}

@@ -1,0 +1,225 @@
+//! Running the paper's evaluation methodology (§5.1) on one dataset.
+//!
+//! For each class of the trained model: form the query `SELECT * FROM T
+//! WHERE <upper envelope>`, feed the whole per-model workload to the
+//! index tuner, execute each query, and compare against the `SELECT *
+//! FROM T` full scan — recording plan changes, running times and the
+//! original vs envelope selectivities.
+
+use crate::setup::{build_setup, ExperimentSetup, ModelKindTag, Scale};
+use mpq_core::DeriveOptions;
+use mpq_datagen::DatasetSpec;
+use mpq_engine::{envelope_to_expr, execute, tune_indexes, AccessPath, Expr};
+use mpq_types::ClassId;
+use std::time::Duration;
+
+pub use crate::setup::ModelKindTag as ModelKind;
+
+/// One (dataset, model, class) measurement — a row of the paper's
+/// evaluation data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Model family.
+    pub kind: ModelKindTag,
+    /// Class index.
+    pub class: u16,
+    /// Fraction of test rows the model predicts into this class.
+    pub orig_selectivity: f64,
+    /// Fraction of test rows the envelope admits (≥ original).
+    pub env_selectivity: f64,
+    /// Number of disjuncts in the envelope.
+    pub n_disjuncts: usize,
+    /// Whether the envelope is provably exact.
+    pub exact: bool,
+    /// Whether the optimizer left the full-scan plan.
+    pub plan_changed: bool,
+    /// Whether the plan was a constant scan (empty envelope).
+    pub constant_scan: bool,
+    /// Full-scan baseline time for `SELECT *`.
+    pub scan_time: Duration,
+    /// Envelope-query time.
+    pub env_time: Duration,
+    /// Pages the full scan read.
+    pub scan_pages: u64,
+    /// Pages (heap + index) the envelope query read.
+    pub env_pages: u64,
+}
+
+impl ExperimentRow {
+    /// Relative running-time reduction vs the full scan (can be slightly
+    /// negative when the plan did not change).
+    pub fn reduction(&self) -> f64 {
+        let scan = self.scan_time.as_secs_f64();
+        if scan <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.env_time.as_secs_f64() / scan
+    }
+
+    /// Relative page-count reduction vs the full scan — the scale-free
+    /// analogue of [`ExperimentRow::reduction`] (wall times at small
+    /// `--scale` are noise-dominated; page counts are not).
+    pub fn page_reduction(&self) -> f64 {
+        if self.scan_pages == 0 {
+            return 0.0;
+        }
+        1.0 - self.env_pages as f64 / self.scan_pages as f64
+    }
+}
+
+/// Runs the full §5.1 methodology for one (dataset, model-kind) pair.
+pub fn run_dataset_experiment(
+    spec: &DatasetSpec,
+    kind: ModelKindTag,
+    scale: Scale,
+    seed: u64,
+    derive_opts: &DeriveOptions,
+) -> (ExperimentSetup, Vec<ExperimentRow>) {
+    let mut setup = build_setup(spec, kind, scale, seed, derive_opts);
+    let schema = setup.engine.catalog().table(0).table.schema().clone();
+
+    // Workload: one envelope query per class.
+    let workload: Vec<Expr> = (0..setup.n_classes)
+        .map(|k| {
+            envelope_to_expr(&schema, setup.envelope(ClassId(k as u16))).normalize(&schema)
+        })
+        .collect();
+
+    // Index tuning over the workload (the paper's Index Tuning Wizard
+    // step). Envelope unions need one usable index per disjunct, so the
+    // budget is generous — the drop-greedy removes anything useless.
+    let opt_opts = *setup.engine.options();
+    tune_indexes(setup.engine.catalog_mut(), 0, &workload, 48, &opt_opts);
+
+    // Baseline: SELECT * FROM T (full scan).
+    let scan_plan = setup.engine.plan_predicate(0, Expr::Const(true));
+    let scan_exec = execute(&scan_plan, setup.engine.catalog());
+    let scan_time = scan_exec.metrics.elapsed;
+
+    let mut rows = Vec::with_capacity(setup.n_classes);
+    for (k, expr) in workload.into_iter().enumerate() {
+        let class = ClassId(k as u16);
+        let plan = setup.engine.plan_predicate(0, expr);
+        let constant_scan = matches!(plan.access, AccessPath::ConstantScan);
+        let plan_changed = plan.access.changed_from_scan();
+        let exec = execute(&plan, setup.engine.catalog());
+        let env = setup.envelope(class);
+        rows.push(ExperimentRow {
+            dataset: spec.name.to_string(),
+            kind,
+            class: class.0,
+            orig_selectivity: setup.class_selectivity[k],
+            env_selectivity: exec.metrics.output_rows as f64 / setup.test_rows.max(1) as f64,
+            n_disjuncts: env.n_disjuncts(),
+            exact: env.exact,
+            plan_changed,
+            constant_scan,
+            scan_time,
+            env_time: exec.metrics.elapsed,
+            scan_pages: scan_exec.metrics.total_pages(),
+            env_pages: exec.metrics.total_pages(),
+        });
+    }
+    (setup, rows)
+}
+
+/// Per-(dataset, kind) timing record for the paper's experiment (iii).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Model family.
+    pub kind: ModelKindTag,
+    /// Wall-clock training time.
+    pub train_time: Duration,
+    /// Wall-clock time to precompute all per-class envelopes.
+    pub derive_time: Duration,
+}
+
+/// Runs the whole evaluation: every Table-2 dataset × the three model
+/// families. Returns the per-class measurement rows plus the per-model
+/// timing records. This is the single sweep every §5 table/figure is
+/// derived from.
+pub fn run_full_sweep(scale: Scale, seed: u64) -> (Vec<ExperimentRow>, Vec<TimingRow>) {
+    let opts = DeriveOptions::default();
+    let mut rows = Vec::new();
+    let mut timings = Vec::new();
+    for spec in mpq_datagen::table2() {
+        for kind in [ModelKindTag::Tree, ModelKindTag::NaiveBayes, ModelKindTag::Clustering] {
+            let (setup, mut rs) = run_dataset_experiment(&spec, kind, scale, seed, &opts);
+            timings.push(TimingRow {
+                dataset: spec.name.to_string(),
+                kind,
+                train_time: setup.train_time,
+                derive_time: setup.derive_time,
+            });
+            rows.append(&mut rs);
+        }
+    }
+    (rows, timings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_datagen::table2;
+
+    #[test]
+    fn envelope_selectivity_dominates_original() {
+        // The defining soundness property at the experiment level: every
+        // envelope admits at least the rows of its class.
+        let spec = table2().into_iter().find(|s| s.name == "Diabetes").unwrap();
+        for kind in [ModelKindTag::Tree, ModelKindTag::NaiveBayes, ModelKindTag::Clustering] {
+            let (_, rows) =
+                run_dataset_experiment(&spec, kind, Scale(0.002), 7, &DeriveOptions::default());
+            for r in &rows {
+                assert!(
+                    r.env_selectivity >= r.orig_selectivity - 1e-12,
+                    "{kind:?} class {}: envelope {} < original {}",
+                    r.class,
+                    r.env_selectivity,
+                    r.orig_selectivity
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_envelopes_have_exactly_original_selectivity() {
+        let spec = table2().into_iter().find(|s| s.name == "Balance-Scale").unwrap();
+        let (_, rows) =
+            run_dataset_experiment(&spec, ModelKindTag::Tree, Scale(0.002), 7, &DeriveOptions::default());
+        for r in &rows {
+            assert!(r.exact);
+            assert!(
+                (r.env_selectivity - r.orig_selectivity).abs() < 1e-12,
+                "exact envelope must match original selectivity"
+            );
+        }
+    }
+
+    #[test]
+    fn low_selectivity_classes_change_plans() {
+        // Hypothyroid is heavily skewed: the minority class must get an
+        // index plan (or constant scan).
+        let spec = table2().into_iter().find(|s| s.name == "Hypothyroid").unwrap();
+        let (_, rows) = run_dataset_experiment(
+            &spec,
+            ModelKindTag::Tree,
+            Scale(0.005),
+            7,
+            &DeriveOptions::default(),
+        );
+        let minority = rows
+            .iter()
+            .min_by(|a, b| a.orig_selectivity.partial_cmp(&b.orig_selectivity).expect("finite"))
+            .expect("has classes");
+        assert!(
+            minority.plan_changed,
+            "minority class (sel {:.4}) should not full-scan",
+            minority.orig_selectivity
+        );
+    }
+}

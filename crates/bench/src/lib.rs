@@ -1,0 +1,28 @@
+//! # mpq-bench
+//!
+//! The experiment harness: for every table and figure of the paper's §5,
+//! a binary regenerates the corresponding numbers over the synthetic
+//! Table-2 datasets (see `mpq-datagen`), and Criterion benches cover the
+//! derivation/execution micro-costs plus the ablations DESIGN.md lists.
+//!
+//! Binaries (run with `--release`; `--scale 0.05` shrinks the 1M+-row
+//! test tables proportionally, preserving all selectivities):
+//!
+//! * `exp_table1_nb_example` — Table 1 + the Figure 2 trace;
+//! * `exp_table2_datasets`  — Table 2;
+//! * `exp_runtime_reduction` — §5.2.1's average running-time reductions;
+//! * `exp_plan_change` — §5.2.1's plan-change percentages + Figures 3–5;
+//! * `exp_selectivity_buckets` — Figure 6;
+//! * `exp_tightness` — Figure 7;
+//! * `exp_envelope_time` — §5's experiment (iii);
+//! * `experiments` — all of the above, writing `results/*.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod report;
+pub mod setup;
+
+pub use experiment::{run_dataset_experiment, run_full_sweep, ExperimentRow, ModelKind, TimingRow};
+pub use setup::{ExperimentSetup, Scale};

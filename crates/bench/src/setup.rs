@@ -1,0 +1,210 @@
+//! Building one experiment setup: dataset → trained model → engine.
+
+use mpq_core::{DeriveOptions, Envelope, EnvelopeProvider};
+use mpq_datagen::{generate_test, generate_train, DatasetSpec};
+use mpq_engine::{Catalog, Engine, Table};
+use mpq_models::{
+    DecisionTree, Gmm, GmmParams, KMeans, KMeansParams, NaiveBayes, TreeParams,
+};
+use mpq_types::{ClassId, Dataset, LabeledDataset};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Scale factor for test-table sizes: `1.0` reproduces the paper's 1M+
+/// rows; smaller values shrink proportionally while preserving every
+/// selectivity (the tables are built by doubling either way).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    /// Reads the scale from the first `--scale <f>` CLI argument or the
+    /// `MPQ_SCALE` environment variable; defaults to `default`.
+    pub fn from_args(default: f64) -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        if let Some(i) = args.iter().position(|a| a == "--scale") {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
+                return Scale(v);
+            }
+        }
+        if let Ok(v) = std::env::var("MPQ_SCALE") {
+            if let Ok(v) = v.parse::<f64>() {
+                return Scale(v);
+            }
+        }
+        Scale(default)
+    }
+}
+
+/// Which model family an experiment trains (the paper's three columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKindTag {
+    /// Decision tree.
+    Tree,
+    /// Discrete naive Bayes.
+    NaiveBayes,
+    /// Clustering: k-prototypes (weighted Euclidean on ordered
+    /// attributes, mismatch on categorical ones) with the paper's
+    /// per-dataset cluster counts.
+    Clustering,
+}
+
+/// A fully prepared experiment: engine with the test table registered,
+/// the trained model, per-class envelopes and timings.
+pub struct ExperimentSetup {
+    /// Engine holding the test table (id 0) and model (id 0).
+    pub engine: Engine,
+    /// The trained model.
+    pub model: Arc<dyn EnvelopeProvider + Send + Sync>,
+    /// Number of prediction classes.
+    pub n_classes: usize,
+    /// Wall-clock training time.
+    pub train_time: Duration,
+    /// Wall-clock time to derive all per-class envelopes.
+    pub derive_time: Duration,
+    /// Test-table row count.
+    pub test_rows: usize,
+    /// Original class selectivities over the test table (fraction of
+    /// rows the model predicts into each class).
+    pub class_selectivity: Vec<f64>,
+}
+
+impl ExperimentSetup {
+    /// The precomputed envelope of one class.
+    pub fn envelope(&self, class: ClassId) -> &Envelope {
+        &self.engine.catalog().model(0).envelopes[class.index()]
+    }
+}
+
+/// Trains the chosen model kind on a spec's training data.
+pub fn train_model(
+    spec: &DatasetSpec,
+    kind: ModelKindTag,
+    train: &LabeledDataset,
+    seed: u64,
+) -> Arc<dyn EnvelopeProvider + Send + Sync> {
+    match kind {
+        ModelKindTag::Tree => Arc::new(
+            DecisionTree::train(train, TreeParams::default()).expect("nonempty training data"),
+        ),
+        ModelKindTag::NaiveBayes => {
+            Arc::new(NaiveBayes::train(train).expect("nonempty training data"))
+        }
+        ModelKindTag::Clustering => {
+            // Model-based (EM) clustering on all-ordered schemas — like
+            // the paper's Analysis Server clusterer, EM recovers skewed
+            // mixture components, giving the low-selectivity clusters
+            // that make envelopes pay off. Mixed schemas fall back to
+            // k-prototypes (mismatch distance on categorical dims),
+            // whose SSE objective yields more balanced clusters.
+            if spec.all_ordered() {
+                Arc::new(
+                    Gmm::train_encoded(
+                        &train.data,
+                        GmmParams { k: spec.n_clusters, seed, ..Default::default() },
+                    )
+                    .expect("nonempty training data"),
+                )
+            } else {
+                Arc::new(
+                    KMeans::train_encoded(
+                        &train.data,
+                        KMeansParams { k: spec.n_clusters, seed, ..Default::default() },
+                    )
+                    .expect("nonempty training data"),
+                )
+            }
+        }
+    }
+}
+
+/// Builds the full setup for one (dataset, model-kind) pair.
+pub fn build_setup(
+    spec: &DatasetSpec,
+    kind: ModelKindTag,
+    scale: Scale,
+    seed: u64,
+    derive_opts: &DeriveOptions,
+) -> ExperimentSetup {
+    let train = generate_train(spec, seed);
+    let test: Dataset = generate_test(spec, seed, scale.0);
+
+    let t0 = Instant::now();
+    let model = train_model(spec, kind, &train, seed);
+    let train_time = t0.elapsed();
+
+    // Envelope precomputation happens at registration (§4.2); time it.
+    let mut catalog = Catalog::new();
+    catalog.add_table(Table::from_dataset(sanitize(spec.name), &test)).expect("fresh catalog");
+    let t1 = Instant::now();
+    catalog.add_model("model", model.clone(), *derive_opts).expect("fresh catalog");
+    let derive_time = t1.elapsed();
+
+    let n_classes = model.n_classes();
+    let mut counts = vec![0u64; n_classes];
+    for row in test.rows() {
+        counts[model.predict(row).index()] += 1;
+    }
+    let test_rows = test.len();
+    let class_selectivity =
+        counts.iter().map(|&c| c as f64 / test_rows.max(1) as f64).collect();
+
+    ExperimentSetup {
+        engine: Engine::new(catalog),
+        model,
+        n_classes,
+        train_time,
+        derive_time,
+        test_rows,
+        class_selectivity,
+    }
+}
+
+/// Table names must be bare identifiers in the SQL surface.
+pub fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_datagen::table2;
+
+    #[test]
+    fn setup_builds_for_each_model_kind() {
+        let spec = table2().into_iter().find(|s| s.name == "Balance-Scale").unwrap();
+        for kind in [ModelKindTag::Tree, ModelKindTag::NaiveBayes, ModelKindTag::Clustering] {
+            let setup = build_setup(&spec, kind, Scale(0.001), 7, &DeriveOptions::default());
+            assert!(setup.n_classes >= 2, "{kind:?}");
+            assert!(setup.test_rows >= 1000);
+            let sum: f64 = setup.class_selectivity.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "selectivities sum to 1, got {sum}");
+            assert_eq!(
+                setup.engine.catalog().model(0).envelopes.len(),
+                setup.n_classes
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_schema_clusters_with_k_prototypes() {
+        let spec = table2().into_iter().find(|s| s.name == "Chess").unwrap();
+        assert!(!spec.all_ordered());
+        let train = generate_train(&spec, 7);
+        let m = train_model(&spec, ModelKindTag::Clustering, &train, 7);
+        assert_eq!(m.n_classes(), spec.n_clusters, "Table 2's cluster count is honored");
+    }
+
+    #[test]
+    fn scale_parsing_prefers_env() {
+        std::env::set_var("MPQ_SCALE", "0.25");
+        assert_eq!(Scale::from_args(1.0), Scale(0.25));
+        std::env::remove_var("MPQ_SCALE");
+        assert_eq!(Scale::from_args(0.5), Scale(0.5));
+    }
+
+    #[test]
+    fn sanitize_makes_identifiers() {
+        assert_eq!(sanitize("Kdd-cup-99"), "Kdd_cup_99");
+        assert_eq!(sanitize("Parity5+5"), "Parity5_5");
+    }
+}

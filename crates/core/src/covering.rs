@@ -1,0 +1,199 @@
+//! Greedy rectangle covering of cell sets.
+//!
+//! Used by the enumeration baseline (§3.2.2's "generic algorithm") and by
+//! boundary-based clustering (§3.3), where a cluster is an explicit set of
+//! grid cells and the envelope is a small set of hyper-rectangles covering
+//! it. Exact covers in minimal rectangle count are NP-hard in general
+//! (the paper cites Reckhow/Culberson and CLIQUE); a greedy grow-from-seed
+//! heuristic is standard and produces exact covers (every emitted region
+//! is a subset of the cell set).
+
+use crate::region::{DimSet, Region};
+use mpq_types::{Member, MemberSet, Row, Schema};
+use std::collections::HashSet;
+
+/// Covers `cells` exactly with hyper-rectangular regions: every returned
+/// region contains only cells of the input set, and their union is the
+/// whole set. Greedy: repeatedly seed at an uncovered cell and expand
+/// each dimension in turn as far as the set allows.
+pub fn cover_cells(schema: &Schema, cells: &[Vec<Member>]) -> Vec<Region> {
+    let set: HashSet<&[Member]> = cells.iter().map(|c| c.as_slice()).collect();
+    let mut covered: HashSet<&[Member]> = HashSet::with_capacity(cells.len());
+    let mut out = Vec::new();
+    // Deterministic order: seed cells in sorted order.
+    let mut seeds: Vec<&[Member]> = set.iter().copied().collect();
+    seeds.sort();
+    for seed in seeds {
+        if covered.contains(seed) {
+            continue;
+        }
+        let region = grow(schema, seed, &set);
+        for cell in region.cells() {
+            if let Some(&c) = set.get(cell.as_slice()) {
+                covered.insert(c);
+            }
+        }
+        out.push(region);
+    }
+    out
+}
+
+/// Expands the single-cell region at `seed` dimension by dimension.
+/// Ordered dimensions grow down then up one member at a time; unordered
+/// dimensions try every absent member. A growth step is accepted only if
+/// all newly included cells are in the set.
+fn grow(schema: &Schema, seed: &Row, set: &HashSet<&[Member]>) -> Region {
+    let mut region = Region::cell(schema, seed);
+    for (d, attr) in schema.iter() {
+        let d = d.index();
+        let card = attr.domain.cardinality();
+        if attr.domain.is_ordered() {
+            let (mut lo, mut hi) = match region.dim(d) {
+                DimSet::Range { lo, hi } => (*lo, *hi),
+                DimSet::Set(_) => unreachable!("ordered dim uses Range"),
+            };
+            while lo > 0 && slice_in_set(&region, d, lo - 1, set) {
+                lo -= 1;
+                region = region.with_dim(d, DimSet::Range { lo, hi });
+            }
+            while hi + 1 < card && slice_in_set(&region, d, hi + 1, set) {
+                hi += 1;
+                region = region.with_dim(d, DimSet::Range { lo, hi });
+            }
+        } else {
+            let current = match region.dim(d) {
+                DimSet::Set(s) => s.clone(),
+                DimSet::Range { .. } => unreachable!("categorical dim uses Set"),
+            };
+            let mut s = current;
+            for m in 0..card {
+                if !s.contains(m) && slice_in_set(&region, d, m, set) {
+                    s.insert(m);
+                    region = region.with_dim(d, DimSet::Set(s.clone()));
+                }
+            }
+        }
+    }
+    region
+}
+
+/// Whether every cell of `region` with dimension `d` replaced by member
+/// `m` belongs to the set.
+fn slice_in_set(region: &Region, d: usize, m: Member, set: &HashSet<&[Member]>) -> bool {
+    let slice = region.with_dim(
+        d,
+        if matches!(region.dim(d), DimSet::Range { .. }) {
+            DimSet::Range { lo: m, hi: m }
+        } else {
+            DimSet::Set(MemberSet::of(
+                match region.dim(d) {
+                    DimSet::Set(s) => s.domain(),
+                    DimSet::Range { .. } => unreachable!(),
+                },
+                [m],
+            ))
+        },
+    );
+    slice.cells().all(|c| set.contains(c.as_slice()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_types::{AttrDomain, Attribute, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("x", AttrDomain::binned(vec![1.0, 2.0, 3.0]).unwrap()), // 4
+            Attribute::new("y", AttrDomain::binned(vec![1.0, 2.0]).unwrap()),      // 3
+        ])
+        .unwrap()
+    }
+
+    fn check_exact_cover(schema: &Schema, cells: &[Vec<u16>]) {
+        let regions = cover_cells(schema, cells);
+        let set: HashSet<&[u16]> = cells.iter().map(|c| c.as_slice()).collect();
+        // Every region cell is in the set (exactness)...
+        for r in &regions {
+            for c in r.cells() {
+                assert!(set.contains(c.as_slice()), "region includes foreign cell {c:?}");
+            }
+        }
+        // ...and every set cell is covered (completeness).
+        for c in cells {
+            assert!(regions.iter().any(|r| r.contains(c)), "cell {c:?} uncovered");
+        }
+    }
+
+    #[test]
+    fn covers_a_rectangle_with_one_region() {
+        let s = schema();
+        let mut cells = Vec::new();
+        for x in 1..=2u16 {
+            for y in 0..=2u16 {
+                cells.push(vec![x, y]);
+            }
+        }
+        let regions = cover_cells(&s, &cells);
+        assert_eq!(regions.len(), 1);
+        check_exact_cover(&s, &cells);
+    }
+
+    #[test]
+    fn covers_an_l_shape_with_two_regions() {
+        let s = schema();
+        // L-shape: column x=0 (all y) plus row y=0 (all x).
+        let mut cells = Vec::new();
+        for y in 0..3u16 {
+            cells.push(vec![0, y]);
+        }
+        for x in 1..4u16 {
+            cells.push(vec![x, 0]);
+        }
+        let regions = cover_cells(&s, &cells);
+        check_exact_cover(&s, &cells);
+        assert!(regions.len() <= 2, "greedy should cover an L with 2 rectangles, got {}", regions.len());
+    }
+
+    #[test]
+    fn empty_input_yields_no_regions() {
+        assert!(cover_cells(&schema(), &[]).is_empty());
+    }
+
+    #[test]
+    fn single_cells_are_their_own_regions() {
+        let s = schema();
+        let cells = vec![vec![0u16, 0], vec![3, 2]];
+        let regions = cover_cells(&s, &cells);
+        assert_eq!(regions.len(), 2);
+        check_exact_cover(&s, &cells);
+    }
+
+    #[test]
+    fn categorical_dimensions_grow_arbitrary_subsets() {
+        let s = Schema::new(vec![
+            Attribute::new("c", AttrDomain::categorical(["a", "b", "c", "d"])),
+            Attribute::new("y", AttrDomain::binned(vec![1.0]).unwrap()),
+        ])
+        .unwrap();
+        // Members {0, 2} of c at both y values: one region with a set dim.
+        let cells = vec![vec![0u16, 0], vec![0, 1], vec![2, 0], vec![2, 1]];
+        let regions = cover_cells(&s, &cells);
+        assert_eq!(regions.len(), 1, "non-contiguous categorical subset covers in one region");
+        check_exact_cover(&s, &cells);
+    }
+
+    #[test]
+    fn checkerboard_costs_many_regions_but_stays_exact() {
+        let s = schema();
+        let mut cells = Vec::new();
+        for x in 0..4u16 {
+            for y in 0..3u16 {
+                if (x + y) % 2 == 0 {
+                    cells.push(vec![x, y]);
+                }
+            }
+        }
+        check_exact_cover(&s, &cells);
+    }
+}

@@ -1,0 +1,330 @@
+//! The upper-envelope type and derivation options.
+
+use crate::region::Region;
+use crate::score_model::BoundMode;
+use mpq_types::{ClassId, Row, Schema};
+
+/// Which split-point heuristic the top-down algorithm uses on
+/// ambiguous regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitHeuristic {
+    /// The paper's entropy criterion on the target class's probability
+    /// mass (§3.2.2, "exactly as in the case of binary splits during
+    /// decision tree construction"). The default — it also measures
+    /// tighter than the rival-targeted variant on the evaluation
+    /// datasets.
+    #[default]
+    Entropy,
+    /// Rival-targeted: split to push one child toward MUST-LOSE against
+    /// the rival closest to dominating; falls back to entropy when no
+    /// rival has a finite bound. Kept as an ablation.
+    RivalGap,
+}
+
+/// Options controlling envelope derivation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeriveOptions {
+    /// Bounding scheme for the top-down algorithm.
+    pub bound_mode: BoundMode,
+    /// The paper's *threshold*: maximum number of region expansions
+    /// (shrink+split steps) before remaining ambiguous regions are kept
+    /// as-is. Bounds both derivation time and envelope complexity.
+    pub max_expansions: usize,
+    /// Cap on the number of disjuncts in the final envelope; beyond it,
+    /// regions are greedily merged into coarser (still sound) regions —
+    /// §4.2's "thresholding of the number of disjuncts".
+    pub max_disjuncts: usize,
+    /// Split-point heuristic.
+    pub split_heuristic: SplitHeuristic,
+    /// Record a step-by-step trace (Figure 2-style) in the result.
+    pub trace: bool,
+    /// Clustering envelopes: when false (default, the paper's §3.3
+    /// reduction), clusters are scored *at the discretized inputs* (bin
+    /// representatives) — exactly what applying the model to table rows
+    /// does — giving a decidable point model. When true, per-bin score
+    /// intervals make the envelope sound for every raw continuous point,
+    /// at the price of much looser envelopes (unbounded end bins can
+    /// never be excluded by per-class bounds).
+    pub cluster_raw_sound: bool,
+}
+
+impl Default for DeriveOptions {
+    fn default() -> Self {
+        DeriveOptions {
+            bound_mode: BoundMode::PairwiseRatio,
+            max_expansions: 2048,
+            max_disjuncts: 512,
+            split_heuristic: SplitHeuristic::default(),
+            trace: false,
+            cluster_raw_sound: false,
+        }
+    }
+}
+
+/// Statistics recorded while deriving one envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeriveStats {
+    /// Region expansions consumed.
+    pub expansions: usize,
+    /// Members removed by shrink steps.
+    pub shrunk_members: usize,
+    /// Region pairs merged in the final sweep.
+    pub merges: usize,
+    /// Ambiguous regions kept because the expansion budget ran out.
+    pub thresholded_regions: usize,
+}
+
+/// One step of the derivation trace (mirrors the paper's Figure 2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceStep {
+    /// A region was evaluated: its per-class score bounds (log domain)
+    /// and resulting status.
+    Evaluated {
+        /// Textual region description.
+        region: String,
+        /// `(min, max)` score bound per class.
+        bounds: Vec<(f64, f64)>,
+        /// Status with respect to the target class.
+        status: crate::score_model::RegionStatus,
+    },
+    /// Shrink removed `member` of dimension `dim`.
+    Shrunk {
+        /// Dimension shrunk.
+        dim: usize,
+        /// Member removed.
+        member: u16,
+    },
+    /// A region was split along `dim`.
+    Split {
+        /// Dimension split.
+        dim: usize,
+        /// Textual descriptions of the two children.
+        children: (String, String),
+    },
+}
+
+/// An upper envelope for one class of one model: a disjunction of
+/// regions such that `predict(x) = class ⇒ x ∈ some region`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The class this envelope covers.
+    pub class: ClassId,
+    /// Disjuncts. Empty means the predicate is unsatisfiable: the model
+    /// never predicts this class, and a query filtering on it needs no
+    /// data access at all (the paper's "Constant Scan" case).
+    pub regions: Vec<Region>,
+    /// True when the envelope is known to contain *exactly* the class's
+    /// cells (decision trees always; naive Bayes when the top-down
+    /// algorithm terminated with only MUST-WIN leaves).
+    pub exact: bool,
+    /// Derivation statistics.
+    pub stats: DeriveStats,
+    /// Optional Figure 2-style trace.
+    pub trace: Vec<TraceStep>,
+}
+
+impl Envelope {
+    /// An envelope that matches nothing (class never predicted).
+    pub fn never(class: ClassId) -> Envelope {
+        Envelope { class, regions: Vec::new(), exact: true, stats: DeriveStats::default(), trace: Vec::new() }
+    }
+
+    /// Whether the envelope admits the encoded row.
+    #[inline]
+    pub fn matches(&self, row: &Row) -> bool {
+        self.regions.iter().any(|r| r.contains(row))
+    }
+
+    /// True if the envelope covers the entire grid (no pruning power).
+    pub fn is_tautology(&self, schema: &Schema) -> bool {
+        self.regions.iter().any(|r| r.is_full(schema))
+    }
+
+    /// Number of disjuncts.
+    pub fn n_disjuncts(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Number of grid cells covered, counting overlaps once is not
+    /// attempted — derivation produces disjoint regions, so a plain sum
+    /// is exact for those.
+    pub fn covered_cells(&self) -> u64 {
+        self.regions.iter().map(|r| r.cardinality()).sum()
+    }
+
+    /// Fraction of `rows` admitted — the envelope's *selectivity* over a
+    /// dataset (Figure 7's y-axis).
+    pub fn selectivity(&self, rows: impl Iterator<Item = impl AsRef<Row>>) -> f64 {
+        let mut total = 0usize;
+        let mut hit = 0usize;
+        for row in rows {
+            total += 1;
+            if self.matches(row.as_ref()) {
+                hit += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hit as f64 / total as f64
+        }
+    }
+
+    /// Greedily merges regions until at most `max` disjuncts remain.
+    /// Merging unions two regions into their bounding box, which can only
+    /// grow the envelope — sound, possibly looser. Each step merges the
+    /// smallest region into the partner whose bounding box adds the
+    /// fewest cells (O(R) per step, O(R²) total — derivation can keep
+    /// thousands of regions).
+    pub fn cap_disjuncts(&mut self, max: usize, schema: &Schema) {
+        while self.regions.len() > max.max(1) {
+            // Victim: the smallest region (cheapest to absorb).
+            let vi = self
+                .regions
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| r.cardinality())
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            let victim = self.regions.swap_remove(vi);
+            // Partner: minimizes the bounding box's added volume.
+            let mut best: Option<(usize, u64, Region)> = None;
+            for (j, r) in self.regions.iter().enumerate() {
+                let bb = bounding_box(schema, &victim, r);
+                let added = bb
+                    .cardinality()
+                    .saturating_sub(victim.cardinality())
+                    .saturating_sub(r.cardinality());
+                if best.as_ref().is_none_or(|(_, a, _)| added < *a) {
+                    best = Some((j, added, bb));
+                }
+                if added == 0 {
+                    break; // cannot do better
+                }
+            }
+            let Some((j, added, bb)) = best else {
+                self.regions.push(victim);
+                break;
+            };
+            if added > 0 {
+                self.exact = false;
+            }
+            self.regions[j] = bb;
+            // Drop regions swallowed by the new box.
+            let keep = self.regions[j].clone();
+            self.regions.retain(|r| r == &keep || !r.is_subset(&keep));
+        }
+    }
+}
+
+/// The smallest region containing both `a` and `b`.
+fn bounding_box(schema: &Schema, a: &Region, b: &Region) -> Region {
+    use crate::region::DimSet;
+    let dims = (0..a.n_dims())
+        .map(|d| match (a.dim(d), b.dim(d)) {
+            (DimSet::Range { lo: al, hi: ah }, DimSet::Range { lo: bl, hi: bh }) => {
+                DimSet::Range { lo: *al.min(bl), hi: *ah.max(bh) }
+            }
+            (DimSet::Set(x), DimSet::Set(y)) => {
+                let mut s = x.clone();
+                s.union_with(y);
+                DimSet::Set(s)
+            }
+            _ => unreachable!("mismatched DimSet kinds"),
+        })
+        .collect();
+    let _ = schema;
+    Region::from_dims(dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{range_region, DimSet};
+    use mpq_types::{AttrDomain, Attribute, AttrId, MemberSet, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("o", AttrDomain::binned(vec![1.0, 2.0, 3.0]).unwrap()),
+            Attribute::new("c", AttrDomain::categorical(["a", "b", "c"])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn never_matches_nothing() {
+        let e = Envelope::never(ClassId(0));
+        assert!(!e.matches(&[0, 0]));
+        assert!(e.exact);
+        assert_eq!(e.covered_cells(), 0);
+        assert!(!e.is_tautology(&schema()));
+    }
+
+    #[test]
+    fn matches_any_region() {
+        let s = schema();
+        let e = Envelope {
+            class: ClassId(1),
+            regions: vec![range_region(&s, AttrId(0), 0, 0), range_region(&s, AttrId(0), 3, 3)],
+            exact: false,
+            stats: DeriveStats::default(),
+            trace: Vec::new(),
+        };
+        assert!(e.matches(&[0, 2]) && e.matches(&[3, 0]));
+        assert!(!e.matches(&[1, 0]) && !e.matches(&[2, 2]));
+        assert_eq!(e.n_disjuncts(), 2);
+    }
+
+    #[test]
+    fn selectivity_counts_matching_rows() {
+        let s = schema();
+        let e = Envelope {
+            class: ClassId(0),
+            regions: vec![range_region(&s, AttrId(0), 0, 1)],
+            exact: true,
+            stats: DeriveStats::default(),
+            trace: Vec::new(),
+        };
+        let rows: Vec<Vec<u16>> = vec![vec![0, 0], vec![1, 1], vec![2, 2], vec![3, 0]];
+        assert_eq!(e.selectivity(rows.iter().map(|r| r.as_slice())), 0.5);
+    }
+
+    #[test]
+    fn tautology_detection() {
+        let s = schema();
+        let e = Envelope {
+            class: ClassId(0),
+            regions: vec![Region::full(&s)],
+            exact: false,
+            stats: DeriveStats::default(),
+            trace: Vec::new(),
+        };
+        assert!(e.is_tautology(&s));
+    }
+
+    #[test]
+    fn cap_disjuncts_merges_to_bounding_boxes() {
+        let s = schema();
+        let mk = |m: u16| {
+            Region::full(&s)
+                .with_dim(0, DimSet::Range { lo: m, hi: m })
+                .with_dim(1, DimSet::Set(MemberSet::of(3, [0])))
+        };
+        let mut e = Envelope {
+            class: ClassId(0),
+            regions: vec![mk(0), mk(1), mk(3)],
+            exact: true,
+            stats: DeriveStats::default(),
+            trace: Vec::new(),
+        };
+        e.cap_disjuncts(2, &s);
+        assert_eq!(e.n_disjuncts(), 2);
+        // 0 and 1 are adjacent: merging them adds no cells, stays exact.
+        assert!(e.exact);
+        assert!(e.matches(&[0, 0]) && e.matches(&[1, 0]) && e.matches(&[3, 0]));
+        e.cap_disjuncts(1, &s);
+        assert_eq!(e.n_disjuncts(), 1);
+        assert!(!e.exact, "the 0..3 box now includes member 2");
+        assert!(e.matches(&[2, 0]));
+    }
+}

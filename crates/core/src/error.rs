@@ -1,0 +1,51 @@
+//! Error type for envelope derivation.
+
+/// Errors raised by derivation entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Full enumeration was requested on a grid exceeding the cell
+    /// budget (the paper's ">24 hours" failure mode, refused up front).
+    GridTooLarge {
+        /// Cells the grid holds.
+        cells: u64,
+        /// Configured limit.
+        limit: u64,
+    },
+    /// The model references a class id outside its range.
+    UnknownClass {
+        /// Offending class index.
+        class: u16,
+        /// Number of classes the model has.
+        n_classes: usize,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::GridTooLarge { cells, limit } => write!(
+                f,
+                "grid has {cells} cells, exceeding the enumeration limit of {limit}; \
+                 use the top-down derivation instead"
+            ),
+            CoreError::UnknownClass { class, n_classes } => {
+                write!(f, "class {class} out of range for a {n_classes}-class model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::GridTooLarge { cells: 100, limit: 10 };
+        assert!(e.to_string().contains("100") && e.to_string().contains("10"));
+        let e = CoreError::UnknownClass { class: 9, n_classes: 3 };
+        assert!(e.to_string().contains('9'));
+    }
+}

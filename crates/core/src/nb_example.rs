@@ -1,0 +1,75 @@
+//! The paper's worked example: Table 1's naive Bayes classifier and the
+//! Figure 2 derivation trace, exposed as a reusable constructor so tests,
+//! examples and the `exp_table1_nb_example` experiment binary all speak
+//! about the same model.
+
+use mpq_models::NaiveBayes;
+use mpq_types::{AttrDomain, Attribute, Schema};
+
+/// Builds the exact classifier of the paper's Table 1: K = 3 classes
+/// (`c1`, `c2`, `c3`), two categorical dimensions `d0` (4 members) and
+/// `d1` (3 members), priors (.33, .5, .17).
+///
+/// One transcription note: Table 1 as printed shows `Pr(m21|c2) = .1`,
+/// but the paper's own internal cells (`Pr(x|c2)·Pr(c2) = .002` at
+/// `(m20, m21)`) and every bound in Figure 2 require `.01`; we use the
+/// value that makes the paper self-consistent.
+pub fn paper_table1_model() -> NaiveBayes {
+    let schema = Schema::new(vec![
+        Attribute::new("d0", AttrDomain::categorical(["m0", "m1", "m2", "m3"])),
+        Attribute::new("d1", AttrDomain::categorical(["m0", "m1", "m2"])),
+    ])
+    .expect("static schema is valid");
+    let d0 = vec![
+        vec![0.4, 0.1, 0.05],
+        vec![0.4, 0.1, 0.05],
+        vec![0.05, 0.4, 0.4],
+        vec![0.05, 0.4, 0.4],
+    ];
+    let d1 = vec![
+        vec![0.01, 0.7, 0.05],
+        vec![0.5, 0.29, 0.05],
+        vec![0.49, 0.01, 0.9],
+    ];
+    NaiveBayes::from_probabilities(
+        schema,
+        vec!["c1".into(), "c2".into(), "c3".into()],
+        &[0.33, 0.5, 0.17],
+        &[d0, d1],
+    )
+    .expect("static parameters are valid")
+}
+
+/// The winning class per cell of Table 1, row-major in `(d0, d1)` order,
+/// as printed in the paper (0-based class ids: 0 = c1, 1 = c2, 2 = c3).
+pub fn paper_table1_winners() -> [[u16; 3]; 4] {
+    // d1:   m0  m1  m2      d0:
+    [
+        [1, 0, 0], // m0
+        [1, 0, 0], // m1
+        [1, 1, 2], // m2
+        [1, 1, 2], // m3
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_models::Classifier as _;
+    use mpq_types::ClassId;
+
+    #[test]
+    fn winners_table_matches_model() {
+        let nb = paper_table1_model();
+        let winners = paper_table1_winners();
+        for (m0, row) in winners.iter().enumerate() {
+            for (m1, &want) in row.iter().enumerate() {
+                assert_eq!(
+                    nb.predict(&[m0 as u16, m1 as u16]),
+                    ClassId(want),
+                    "cell (m{m0}0, m{m1}1)"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! Region algebra over the discretized attribute grid.
+//!
+//! A [`Region`] is the paper's unit of envelope construction: a hyper-
+//! rectangle in the grid, one constraint per dimension. Ordered (binned)
+//! dimensions carry contiguous member ranges so regions stay expressible
+//! as SQL range predicates; unordered categorical dimensions carry member
+//! sets (SQL `IN` lists). The top-down derivation shrinks, splits and
+//! merges regions; rule/tree extraction intersects them; the rewriter
+//! subtracts them.
+
+use mpq_types::{AttrId, Member, MemberSet, Row, Schema};
+
+/// Per-dimension constraint of a [`Region`]. Invariant: never empty.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DimSet {
+    /// Contiguous member range `lo..=hi` on an ordered dimension.
+    Range {
+        /// Lowest member included.
+        lo: Member,
+        /// Highest member included.
+        hi: Member,
+    },
+    /// Arbitrary member set on an unordered dimension.
+    Set(MemberSet),
+}
+
+impl DimSet {
+    /// The full constraint for a domain of `card` members on a dimension
+    /// whose orderedness is `ordered`.
+    pub fn full(card: u16, ordered: bool) -> Self {
+        debug_assert!(card > 0);
+        if ordered {
+            DimSet::Range { lo: 0, hi: card - 1 }
+        } else {
+            DimSet::Set(MemberSet::full(card))
+        }
+    }
+
+    /// Number of members admitted.
+    pub fn len(&self) -> u32 {
+        match self {
+            DimSet::Range { lo, hi } => (*hi - *lo) as u32 + 1,
+            DimSet::Set(s) => s.len(),
+        }
+    }
+
+    /// DimSets are never empty, so this is always false; present for
+    /// iterator-style symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether member `m` is admitted.
+    #[inline]
+    pub fn contains(&self, m: Member) -> bool {
+        match self {
+            DimSet::Range { lo, hi } => *lo <= m && m <= *hi,
+            DimSet::Set(s) => s.contains(m),
+        }
+    }
+
+    /// Whether this constraint admits the whole domain of `card` members.
+    pub fn is_full(&self, card: u16) -> bool {
+        match self {
+            DimSet::Range { lo, hi } => *lo == 0 && *hi == card - 1,
+            DimSet::Set(s) => s.is_full(),
+        }
+    }
+
+    /// Iterates admitted members in increasing order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = Member> + '_> {
+        match self {
+            DimSet::Range { lo, hi } => Box::new(*lo..=*hi),
+            DimSet::Set(s) => Box::new(s.iter()),
+        }
+    }
+
+    /// Intersection; `None` when empty.
+    pub fn intersect(&self, other: &DimSet) -> Option<DimSet> {
+        match (self, other) {
+            (DimSet::Range { lo: a, hi: b }, DimSet::Range { lo: c, hi: d }) => {
+                let lo = *a.max(c);
+                let hi = *b.min(d);
+                (lo <= hi).then_some(DimSet::Range { lo, hi })
+            }
+            (DimSet::Set(a), DimSet::Set(b)) => {
+                let mut s = a.clone();
+                s.intersect_with(b);
+                (!s.is_empty()).then_some(DimSet::Set(s))
+            }
+            // Mixed kinds never occur on the same dimension.
+            _ => unreachable!("mismatched DimSet kinds on one dimension"),
+        }
+    }
+
+    /// Union when representable (any two sets; ranges only when they
+    /// overlap or touch). `None` when the union of ranges would not be
+    /// contiguous.
+    pub fn union(&self, other: &DimSet) -> Option<DimSet> {
+        match (self, other) {
+            (DimSet::Range { lo: a, hi: b }, DimSet::Range { lo: c, hi: d }) => {
+                // Contiguous iff they overlap or are adjacent.
+                if (*c as u32) > (*b as u32) + 1 || (*a as u32) > (*d as u32) + 1 {
+                    None
+                } else {
+                    Some(DimSet::Range { lo: *a.min(c), hi: *b.max(d) })
+                }
+            }
+            (DimSet::Set(a), DimSet::Set(b)) => {
+                let mut s = a.clone();
+                s.union_with(b);
+                Some(DimSet::Set(s))
+            }
+            _ => unreachable!("mismatched DimSet kinds on one dimension"),
+        }
+    }
+
+    /// The members of `self` not in `other`, as zero, one or two DimSets
+    /// (ranges split into the below/above pieces).
+    pub fn subtract(&self, other: &DimSet) -> Vec<DimSet> {
+        match (self, other) {
+            (DimSet::Range { lo: a, hi: b }, DimSet::Range { lo: c, hi: d }) => {
+                let mut out = Vec::new();
+                if c > a {
+                    out.push(DimSet::Range { lo: *a, hi: (*c - 1).min(*b) });
+                }
+                if d < b {
+                    out.push(DimSet::Range { lo: (*d + 1).max(*a), hi: *b });
+                }
+                // Disjoint case produces `self` once, not twice.
+                if *c > *b || *d < *a {
+                    return vec![self.clone()];
+                }
+                out
+            }
+            (DimSet::Set(a), DimSet::Set(b)) => {
+                let mut s = a.clone();
+                s.subtract(b);
+                if s.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![DimSet::Set(s)]
+                }
+            }
+            _ => unreachable!("mismatched DimSet kinds on one dimension"),
+        }
+    }
+
+    /// Whether every member of `self` is admitted by `other`.
+    pub fn is_subset(&self, other: &DimSet) -> bool {
+        match (self, other) {
+            (DimSet::Range { lo: a, hi: b }, DimSet::Range { lo: c, hi: d }) => c <= a && b <= d,
+            (DimSet::Set(a), DimSet::Set(b)) => a.is_subset(b),
+            _ => unreachable!("mismatched DimSet kinds on one dimension"),
+        }
+    }
+}
+
+/// A hyper-rectangular region of the attribute grid: one [`DimSet`] per
+/// attribute. Invariant: no dimension is empty (empty regions are
+/// represented as `None` at API boundaries).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Region {
+    dims: Vec<DimSet>,
+}
+
+impl Region {
+    /// The region covering the whole grid of `schema`.
+    pub fn full(schema: &Schema) -> Region {
+        Region {
+            dims: schema
+                .attrs()
+                .iter()
+                .map(|a| DimSet::full(a.domain.cardinality(), a.domain.is_ordered()))
+                .collect(),
+        }
+    }
+
+    /// Builds a region from per-dimension constraints. Panics in debug
+    /// builds if the arity is wrong.
+    pub fn from_dims(dims: Vec<DimSet>) -> Region {
+        Region { dims }
+    }
+
+    /// The single-cell region at `cell`.
+    pub fn cell(schema: &Schema, cell: &Row) -> Region {
+        Region {
+            dims: cell
+                .iter()
+                .zip(schema.attrs())
+                .map(|(&m, a)| {
+                    if a.domain.is_ordered() {
+                        DimSet::Range { lo: m, hi: m }
+                    } else {
+                        DimSet::Set(MemberSet::of(a.domain.cardinality(), [m]))
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn n_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The constraint on dimension `d`.
+    pub fn dim(&self, d: usize) -> &DimSet {
+        &self.dims[d]
+    }
+
+    /// Replaces the constraint on dimension `d`.
+    pub fn with_dim(&self, d: usize, set: DimSet) -> Region {
+        let mut r = self.clone();
+        r.dims[d] = set;
+        r
+    }
+
+    /// Whether the encoded row/cell lies inside the region.
+    #[inline]
+    pub fn contains(&self, cell: &Row) -> bool {
+        debug_assert_eq!(cell.len(), self.dims.len());
+        self.dims.iter().zip(cell).all(|(s, &m)| s.contains(m))
+    }
+
+    /// Number of grid cells covered (saturating).
+    pub fn cardinality(&self) -> u64 {
+        self.dims.iter().fold(1u64, |acc, s| acc.saturating_mul(s.len() as u64))
+    }
+
+    /// True if the region is a single cell.
+    pub fn is_cell(&self) -> bool {
+        self.dims.iter().all(|s| s.len() == 1)
+    }
+
+    /// True if the region covers the whole grid of `schema`.
+    pub fn is_full(&self, schema: &Schema) -> bool {
+        self.dims
+            .iter()
+            .zip(schema.attrs())
+            .all(|(s, a)| s.is_full(a.domain.cardinality()))
+    }
+
+    /// Intersection; `None` when empty.
+    pub fn intersect(&self, other: &Region) -> Option<Region> {
+        debug_assert_eq!(self.dims.len(), other.dims.len());
+        let mut dims = Vec::with_capacity(self.dims.len());
+        for (a, b) in self.dims.iter().zip(&other.dims) {
+            dims.push(a.intersect(b)?);
+        }
+        Some(Region { dims })
+    }
+
+    /// Whether `self` is completely inside `other`.
+    pub fn is_subset(&self, other: &Region) -> bool {
+        self.dims.iter().zip(&other.dims).all(|(a, b)| a.is_subset(b))
+    }
+
+    /// `self \ other` as a set of disjoint regions (the standard
+    /// orthogonal decomposition: peel one dimension at a time).
+    pub fn subtract(&self, other: &Region) -> Vec<Region> {
+        let Some(core) = self.intersect(other) else {
+            return vec![self.clone()];
+        };
+        let mut out = Vec::new();
+        let mut rest = self.clone();
+        for d in 0..self.dims.len() {
+            for piece in rest.dims[d].subtract(&core.dims[d]) {
+                out.push(rest.with_dim(d, piece));
+            }
+            // Clamp this dimension to the core and continue peeling the
+            // remaining dimensions.
+            rest.dims[d] = core.dims[d].clone();
+        }
+        out
+    }
+
+    /// Merges two regions into one when they differ in at most one
+    /// dimension whose union is representable. This is the merge step at
+    /// the end of the paper's Algorithm 1.
+    pub fn try_merge(&self, other: &Region) -> Option<Region> {
+        debug_assert_eq!(self.dims.len(), other.dims.len());
+        let mut differing: Option<usize> = None;
+        for (d, (a, b)) in self.dims.iter().zip(&other.dims).enumerate() {
+            if a != b {
+                if differing.is_some() {
+                    return None;
+                }
+                differing = Some(d);
+            }
+        }
+        let Some(d) = differing else {
+            return Some(self.clone()); // identical regions
+        };
+        let union = self.dims[d].union(&other.dims[d])?;
+        // For ranges, only merge when the union is exactly the two parts
+        // (no gap) — `union` already guarantees contiguity.
+        Some(self.with_dim(d, union))
+    }
+
+    /// Iterates every cell of the region (exponential; used by the
+    /// enumeration baseline and small-grid tests only).
+    pub fn cells(&self) -> CellIter<'_> {
+        CellIter {
+            dims: &self.dims,
+            current: self.dims.iter().map(|s| s.iter().next().expect("nonempty")).collect(),
+            done: false,
+        }
+    }
+}
+
+/// Iterator over all cells of a region, odometer-style.
+pub struct CellIter<'a> {
+    dims: &'a [DimSet],
+    current: Vec<Member>,
+    done: bool,
+}
+
+impl Iterator for CellIter<'_> {
+    type Item = Vec<Member>;
+
+    fn next(&mut self) -> Option<Vec<Member>> {
+        if self.done {
+            return None;
+        }
+        let out = self.current.clone();
+        // Advance the odometer.
+        let mut d = self.dims.len();
+        loop {
+            if d == 0 {
+                self.done = true;
+                break;
+            }
+            d -= 1;
+            let cur = self.current[d];
+            if let Some(next) = self.dims[d].iter().find(|&m| m > cur) {
+                self.current[d] = next;
+                for dd in d + 1..self.dims.len() {
+                    self.current[dd] = self.dims[dd].iter().next().expect("nonempty");
+                }
+                break;
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Convenience: a region constraining a single ordered attribute of
+/// `schema` to `lo..=hi`, all other dimensions full.
+pub fn range_region(schema: &Schema, attr: AttrId, lo: Member, hi: Member) -> Region {
+    Region::full(schema).with_dim(attr.index(), DimSet::Range { lo, hi })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_types::{AttrDomain, Attribute};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("o", AttrDomain::binned(vec![1.0, 2.0, 3.0]).unwrap()), // 4 members
+            Attribute::new("c", AttrDomain::categorical(["a", "b", "c"])),         // 3 members
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn full_region_covers_everything() {
+        let s = schema();
+        let r = Region::full(&s);
+        assert_eq!(r.cardinality(), 12);
+        assert!(r.is_full(&s));
+        for m0 in 0..4u16 {
+            for m1 in 0..3u16 {
+                assert!(r.contains(&[m0, m1]));
+            }
+        }
+    }
+
+    #[test]
+    fn dimset_intersect_union_subtract() {
+        let a = DimSet::Range { lo: 0, hi: 2 };
+        let b = DimSet::Range { lo: 2, hi: 3 };
+        assert_eq!(a.intersect(&b), Some(DimSet::Range { lo: 2, hi: 2 }));
+        assert_eq!(a.union(&b), Some(DimSet::Range { lo: 0, hi: 3 }));
+        assert_eq!(a.subtract(&b), vec![DimSet::Range { lo: 0, hi: 1 }]);
+        let far = DimSet::Range { lo: 5, hi: 6 };
+        assert_eq!(a.union(&far), None, "gap prevents contiguous union");
+        assert_eq!(a.intersect(&far), None);
+        assert_eq!(a.subtract(&far), vec![a.clone()]);
+        // Adjacent ranges merge.
+        let adj = DimSet::Range { lo: 3, hi: 4 };
+        assert_eq!(a.union(&adj), Some(DimSet::Range { lo: 0, hi: 4 }));
+    }
+
+    #[test]
+    fn dimset_sets() {
+        let a = DimSet::Set(MemberSet::of(5, [0, 2, 4]));
+        let b = DimSet::Set(MemberSet::of(5, [2, 3]));
+        assert_eq!(a.intersect(&b), Some(DimSet::Set(MemberSet::of(5, [2]))));
+        assert_eq!(a.union(&b), Some(DimSet::Set(MemberSet::of(5, [0, 2, 3, 4]))));
+        assert_eq!(a.subtract(&b), vec![DimSet::Set(MemberSet::of(5, [0, 4]))]);
+        assert!(DimSet::Set(MemberSet::of(5, [2])).is_subset(&b));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn range_subtract_middle_splits_in_two() {
+        let a = DimSet::Range { lo: 0, hi: 5 };
+        let mid = DimSet::Range { lo: 2, hi: 3 };
+        assert_eq!(
+            a.subtract(&mid),
+            vec![DimSet::Range { lo: 0, hi: 1 }, DimSet::Range { lo: 4, hi: 5 }]
+        );
+    }
+
+    #[test]
+    fn region_contains_and_cardinality() {
+        let s = schema();
+        let r = Region::full(&s)
+            .with_dim(0, DimSet::Range { lo: 1, hi: 2 })
+            .with_dim(1, DimSet::Set(MemberSet::of(3, [0, 2])));
+        assert_eq!(r.cardinality(), 4);
+        assert!(r.contains(&[1, 0]) && r.contains(&[2, 2]));
+        assert!(!r.contains(&[0, 0]) && !r.contains(&[1, 1]));
+    }
+
+    #[test]
+    fn region_intersect_subset() {
+        let s = schema();
+        let a = range_region(&s, AttrId(0), 0, 2);
+        let b = range_region(&s, AttrId(0), 2, 3);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.dim(0), &DimSet::Range { lo: 2, hi: 2 });
+        assert!(i.is_subset(&a) && i.is_subset(&b));
+        let disjoint = range_region(&s, AttrId(0), 3, 3);
+        assert!(a.intersect(&disjoint).is_none());
+    }
+
+    #[test]
+    fn region_subtract_partitions() {
+        let s = schema();
+        let a = Region::full(&s);
+        let b = Region::full(&s)
+            .with_dim(0, DimSet::Range { lo: 1, hi: 2 })
+            .with_dim(1, DimSet::Set(MemberSet::of(3, [1])));
+        let parts = a.subtract(&b);
+        // Every cell is in exactly one of: b, or one part.
+        for m0 in 0..4u16 {
+            for m1 in 0..3u16 {
+                let cell = [m0, m1];
+                let in_b = b.contains(&cell) as usize;
+                let in_parts = parts.iter().filter(|p| p.contains(&cell)).count();
+                assert_eq!(in_b + in_parts, 1, "cell {cell:?} covered {in_parts}+{in_b} times");
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_disjoint_returns_self() {
+        let s = schema();
+        let a = range_region(&s, AttrId(0), 0, 1);
+        let b = range_region(&s, AttrId(0), 3, 3);
+        assert_eq!(a.subtract(&b), vec![a.clone()]);
+    }
+
+    #[test]
+    fn try_merge_adjacent_ranges() {
+        let s = schema();
+        let a = range_region(&s, AttrId(0), 0, 1);
+        let b = range_region(&s, AttrId(0), 2, 3);
+        let m = a.try_merge(&b).unwrap();
+        assert!(m.is_full(&s));
+        // Non-adjacent: no merge.
+        let c = range_region(&s, AttrId(0), 3, 3);
+        assert!(range_region(&s, AttrId(0), 0, 1).try_merge(&c).is_none());
+    }
+
+    #[test]
+    fn try_merge_requires_single_differing_dim() {
+        let s = schema();
+        let a = Region::full(&s)
+            .with_dim(0, DimSet::Range { lo: 0, hi: 1 })
+            .with_dim(1, DimSet::Set(MemberSet::of(3, [0])));
+        let b = Region::full(&s)
+            .with_dim(0, DimSet::Range { lo: 2, hi: 3 })
+            .with_dim(1, DimSet::Set(MemberSet::of(3, [1])));
+        assert!(a.try_merge(&b).is_none(), "two differing dims");
+        assert_eq!(a.try_merge(&a), Some(a.clone()), "identical regions merge trivially");
+    }
+
+    #[test]
+    fn cells_enumerates_in_order() {
+        let s = schema();
+        let r = Region::full(&s)
+            .with_dim(0, DimSet::Range { lo: 2, hi: 3 })
+            .with_dim(1, DimSet::Set(MemberSet::of(3, [0, 2])));
+        let cells: Vec<Vec<u16>> = r.cells().collect();
+        assert_eq!(cells, vec![vec![2, 0], vec![2, 2], vec![3, 0], vec![3, 2]]);
+        assert_eq!(cells.len() as u64, r.cardinality());
+    }
+
+    #[test]
+    fn single_cell_region() {
+        let s = schema();
+        let r = Region::cell(&s, &[2, 1]);
+        assert!(r.is_cell());
+        assert_eq!(r.cardinality(), 1);
+        assert!(r.contains(&[2, 1]));
+        assert!(!r.contains(&[2, 0]));
+    }
+}

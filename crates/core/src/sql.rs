@@ -1,0 +1,199 @@
+//! Rendering envelopes as SQL predicates (the model-to-SQL surface).
+//!
+//! Derived envelopes are AND/OR expressions of simple predicates on data
+//! columns (§1); this module prints them in SQL against the *original*
+//! value space: binned dimensions become range comparisons on the cut
+//! points, categorical dimensions become `=` / `IN` lists.
+
+use crate::envelope::Envelope;
+use crate::region::{DimSet, Region};
+use mpq_types::Schema;
+
+/// Renders a region as a SQL conjunction, e.g.
+/// `(lowerBP > 91 AND age <= 63 AND overweight IN ('no','yes'))`.
+/// Unconstrained dimensions are omitted; a fully unconstrained region
+/// renders as `1=1`.
+pub fn region_to_sql(schema: &Schema, region: &Region) -> String {
+    let mut conjuncts = Vec::new();
+    for (id, attr) in schema.iter() {
+        let ds = region.dim(id.index());
+        let card = attr.domain.cardinality();
+        if ds.is_full(card) {
+            continue;
+        }
+        let name = quote_ident(&attr.name);
+        match ds {
+            DimSet::Range { lo, hi } => {
+                let (lo_bound, _) = attr.domain.bin_interval(*lo).expect("ordered dim");
+                let (_, hi_bound) = attr.domain.bin_interval(*hi).expect("ordered dim");
+                let mut parts = Vec::new();
+                if lo_bound.is_finite() {
+                    parts.push(format!("{name} > {}", fmt_num(lo_bound)));
+                }
+                if hi_bound.is_finite() {
+                    parts.push(format!("{name} <= {}", fmt_num(hi_bound)));
+                }
+                match parts.len() {
+                    0 => {} // both ends unbounded: the range is full, but
+                    // is_full already skipped that; a single unbounded bin
+                    // domain lands here and constrains nothing.
+                    1 => conjuncts.push(parts.pop().expect("one part")),
+                    _ => conjuncts.push(parts.join(" AND ")),
+                }
+            }
+            DimSet::Set(s) => {
+                let members: Vec<String> =
+                    s.iter().map(|m| quote_str(&attr.domain.member_label(m))).collect();
+                if members.len() == 1 {
+                    conjuncts.push(format!("{name} = {}", members[0]));
+                } else {
+                    conjuncts.push(format!("{name} IN ({})", members.join(", ")));
+                }
+            }
+        }
+    }
+    if conjuncts.is_empty() {
+        "1=1".to_string()
+    } else {
+        conjuncts.join(" AND ")
+    }
+}
+
+/// Renders an envelope as a SQL disjunction; the empty envelope renders
+/// as the unsatisfiable `1=0` (a well-behaved optimizer turns this into a
+/// constant scan).
+pub fn envelope_to_sql(schema: &Schema, env: &Envelope) -> String {
+    if env.regions.is_empty() {
+        return "1=0".to_string();
+    }
+    if env.regions.len() == 1 {
+        return region_to_sql(schema, &env.regions[0]);
+    }
+    env.regions
+        .iter()
+        .map(|r| format!("({})", region_to_sql(schema, r)))
+        .collect::<Vec<_>>()
+        .join(" OR ")
+}
+
+fn quote_ident(name: &str) -> String {
+    if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    {
+        name.to_string()
+    } else {
+        format!("[{name}]")
+    }
+}
+
+fn quote_str(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+fn fmt_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::DeriveStats;
+    use crate::region::{range_region, DimSet};
+    use mpq_types::{AttrDomain, AttrId, Attribute, ClassId, MemberSet};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("lowerBP", AttrDomain::binned(vec![91.0]).unwrap()),
+            Attribute::new("age", AttrDomain::binned(vec![30.0, 63.0]).unwrap()),
+            Attribute::new("overweight", AttrDomain::categorical(["no", "yes"])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn full_region_is_tautology() {
+        let s = schema();
+        assert_eq!(region_to_sql(&s, &Region::full(&s)), "1=1");
+    }
+
+    #[test]
+    fn range_rendering_uses_cut_points() {
+        let s = schema();
+        // age in members 1..=1 = (30, 63]
+        let r = range_region(&s, AttrId(1), 1, 1);
+        assert_eq!(region_to_sql(&s, &r), "age > 30 AND age <= 63");
+        // age in members 0..=1 = (-inf, 63]
+        let r = range_region(&s, AttrId(1), 0, 1);
+        assert_eq!(region_to_sql(&s, &r), "age <= 63");
+        // age in members 2..=2 = (63, inf)
+        let r = range_region(&s, AttrId(1), 2, 2);
+        assert_eq!(region_to_sql(&s, &r), "age > 63");
+    }
+
+    #[test]
+    fn categorical_rendering() {
+        let s = schema();
+        let one = Region::full(&s).with_dim(2, DimSet::Set(MemberSet::of(2, [1])));
+        assert_eq!(region_to_sql(&s, &one), "overweight = 'yes'");
+        let both_conj = Region::full(&s)
+            .with_dim(0, DimSet::Range { lo: 1, hi: 1 })
+            .with_dim(2, DimSet::Set(MemberSet::of(2, [0])));
+        assert_eq!(region_to_sql(&s, &both_conj), "lowerBP > 91 AND overweight = 'no'");
+    }
+
+    #[test]
+    fn paper_figure1_c1_envelope_sql() {
+        // (lowerBP > 91 AND age > 63 AND overweight = 'yes') OR
+        // (lowerBP <= 91 AND ...) — structure check with 2 disjuncts.
+        let s = schema();
+        let r1 = Region::full(&s)
+            .with_dim(0, DimSet::Range { lo: 1, hi: 1 })
+            .with_dim(1, DimSet::Range { lo: 2, hi: 2 })
+            .with_dim(2, DimSet::Set(MemberSet::of(2, [1])));
+        let r2 = Region::full(&s).with_dim(0, DimSet::Range { lo: 0, hi: 0 });
+        let env = Envelope {
+            class: ClassId(0),
+            regions: vec![r1, r2],
+            exact: true,
+            stats: DeriveStats::default(),
+            trace: Vec::new(),
+        };
+        assert_eq!(
+            envelope_to_sql(&s, &env),
+            "(lowerBP > 91 AND age > 63 AND overweight = 'yes') OR (lowerBP <= 91)"
+        );
+    }
+
+    #[test]
+    fn empty_envelope_is_false() {
+        let s = schema();
+        assert_eq!(envelope_to_sql(&s, &Envelope::never(ClassId(0))), "1=0");
+    }
+
+    #[test]
+    fn single_region_envelope_has_no_outer_parens() {
+        let s = schema();
+        let env = Envelope {
+            class: ClassId(0),
+            regions: vec![range_region(&s, AttrId(0), 0, 0)],
+            exact: true,
+            stats: DeriveStats::default(),
+            trace: Vec::new(),
+        };
+        assert_eq!(envelope_to_sql(&s, &env), "lowerBP <= 91");
+    }
+
+    #[test]
+    fn identifiers_and_strings_are_quoted_when_needed() {
+        assert_eq!(quote_ident("lower_bp2"), "lower_bp2");
+        assert_eq!(quote_ident("weird col"), "[weird col]");
+        assert_eq!(quote_ident("2fast"), "[2fast]");
+        assert_eq!(quote_str("o'brien"), "'o''brien'");
+        assert_eq!(fmt_num(63.0), "63");
+        assert_eq!(fmt_num(63.5), "63.5");
+    }
+}

@@ -1,0 +1,328 @@
+//! Exact envelope extraction for decision trees and rule sets (§3.1).
+//!
+//! Decision trees: AND the test conditions along each root-to-leaf path
+//! (each path is a [`Region`] — per-dimension constraint intersection),
+//! OR the paths per class. This envelope is *exact*.
+//!
+//! Rule sets: the envelope of class `c` is the disjunction of the bodies
+//! of `c`'s rules; overlapping rules of other classes make it an upper
+//! (not exact) envelope, as the paper notes. The class rows fall back to
+//! when no rule fires (the default class) additionally receives the
+//! complement of all rule bodies, computed by region subtraction.
+
+use crate::envelope::{DeriveStats, Envelope};
+use crate::region::{DimSet, Region};
+use crate::topdown::merge_regions;
+use mpq_models::{DecisionTree, Node, Rule, RuleCond, RuleSet, Split};
+use mpq_types::{ClassId, Schema};
+
+/// Derives the exact upper envelope of `class` from a decision tree.
+pub fn tree_envelope(tree: &DecisionTree, class: ClassId) -> Envelope {
+    use mpq_models::Classifier as _;
+    let schema = tree.schema();
+    let mut regions = Vec::new();
+    collect_paths(schema, tree.root(), &Region::full(schema), class, &mut regions);
+    let mut stats = DeriveStats::default();
+    merge_regions(&mut regions, &mut stats);
+    Envelope { class, regions, exact: true, stats, trace: Vec::new() }
+}
+
+fn collect_paths(schema: &Schema, node: &Node, path: &Region, class: ClassId, out: &mut Vec<Region>) {
+    match node {
+        Node::Leaf { class: c, .. } => {
+            if *c == class {
+                out.push(path.clone());
+            }
+        }
+        Node::Internal { split, left, right } => {
+            let attr = split.attr();
+            let d = attr.index();
+            let card = schema.attr(attr).domain.cardinality();
+            let (lset, rset) = match split {
+                Split::LeMember { cut_member, .. } => (
+                    DimSet::Range { lo: 0, hi: *cut_member },
+                    DimSet::Range { lo: *cut_member + 1, hi: card - 1 },
+                ),
+                Split::InSet { members, .. } => (
+                    DimSet::Set(members.clone()),
+                    DimSet::Set(members.complement()),
+                ),
+            };
+            if let Some(s) = path.dim(d).intersect(&lset) {
+                collect_paths(schema, left, &path.with_dim(d, s), class, out);
+            }
+            if let Some(s) = path.dim(d).intersect(&rset) {
+                collect_paths(schema, right, &path.with_dim(d, s), class, out);
+            }
+        }
+    }
+}
+
+/// Converts one rule body to a region (conditions on the same attribute
+/// intersect). Returns `None` for unsatisfiable bodies.
+fn rule_region(schema: &Schema, rule: &Rule) -> Option<Region> {
+    let mut region = Region::full(schema);
+    for cond in &rule.body {
+        let d = cond.attr().index();
+        let set = match cond {
+            RuleCond::Range { lo, hi, .. } => DimSet::Range { lo: *lo, hi: *hi },
+            RuleCond::In { members, .. } => DimSet::Set(members.clone()),
+        };
+        let merged = region.dim(d).intersect(&set)?;
+        region = region.with_dim(d, merged);
+    }
+    Some(region)
+}
+
+/// Derives an upper envelope of `class` from a rule set: the disjunction
+/// of the class's rule bodies, plus — for the default class — the
+/// complement of every rule body.
+pub fn ruleset_envelope(rules: &RuleSet, class: ClassId) -> Envelope {
+    use mpq_models::Classifier as _;
+    let schema = rules.schema();
+    let mut regions: Vec<Region> = rules
+        .rules()
+        .iter()
+        .filter(|r| r.head == class)
+        .filter_map(|r| rule_region(schema, r))
+        .collect();
+
+    if rules.default_class() == class {
+        // Rows covered by no rule fall to the default class: add the
+        // complement of the union of all rule bodies.
+        let mut uncovered = vec![Region::full(schema)];
+        for rule in rules.rules() {
+            let Some(body) = rule_region(schema, rule) else { continue };
+            uncovered = uncovered.into_iter().flat_map(|r| r.subtract(&body)).collect();
+            if uncovered.is_empty() {
+                break;
+            }
+        }
+        regions.extend(uncovered);
+    }
+
+    // A rule set is exact for a class only when no rule of another class
+    // overlaps this class's regions; detecting that cheaply: exact iff no
+    // other-class rule body intersects any kept region.
+    let overlapped = rules.rules().iter().any(|r| {
+        r.head != class
+            && rule_region(schema, r)
+                .is_some_and(|body| regions.iter().any(|reg| reg.intersect(&body).is_some()))
+    });
+    let mut stats = DeriveStats::default();
+    merge_regions(&mut regions, &mut stats);
+    Envelope { class, regions, exact: !overlapped, stats, trace: Vec::new() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_models::{Classifier as _, RuleSetParams, TreeParams};
+    use mpq_types::{AttrDomain, AttrId, Attribute, ClassId, Dataset, LabeledDataset, MemberSet};
+
+    /// The paper's Figure 1 tree.
+    fn figure1_tree() -> DecisionTree {
+        let schema = Schema::new(vec![
+            Attribute::new("lowerBP", AttrDomain::binned(vec![91.0]).unwrap()),
+            Attribute::new("age", AttrDomain::binned(vec![63.0]).unwrap()),
+            Attribute::new("overweight", AttrDomain::categorical(["no", "yes"])),
+            Attribute::new("upperBP", AttrDomain::binned(vec![130.0]).unwrap()),
+        ])
+        .unwrap();
+        let c1 = |support| Node::Leaf { class: ClassId(0), support };
+        let c2 = |support| Node::Leaf { class: ClassId(1), support };
+        let overweight = Node::Internal {
+            split: Split::InSet { attr: AttrId(2), members: MemberSet::of(2, [1]) },
+            left: Box::new(c1(1)),
+            right: Box::new(c2(1)),
+        };
+        let age = Node::Internal {
+            split: Split::LeMember { attr: AttrId(1), cut_member: 0 },
+            left: Box::new(c2(1)),
+            right: Box::new(overweight),
+        };
+        let upper = Node::Internal {
+            split: Split::LeMember { attr: AttrId(3), cut_member: 0 },
+            left: Box::new(c2(1)),
+            right: Box::new(c1(1)),
+        };
+        let root = Node::Internal {
+            split: Split::LeMember { attr: AttrId(0), cut_member: 0 },
+            left: Box::new(upper),
+            right: Box::new(age),
+        };
+        DecisionTree::from_parts(schema, vec!["c1".into(), "c2".into()], root).unwrap()
+    }
+
+    #[test]
+    fn figure1_c1_envelope_matches_paper() {
+        // Paper: c1's envelope is
+        //   (lowerBP > 91 AND age > 63 AND overweight) OR
+        //   (lowerBP <= 91 AND upperBP > 130).
+        let tree = figure1_tree();
+        let env = tree_envelope(&tree, ClassId(0));
+        assert!(env.exact);
+        assert_eq!(env.n_disjuncts(), 2);
+        // Every grid cell agrees with prediction.
+        for cell in Region::full(tree.schema()).cells() {
+            assert_eq!(env.matches(&cell), tree.predict(&cell) == ClassId(0), "cell {cell:?}");
+        }
+    }
+
+    #[test]
+    fn figure1_c2_envelope_matches_paper() {
+        // Paper lists three disjuncts for c2; after merging, regions may
+        // be fewer but must cover exactly c2's cells.
+        let tree = figure1_tree();
+        let env = tree_envelope(&tree, ClassId(1));
+        assert!(env.exact);
+        for cell in Region::full(tree.schema()).cells() {
+            assert_eq!(env.matches(&cell), tree.predict(&cell) == ClassId(1), "cell {cell:?}");
+        }
+    }
+
+    #[test]
+    fn trained_tree_envelopes_are_exact_for_every_class() {
+        // Train on a 3-class concept and verify exactness cell-by-cell.
+        let schema = Schema::new(vec![
+            Attribute::new("x", AttrDomain::binned(vec![10.0, 20.0, 30.0]).unwrap()),
+            Attribute::new("f", AttrDomain::categorical(["a", "b", "c"])),
+        ])
+        .unwrap();
+        let mut ds = Dataset::new(schema);
+        let mut labels = Vec::new();
+        for x in 0..4u16 {
+            for f in 0..3u16 {
+                for _ in 0..5 {
+                    ds.push_encoded(&[x, f]).unwrap();
+                    let class = if x >= 2 && f == 1 { 2 } else if x == 0 { 0 } else { 1 };
+                    labels.push(ClassId(class));
+                }
+            }
+        }
+        let data =
+            LabeledDataset::new(ds, labels, vec!["a".into(), "b".into(), "c".into()]).unwrap();
+        let tree = DecisionTree::train(&data, TreeParams::default()).unwrap();
+        for k in 0..3u16 {
+            let env = tree_envelope(&tree, ClassId(k));
+            assert!(env.exact);
+            for cell in Region::full(tree.schema()).cells() {
+                assert_eq!(env.matches(&cell), tree.predict(&cell) == ClassId(k));
+            }
+        }
+    }
+
+    #[test]
+    fn unreached_class_gets_empty_envelope() {
+        let tree = figure1_tree();
+        // The figure-1 tree has classes c1/c2; build a version with a
+        // third class name that never appears at a leaf.
+        let t3 = DecisionTree::from_parts(
+            tree.schema().clone(),
+            vec!["c1".into(), "c2".into(), "ghost".into()],
+            tree.root().clone(),
+        )
+        .unwrap();
+        let env = tree_envelope(&t3, ClassId(2));
+        assert!(env.regions.is_empty(), "ghost class never predicted");
+        assert!(env.exact);
+    }
+
+    #[test]
+    fn ruleset_envelope_covers_predictions() {
+        let schema = Schema::new(vec![
+            Attribute::new("x", AttrDomain::binned(vec![10.0, 20.0, 30.0]).unwrap()),
+            Attribute::new("f", AttrDomain::categorical(["n", "y"])),
+        ])
+        .unwrap();
+        let mut ds = Dataset::new(schema);
+        let mut labels = Vec::new();
+        for x in 0..4u16 {
+            for f in 0..2u16 {
+                for _ in 0..10 {
+                    ds.push_encoded(&[x, f]).unwrap();
+                    labels.push(ClassId(u16::from((1..=2).contains(&x) && f == 1)));
+                }
+            }
+        }
+        let data = LabeledDataset::new(ds, labels, vec!["out".into(), "in".into()]).unwrap();
+        let rs = RuleSet::train(&data, RuleSetParams::default()).unwrap();
+        for k in 0..2u16 {
+            let env = ruleset_envelope(&rs, ClassId(k));
+            for cell in Region::full(rs.schema()).cells() {
+                if rs.predict(&cell) == ClassId(k) {
+                    assert!(env.matches(&cell), "class {k} cell {cell:?} not covered");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_class_envelope_includes_uncovered_space() {
+        let schema = Schema::new(vec![Attribute::new("x", AttrDomain::categorical(["a", "b", "c"]))]).unwrap();
+        let rule = Rule {
+            body: vec![RuleCond::In { attr: AttrId(0), members: MemberSet::of(3, [0]) }],
+            head: ClassId(1),
+            weight: 1.0,
+        };
+        let rs = RuleSet::from_parts(schema, vec!["d".into(), "p".into()], vec![rule], ClassId(0)).unwrap();
+        let env_default = ruleset_envelope(&rs, ClassId(0));
+        // Members 1, 2 are uncovered -> default class must cover them.
+        assert!(env_default.matches(&[1]) && env_default.matches(&[2]));
+        assert!(!env_default.matches(&[0]), "member 0 is covered by the class-1 rule only");
+        let env_p = ruleset_envelope(&rs, ClassId(1));
+        assert!(env_p.matches(&[0]) && !env_p.matches(&[1]));
+    }
+
+    #[test]
+    fn overlapping_rules_mark_envelope_inexact() {
+        let schema = Schema::new(vec![Attribute::new("x", AttrDomain::categorical(["a", "b"]))]).unwrap();
+        let mk = |head: u16, members: &[u16], weight: f64| Rule {
+            body: vec![RuleCond::In {
+                attr: AttrId(0),
+                members: MemberSet::of(2, members.iter().copied()),
+            }],
+            head: ClassId(head),
+            weight,
+        };
+        let rs = RuleSet::from_parts(
+            schema,
+            vec!["c0".into(), "c1".into()],
+            vec![mk(0, &[0, 1], 0.9), mk(1, &[0], 0.5)],
+            ClassId(0),
+        )
+        .unwrap();
+        // Rule for c1 overlaps c0's region; c1 never actually wins member
+        // 0 (weight 0.5 < 0.9) but its envelope must still cover it and
+        // be marked inexact.
+        let env1 = ruleset_envelope(&rs, ClassId(1));
+        assert!(env1.matches(&[0]));
+        assert!(!env1.exact);
+    }
+
+    #[test]
+    fn unsatisfiable_rule_bodies_are_dropped() {
+        let schema = Schema::new(vec![Attribute::new(
+            "x",
+            AttrDomain::binned(vec![1.0, 2.0]).unwrap(),
+        )])
+        .unwrap();
+        let contradictory = Rule {
+            body: vec![
+                RuleCond::Range { attr: AttrId(0), lo: 0, hi: 0 },
+                RuleCond::Range { attr: AttrId(0), lo: 2, hi: 2 },
+            ],
+            head: ClassId(1),
+            weight: 1.0,
+        };
+        let rs = RuleSet::from_parts(
+            schema,
+            vec!["a".into(), "b".into()],
+            vec![contradictory],
+            ClassId(0),
+        )
+        .unwrap();
+        let env = ruleset_envelope(&rs, ClassId(1));
+        assert!(env.regions.is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the greedy rectangle covering: every cover must be
+//! exact — regions contain only input cells, and every input cell is
+//! covered.
+
+use mpq_core::cover_cells;
+use mpq_types::{AttrDomain, Attribute, Schema};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new("x", AttrDomain::binned(vec![1.0, 2.0, 3.0]).unwrap()), // 4 members
+        Attribute::new("y", AttrDomain::binned(vec![1.0, 2.0]).unwrap()),      // 3 members
+        Attribute::new("c", AttrDomain::categorical(["a", "b", "c"])),         // 3 members
+    ])
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn covers_are_exact(mask in proptest::collection::vec(any::<bool>(), 36)) {
+        let s = schema();
+        let mut cells = Vec::new();
+        let mut i = 0;
+        for x in 0..4u16 {
+            for y in 0..3u16 {
+                for c in 0..3u16 {
+                    if mask[i] {
+                        cells.push(vec![x, y, c]);
+                    }
+                    i += 1;
+                }
+            }
+        }
+        let regions = cover_cells(&s, &cells);
+        let set: HashSet<&[u16]> = cells.iter().map(|c| c.as_slice()).collect();
+        // Exactness: regions contain only input cells.
+        for r in &regions {
+            for cell in r.cells() {
+                prop_assert!(set.contains(cell.as_slice()), "foreign cell {:?}", cell);
+            }
+        }
+        // Completeness: every input cell is covered.
+        for c in &cells {
+            prop_assert!(regions.iter().any(|r| r.contains(c)), "uncovered {:?}", c);
+        }
+        // Never more regions than cells.
+        prop_assert!(regions.len() <= cells.len().max(1));
+    }
+
+    #[test]
+    fn covering_is_deterministic(mask in proptest::collection::vec(any::<bool>(), 36)) {
+        let s = schema();
+        let mut cells = Vec::new();
+        let mut i = 0;
+        for x in 0..4u16 {
+            for y in 0..3u16 {
+                for c in 0..3u16 {
+                    if mask[i] {
+                        cells.push(vec![x, y, c]);
+                    }
+                    i += 1;
+                }
+            }
+        }
+        let a = cover_cells(&s, &cells);
+        let b = cover_cells(&s, &cells);
+        prop_assert_eq!(a, b);
+    }
+}

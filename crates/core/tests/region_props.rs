@@ -1,0 +1,109 @@
+//! Property-based tests of the region algebra — the foundation every
+//! derived envelope stands on. Regions are checked against brute-force
+//! cell enumeration on small grids.
+
+use mpq_core::{DimSet, Region};
+use mpq_types::{AttrDomain, Attribute, MemberSet, Schema};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Fixed small schema: 2 ordered dims (4 and 3 members) + 1 categorical
+/// (4 members) — 48 cells, exhaustively checkable.
+fn schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new("o1", AttrDomain::binned(vec![1.0, 2.0, 3.0]).unwrap()),
+        Attribute::new("o2", AttrDomain::binned(vec![1.0, 2.0]).unwrap()),
+        Attribute::new("c", AttrDomain::categorical(["a", "b", "c", "d"])),
+    ])
+    .unwrap()
+}
+
+fn arb_region() -> impl Strategy<Value = Region> {
+    (
+        (0u16..4, 0u16..4),
+        (0u16..3, 0u16..3),
+        proptest::collection::vec(0u16..4, 1..4),
+    )
+        .prop_map(|((a1, b1), (a2, b2), members)| {
+            let s = schema();
+            Region::full(&s)
+                .with_dim(0, DimSet::Range { lo: a1.min(b1), hi: a1.max(b1) })
+                .with_dim(1, DimSet::Range { lo: a2.min(b2), hi: a2.max(b2) })
+                .with_dim(2, DimSet::Set(MemberSet::of(4, members)))
+        })
+}
+
+fn cells_of(r: &Region) -> HashSet<Vec<u16>> {
+    r.cells().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cardinality_matches_enumeration(r in arb_region()) {
+        prop_assert_eq!(r.cardinality(), cells_of(&r).len() as u64);
+    }
+
+    #[test]
+    fn contains_matches_enumeration(r in arb_region()) {
+        let cells = cells_of(&r);
+        let s = schema();
+        for cell in Region::full(&s).cells() {
+            prop_assert_eq!(r.contains(&cell), cells.contains(&cell), "cell {:?}", cell);
+        }
+    }
+
+    #[test]
+    fn intersection_is_set_intersection(a in arb_region(), b in arb_region()) {
+        let expected: HashSet<Vec<u16>> =
+            cells_of(&a).intersection(&cells_of(&b)).cloned().collect();
+        match a.intersect(&b) {
+            Some(i) => prop_assert_eq!(cells_of(&i), expected),
+            None => prop_assert!(expected.is_empty()),
+        }
+    }
+
+    #[test]
+    fn subtraction_partitions(a in arb_region(), b in arb_region()) {
+        let parts = a.subtract(&b);
+        // Every cell of `a` is in `b` XOR exactly one part; parts never
+        // leak outside `a`.
+        for cell in a.cells() {
+            let hits = parts.iter().filter(|p| p.contains(&cell)).count();
+            if b.contains(&cell) {
+                prop_assert_eq!(hits, 0, "cell {:?} in b but also in parts", cell);
+            } else {
+                prop_assert_eq!(hits, 1, "cell {:?} covered {} times", cell, hits);
+            }
+        }
+        for p in &parts {
+            for cell in p.cells() {
+                prop_assert!(a.contains(&cell), "part leaks {:?}", cell);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_exact_union_when_it_succeeds(a in arb_region(), b in arb_region()) {
+        if let Some(m) = a.try_merge(&b) {
+            let expected: HashSet<Vec<u16>> =
+                cells_of(&a).union(&cells_of(&b)).cloned().collect();
+            prop_assert_eq!(cells_of(&m), expected, "merge must be the exact union");
+        }
+    }
+
+    #[test]
+    fn subset_agrees_with_cells(a in arb_region(), b in arb_region()) {
+        prop_assert_eq!(a.is_subset(&b), cells_of(&a).is_subset(&cells_of(&b)));
+    }
+
+    #[test]
+    fn intersect_then_subtract_is_empty(a in arb_region(), b in arb_region()) {
+        if let Some(i) = a.intersect(&b) {
+            for part in i.subtract(&b) {
+                prop_assert_eq!(part.cardinality(), 0, "i \\ b must be empty, got {:?}", part);
+            }
+        }
+    }
+}

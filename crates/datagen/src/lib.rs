@@ -1,0 +1,30 @@
+//! # mpq-datagen
+//!
+//! Synthetic stand-ins for the ten evaluation datasets of the paper's
+//! Table 2 (nine UCI sets plus KDD-Cup-99). The real files are not
+//! available offline, so each generator reproduces the properties the
+//! experiments actually depend on:
+//!
+//! * the schema *shape* — attribute count, categorical vs binned domains
+//!   and their cardinalities;
+//! * the class structure — number of classes, skewed class priors
+//!   (low-selectivity classes are what make envelopes pay off), and
+//!   class-conditional attribute distributions so models are learnable;
+//! * the training-set sizes of Table 2, and the paper's test-set
+//!   construction: *"repeatedly doubling all available data until the
+//!   total number of rows exceeded 1 million"*, which preserves every
+//!   column's value distribution.
+//!
+//! Two datasets are generated **exactly**, not statistically:
+//! `Parity5+5` (class = parity of five of ten binary attributes) and
+//! `Balance-Scale` (class = comparison of left/right torque), because
+//! their concepts are fully specified by their names.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generate;
+mod specs;
+
+pub use generate::{generate_test, generate_train};
+pub use specs::{table2, AttrSpec, ConceptKind, DatasetSpec};

@@ -1,0 +1,251 @@
+//! The Table 2 dataset catalog.
+
+/// Shape of one attribute in a dataset spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrSpec {
+    /// Unordered categorical attribute with `card` members.
+    Cat {
+        /// Member count.
+        card: u16,
+    },
+    /// Continuous attribute discretized into `bins` ordered bins.
+    Bin {
+        /// Bin count.
+        bins: u16,
+    },
+}
+
+/// How labels relate to attributes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConceptKind {
+    /// Class-conditional attribute distributions with the given prior
+    /// skew exponent (larger → more skew, i.e. more low-selectivity
+    /// classes). The workhorse for most datasets.
+    Synthetic {
+        /// Zipf-like skew exponent for class priors.
+        skew: f64,
+        /// Separation of class-conditional distributions (higher →
+        /// more learnable).
+        separation: f64,
+        /// Fraction of attributes that carry class signal (dataset-level
+        /// informative attributes; the rest are near-uninformative).
+        informative: f64,
+    },
+    /// Class = parity of the five even-indexed binary attributes
+    /// (the UCI `Parity5+5` concept: 5 relevant + 5 irrelevant bits).
+    Parity,
+    /// Class = sign of `left_w·left_d − right_w·right_d` over four
+    /// 5-member ordinal attributes (UCI `Balance-Scale`).
+    BalanceScale,
+}
+
+/// One row of Table 2 plus the schema/concept shape used to synthesize
+/// the data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset name as printed in the paper.
+    pub name: &'static str,
+    /// Training rows (Table 2's "Training size").
+    pub train_size: usize,
+    /// Test rows in millions (Table 2's "Test size in millions").
+    pub test_rows_millions: f64,
+    /// Number of classification classes.
+    pub n_classes: usize,
+    /// Number of clusters the paper's clustering models use.
+    pub n_clusters: usize,
+    /// Attribute shapes.
+    pub attrs: Vec<AttrSpec>,
+    /// Label concept.
+    pub concept: ConceptKind,
+}
+
+impl DatasetSpec {
+    /// Target test-set row count at full scale.
+    pub fn test_rows(&self) -> usize {
+        (self.test_rows_millions * 1_000_000.0) as usize
+    }
+
+    /// True when every attribute is ordered — centroid/model-based
+    /// clustering applies; mixed/categorical datasets use boundary-based
+    /// clustering instead (§3.3 offers all three).
+    pub fn all_ordered(&self) -> bool {
+        self.attrs.iter().all(|a| matches!(a, AttrSpec::Bin { .. }))
+    }
+}
+
+/// The ten datasets of Table 2. Attribute counts are trimmed relative to
+/// the originals (envelope derivation scales linearly in dimensions; the
+/// experiments' phenomena need domain shape, not all 38 Anneal columns),
+/// but cardinalities, class counts and sizes follow the sources.
+pub fn table2() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec {
+            name: "Anneal-U",
+            train_size: 598,
+            test_rows_millions: 1.83,
+            n_classes: 6,
+            n_clusters: 6,
+            attrs: vec![
+                AttrSpec::Cat { card: 4 },
+                AttrSpec::Cat { card: 3 },
+                AttrSpec::Cat { card: 5 },
+                AttrSpec::Cat { card: 3 },
+                AttrSpec::Bin { bins: 6 },
+                AttrSpec::Bin { bins: 6 },
+                AttrSpec::Bin { bins: 8 },
+                AttrSpec::Cat { card: 2 },
+                AttrSpec::Cat { card: 2 },
+                AttrSpec::Bin { bins: 5 },
+            ],
+            concept: ConceptKind::Synthetic { skew: 1.2, separation: 3.5, informative: 0.4 },
+        },
+        DatasetSpec {
+            name: "Balance-Scale",
+            train_size: 416,
+            test_rows_millions: 1.28,
+            n_classes: 3,
+            n_clusters: 5,
+            attrs: vec![
+                AttrSpec::Bin { bins: 5 },
+                AttrSpec::Bin { bins: 5 },
+                AttrSpec::Bin { bins: 5 },
+                AttrSpec::Bin { bins: 5 },
+            ],
+            concept: ConceptKind::BalanceScale,
+        },
+        DatasetSpec {
+            name: "Chess",
+            train_size: 2130,
+            test_rows_millions: 1.63,
+            n_classes: 2,
+            n_clusters: 5,
+            attrs: (0..12)
+                .map(|i| AttrSpec::Cat { card: if i == 5 { 3 } else { 2 } })
+                .collect(),
+            concept: ConceptKind::Synthetic { skew: 0.3, separation: 2.8, informative: 0.4 },
+        },
+        DatasetSpec {
+            name: "Diabetes",
+            train_size: 512,
+            test_rows_millions: 1.57,
+            n_classes: 2,
+            n_clusters: 5,
+            attrs: vec![AttrSpec::Bin { bins: 5 }; 8],
+            concept: ConceptKind::Synthetic { skew: 0.6, separation: 2.8, informative: 0.4 },
+        },
+        DatasetSpec {
+            name: "Hypothyroid",
+            train_size: 1339,
+            test_rows_millions: 1.78,
+            n_classes: 2,
+            n_clusters: 5,
+            attrs: vec![
+                AttrSpec::Cat { card: 2 },
+                AttrSpec::Cat { card: 2 },
+                AttrSpec::Cat { card: 2 },
+                AttrSpec::Cat { card: 2 },
+                AttrSpec::Bin { bins: 8 },
+                AttrSpec::Bin { bins: 8 },
+                AttrSpec::Bin { bins: 8 },
+                AttrSpec::Bin { bins: 6 },
+                AttrSpec::Cat { card: 2 },
+                AttrSpec::Bin { bins: 6 },
+            ],
+            // The real set is ~95% negative: strong skew (priors ∝
+            // 1/k^4.5 give ≈ 96/4 over two classes).
+            concept: ConceptKind::Synthetic { skew: 4.5, separation: 3.2, informative: 0.35 },
+        },
+        DatasetSpec {
+            name: "Letter",
+            train_size: 15000,
+            test_rows_millions: 1.28,
+            n_classes: 26,
+            n_clusters: 26,
+            attrs: vec![AttrSpec::Bin { bins: 5 }; 16],
+            concept: ConceptKind::Synthetic { skew: 0.2, separation: 5.0, informative: 0.4 },
+        },
+        DatasetSpec {
+            name: "Parity5+5",
+            train_size: 100,
+            test_rows_millions: 1.04,
+            n_classes: 2,
+            n_clusters: 5,
+            attrs: vec![AttrSpec::Cat { card: 2 }; 10],
+            concept: ConceptKind::Parity,
+        },
+        DatasetSpec {
+            name: "Shuttle",
+            train_size: 43500,
+            test_rows_millions: 1.85,
+            n_classes: 7,
+            n_clusters: 7,
+            attrs: vec![AttrSpec::Bin { bins: 5 }; 9],
+            // ~80% of the real Shuttle rows are class 1.
+            concept: ConceptKind::Synthetic { skew: 2.6, separation: 4.5, informative: 0.45 },
+        },
+        DatasetSpec {
+            name: "Vehicle",
+            train_size: 564,
+            test_rows_millions: 1.73,
+            n_classes: 4,
+            n_clusters: 5,
+            attrs: vec![AttrSpec::Bin { bins: 5 }; 12],
+            concept: ConceptKind::Synthetic { skew: 0.3, separation: 3.5, informative: 0.4 },
+        },
+        DatasetSpec {
+            name: "Kdd-cup-99",
+            train_size: 100_000,
+            test_rows_millions: 4.72,
+            n_classes: 23,
+            n_clusters: 23,
+            attrs: {
+                let mut v = vec![
+                    AttrSpec::Cat { card: 3 },  // protocol
+                    AttrSpec::Cat { card: 10 }, // service (trimmed)
+                    AttrSpec::Cat { card: 5 },  // flag (trimmed)
+                ];
+                v.extend(std::iter::repeat_n(AttrSpec::Bin { bins: 5 }, 13));
+                v
+            },
+            // smurf + neptune + normal dominate the real data.
+            concept: ConceptKind::Synthetic { skew: 2.8, separation: 5.0, informative: 0.4 },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_ten_datasets_with_paper_sizes() {
+        let specs = table2();
+        assert_eq!(specs.len(), 10);
+        let by_name = |n: &str| specs.iter().find(|s| s.name == n).expect("present");
+        assert_eq!(by_name("Letter").n_classes, 26);
+        assert_eq!(by_name("Letter").train_size, 15000);
+        assert_eq!(by_name("Kdd-cup-99").test_rows(), 4_720_000);
+        assert_eq!(by_name("Parity5+5").train_size, 100);
+        assert_eq!(by_name("Shuttle").n_clusters, 7);
+        assert_eq!(by_name("Chess").n_classes, 2);
+    }
+
+    #[test]
+    fn orderedness_classification() {
+        let specs = table2();
+        let by_name = |n: &str| specs.iter().find(|s| s.name == n).expect("present");
+        assert!(by_name("Letter").all_ordered());
+        assert!(by_name("Balance-Scale").all_ordered());
+        assert!(!by_name("Chess").all_ordered());
+        assert!(!by_name("Anneal-U").all_ordered());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let specs = table2();
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+}

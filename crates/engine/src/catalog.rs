@@ -1,0 +1,282 @@
+//! The catalog: tables, secondary indexes, and mining models as
+//! first-class objects (§2.2's `CREATE MINING MODEL` world).
+//!
+//! Models are registered *trained*; registration precomputes the "atomic"
+//! upper envelopes for every class (§4.2's training-time step) so that
+//! query optimization only performs cheap lookups. Each model carries a
+//! version; cached plans remember the versions they read and are
+//! invalidated when a model is retrained (§4.2's correctness note).
+
+use crate::expr::{ModelId, ModelOracle};
+use crate::index::SecondaryIndex;
+use crate::stats::TableStats;
+use crate::table::Table;
+use crate::EngineError;
+use mpq_core::{DeriveOptions, Envelope, EnvelopeProvider};
+use mpq_types::{AttrId, ClassId, Member, Row};
+use std::sync::Arc;
+
+/// A registered mining model with its precomputed envelopes.
+pub struct ModelEntry {
+    /// Model name (catalog key).
+    pub name: String,
+    /// The trained model.
+    pub model: Arc<dyn EnvelopeProvider + Send + Sync>,
+    /// Per-class upper envelopes, precomputed at registration.
+    pub envelopes: Vec<Envelope>,
+    /// Bumped on retraining; plans record the versions they depended on.
+    pub version: u64,
+    /// Derivation options the envelopes were computed with.
+    pub derive_opts: DeriveOptions,
+}
+
+/// A registered table with statistics and any secondary indexes.
+pub struct TableEntry {
+    /// The table data.
+    pub table: Table,
+    /// Per-column statistics.
+    pub stats: TableStats,
+    /// Secondary indexes, keyed by column.
+    pub indexes: Vec<SecondaryIndex>,
+}
+
+impl TableEntry {
+    /// The single-column index on `attr`, if one exists.
+    pub fn index_on(&self, attr: AttrId) -> Option<&SecondaryIndex> {
+        self.indexes.iter().find(|ix| ix.is_over(&[attr]))
+    }
+
+    /// Position of the index over exactly the given (sorted) column set.
+    pub fn index_over(&self, cols: &[AttrId]) -> Option<usize> {
+        self.indexes.iter().position(|ix| ix.is_over(cols))
+    }
+}
+
+/// The engine catalog.
+#[derive(Default)]
+pub struct Catalog {
+    tables: Vec<TableEntry>,
+    models: Vec<ModelEntry>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a table, building statistics.
+    pub fn add_table(&mut self, table: Table) -> Result<usize, EngineError> {
+        if self.table_by_name(table.name()).is_some() {
+            return Err(EngineError::Duplicate(table.name().to_string()));
+        }
+        let stats = TableStats::build(&table);
+        self.tables.push(TableEntry { table, stats, indexes: Vec::new() });
+        Ok(self.tables.len() - 1)
+    }
+
+    /// Registers a trained model under `name`, precomputing the per-class
+    /// envelopes (§4.2 training-time step).
+    pub fn add_model(
+        &mut self,
+        name: impl Into<String>,
+        model: Arc<dyn EnvelopeProvider + Send + Sync>,
+        opts: DeriveOptions,
+    ) -> Result<ModelId, EngineError> {
+        let name = name.into();
+        if self.model_by_name(&name).is_some() {
+            return Err(EngineError::Duplicate(name));
+        }
+        let envelopes = model.envelopes(&opts);
+        self.models.push(ModelEntry { name, model, envelopes, version: 1, derive_opts: opts });
+        Ok(self.models.len() - 1)
+    }
+
+    /// Replaces a model's contents (retraining): envelopes are recomputed
+    /// and the version bumped, invalidating dependent cached plans.
+    pub fn retrain_model(
+        &mut self,
+        id: ModelId,
+        model: Arc<dyn EnvelopeProvider + Send + Sync>,
+    ) -> Result<(), EngineError> {
+        let entry = self
+            .models
+            .get_mut(id)
+            .ok_or_else(|| EngineError::UnknownModel(format!("#{id}")))?;
+        entry.envelopes = model.envelopes(&entry.derive_opts);
+        entry.model = model;
+        entry.version += 1;
+        Ok(())
+    }
+
+    /// Looks up a table by name.
+    pub fn table_by_name(&self, name: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t.table.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Looks up a model by name.
+    pub fn model_by_name(&self, name: &str) -> Option<ModelId> {
+        self.models.iter().position(|m| m.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The table entry at `id`.
+    pub fn table(&self, id: usize) -> &TableEntry {
+        &self.tables[id]
+    }
+
+    /// Mutable table entry (index creation).
+    pub fn table_mut(&mut self, id: usize) -> &mut TableEntry {
+        &mut self.tables[id]
+    }
+
+    /// The model entry at `id`.
+    pub fn model(&self, id: ModelId) -> &ModelEntry {
+        &self.models[id]
+    }
+
+    /// Number of registered models.
+    pub fn n_models(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Number of registered tables.
+    pub fn n_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Resolves a class label of a model.
+    pub fn resolve_class(&self, model: ModelId, label: &str) -> Result<ClassId, EngineError> {
+        let entry = self.model(model);
+        entry.model.class_by_name(label).ok_or_else(|| EngineError::UnknownClass {
+            model: entry.name.clone(),
+            label: label.to_string(),
+        })
+    }
+
+    /// Creates a secondary (possibly composite) index over `columns` of
+    /// `table_id` if an identical one does not already exist.
+    pub fn create_index(&mut self, table_id: usize, columns: &[AttrId]) {
+        let mut cols = columns.to_vec();
+        cols.sort_unstable();
+        cols.dedup();
+        let entry = &mut self.tables[table_id];
+        if entry.index_over(&cols).is_none() {
+            let ix = SecondaryIndex::build(&entry.table, &cols);
+            entry.indexes.push(ix);
+        }
+    }
+
+    /// Drops the index over exactly `columns`, if present.
+    pub fn drop_index(&mut self, table_id: usize, columns: &[AttrId]) {
+        let mut cols = columns.to_vec();
+        cols.sort_unstable();
+        cols.dedup();
+        let entry = &mut self.tables[table_id];
+        if let Some(i) = entry.index_over(&cols) {
+            entry.indexes.remove(i);
+        }
+    }
+}
+
+impl ModelOracle for Catalog {
+    fn predict(&self, model: ModelId, row: &Row) -> ClassId {
+        self.models[model].model.predict(row)
+    }
+
+    fn class_for_member(&self, model: ModelId, column: AttrId, m: Member) -> Option<ClassId> {
+        // Match by label: the column member's name against the model's
+        // class names. Only meaningful for categorical columns.
+        let entry = &self.models[model];
+        let schema = entry.model.schema();
+        let label = schema.attr(column).domain.member_label(m);
+        entry.model.class_by_name(&label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_core::paper_table1_model;
+    use mpq_types::{Dataset, Value};
+
+    fn catalog_with_model() -> (Catalog, ModelId) {
+        let mut cat = Catalog::new();
+        let nb = paper_table1_model();
+        use mpq_models::Classifier as _;
+        let schema = nb.schema().clone();
+        let mut ds = Dataset::new(schema);
+        ds.push_raw(&[Value::from("m0"), Value::from("m1")]).unwrap();
+        cat.add_table(Table::from_dataset("t", &ds)).unwrap();
+        let id = cat.add_model("risk", Arc::new(nb), DeriveOptions::default()).unwrap();
+        (cat, id)
+    }
+
+    #[test]
+    fn registration_precomputes_envelopes() {
+        let (cat, id) = catalog_with_model();
+        let entry = cat.model(id);
+        assert_eq!(entry.envelopes.len(), 3, "one envelope per class");
+        assert_eq!(entry.version, 1);
+        assert_eq!(cat.model_by_name("RISK"), Some(id), "case-insensitive lookup");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let (mut cat, _) = catalog_with_model();
+        let nb = paper_table1_model();
+        assert!(matches!(
+            cat.add_model("risk", Arc::new(nb), DeriveOptions::default()),
+            Err(EngineError::Duplicate(_))
+        ));
+        use mpq_models::Classifier as _;
+        let ds = Dataset::new(paper_table1_model().schema().clone());
+        assert!(matches!(
+            cat.add_table(Table::from_dataset("T", &ds)),
+            Err(EngineError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn retrain_bumps_version_and_recomputes() {
+        let (mut cat, id) = catalog_with_model();
+        let before = cat.model(id).envelopes.len();
+        cat.retrain_model(id, Arc::new(paper_table1_model())).unwrap();
+        assert_eq!(cat.model(id).version, 2);
+        assert_eq!(cat.model(id).envelopes.len(), before);
+        assert!(cat.retrain_model(99, Arc::new(paper_table1_model())).is_err());
+    }
+
+    #[test]
+    fn class_resolution() {
+        let (cat, id) = catalog_with_model();
+        assert_eq!(cat.resolve_class(id, "c2").unwrap(), ClassId(1));
+        assert!(cat.resolve_class(id, "nope").is_err());
+    }
+
+    #[test]
+    fn oracle_predicts_and_maps_members() {
+        let (cat, id) = catalog_with_model();
+        // Table 1: cell (m0, m1) belongs to c1.
+        assert_eq!(cat.predict(id, &[0, 1]), ClassId(0));
+        // d0's members are named m0..m3; none matches a class name.
+        assert_eq!(cat.class_for_member(id, AttrId(0), 0), None);
+    }
+
+    #[test]
+    fn index_creation_is_idempotent() {
+        let (mut cat, _) = catalog_with_model();
+        cat.create_index(0, &[AttrId(0)]);
+        cat.create_index(0, &[AttrId(0)]);
+        assert_eq!(cat.table(0).indexes.len(), 1);
+        assert!(cat.table(0).index_on(AttrId(0)).is_some());
+        assert!(cat.table(0).index_on(AttrId(1)).is_none());
+        // Composite indexes are distinct objects from their singletons.
+        cat.create_index(0, &[AttrId(1), AttrId(0)]);
+        assert_eq!(cat.table(0).indexes.len(), 2);
+        assert!(cat.table(0).index_over(&[AttrId(0), AttrId(1)]).is_some());
+        cat.drop_index(0, &[AttrId(0), AttrId(1)]);
+        assert_eq!(cat.table(0).indexes.len(), 1);
+        cat.drop_index(0, &[AttrId(0)]);
+        assert!(cat.table(0).indexes.is_empty());
+    }
+}

@@ -1,0 +1,287 @@
+//! DDL execution: `CREATE MINING MODEL` (§2.2's model-as-catalog-object
+//! world, with training driven from SQL).
+//!
+//! Classification models are trained on a table with a designated label
+//! column. The registered model is a [`ProjectedModel`]: it carries the
+//! *full* table schema, ignores the label column at prediction time, and
+//! lifts the inner model's envelopes by leaving the label dimension
+//! unconstrained — so prediction joins and envelope rewriting against
+//! the same table keep working without any column mapping.
+
+use crate::sql::ModelAlgorithm;
+use crate::{Catalog, EngineError};
+use mpq_core::{DeriveOptions, Envelope, EnvelopeProvider};
+use mpq_models::{
+    Classifier, DecisionTree, Gmm, GmmParams, KMeans, KMeansParams, NaiveBayes, RuleSet,
+    RuleSetParams, TreeParams,
+};
+use mpq_types::{AttrDomain, AttrId, ClassId, Dataset, LabeledDataset, Row, Schema};
+use std::sync::Arc;
+
+/// A model trained on a projection of a table (all columns except the
+/// label), presented against the full table schema.
+pub struct ProjectedModel {
+    full_schema: Schema,
+    /// Index of the ignored (label) column in the full schema.
+    label: usize,
+    inner: Arc<dyn EnvelopeProvider + Send + Sync>,
+}
+
+impl ProjectedModel {
+    /// Wraps `inner` (trained on the schema without column `label`).
+    pub fn new(
+        full_schema: Schema,
+        label: AttrId,
+        inner: Arc<dyn EnvelopeProvider + Send + Sync>,
+    ) -> ProjectedModel {
+        debug_assert_eq!(inner.schema().len() + 1, full_schema.len());
+        ProjectedModel { full_schema, label: label.index(), inner }
+    }
+
+    fn project(&self, row: &Row, buf: &mut Vec<u16>) {
+        buf.clear();
+        buf.extend(row.iter().enumerate().filter(|(d, _)| *d != self.label).map(|(_, &m)| m));
+    }
+}
+
+impl Classifier for ProjectedModel {
+    fn schema(&self) -> &Schema {
+        &self.full_schema
+    }
+
+    fn n_classes(&self) -> usize {
+        self.inner.n_classes()
+    }
+
+    fn class_name(&self, c: ClassId) -> &str {
+        self.inner.class_name(c)
+    }
+
+    fn predict(&self, row: &Row) -> ClassId {
+        let mut buf = Vec::with_capacity(row.len() - 1);
+        self.project(row, &mut buf);
+        self.inner.predict(&buf)
+    }
+}
+
+impl EnvelopeProvider for ProjectedModel {
+    fn envelope(&self, class: ClassId, opts: &DeriveOptions) -> Envelope {
+        let inner_env = self.inner.envelope(class, opts);
+        // Lift each region into the full schema: unconstrained on the
+        // label dimension.
+        let label_dim = {
+            let attr = &self.full_schema.attrs()[self.label];
+            mpq_core::DimSet::full(attr.domain.cardinality(), attr.domain.is_ordered())
+        };
+        let regions = inner_env
+            .regions
+            .into_iter()
+            .map(|r| {
+                let mut dims: Vec<mpq_core::DimSet> =
+                    (0..r.n_dims()).map(|d| r.dim(d).clone()).collect();
+                dims.insert(self.label, label_dim.clone());
+                mpq_core::Region::from_dims(dims)
+            })
+            .collect();
+        Envelope { regions, ..inner_env }
+    }
+}
+
+/// Builds the labeled training view of a table: all columns except
+/// `label` become features; `label` (must be categorical) provides the
+/// class names.
+pub fn labeled_view(catalog: &Catalog, table: usize, label: AttrId) -> Result<LabeledDataset, EngineError> {
+    let t = &catalog.table(table).table;
+    let schema = t.schema();
+    let AttrDomain::Categorical { members } = &schema.attr(label).domain else {
+        return Err(EngineError::SchemaMismatch {
+            detail: format!("label column {} must be categorical", schema.attr(label).name),
+        });
+    };
+    let class_names = members.clone();
+    let feature_attrs: Vec<_> = schema
+        .iter()
+        .filter(|(id, _)| *id != label)
+        .map(|(_, a)| a.clone())
+        .collect();
+    let fschema = Schema::new(feature_attrs)
+        .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })?;
+    let mut ds = Dataset::new(fschema);
+    let mut labels = Vec::with_capacity(t.n_rows());
+    let mut buf = Vec::with_capacity(schema.len() - 1);
+    for r in 0..t.n_rows() as u32 {
+        buf.clear();
+        for d in 0..schema.len() {
+            if d == label.index() {
+                continue;
+            }
+            buf.push(t.cell(r, d));
+        }
+        ds.push_encoded(&buf)
+            .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })?;
+        labels.push(ClassId(t.cell(r, label.index())));
+    }
+    LabeledDataset::new(ds, labels, class_names)
+        .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })
+}
+
+/// Trains the requested model and registers it in the catalog under
+/// `name`, returning the model id and its class count.
+pub fn create_model(
+    catalog: &mut Catalog,
+    name: &str,
+    table: usize,
+    label: Option<AttrId>,
+    clusters: Option<usize>,
+    algorithm: ModelAlgorithm,
+    derive_opts: DeriveOptions,
+) -> Result<(usize, usize), EngineError> {
+    let full_schema = catalog.table(table).table.schema().clone();
+    let model: Arc<dyn EnvelopeProvider + Send + Sync> = match algorithm {
+        ModelAlgorithm::DecisionTree | ModelAlgorithm::NaiveBayes | ModelAlgorithm::Rules => {
+            let label = label.expect("parser guarantees a label for classification");
+            let train = labeled_view(catalog, table, label)?;
+            let inner: Arc<dyn EnvelopeProvider + Send + Sync> = match algorithm {
+                ModelAlgorithm::DecisionTree => Arc::new(
+                    DecisionTree::train(&train, TreeParams::default())
+                        .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })?,
+                ),
+                ModelAlgorithm::NaiveBayes => Arc::new(
+                    NaiveBayes::train(&train)
+                        .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })?,
+                ),
+                _ => Arc::new(
+                    RuleSet::train(&train, RuleSetParams::default())
+                        .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })?,
+                ),
+            };
+            Arc::new(ProjectedModel::new(full_schema, label, inner))
+        }
+        ModelAlgorithm::KMeans => {
+            let k = clusters.expect("parser guarantees a cluster count");
+            let data = table_dataset(catalog, table);
+            Arc::new(
+                KMeans::train_encoded(&data, KMeansParams { k, ..Default::default() })
+                    .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })?,
+            )
+        }
+        ModelAlgorithm::Gmm => {
+            let k = clusters.expect("parser guarantees a cluster count");
+            let data = table_dataset(catalog, table);
+            Arc::new(
+                Gmm::train_encoded(&data, GmmParams { k, ..Default::default() })
+                    .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })?,
+            )
+        }
+    };
+    let n_classes = model.n_classes();
+    let id = catalog.add_model(name.to_string(), model, derive_opts)?;
+    Ok((id, n_classes))
+}
+
+fn table_dataset(catalog: &Catalog, table: usize) -> Dataset {
+    let t = &catalog.table(table).table;
+    let mut ds = Dataset::new(t.schema().clone());
+    for r in 0..t.n_rows() as u32 {
+        ds.push_encoded(&t.row(r)).expect("stored rows are valid");
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Table;
+    use mpq_types::Attribute;
+
+    fn catalog_with_training_table() -> Catalog {
+        let schema = Schema::new(vec![
+            Attribute::new("x", AttrDomain::binned(vec![5.0]).unwrap()),
+            Attribute::new("f", AttrDomain::categorical(["a", "b"])),
+            Attribute::new("outcome", AttrDomain::categorical(["lo", "hi"])),
+        ])
+        .unwrap();
+        let mut ds = Dataset::new(schema);
+        for i in 0..200u16 {
+            let x = i % 2;
+            let f = (i / 2) % 2;
+            // outcome = hi iff x high and f = 'b'.
+            let y = u16::from(x == 1 && f == 1);
+            ds.push_encoded(&[x, f, y]).unwrap();
+        }
+        let mut cat = Catalog::new();
+        cat.add_table(Table::from_dataset("t", &ds)).unwrap();
+        cat
+    }
+
+    #[test]
+    fn labeled_view_splits_features_and_labels() {
+        let cat = catalog_with_training_table();
+        let label = cat.table(0).table.schema().attr_by_name("outcome").unwrap();
+        let view = labeled_view(&cat, 0, label).unwrap();
+        assert_eq!(view.data.schema().len(), 2);
+        assert_eq!(view.n_classes(), 2);
+        assert_eq!(view.class_names, vec!["lo".to_string(), "hi".to_string()]);
+        assert_eq!(view.len(), 200);
+    }
+
+    #[test]
+    fn labeled_view_rejects_numeric_labels() {
+        let cat = catalog_with_training_table();
+        let x = cat.table(0).table.schema().attr_by_name("x").unwrap();
+        assert!(labeled_view(&cat, 0, x).is_err());
+    }
+
+    #[test]
+    fn projected_model_predicts_against_full_rows() {
+        let mut cat = catalog_with_training_table();
+        let label = cat.table(0).table.schema().attr_by_name("outcome").unwrap();
+        let (id, classes) = create_model(
+            &mut cat,
+            "m",
+            0,
+            Some(label),
+            None,
+            ModelAlgorithm::DecisionTree,
+            DeriveOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(classes, 2);
+        let model = &cat.model(id).model;
+        // Full rows include the (ignored) label column.
+        assert_eq!(model.predict(&[1, 1, 0]), ClassId(1), "x hi + f=b -> hi");
+        assert_eq!(model.predict(&[0, 1, 1]), ClassId(0));
+        // Envelopes are lifted over the full schema: they never constrain
+        // the label column.
+        let env = &cat.model(id).envelopes[1];
+        assert!(env.matches(&[1, 1, 0]) && env.matches(&[1, 1, 1]));
+        assert!(!env.matches(&[0, 0, 0]));
+    }
+
+    #[test]
+    fn clustering_ddl_trains_on_all_columns() {
+        let schema = Schema::new(vec![
+            Attribute::new("x", AttrDomain::binned(vec![2.0, 4.0]).unwrap()),
+            Attribute::new("y", AttrDomain::binned(vec![2.0, 4.0]).unwrap()),
+        ])
+        .unwrap();
+        let mut ds = Dataset::new(schema);
+        for i in 0..100u16 {
+            ds.push_encoded(&[(i % 3), ((i / 3) % 3)]).unwrap();
+        }
+        let mut cat = Catalog::new();
+        cat.add_table(Table::from_dataset("pts", &ds)).unwrap();
+        let (id, k) = create_model(
+            &mut cat,
+            "c",
+            0,
+            None,
+            Some(3),
+            ModelAlgorithm::KMeans,
+            DeriveOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(k, 3);
+        assert_eq!(cat.model(id).envelopes.len(), 3);
+    }
+}

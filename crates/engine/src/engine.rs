@@ -1,0 +1,290 @@
+//! The engine facade: SQL in, rows + metrics out, with a plan cache that
+//! is invalidated when a referenced mining model is retrained (§4.2's
+//! correctness requirement for content-dependent plans).
+
+use crate::catalog::Catalog;
+use crate::display::plan_to_string;
+use crate::exec::{execute, ExecMetrics};
+use crate::expr::{Expr, ModelId};
+use crate::optimizer::{choose_plan, OptimizerOptions, Plan};
+use crate::rewrite::rewrite_mining;
+use crate::sql::{parse, parse_statement, Statement};
+use crate::table::RowId;
+use crate::EngineError;
+use mpq_core::{DeriveOptions, EnvelopeProvider};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Result of running one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Matching row ids (empty for EXPLAIN).
+    pub rows: Vec<RowId>,
+    /// Execution metrics (zeroed for EXPLAIN).
+    pub metrics: ExecMetrics,
+    /// EXPLAIN text of the executed (or explained) plan.
+    pub plan: String,
+    /// Whether the physical plan differs from a plain full scan — the
+    /// paper's "plan changed" criterion.
+    pub plan_changed: bool,
+    /// Whether the plan came from the cache.
+    pub cached_plan: bool,
+}
+
+/// Result of [`Engine::execute_sql`].
+#[derive(Debug)]
+pub enum StatementOutcome {
+    /// A SELECT ran (or was explained).
+    Query(QueryOutcome),
+    /// A mining model was trained and registered.
+    ModelCreated {
+        /// The model's catalog name.
+        name: String,
+        /// Its catalog id.
+        model: ModelId,
+        /// Number of output classes/clusters.
+        n_classes: usize,
+    },
+}
+
+/// A SQL-facing engine over a [`Catalog`].
+pub struct Engine {
+    catalog: Catalog,
+    opts: OptimizerOptions,
+    plan_cache: HashMap<String, Plan>,
+}
+
+impl Engine {
+    /// Wraps a catalog with default optimizer options.
+    pub fn new(catalog: Catalog) -> Engine {
+        Engine { catalog, opts: OptimizerOptions::default(), plan_cache: HashMap::new() }
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog (table/model registration, index
+    /// creation). Clears the plan cache — DDL invalidates plans.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        self.plan_cache.clear();
+        &mut self.catalog
+    }
+
+    /// Current optimizer options.
+    pub fn options(&self) -> &OptimizerOptions {
+        &self.opts
+    }
+
+    /// Replaces optimizer options (clears the plan cache).
+    pub fn set_options(&mut self, opts: OptimizerOptions) {
+        self.opts = opts;
+        self.plan_cache.clear();
+    }
+
+    /// Enables/disables envelope rewriting — the experiments' switch
+    /// between the optimized path and the black-box baseline.
+    pub fn set_use_envelopes(&mut self, on: bool) {
+        self.opts.use_envelopes = on;
+        self.plan_cache.clear();
+    }
+
+    /// Registers a trained model (training-time envelope precomputation
+    /// happens inside the catalog).
+    pub fn register_model(
+        &mut self,
+        name: impl Into<String>,
+        model: Arc<dyn EnvelopeProvider + Send + Sync>,
+        opts: DeriveOptions,
+    ) -> Result<ModelId, EngineError> {
+        self.plan_cache.clear();
+        self.catalog.add_model(name, model, opts)
+    }
+
+    /// Retrains a model in place; dependent cached plans become invalid
+    /// via the version check.
+    pub fn retrain_model(
+        &mut self,
+        id: ModelId,
+        model: Arc<dyn EnvelopeProvider + Send + Sync>,
+    ) -> Result<(), EngineError> {
+        self.catalog.retrain_model(id, model)
+    }
+
+    /// Plans a predicate for a table (parse-free entry point used by the
+    /// benchmark harness).
+    pub fn plan_predicate(&mut self, table: usize, predicate: Expr) -> Plan {
+        let schema = self.catalog.table(table).table.schema().clone();
+        let rewritten = if self.opts.use_envelopes {
+            rewrite_mining(predicate, &schema, &self.catalog)
+        } else {
+            predicate.normalize(&schema)
+        };
+        choose_plan(rewritten, table, &schema, &self.catalog, &self.opts)
+    }
+
+    /// Runs (or explains) one SQL query.
+    pub fn query(&mut self, sql: &str) -> Result<QueryOutcome, EngineError> {
+        let parsed = parse(sql, &self.catalog)?;
+        let cache_key = format!("{}|env={}", sql.trim(), self.opts.use_envelopes);
+        let (plan, cached) = match self.plan_cache.get(&cache_key) {
+            Some(p) if self.plan_is_valid(p) => (p.clone(), true),
+            _ => {
+                let plan = self.plan_predicate(parsed.table, parsed.predicate.clone());
+                self.plan_cache.insert(cache_key, plan.clone());
+                (plan, false)
+            }
+        };
+        let schema = self.catalog.table(parsed.table).table.schema().clone();
+        let plan_text = plan_to_string(&plan, &schema, &self.catalog);
+        let plan_changed = plan.access.changed_from_scan();
+        if parsed.explain {
+            return Ok(QueryOutcome {
+                rows: Vec::new(),
+                metrics: ExecMetrics::default(),
+                plan: plan_text,
+                plan_changed,
+                cached_plan: cached,
+            });
+        }
+        let result = execute(&plan, &self.catalog);
+        Ok(QueryOutcome {
+            rows: result.rows,
+            metrics: result.metrics,
+            plan: plan_text,
+            plan_changed,
+            cached_plan: cached,
+        })
+    }
+
+    /// Runs one statement: a query, or DDL like `CREATE MINING MODEL m
+    /// ON t PREDICT label USING decision_tree`. Training happens here;
+    /// envelope precomputation happens at registration (§4.2).
+    pub fn execute_sql(&mut self, sql: &str) -> Result<StatementOutcome, EngineError> {
+        match parse_statement(sql, &self.catalog)? {
+            Statement::Select(_) => Ok(StatementOutcome::Query(self.query(sql)?)),
+            Statement::CreateModel { name, table, label, clusters, algorithm } => {
+                self.plan_cache.clear();
+                let (model, n_classes) = crate::ddl::create_model(
+                    &mut self.catalog,
+                    &name,
+                    table,
+                    label,
+                    clusters,
+                    algorithm,
+                    DeriveOptions::default(),
+                )?;
+                Ok(StatementOutcome::ModelCreated { name, model, n_classes })
+            }
+        }
+    }
+
+    fn plan_is_valid(&self, plan: &Plan) -> bool {
+        plan.model_versions
+            .iter()
+            .all(|(m, v)| self.catalog.model(*m).version == *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+    use mpq_core::paper_table1_model;
+    use mpq_models::Classifier as _;
+    use mpq_types::{AttrId, Dataset};
+
+    /// Engine with the Table-1 model applied to a table whose rows are
+    /// the 12 grid cells, each duplicated a skewed number of times.
+    fn engine() -> Engine {
+        let nb = paper_table1_model();
+        let schema = nb.schema().clone();
+        let mut ds = Dataset::new(schema);
+        for m0 in 0..4u16 {
+            for m1 in 0..3u16 {
+                let copies = 1 + (m0 as usize * 3 + m1 as usize) * 7;
+                for _ in 0..copies {
+                    ds.push_encoded(&[m0, m1]).unwrap();
+                }
+            }
+        }
+        let mut cat = Catalog::new();
+        let t = cat.add_table(Table::from_dataset("t", &ds)).unwrap();
+        cat.create_index(t, &[AttrId(0)]);
+        cat.create_index(t, &[AttrId(1)]);
+        cat.add_model("m", Arc::new(nb), mpq_core::DeriveOptions::default()).unwrap();
+        Engine::new(cat)
+    }
+
+    #[test]
+    fn mining_query_matches_black_box_baseline() {
+        let mut e = engine();
+        for label in ["c1", "c2", "c3"] {
+            let sql = format!("SELECT * FROM t WHERE PREDICT(m) = '{label}'");
+            let optimized = e.query(&sql).unwrap();
+            e.set_use_envelopes(false);
+            let baseline = e.query(&sql).unwrap();
+            e.set_use_envelopes(true);
+            assert_eq!(optimized.rows, baseline.rows, "row sets must agree for {label}");
+            assert!(
+                optimized.metrics.model_invocations <= baseline.metrics.model_invocations,
+                "envelopes must not increase model invocations"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_produces_plan_without_execution() {
+        let mut e = engine();
+        let out = e.query("EXPLAIN SELECT * FROM t WHERE PREDICT(m) = 'c1'").unwrap();
+        assert!(out.rows.is_empty());
+        assert_eq!(out.metrics.rows_examined, 0);
+        assert!(out.plan.contains("residual"), "plan text: {}", out.plan);
+    }
+
+    #[test]
+    fn plan_cache_hits_and_invalidates_on_retrain() {
+        let mut e = engine();
+        let sql = "SELECT COUNT(*) FROM t WHERE PREDICT(m) = 'c1'";
+        let first = e.query(sql).unwrap();
+        assert!(!first.cached_plan);
+        let second = e.query(sql).unwrap();
+        assert!(second.cached_plan, "same SQL should hit the plan cache");
+        // Retrain: version bump must invalidate.
+        e.retrain_model(0, Arc::new(paper_table1_model())).unwrap();
+        let third = e.query(sql).unwrap();
+        assert!(!third.cached_plan, "retrained model must invalidate the cached plan");
+        assert_eq!(first.rows, third.rows);
+    }
+
+    #[test]
+    fn envelope_toggle_changes_plan_not_results() {
+        let mut e = engine();
+        let sql = "SELECT * FROM t WHERE PREDICT(m) = 'c3'";
+        let on = e.query(sql).unwrap();
+        e.set_use_envelopes(false);
+        let off = e.query(sql).unwrap();
+        assert_eq!(on.rows, off.rows);
+        // Without envelopes, a bare mining predicate can only full-scan.
+        assert!(!off.plan_changed);
+    }
+
+    #[test]
+    fn count_queries_work() {
+        let mut e = engine();
+        let out = e.query("SELECT COUNT(*) FROM t WHERE d0 = 'm0'").unwrap();
+        let expected: u64 = (0..3).map(|m1| 1 + (m1 as u64) * 7).sum();
+        assert_eq!(out.metrics.output_rows, expected);
+    }
+
+    #[test]
+    fn ddl_clears_plan_cache() {
+        let mut e = engine();
+        let sql = "SELECT * FROM t WHERE d0 = 'm0'";
+        e.query(sql).unwrap();
+        let _ = e.catalog_mut(); // any DDL touch
+        let out = e.query(sql).unwrap();
+        assert!(!out.cached_plan);
+    }
+}

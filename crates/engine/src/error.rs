@@ -1,0 +1,68 @@
+//! Engine error type.
+
+/// Errors surfaced by the relational engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Unknown table name.
+    UnknownTable(String),
+    /// Unknown mining model name.
+    UnknownModel(String),
+    /// Unknown column name.
+    UnknownColumn(String),
+    /// Unknown class label for a model.
+    UnknownClass {
+        /// The model referenced.
+        model: String,
+        /// The label that failed to resolve.
+        label: String,
+    },
+    /// The model's schema does not match the table it is applied to.
+    SchemaMismatch {
+        /// Explanation.
+        detail: String,
+    },
+    /// SQL lexing/parsing failure.
+    Parse {
+        /// Byte offset in the input.
+        at: usize,
+        /// Explanation.
+        detail: String,
+    },
+    /// A value in SQL could not be encoded against the column domain.
+    BadValue(String),
+    /// Duplicate catalog object.
+    Duplicate(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownTable(n) => write!(f, "unknown table {n:?}"),
+            EngineError::UnknownModel(n) => write!(f, "unknown mining model {n:?}"),
+            EngineError::UnknownColumn(n) => write!(f, "unknown column {n:?}"),
+            EngineError::UnknownClass { model, label } => {
+                write!(f, "model {model:?} has no class {label:?}")
+            }
+            EngineError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+            EngineError::Parse { at, detail } => write!(f, "parse error at byte {at}: {detail}"),
+            EngineError::BadValue(v) => write!(f, "cannot encode value: {v}"),
+            EngineError::Duplicate(n) => write!(f, "catalog object {n:?} already exists"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_offender() {
+        assert!(EngineError::UnknownTable("t".into()).to_string().contains("\"t\""));
+        assert!(EngineError::Parse { at: 7, detail: "x".into() }.to_string().contains('7'));
+        assert!(EngineError::UnknownClass { model: "m".into(), label: "l".into() }
+            .to_string()
+            .contains("\"l\""));
+    }
+}

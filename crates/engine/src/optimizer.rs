@@ -1,0 +1,564 @@
+//! Cost-based access-path selection.
+//!
+//! The decision the paper's experiments exercise: given a (possibly
+//! envelope-augmented) predicate, choose between a **full scan**, a
+//! **single index seek** on a sargable conjunct, a **multi-index union**
+//! over a disjunctive conjunct (Mohan et al.'s single-table multi-index
+//! access), or a **constant scan** when the predicate is unsatisfiable.
+//! Selectivities come from exact member histograms; unclustered fetches
+//! are costed with the Cardenas distinct-page estimate, which is what
+//! makes low-selectivity envelope predicates win and high-selectivity
+//! ones lose (Figure 6's shape).
+
+use crate::catalog::Catalog;
+use crate::expr::{Atom, AtomPred, Expr, MiningPred, ModelId};
+use crate::stats::TableStats;
+use mpq_types::{AttrId, Schema};
+
+/// Tunable cost constants, in units of one sequential page read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// CPU cost of evaluating the residual predicate on one row.
+    pub cpu_row: f64,
+    /// Cost of one black-box model invocation (applying the mining model
+    /// to a row). The paper notes reductions would grow if this is high.
+    pub model_invoke: f64,
+    /// Fixed cost of opening an index (root-to-leaf traversal).
+    pub index_seek: f64,
+    /// Random-fetch penalty multiplier for unclustered heap page reads.
+    pub random_page: f64,
+    /// Pretended row width in bytes for page accounting. The stored
+    /// representation is dictionary-compressed members (2 bytes/column);
+    /// the paper's tables hold the original values (strings, floats,
+    /// ~tens of bytes per column), and it is that width that makes scans
+    /// page-bound. 32 bytes/column places the scan-vs-seek crossover
+    /// near 10% selectivity — where Figure 6 observes it.
+    pub assumed_row_bytes_per_column: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            cpu_row: 0.002,
+            model_invoke: 0.01,
+            index_seek: 1.5,
+            random_page: 1.2,
+            assumed_row_bytes_per_column: crate::table::ASSUMED_COLUMN_BYTES,
+        }
+    }
+}
+
+/// Optimizer behavior switches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerOptions {
+    /// Whether mining predicates are rewritten with upper envelopes at
+    /// all — the experiment's treatment/control switch.
+    pub use_envelopes: bool,
+    /// Maximum disjuncts a conjunct-OR may have before the optimizer
+    /// refuses index union (the paper's "complex AND/OR expressions
+    /// degenerate to sequential scan" behavior, made explicit).
+    pub max_union_disjuncts: usize,
+    /// Cost constants.
+    pub cost: CostModel,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions { use_envelopes: true, max_union_disjuncts: 640, cost: CostModel::default() }
+    }
+}
+
+/// One index probe: which index of the table entry, and the per-column
+/// sargable predicates pushed into it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Seek {
+    /// Position within [`crate::TableEntry`]'s index list.
+    pub index: usize,
+    /// Predicates pushed into the index, one per constrained column.
+    pub preds: Vec<(AttrId, AtomPred)>,
+    /// True when the pushed predicates imply the *entire* disjunct this
+    /// seek serves: fetched rows then already satisfy the disjunction and
+    /// only the plan's `skip_or` residual (other conjuncts) needs
+    /// evaluation — the covering-index fast path.
+    pub exact: bool,
+}
+
+/// The chosen access path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Read every heap page.
+    FullScan,
+    /// The predicate is unsatisfiable; produce zero rows without touching
+    /// the table.
+    ConstantScan,
+    /// Probe one (possibly composite) secondary index.
+    IndexSeek(Seek),
+    /// Probe several indexes and union the row ids (one seek per
+    /// disjunct of a conjunct-OR — Mohan et al.'s multi-index access).
+    IndexUnion(Vec<Seek>),
+}
+
+impl AccessPath {
+    /// Whether this is something other than the default full scan — the
+    /// paper's "plan changed" criterion (index chosen or constant scan).
+    pub fn changed_from_scan(&self) -> bool {
+        !matches!(self, AccessPath::FullScan)
+    }
+}
+
+/// A finished physical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Table scanned/probed.
+    pub table: usize,
+    /// The access path.
+    pub access: AccessPath,
+    /// Predicate evaluated on every fetched row (always the full,
+    /// semantics-preserving predicate).
+    pub residual: Expr,
+    /// For [`AccessPath::IndexUnion`]: the residual with the union's OR
+    /// conjunct removed — sufficient for rows fetched by an *exact* seek
+    /// (their disjunct already holds).
+    pub skip_or: Option<Expr>,
+    /// Estimated total cost (page units).
+    pub est_cost: f64,
+    /// Estimated output selectivity.
+    pub est_selectivity: f64,
+    /// Model versions this plan depended on (cache invalidation).
+    pub model_versions: Vec<(ModelId, u64)>,
+}
+
+/// Estimates the selectivity of `expr` under attribute independence.
+pub fn estimate_selectivity(expr: &Expr, stats: &TableStats, catalog: &Catalog) -> f64 {
+    match expr {
+        Expr::Const(b) => {
+            if *b {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Expr::Atom(a) => atom_selectivity(a, stats),
+        Expr::And(ps) => ps.iter().map(|p| estimate_selectivity(p, stats, catalog)).product(),
+        Expr::Or(ps) => {
+            1.0 - ps
+                .iter()
+                .map(|p| 1.0 - estimate_selectivity(p, stats, catalog))
+                .product::<f64>()
+        }
+        Expr::Not(p) => 1.0 - estimate_selectivity(p, stats, catalog),
+        Expr::Mining(mp) => mining_selectivity(mp, catalog),
+    }
+}
+
+fn atom_selectivity(a: &Atom, stats: &TableStats) -> f64 {
+    let col = stats.column(a.attr.index());
+    match &a.pred {
+        AtomPred::Eq(m) => col.eq_selectivity(*m),
+        AtomPred::Range { lo, hi } => col.range_selectivity(*lo, *hi),
+        AtomPred::In(s) => col.set_selectivity(s.iter()),
+    }
+}
+
+/// Without a histogram on predictions, assume classes are uniform — the
+/// envelope conjunct usually dominates the estimate anyway.
+fn mining_selectivity(mp: &MiningPred, catalog: &Catalog) -> f64 {
+    match mp {
+        MiningPred::ClassEq { model, .. } => 1.0 / catalog.model(*model).model.n_classes() as f64,
+        MiningPred::ClassIn { model, classes } => {
+            (classes.len() as f64 / catalog.model(*model).model.n_classes() as f64).min(1.0)
+        }
+        MiningPred::ModelsAgree { m1, .. } => {
+            1.0 / catalog.model(*m1).model.n_classes() as f64
+        }
+        MiningPred::ClassEqColumn { model, .. } => {
+            1.0 / catalog.model(*model).model.n_classes() as f64
+        }
+    }
+}
+
+/// Chooses the cheapest access path for `expr` against `table_id`.
+/// `expr` must already be normalized (and envelope-rewritten if enabled).
+pub fn choose_plan(
+    expr: Expr,
+    table_id: usize,
+    schema: &Schema,
+    catalog: &Catalog,
+    opts: &OptimizerOptions,
+) -> Plan {
+    let entry = catalog.table(table_id);
+    let stats = &entry.stats;
+    let n_rows = entry.table.n_rows() as f64;
+    let cost = &opts.cost;
+    // Page accounting uses an assumed on-disk row width.
+    let rows_per_page = (crate::table::DEFAULT_PAGE_BYTES
+        / (cost.assumed_row_bytes_per_column * schema.len()).max(1))
+    .max(1) as f64;
+    let heap_pages = (n_rows / rows_per_page).ceil().max(1.0);
+
+    let model_versions: Vec<(ModelId, u64)> = {
+        let mut v: Vec<ModelId> =
+            expr.mining_preds().iter().flat_map(|mp| mp.models()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v.into_iter().map(|m| (m, catalog.model(m).version)).collect()
+    };
+
+    let sel = estimate_selectivity(&expr, stats, catalog);
+    let mining_count = expr.mining_preds().len() as f64;
+    let per_row_residual = cost.cpu_row + mining_count * cost.model_invoke;
+
+    if expr == Expr::Const(false) {
+        return Plan {
+            table: table_id,
+            access: AccessPath::ConstantScan,
+            residual: expr,
+            skip_or: None,
+            est_cost: 0.0,
+            est_selectivity: 0.0,
+            model_versions,
+        };
+    }
+
+    // Candidate: full scan.
+    let scan_cost = heap_pages + n_rows * per_row_residual;
+    let mut best = Plan {
+        table: table_id,
+        access: AccessPath::FullScan,
+        residual: expr.clone(),
+        skip_or: None,
+        est_cost: scan_cost,
+        est_selectivity: sel,
+        model_versions: model_versions.clone(),
+    };
+
+    // Fetch cost of `k` expected rows through an unclustered index:
+    // traversal + postings traffic + Cardenas distinct heap pages +
+    // residual evaluation on the fetched rows.
+    let fetch_cost = |k: f64| {
+        let p = heap_pages;
+        let distinct = p * (1.0 - (1.0 - 1.0 / p).powf(k));
+        let posting_pages = k / (rows_per_page * 4.0).max(1.0);
+        cost.index_seek + posting_pages + distinct * cost.random_page + k * per_row_residual
+    };
+
+    // Candidate: single index seek over the top-level sargable conjuncts
+    // (composite indexes absorb several atoms at once).
+    if let Some((seek, s)) = best_seek(&sargable_conjuncts(&expr), entry) {
+        let c = fetch_cost(s * n_rows);
+        if c < best.est_cost {
+            best = Plan {
+                table: table_id,
+                access: AccessPath::IndexSeek(seek),
+                residual: expr.clone(),
+                skip_or: None,
+                est_cost: c,
+                est_selectivity: sel,
+                model_versions: model_versions.clone(),
+            };
+        }
+    }
+
+    // Candidate: index union over a disjunctive conjunct. Seeks that
+    // reuse an already-opened index are nearly free (its upper levels are
+    // cached): charge the full traversal once per distinct index and a
+    // tenth for repeats.
+    if let Some((seeks, k_total, skip_or)) = union_candidate(&expr, entry, opts, n_rows) {
+        let distinct_indexes = {
+            let mut ids: Vec<usize> = seeks.iter().map(|s| s.index).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len() as f64
+        };
+        let seek_cost = distinct_indexes * cost.index_seek
+            + (seeks.len() as f64 - distinct_indexes) * cost.index_seek * 0.1;
+        let c = seek_cost + fetch_cost(k_total.min(n_rows)) - cost.index_seek; // fetch_cost charges one seek
+        if c < best.est_cost {
+            best = Plan {
+                table: table_id,
+                access: AccessPath::IndexUnion(seeks),
+                residual: expr.clone(),
+                skip_or: Some(skip_or),
+                est_cost: c,
+                est_selectivity: sel,
+                model_versions,
+            };
+        }
+    }
+
+    best
+}
+
+/// The most selective available index probe for a set of conjunct atoms:
+/// for every index whose columns intersect the atom columns, push the
+/// covered atoms in and score by their product selectivity.
+fn best_seek(
+    atoms: &[(AttrId, AtomPred)],
+    entry: &crate::catalog::TableEntry,
+) -> Option<(Seek, f64)> {
+    let mut best: Option<(Seek, f64)> = None;
+    for (i, ix) in entry.indexes.iter().enumerate() {
+        let covered: Vec<(AttrId, AtomPred)> = atoms
+            .iter()
+            .filter(|(a, _)| ix.columns().contains(a))
+            .cloned()
+            .collect();
+        if covered.is_empty() {
+            continue;
+        }
+        let s: f64 = covered
+            .iter()
+            .map(|(a, p)| atom_selectivity(&Atom { attr: *a, pred: p.clone() }, &entry.stats))
+            .product();
+        // Exact iff every atom was pushed into the index (the caller
+        // additionally checks the group consists only of atoms).
+        let exact = covered.len() == atoms.len();
+        if best.as_ref().is_none_or(|(_, bs)| s < *bs) {
+            best = Some((Seek { index: i, preds: covered, exact }, s));
+        }
+    }
+    best
+}
+
+/// Top-level sargable atoms: the expression itself if it is an atom, or
+/// atom conjuncts of a top-level AND. For each column, the most selective
+/// single atom is enough — they all qualify as seek keys.
+fn sargable_conjuncts(expr: &Expr) -> Vec<(AttrId, AtomPred)> {
+    let mut out = Vec::new();
+    let mut push = |a: &Atom| out.push((a.attr, a.pred.clone()));
+    match expr {
+        Expr::Atom(a) => push(a),
+        Expr::And(ps) => {
+            for p in ps {
+                if let Expr::Atom(a) = p {
+                    push(a);
+                }
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// A conjunct that is an OR whose every disjunct yields one index probe
+/// → a multi-index union candidate. Returns the seeks, the expected
+/// total fetched rows, and the residual with the served OR removed (for
+/// rows fetched by exact seeks).
+fn union_candidate(
+    expr: &Expr,
+    entry: &crate::catalog::TableEntry,
+    opts: &OptimizerOptions,
+    n_rows: f64,
+) -> Option<(Vec<Seek>, f64, Expr)> {
+    let conjuncts: Vec<&Expr> = match expr {
+        Expr::And(ps) => ps.iter().collect(),
+        Expr::Or(_) => vec![expr],
+        _ => return None,
+    };
+    for (ci, c) in conjuncts.iter().enumerate() {
+        let Expr::Or(disjuncts) = c else { continue };
+        if disjuncts.len() > opts.max_union_disjuncts {
+            // The paper's §4.2 concern: overly complex OR defeats the
+            // optimizer. We model it honestly instead of pretending.
+            continue;
+        }
+        let mut seeks = Vec::with_capacity(disjuncts.len());
+        let mut k_total = 0.0;
+        let mut ok = true;
+        for d in disjuncts {
+            let atoms = sargable_conjuncts(d);
+            // A disjunct is fully sargable when it consists of atoms
+            // only; a seek covering all of them is exact.
+            let pure_atoms = match d {
+                Expr::Atom(_) => true,
+                Expr::And(ps) => ps.iter().all(|p| matches!(p, Expr::Atom(_))),
+                _ => false,
+            };
+            match best_seek(&atoms, entry) {
+                Some((mut seek, s)) => {
+                    seek.exact &= pure_atoms;
+                    k_total += s * n_rows;
+                    seeks.push(seek);
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && !seeks.is_empty() {
+            // Residual for exact-seek rows: every conjunct except the
+            // served OR.
+            let skip_or = Expr::and(
+                conjuncts
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != ci)
+                    .map(|(_, e)| (*e).clone())
+                    .collect(),
+            );
+            return Some((seeks, k_total, skip_or));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+    use mpq_types::{AttrDomain, Attribute, ClassId, Dataset, MemberSet};
+
+    /// 100k rows; column a: member 0 at 0.5%, member 1 at 1%, member 2
+    /// at 28.5%, member 3 at 70%.
+    fn catalog() -> Catalog {
+        let schema = Schema::new(vec![
+            Attribute::new("a", AttrDomain::categorical(["rare", "uncommon", "big", "huge"])),
+            Attribute::new("b", AttrDomain::binned(vec![1.0, 2.0, 3.0]).unwrap()),
+        ])
+        .unwrap();
+        let mut rows = Vec::new();
+        for i in 0..100_000u32 {
+            let a = match i % 1000 {
+                0..=4 => 0u16,     // 0.5%
+                5..=14 => 1,       // 1%
+                15..=299 => 2,     // 28.5%
+                _ => 3,            // 70%
+            };
+            rows.push(vec![a, (i % 4) as u16]);
+        }
+        let ds = Dataset::from_rows(schema, rows).unwrap();
+        let mut cat = Catalog::new();
+        let t = cat.add_table(Table::from_dataset("t", &ds)).unwrap();
+        cat.create_index(t, &[AttrId(0)]);
+        cat.create_index(t, &[AttrId(1)]);
+        cat
+    }
+
+    fn atom(attr: u16, pred: AtomPred) -> Expr {
+        Expr::Atom(Atom { attr: AttrId(attr), pred })
+    }
+
+    #[test]
+    fn selective_predicate_picks_index_seek() {
+        let cat = catalog();
+        let schema = cat.table(0).table.schema().clone();
+        let plan = choose_plan(
+            atom(0, AtomPred::Eq(0)),
+            0,
+            &schema,
+            &cat,
+            &OptimizerOptions::default(),
+        );
+        assert!(matches!(plan.access, AccessPath::IndexSeek(_)), "{plan:?}");
+        assert!(plan.access.changed_from_scan());
+        assert!((plan.est_selectivity - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unselective_predicate_stays_full_scan() {
+        let cat = catalog();
+        let schema = cat.table(0).table.schema().clone();
+        let plan = choose_plan(
+            atom(0, AtomPred::Eq(3)), // 60%
+            0,
+            &schema,
+            &cat,
+            &OptimizerOptions::default(),
+        );
+        assert_eq!(plan.access, AccessPath::FullScan);
+        assert!(!plan.access.changed_from_scan());
+    }
+
+    #[test]
+    fn false_predicate_is_constant_scan() {
+        let cat = catalog();
+        let schema = cat.table(0).table.schema().clone();
+        let plan =
+            choose_plan(Expr::Const(false), 0, &schema, &cat, &OptimizerOptions::default());
+        assert_eq!(plan.access, AccessPath::ConstantScan);
+        assert_eq!(plan.est_cost, 0.0);
+    }
+
+    #[test]
+    fn disjunction_of_selective_atoms_uses_index_union() {
+        let cat = catalog();
+        let schema = cat.table(0).table.schema().clone();
+        let e = Expr::or(vec![atom(0, AtomPred::Eq(0)), atom(0, AtomPred::Eq(1))]);
+        let plan = choose_plan(e, 0, &schema, &cat, &OptimizerOptions::default());
+        assert!(matches!(&plan.access, AccessPath::IndexUnion(seeks) if seeks.len() == 2), "{plan:?}");
+    }
+
+    #[test]
+    fn union_refused_beyond_disjunct_threshold() {
+        let cat = catalog();
+        let schema = cat.table(0).table.schema().clone();
+        let e = Expr::or(vec![atom(0, AtomPred::Eq(0)), atom(0, AtomPred::Eq(1))]);
+        let opts = OptimizerOptions { max_union_disjuncts: 1, ..Default::default() };
+        let plan = choose_plan(e, 0, &schema, &cat, &opts);
+        assert_eq!(plan.access, AccessPath::FullScan, "degenerates to scan as §4.2 warns");
+    }
+
+    #[test]
+    fn unindexed_column_cannot_seek() {
+        let schema = Schema::new(vec![Attribute::new("x", AttrDomain::categorical(["a", "b"]))]).unwrap();
+        let ds = Dataset::from_rows(schema.clone(), (0..100).map(|i| vec![(i % 2) as u16])).unwrap();
+        let mut cat = Catalog::new();
+        cat.add_table(Table::from_dataset("t", &ds)).unwrap();
+        // No index created.
+        let plan = choose_plan(
+            atom(0, AtomPred::Eq(0)),
+            0,
+            &schema,
+            &cat,
+            &OptimizerOptions::default(),
+        );
+        assert_eq!(plan.access, AccessPath::FullScan);
+    }
+
+    #[test]
+    fn estimate_combines_and_or_not() {
+        let cat = catalog();
+        let stats = &cat.table(0).stats;
+        let a = atom(0, AtomPred::Eq(0)); // 0.005
+        let b = atom(1, AtomPred::Range { lo: 0, hi: 1 }); // 0.5
+        let and = Expr::and(vec![a.clone(), b.clone()]);
+        let or = Expr::or(vec![a.clone(), b.clone()]);
+        let not = Expr::Not(Box::new(a.clone()));
+        assert!((estimate_selectivity(&and, stats, &cat) - 0.0025).abs() < 1e-9);
+        assert!((estimate_selectivity(&or, stats, &cat) - (1.0 - 0.995 * 0.5)).abs() < 1e-9);
+        assert!((estimate_selectivity(&not, stats, &cat) - 0.995).abs() < 1e-9);
+        let in_pred = atom(0, AtomPred::In(MemberSet::of(4, [0, 1])));
+        assert!((estimate_selectivity(&in_pred, stats, &cat) - 0.015).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mining_selectivity_defaults_to_uniform_classes() {
+        let mut cat = catalog();
+        let nb = mpq_core::paper_table1_model();
+        let id = cat
+            .add_model("m", std::sync::Arc::new(nb), mpq_core::DeriveOptions::default())
+            .unwrap();
+        let stats = &cat.table(0).stats;
+        let e = Expr::Mining(MiningPred::ClassEq { model: id, class: ClassId(0) });
+        assert!((estimate_selectivity(&e, stats, &cat) - 1.0 / 3.0).abs() < 1e-9);
+        let e = Expr::Mining(MiningPred::ClassIn {
+            model: id,
+            classes: vec![ClassId(0), ClassId(1)],
+        });
+        assert!((estimate_selectivity(&e, stats, &cat) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_records_model_versions() {
+        let mut cat = catalog();
+        let nb = mpq_core::paper_table1_model();
+        let id = cat
+            .add_model("m", std::sync::Arc::new(nb), mpq_core::DeriveOptions::default())
+            .unwrap();
+        let schema = cat.table(0).table.schema().clone();
+        let e = Expr::Mining(MiningPred::ClassEq { model: id, class: ClassId(0) });
+        let plan = choose_plan(e, 0, &schema, &cat, &OptimizerOptions::default());
+        assert_eq!(plan.model_versions, vec![(id, 1)]);
+    }
+}

@@ -1,0 +1,331 @@
+//! Index-tuning-wizard-lite.
+//!
+//! The paper generates a workload of envelope queries per (dataset,
+//! model) and feeds it to the Index Tuning Wizard, implementing whatever
+//! indexes it recommends. This module reproduces that step with the same
+//! flavor of configuration search: candidate indexes are (a) single
+//! columns referenced by sargable atoms and (b) composite column sets
+//! taken from conjunctive disjuncts (the shape upper envelopes produce),
+//! materialized all at once and then greedily *dropped* while the
+//! estimated workload cost does not regress — drop-based search is what
+//! lets multi-index union plans, which need several indexes simultaneously,
+//! survive tuning.
+
+use crate::catalog::Catalog;
+use crate::expr::Expr;
+use crate::optimizer::{choose_plan, estimate_selectivity, OptimizerOptions};
+use mpq_types::AttrId;
+
+/// Maximum columns in a candidate composite index. Upper-envelope
+/// disjuncts are conjunctions of many moderately selective atoms (tree
+/// paths, region bounds); wide composites — effectively covering indexes
+/// for a disjunct — are what make their *product* selectivity seekable.
+const MAX_COMPOSITE_COLS: usize = 8;
+
+/// Cap on materialized candidate indexes per tuning session (index
+/// builds are an O(rows) pass each).
+const MAX_CANDIDATES: usize = 128;
+
+/// Outcome of a tuning session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningReport {
+    /// Indexes kept, as sorted column sets.
+    pub created: Vec<Vec<AttrId>>,
+    /// Estimated workload cost before tuning.
+    pub cost_before: f64,
+    /// Estimated workload cost after tuning.
+    pub cost_after: f64,
+}
+
+/// Recommends and creates indexes on `table_id` for the workload of
+/// predicates, mutating the catalog. `max_indexes` bounds the budget.
+pub fn tune_indexes(
+    catalog: &mut Catalog,
+    table_id: usize,
+    workload: &[Expr],
+    max_indexes: usize,
+    opts: &OptimizerOptions,
+) -> TuningReport {
+    let schema = catalog.table(table_id).table.schema().clone();
+    let workload_cost = |cat: &Catalog| -> f64 {
+        workload
+            .iter()
+            .map(|e| choose_plan(e.clone(), table_id, &schema, cat, opts).est_cost)
+            .sum()
+    };
+    let cost_before = workload_cost(catalog);
+
+    let mut candidates = candidate_column_sets(catalog, table_id, workload);
+    candidates.retain(|c| catalog.table(table_id).index_over(c).is_none());
+    candidates.truncate(MAX_CANDIDATES);
+    if max_indexes == 0 || candidates.is_empty() {
+        return TuningReport { created: Vec::new(), cost_before, cost_after: cost_before };
+    }
+
+    // Materialize all candidates (multi-index union plans need several
+    // indexes at once, so add-one-at-a-time greedy would starve them),
+    // plan the workload, and keep exactly the indexes the chosen plans
+    // use. Iterate: dropping unused indexes can only re-route plans among
+    // surviving indexes, so a couple of passes reach a fixpoint.
+    for cand in &candidates {
+        catalog.create_index(table_id, cand);
+    }
+    let mut kept = candidates;
+    for _ in 0..3 {
+        let mut used = vec![false; kept.len()];
+        for e in workload {
+            let plan = choose_plan(e.clone(), table_id, &schema, catalog, opts);
+            let seeks: Vec<&crate::optimizer::Seek> = match &plan.access {
+                crate::optimizer::AccessPath::IndexSeek(s) => vec![s],
+                crate::optimizer::AccessPath::IndexUnion(ss) => ss.iter().collect(),
+                _ => Vec::new(),
+            };
+            for s in seeks {
+                let cols = catalog.table(table_id).indexes[s.index].columns().to_vec();
+                if let Some(i) = kept.iter().position(|k| *k == cols) {
+                    used[i] = true;
+                }
+            }
+        }
+        if used.iter().all(|&u| u) {
+            break;
+        }
+        let mut i = 0;
+        kept.retain(|cols| {
+            let keep = used[i];
+            i += 1;
+            if !keep {
+                catalog.drop_index(table_id, cols);
+            }
+            keep
+        });
+        if kept.is_empty() {
+            break;
+        }
+    }
+    // Enforce the budget: drop the widest (most expensive to maintain)
+    // indexes first.
+    while kept.len() > max_indexes {
+        let widest = kept
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| c.len())
+            .map(|(i, _)| i)
+            .expect("nonempty");
+        catalog.drop_index(table_id, &kept.remove(widest));
+    }
+
+    let cost_after = workload_cost(catalog);
+    TuningReport { created: kept, cost_before, cost_after: cost_after.min(cost_before) }
+}
+
+/// Candidate column sets: every atom column alone, plus per-disjunct
+/// composites of the (up to) `MAX_COMPOSITE_COLS` most selective atoms.
+fn candidate_column_sets(catalog: &Catalog, table_id: usize, workload: &[Expr]) -> Vec<Vec<AttrId>> {
+    let stats = &catalog.table(table_id).stats;
+    let mut out: Vec<Vec<AttrId>> = Vec::new();
+    let mut push = |mut cols: Vec<AttrId>| {
+        cols.sort_unstable();
+        cols.dedup();
+        if !cols.is_empty() && !out.contains(&cols) {
+            out.push(cols);
+        }
+    };
+
+    // Conjunction groups: the expression itself, each AND conjunct, and
+    // each disjunct of every OR encountered.
+    fn groups<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+        out.push(e);
+        match e {
+            Expr::And(ps) | Expr::Or(ps) => {
+                for p in ps {
+                    groups(p, out);
+                }
+            }
+            Expr::Not(p) => groups(p, out),
+            _ => {}
+        }
+    }
+
+    // Per-query composites first: a single wide index over the columns a
+    // query's envelope constrains most often serves *every* disjunct of
+    // that query's union, which keeps the candidate count linear in
+    // queries rather than disjuncts.
+    for e in workload {
+        let mut gs = Vec::new();
+        groups(e, &mut gs);
+        let mut freq: std::collections::HashMap<AttrId, (usize, f64)> =
+            std::collections::HashMap::new();
+        for g in &gs {
+            if let Expr::And(ps) | Expr::Or(ps) = g {
+                let _ = ps;
+            }
+            if let Expr::Atom(a) = g {
+                let s = estimate_selectivity(&Expr::Atom(a.clone()), stats, catalog);
+                let e = freq.entry(a.attr).or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 += s;
+            }
+        }
+        if freq.len() > 1 {
+            let mut cols: Vec<(AttrId, usize, f64)> =
+                freq.into_iter().map(|(a, (n, s))| (a, n, s / n as f64)).collect();
+            // Most frequently constrained first; ties toward selectivity.
+            cols.sort_by(|x, y| y.1.cmp(&x.1).then(x.2.partial_cmp(&y.2).expect("finite")));
+            push(cols.iter().take(MAX_COMPOSITE_COLS).map(|(a, _, _)| *a).collect());
+        }
+    }
+
+    for e in workload {
+        let mut gs = Vec::new();
+        groups(e, &mut gs);
+        for g in gs {
+            let atoms: Vec<(AttrId, f64)> = match g {
+                Expr::Atom(a) => vec![(
+                    a.attr,
+                    estimate_selectivity(&Expr::Atom(a.clone()), stats, catalog),
+                )],
+                Expr::And(ps) => ps
+                    .iter()
+                    .filter_map(|p| match p {
+                        Expr::Atom(a) => Some((
+                            a.attr,
+                            estimate_selectivity(&Expr::Atom(a.clone()), stats, catalog),
+                        )),
+                        _ => None,
+                    })
+                    .collect(),
+                _ => continue,
+            };
+            if atoms.is_empty() {
+                continue;
+            }
+            // Singletons.
+            for (a, _) in &atoms {
+                push(vec![*a]);
+            }
+            // Composites of the most selective columns: a narrow (3-col)
+            // and a wide (up to MAX_COMPOSITE_COLS) variant per group.
+            if atoms.len() > 1 {
+                let mut sorted = atoms.clone();
+                sorted.sort_by(|x, y| x.1.partial_cmp(&y.1).expect("finite selectivity"));
+                push(sorted.iter().take(3).map(|(a, _)| *a).collect());
+                if sorted.len() > 3 {
+                    push(sorted.iter().take(MAX_COMPOSITE_COLS).map(|(a, _)| *a).collect());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Atom, AtomPred};
+    use crate::table::Table;
+    use mpq_types::{AttrDomain, Attribute, Dataset, Schema};
+
+    fn catalog() -> Catalog {
+        let schema = Schema::new(vec![
+            Attribute::new("hot", AttrDomain::categorical(["rare", "common"])),
+            Attribute::new("cold", AttrDomain::categorical(["x", "y"])),
+            Attribute::new(
+                "warm",
+                AttrDomain::categorical((0..20).map(|i| format!("w{i}")).collect::<Vec<_>>()),
+            ),
+        ])
+        .unwrap();
+        let rows = (0..40_000).map(|i| {
+            vec![u16::from(i % 200 != 0), (i % 2) as u16, (i % 20) as u16]
+        });
+        let ds = Dataset::from_rows(schema, rows).unwrap();
+        let mut cat = Catalog::new();
+        cat.add_table(Table::from_dataset("t", &ds)).unwrap();
+        cat
+    }
+
+    fn atom(attr: u16, m: u16) -> Expr {
+        Expr::Atom(Atom { attr: AttrId(attr), pred: AtomPred::Eq(m) })
+    }
+
+    #[test]
+    fn tuner_creates_index_for_selective_workload() {
+        let mut cat = catalog();
+        let workload = vec![atom(0, 0), atom(0, 0), atom(0, 0)]; // 0.5% selectivity
+        let report = tune_indexes(&mut cat, 0, &workload, 4, &OptimizerOptions::default());
+        assert_eq!(report.created, vec![vec![AttrId(0)]]);
+        assert!(report.cost_after < report.cost_before);
+        assert!(cat.table(0).index_on(AttrId(0)).is_some());
+    }
+
+    #[test]
+    fn tuner_builds_composite_for_conjunctions() {
+        let mut cat = catalog();
+        // cold=x AND warm=w0: 50% and 5% alone, 2.5% together — the
+        // composite index is the only one that captures the conjunction.
+        let workload = vec![Expr::and(vec![atom(1, 0), atom(2, 0)])];
+        let report = tune_indexes(&mut cat, 0, &workload, 4, &OptimizerOptions::default());
+        assert!(
+            report.created.contains(&vec![AttrId(1), AttrId(2)]),
+            "expected a composite index, got {:?}",
+            report.created
+        );
+        assert!(report.cost_after < report.cost_before);
+    }
+
+    #[test]
+    fn tuner_supports_union_workloads() {
+        let mut cat = catalog();
+        // OR of two conjunctive disjuncts: a union plan needs both
+        // composites simultaneously, which add-one-at-a-time greedy
+        // would never discover.
+        let disj = Expr::or(vec![
+            Expr::and(vec![atom(0, 0), atom(1, 0)]),
+            Expr::and(vec![atom(0, 0), atom(1, 1)]),
+        ]);
+        let report = tune_indexes(&mut cat, 0, &[disj.clone()], 4, &OptimizerOptions::default());
+        assert!(report.cost_after < report.cost_before, "{report:?}");
+        let schema = cat.table(0).table.schema().clone();
+        let plan = choose_plan(disj, 0, &schema, &cat, &OptimizerOptions::default());
+        assert!(plan.access.changed_from_scan(), "{plan:?}");
+    }
+
+    #[test]
+    fn tuner_skips_useless_indexes() {
+        let mut cat = catalog();
+        // 50% selectivity on `cold`: an index would never be chosen.
+        let workload = vec![atom(1, 0)];
+        let report = tune_indexes(&mut cat, 0, &workload, 4, &OptimizerOptions::default());
+        assert!(report.created.is_empty(), "{report:?}");
+        assert_eq!(report.cost_before, report.cost_after);
+        assert!(cat.table(0).index_on(AttrId(1)).is_none());
+    }
+
+    #[test]
+    fn budget_limits_created_indexes() {
+        let mut cat = catalog();
+        let workload = vec![atom(0, 0), atom(1, 0)];
+        let report = tune_indexes(&mut cat, 0, &workload, 0, &OptimizerOptions::default());
+        assert!(report.created.is_empty());
+        assert!(cat.table(0).indexes.is_empty());
+    }
+
+    #[test]
+    fn empty_workload_is_a_noop() {
+        let mut cat = catalog();
+        let report = tune_indexes(&mut cat, 0, &[], 4, &OptimizerOptions::default());
+        assert!(report.created.is_empty());
+        assert_eq!(report.cost_before, 0.0);
+    }
+
+    #[test]
+    fn candidates_include_singletons_and_composites() {
+        let cat = catalog();
+        let e = Expr::and(vec![atom(0, 0), atom(1, 0), atom(2, 0)]);
+        let cands = candidate_column_sets(&cat, 0, &[e]);
+        assert!(cands.contains(&vec![AttrId(0)]));
+        assert!(cands.contains(&vec![AttrId(1)]));
+        assert!(cands.contains(&vec![AttrId(0), AttrId(1), AttrId(2)]));
+    }
+}

@@ -1,0 +1,196 @@
+//! Boundary-based (density) clustering over the discretized grid
+//! (paper §3.3, in the spirit of DBSCAN/Ester et al.).
+//!
+//! Cells of the attribute grid holding at least `min_pts` training rows
+//! are *dense*; connected components of dense cells (adjacency: one
+//! ordered dimension differs by exactly 1, all other dimensions equal)
+//! form the clusters. Every non-dense cell belongs to a designated
+//! *noise* cluster, keeping the model partitional as the paper requires.
+//! Cluster boundaries are explicit cell sets, which is exactly what the
+//! rectangle-covering envelope derivation in `mpq-core` consumes.
+
+use crate::Classifier;
+use mpq_types::{ClassId, Dataset, Member, Row, Schema, TypesError};
+use std::collections::HashMap;
+
+/// A trained boundary-based clustering model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundaryClustering {
+    schema: Schema,
+    cluster_names: Vec<String>,
+    /// Dense cell → cluster id. Cells absent from the map are noise.
+    cells: HashMap<Vec<Member>, ClassId>,
+    /// Id of the noise cluster (always the last).
+    noise: ClassId,
+}
+
+impl BoundaryClustering {
+    /// Builds the model from training data: cells with at least `min_pts`
+    /// rows are dense and get grouped into connected components.
+    pub fn train(data: &Dataset, min_pts: usize) -> Result<Self, TypesError> {
+        if data.is_empty() {
+            return Err(TypesError::ArityMismatch { expected: 1, got: 0 });
+        }
+        let schema = data.schema().clone();
+        let mut counts: HashMap<Vec<Member>, usize> = HashMap::new();
+        for row in data.rows() {
+            *counts.entry(row.to_vec()).or_insert(0) += 1;
+        }
+        let dense: Vec<Vec<Member>> = {
+            let mut v: Vec<Vec<Member>> =
+                counts.into_iter().filter(|(_, c)| *c >= min_pts).map(|(cell, _)| cell).collect();
+            v.sort(); // deterministic component numbering
+            v
+        };
+        // Union-find over dense cells.
+        let index: HashMap<&[Member], usize> =
+            dense.iter().enumerate().map(|(i, c)| (c.as_slice(), i)).collect();
+        let mut parent: Vec<usize> = (0..dense.len()).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let r = find(parent, parent[i]);
+                parent[i] = r;
+            }
+            parent[i]
+        }
+        for (i, cell) in dense.iter().enumerate() {
+            let mut probe = cell.clone();
+            for (d, attr) in schema.iter() {
+                if !attr.domain.is_ordered() {
+                    continue;
+                }
+                let m = cell[d.index()];
+                if m > 0 {
+                    probe[d.index()] = m - 1;
+                    if let Some(&j) = index.get(probe.as_slice()) {
+                        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                        if ri != rj {
+                            parent[ri] = rj;
+                        }
+                    }
+                }
+                probe[d.index()] = m; // restore
+            }
+        }
+        // Number components in first-seen order.
+        let mut comp_of_root: HashMap<usize, u16> = HashMap::new();
+        let mut cells = HashMap::with_capacity(dense.len());
+        for (i, cell) in dense.iter().enumerate() {
+            let root = find(&mut parent, i);
+            let next = comp_of_root.len() as u16;
+            let comp = *comp_of_root.entry(root).or_insert(next);
+            cells.insert(cell.clone(), ClassId(comp));
+        }
+        let k = comp_of_root.len();
+        let mut cluster_names: Vec<String> = (0..k).map(|i| format!("cluster_{i}")).collect();
+        cluster_names.push("noise".into());
+        Ok(BoundaryClustering { schema, cluster_names, cells, noise: ClassId(k as u16) })
+    }
+
+    /// The noise cluster id.
+    pub fn noise_class(&self) -> ClassId {
+        self.noise
+    }
+
+    /// Iterates the dense cells belonging to cluster `c`.
+    pub fn cells_of(&self, c: ClassId) -> impl Iterator<Item = &[Member]> + '_ {
+        self.cells.iter().filter(move |(_, &cc)| cc == c).map(|(cell, _)| cell.as_slice())
+    }
+
+    /// Number of dense cells in the model.
+    pub fn n_dense_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+impl Classifier for BoundaryClustering {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn n_classes(&self) -> usize {
+        self.cluster_names.len()
+    }
+
+    fn class_name(&self, c: ClassId) -> &str {
+        &self.cluster_names[c.index()]
+    }
+
+    fn predict(&self, row: &Row) -> ClassId {
+        self.cells.get(row).copied().unwrap_or(self.noise)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_types::{AttrDomain, Attribute};
+
+    fn schema2d() -> Schema {
+        Schema::new(vec![
+            Attribute::new("x", AttrDomain::binned(vec![1.0, 2.0, 3.0, 4.0]).unwrap()),
+            Attribute::new("y", AttrDomain::binned(vec![1.0, 2.0, 3.0, 4.0]).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    fn dataset_from_cells(cells: &[( u16, u16, usize)]) -> Dataset {
+        let mut ds = Dataset::new(schema2d());
+        for &(x, y, count) in cells {
+            for _ in 0..count {
+                ds.push_encoded(&[x, y]).unwrap();
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn two_blobs_become_two_clusters() {
+        // Dense L-shape at origin, dense blob at (4,4), sparse elsewhere.
+        let ds = dataset_from_cells(&[
+            (0, 0, 5), (0, 1, 5), (1, 0, 5),
+            (4, 4, 5), (3, 4, 5),
+            (2, 2, 1), // sparse noise
+        ]);
+        let bc = BoundaryClustering::train(&ds, 3).unwrap();
+        assert_eq!(bc.n_classes(), 3, "two clusters + noise");
+        let a = bc.predict(&[0, 0]);
+        let b = bc.predict(&[4, 4]);
+        assert_ne!(a, b);
+        assert_eq!(bc.predict(&[0, 1]), a, "adjacent dense cells share a cluster");
+        assert_eq!(bc.predict(&[2, 2]), bc.noise_class());
+        assert_eq!(bc.predict(&[1, 4]), bc.noise_class());
+    }
+
+    #[test]
+    fn diagonal_cells_are_not_adjacent() {
+        let ds = dataset_from_cells(&[(0, 0, 5), (1, 1, 5)]);
+        let bc = BoundaryClustering::train(&ds, 3).unwrap();
+        assert_ne!(bc.predict(&[0, 0]), bc.predict(&[1, 1]), "4-adjacency only");
+    }
+
+    #[test]
+    fn min_pts_filters_sparse_cells() {
+        let ds = dataset_from_cells(&[(0, 0, 2), (4, 4, 5)]);
+        let bc = BoundaryClustering::train(&ds, 3).unwrap();
+        assert_eq!(bc.predict(&[0, 0]), bc.noise_class());
+        assert_ne!(bc.predict(&[4, 4]), bc.noise_class());
+    }
+
+    #[test]
+    fn cells_of_returns_cluster_extent() {
+        let ds = dataset_from_cells(&[(0, 0, 5), (0, 1, 5)]);
+        let bc = BoundaryClustering::train(&ds, 3).unwrap();
+        let c = bc.predict(&[0, 0]);
+        let mut cells: Vec<Vec<u16>> = bc.cells_of(c).map(|s| s.to_vec()).collect();
+        cells.sort();
+        assert_eq!(cells, vec![vec![0, 0], vec![0, 1]]);
+        assert_eq!(bc.n_dense_cells(), 2);
+    }
+
+    #[test]
+    fn empty_dataset_is_an_error() {
+        let ds = Dataset::new(schema2d());
+        assert!(BoundaryClustering::train(&ds, 1).is_err());
+    }
+}

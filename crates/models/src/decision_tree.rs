@@ -1,0 +1,506 @@
+//! Binary decision trees (paper §3.1, after Quinlan's C4.5).
+//!
+//! Internal nodes test a single attribute: ordered attributes get a
+//! `member <= cut` test (rendered in SQL against the original cut value),
+//! categorical attributes get a member-subset test. Training greedily
+//! minimizes class entropy, with depth / leaf-size stopping rules and
+//! simple pessimistic-error subtree collapsing.
+
+use crate::Classifier;
+use mpq_types::{AttrId, ClassId, LabeledDataset, Member, MemberSet, Row, Schema, TypesError};
+
+/// The test at an internal node. A row goes left when the test holds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Split {
+    /// Ordered attribute: left iff `row[attr] <= cut_member`.
+    LeMember {
+        /// The attribute tested.
+        attr: AttrId,
+        /// Largest member index routed left.
+        cut_member: Member,
+    },
+    /// Categorical attribute: left iff `row[attr] ∈ members`.
+    InSet {
+        /// The attribute tested.
+        attr: AttrId,
+        /// Members routed left.
+        members: MemberSet,
+    },
+}
+
+impl Split {
+    /// The attribute this split tests.
+    pub fn attr(&self) -> AttrId {
+        match self {
+            Split::LeMember { attr, .. } | Split::InSet { attr, .. } => *attr,
+        }
+    }
+
+    /// Whether `row` goes down the left branch.
+    #[inline]
+    pub fn goes_left(&self, row: &Row) -> bool {
+        match self {
+            Split::LeMember { attr, cut_member } => row[attr.index()] <= *cut_member,
+            Split::InSet { attr, members } => members.contains(row[attr.index()]),
+        }
+    }
+}
+
+/// A decision-tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A leaf predicting `class`; `support` counts training rows that
+    /// landed here.
+    Leaf {
+        /// Predicted class.
+        class: ClassId,
+        /// Training rows that reached this leaf.
+        support: usize,
+    },
+    /// An internal node.
+    Internal {
+        /// The test.
+        split: Split,
+        /// Branch taken when the test holds.
+        left: Box<Node>,
+        /// Branch taken otherwise.
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    /// Number of leaves under (and including) this node.
+    pub fn n_leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { left, right, .. } => left.n_leaves() + right.n_leaves(),
+        }
+    }
+
+    /// Height of the subtree (a leaf has height 0).
+    pub fn height(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Internal { left, right, .. } => 1 + left.height().max(right.height()),
+        }
+    }
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Do not split nodes with fewer rows than this.
+    pub min_leaf: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 12, min_leaf: 2 }
+    }
+}
+
+/// A trained decision tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    schema: Schema,
+    class_names: Vec<String>,
+    root: Node,
+}
+
+impl DecisionTree {
+    /// Trains a tree on `data` with the given parameters.
+    pub fn train(data: &LabeledDataset, params: TreeParams) -> Result<Self, TypesError> {
+        if data.is_empty() || data.n_classes() == 0 {
+            return Err(TypesError::ArityMismatch { expected: 1, got: 0 });
+        }
+        let schema = data.data.schema().clone();
+        let idx: Vec<u32> = (0..data.len() as u32).collect();
+        let root = build(data, &schema, &idx, params, 0);
+        Ok(DecisionTree { schema, class_names: data.class_names.clone(), root })
+    }
+
+    /// Builds a tree directly from a node structure — used by PMML import
+    /// and by tests that need the paper's Figure 1 example verbatim.
+    pub fn from_parts(schema: Schema, class_names: Vec<String>, root: Node) -> Result<Self, TypesError> {
+        validate_node(&schema, class_names.len(), &root)?;
+        Ok(DecisionTree { schema, class_names, root })
+    }
+
+    /// The root node; envelope extraction walks this.
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.root.n_leaves()
+    }
+}
+
+fn validate_node(schema: &Schema, n_classes: usize, node: &Node) -> Result<(), TypesError> {
+    match node {
+        Node::Leaf { class, .. } => {
+            if class.index() >= n_classes {
+                return Err(TypesError::UnknownMember { member: format!("{class}") });
+            }
+            Ok(())
+        }
+        Node::Internal { split, left, right } => {
+            let attr = split.attr();
+            if attr.index() >= schema.len() {
+                return Err(TypesError::UnknownMember { member: format!("{attr}") });
+            }
+            let card = schema.attr(attr).domain.cardinality();
+            match split {
+                Split::LeMember { cut_member, .. } => {
+                    // A cut at the last member would route everything left.
+                    if *cut_member + 1 >= card {
+                        return Err(TypesError::UnknownMember {
+                            member: format!("cut {cut_member} degenerate for domain {card}"),
+                        });
+                    }
+                }
+                Split::InSet { members, .. } => {
+                    if members.domain() != card || members.is_empty() || members.is_full() {
+                        return Err(TypesError::UnknownMember {
+                            member: "degenerate set split".into(),
+                        });
+                    }
+                }
+            }
+            validate_node(schema, n_classes, left)?;
+            validate_node(schema, n_classes, right)
+        }
+    }
+}
+
+fn class_counts(data: &LabeledDataset, idx: &[u32]) -> Vec<usize> {
+    let mut counts = vec![0usize; data.n_classes()];
+    for &i in idx {
+        counts[data.labels[i as usize].index()] += 1;
+    }
+    counts
+}
+
+fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+fn majority(counts: &[usize]) -> ClassId {
+    let best = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    ClassId(best as u16)
+}
+
+struct BestSplit {
+    split: Split,
+    weighted_entropy: f64,
+}
+
+fn build(data: &LabeledDataset, schema: &Schema, idx: &[u32], params: TreeParams, depth: usize) -> Node {
+    let counts = class_counts(data, idx);
+    let node_entropy = entropy(&counts);
+    let leaf = Node::Leaf { class: majority(&counts), support: idx.len() };
+    if node_entropy == 0.0 || depth >= params.max_depth || idx.len() < params.min_leaf * 2 {
+        return leaf;
+    }
+    let Some(best) = find_best_split(data, schema, idx, &counts) else {
+        return leaf;
+    };
+    // Zero-gain splits are allowed (XOR-style concepts have no first-split
+    // gain); recursion still terminates because min_leaf keeps both sides
+    // nonempty, and the collapse rule below undoes useless subtrees.
+    debug_assert!(best.weighted_entropy <= node_entropy + 1e-9);
+    let (li, ri): (Vec<u32>, Vec<u32>) =
+        idx.iter().partition(|&&i| best.split.goes_left(data.data.row(i as usize)));
+    if li.len() < params.min_leaf || ri.len() < params.min_leaf {
+        return leaf;
+    }
+    let left = build(data, schema, &li, params, depth + 1);
+    let right = build(data, schema, &ri, params, depth + 1);
+    // Collapse: if both children predict the same class, the split bought
+    // nothing the predictor can observe.
+    if let (Node::Leaf { class: cl, .. }, Node::Leaf { class: cr, .. }) = (&left, &right) {
+        if cl == cr {
+            return leaf;
+        }
+    }
+    Node::Internal { split: best.split, left: Box::new(left), right: Box::new(right) }
+}
+
+fn find_best_split(
+    data: &LabeledDataset,
+    schema: &Schema,
+    idx: &[u32],
+    total_counts: &[usize],
+) -> Option<BestSplit> {
+    let k = data.n_classes();
+    let n = idx.len() as f64;
+    let mut best: Option<BestSplit> = None;
+    for (attr, a) in schema.iter() {
+        let card = a.domain.cardinality() as usize;
+        if card < 2 {
+            continue;
+        }
+        // Per-member class histograms for this attribute.
+        let mut hist = vec![0usize; card * k];
+        for &i in idx {
+            let m = data.data.row(i as usize)[attr.index()] as usize;
+            hist[m * k + data.labels[i as usize].index()] += 1;
+        }
+        if a.domain.is_ordered() {
+            // Prefix scan over member order: candidate cuts after each member.
+            let mut left = vec![0usize; k];
+            let mut left_n = 0usize;
+            for m in 0..card - 1 {
+                for c in 0..k {
+                    left[c] += hist[m * k + c];
+                }
+                left_n += hist[m * k..(m + 1) * k].iter().sum::<usize>();
+                if left_n == 0 || left_n == idx.len() {
+                    continue;
+                }
+                let right: Vec<usize> = total_counts.iter().zip(&left).map(|(t, l)| t - l).collect();
+                let w = (left_n as f64 * entropy(&left) + (n - left_n as f64) * entropy(&right)) / n;
+                if best.as_ref().is_none_or(|b| w < b.weighted_entropy) {
+                    best = Some(BestSplit {
+                        split: Split::LeMember { attr, cut_member: m as Member },
+                        weighted_entropy: w,
+                    });
+                }
+            }
+        } else {
+            // Categorical: order members by purity toward the locally
+            // dominant class, then scan prefixes (a standard Breiman-style
+            // heuristic that avoids the 2^card subset enumeration).
+            let dom = majority(total_counts).index();
+            let mut members: Vec<usize> = (0..card).collect();
+            let frac = |m: usize| {
+                let tot: usize = hist[m * k..(m + 1) * k].iter().sum();
+                if tot == 0 {
+                    0.0
+                } else {
+                    hist[m * k + dom] as f64 / tot as f64
+                }
+            };
+            members.sort_by(|&a, &b| frac(b).partial_cmp(&frac(a)).expect("finite fractions"));
+            let mut left = vec![0usize; k];
+            let mut left_n = 0usize;
+            let mut in_left = MemberSet::empty(card as u16);
+            for &m in members.iter().take(card - 1) {
+                for c in 0..k {
+                    left[c] += hist[m * k + c];
+                }
+                left_n += hist[m * k..(m + 1) * k].iter().sum::<usize>();
+                in_left.insert(m as Member);
+                if left_n == 0 || left_n == idx.len() {
+                    continue;
+                }
+                let right: Vec<usize> = total_counts.iter().zip(&left).map(|(t, l)| t - l).collect();
+                let w = (left_n as f64 * entropy(&left) + (n - left_n as f64) * entropy(&right)) / n;
+                if best.as_ref().is_none_or(|b| w < b.weighted_entropy) {
+                    best = Some(BestSplit {
+                        split: Split::InSet { attr, members: in_left.clone() },
+                        weighted_entropy: w,
+                    });
+                }
+            }
+        }
+    }
+    best
+}
+
+impl Classifier for DecisionTree {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    fn class_name(&self, c: ClassId) -> &str {
+        &self.class_names[c.index()]
+    }
+
+    fn predict(&self, row: &Row) -> ClassId {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { class, .. } => return *class,
+                Node::Internal { split, left, right } => {
+                    node = if split.goes_left(row) { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_types::{AttrDomain, Attribute, Dataset};
+
+    fn xor_data() -> LabeledDataset {
+        let schema = Schema::new(vec![
+            Attribute::new("a", AttrDomain::categorical(["f", "t"])),
+            Attribute::new("b", AttrDomain::categorical(["f", "t"])),
+        ])
+        .unwrap();
+        let mut ds = Dataset::new(schema);
+        let mut labels = Vec::new();
+        for a in 0..2u16 {
+            for b in 0..2u16 {
+                for _ in 0..10 {
+                    ds.push_encoded(&[a, b]).unwrap();
+                    labels.push(ClassId(a ^ b));
+                }
+            }
+        }
+        LabeledDataset::new(ds, labels, vec!["zero".into(), "one".into()]).unwrap()
+    }
+
+    #[test]
+    fn learns_xor_exactly() {
+        let data = xor_data();
+        let tree = DecisionTree::train(&data, TreeParams::default()).unwrap();
+        assert_eq!(crate::accuracy(&tree, &data), 1.0);
+        assert!(tree.n_leaves() >= 4, "xor needs at least 4 leaves, got {}", tree.n_leaves());
+    }
+
+    #[test]
+    fn ordered_split_finds_threshold() {
+        let schema = Schema::new(vec![Attribute::new(
+            "age",
+            AttrDomain::binned(vec![20.0, 40.0, 60.0, 80.0]).unwrap(),
+        )])
+        .unwrap();
+        let mut ds = Dataset::new(schema);
+        let mut labels = Vec::new();
+        for m in 0..5u16 {
+            for _ in 0..8 {
+                ds.push_encoded(&[m]).unwrap();
+                labels.push(ClassId(u16::from(m >= 3)));
+            }
+        }
+        let data = LabeledDataset::new(ds, labels, vec!["young".into(), "old".into()]).unwrap();
+        let tree = DecisionTree::train(&data, TreeParams::default()).unwrap();
+        assert_eq!(crate::accuracy(&tree, &data), 1.0);
+        match tree.root() {
+            Node::Internal { split: Split::LeMember { cut_member, .. }, .. } => {
+                assert_eq!(*cut_member, 2);
+            }
+            other => panic!("expected an ordered root split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let data = xor_data();
+        let tree = DecisionTree::train(&data, TreeParams { max_depth: 1, min_leaf: 1 }).unwrap();
+        assert!(tree.root().height() <= 1);
+    }
+
+    #[test]
+    fn min_leaf_prevents_sliver_splits() {
+        let data = xor_data(); // 40 rows
+        let tree = DecisionTree::train(&data, TreeParams { max_depth: 10, min_leaf: 30 }).unwrap();
+        // No split can give both sides >= 30 of 40 rows.
+        assert_eq!(tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn pure_data_yields_single_leaf() {
+        let schema = Schema::new(vec![Attribute::new("x", AttrDomain::categorical(["a", "b"]))]).unwrap();
+        let ds = Dataset::from_rows(schema, vec![vec![0], vec![1], vec![0]]).unwrap();
+        let data = LabeledDataset::new(ds, vec![ClassId(0); 3], vec!["only".into(), "other".into()]).unwrap();
+        let tree = DecisionTree::train(&data, TreeParams::default()).unwrap();
+        assert!(matches!(tree.root(), Node::Leaf { class: ClassId(0), .. }));
+    }
+
+    /// The paper's Figure 1 tree:
+    /// lowerBP > 91 ? (age > 63 ? (overweight ? c1 : c2) : c2)
+    ///              : (upperBP > 130 ? c1 : c2)
+    pub(crate) fn paper_figure1() -> DecisionTree {
+        let schema = Schema::new(vec![
+            Attribute::new("lowerBP", AttrDomain::binned(vec![91.0]).unwrap()),
+            Attribute::new("age", AttrDomain::binned(vec![63.0]).unwrap()),
+            Attribute::new("overweight", AttrDomain::categorical(["no", "yes"])),
+            Attribute::new("upperBP", AttrDomain::binned(vec![130.0]).unwrap()),
+        ])
+        .unwrap();
+        let c1 = |support| Node::Leaf { class: ClassId(0), support };
+        let c2 = |support| Node::Leaf { class: ClassId(1), support };
+        let overweight_node = Node::Internal {
+            split: Split::InSet { attr: AttrId(2), members: MemberSet::of(2, [1]) },
+            left: Box::new(c1(10)),
+            right: Box::new(c2(10)),
+        };
+        let age_node = Node::Internal {
+            // age > 63 goes left in the paper; we phrase it as `age <= 63`
+            // routing left to c2.
+            split: Split::LeMember { attr: AttrId(1), cut_member: 0 },
+            left: Box::new(c2(10)),
+            right: Box::new(overweight_node),
+        };
+        let upper_node = Node::Internal {
+            split: Split::LeMember { attr: AttrId(3), cut_member: 0 },
+            left: Box::new(c2(10)),
+            right: Box::new(c1(10)),
+        };
+        let root = Node::Internal {
+            split: Split::LeMember { attr: AttrId(0), cut_member: 0 },
+            left: Box::new(upper_node),
+            right: Box::new(age_node),
+        };
+        DecisionTree::from_parts(schema, vec!["c1".into(), "c2".into()], root).unwrap()
+    }
+
+    #[test]
+    fn figure1_tree_predicts_as_described() {
+        let t = paper_figure1();
+        // lowerBP > 91 (member 1), age > 63 (member 1), overweight=yes (1): c1
+        assert_eq!(t.predict(&[1, 1, 1, 0]), ClassId(0));
+        // lowerBP > 91, age > 63, not overweight: c2
+        assert_eq!(t.predict(&[1, 1, 0, 0]), ClassId(1));
+        // lowerBP > 91, age <= 63: c2
+        assert_eq!(t.predict(&[1, 0, 1, 1]), ClassId(1));
+        // lowerBP <= 91, upperBP > 130: c1
+        assert_eq!(t.predict(&[0, 0, 0, 1]), ClassId(0));
+        // lowerBP <= 91, upperBP <= 130: c2
+        assert_eq!(t.predict(&[0, 1, 1, 0]), ClassId(1));
+    }
+
+    #[test]
+    fn from_parts_validates_structure() {
+        let schema = Schema::new(vec![Attribute::new("x", AttrDomain::categorical(["a", "b"]))]).unwrap();
+        // Class out of range.
+        let bad = Node::Leaf { class: ClassId(7), support: 0 };
+        assert!(DecisionTree::from_parts(schema.clone(), vec!["c".into()], bad).is_err());
+        // Degenerate full-set split.
+        let bad = Node::Internal {
+            split: Split::InSet { attr: AttrId(0), members: MemberSet::full(2) },
+            left: Box::new(Node::Leaf { class: ClassId(0), support: 0 }),
+            right: Box::new(Node::Leaf { class: ClassId(0), support: 0 }),
+        };
+        assert!(DecisionTree::from_parts(schema, vec!["c".into()], bad).is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! Model-based clustering: diagonal-covariance Gaussian mixtures fitted
+//! with EM (paper §3.3, after McLachlan & Basford).
+//!
+//! Each cluster `k` carries a mixing weight `τ_k` and per-dimension
+//! Gaussian parameters; because the covariance is diagonal, the log
+//! posterior score decomposes per dimension — the same additive shape as
+//! Eq. 2 — so `mpq-core` derives envelopes for it with the naive-Bayes
+//! machinery, bounding each quadratic per-dimension term over each bin.
+
+use crate::kmeans::{embed, KMeans, KMeansParams};
+use crate::Classifier;
+use mpq_types::{ClassId, Dataset, Row, Schema, TypesError};
+
+const LOG_2PI: f64 = 1.8378770664093453; // ln(2π)
+
+/// Training hyperparameters for [`Gmm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GmmParams {
+    /// Number of mixture components `K`.
+    pub k: usize,
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Stop when the mean log-likelihood improves less than this.
+    pub tol: f64,
+    /// RNG seed (used by the k-means initialization).
+    pub seed: u64,
+    /// Variance floor preventing components from collapsing onto a point.
+    pub min_var: f64,
+}
+
+impl Default for GmmParams {
+    fn default() -> Self {
+        GmmParams { k: 5, max_iters: 60, tol: 1e-6, seed: 7, min_var: 1e-4 }
+    }
+}
+
+/// A trained diagonal-covariance Gaussian mixture model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gmm {
+    schema: Schema,
+    cluster_names: Vec<String>,
+    /// `log τ_k`.
+    log_tau: Vec<f64>,
+    /// `means[k][d]`.
+    means: Vec<Vec<f64>>,
+    /// `vars[k][d]` (diagonal covariance entries).
+    vars: Vec<Vec<f64>>,
+}
+
+impl Gmm {
+    /// Fits a GMM to an encoded dataset (all attributes must be ordered).
+    pub fn train_encoded(data: &Dataset, params: GmmParams) -> Result<Self, TypesError> {
+        let schema = data.schema().clone();
+        if schema.attrs().iter().any(|a| !a.domain.is_ordered()) {
+            return Err(TypesError::TypeMismatch { expected: "all-ordered schema for clustering" });
+        }
+        let points: Vec<Vec<f64>> = data.rows().map(|r| embed(&schema, r)).collect();
+        Self::train_raw(schema, &points, params)
+    }
+
+    /// Fits a GMM to raw points with EM, initialized from k-means.
+    pub fn train_raw(schema: Schema, points: &[Vec<f64>], params: GmmParams) -> Result<Self, TypesError> {
+        let n = schema.len();
+        if points.is_empty() || params.k == 0 {
+            return Err(TypesError::ArityMismatch { expected: 1, got: 0 });
+        }
+        let km = KMeans::train_raw(
+            schema.clone(),
+            points,
+            KMeansParams { k: params.k, max_iters: 25, seed: params.seed, normalize_weights: false },
+        )?;
+        let k = km.n_classes();
+        let mut means: Vec<Vec<f64>> = km.centroids().to_vec();
+        let mut vars = vec![vec![1.0f64; n]; k];
+        let mut log_tau = vec![(1.0 / k as f64).ln(); k];
+
+        // Initialize variances from the k-means partition.
+        {
+            let mut counts = vec![0usize; k];
+            let mut ss = vec![vec![0.0f64; n]; k];
+            for p in points {
+                let a = km.assign_raw(p).index();
+                counts[a] += 1;
+                for d in 0..n {
+                    ss[a][d] += (p[d] - means[a][d]).powi(2);
+                }
+            }
+            for c in 0..k {
+                for d in 0..n {
+                    vars[c][d] = (ss[c][d] / counts[c].max(1) as f64).max(params.min_var);
+                }
+            }
+        }
+
+        let mut resp = vec![0.0f64; points.len() * k];
+        let mut prev_ll = f64::NEG_INFINITY;
+        for _ in 0..params.max_iters {
+            // E step.
+            let mut ll = 0.0;
+            for (i, p) in points.iter().enumerate() {
+                let row = &mut resp[i * k..(i + 1) * k];
+                for (c, r) in row.iter_mut().enumerate() {
+                    *r = log_tau[c] + log_gauss(p, &means[c], &vars[c]);
+                }
+                let m = row.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+                let z: f64 = row.iter().map(|&r| (r - m).exp()).sum();
+                ll += m + z.ln();
+                for r in row.iter_mut() {
+                    *r = (*r - m).exp() / z;
+                }
+            }
+            ll /= points.len() as f64;
+            // M step.
+            for c in 0..k {
+                let nk: f64 = (0..points.len()).map(|i| resp[i * k + c]).sum();
+                let nk = nk.max(1e-12);
+                log_tau[c] = (nk / points.len() as f64).max(1e-12).ln();
+                for d in 0..n {
+                    let mu = (0..points.len()).map(|i| resp[i * k + c] * points[i][d]).sum::<f64>() / nk;
+                    means[c][d] = mu;
+                }
+                for d in 0..n {
+                    let v = (0..points.len())
+                        .map(|i| resp[i * k + c] * (points[i][d] - means[c][d]).powi(2))
+                        .sum::<f64>()
+                        / nk;
+                    vars[c][d] = v.max(params.min_var);
+                }
+            }
+            if (ll - prev_ll).abs() < params.tol {
+                break;
+            }
+            prev_ll = ll;
+        }
+
+        let cluster_names = (0..k).map(|i| format!("cluster_{i}")).collect();
+        Ok(Gmm { schema, cluster_names, log_tau, means, vars })
+    }
+
+    /// Builds a GMM from explicit parameters.
+    pub fn from_parts(
+        schema: Schema,
+        taus: Vec<f64>,
+        means: Vec<Vec<f64>>,
+        vars: Vec<Vec<f64>>,
+    ) -> Result<Self, TypesError> {
+        let (k, n) = (taus.len(), schema.len());
+        if k == 0 || means.len() != k || vars.len() != k {
+            return Err(TypesError::ArityMismatch { expected: k, got: means.len() });
+        }
+        if means.iter().chain(vars.iter()).any(|v| v.len() != n) {
+            return Err(TypesError::ArityMismatch { expected: n, got: 0 });
+        }
+        if taus.iter().any(|&t| !(t > 0.0)) || vars.iter().flatten().any(|&v| !(v > 0.0)) {
+            return Err(TypesError::BadCuts { detail: "taus and variances must be positive".into() });
+        }
+        let cluster_names = (0..k).map(|i| format!("cluster_{i}")).collect();
+        Ok(Gmm { schema, cluster_names, log_tau: taus.iter().map(|t| t.ln()).collect(), means, vars })
+    }
+
+    /// `log τ_k` of component `k`.
+    pub fn log_tau(&self, k: ClassId) -> f64 {
+        self.log_tau[k.index()]
+    }
+
+    /// Component means, `[k][d]`.
+    pub fn means(&self) -> &[Vec<f64>] {
+        &self.means
+    }
+
+    /// Component variances, `[k][d]`.
+    pub fn vars(&self) -> &[Vec<f64>] {
+        &self.vars
+    }
+
+    /// The additive log score `log τ_k + log f_k(x)` whose argmax is the
+    /// cluster assignment.
+    pub fn score_raw(&self, x: &[f64], k: ClassId) -> f64 {
+        self.log_tau[k.index()] + log_gauss(x, &self.means[k.index()], &self.vars[k.index()])
+    }
+
+    /// Assigns a raw point to the maximum-posterior component.
+    pub fn assign_raw(&self, x: &[f64]) -> ClassId {
+        let mut best = ClassId(0);
+        let mut best_s = self.score_raw(x, best);
+        for c in 1..self.log_tau.len() {
+            let k = ClassId(c as u16);
+            let s = self.score_raw(x, k);
+            if s > best_s {
+                best = k;
+                best_s = s;
+            }
+        }
+        best
+    }
+}
+
+fn log_gauss(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for d in 0..x.len() {
+        s += -0.5 * (LOG_2PI + var[d].ln()) - (x[d] - mean[d]).powi(2) / (2.0 * var[d]);
+    }
+    s
+}
+
+impl Classifier for Gmm {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn n_classes(&self) -> usize {
+        self.log_tau.len()
+    }
+
+    fn class_name(&self, c: ClassId) -> &str {
+        &self.cluster_names[c.index()]
+    }
+
+    fn predict(&self, row: &Row) -> ClassId {
+        self.assign_raw(&embed(&self.schema, row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_types::{AttrDomain, Attribute};
+
+    fn schema2d() -> Schema {
+        Schema::new(vec![
+            Attribute::new("x", AttrDomain::binned(vec![2.0, 4.0, 6.0, 8.0]).unwrap()),
+            Attribute::new("y", AttrDomain::binned(vec![2.0, 4.0, 6.0, 8.0]).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn em_separates_two_gaussians() {
+        let mut points = Vec::new();
+        for i in 0..50 {
+            let j = (i % 7) as f64 * 0.15;
+            points.push(vec![1.0 + j, 1.5 - j]);
+            points.push(vec![8.5 - j, 8.0 + j]);
+        }
+        let gmm = Gmm::train_raw(schema2d(), &points, GmmParams { k: 2, ..Default::default() }).unwrap();
+        let a = gmm.assign_raw(&[1.2, 1.2]);
+        let b = gmm.assign_raw(&[8.3, 8.3]);
+        assert_ne!(a, b);
+        // Mixing weights near 1/2 each.
+        let t0 = gmm.log_tau(ClassId(0)).exp();
+        assert!((t0 - 0.5).abs() < 0.15, "tau0 = {t0}");
+    }
+
+    #[test]
+    fn score_decomposes_per_dimension() {
+        let gmm = Gmm::from_parts(
+            schema2d(),
+            vec![0.5, 0.5],
+            vec![vec![0.0, 0.0], vec![5.0, 5.0]],
+            vec![vec![1.0, 4.0], vec![1.0, 1.0]],
+        )
+        .unwrap();
+        let expected = 0.5f64.ln()
+            + (-0.5 * (LOG_2PI + 0.0) - 1.0 / 2.0)
+            + (-0.5 * (LOG_2PI + 4.0f64.ln()) - 4.0 / 8.0);
+        let got = gmm.score_raw(&[1.0, 2.0], ClassId(0));
+        assert!((got - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_tau_wins_at_the_midpoint() {
+        let gmm = Gmm::from_parts(
+            schema2d(),
+            vec![0.9, 0.1],
+            vec![vec![0.0, 0.0], vec![4.0, 0.0]],
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+        )
+        .unwrap();
+        // Equidistant from both means; the heavier component wins.
+        assert_eq!(gmm.assign_raw(&[2.0, 0.0]), ClassId(0));
+    }
+
+    #[test]
+    fn variance_floor_is_enforced() {
+        // All points identical: without a floor, variance would collapse.
+        let points = vec![vec![3.0, 3.0]; 20];
+        let gmm = Gmm::train_raw(schema2d(), &points, GmmParams { k: 2, ..Default::default() }).unwrap();
+        for v in gmm.vars().iter().flatten() {
+            assert!(*v >= 1e-4);
+        }
+        assert!(gmm.score_raw(&[3.0, 3.0], ClassId(0)).is_finite());
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(Gmm::from_parts(schema2d(), vec![], vec![], vec![]).is_err());
+        assert!(Gmm::from_parts(
+            schema2d(),
+            vec![0.5, 0.5],
+            vec![vec![0.0, 0.0], vec![1.0, 1.0]],
+            vec![vec![1.0, 0.0], vec![1.0, 1.0]], // zero variance
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn encoded_prediction_matches_representative_assignment() {
+        let gmm = Gmm::from_parts(
+            schema2d(),
+            vec![0.5, 0.5],
+            vec![vec![1.0, 1.0], vec![9.0, 9.0]],
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+        )
+        .unwrap();
+        assert_eq!(gmm.predict(&[0, 0]), ClassId(0));
+        assert_eq!(gmm.predict(&[4, 4]), ClassId(1));
+    }
+}

@@ -1,0 +1,440 @@
+//! Centroid-based partitional clustering (paper §3.3).
+//!
+//! Lloyd's algorithm with k-means++ seeding under **weighted Euclidean
+//! distance** on ordered attributes, extended k-prototypes-style to
+//! categorical attributes (mismatch distance against the cluster's modal
+//! member). The paper assigns a point to
+//! `argmax_k −Σ_d w_{dk} δ_{dk}(x_d)` — structurally Eq. 2 without the
+//! prior term — which is exactly the additive per-dimension form the
+//! envelope derivation in `mpq-core` consumes: quadratic contributions on
+//! ordered dimensions, per-member point contributions on categorical
+//! ones.
+//!
+//! Clustering operates in the raw continuous space for ordered
+//! attributes; encoded rows are embedded through each bin's
+//! representative value (categorical members embed as their own index)
+//! for black-box prediction, while envelope derivation bounds the score
+//! over whole bins so soundness holds for *every* raw point.
+
+use crate::Classifier;
+use mpq_types::{AttrDomain, ClassId, Dataset, Row, Schema, TypesError};
+use rand::prelude::IndexedRandom;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Training hyperparameters for [`KMeans`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansParams {
+    /// Number of clusters `K`.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+    /// If true, per-dimension weights on ordered attributes are set to
+    /// `1/var_d` of the data (a common normalization); otherwise all
+    /// weights are 1. Categorical mismatch weights are always 1.
+    pub normalize_weights: bool,
+}
+
+impl Default for KMeansParams {
+    fn default() -> Self {
+        KMeansParams { k: 5, max_iters: 50, seed: 7, normalize_weights: true }
+    }
+}
+
+/// A trained centroid-based clustering model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    schema: Schema,
+    cluster_names: Vec<String>,
+    /// `centroids[k][d]`: coordinate on ordered dims, modal member index
+    /// on categorical dims.
+    centroids: Vec<Vec<f64>>,
+    /// `weights[k][d]` of the distance.
+    weights: Vec<Vec<f64>>,
+    /// Which dims are categorical (mismatch distance).
+    categorical: Vec<bool>,
+}
+
+impl KMeans {
+    /// Trains on an encoded dataset; ordered attributes embed through
+    /// bin representatives, categorical attributes through their member
+    /// index (mismatch distance).
+    pub fn train_encoded(data: &Dataset, params: KMeansParams) -> Result<Self, TypesError> {
+        let schema = data.schema().clone();
+        let points: Vec<Vec<f64>> = data.rows().map(|r| embed(&schema, r)).collect();
+        Self::train_raw(schema, &points, params)
+    }
+
+    /// Trains on raw points directly. Coordinates on categorical
+    /// dimensions must be member indexes.
+    pub fn train_raw(schema: Schema, points: &[Vec<f64>], params: KMeansParams) -> Result<Self, TypesError> {
+        let n = schema.len();
+        if points.is_empty() || params.k == 0 {
+            return Err(TypesError::ArityMismatch { expected: 1, got: 0 });
+        }
+        if points.iter().any(|p| p.len() != n) {
+            return Err(TypesError::ArityMismatch { expected: n, got: 0 });
+        }
+        let categorical: Vec<bool> =
+            schema.attrs().iter().map(|a| !a.domain.is_ordered()).collect();
+        let k = params.k.min(points.len());
+        let weights_row: Vec<f64> = if params.normalize_weights {
+            (0..n)
+                .map(|d| {
+                    if categorical[d] {
+                        return 1.0;
+                    }
+                    let mean = points.iter().map(|p| p[d]).sum::<f64>() / points.len() as f64;
+                    let var = points.iter().map(|p| (p[d] - mean).powi(2)).sum::<f64>()
+                        / points.len() as f64;
+                    if var > 1e-12 {
+                        1.0 / var
+                    } else {
+                        1.0
+                    }
+                })
+                .collect()
+        } else {
+            vec![1.0; n]
+        };
+
+        let dist = |p: &[f64], c: &[f64]| -> f64 {
+            let mut s = 0.0;
+            for d in 0..n {
+                if categorical[d] {
+                    if p[d] != c[d] {
+                        s += weights_row[d];
+                    }
+                } else {
+                    s += weights_row[d] * (p[d] - c[d]) * (p[d] - c[d]);
+                }
+            }
+            s
+        };
+
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut centroids = kmeanspp_init(points, k, &dist, &mut rng);
+        let mut assignment = vec![0usize; points.len()];
+        for _ in 0..params.max_iters {
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let mut best = 0;
+                let mut bd = f64::INFINITY;
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let d = dist(p, centroid);
+                    if d < bd {
+                        bd = d;
+                        best = c;
+                    }
+                }
+                if best != assignment[i] {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            // Recompute centroids: means on ordered dims, modes on
+            // categorical dims; an emptied cluster is re-seeded so K
+            // stays fixed.
+            for c in 0..k {
+                let members: Vec<&Vec<f64>> = points
+                    .iter()
+                    .zip(&assignment)
+                    .filter(|(_, &a)| a == c)
+                    .map(|(p, _)| p)
+                    .collect();
+                if members.is_empty() {
+                    centroids[c] = points.choose(&mut rng).expect("nonempty").clone();
+                    continue;
+                }
+                for d in 0..n {
+                    if categorical[d] {
+                        let card = schema.attrs()[d].domain.cardinality() as usize;
+                        let mut counts = vec![0usize; card];
+                        for p in &members {
+                            counts[p[d] as usize] += 1;
+                        }
+                        let mode = counts
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|(_, &cnt)| cnt)
+                            .map(|(m, _)| m)
+                            .expect("nonempty domain");
+                        centroids[c][d] = mode as f64;
+                    } else {
+                        centroids[c][d] =
+                            members.iter().map(|p| p[d]).sum::<f64>() / members.len() as f64;
+                    }
+                }
+            }
+        }
+
+        let cluster_names = (0..k).map(|i| format!("cluster_{i}")).collect();
+        let weights = vec![weights_row; k];
+        Ok(KMeans { schema, cluster_names, centroids, weights, categorical })
+    }
+
+    /// Builds a model from explicit centroids and weights.
+    pub fn from_parts(
+        schema: Schema,
+        centroids: Vec<Vec<f64>>,
+        weights: Vec<Vec<f64>>,
+    ) -> Result<Self, TypesError> {
+        let n = schema.len();
+        if centroids.is_empty() || centroids.len() != weights.len() {
+            return Err(TypesError::ArityMismatch { expected: centroids.len(), got: weights.len() });
+        }
+        if centroids.iter().chain(weights.iter()).any(|v| v.len() != n) {
+            return Err(TypesError::ArityMismatch { expected: n, got: 0 });
+        }
+        if weights.iter().flatten().any(|&w| !(w >= 0.0) || !w.is_finite()) {
+            return Err(TypesError::BadCuts { detail: "weights must be finite and >= 0".into() });
+        }
+        let categorical = schema.attrs().iter().map(|a| !a.domain.is_ordered()).collect();
+        let cluster_names = (0..centroids.len()).map(|i| format!("cluster_{i}")).collect();
+        Ok(KMeans { schema, cluster_names, centroids, weights, categorical })
+    }
+
+    /// Cluster centroids, `[k][d]`.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Distance weights, `[k][d]`.
+    pub fn weights(&self) -> &[Vec<f64>] {
+        &self.weights
+    }
+
+    /// Whether dimension `d` uses categorical mismatch distance.
+    pub fn is_categorical_dim(&self, d: usize) -> bool {
+        self.categorical[d]
+    }
+
+    /// The additive score of cluster `k` at raw point `x`: negated
+    /// weighted distance (quadratic on ordered dims, mismatch on
+    /// categorical dims); assignment is argmax, ties to the lower id.
+    pub fn score_raw(&self, x: &[f64], k: ClassId) -> f64 {
+        let (c, w) = (&self.centroids[k.index()], &self.weights[k.index()]);
+        let mut s = 0.0;
+        for d in 0..x.len() {
+            if self.categorical[d] {
+                if x[d] != c[d] {
+                    s -= w[d];
+                }
+            } else {
+                s -= w[d] * (x[d] - c[d]) * (x[d] - c[d]);
+            }
+        }
+        s
+    }
+
+    /// Assigns a raw point to its cluster.
+    pub fn assign_raw(&self, x: &[f64]) -> ClassId {
+        let mut best = ClassId(0);
+        let mut best_s = self.score_raw(x, best);
+        for k in 1..self.centroids.len() {
+            let c = ClassId(k as u16);
+            let s = self.score_raw(x, c);
+            if s > best_s {
+                best = c;
+                best_s = s;
+            }
+        }
+        best
+    }
+}
+
+/// Embeds an encoded row: ordered dims through bin representatives,
+/// categorical dims as their member index.
+pub(crate) fn embed(schema: &Schema, row: &Row) -> Vec<f64> {
+    row.iter()
+        .enumerate()
+        .map(|(d, &m)| match &schema.attrs()[d].domain {
+            AttrDomain::Binned { .. } => {
+                schema.attrs()[d].domain.bin_representative(m).expect("ordered attr")
+            }
+            AttrDomain::Categorical { .. } => m as f64,
+        })
+        .collect()
+}
+
+fn kmeanspp_init(
+    points: &[Vec<f64>],
+    k: usize,
+    dist: &impl Fn(&[f64], &[f64]) -> f64,
+    rng: &mut StdRng,
+) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| centroids.iter().map(|c| dist(p, c)).fold(f64::INFINITY, f64::min))
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // All remaining points coincide with a centroid.
+            centroids.push(points[rng.random_range(0..points.len())].clone());
+            continue;
+        }
+        let mut target = rng.random_range(0.0..total);
+        let mut chosen = points.len() - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            if target < d {
+                chosen = i;
+                break;
+            }
+            target -= d;
+        }
+        centroids.push(points[chosen].clone());
+    }
+    centroids
+}
+
+impl Classifier for KMeans {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn n_classes(&self) -> usize {
+        self.centroids.len()
+    }
+
+    fn class_name(&self, c: ClassId) -> &str {
+        &self.cluster_names[c.index()]
+    }
+
+    fn predict(&self, row: &Row) -> ClassId {
+        self.assign_raw(&embed(&self.schema, row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_types::Attribute;
+
+    fn grid_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("x", AttrDomain::binned(vec![2.0, 4.0, 6.0, 8.0]).unwrap()),
+            Attribute::new("y", AttrDomain::binned(vec![2.0, 4.0, 6.0, 8.0]).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let schema = grid_schema();
+        let mut points = Vec::new();
+        for i in 0..30 {
+            let j = (i % 5) as f64 * 0.1;
+            points.push(vec![1.0 + j, 1.0 - j]);
+            points.push(vec![9.0 - j, 9.0 + j]);
+        }
+        let km = KMeans::train_raw(schema, &points, KMeansParams { k: 2, ..Default::default() }).unwrap();
+        let a = km.assign_raw(&[1.0, 1.0]);
+        let b = km.assign_raw(&[9.0, 9.0]);
+        assert_ne!(a, b, "the two blobs must land in different clusters");
+        assert_eq!(km.assign_raw(&[1.3, 0.8]), a);
+        assert_eq!(km.assign_raw(&[8.7, 9.2]), b);
+    }
+
+    #[test]
+    fn score_is_negative_weighted_distance() {
+        let schema = grid_schema();
+        let km = KMeans::from_parts(
+            schema,
+            vec![vec![0.0, 0.0], vec![10.0, 10.0]],
+            vec![vec![1.0, 2.0], vec![1.0, 1.0]],
+        )
+        .unwrap();
+        let s = km.score_raw(&[1.0, 2.0], ClassId(0));
+        assert!((s - (-(1.0) - 2.0 * 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_resolve_to_lower_cluster_id() {
+        let schema = grid_schema();
+        let km = KMeans::from_parts(
+            schema,
+            vec![vec![0.0, 0.0], vec![10.0, 0.0]],
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+        )
+        .unwrap();
+        assert_eq!(km.assign_raw(&[5.0, 3.0]), ClassId(0), "equidistant point goes to cluster 0");
+    }
+
+    #[test]
+    fn encoded_prediction_uses_bin_representatives() {
+        let schema = grid_schema();
+        let km = KMeans::from_parts(
+            schema.clone(),
+            vec![vec![1.0, 1.0], vec![9.0, 9.0]],
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+        )
+        .unwrap();
+        assert_eq!(km.predict(&[0, 0]), ClassId(0));
+        assert_eq!(km.predict(&[4, 4]), ClassId(1));
+    }
+
+    #[test]
+    fn mixed_schema_clusters_on_categorical_mismatch() {
+        let schema = Schema::new(vec![
+            Attribute::new("c", AttrDomain::categorical(["a", "b"])),
+            Attribute::new("x", AttrDomain::binned(vec![2.0, 4.0]).unwrap()),
+        ])
+        .unwrap();
+        // Two clusters separated purely by the categorical attribute
+        // (the ordered attribute is constant).
+        let mut ds = Dataset::new(schema.clone());
+        for i in 0..40 {
+            ds.push_encoded(&[(i % 2) as u16, 1]).unwrap();
+        }
+        let km = KMeans::train_encoded(&ds, KMeansParams { k: 2, ..Default::default() }).unwrap();
+        let a = km.predict(&[0, 0]);
+        let b = km.predict(&[1, 0]);
+        assert_ne!(a, b, "categorical mismatch must separate the clusters");
+        // Modal centroids are exact member indexes.
+        for c in km.centroids() {
+            assert!(c[0] == 0.0 || c[0] == 1.0, "categorical centroid is a member index");
+        }
+        assert!(km.is_categorical_dim(0) && !km.is_categorical_dim(1));
+    }
+
+    #[test]
+    fn k_larger_than_points_is_clamped() {
+        let schema = grid_schema();
+        let points = vec![vec![1.0, 1.0], vec![9.0, 9.0]];
+        let km = KMeans::train_raw(schema, &points, KMeansParams { k: 10, ..Default::default() }).unwrap();
+        assert_eq!(km.n_classes(), 2);
+    }
+
+    #[test]
+    fn from_parts_validates_shapes() {
+        let schema = grid_schema();
+        assert!(KMeans::from_parts(schema.clone(), vec![], vec![]).is_err());
+        assert!(KMeans::from_parts(schema.clone(), vec![vec![0.0]], vec![vec![1.0, 1.0]]).is_err());
+        assert!(KMeans::from_parts(
+            schema,
+            vec![vec![0.0, 0.0]],
+            vec![vec![-1.0, 1.0]],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_seed() {
+        let schema = grid_schema();
+        let points: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 10) as f64, (i / 10) as f64 * 3.0])
+            .collect();
+        let p = KMeansParams { k: 3, seed: 42, ..Default::default() };
+        let a = KMeans::train_raw(schema.clone(), &points, p).unwrap();
+        let b = KMeans::train_raw(schema, &points, p).unwrap();
+        assert_eq!(a, b);
+    }
+}

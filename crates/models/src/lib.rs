@@ -1,0 +1,76 @@
+//! # mpq-models
+//!
+//! From-scratch implementations of the discrete predictive mining models
+//! the ICDE 2002 paper derives upper envelopes for:
+//!
+//! * [`DecisionTree`] — binary entropy-split trees in the C4.5 family
+//!   (paper §3.1);
+//! * [`NaiveBayes`] — discrete naive Bayes with Laplace smoothing and the
+//!   paper's prior-based tie resolution (§3.2.1, Eq. 1–2);
+//! * [`RuleSet`] — if-then rule classifiers learned by sequential covering
+//!   with weight-based conflict resolution (§3.1);
+//! * [`KMeans`] — centroid-based partitional clustering under weighted
+//!   Euclidean distance (§3.3);
+//! * [`Gmm`] — model-based clustering: a diagonal-covariance Gaussian
+//!   mixture fitted with EM (§3.3);
+//! * [`BoundaryClustering`] — boundary/density-based clustering over the
+//!   discretized grid (§3.3).
+//!
+//! All classifiers consume rows *encoded* against an [`mpq_types::Schema`]
+//! (member indexes); the clusterers additionally expose raw-space
+//! assignment, since their decision surfaces live in the original
+//! continuous space.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod boundary;
+mod decision_tree;
+mod gmm;
+mod kmeans;
+mod naive_bayes;
+mod rules;
+
+pub use boundary::BoundaryClustering;
+pub use decision_tree::{DecisionTree, Node, Split, TreeParams};
+pub use gmm::{Gmm, GmmParams};
+pub use kmeans::{KMeans, KMeansParams};
+pub use naive_bayes::NaiveBayes;
+pub use rules::{Rule, RuleCond, RuleSet, RuleSetParams};
+
+use mpq_types::{ClassId, Row, Schema};
+
+/// A trained discrete predictive model: maps an encoded row to one of `K`
+/// classes. This is the contract the engine's black-box `PREDICTION JOIN`
+/// evaluation uses, and the reference against which envelope soundness is
+/// property-tested.
+pub trait Classifier {
+    /// The schema of rows this model scores.
+    fn schema(&self) -> &Schema;
+
+    /// Number of output classes `K`.
+    fn n_classes(&self) -> usize;
+
+    /// Human-readable label of class `c`.
+    fn class_name(&self, c: ClassId) -> &str;
+
+    /// Predicts the class of an encoded row.
+    fn predict(&self, row: &Row) -> ClassId;
+
+    /// Resolves a class label to its id (case-insensitive), if present.
+    fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        (0..self.n_classes())
+            .map(|i| ClassId(i as u16))
+            .find(|&c| self.class_name(c).eq_ignore_ascii_case(name))
+    }
+}
+
+/// Classification accuracy of `model` over labeled `data` — handy in tests
+/// and examples to confirm trained models actually learned something.
+pub fn accuracy<M: Classifier + ?Sized>(model: &M, data: &mpq_types::LabeledDataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let hits = data.iter().filter(|(row, label)| model.predict(row) == *label).count();
+    hits as f64 / data.len() as f64
+}

@@ -1,0 +1,328 @@
+//! Discrete naive Bayes classifier (paper §3.2.1).
+//!
+//! The predicted class of an instance `x` is
+//! `argmax_k ( log Pr(c_k) + Σ_d log Pr(x_d | c_k) )` (Eq. 2), with ties
+//! resolved toward the class with the higher prior, as the paper
+//! prescribes. All probabilities are stored in the log domain; envelope
+//! derivation in `mpq-core` reads the same log tables through the public
+//! accessors so the predictor and the derived bounds agree bit-for-bit.
+
+use crate::Classifier;
+use mpq_types::{ClassId, LabeledDataset, Row, Schema, TypesError};
+
+/// A trained discrete naive Bayes model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveBayes {
+    schema: Schema,
+    class_names: Vec<String>,
+    /// `log_prior[k]` = log Pr(c_k).
+    log_prior: Vec<f64>,
+    /// `log_cond[d][m][k]` = log Pr(m_{md} | c_k); dimension-major then
+    /// member-major so the per-dimension slices the derivation scans are
+    /// contiguous.
+    log_cond: Vec<Vec<Vec<f64>>>,
+}
+
+impl NaiveBayes {
+    /// Trains a naive Bayes model with Laplace (add-one) smoothing.
+    pub fn train(data: &LabeledDataset) -> Result<Self, TypesError> {
+        let schema = data.data.schema().clone();
+        let k = data.n_classes();
+        if k == 0 || data.is_empty() {
+            return Err(TypesError::ArityMismatch { expected: 1, got: 0 });
+        }
+        let counts = data.class_counts();
+        let n = data.len() as f64;
+        // Laplace-smoothed priors keep every log finite even for classes
+        // absent from the training sample.
+        let log_prior: Vec<f64> =
+            counts.iter().map(|&c| ((c as f64 + 1.0) / (n + k as f64)).ln()).collect();
+
+        let mut log_cond: Vec<Vec<Vec<f64>>> = schema
+            .attrs()
+            .iter()
+            .map(|a| vec![vec![0.0f64; k]; a.domain.cardinality() as usize])
+            .collect();
+        // Raw joint counts first...
+        for (row, label) in data.iter() {
+            for (d, &m) in row.iter().enumerate() {
+                log_cond[d][m as usize][label.index()] += 1.0;
+            }
+        }
+        // ...then smooth and take logs per (dimension, class) column.
+        for (d, attr) in schema.attrs().iter().enumerate() {
+            let card = attr.domain.cardinality() as f64;
+            for kk in 0..k {
+                let denom = counts[kk] as f64 + card;
+                for m in 0..attr.domain.cardinality() as usize {
+                    let c = log_cond[d][m][kk];
+                    log_cond[d][m][kk] = ((c + 1.0) / denom).ln();
+                }
+            }
+        }
+        Ok(NaiveBayes { schema, class_names: data.class_names.clone(), log_prior, log_cond })
+    }
+
+    /// Builds a model directly from probability tables — how the paper's
+    /// Table 1 example and PMML imports are materialized.
+    ///
+    /// `priors[k]` = Pr(c_k); `cond[d][m][k]` = Pr(m | c_k). Probabilities
+    /// must be positive (use smoothing upstream; zeros would produce
+    /// `-inf` logs that poison the score sums).
+    pub fn from_probabilities(
+        schema: Schema,
+        class_names: Vec<String>,
+        priors: &[f64],
+        cond: &[Vec<Vec<f64>>],
+    ) -> Result<Self, TypesError> {
+        let k = class_names.len();
+        if priors.len() != k || cond.len() != schema.len() {
+            return Err(TypesError::ArityMismatch { expected: k, got: priors.len() });
+        }
+        if priors.iter().any(|&p| !(p > 0.0)) {
+            return Err(TypesError::BadCuts { detail: "priors must be positive".into() });
+        }
+        for (d, attr) in schema.attrs().iter().enumerate() {
+            if cond[d].len() != attr.domain.cardinality() as usize {
+                return Err(TypesError::ArityMismatch {
+                    expected: attr.domain.cardinality() as usize,
+                    got: cond[d].len(),
+                });
+            }
+            for per_member in &cond[d] {
+                if per_member.len() != k {
+                    return Err(TypesError::ArityMismatch { expected: k, got: per_member.len() });
+                }
+                if per_member.iter().any(|&p| !(p > 0.0)) {
+                    return Err(TypesError::BadCuts {
+                        detail: "conditional probabilities must be positive".into(),
+                    });
+                }
+            }
+        }
+        let log_prior = priors.iter().map(|p| p.ln()).collect();
+        let log_cond = cond
+            .iter()
+            .map(|per_dim| per_dim.iter().map(|pm| pm.iter().map(|p| p.ln()).collect()).collect())
+            .collect();
+        Ok(NaiveBayes { schema, class_names, log_prior, log_cond })
+    }
+
+    /// Log prior of class `k`.
+    pub fn log_prior(&self, k: ClassId) -> f64 {
+        self.log_prior[k.index()]
+    }
+
+    /// Log conditional `log Pr(member m of dim d | class k)`.
+    pub fn log_cond(&self, d: usize, m: u16, k: ClassId) -> f64 {
+        self.log_cond[d][m as usize][k.index()]
+    }
+
+    /// The per-class log-score of `row` (Eq. 2); summed in fixed dimension
+    /// order so derivation-side bounds are consistent under f64 rounding.
+    pub fn log_score(&self, row: &Row, k: ClassId) -> f64 {
+        let mut s = self.log_prior[k.index()];
+        for (d, &m) in row.iter().enumerate() {
+            s += self.log_cond[d][m as usize][k.index()];
+        }
+        s
+    }
+
+    /// The paper's tie-break: higher prior wins; equal priors fall back to
+    /// the lower class id so prediction stays deterministic. Returns true
+    /// if `a` beats `b` at equal scores.
+    pub fn tie_break_beats(&self, a: ClassId, b: ClassId) -> bool {
+        let (pa, pb) = (self.log_prior[a.index()], self.log_prior[b.index()]);
+        pa > pb || (pa == pb && a.0 < b.0)
+    }
+}
+
+impl Classifier for NaiveBayes {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    fn class_name(&self, c: ClassId) -> &str {
+        &self.class_names[c.index()]
+    }
+
+    fn predict(&self, row: &Row) -> ClassId {
+        debug_assert_eq!(row.len(), self.schema.len());
+        let mut best = ClassId(0);
+        let mut best_score = self.log_score(row, best);
+        for k in 1..self.n_classes() {
+            let c = ClassId(k as u16);
+            let s = self.log_score(row, c);
+            if s > best_score || (s == best_score && self.tie_break_beats(c, best)) {
+                best = c;
+                best_score = s;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_types::{AttrDomain, Attribute, Dataset};
+
+    fn two_attr_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("d0", AttrDomain::categorical(["m0", "m1", "m2", "m3"])),
+            Attribute::new("d1", AttrDomain::categorical(["m0", "m1", "m2"])),
+        ])
+        .unwrap()
+    }
+
+    /// The exact classifier of the paper's Table 1: K=3 classes, 2 dims,
+    /// domain sizes 4 and 3.
+    pub(crate) fn paper_table1() -> NaiveBayes {
+        let schema = two_attr_schema();
+        let priors = [0.33, 0.5, 0.17];
+        // cond[d][m][k]: values transcribed from the row/column margins.
+        let d0 = vec![
+            vec![0.4, 0.1, 0.05],
+            vec![0.4, 0.1, 0.05],
+            vec![0.05, 0.4, 0.4],
+            vec![0.05, 0.4, 0.4],
+        ];
+        // Note: Table 1 as printed shows m21's triplet as (.49, .1, .9),
+        // but the internal cells (e.g. Pr(x|c2)·Pr(c2) = .002 at
+        // (m20, m21)) and every bound in Figure 2 require Pr(m21|c2) =
+        // .01 — the printed .1 is a typo in the paper.
+        let d1 = vec![
+            vec![0.01, 0.7, 0.05],
+            vec![0.5, 0.29, 0.05],
+            vec![0.49, 0.01, 0.9],
+        ];
+        NaiveBayes::from_probabilities(
+            schema,
+            vec!["c1".into(), "c2".into(), "c3".into()],
+            &priors,
+            &[d0, d1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reproduces_paper_table1_cell_predictions() {
+        let nb = paper_table1();
+        // Expected winners per (d0, d1) cell, straight from Table 1.
+        let cases: [((u16, u16), u16); 12] = [
+            ((0, 0), 1), ((1, 0), 1), ((2, 0), 1), ((3, 0), 1),
+            ((0, 1), 0), ((1, 1), 0), ((2, 1), 1), ((3, 1), 1),
+            ((0, 2), 0), ((1, 2), 0), ((2, 2), 2), ((3, 2), 2),
+        ];
+        for ((m0, m1), want) in cases {
+            assert_eq!(
+                nb.predict(&[m0, m1]),
+                ClassId(want),
+                "cell (m{m0}0, m{m1}1) should predict c{}",
+                want + 1
+            );
+        }
+    }
+
+    #[test]
+    fn table1_joint_probabilities_match_paper() {
+        let nb = paper_table1();
+        // Top-left cell: Pr(x|c1)*Pr(c1) = .33*.4*.01 ≈ .00132, paper
+        // prints the triplet (.001, .03, .0005) rounded.
+        let s1 = nb.log_score(&[0, 0], ClassId(0)).exp();
+        let s2 = nb.log_score(&[0, 0], ClassId(1)).exp();
+        let s3 = nb.log_score(&[0, 0], ClassId(2)).exp();
+        assert!((s1 - 0.33 * 0.4 * 0.01).abs() < 1e-12);
+        assert!((s2 - 0.5 * 0.1 * 0.7).abs() < 1e-12);
+        assert!((s3 - 0.17 * 0.05 * 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_learns_a_separable_concept() {
+        // Class = value of attribute 0; attribute 1 is noise.
+        let schema = two_attr_schema();
+        let mut ds = Dataset::new(schema);
+        let mut labels = Vec::new();
+        for m0 in 0..4u16 {
+            for m1 in 0..3u16 {
+                for _ in 0..5 {
+                    ds.push_encoded(&[m0, m1]).unwrap();
+                    labels.push(ClassId(u16::from(m0 >= 2)));
+                }
+            }
+        }
+        let lds = LabeledDataset::new(ds, labels, vec!["lo".into(), "hi".into()]).unwrap();
+        let nb = NaiveBayes::train(&lds).unwrap();
+        assert_eq!(crate::accuracy(&nb, &lds), 1.0);
+        assert_eq!(nb.predict(&[0, 2]), ClassId(0));
+        assert_eq!(nb.predict(&[3, 0]), ClassId(1));
+    }
+
+    #[test]
+    fn smoothing_keeps_unseen_members_finite() {
+        let schema = two_attr_schema();
+        let mut ds = Dataset::new(schema);
+        // Member m3 of d0 and m2 of d1 never appear in training.
+        ds.push_encoded(&[0, 0]).unwrap();
+        ds.push_encoded(&[1, 1]).unwrap();
+        let lds = LabeledDataset::new(ds, vec![ClassId(0), ClassId(1)], vec!["a".into(), "b".into()]).unwrap();
+        let nb = NaiveBayes::train(&lds).unwrap();
+        let s = nb.log_score(&[3, 2], ClassId(0));
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn tie_break_prefers_higher_prior() {
+        // Two classes with identical conditionals; class 1 has the higher
+        // prior and must win everywhere.
+        let schema = Schema::new(vec![Attribute::new("x", AttrDomain::categorical(["a", "b"]))]).unwrap();
+        let cond = vec![vec![vec![0.5, 0.5], vec![0.5, 0.5]]];
+        let nb = NaiveBayes::from_probabilities(
+            schema,
+            vec!["c0".into(), "c1".into()],
+            &[0.4, 0.6],
+            &cond,
+        )
+        .unwrap();
+        assert_eq!(nb.predict(&[0]), ClassId(1));
+        assert!(nb.tie_break_beats(ClassId(1), ClassId(0)));
+        assert!(!nb.tie_break_beats(ClassId(0), ClassId(1)));
+    }
+
+    #[test]
+    fn tie_break_equal_priors_uses_class_id() {
+        let schema = Schema::new(vec![Attribute::new("x", AttrDomain::categorical(["a", "b"]))]).unwrap();
+        let cond = vec![vec![vec![0.5, 0.5], vec![0.5, 0.5]]];
+        let nb = NaiveBayes::from_probabilities(
+            schema,
+            vec!["c0".into(), "c1".into()],
+            &[0.5, 0.5],
+            &cond,
+        )
+        .unwrap();
+        assert_eq!(nb.predict(&[1]), ClassId(0));
+    }
+
+    #[test]
+    fn from_probabilities_rejects_bad_shapes_and_zeros() {
+        let schema = two_attr_schema();
+        let names = vec!["a".into(), "b".into()];
+        assert!(NaiveBayes::from_probabilities(schema.clone(), names.clone(), &[0.5], &[]).is_err());
+        let d0 = vec![vec![0.5, 0.5]; 4];
+        let d1_bad = vec![vec![0.5, 0.0]; 3]; // zero probability
+        assert!(
+            NaiveBayes::from_probabilities(schema, names, &[0.5, 0.5], &[d0, d1_bad]).is_err()
+        );
+    }
+
+    #[test]
+    fn class_by_name_is_case_insensitive() {
+        let nb = paper_table1();
+        assert_eq!(nb.class_by_name("C2"), Some(ClassId(1)));
+        assert_eq!(nb.class_by_name("nope"), None);
+    }
+}

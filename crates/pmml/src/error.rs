@@ -1,0 +1,59 @@
+//! PMML error type.
+
+/// Errors raised while reading or building PMML documents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmmlError {
+    /// XML-level syntax error.
+    Xml {
+        /// Byte offset.
+        at: usize,
+        /// Explanation.
+        detail: String,
+    },
+    /// Document is well-formed XML but not the expected PMML shape.
+    Structure {
+        /// Explanation.
+        detail: String,
+    },
+    /// A numeric or enumerated value failed to parse/validate.
+    Value {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for PmmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmmlError::Xml { at, detail } => write!(f, "xml error at byte {at}: {detail}"),
+            PmmlError::Structure { detail } => write!(f, "pmml structure error: {detail}"),
+            PmmlError::Value { detail } => write!(f, "pmml value error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for PmmlError {}
+
+impl From<mpq_types::TypesError> for PmmlError {
+    fn from(e: mpq_types::TypesError) -> Self {
+        PmmlError::Value { detail: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_location() {
+        let e = PmmlError::Xml { at: 12, detail: "boom".into() };
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn types_errors_convert() {
+        let t = mpq_types::TypesError::UnknownMember { member: "x".into() };
+        let p: PmmlError = t.into();
+        assert!(matches!(p, PmmlError::Value { .. }));
+    }
+}

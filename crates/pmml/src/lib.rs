@@ -1,0 +1,26 @@
+//! # mpq-pmml
+//!
+//! PMML-flavoured XML import/export for the workspace's mining models,
+//! mirroring the IBM Intelligent Miner Scoring path of the paper's §2.3:
+//! a model trained elsewhere is imported into the database and immediately
+//! usable in mining predicates (envelopes are derived at registration
+//! regardless of where the model came from).
+//!
+//! The document subset follows PMML 2.0 element names (`TreeModel`,
+//! `NaiveBayesModel`, `ClusteringModel`) with documented deviations:
+//! probabilities are stored directly instead of PMML's raw counts, bin
+//! cut points ride in `Extension` elements, and diagonal Gaussian
+//! mixtures — absent from PMML 2.0 — use a `MixtureModel` element of the
+//! same style.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod models;
+mod schema;
+pub mod xml;
+
+pub use error::PmmlError;
+pub use models::{export, import, PmmlModel};
+pub use schema::{schema_from_xml, schema_to_xml};

@@ -1,0 +1,652 @@
+//! Model ⇄ PMML document conversion.
+//!
+//! The subset follows PMML 2.0 element names where they exist
+//! (`TreeModel`, `NaiveBayesModel`, `ClusteringModel`) with two
+//! documented deviations: probabilities are stored directly (PMML's
+//! `PairCounts` stores raw counts) and the diagonal Gaussian mixture —
+//! which PMML 2.0 has no vocabulary for — uses a `MixtureModel` element
+//! in the same style.
+
+use crate::schema::{schema_from_xml, schema_to_xml};
+use crate::xml::{parse, XmlNode};
+use crate::PmmlError;
+use mpq_models::{
+    Classifier as _, DecisionTree, Gmm, KMeans, NaiveBayes, Node, Rule, RuleCond, RuleSet, Split,
+};
+use mpq_types::{AttrDomain, AttrId, ClassId, MemberSet, Schema};
+
+/// Any model this crate can carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmmlModel {
+    /// A decision tree.
+    Tree(DecisionTree),
+    /// A discrete naive Bayes classifier.
+    NaiveBayes(NaiveBayes),
+    /// A centroid-based clustering model.
+    KMeans(KMeans),
+    /// A diagonal Gaussian mixture.
+    Gmm(Gmm),
+    /// A weighted rule set.
+    Rules(RuleSet),
+}
+
+impl PmmlModel {
+    /// The model's input schema.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            PmmlModel::Tree(m) => m.schema(),
+            PmmlModel::NaiveBayes(m) => m.schema(),
+            PmmlModel::KMeans(m) => m.schema(),
+            PmmlModel::Gmm(m) => m.schema(),
+            PmmlModel::Rules(m) => m.schema(),
+        }
+    }
+}
+
+/// Serializes a model as a PMML document.
+pub fn export(model: &PmmlModel) -> String {
+    let body = match model {
+        PmmlModel::Tree(t) => tree_to_xml(t),
+        PmmlModel::NaiveBayes(nb) => nb_to_xml(nb),
+        PmmlModel::KMeans(km) => kmeans_to_xml(km),
+        PmmlModel::Gmm(g) => gmm_to_xml(g),
+        PmmlModel::Rules(rs) => rules_to_xml(rs),
+    };
+    let doc = XmlNode::new("PMML")
+        .attr("version", "2.0")
+        .child(XmlNode::new("Header").attr("copyright", "mpq"))
+        .child(schema_to_xml(model.schema()))
+        .child(body);
+    format!("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n{}", doc.to_string_pretty())
+}
+
+/// Parses a PMML document back into a model.
+pub fn import(text: &str) -> Result<PmmlModel, PmmlError> {
+    let doc = parse(text)?;
+    if doc.name != "PMML" {
+        return Err(PmmlError::Structure { detail: format!("expected <PMML>, got <{}>", doc.name) });
+    }
+    let schema = schema_from_xml(doc.req_child("DataDictionary")?)?;
+    if let Some(n) = doc.find("TreeModel") {
+        return Ok(PmmlModel::Tree(tree_from_xml(n, &schema)?));
+    }
+    if let Some(n) = doc.find("NaiveBayesModel") {
+        return Ok(PmmlModel::NaiveBayes(nb_from_xml(n, &schema)?));
+    }
+    if let Some(n) = doc.find("ClusteringModel") {
+        return Ok(PmmlModel::KMeans(kmeans_from_xml(n, &schema)?));
+    }
+    if let Some(n) = doc.find("MixtureModel") {
+        return Ok(PmmlModel::Gmm(gmm_from_xml(n, &schema)?));
+    }
+    if let Some(n) = doc.find("RuleSetModel") {
+        return Ok(PmmlModel::Rules(rules_from_xml(n, &schema)?));
+    }
+    Err(PmmlError::Structure { detail: "no supported model element found".into() })
+}
+
+// ---------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------
+
+fn parse_f64(s: &str) -> Result<f64, PmmlError> {
+    s.trim().parse::<f64>().map_err(|_| PmmlError::Value { detail: format!("bad number {s:?}") })
+}
+
+fn float_list(values: &[f64]) -> String {
+    values.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ")
+}
+
+fn parse_float_list(s: &str) -> Result<Vec<f64>, PmmlError> {
+    s.split_whitespace().map(parse_f64).collect()
+}
+
+fn class_of(names: &[String], label: &str) -> Result<ClassId, PmmlError> {
+    names
+        .iter()
+        .position(|n| n == label)
+        .map(|i| ClassId(i as u16))
+        .ok_or_else(|| PmmlError::Value { detail: format!("unknown class {label:?}") })
+}
+
+// ---------------------------------------------------------------------
+// Decision tree
+// ---------------------------------------------------------------------
+
+fn tree_to_xml(tree: &DecisionTree) -> XmlNode {
+    let mut m = XmlNode::new("TreeModel").attr("functionName", "classification");
+    let mut classes = XmlNode::new("Output");
+    for k in 0..tree.n_classes() {
+        classes = classes
+            .child(XmlNode::new("OutputField").attr("name", tree.class_name(ClassId(k as u16))));
+    }
+    m = m.child(classes);
+    m.child(node_to_xml(tree.root(), tree))
+}
+
+fn node_to_xml(node: &Node, tree: &DecisionTree) -> XmlNode {
+    match node {
+        Node::Leaf { class, support } => XmlNode::new("Node")
+            .attr("score", tree.class_name(*class))
+            .attr("recordCount", *support),
+        Node::Internal { split, left, right } => {
+            let attr_name = &tree.schema().attr(split.attr()).name;
+            let pred = match split {
+                Split::LeMember { attr, cut_member } => {
+                    let domain = &tree.schema().attr(*attr).domain;
+                    let (_, hi) = domain.bin_interval(*cut_member).expect("ordered split");
+                    XmlNode::new("SimplePredicate")
+                        .attr("field", attr_name)
+                        .attr("operator", "lessOrEqual")
+                        .attr("value", hi)
+                }
+                Split::InSet { attr, members } => {
+                    let domain = &tree.schema().attr(*attr).domain;
+                    let labels: Vec<String> =
+                        members.iter().map(|m| domain.member_label(m)).collect();
+                    XmlNode::new("SimpleSetPredicate")
+                        .attr("field", attr_name)
+                        .attr("booleanOperator", "isIn")
+                        .child(
+                            XmlNode::new("Array")
+                                .attr("type", "string")
+                                .with_text(labels.join(" ")),
+                        )
+                }
+            };
+            XmlNode::new("Node")
+                .child(pred)
+                .child(node_to_xml(left, tree))
+                .child(node_to_xml(right, tree))
+        }
+    }
+}
+
+fn tree_from_xml(m: &XmlNode, schema: &Schema) -> Result<DecisionTree, PmmlError> {
+    let class_names: Vec<String> = m
+        .req_child("Output")?
+        .find_all("OutputField")
+        .map(|c| c.req_attr("name").map(str::to_owned))
+        .collect::<Result<_, _>>()?;
+    let root = node_from_xml(m.req_child("Node")?, schema, &class_names)?;
+    DecisionTree::from_parts(schema.clone(), class_names, root)
+        .map_err(|e| PmmlError::Value { detail: e.to_string() })
+}
+
+fn node_from_xml(n: &XmlNode, schema: &Schema, classes: &[String]) -> Result<Node, PmmlError> {
+    if let Some(score) = n.get_attr("score") {
+        let support = n
+            .get_attr("recordCount")
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(0);
+        return Ok(Node::Leaf { class: class_of(classes, score)?, support });
+    }
+    let kids: Vec<&XmlNode> = n.find_all("Node").collect();
+    if kids.len() != 2 {
+        return Err(PmmlError::Structure {
+            detail: format!("internal <Node> must have 2 child Nodes, has {}", kids.len()),
+        });
+    }
+    let split = if let Some(sp) = n.find("SimplePredicate") {
+        let field = sp.req_attr("field")?;
+        let attr = schema
+            .attr_by_name(field)
+            .ok_or_else(|| PmmlError::Value { detail: format!("unknown field {field:?}") })?;
+        if sp.req_attr("operator")? != "lessOrEqual" {
+            return Err(PmmlError::Structure {
+                detail: "only lessOrEqual SimplePredicates are supported".into(),
+            });
+        }
+        let value = parse_f64(sp.req_attr("value")?)?;
+        let AttrDomain::Binned { cuts } = &schema.attr(attr).domain else {
+            return Err(PmmlError::Structure {
+                detail: format!("SimplePredicate on categorical field {field:?}"),
+            });
+        };
+        let cut_member = cuts
+            .iter()
+            .position(|&c| c == value)
+            .ok_or_else(|| PmmlError::Value {
+                detail: format!("split value {value} is not a cut of {field:?}"),
+            })? as u16;
+        Split::LeMember { attr, cut_member }
+    } else if let Some(sp) = n.find("SimpleSetPredicate") {
+        let field = sp.req_attr("field")?;
+        let attr = schema
+            .attr_by_name(field)
+            .ok_or_else(|| PmmlError::Value { detail: format!("unknown field {field:?}") })?;
+        let domain = &schema.attr(attr).domain;
+        let card = domain.cardinality();
+        let mut members = MemberSet::empty(card);
+        for label in sp.req_child("Array")?.text.split_whitespace() {
+            let m = domain
+                .encode(&mpq_types::Value::Str(label.to_string()))
+                .map_err(|e| PmmlError::Value { detail: e.to_string() })?;
+            members.insert(m);
+        }
+        Split::InSet { attr, members }
+    } else {
+        return Err(PmmlError::Structure { detail: "internal <Node> missing predicate".into() });
+    };
+    Ok(Node::Internal {
+        split,
+        left: Box::new(node_from_xml(kids[0], schema, classes)?),
+        right: Box::new(node_from_xml(kids[1], schema, classes)?),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Naive Bayes
+// ---------------------------------------------------------------------
+
+fn nb_to_xml(nb: &NaiveBayes) -> XmlNode {
+    let k = nb.n_classes();
+    let schema = nb.schema();
+    let mut m = XmlNode::new("NaiveBayesModel").attr("functionName", "classification");
+    let mut priors = XmlNode::new("ClassPriors");
+    for c in 0..k {
+        priors = priors.child(
+            XmlNode::new("Prior")
+                .attr("class", nb.class_name(ClassId(c as u16)))
+                .attr("probability", nb.log_prior(ClassId(c as u16)).exp()),
+        );
+    }
+    m = m.child(priors);
+    let mut inputs = XmlNode::new("BayesInputs");
+    for (d, attr) in schema.iter() {
+        let mut input = XmlNode::new("BayesInput").attr("fieldName", &attr.name);
+        for member in 0..attr.domain.cardinality() {
+            let mut pair = XmlNode::new("PairProbabilities")
+                .attr("value", attr.domain.member_label(member));
+            for c in 0..k {
+                pair = pair.child(
+                    XmlNode::new("TargetValueProbability")
+                        .attr("class", nb.class_name(ClassId(c as u16)))
+                        .attr(
+                            "probability",
+                            nb.log_cond(d.index(), member, ClassId(c as u16)).exp(),
+                        ),
+                );
+            }
+            input = input.child(pair);
+        }
+        inputs = inputs.child(input);
+    }
+    m.child(inputs)
+}
+
+fn nb_from_xml(m: &XmlNode, schema: &Schema) -> Result<NaiveBayes, PmmlError> {
+    let priors_node = m.req_child("ClassPriors")?;
+    let mut class_names = Vec::new();
+    let mut priors = Vec::new();
+    for p in priors_node.find_all("Prior") {
+        class_names.push(p.req_attr("class")?.to_string());
+        priors.push(parse_f64(p.req_attr("probability")?)?);
+    }
+    let k = class_names.len();
+    let mut cond: Vec<Vec<Vec<f64>>> = schema
+        .attrs()
+        .iter()
+        .map(|a| vec![vec![0.0; k]; a.domain.cardinality() as usize])
+        .collect();
+    for input in m.req_child("BayesInputs")?.find_all("BayesInput") {
+        let field = input.req_attr("fieldName")?;
+        let attr = schema
+            .attr_by_name(field)
+            .ok_or_else(|| PmmlError::Value { detail: format!("unknown field {field:?}") })?;
+        let domain = &schema.attr(attr).domain;
+        for pair in input.find_all("PairProbabilities") {
+            let label = pair.req_attr("value")?;
+            // Categorical members resolve by name; binned members by
+            // their "(lo, hi]" label.
+            let member = (0..domain.cardinality())
+                .find(|&mm| domain.member_label(mm) == label)
+                .ok_or_else(|| PmmlError::Value {
+                    detail: format!("unknown member {label:?} of {field:?}"),
+                })?;
+            for tv in pair.find_all("TargetValueProbability") {
+                let c = class_of(&class_names, tv.req_attr("class")?)?;
+                cond[attr.index()][member as usize][c.index()] =
+                    parse_f64(tv.req_attr("probability")?)?;
+            }
+        }
+    }
+    NaiveBayes::from_probabilities(schema.clone(), class_names, &priors, &cond)
+        .map_err(|e| PmmlError::Value { detail: e.to_string() })
+}
+
+// ---------------------------------------------------------------------
+// Rule sets
+// ---------------------------------------------------------------------
+
+fn rules_to_xml(rs: &RuleSet) -> XmlNode {
+    let schema = rs.schema();
+    let mut m = XmlNode::new("RuleSetModel").attr("functionName", "classification");
+    let mut classes = XmlNode::new("Output");
+    for k in 0..rs.n_classes() {
+        classes = classes
+            .child(XmlNode::new("OutputField").attr("name", rs.class_name(ClassId(k as u16))));
+    }
+    m = m.child(classes);
+    let mut set = XmlNode::new("RuleSet")
+        .attr("defaultScore", rs.class_name(rs.default_class()));
+    for (i, rule) in rs.rules().iter().enumerate() {
+        let mut r = XmlNode::new("SimpleRule")
+            .attr("id", i + 1)
+            .attr("score", rs.class_name(rule.head))
+            .attr("weight", rule.weight);
+        let mut body = XmlNode::new("CompoundPredicate").attr("booleanOperator", "and");
+        for cond in &rule.body {
+            let attr = cond.attr();
+            let name = &schema.attr(attr).name;
+            let domain = &schema.attr(attr).domain;
+            body = body.child(match cond {
+                RuleCond::Range { lo, hi, .. } => {
+                    let (lo_bound, _) = domain.bin_interval(*lo).expect("ordered cond");
+                    let (_, hi_bound) = domain.bin_interval(*hi).expect("ordered cond");
+                    XmlNode::new("Interval")
+                        .attr("field", name)
+                        .attr("leftMargin", lo_bound)
+                        .attr("rightMargin", hi_bound)
+                }
+                RuleCond::In { members, .. } => {
+                    let labels: Vec<String> =
+                        members.iter().map(|mm| domain.member_label(mm)).collect();
+                    XmlNode::new("SimpleSetPredicate")
+                        .attr("field", name)
+                        .attr("booleanOperator", "isIn")
+                        .child(
+                            XmlNode::new("Array")
+                                .attr("type", "string")
+                                .with_text(labels.join(" ")),
+                        )
+                }
+            });
+        }
+        r = r.child(body);
+        set = set.child(r);
+    }
+    m.child(set)
+}
+
+fn rules_from_xml(m: &XmlNode, schema: &Schema) -> Result<RuleSet, PmmlError> {
+    let class_names: Vec<String> = m
+        .req_child("Output")?
+        .find_all("OutputField")
+        .map(|c| c.req_attr("name").map(str::to_owned))
+        .collect::<Result<_, _>>()?;
+    let set = m.req_child("RuleSet")?;
+    let default_class = class_of(&class_names, set.req_attr("defaultScore")?)?;
+    let mut rules = Vec::new();
+    for r in set.find_all("SimpleRule") {
+        let head = class_of(&class_names, r.req_attr("score")?)?;
+        let weight = parse_f64(r.req_attr("weight")?)?;
+        let mut body = Vec::new();
+        for cond in &r.req_child("CompoundPredicate")?.children {
+            let field = cond.req_attr("field")?;
+            let attr: AttrId = schema
+                .attr_by_name(field)
+                .ok_or_else(|| PmmlError::Value { detail: format!("unknown field {field:?}") })?;
+            let domain = &schema.attr(attr).domain;
+            match cond.name.as_str() {
+                "Interval" => {
+                    let AttrDomain::Binned { cuts } = domain else {
+                        return Err(PmmlError::Structure {
+                            detail: format!("Interval on categorical field {field:?}"),
+                        });
+                    };
+                    let left = parse_f64(cond.req_attr("leftMargin")?)?;
+                    let right = parse_f64(cond.req_attr("rightMargin")?)?;
+                    // Map margins back to member indexes: the lo member's
+                    // lower bound is `left`, the hi member's upper bound
+                    // is `right` (±inf encode the end bins).
+                    let lo = if left == f64::NEG_INFINITY {
+                        0
+                    } else {
+                        cuts.iter().position(|&c| c == left).ok_or_else(|| PmmlError::Value {
+                            detail: format!("leftMargin {left} is not a cut of {field:?}"),
+                        })? as u16
+                            + 1
+                    };
+                    let hi = if right == f64::INFINITY {
+                        domain.cardinality() - 1
+                    } else {
+                        cuts.iter().position(|&c| c == right).ok_or_else(|| PmmlError::Value {
+                            detail: format!("rightMargin {right} is not a cut of {field:?}"),
+                        })? as u16
+                    };
+                    body.push(RuleCond::Range { attr, lo, hi });
+                }
+                "SimpleSetPredicate" => {
+                    let mut members = MemberSet::empty(domain.cardinality());
+                    for label in cond.req_child("Array")?.text.split_whitespace() {
+                        let mm = domain
+                            .encode(&mpq_types::Value::Str(label.to_string()))
+                            .map_err(|e| PmmlError::Value { detail: e.to_string() })?;
+                        members.insert(mm);
+                    }
+                    body.push(RuleCond::In { attr, members });
+                }
+                other => {
+                    return Err(PmmlError::Structure {
+                        detail: format!("unsupported rule condition <{other}>"),
+                    })
+                }
+            }
+        }
+        rules.push(Rule { body, head, weight });
+    }
+    RuleSet::from_parts(schema.clone(), class_names, rules, default_class)
+        .map_err(|e| PmmlError::Value { detail: e.to_string() })
+}
+
+// ---------------------------------------------------------------------
+// Clustering
+// ---------------------------------------------------------------------
+
+fn kmeans_to_xml(km: &KMeans) -> XmlNode {
+    let mut m = XmlNode::new("ClusteringModel")
+        .attr("modelClass", "centerBased")
+        .attr("numberOfClusters", km.n_classes());
+    for (i, (c, w)) in km.centroids().iter().zip(km.weights()).enumerate() {
+        m = m.child(
+            XmlNode::new("Cluster")
+                .attr("name", format!("cluster_{i}"))
+                .child(XmlNode::new("Array").attr("type", "real").with_text(float_list(c)))
+                .child(
+                    XmlNode::new("Extension")
+                        .attr("name", "weights")
+                        .attr("value", float_list(w)),
+                ),
+        );
+    }
+    m
+}
+
+fn kmeans_from_xml(m: &XmlNode, schema: &Schema) -> Result<KMeans, PmmlError> {
+    let mut centroids = Vec::new();
+    let mut weights = Vec::new();
+    for c in m.find_all("Cluster") {
+        centroids.push(parse_float_list(&c.req_child("Array")?.text)?);
+        let w = c
+            .find_all("Extension")
+            .find(|e| e.get_attr("name") == Some("weights"))
+            .ok_or_else(|| PmmlError::Structure { detail: "Cluster missing weights".into() })?;
+        weights.push(parse_float_list(w.req_attr("value")?)?);
+    }
+    KMeans::from_parts(schema.clone(), centroids, weights)
+        .map_err(|e| PmmlError::Value { detail: e.to_string() })
+}
+
+fn gmm_to_xml(g: &Gmm) -> XmlNode {
+    let mut m = XmlNode::new("MixtureModel").attr("numberOfComponents", g.n_classes());
+    for k in 0..g.n_classes() {
+        let c = ClassId(k as u16);
+        m = m.child(
+            XmlNode::new("Component")
+                .attr("tau", g.log_tau(c).exp())
+                .child(XmlNode::new("Mean").with_text(float_list(&g.means()[k])))
+                .child(XmlNode::new("Variance").with_text(float_list(&g.vars()[k]))),
+        );
+    }
+    m
+}
+
+fn gmm_from_xml(m: &XmlNode, schema: &Schema) -> Result<Gmm, PmmlError> {
+    let mut taus = Vec::new();
+    let mut means = Vec::new();
+    let mut vars = Vec::new();
+    for c in m.find_all("Component") {
+        taus.push(parse_f64(c.req_attr("tau")?)?);
+        means.push(parse_float_list(&c.req_child("Mean")?.text)?);
+        vars.push(parse_float_list(&c.req_child("Variance")?.text)?);
+    }
+    Gmm::from_parts(schema.clone(), taus, means, vars)
+        .map_err(|e| PmmlError::Value { detail: e.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_models::{Classifier, TreeParams};
+    use mpq_types::{Attribute, Dataset, LabeledDataset};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("age", AttrDomain::binned(vec![30.0, 63.0]).unwrap()),
+            Attribute::new("color", AttrDomain::categorical(["red", "green", "blue"])),
+        ])
+        .unwrap()
+    }
+
+    fn training_data() -> LabeledDataset {
+        let mut ds = Dataset::new(schema());
+        let mut labels = Vec::new();
+        for age in 0..3u16 {
+            for color in 0..3u16 {
+                for _ in 0..5 {
+                    ds.push_encoded(&[age, color]).unwrap();
+                    labels.push(ClassId(u16::from(age == 2 || color == 0)));
+                }
+            }
+        }
+        LabeledDataset::new(ds, labels, vec!["no".into(), "yes".into()]).unwrap()
+    }
+
+    #[test]
+    fn tree_roundtrips_with_identical_predictions() {
+        let tree = DecisionTree::train(&training_data(), TreeParams::default()).unwrap();
+        let text = export(&PmmlModel::Tree(tree.clone()));
+        let back = import(&text).unwrap();
+        let PmmlModel::Tree(t2) = back else { panic!("wrong model kind") };
+        for age in 0..3u16 {
+            for color in 0..3u16 {
+                assert_eq!(tree.predict(&[age, color]), t2.predict(&[age, color]));
+            }
+        }
+    }
+
+    #[test]
+    fn naive_bayes_roundtrips_exactly() {
+        let nb = NaiveBayes::train(&training_data()).unwrap();
+        let text = export(&PmmlModel::NaiveBayes(nb.clone()));
+        let PmmlModel::NaiveBayes(nb2) = import(&text).unwrap() else { panic!("kind") };
+        // f64 Display is shortest-roundtrip, so parameters are identical.
+        for age in 0..3u16 {
+            for color in 0..3u16 {
+                assert_eq!(nb.predict(&[age, color]), nb2.predict(&[age, color]));
+                for c in 0..2 {
+                    let a = nb.log_score(&[age, color], ClassId(c));
+                    let b = nb2.log_score(&[age, color], ClassId(c));
+                    assert!((a - b).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_roundtrips_exactly() {
+        let s = Schema::new(vec![
+            Attribute::new("x", AttrDomain::binned(vec![1.0, 2.0]).unwrap()),
+            Attribute::new("y", AttrDomain::binned(vec![1.5]).unwrap()),
+        ])
+        .unwrap();
+        let km = KMeans::from_parts(
+            s,
+            vec![vec![0.25, 1.75], vec![2.5, 0.5]],
+            vec![vec![1.0, 0.5], vec![2.0, 1.0]],
+        )
+        .unwrap();
+        let text = export(&PmmlModel::KMeans(km.clone()));
+        let PmmlModel::KMeans(km2) = import(&text).unwrap() else { panic!("kind") };
+        assert_eq!(km, km2);
+    }
+
+    #[test]
+    fn gmm_roundtrips_exactly() {
+        let s = Schema::new(vec![Attribute::new("x", AttrDomain::binned(vec![1.0]).unwrap())]).unwrap();
+        let g = Gmm::from_parts(s, vec![0.25, 0.75], vec![vec![0.5], vec![2.5]], vec![vec![0.7], vec![1.3]])
+            .unwrap();
+        let text = export(&PmmlModel::Gmm(g.clone()));
+        let PmmlModel::Gmm(g2) = import(&text).unwrap() else { panic!("kind") };
+        for k in 0..2u16 {
+            assert!((g.score_raw(&[1.0], ClassId(k)) - g2.score_raw(&[1.0], ClassId(k))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rule_set_roundtrips_exactly() {
+        use mpq_types::AttrId;
+        let s = schema();
+        let rules = vec![
+            Rule {
+                body: vec![
+                    RuleCond::Range { attr: AttrId(0), lo: 1, hi: 2 },
+                    RuleCond::In { attr: AttrId(1), members: MemberSet::of(3, [0, 2]) },
+                ],
+                head: ClassId(1),
+                weight: 0.9,
+            },
+            Rule {
+                body: vec![RuleCond::Range { attr: AttrId(0), lo: 0, hi: 0 }],
+                head: ClassId(0),
+                weight: 0.7,
+            },
+        ];
+        let rs = RuleSet::from_parts(s, vec!["no".into(), "yes".into()], rules, ClassId(0))
+            .unwrap();
+        let text = export(&PmmlModel::Rules(rs.clone()));
+        let PmmlModel::Rules(rs2) = import(&text).unwrap() else { panic!("kind") };
+        assert_eq!(rs, rs2);
+        for age in 0..3u16 {
+            for color in 0..3u16 {
+                assert_eq!(rs.predict(&[age, color]), rs2.predict(&[age, color]));
+            }
+        }
+    }
+
+    #[test]
+    fn import_rejects_garbage() {
+        assert!(import("<PMML/>").is_err(), "no dictionary");
+        assert!(import("not xml").is_err());
+        let no_model = XmlNode::new("PMML")
+            .child(crate::schema::schema_to_xml(&schema()))
+            .to_string_pretty();
+        assert!(matches!(import(&no_model), Err(PmmlError::Structure { .. })));
+    }
+
+    #[test]
+    fn tree_with_set_split_roundtrips() {
+        use mpq_types::AttrId;
+        let s = schema();
+        let root = Node::Internal {
+            split: Split::InSet { attr: AttrId(1), members: MemberSet::of(3, [0, 2]) },
+            left: Box::new(Node::Leaf { class: ClassId(1), support: 3 }),
+            right: Box::new(Node::Leaf { class: ClassId(0), support: 4 }),
+        };
+        let tree = DecisionTree::from_parts(s, vec!["n".into(), "y".into()], root).unwrap();
+        let text = export(&PmmlModel::Tree(tree.clone()));
+        let PmmlModel::Tree(t2) = import(&text).unwrap() else { panic!("kind") };
+        assert_eq!(tree, t2);
+    }
+}

@@ -1,0 +1,137 @@
+//! DataDictionary ⇄ [`Schema`] conversion.
+
+use crate::xml::XmlNode;
+use crate::PmmlError;
+use mpq_types::{AttrDomain, Attribute, Schema};
+
+/// Serializes a schema as a PMML `DataDictionary`. Categorical domains
+/// list their `<Value>`s; binned continuous domains carry their cut
+/// points in an `<Extension name="cuts">` (PMML proper would model the
+/// discretization as a transformation; the extension keeps the document
+/// self-contained).
+pub fn schema_to_xml(schema: &Schema) -> XmlNode {
+    let mut dict = XmlNode::new("DataDictionary").attr("numberOfFields", schema.len());
+    for (_, attr) in schema.iter() {
+        let field = match &attr.domain {
+            AttrDomain::Categorical { members } => {
+                let mut f = XmlNode::new("DataField")
+                    .attr("name", &attr.name)
+                    .attr("optype", "categorical")
+                    .attr("dataType", "string");
+                for m in members {
+                    f = f.child(XmlNode::new("Value").attr("value", m));
+                }
+                f
+            }
+            AttrDomain::Binned { cuts } => {
+                let list =
+                    cuts.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",");
+                XmlNode::new("DataField")
+                    .attr("name", &attr.name)
+                    .attr("optype", "continuous")
+                    .attr("dataType", "double")
+                    .child(XmlNode::new("Extension").attr("name", "cuts").attr("value", list))
+            }
+        };
+        dict = dict.child(field);
+    }
+    dict
+}
+
+/// Parses a `DataDictionary` back into a schema.
+pub fn schema_from_xml(dict: &XmlNode) -> Result<Schema, PmmlError> {
+    if dict.name != "DataDictionary" {
+        return Err(PmmlError::Structure {
+            detail: format!("expected <DataDictionary>, got <{}>", dict.name),
+        });
+    }
+    let mut attrs = Vec::new();
+    for field in dict.find_all("DataField") {
+        let name = field.req_attr("name")?;
+        match field.req_attr("optype")? {
+            "categorical" => {
+                let members: Vec<String> = field
+                    .find_all("Value")
+                    .map(|v| v.req_attr("value").map(str::to_owned))
+                    .collect::<Result<_, _>>()?;
+                if members.is_empty() {
+                    return Err(PmmlError::Structure {
+                        detail: format!("categorical field {name:?} has no <Value>s"),
+                    });
+                }
+                attrs.push(Attribute::new(name, AttrDomain::categorical(members)));
+            }
+            "continuous" => {
+                let ext = field
+                    .find_all("Extension")
+                    .find(|e| e.get_attr("name") == Some("cuts"))
+                    .ok_or_else(|| PmmlError::Structure {
+                        detail: format!("continuous field {name:?} missing cuts extension"),
+                    })?;
+                let value = ext.req_attr("value")?;
+                let cuts: Vec<f64> = if value.is_empty() {
+                    Vec::new()
+                } else {
+                    value
+                        .split(',')
+                        .map(|s| {
+                            s.trim().parse::<f64>().map_err(|_| PmmlError::Value {
+                                detail: format!("bad cut {s:?} in field {name:?}"),
+                            })
+                        })
+                        .collect::<Result<_, _>>()?
+                };
+                attrs.push(Attribute::new(name, AttrDomain::binned(cuts)?));
+            }
+            other => {
+                return Err(PmmlError::Structure {
+                    detail: format!("unsupported optype {other:?} on field {name:?}"),
+                })
+            }
+        }
+    }
+    Ok(Schema::new(attrs)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Schema {
+        Schema::new(vec![
+            Attribute::new("color", AttrDomain::categorical(["red", "green"])),
+            Attribute::new("age", AttrDomain::binned(vec![30.5, 63.0]).unwrap()),
+            Attribute::new("free", AttrDomain::binned(vec![]).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_roundtrips() {
+        let s = demo();
+        let xml = schema_to_xml(&s);
+        let back = schema_from_xml(&xml).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let s = demo();
+        let text = schema_to_xml(&s).to_string_pretty();
+        let node = crate::xml::parse(&text).unwrap();
+        assert_eq!(schema_from_xml(&node).unwrap(), s);
+    }
+
+    #[test]
+    fn rejects_wrong_shapes() {
+        assert!(schema_from_xml(&XmlNode::new("Nope")).is_err());
+        let bad = XmlNode::new("DataDictionary").child(
+            XmlNode::new("DataField").attr("name", "x").attr("optype", "ordinal"),
+        );
+        assert!(schema_from_xml(&bad).is_err());
+        let no_values = XmlNode::new("DataDictionary").child(
+            XmlNode::new("DataField").attr("name", "x").attr("optype", "categorical"),
+        );
+        assert!(schema_from_xml(&no_values).is_err());
+    }
+}

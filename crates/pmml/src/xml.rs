@@ -1,0 +1,333 @@
+//! A minimal XML reader/writer — just enough for the PMML subset.
+//!
+//! Supports elements, attributes, text content and the five standard
+//! entities. No namespaces, processing instructions (skipped), comments
+//! (skipped) or DTDs — PMML documents in the wild use plain elements.
+
+use crate::PmmlError;
+
+/// An XML element.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct XmlNode {
+    /// Element name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements.
+    pub children: Vec<XmlNode>,
+    /// Concatenated text content (trimmed).
+    pub text: String,
+}
+
+impl XmlNode {
+    /// Creates an element with a name.
+    pub fn new(name: impl Into<String>) -> XmlNode {
+        XmlNode { name: name.into(), ..Default::default() }
+    }
+
+    /// Builder: adds an attribute.
+    pub fn attr(mut self, k: impl Into<String>, v: impl std::fmt::Display) -> XmlNode {
+        self.attrs.push((k.into(), v.to_string()));
+        self
+    }
+
+    /// Builder: adds a child.
+    pub fn child(mut self, c: XmlNode) -> XmlNode {
+        self.children.push(c);
+        self
+    }
+
+    /// Builder: sets text content.
+    pub fn with_text(mut self, t: impl Into<String>) -> XmlNode {
+        self.text = t.into();
+        self
+    }
+
+    /// Looks up an attribute value.
+    pub fn get_attr(&self, k: &str) -> Option<&str> {
+        self.attrs.iter().find(|(n, _)| n == k).map(|(_, v)| v.as_str())
+    }
+
+    /// Required attribute, with a useful error.
+    pub fn req_attr(&self, k: &str) -> Result<&str, PmmlError> {
+        self.get_attr(k).ok_or_else(|| PmmlError::Structure {
+            detail: format!("<{}> missing attribute {k:?}", self.name),
+        })
+    }
+
+    /// First child with the given element name.
+    pub fn find(&self, name: &str) -> Option<&XmlNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Required child, with a useful error.
+    pub fn req_child(&self, name: &str) -> Result<&XmlNode, PmmlError> {
+        self.find(name).ok_or_else(|| PmmlError::Structure {
+            detail: format!("<{}> missing child <{name}>", self.name),
+        })
+    }
+
+    /// All children with the given element name.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlNode> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Serializes the tree with 2-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape(v));
+            out.push('"');
+        }
+        if self.children.is_empty() && self.text.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        out.push('>');
+        if !self.text.is_empty() {
+            out.push_str(&escape(&self.text));
+        }
+        if !self.children.is_empty() {
+            out.push('\n');
+            for c in &self.children {
+                c.write(out, depth + 1);
+            }
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+        .replace('\'', "&apos;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+/// Parses a single-rooted XML document.
+pub fn parse(input: &str) -> Result<XmlNode, PmmlError> {
+    let mut p = XmlParser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_misc();
+    let root = p.element()?;
+    p.skip_misc();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct XmlParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl XmlParser<'_> {
+    fn err(&self, detail: impl Into<String>) -> PmmlError {
+        PmmlError::Xml { at: self.pos, detail: detail.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, XML declarations, comments and DOCTYPE noise.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>");
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->");
+            } else if self.starts_with("<!") {
+                self.skip_until(">");
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_until(&mut self, end: &str) {
+        while self.pos < self.bytes.len() && !self.starts_with(end) {
+            self.pos += 1;
+        }
+        self.pos = (self.pos + end.len()).min(self.bytes.len());
+    }
+
+    fn name(&mut self) -> Result<String, PmmlError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let c = self.bytes[self.pos] as char;
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == ':' || c == '.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn element(&mut self) -> Result<XmlNode, PmmlError> {
+        if !self.starts_with("<") {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let mut node = XmlNode::new(self.name()?);
+        // Attributes.
+        loop {
+            self.skip_ws();
+            if self.starts_with("/>") {
+                self.pos += 2;
+                return Ok(node);
+            }
+            if self.starts_with(">") {
+                self.pos += 1;
+                break;
+            }
+            let k = self.name()?;
+            self.skip_ws();
+            if !self.starts_with("=") {
+                return Err(self.err("expected '=' in attribute"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let quote = *self.bytes.get(self.pos).ok_or_else(|| self.err("eof in attribute"))?;
+            if quote != b'"' && quote != b'\'' {
+                return Err(self.err("expected quoted attribute value"));
+            }
+            self.pos += 1;
+            let start = self.pos;
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != quote {
+                self.pos += 1;
+            }
+            let v = unescape(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+            self.pos += 1; // closing quote
+            node.attrs.push((k, v));
+        }
+        // Content.
+        loop {
+            if self.starts_with("<!--") {
+                self.skip_until("-->");
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != node.name {
+                    return Err(self.err(format!(
+                        "mismatched close tag: <{}> closed by </{close}>",
+                        node.name
+                    )));
+                }
+                self.skip_ws();
+                if !self.starts_with(">") {
+                    return Err(self.err("expected '>' after close tag"));
+                }
+                self.pos += 1;
+                node.text = node.text.trim().to_string();
+                return Ok(node);
+            }
+            if self.starts_with("<") {
+                node.children.push(self.element()?);
+                continue;
+            }
+            if self.pos >= self.bytes.len() {
+                return Err(self.err(format!("eof inside <{}>", node.name)));
+            }
+            let start = self.pos;
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+                self.pos += 1;
+            }
+            node.text.push_str(&unescape(&String::from_utf8_lossy(&self.bytes[start..self.pos])));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple_document() {
+        let doc = XmlNode::new("PMML")
+            .attr("version", "2.0")
+            .child(XmlNode::new("Header").attr("copyright", "x&y"))
+            .child(XmlNode::new("Value").with_text("a < b"));
+        let text = doc.to_string_pretty();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn parses_declarations_and_comments() {
+        let input = r#"<?xml version="1.0"?>
+            <!-- a comment -->
+            <root a="1"><!-- inner --><child/></root>"#;
+        let node = parse(input).unwrap();
+        assert_eq!(node.name, "root");
+        assert_eq!(node.get_attr("a"), Some("1"));
+        assert_eq!(node.children.len(), 1);
+    }
+
+    #[test]
+    fn escaping_roundtrips() {
+        let doc = XmlNode::new("t").attr("v", "\"<&>'").with_text("<tag> & 'quote'");
+        let back = parse(&doc.to_string_pretty()).unwrap();
+        assert_eq!(back.get_attr("v"), Some("\"<&>'"));
+        assert_eq!(back.text, "<tag> & 'quote'");
+    }
+
+    #[test]
+    fn errors_on_malformed_input() {
+        assert!(parse("<a><b></a>").is_err(), "mismatched tags");
+        assert!(parse("<a").is_err(), "unterminated tag");
+        assert!(parse("<a/>junk").is_err(), "trailing content");
+        assert!(parse("<a x=1/>").is_err(), "unquoted attribute");
+    }
+
+    #[test]
+    fn helpers_navigate_structure() {
+        let doc = parse(r#"<m><f n="a"/><f n="b"/><g/></m>"#).unwrap();
+        assert_eq!(doc.find_all("f").count(), 2);
+        assert!(doc.find("g").is_some());
+        assert!(doc.find("h").is_none());
+        assert!(doc.req_child("h").is_err());
+        assert!(doc.find("f").unwrap().req_attr("n").is_ok());
+        assert!(doc.find("f").unwrap().req_attr("zz").is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! Attribute domains and schemas.
+
+use crate::{AttrId, Member, TypesError, Value};
+
+/// The domain of one attribute: either an unordered categorical member set
+/// or an ordered set of bins produced by discretizing a continuous
+/// attribute.
+///
+/// The distinction matters to envelope derivation: the paper's *shrink*
+/// step may drop arbitrary members of an unordered dimension but only trims
+/// the two ends of an ordered one (to keep regions expressible as ranges),
+/// and generated SQL uses `IN (...)` for the former and range comparisons
+/// on the original cut points for the latter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrDomain {
+    /// Unordered categorical attribute; member `i` is named `members[i]`.
+    Categorical {
+        /// The member names, in encoding order.
+        members: Vec<String>,
+    },
+    /// Continuous attribute discretized into `cuts.len() + 1` ordered bins.
+    ///
+    /// `cuts` must be strictly increasing. Bin `0` is `(-inf, cuts[0]]`,
+    /// bin `i` is `(cuts[i-1], cuts[i]]`, and the last bin is
+    /// `(cuts[last], +inf)`.
+    Binned {
+        /// Strictly increasing cut points.
+        cuts: Vec<f64>,
+    },
+}
+
+impl AttrDomain {
+    /// Builds a categorical domain from member names.
+    pub fn categorical<S: Into<String>>(members: impl IntoIterator<Item = S>) -> Self {
+        AttrDomain::Categorical {
+            members: members.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Builds a binned domain, validating that cuts are strictly
+    /// increasing and finite.
+    pub fn binned(cuts: Vec<f64>) -> Result<Self, TypesError> {
+        for w in cuts.windows(2) {
+            if !(w[0] < w[1]) {
+                return Err(TypesError::BadCuts {
+                    detail: format!("cut points must be strictly increasing, got {} then {}", w[0], w[1]),
+                });
+            }
+        }
+        if cuts.iter().any(|c| !c.is_finite()) {
+            return Err(TypesError::BadCuts {
+                detail: "cut points must be finite".into(),
+            });
+        }
+        Ok(AttrDomain::Binned { cuts })
+    }
+
+    /// Number of members (bins) in this domain.
+    pub fn cardinality(&self) -> u16 {
+        match self {
+            AttrDomain::Categorical { members } => members.len() as u16,
+            AttrDomain::Binned { cuts } => (cuts.len() + 1) as u16,
+        }
+    }
+
+    /// Whether the domain is ordered (binned continuous) as opposed to
+    /// unordered categorical.
+    pub fn is_ordered(&self) -> bool {
+        matches!(self, AttrDomain::Binned { .. })
+    }
+
+    /// For a binned domain, the numeric interval `(lo, hi]` covered by
+    /// member `m`; the first interval has `lo = -inf`, the last `hi = +inf`.
+    ///
+    /// Returns `None` for categorical domains.
+    pub fn bin_interval(&self, m: Member) -> Option<(f64, f64)> {
+        match self {
+            AttrDomain::Binned { cuts } => {
+                let i = m as usize;
+                debug_assert!(i <= cuts.len());
+                let lo = if i == 0 { f64::NEG_INFINITY } else { cuts[i - 1] };
+                let hi = if i == cuts.len() { f64::INFINITY } else { cuts[i] };
+                Some((lo, hi))
+            }
+            AttrDomain::Categorical { .. } => None,
+        }
+    }
+
+    /// A representative numeric value for member `m` of a binned domain
+    /// (the bin midpoint; for the unbounded end bins, the cut offset by the
+    /// median inner bin width). Used by clustering when embedding bins.
+    pub fn bin_representative(&self, m: Member) -> Option<f64> {
+        let (lo, hi) = self.bin_interval(m)?;
+        let width = match self {
+            AttrDomain::Binned { cuts } if cuts.len() >= 2 => {
+                let mut widths: Vec<f64> = cuts.windows(2).map(|w| w[1] - w[0]).collect();
+                widths.sort_by(|a, b| a.partial_cmp(b).expect("finite widths"));
+                widths[widths.len() / 2]
+            }
+            _ => 1.0,
+        };
+        Some(match (lo.is_finite(), hi.is_finite()) {
+            (true, true) => (lo + hi) / 2.0,
+            (false, true) => hi - width / 2.0,
+            (true, false) => lo + width / 2.0,
+            (false, false) => 0.0,
+        })
+    }
+
+    /// A human/SQL-readable label for member `m` of this domain.
+    pub fn member_label(&self, m: Member) -> String {
+        match self {
+            AttrDomain::Categorical { members } => members[m as usize].clone(),
+            AttrDomain::Binned { .. } => {
+                let (lo, hi) = self.bin_interval(m).expect("binned");
+                format!("({lo}, {hi}]")
+            }
+        }
+    }
+
+    /// Encodes a raw value into its member index.
+    pub fn encode(&self, v: &Value) -> Result<Member, TypesError> {
+        match (self, v) {
+            (AttrDomain::Categorical { members }, Value::Str(s)) => members
+                .iter()
+                .position(|m| m == s)
+                .map(|i| i as Member)
+                .ok_or_else(|| TypesError::UnknownMember { member: s.clone() }),
+            (AttrDomain::Binned { cuts }, Value::Num(x)) => {
+                // partition_point gives the count of cuts < x, i.e. the bin
+                // whose interval (cuts[i-1], cuts[i]] contains x.
+                let i = cuts.partition_point(|c| c < x);
+                Ok(i as Member)
+            }
+            (AttrDomain::Categorical { .. }, Value::Num(_)) => Err(TypesError::TypeMismatch {
+                expected: "string (categorical attribute)",
+            }),
+            (AttrDomain::Binned { .. }, Value::Str(_)) => Err(TypesError::TypeMismatch {
+                expected: "number (binned attribute)",
+            }),
+        }
+    }
+}
+
+/// An attribute: a name plus a domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Column name as it appears in SQL.
+    pub name: String,
+    /// The attribute's domain.
+    pub domain: AttrDomain,
+}
+
+impl Attribute {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, domain: AttrDomain) -> Self {
+        Attribute { name: name.into(), domain }
+    }
+}
+
+/// An ordered list of attributes; the shared shape of datasets, tables and
+/// model inputs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema from attributes. Names must be unique
+    /// (case-insensitively, matching SQL identifier semantics).
+    pub fn new(attrs: Vec<Attribute>) -> Result<Self, TypesError> {
+        if attrs.len() > u16::MAX as usize {
+            return Err(TypesError::TooManyAttributes { n: attrs.len() });
+        }
+        let mut seen: Vec<String> = Vec::with_capacity(attrs.len());
+        for a in &attrs {
+            let lower = a.name.to_ascii_lowercase();
+            if seen.contains(&lower) {
+                return Err(TypesError::DuplicateAttribute { name: a.name.clone() });
+            }
+            seen.push(lower);
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// Number of attributes (the paper's `n`).
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True if the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attribute at `id`.
+    pub fn attr(&self, id: AttrId) -> &Attribute {
+        &self.attrs[id.index()]
+    }
+
+    /// All attributes in order.
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Iterate `(AttrId, &Attribute)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.attrs.iter().enumerate().map(|(i, a)| (AttrId(i as u16), a))
+    }
+
+    /// Looks an attribute up by name (case-insensitive, like SQL).
+    pub fn attr_by_name(&self, name: &str) -> Option<AttrId> {
+        self.attrs
+            .iter()
+            .position(|a| a.name.eq_ignore_ascii_case(name))
+            .map(|i| AttrId(i as u16))
+    }
+
+    /// Per-dimension domain cardinalities (the paper's `n_d` vector).
+    pub fn cardinalities(&self) -> Vec<u16> {
+        self.attrs.iter().map(|a| a.domain.cardinality()).collect()
+    }
+
+    /// Total number of cells in the attribute grid, saturating at
+    /// `u64::MAX` (the paper's `prod n_d`; exponential in `n`).
+    pub fn grid_cells(&self) -> u64 {
+        self.attrs
+            .iter()
+            .fold(1u64, |acc, a| acc.saturating_mul(a.domain.cardinality() as u64))
+    }
+
+    /// Encodes a raw row into member indexes.
+    pub fn encode_row(&self, raw: &[Value]) -> Result<Vec<Member>, TypesError> {
+        if raw.len() != self.attrs.len() {
+            return Err(TypesError::ArityMismatch { expected: self.attrs.len(), got: raw.len() });
+        }
+        raw.iter()
+            .zip(&self.attrs)
+            .map(|(v, a)| a.domain.encode(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("color", AttrDomain::categorical(["red", "green", "blue"])),
+            Attribute::new("age", AttrDomain::binned(vec![30.0, 60.0]).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn categorical_roundtrip() {
+        let d = AttrDomain::categorical(["a", "b", "c"]);
+        assert_eq!(d.cardinality(), 3);
+        assert!(!d.is_ordered());
+        assert_eq!(d.encode(&Value::from("b")).unwrap(), 1);
+        assert_eq!(d.member_label(2), "c");
+        assert!(matches!(
+            d.encode(&Value::from("zz")),
+            Err(TypesError::UnknownMember { .. })
+        ));
+    }
+
+    #[test]
+    fn binned_encoding_uses_half_open_bins() {
+        let d = AttrDomain::binned(vec![30.0, 60.0]).unwrap();
+        assert_eq!(d.cardinality(), 3);
+        assert!(d.is_ordered());
+        // bin 0 = (-inf, 30], bin 1 = (30, 60], bin 2 = (60, inf)
+        assert_eq!(d.encode(&Value::from(29.0)).unwrap(), 0);
+        assert_eq!(d.encode(&Value::from(30.0)).unwrap(), 0);
+        assert_eq!(d.encode(&Value::from(30.0001)).unwrap(), 1);
+        assert_eq!(d.encode(&Value::from(60.0)).unwrap(), 1);
+        assert_eq!(d.encode(&Value::from(61.0)).unwrap(), 2);
+    }
+
+    #[test]
+    fn bin_intervals_cover_the_line() {
+        let d = AttrDomain::binned(vec![10.0, 20.0, 35.0]).unwrap();
+        assert_eq!(d.bin_interval(0), Some((f64::NEG_INFINITY, 10.0)));
+        assert_eq!(d.bin_interval(1), Some((10.0, 20.0)));
+        assert_eq!(d.bin_interval(3), Some((35.0, f64::INFINITY)));
+    }
+
+    #[test]
+    fn bin_representatives_are_inside_their_bin() {
+        let d = AttrDomain::binned(vec![10.0, 20.0, 35.0]).unwrap();
+        for m in 0..4u16 {
+            let (lo, hi) = d.bin_interval(m).unwrap();
+            let r = d.bin_representative(m).unwrap();
+            assert!(r > lo || lo == f64::NEG_INFINITY);
+            assert!(r <= hi || hi == f64::INFINITY, "rep {r} not in ({lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn bad_cuts_rejected() {
+        assert!(AttrDomain::binned(vec![1.0, 1.0]).is_err());
+        assert!(AttrDomain::binned(vec![2.0, 1.0]).is_err());
+        assert!(AttrDomain::binned(vec![f64::NAN]).is_err());
+        assert!(AttrDomain::binned(vec![]).is_ok(), "a single unbounded bin is legal");
+    }
+
+    #[test]
+    fn schema_lookup_is_case_insensitive() {
+        let s = demo_schema();
+        assert_eq!(s.attr_by_name("AGE"), Some(AttrId(1)));
+        assert_eq!(s.attr_by_name("Color"), Some(AttrId(0)));
+        assert_eq!(s.attr_by_name("nope"), None);
+    }
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        let r = Schema::new(vec![
+            Attribute::new("x", AttrDomain::categorical(["a"])),
+            Attribute::new("X", AttrDomain::categorical(["b"])),
+        ]);
+        assert!(matches!(r, Err(TypesError::DuplicateAttribute { .. })));
+    }
+
+    #[test]
+    fn encode_row_checks_arity_and_types() {
+        let s = demo_schema();
+        assert_eq!(
+            s.encode_row(&[Value::from("green"), Value::from(45.0)]).unwrap(),
+            vec![1, 1]
+        );
+        assert!(s.encode_row(&[Value::from("green")]).is_err());
+        assert!(s.encode_row(&[Value::from(1.0), Value::from(45.0)]).is_err());
+    }
+
+    #[test]
+    fn grid_cells_multiplies_cardinalities() {
+        let s = demo_schema();
+        assert_eq!(s.grid_cells(), 9);
+        assert_eq!(s.cardinalities(), vec![3, 3]);
+    }
+}

@@ -1,0 +1,283 @@
+//! CSV ingestion: the path from a raw data file to an encoded, labeled
+//! dataset ready for training and querying.
+//!
+//! The loader is deliberately small (comma separation, optional quoting,
+//! a header row) but complete for the UCI-style files the paper's
+//! evaluation uses: columns are type-inferred (numeric vs categorical),
+//! numeric columns are discretized with a chosen method, and one column
+//! may be designated the class label.
+
+use crate::{
+    discretize_column, AttrDomain, Attribute, ClassId, Dataset, DiscretizeMethod, LabeledDataset,
+    Schema, TypesError, Value,
+};
+
+/// Options for [`load_csv`].
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Name of the label column, if the file is a training set.
+    pub label_column: Option<String>,
+    /// Discretization for numeric columns.
+    pub discretize: DiscretizeMethod,
+    /// Treat numeric columns with at most this many distinct values as
+    /// categorical instead (UCI files encode many flags as 0/1).
+    pub max_numeric_as_categorical: usize,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            label_column: None,
+            discretize: DiscretizeMethod::EqualFrequency { bins: 8 },
+            max_numeric_as_categorical: 2,
+        }
+    }
+}
+
+/// Result of loading a CSV: the encoded dataset, plus labels when a
+/// label column was designated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsvData {
+    /// No label column: a plain dataset.
+    Unlabeled(Dataset),
+    /// Label column present: a labeled dataset.
+    Labeled(LabeledDataset),
+}
+
+/// Parses one CSV line honoring double-quote quoting with `""` escapes.
+fn split_line(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            '"' if field.is_empty() => quoted = true,
+            ',' if !quoted => {
+                out.push(std::mem::take(&mut field));
+            }
+            other => field.push(other),
+        }
+    }
+    out.push(field);
+    out
+}
+
+/// Loads CSV text (header row required) into an encoded dataset,
+/// inferring column types and discretizing numeric columns.
+pub fn load_csv(text: &str, opts: &CsvOptions) -> Result<CsvData, TypesError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header: Vec<String> = match lines.next() {
+        Some(h) => split_line(h).into_iter().map(|s| s.trim().to_string()).collect(),
+        None => return Err(TypesError::ArityMismatch { expected: 1, got: 0 }),
+    };
+    let rows: Vec<Vec<String>> = lines
+        .map(|l| split_line(l).into_iter().map(|s| s.trim().to_string()).collect())
+        .collect();
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != header.len() {
+            return Err(TypesError::ArityMismatch { expected: header.len(), got: r.len() })
+                .map_err(|e| {
+                    let _ = i;
+                    e
+                });
+        }
+    }
+
+    let label_idx = match &opts.label_column {
+        Some(name) => Some(
+            header
+                .iter()
+                .position(|h| h.eq_ignore_ascii_case(name))
+                .ok_or_else(|| TypesError::UnknownMember { member: name.clone() })?,
+        ),
+        None => None,
+    };
+
+    // Labels (needed before discretization for supervised binning).
+    let (labels, class_names) = match label_idx {
+        Some(li) => {
+            let mut names: Vec<String> = Vec::new();
+            let mut labels = Vec::with_capacity(rows.len());
+            for r in &rows {
+                let v = &r[li];
+                let id = match names.iter().position(|n| n == v) {
+                    Some(i) => i,
+                    None => {
+                        names.push(v.clone());
+                        names.len() - 1
+                    }
+                };
+                labels.push(ClassId(id as u16));
+            }
+            (Some(labels), names)
+        }
+        None => (None, Vec::new()),
+    };
+
+    // Column typing + domains.
+    let mut attrs = Vec::new();
+    let mut col_kinds = Vec::new(); // true = numeric
+    for (ci, name) in header.iter().enumerate() {
+        if Some(ci) == label_idx {
+            continue;
+        }
+        let parsed: Option<Vec<f64>> =
+            rows.iter().map(|r| r[ci].parse::<f64>().ok()).collect();
+        let domain = match parsed {
+            Some(nums) => {
+                let mut distinct: Vec<u64> = nums.iter().map(|x| x.to_bits()).collect();
+                distinct.sort_unstable();
+                distinct.dedup();
+                if distinct.len() <= opts.max_numeric_as_categorical {
+                    // Few distinct numerics: categorical by literal text.
+                    let mut members: Vec<String> =
+                        rows.iter().map(|r| r[ci].clone()).collect();
+                    members.sort();
+                    members.dedup();
+                    col_kinds.push(false);
+                    AttrDomain::categorical(members)
+                } else {
+                    let cuts = discretize_column(
+                        &nums,
+                        labels.as_deref(),
+                        opts.discretize,
+                    );
+                    col_kinds.push(true);
+                    AttrDomain::binned(cuts)?
+                }
+            }
+            None => {
+                let mut members: Vec<String> = rows.iter().map(|r| r[ci].clone()).collect();
+                members.sort();
+                members.dedup();
+                col_kinds.push(false);
+                AttrDomain::categorical(members)
+            }
+        };
+        attrs.push(Attribute::new(name.clone(), domain));
+    }
+    let schema = Schema::new(attrs)?;
+
+    // Encode rows.
+    let mut ds = Dataset::new(schema);
+    for r in &rows {
+        let mut raw = Vec::with_capacity(header.len() - usize::from(label_idx.is_some()));
+        let mut k = 0;
+        for (ci, _) in header.iter().enumerate() {
+            if Some(ci) == label_idx {
+                continue;
+            }
+            raw.push(if col_kinds[k] {
+                Value::Num(r[ci].parse::<f64>().expect("typed as numeric above"))
+            } else {
+                Value::Str(r[ci].clone())
+            });
+            k += 1;
+        }
+        ds.push_raw(&raw)?;
+    }
+
+    match labels {
+        Some(labels) => Ok(CsvData::Labeled(LabeledDataset::new(ds, labels, class_names)?)),
+        None => Ok(CsvData::Unlabeled(ds)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+age,city,spend,churn
+23,oslo,10.5,no
+41,lima,200.0,no
+37,\"pu,ne\",99.9,yes
+55,oslo,310.0,yes
+29,lima,15.0,no
+62,oslo,500.0,yes
+44,lima,120.0,no
+33,oslo,80.0,no
+";
+
+    #[test]
+    fn loads_labeled_csv() {
+        let opts = CsvOptions {
+            label_column: Some("churn".into()),
+            discretize: DiscretizeMethod::EqualFrequency { bins: 3 },
+            ..Default::default()
+        };
+        let CsvData::Labeled(data) = load_csv(SAMPLE, &opts).unwrap() else {
+            panic!("expected labeled data")
+        };
+        assert_eq!(data.len(), 8);
+        assert_eq!(data.n_classes(), 2);
+        assert_eq!(data.class_names, vec!["no".to_string(), "yes".to_string()]);
+        let schema = data.data.schema();
+        assert_eq!(schema.len(), 3);
+        assert!(schema.attr(schema.attr_by_name("age").unwrap()).domain.is_ordered());
+        assert!(!schema.attr(schema.attr_by_name("city").unwrap()).domain.is_ordered());
+        // The quoted "pu,ne" member survives.
+        assert!(matches!(
+            &schema.attr(schema.attr_by_name("city").unwrap()).domain,
+            AttrDomain::Categorical { members } if members.contains(&"pu,ne".to_string())
+        ));
+    }
+
+    #[test]
+    fn loads_unlabeled_csv() {
+        let CsvData::Unlabeled(ds) = load_csv(SAMPLE, &CsvOptions::default()).unwrap() else {
+            panic!("expected unlabeled")
+        };
+        assert_eq!(ds.len(), 8);
+        assert_eq!(ds.schema().len(), 4, "churn becomes a data column");
+    }
+
+    #[test]
+    fn binary_numeric_columns_become_categorical() {
+        let text = "flag,x\n0,1.5\n1,2.5\n0,3.5\n1,4.5\n";
+        let CsvData::Unlabeled(ds) = load_csv(text, &CsvOptions::default()).unwrap() else {
+            panic!("unlabeled")
+        };
+        let flag = ds.schema().attr_by_name("flag").unwrap();
+        assert!(!ds.schema().attr(flag).domain.is_ordered());
+        assert_eq!(ds.schema().attr(flag).domain.cardinality(), 2);
+    }
+
+    #[test]
+    fn rejects_ragged_rows_and_unknown_label() {
+        assert!(load_csv("a,b\n1\n", &CsvOptions::default()).is_err());
+        let opts = CsvOptions { label_column: Some("ghost".into()), ..Default::default() };
+        assert!(load_csv(SAMPLE, &opts).is_err());
+        assert!(load_csv("", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn quoting_and_escapes() {
+        assert_eq!(split_line(r#"a,"b,c",d"#), vec!["a", "b,c", "d"]);
+        assert_eq!(split_line(r#""he said ""hi""",x"#), vec![r#"he said "hi""#, "x"]);
+        assert_eq!(split_line("plain"), vec!["plain"]);
+        assert_eq!(split_line("a,,c"), vec!["a", "", "c"]);
+    }
+
+    #[test]
+    fn supervised_discretization_path_works() {
+        let opts = CsvOptions {
+            label_column: Some("churn".into()),
+            discretize: DiscretizeMethod::Entropy { max_bins: 4 },
+            ..Default::default()
+        };
+        let CsvData::Labeled(data) = load_csv(SAMPLE, &opts).unwrap() else { panic!() };
+        // spend separates churn well; its domain should have > 1 bin.
+        let spend = data.data.schema().attr_by_name("spend").unwrap();
+        assert!(data.data.schema().attr(spend).domain.cardinality() >= 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Discretization of continuous attributes.
+//!
+//! The paper (§3.2.1) assumes all attributes are discretized, citing
+//! Dougherty/Kohavi/Sahami for method choices. We provide the two
+//! unsupervised workhorses (equal-width, equal-frequency) and a supervised
+//! entropy-based splitter, all of which produce the cut points consumed by
+//! [`crate::AttrDomain::Binned`].
+
+use crate::ClassId;
+
+/// Which discretization method to apply to a raw numeric column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscretizeMethod {
+    /// `bins` intervals of equal numeric width between the observed min
+    /// and max.
+    EqualWidth {
+        /// Number of bins to produce.
+        bins: u16,
+    },
+    /// `bins` intervals holding (approximately) equal row counts.
+    EqualFrequency {
+        /// Number of bins to produce.
+        bins: u16,
+    },
+    /// Recursive supervised binary splitting maximizing information gain
+    /// on the class label, to a depth yielding at most `max_bins` bins.
+    Entropy {
+        /// Upper bound on the number of bins produced.
+        max_bins: u16,
+    },
+}
+
+/// Computes cut points for `column` under `method`. `labels` is consulted
+/// only by [`DiscretizeMethod::Entropy`] and must then be row-aligned with
+/// `column`.
+///
+/// The returned cuts are strictly increasing and may number fewer than
+/// requested when the data has too few distinct values. Non-finite inputs
+/// are ignored.
+pub fn discretize_column(column: &[f64], labels: Option<&[ClassId]>, method: DiscretizeMethod) -> Vec<f64> {
+    match method {
+        DiscretizeMethod::EqualWidth { bins } => equal_width(column, bins),
+        DiscretizeMethod::EqualFrequency { bins } => equal_frequency(column, bins),
+        DiscretizeMethod::Entropy { max_bins } => {
+            let labels = labels.expect("entropy discretization requires labels");
+            entropy_cuts(column, labels, max_bins)
+        }
+    }
+}
+
+fn finite_sorted(column: &[f64]) -> Vec<f64> {
+    let mut v: Vec<f64> = column.iter().copied().filter(|x| x.is_finite()).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v
+}
+
+fn equal_width(column: &[f64], bins: u16) -> Vec<f64> {
+    let v = finite_sorted(column);
+    if v.is_empty() || bins < 2 {
+        return Vec::new();
+    }
+    let (lo, hi) = (v[0], v[v.len() - 1]);
+    if lo == hi {
+        return Vec::new();
+    }
+    let width = (hi - lo) / bins as f64;
+    let mut cuts = Vec::with_capacity(bins as usize - 1);
+    for i in 1..bins {
+        let c = lo + width * i as f64;
+        if cuts.last().is_none_or(|&p| c > p) {
+            cuts.push(c);
+        }
+    }
+    cuts
+}
+
+fn equal_frequency(column: &[f64], bins: u16) -> Vec<f64> {
+    let v = finite_sorted(column);
+    if v.is_empty() || bins < 2 {
+        return Vec::new();
+    }
+    let mut cuts = Vec::with_capacity(bins as usize - 1);
+    for i in 1..bins {
+        let idx = (v.len() * i as usize) / bins as usize;
+        let c = v[idx.min(v.len() - 1)];
+        if cuts.last().is_none_or(|&p| c > p) {
+            cuts.push(c);
+        }
+    }
+    // A cut equal to the maximum would create an empty final bin.
+    while cuts.last() == v.last() {
+        cuts.pop();
+    }
+    cuts
+}
+
+/// Entropy (in nats) of a class-count vector.
+fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+fn entropy_cuts(column: &[f64], labels: &[ClassId], max_bins: u16) -> Vec<f64> {
+    assert_eq!(column.len(), labels.len(), "entropy discretization needs row-aligned labels");
+    let n_classes = labels.iter().map(|c| c.index() + 1).max().unwrap_or(0);
+    let mut pairs: Vec<(f64, ClassId)> = column
+        .iter()
+        .copied()
+        .zip(labels.iter().copied())
+        .filter(|(x, _)| x.is_finite())
+        .collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let mut cuts = Vec::new();
+    split_range(&pairs, n_classes, max_bins.saturating_sub(1), &mut cuts);
+    cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    cuts.dedup();
+    cuts
+}
+
+/// Recursively split `pairs` (sorted by value) at the boundary with the
+/// best information gain, spending at most `budget` further cuts.
+fn split_range(pairs: &[(f64, ClassId)], n_classes: usize, budget: u16, out: &mut Vec<f64>) {
+    if budget == 0 || pairs.len() < 4 {
+        return;
+    }
+    let mut total = vec![0usize; n_classes];
+    for (_, c) in pairs {
+        total[c.index()] += 1;
+    }
+    let base = entropy(&total);
+    if base == 0.0 {
+        return; // pure — no reason to split
+    }
+    let mut left = vec![0usize; n_classes];
+    let mut best: Option<(usize, f64)> = None; // (split index, weighted entropy)
+    for i in 0..pairs.len() - 1 {
+        left[pairs[i].1.index()] += 1;
+        // Only split between distinct values.
+        if pairs[i].0 == pairs[i + 1].0 {
+            continue;
+        }
+        let right: Vec<usize> = total.iter().zip(&left).map(|(t, l)| t - l).collect();
+        let nl = (i + 1) as f64;
+        let nr = (pairs.len() - i - 1) as f64;
+        let w = (nl * entropy(&left) + nr * entropy(&right)) / pairs.len() as f64;
+        if best.is_none_or(|(_, bw)| w < bw) {
+            best = Some((i, w));
+        }
+    }
+    let Some((i, w)) = best else { return };
+    if w >= base {
+        return; // no gain
+    }
+    let cut = (pairs[i].0 + pairs[i + 1].0) / 2.0;
+    out.push(cut);
+    let half = budget / 2;
+    split_range(&pairs[..=i], n_classes, half, out);
+    split_range(&pairs[i + 1..], n_classes, budget - 1 - half, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_spans_range() {
+        let col = [0.0, 10.0, 5.0, 2.5];
+        let cuts = discretize_column(&col, None, DiscretizeMethod::EqualWidth { bins: 4 });
+        assert_eq!(cuts, vec![2.5, 5.0, 7.5]);
+    }
+
+    #[test]
+    fn equal_width_degenerate_cases() {
+        assert!(discretize_column(&[], None, DiscretizeMethod::EqualWidth { bins: 4 }).is_empty());
+        assert!(discretize_column(&[3.0, 3.0], None, DiscretizeMethod::EqualWidth { bins: 4 }).is_empty());
+        assert!(discretize_column(&[1.0, 2.0], None, DiscretizeMethod::EqualWidth { bins: 1 }).is_empty());
+        // Non-finite values are ignored rather than poisoning the range.
+        let cuts = discretize_column(&[0.0, f64::NAN, 10.0, f64::INFINITY], None, DiscretizeMethod::EqualWidth { bins: 2 });
+        assert_eq!(cuts, vec![5.0]);
+    }
+
+    #[test]
+    fn equal_frequency_balances_counts() {
+        let col: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let cuts = discretize_column(&col, None, DiscretizeMethod::EqualFrequency { bins: 4 });
+        assert_eq!(cuts.len(), 3);
+        for w in cuts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Each quartile holds ~25 values.
+        let c0 = col.iter().filter(|&&x| x <= cuts[0]).count();
+        assert!((20..=30).contains(&c0), "first bin holds {c0}");
+    }
+
+    #[test]
+    fn equal_frequency_with_heavy_duplicates_stays_strictly_increasing() {
+        let col = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 3.0];
+        let cuts = discretize_column(&col, None, DiscretizeMethod::EqualFrequency { bins: 4 });
+        for w in cuts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(cuts.last().is_none_or(|&c| c < 3.0), "no empty final bin");
+    }
+
+    #[test]
+    fn entropy_finds_the_class_boundary() {
+        // Class 0 below 5, class 1 above: the first cut must land near 5.
+        let col: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let labels: Vec<ClassId> = (0..20).map(|i| ClassId(u16::from(i >= 10))).collect();
+        let cuts = discretize_column(&col, Some(&labels), DiscretizeMethod::Entropy { max_bins: 2 });
+        assert_eq!(cuts.len(), 1);
+        assert!((cuts[0] - 9.5).abs() < 1e-9, "cut at {}", cuts[0]);
+    }
+
+    #[test]
+    fn entropy_pure_column_produces_no_cuts() {
+        let col: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let labels = vec![ClassId(0); 10];
+        let cuts = discretize_column(&col, Some(&labels), DiscretizeMethod::Entropy { max_bins: 8 });
+        assert!(cuts.is_empty());
+    }
+
+    #[test]
+    fn entropy_respects_max_bins() {
+        // Alternating classes: every boundary is informative.
+        let col: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let labels: Vec<ClassId> = (0..64).map(|i| ClassId((i / 4 % 2) as u16)).collect();
+        let cuts = discretize_column(&col, Some(&labels), DiscretizeMethod::Entropy { max_bins: 4 });
+        assert!(cuts.len() <= 3, "{} cuts exceed max_bins-1", cuts.len());
+        assert!(!cuts.is_empty());
+    }
+
+    #[test]
+    fn entropy_of_counts() {
+        assert_eq!(entropy(&[0, 0]), 0.0);
+        assert_eq!(entropy(&[5, 0]), 0.0);
+        let h = entropy(&[5, 5]);
+        assert!((h - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+}

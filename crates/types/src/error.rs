@@ -1,0 +1,76 @@
+//! Error type for the shared substrate.
+
+/// Errors raised while building schemas or encoding data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypesError {
+    /// A raw value had the wrong type for its attribute domain.
+    TypeMismatch {
+        /// What the domain expected.
+        expected: &'static str,
+    },
+    /// A categorical value not present in the domain.
+    UnknownMember {
+        /// The offending member name.
+        member: String,
+    },
+    /// Cut points were not strictly increasing / finite.
+    BadCuts {
+        /// Explanation.
+        detail: String,
+    },
+    /// Two attributes share a (case-insensitive) name.
+    DuplicateAttribute {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A row had the wrong number of values.
+    ArityMismatch {
+        /// Expected attribute count.
+        expected: usize,
+        /// Provided value count.
+        got: usize,
+    },
+    /// More attributes than `AttrId` can address.
+    TooManyAttributes {
+        /// Provided attribute count.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for TypesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypesError::TypeMismatch { expected } => {
+                write!(f, "value type mismatch: expected {expected}")
+            }
+            TypesError::UnknownMember { member } => {
+                write!(f, "unknown categorical member {member:?}")
+            }
+            TypesError::BadCuts { detail } => write!(f, "invalid cut points: {detail}"),
+            TypesError::DuplicateAttribute { name } => {
+                write!(f, "duplicate attribute name {name:?}")
+            }
+            TypesError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: schema has {expected} attributes, row has {got}")
+            }
+            TypesError::TooManyAttributes { n } => {
+                write!(f, "{n} attributes exceed the u16 attribute-id space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = TypesError::UnknownMember { member: "zz".into() };
+        assert!(e.to_string().contains("zz"));
+        let e = TypesError::ArityMismatch { expected: 3, got: 1 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('1'));
+    }
+}

@@ -1,0 +1,79 @@
+//! # mpq-types
+//!
+//! Shared substrate for the *mining predicates* workspace: attribute
+//! domains, schemas, encoded datasets and discretizers.
+//!
+//! The ICDE 2002 paper ("Efficient Evaluation of Queries with Mining
+//! Predicates") derives upper-envelope predicates over a **discretized
+//! attribute space**: every attribute is either categorical (an unordered,
+//! named member set) or a continuous attribute discretized into ordered
+//! bins. This crate owns that vocabulary so that the model crate, the
+//! envelope-derivation crate and the relational engine all agree on what a
+//! "member" of a "dimension" is.
+//!
+//! Values flowing through the system are encoded as `u16` member indexes
+//! (the paper's `m_{ld}` notation: member `l` of dimension `d`). Raw values
+//! ([`Value`]) only appear at the edges: loading data, generating SQL text.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attribute;
+mod csv;
+mod dataset;
+mod discretize;
+mod error;
+mod memberset;
+mod value;
+
+pub use attribute::{AttrDomain, Attribute, Schema};
+pub use csv::{load_csv, CsvData, CsvOptions};
+pub use dataset::{Dataset, LabeledDataset};
+pub use discretize::{discretize_column, DiscretizeMethod};
+pub use error::TypesError;
+pub use memberset::MemberSet;
+pub use value::Value;
+
+/// Index of an attribute (a *dimension* in the paper's terminology) within
+/// a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The attribute index as a usize, for indexing into schema/row slices.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for AttrId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "attr#{}", self.0)
+    }
+}
+
+/// Index of a class label (or cluster id) among a model's `K` output
+/// classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub u16);
+
+impl ClassId {
+    /// The class index as a usize.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ClassId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+/// A member index within one attribute's domain (the paper's `m_{ld}`).
+pub type Member = u16;
+
+/// An encoded row: one member index per attribute, in schema order.
+pub type Row = [Member];

@@ -1,0 +1,86 @@
+//! Raw (pre-encoding) attribute values.
+
+/// A raw attribute value as it appears at the edges of the system: data
+/// loading, SQL text, PMML documents.
+///
+/// Inside the system every value is a `u16` member index; `Value` exists so
+/// that schemas can encode/decode and so that generated SQL can refer to
+/// the original representation (`age <= 63` rather than `age IN bin#2`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A categorical member, by name.
+    Str(String),
+    /// A numeric value (continuous attributes before discretization).
+    Num(f64),
+}
+
+impl Value {
+    /// Returns the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Num(_) => None,
+        }
+    }
+
+    /// Returns the numeric payload, if this is a [`Value::Num`].
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Num(x)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::Num(x as f64)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Value::Num(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variant() {
+        assert_eq!(Value::from("low").as_str(), Some("low"));
+        assert_eq!(Value::from("low").as_num(), None);
+        assert_eq!(Value::from(3.5).as_num(), Some(3.5));
+        assert_eq!(Value::from(3.5).as_str(), None);
+        assert_eq!(Value::from(7i64).as_num(), Some(7.0));
+    }
+
+    #[test]
+    fn display_quotes_strings_and_escapes() {
+        assert_eq!(Value::from("lo'w").to_string(), "'lo''w'");
+        assert_eq!(Value::from(2.5).to_string(), "2.5");
+    }
+}

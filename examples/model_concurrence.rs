@@ -1,0 +1,85 @@
+//! §4.1's join predicate between two predicted columns:
+//! `PREDICT(M1) = PREDICT(M2)` — find rows where two independently
+//! trained models concur ("visitors predicted to be web developers by
+//! both the SAS and the SPSS customer model"). Shows the general case,
+//! the identical-models tautology, and the disjoint-labels contradiction.
+//!
+//! ```sh
+//! cargo run --example model_concurrence
+//! ```
+
+use mining_predicates::prelude::*;
+use mpq_datagen::{generate_test, generate_train, table2};
+use std::sync::Arc;
+
+fn main() {
+    let spec = table2().into_iter().find(|s| s.name == "Vehicle").expect("catalog has Vehicle");
+    let train = generate_train(&spec, 7);
+    let test = generate_test(&spec, 7, 0.02);
+
+    // Two models of different families trained on the same concept.
+    let tree = DecisionTree::train(&train, mpq_models::TreeParams::default()).expect("nonempty");
+    let nb = NaiveBayes::train(&train).expect("nonempty");
+    println!(
+        "tree accuracy {:.1}%, naive Bayes accuracy {:.1}%",
+        100.0 * accuracy(&tree, &train),
+        100.0 * accuracy(&nb, &train)
+    );
+
+    let mut catalog = Catalog::new();
+    catalog.add_table(Table::from_dataset("vehicles", &test)).expect("fresh");
+    catalog.add_model("tree_model", Arc::new(tree), DeriveOptions::default()).expect("fresh");
+    catalog.add_model("nb_model", Arc::new(nb), DeriveOptions::default()).expect("fresh");
+    let mut engine = Engine::new(catalog);
+
+    // 1. General concurrence: envelope = OR over common labels of
+    //    (tree envelope AND nb envelope).
+    let sql = "SELECT COUNT(*) FROM vehicles WHERE PREDICT(tree_model) = PREDICT(nb_model)";
+    let out = engine.query(sql).expect("valid");
+    println!("\nconcurrence query: {sql}");
+    println!(
+        "models concur on {} of {} rows ({:.1}%)",
+        out.metrics.output_rows,
+        test.len(),
+        100.0 * out.metrics.output_rows as f64 / test.len() as f64
+    );
+
+    // Narrow to one label: both models say class k0 — the per-class
+    // envelopes conjoin and the optimizer can index the intersection.
+    let sql = "SELECT * FROM vehicles \
+               WHERE PREDICT(tree_model) = 'k3' AND PREDICT(nb_model) = 'k3'";
+    let out = engine.query(sql).expect("valid");
+    println!("\nboth predict 'k3': {} rows\n{}", out.metrics.output_rows, out.plan);
+
+    // 2. Identical models: the §4.1 tautology. No model invocations at
+    //    all — the rewriter replaces the predicate with TRUE.
+    let sql = "SELECT COUNT(*) FROM vehicles WHERE PREDICT(nb_model) = PREDICT(nb_model)";
+    let out = engine.query(sql).expect("valid");
+    println!(
+        "identical models: {} rows with {} model invocations (tautology folded)",
+        out.metrics.output_rows, out.metrics.model_invocations
+    );
+    assert_eq!(out.metrics.model_invocations, 0);
+    assert_eq!(out.metrics.output_rows as usize, test.len());
+
+    // 3. Contradiction: a model with disjoint class labels can never
+    //    concur — constant scan, zero data access.
+    let relabeled = {
+        let train2 = LabeledDataset::new(
+            train.data.clone(),
+            train.labels.clone(),
+            (0..spec.n_classes).map(|k| format!("other_{k}")).collect(),
+        )
+        .expect("aligned");
+        NaiveBayes::train(&train2).expect("nonempty")
+    };
+    engine
+        .register_model("foreign_model", Arc::new(relabeled), DeriveOptions::default())
+        .expect("fresh name");
+    let sql = "SELECT * FROM vehicles WHERE PREDICT(nb_model) = PREDICT(foreign_model)";
+    let out = engine.query(sql).expect("valid");
+    println!("\ndisjoint labels: {} rows\n{}", out.metrics.output_rows, out.plan);
+    assert_eq!(out.metrics.output_rows, 0);
+    assert_eq!(out.metrics.total_pages(), 0, "constant scan touches no data");
+    println!("contradiction answered with zero page reads.");
+}

@@ -1,0 +1,67 @@
+//! §2.3's IBM Intelligent Miner Scoring path: a model trained elsewhere
+//! arrives as a PMML document, is imported into the engine, and is
+//! immediately optimizable — envelopes derive from the imported content.
+//!
+//! ```sh
+//! cargo run --example pmml_import
+//! ```
+
+use mining_predicates::prelude::*;
+use mpq_datagen::{generate_test, generate_train, table2};
+use mpq_pmml::{export, import, PmmlModel};
+use std::sync::Arc;
+
+fn main() {
+    let spec = table2().into_iter().find(|s| s.name == "Diabetes").expect("catalog has Diabetes");
+    let train = generate_train(&spec, 7);
+    let test = generate_test(&spec, 7, 0.02);
+
+    // "Another system" trains the classifier...
+    let tree = DecisionTree::train(&train, mpq_models::TreeParams::default()).expect("nonempty");
+    let document = export(&PmmlModel::Tree(tree));
+    println!("exported PMML document ({} bytes):\n", document.len());
+    for line in document.lines().take(18) {
+        println!("  {line}");
+    }
+    println!("  ...\n");
+
+    // ...and we import it, like IDMMX.DM_impClasFile() in §2.3.
+    let PmmlModel::Tree(imported) = import(&document).expect("valid document") else {
+        panic!("expected a tree model");
+    };
+    println!(
+        "imported decision tree: {} leaves over {} attributes",
+        imported.n_leaves(),
+        Classifier::schema(&imported).len()
+    );
+
+    // Envelopes derive from the imported model's content.
+    let schema = Classifier::schema(&imported).clone();
+    let env = imported.envelope(ClassId(1), &DeriveOptions::default());
+    println!(
+        "\nenvelope of class '{}' from the imported model:\n  WHERE {}\n",
+        Classifier::class_name(&imported, ClassId(1)),
+        envelope_to_sql(&schema, &env)
+    );
+
+    // Register and query.
+    let mut catalog = Catalog::new();
+    catalog.add_table(Table::from_dataset("patients", &test)).expect("fresh");
+    catalog.add_model("risk", Arc::new(imported), DeriveOptions::default()).expect("fresh");
+    let mut engine = Engine::new(catalog);
+    let envs: Vec<Expr> = engine.catalog().model(0).envelopes
+        .iter()
+        .map(|e| mpq_engine::envelope_to_expr(&schema, e).normalize(&schema))
+        .collect();
+    let opts = *engine.options();
+    tune_indexes(engine.catalog_mut(), 0, &envs, 8, &opts);
+
+    let out = engine.query("SELECT * FROM patients WHERE PREDICT(risk) = 'k1'").expect("valid");
+    println!("query on the imported model:\n{}", out.plan);
+    println!(
+        "rows: {} | pages: {} | model invocations: {}",
+        out.metrics.output_rows,
+        out.metrics.total_pages(),
+        out.metrics.model_invocations
+    );
+}

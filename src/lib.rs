@@ -1,0 +1,85 @@
+//! # mining-predicates
+//!
+//! A from-scratch Rust reproduction of **"Efficient Evaluation of Queries
+//! with Mining Predicates"** (Chaudhuri, Narasayya, Sarawagi; ICDE 2002).
+//!
+//! Queries that filter on a mining model's *prediction* — `PREDICT(M) =
+//! 'baseball fan'` — normally force the engine to apply the model to every
+//! row. This workspace derives **upper envelopes** from the model's
+//! internal structure: ordinary column predicates implied by the mining
+//! predicate, which a cost-based optimizer can turn into index seeks,
+//! multi-index unions or constant scans, while the original mining
+//! predicate stays behind as an exact residual filter.
+//!
+//! The facade re-exports the workspace crates:
+//!
+//! * [`types`] — schemas, encoded datasets, discretizers;
+//! * [`models`] — decision trees, naive Bayes, rule sets, k-means,
+//!   Gaussian mixtures, boundary clustering (all from scratch);
+//! * [`core`] — the paper's contribution: region algebra, the top-down
+//!   bound-and-split derivation, exact tree/rule extraction, rectangle
+//!   covering, SQL rendering;
+//! * [`engine`] — a compact relational engine: paged storage, histogram
+//!   statistics, composite secondary indexes, a cost-based optimizer
+//!   implementing §4's rewrites, an executor with honest page/invocation
+//!   accounting, a SQL surface and an index-tuning-wizard-lite;
+//! * [`pmml`] — PMML-flavoured model import/export (§2.3's path);
+//! * [`datagen`] — synthetic stand-ins for the paper's Table-2 datasets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mining_predicates::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // The paper's own Table-1 naive Bayes model over (d0, d1).
+//! let nb = paper_table1_model();
+//! let schema = Classifier::schema(&nb).clone();
+//!
+//! // A table whose rows are the 12 grid cells, skewed.
+//! let mut data = Dataset::new(schema);
+//! for m0 in 0..4u16 {
+//!     for m1 in 0..3u16 {
+//!         for _ in 0..(1 + (m0 as usize + m1 as usize) * 10) {
+//!             data.push_encoded(&[m0, m1]).unwrap();
+//!         }
+//!     }
+//! }
+//! let mut catalog = Catalog::new();
+//! catalog.add_table(Table::from_dataset("t", &data)).unwrap();
+//! catalog.add_model("m", Arc::new(nb), DeriveOptions::default()).unwrap();
+//! let mut engine = Engine::new(catalog);
+//!
+//! // A mining-predicate query; the optimizer ANDs in the derived
+//! // envelope and the executor keeps results exact.
+//! let out = engine.query("SELECT * FROM t WHERE PREDICT(m) = 'c1'").unwrap();
+//! assert!(out.metrics.output_rows > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mpq_core as core;
+pub use mpq_datagen as datagen;
+pub use mpq_engine as engine;
+pub use mpq_models as models;
+pub use mpq_pmml as pmml;
+pub use mpq_types as types;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use mpq_core::{
+        derive_enumerate, derive_topdown, envelope_to_sql, paper_table1_model, BoundMode,
+        DeriveOptions, Envelope, EnvelopeProvider, Region, ScoreModel,
+    };
+    pub use mpq_engine::{
+        execute, parse, tune_indexes, AccessPath, Catalog, Engine, EngineError, Expr, MiningPred,
+        OptimizerOptions, Table,
+    };
+    pub use mpq_models::{
+        accuracy, BoundaryClustering, Classifier, DecisionTree, Gmm, KMeans, NaiveBayes, RuleSet,
+    };
+    pub use mpq_types::{
+        AttrDomain, AttrId, Attribute, ClassId, Dataset, LabeledDataset, Schema, Value,
+    };
+}

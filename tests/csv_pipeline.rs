@@ -1,0 +1,75 @@
+//! The downstream-adoption path: a raw CSV file becomes an encoded
+//! dataset, a trained model, a registered engine, and an optimized
+//! mining query — no synthetic generators involved.
+
+use mining_predicates::prelude::*;
+use mpq_types::{load_csv, CsvData, CsvOptions, DiscretizeMethod};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Builds a churn-style CSV in memory: churn correlates with low spend
+/// and many support tickets.
+fn churn_csv(rows: usize) -> String {
+    let mut out = String::from("age,plan,spend,tickets,churn\n");
+    for i in 0..rows {
+        let age = 20 + (i * 7) % 50;
+        let plan = ["basic", "plus", "pro"][i % 3];
+        let spend = if i % 10 < 2 { 5 + (i % 30) } else { 80 + (i * 13) % 400 };
+        let tickets = if i % 10 < 2 { 4 + (i % 5) } else { i % 3 };
+        let churn = if spend < 40 && tickets >= 3 { "yes" } else { "no" };
+        writeln!(out, "{age},{plan},{spend},{tickets},{churn}").expect("string write");
+    }
+    out
+}
+
+#[test]
+fn csv_to_optimized_query() {
+    let text = churn_csv(5000);
+    let opts = CsvOptions {
+        label_column: Some("churn".into()),
+        discretize: DiscretizeMethod::Entropy { max_bins: 6 },
+        ..Default::default()
+    };
+    let CsvData::Labeled(train) = load_csv(&text, &opts).expect("valid csv") else {
+        panic!("expected labeled data");
+    };
+    assert_eq!(train.n_classes(), 2);
+
+    let tree = DecisionTree::train(&train, mpq_models::TreeParams::default()).expect("data");
+    assert!(accuracy(&tree, &train) > 0.95, "the concept is nearly deterministic");
+
+    // The same file re-loaded without the label is the queryable table.
+    let unlabeled_opts = CsvOptions {
+        label_column: Some("churn".into()),
+        discretize: opts.discretize,
+        ..Default::default()
+    };
+    let CsvData::Labeled(data2) = load_csv(&text, &unlabeled_opts).expect("valid csv") else {
+        panic!("expected labeled");
+    };
+    let mut cat = Catalog::new();
+    cat.add_table(Table::from_dataset("customers", &data2.data)).expect("fresh");
+    cat.add_model("churn_model", Arc::new(tree), DeriveOptions::default()).expect("fresh");
+    let mut engine = Engine::new(cat);
+
+    let optimized =
+        engine.query("SELECT * FROM customers WHERE PREDICT(churn_model) = 'yes'").expect("sql");
+    engine.set_use_envelopes(false);
+    let baseline =
+        engine.query("SELECT * FROM customers WHERE PREDICT(churn_model) = 'yes'").expect("sql");
+    assert_eq!(optimized.rows, baseline.rows);
+    // ~20% churn: the envelope prunes most rows before the model runs.
+    assert!(
+        optimized.metrics.model_invocations < baseline.metrics.model_invocations,
+        "envelope should prune model invocations: {} vs {}",
+        optimized.metrics.model_invocations,
+        baseline.metrics.model_invocations
+    );
+}
+
+#[test]
+fn csv_errors_are_reported() {
+    let opts = CsvOptions { label_column: Some("missing".into()), ..Default::default() };
+    assert!(load_csv("a,b\n1,2\n", &opts).is_err());
+    assert!(load_csv("a,b\n1\n", &CsvOptions::default()).is_err());
+}

@@ -1,0 +1,180 @@
+//! Property-based soundness tests: for *any* model, the derived upper
+//! envelope of class `c` must admit every point the model predicts as
+//! `c` — the defining contract of the paper (`predict(x)=c ⇒ M_c(x)`),
+//! under every bound mode and expansion budget.
+
+use mining_predicates::prelude::*;
+use mpq_core::{derive_enumerate, DEFAULT_CELL_LIMIT};
+use proptest::prelude::*;
+
+/// Strategy: a random small schema (2–4 dims, 2–5 members each, mixed
+/// ordered/categorical).
+fn arb_schema() -> impl Strategy<Value = Schema> {
+    proptest::collection::vec((2u16..=5, any::<bool>()), 2..=4).prop_map(|dims| {
+        let attrs = dims
+            .into_iter()
+            .enumerate()
+            .map(|(i, (card, ordered))| {
+                let domain = if ordered {
+                    AttrDomain::binned((1..card).map(|c| c as f64).collect()).expect("increasing")
+                } else {
+                    AttrDomain::categorical((0..card).map(|m| format!("v{m}")))
+                };
+                Attribute::new(format!("a{i}"), domain)
+            })
+            .collect();
+        Schema::new(attrs).expect("unique names")
+    })
+}
+
+/// Strategy: a naive Bayes model with random positive probabilities over
+/// a random schema.
+fn arb_nb() -> impl Strategy<Value = NaiveBayes> {
+    (arb_schema(), 2usize..=4).prop_flat_map(|(schema, k)| {
+        let total_members: usize =
+            schema.attrs().iter().map(|a| a.domain.cardinality() as usize).sum();
+        (
+            Just(schema),
+            proptest::collection::vec(0.05f64..1.0, k),
+            proptest::collection::vec(0.01f64..1.0, total_members * k),
+        )
+            .prop_map(move |(schema, priors, conds)| {
+                let mut it = conds.into_iter();
+                let cond: Vec<Vec<Vec<f64>>> = schema
+                    .attrs()
+                    .iter()
+                    .map(|a| {
+                        (0..a.domain.cardinality())
+                            .map(|_| (0..k).map(|_| it.next().expect("sized")).collect())
+                            .collect()
+                    })
+                    .collect();
+                let names = (0..k).map(|i| format!("c{i}")).collect();
+                NaiveBayes::from_probabilities(schema, names, &priors, &cond)
+                    .expect("positive parameters")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topdown_envelopes_cover_all_predictions(nb in arb_nb(), budget in 0usize..64) {
+        let schema = Classifier::schema(&nb).clone();
+        for mode in [BoundMode::Basic, BoundMode::PairwiseRatio] {
+            let opts = DeriveOptions { bound_mode: mode, max_expansions: budget, ..Default::default() };
+            for k in 0..Classifier::n_classes(&nb) {
+                let class = ClassId(k as u16);
+                let env = nb.envelope(class, &opts);
+                for cell in Region::full(&schema).cells() {
+                    if Classifier::predict(&nb, &cell) == class {
+                        prop_assert!(
+                            env.matches(&cell),
+                            "unsound: {mode:?} budget {budget} class {k} cell {cell:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_claims_are_honest(nb in arb_nb()) {
+        // When the derivation claims exactness, the envelope must admit
+        // *only* the class's cells.
+        let schema = Classifier::schema(&nb).clone();
+        for k in 0..Classifier::n_classes(&nb) {
+            let class = ClassId(k as u16);
+            let env = nb.envelope(class, &DeriveOptions::default());
+            if !env.exact {
+                continue;
+            }
+            for cell in Region::full(&schema).cells() {
+                prop_assert_eq!(
+                    env.matches(&cell),
+                    Classifier::predict(&nb, &cell) == class,
+                    "exact envelope wrong at {:?}", cell
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_oracle_agrees(nb in arb_nb()) {
+        // Enumeration is exact for naive Bayes; the top-down result must
+        // be a superset of it.
+        let schema = Classifier::schema(&nb).clone();
+        let sm = ScoreModel::from_naive_bayes(&nb);
+        for k in 0..Classifier::n_classes(&nb) {
+            let class = ClassId(k as u16);
+            let oracle = derive_enumerate(&sm, &schema, class, DEFAULT_CELL_LIMIT)
+                .expect("small grid");
+            let td = derive_topdown(&sm, &schema, class, &DeriveOptions::default());
+            for cell in Region::full(&schema).cells() {
+                prop_assert_eq!(
+                    oracle.matches(&cell),
+                    Classifier::predict(&nb, &cell) == class,
+                    "oracle must be exact at {:?}", cell
+                );
+                if oracle.matches(&cell) {
+                    prop_assert!(td.matches(&cell), "top-down misses {:?}", cell);
+                }
+            }
+        }
+    }
+}
+
+/// Strategy: a k-means model over an all-ordered schema.
+fn arb_kmeans() -> impl Strategy<Value = KMeans> {
+    (
+        2usize..=3,  // dims
+        2usize..=4,  // clusters
+        proptest::collection::vec(-2.0f64..8.0, 12),
+        proptest::collection::vec(0.2f64..3.0, 12),
+    )
+        .prop_map(|(n, k, coords, weights)| {
+            let attrs = (0..n)
+                .map(|i| {
+                    Attribute::new(
+                        format!("x{i}"),
+                        AttrDomain::binned(vec![1.0, 3.0, 5.0]).expect("increasing"),
+                    )
+                })
+                .collect();
+            let schema = Schema::new(attrs).expect("unique");
+            let centroids: Vec<Vec<f64>> =
+                (0..k).map(|c| (0..n).map(|d| coords[c * n + d]).collect()).collect();
+            let w: Vec<Vec<f64>> =
+                (0..k).map(|c| (0..n).map(|d| weights[c * n + d]).collect()).collect();
+            KMeans::from_parts(schema, centroids, w).expect("valid parts")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kmeans_envelopes_cover_raw_space(km in arb_kmeans(), points in proptest::collection::vec((-4.0f64..10.0, -4.0f64..10.0, -4.0f64..10.0), 60)) {
+        let schema = Classifier::schema(&km).clone();
+        let n = schema.len();
+        // Raw-space coverage requires the interval (raw-sound) mode; the
+        // default derives against the discretized point model.
+        let opts = DeriveOptions { cluster_raw_sound: true, ..Default::default() };
+        let envs = km.envelopes(&opts);
+        for p in points {
+            let raw = [p.0, p.1, p.2];
+            let raw = &raw[..n];
+            let cluster = km.assign_raw(raw);
+            let cell: Vec<u16> = raw
+                .iter()
+                .enumerate()
+                .map(|(d, &x)| schema.attrs()[d].domain.encode(&Value::Num(x)).expect("numeric"))
+                .collect();
+            prop_assert!(
+                envs[cluster.index()].matches(&cell),
+                "raw point {raw:?} (cell {cell:?}) assigned {cluster} but not covered"
+            );
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! PMML interchange integration: models trained in this workspace
+//! round-trip through their PMML documents with identical predictions
+//! *and identical derived envelopes* — the property §2.3's import path
+//! depends on (envelopes derive from imported content).
+
+use mining_predicates::prelude::*;
+use mpq_datagen::{generate_train, table2};
+use mpq_pmml::{export, import, PmmlModel};
+
+fn spec(name: &str) -> mpq_datagen::DatasetSpec {
+    table2().into_iter().find(|s| s.name == name).expect("known dataset")
+}
+
+#[test]
+fn tree_roundtrip_preserves_envelopes() {
+    let train = generate_train(&spec("Anneal-U"), 7);
+    let tree = DecisionTree::train(&train, mpq_models::TreeParams::default()).expect("data");
+    let PmmlModel::Tree(back) = import(&export(&PmmlModel::Tree(tree.clone()))).expect("roundtrip")
+    else {
+        panic!("wrong kind")
+    };
+    let opts = DeriveOptions::default();
+    for k in 0..Classifier::n_classes(&tree) {
+        let a = tree.envelope(ClassId(k as u16), &opts);
+        let b = back.envelope(ClassId(k as u16), &opts);
+        assert_eq!(a.regions, b.regions, "class {k}");
+        assert_eq!(a.exact, b.exact);
+    }
+}
+
+#[test]
+fn naive_bayes_roundtrip_preserves_envelopes() {
+    let train = generate_train(&spec("Diabetes"), 7);
+    let nb = NaiveBayes::train(&train).expect("data");
+    let PmmlModel::NaiveBayes(back) =
+        import(&export(&PmmlModel::NaiveBayes(nb.clone()))).expect("roundtrip")
+    else {
+        panic!("wrong kind")
+    };
+    let opts = DeriveOptions::default();
+    for k in 0..Classifier::n_classes(&nb) {
+        let a = nb.envelope(ClassId(k as u16), &opts);
+        let b = back.envelope(ClassId(k as u16), &opts);
+        assert_eq!(a.regions, b.regions, "class {k}");
+    }
+}
+
+#[test]
+fn kmeans_roundtrip_preserves_envelopes() {
+    let train = generate_train(&spec("Balance-Scale"), 7);
+    let km = KMeans::train_encoded(
+        &train.data,
+        mpq_models::KMeansParams { k: 5, ..Default::default() },
+    )
+    .expect("ordered schema");
+    let PmmlModel::KMeans(back) =
+        import(&export(&PmmlModel::KMeans(km.clone()))).expect("roundtrip")
+    else {
+        panic!("wrong kind")
+    };
+    assert_eq!(km, back, "f64 Display is shortest-roundtrip: parameters identical");
+    let opts = DeriveOptions::default();
+    for k in 0..Classifier::n_classes(&km) {
+        let a = km.envelope(ClassId(k as u16), &opts);
+        let b = back.envelope(ClassId(k as u16), &opts);
+        assert_eq!(a.regions, b.regions, "cluster {k}");
+    }
+}
+
+#[test]
+fn imported_models_predict_identically_everywhere() {
+    let train = generate_train(&spec("Chess"), 7);
+    let rules =
+        RuleSet::train(&train, mpq_models::RuleSetParams::default()).expect("data");
+    let PmmlModel::Rules(back) =
+        import(&export(&PmmlModel::Rules(rules.clone()))).expect("roundtrip")
+    else {
+        panic!("wrong kind")
+    };
+    for (row, _) in train.iter() {
+        assert_eq!(rules.predict(row), back.predict(row));
+    }
+}

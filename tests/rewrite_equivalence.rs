@@ -1,0 +1,117 @@
+//! The §4.2 rewrite must be a *semantic no-op*: for any query predicate
+//! containing mining predicates, the rewritten predicate (mining ∧
+//! envelope conjuncts) selects exactly the same rows — envelopes are
+//! implied predicates, never filters on their own.
+
+use mining_predicates::prelude::*;
+use mpq_engine::{rewrite_mining, Atom, AtomPred};
+use mpq_types::MemberSet;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Fixed scenario: the paper's Table-1 model over its 4x3 grid.
+fn catalog() -> (Catalog, Schema) {
+    let nb = paper_table1_model();
+    let schema = Classifier::schema(&nb).clone();
+    let mut ds = Dataset::new(schema.clone());
+    for m0 in 0..4u16 {
+        for m1 in 0..3u16 {
+            ds.push_encoded(&[m0, m1]).expect("in range");
+        }
+    }
+    let mut cat = Catalog::new();
+    cat.add_table(Table::from_dataset("t", &ds)).expect("fresh");
+    cat.add_model("m", Arc::new(nb), DeriveOptions::default()).expect("fresh");
+    (cat, schema)
+}
+
+/// Strategy: arbitrary boolean expressions over the Table-1 scenario,
+/// mixing column atoms and all mining predicate shapes.
+fn arb_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Expr::Const),
+        (0u16..4).prop_map(|m| Expr::Atom(Atom { attr: AttrId(0), pred: AtomPred::Eq(m) })),
+        (0u16..3).prop_map(|m| Expr::Atom(Atom { attr: AttrId(1), pred: AtomPred::Eq(m) })),
+        (0u16..4, 0u16..4).prop_map(|(a, b)| {
+            let (lo, hi) = (a.min(b), a.max(b));
+            Expr::Atom(Atom { attr: AttrId(0), pred: AtomPred::Range { lo, hi } })
+        }),
+        proptest::collection::vec(0u16..3, 1..3).prop_map(|ms| {
+            Expr::Atom(Atom { attr: AttrId(1), pred: AtomPred::In(MemberSet::of(3, ms)) })
+        }),
+        (0u16..3).prop_map(|c| Expr::Mining(MiningPred::ClassEq { model: 0, class: ClassId(c) })),
+        proptest::collection::vec(0u16..3, 1..3).prop_map(|cs| {
+            Expr::Mining(MiningPred::ClassIn {
+                model: 0,
+                classes: cs.into_iter().map(ClassId).collect(),
+            })
+        }),
+        Just(Expr::Mining(MiningPred::ModelsAgree { m1: 0, m2: 0 })),
+        Just(Expr::Mining(MiningPred::ClassEqColumn { model: 0, column: AttrId(0) })),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::And),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::Or),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rewrite_preserves_row_semantics(e in arb_expr(3)) {
+        let (cat, schema) = catalog();
+        let rewritten = rewrite_mining(e.clone(), &schema, &cat);
+        for m0 in 0..4u16 {
+            for m1 in 0..3u16 {
+                let row = [m0, m1];
+                let (mut i1, mut i2) = (0u64, 0u64);
+                prop_assert_eq!(
+                    e.eval(&row, &cat, &mut i1),
+                    rewritten.eval(&row, &cat, &mut i2),
+                    "semantics diverged at {:?} for {:?}", row, e
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_preserves_row_semantics(e in arb_expr(3)) {
+        let (cat, schema) = catalog();
+        let normalized = e.clone().normalize(&schema);
+        for m0 in 0..4u16 {
+            for m1 in 0..3u16 {
+                let row = [m0, m1];
+                let (mut i1, mut i2) = (0u64, 0u64);
+                prop_assert_eq!(
+                    e.eval(&row, &cat, &mut i1),
+                    normalized.eval(&row, &cat, &mut i2),
+                    "normalize changed semantics at {:?} for {:?}", row, e
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planned_execution_matches_naive_filter(e in arb_expr(2)) {
+        // End to end: whatever plan the optimizer picks, the result set
+        // equals brute-force row filtering of the original predicate.
+        let (cat, _) = catalog();
+        let mut engine = Engine::new(cat);
+        let plan = engine.plan_predicate(0, e.clone());
+        let result = execute(&plan, engine.catalog());
+        let table = &engine.catalog().table(0).table;
+        let mut expected = Vec::new();
+        for r in 0..table.n_rows() as u32 {
+            let row = table.row(r);
+            let mut inv = 0;
+            if e.eval(&row, engine.catalog(), &mut inv) {
+                expected.push(r);
+            }
+        }
+        prop_assert_eq!(result.rows, expected, "plan: {:?}", plan.access);
+    }
+}
