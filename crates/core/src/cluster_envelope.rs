@@ -3,8 +3,9 @@
 
 use crate::covering::cover_cells;
 use crate::envelope::{DeriveOptions, DeriveStats, Envelope};
+use crate::error::CoreError;
 use crate::score_model::ScoreModel;
-use crate::topdown::{derive_topdown, merge_regions};
+use crate::topdown::{derive_topdown, merge_regions, try_derive_topdown};
 use crate::tree_envelope::{ruleset_envelope, tree_envelope};
 use mpq_models::{BoundaryClustering, Classifier, DecisionTree, Gmm, KMeans, NaiveBayes, RuleSet};
 use mpq_types::ClassId;
@@ -20,6 +21,22 @@ pub trait EnvelopeProvider: Classifier {
     /// precomputation of §4.2).
     fn envelopes(&self, opts: &DeriveOptions) -> Vec<Envelope> {
         (0..self.n_classes()).map(|k| self.envelope(ClassId(k as u16), opts)).collect()
+    }
+
+    /// Fallible derivation of one class's envelope, honoring
+    /// `opts.time_budget` and other resource limits. The default
+    /// delegates to the infallible path — appropriate for exact
+    /// extractions (trees, rules, boundary clusters) whose cost is
+    /// linear in model size and cannot meaningfully time out.
+    fn try_envelope(&self, class: ClassId, opts: &DeriveOptions) -> Result<Envelope, CoreError> {
+        Ok(self.envelope(class, opts))
+    }
+
+    /// Fallible derivation for all classes; the first failure aborts.
+    /// Engines use this at model registration so a timeout can degrade
+    /// the model to trivial envelopes instead of failing the statement.
+    fn try_envelopes(&self, opts: &DeriveOptions) -> Result<Vec<Envelope>, CoreError> {
+        (0..self.n_classes()).map(|k| self.try_envelope(ClassId(k as u16), opts)).collect()
     }
 }
 
@@ -55,6 +72,18 @@ impl EnvelopeProvider for NaiveBayes {
             .map(|k| derive_topdown(&sm, self.schema(), ClassId(k as u16), opts))
             .collect()
     }
+
+    fn try_envelope(&self, class: ClassId, opts: &DeriveOptions) -> Result<Envelope, CoreError> {
+        let sm = ScoreModel::from_naive_bayes(self);
+        try_derive_topdown(&sm, self.schema(), class, opts)
+    }
+
+    fn try_envelopes(&self, opts: &DeriveOptions) -> Result<Vec<Envelope>, CoreError> {
+        let sm = ScoreModel::from_naive_bayes(self);
+        (0..self.n_classes())
+            .map(|k| try_derive_topdown(&sm, self.schema(), ClassId(k as u16), opts))
+            .collect()
+    }
 }
 
 impl EnvelopeProvider for KMeans {
@@ -77,6 +106,26 @@ impl EnvelopeProvider for KMeans {
             .map(|k| derive_topdown(&sm, self.schema(), ClassId(k as u16), opts))
             .collect()
     }
+
+    fn try_envelope(&self, class: ClassId, opts: &DeriveOptions) -> Result<Envelope, CoreError> {
+        let sm = if opts.cluster_raw_sound {
+            ScoreModel::from_kmeans(self)
+        } else {
+            ScoreModel::from_kmeans_discretized(self)
+        };
+        try_derive_topdown(&sm, self.schema(), class, opts)
+    }
+
+    fn try_envelopes(&self, opts: &DeriveOptions) -> Result<Vec<Envelope>, CoreError> {
+        let sm = if opts.cluster_raw_sound {
+            ScoreModel::from_kmeans(self)
+        } else {
+            ScoreModel::from_kmeans_discretized(self)
+        };
+        (0..self.n_classes())
+            .map(|k| try_derive_topdown(&sm, self.schema(), ClassId(k as u16), opts))
+            .collect()
+    }
 }
 
 impl EnvelopeProvider for Gmm {
@@ -97,6 +146,26 @@ impl EnvelopeProvider for Gmm {
         };
         (0..self.n_classes())
             .map(|k| derive_topdown(&sm, self.schema(), ClassId(k as u16), opts))
+            .collect()
+    }
+
+    fn try_envelope(&self, class: ClassId, opts: &DeriveOptions) -> Result<Envelope, CoreError> {
+        let sm = if opts.cluster_raw_sound {
+            ScoreModel::from_gmm(self)
+        } else {
+            ScoreModel::from_gmm_discretized(self)
+        };
+        try_derive_topdown(&sm, self.schema(), class, opts)
+    }
+
+    fn try_envelopes(&self, opts: &DeriveOptions) -> Result<Vec<Envelope>, CoreError> {
+        let sm = if opts.cluster_raw_sound {
+            ScoreModel::from_gmm(self)
+        } else {
+            ScoreModel::from_gmm_discretized(self)
+        };
+        (0..self.n_classes())
+            .map(|k| try_derive_topdown(&sm, self.schema(), ClassId(k as u16), opts))
             .collect()
     }
 }

@@ -46,6 +46,13 @@ pub struct DeriveOptions {
     /// at the price of much looser envelopes (unbounded end bins can
     /// never be excluded by per-class bounds).
     pub cluster_raw_sound: bool,
+    /// Wall-clock budget for one envelope derivation. `None` (the
+    /// default) means unbounded. When set, the fallible derivation
+    /// entry points ([`crate::try_derive_topdown`],
+    /// [`crate::EnvelopeProvider::try_envelope`]) return
+    /// [`crate::CoreError::DeriveTimeout`] on breach; infallible entry
+    /// points degrade to the trivial `TRUE` envelope, which is sound.
+    pub time_budget: Option<std::time::Duration>,
 }
 
 impl Default for DeriveOptions {
@@ -57,6 +64,7 @@ impl Default for DeriveOptions {
             split_heuristic: SplitHeuristic::default(),
             trace: false,
             cluster_raw_sound: false,
+            time_budget: None,
         }
     }
 }
@@ -127,6 +135,22 @@ impl Envelope {
     /// An envelope that matches nothing (class never predicted).
     pub fn never(class: ClassId) -> Envelope {
         Envelope { class, regions: Vec::new(), exact: true, stats: DeriveStats::default(), trace: Vec::new() }
+    }
+
+    /// The trivial `TRUE` envelope: one full-grid region. Sound for any
+    /// model by definition (every row the class predicts is in the
+    /// grid), with zero pruning power — the graceful-degradation
+    /// fallback when derivation fails or exceeds its budget. The mining
+    /// predicate itself stays as the residual filter, so query results
+    /// remain exact.
+    pub fn trivial(class: ClassId, schema: &Schema) -> Envelope {
+        Envelope {
+            class,
+            regions: vec![Region::full(schema)],
+            exact: false,
+            stats: DeriveStats::default(),
+            trace: Vec::new(),
+        }
     }
 
     /// Whether the envelope admits the encoded row.
@@ -230,10 +254,16 @@ fn bounding_box(schema: &Schema, a: &Region, b: &Region) -> Region {
                 s.union_with(y);
                 DimSet::Set(s)
             }
-            _ => unreachable!("mismatched DimSet kinds"),
+            // Mixed kinds cannot arise from schema-derived regions (the
+            // kind follows the dimension's orderedness), but if a caller
+            // hands us inconsistent regions, widening to the whole
+            // dimension keeps the box sound instead of panicking.
+            _ => {
+                let attr = &schema.attrs()[d];
+                DimSet::full(attr.domain.cardinality(), attr.domain.is_ordered())
+            }
         })
         .collect();
-    let _ = schema;
     Region::from_dims(dims)
 }
 

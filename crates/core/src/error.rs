@@ -18,6 +18,14 @@ pub enum CoreError {
         /// Number of classes the model has.
         n_classes: usize,
     },
+    /// Top-down derivation exceeded its wall-clock budget
+    /// ([`crate::DeriveOptions::time_budget`]) — the paper's "did not
+    /// complete in 24 hours" failure mode, surfaced instead of hung.
+    /// Callers degrade to the trivial `TRUE` envelope, which is sound.
+    DeriveTimeout {
+        /// The budget that was exceeded.
+        budget: std::time::Duration,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -30,6 +38,9 @@ impl std::fmt::Display for CoreError {
             ),
             CoreError::UnknownClass { class, n_classes } => {
                 write!(f, "class {class} out of range for a {n_classes}-class model")
+            }
+            CoreError::DeriveTimeout { budget } => {
+                write!(f, "envelope derivation exceeded its time budget of {budget:?}")
             }
         }
     }

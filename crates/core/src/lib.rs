@@ -68,5 +68,5 @@ pub use nb_example::{paper_table1_model, paper_table1_winners};
 pub use region::{range_region, DimSet, Region};
 pub use score_model::{BoundMode, DimTable, QuadDim, QuadTerm, RegionStatus, ScoreModel};
 pub use sql::{envelope_to_sql, region_to_sql};
-pub use topdown::{derive_topdown, format_region, merge_regions};
+pub use topdown::{derive_topdown, format_region, merge_regions, try_derive_topdown};
 pub use tree_envelope::{ruleset_envelope, tree_envelope};

@@ -743,14 +743,13 @@ impl ScoreModel {
                 }
                 BoundMode::PairwiseRatio => {
                     let mut dim_dmax = vec![vec![f64::NEG_INFINITY; n]; kk];
-                    for d in 0..n {
-                        for m in region.dim(d).iter() {
-                            for j in 0..kk {
-                                if j == k {
-                                    continue;
-                                }
-                                dim_dmax[j][d] =
-                                    dim_dmax[j][d].max(self.member_diff_range(d, m, k, j).1);
+                    for (j, row) in dim_dmax.iter_mut().enumerate() {
+                        if j == k {
+                            continue;
+                        }
+                        for (d, cell) in row.iter_mut().enumerate() {
+                            for m in region.dim(d).iter() {
+                                *cell = cell.max(self.member_diff_range(d, m, k, j).1);
                             }
                         }
                     }

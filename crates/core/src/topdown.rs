@@ -13,18 +13,39 @@
 //! naive enumeration (§3.2.2).
 
 use crate::envelope::{DeriveOptions, DeriveStats, Envelope, TraceStep};
+use crate::error::CoreError;
 use crate::region::{DimSet, Region};
 use crate::score_model::{RegionStatus, ScoreModel};
 use mpq_types::{ClassId, MemberSet, Schema};
 
 /// Derives the upper envelope of class `k` from a score model using the
 /// top-down bound-and-split algorithm.
+///
+/// Infallible surface: if `opts.time_budget` is set and exceeded, the
+/// result degrades to the trivial `TRUE` envelope (sound, no pruning
+/// power). Callers that need to *observe* the timeout should use
+/// [`try_derive_topdown`].
 pub fn derive_topdown(
     model: &ScoreModel,
     schema: &Schema,
     class: ClassId,
     opts: &DeriveOptions,
 ) -> Envelope {
+    try_derive_topdown(model, schema, class, opts)
+        .unwrap_or_else(|_| Envelope::trivial(class, schema))
+}
+
+/// Fallible top-down derivation: returns
+/// [`CoreError::DeriveTimeout`] when `opts.time_budget` is exceeded
+/// (checked cooperatively at every region expansion), instead of
+/// silently degrading like [`derive_topdown`].
+pub fn try_derive_topdown(
+    model: &ScoreModel,
+    schema: &Schema,
+    class: ClassId,
+    opts: &DeriveOptions,
+) -> Result<Envelope, CoreError> {
+    let started = std::time::Instant::now();
     let k = class.index();
     let mut stats = DeriveStats::default();
     let mut trace = Vec::new();
@@ -39,6 +60,14 @@ pub fn derive_topdown(
     let mut tiebreak = 0u64; // FIFO among equal-cardinality regions
     queue.push(Prio { size: Region::full(schema).cardinality(), order: u64::MAX, region: Region::full(schema) });
     while let Some(Prio { region, .. }) = queue.pop() {
+        // Cooperative wall-clock check, once per popped region: the
+        // per-region work (bounding, shrinking, splitting) is small and
+        // bounded, so this is the natural preemption granularity.
+        if let Some(budget) = opts.time_budget {
+            if started.elapsed() >= budget {
+                return Err(CoreError::DeriveTimeout { budget });
+            }
+        }
         let status = model.region_status(&region, k, opts.bound_mode);
         if opts.trace {
             trace.push(evaluated_step(model, schema, &region, status));
@@ -118,7 +147,7 @@ pub fn derive_topdown(
 
     let mut env = Envelope { class, regions: kept, exact: all_exact, stats, trace };
     env.cap_disjuncts(opts.max_disjuncts, schema);
-    env
+    Ok(env)
 }
 
 /// Priority-queue entry: largest region first, then insertion order.

@@ -327,8 +327,8 @@ mod tests {
         // training-sized prefix (doubling preserves ratios exactly).
         let n = test.len();
         let pool = spec.train_size;
-        let mut pool_counts = vec![0usize; 8];
-        let mut all_counts = vec![0usize; 8];
+        let mut pool_counts = [0usize; 8];
+        let mut all_counts = [0usize; 8];
         for (i, row) in test.rows().enumerate() {
             if i < pool {
                 pool_counts[row[0] as usize] += 1;

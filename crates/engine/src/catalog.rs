@@ -8,13 +8,16 @@
 //! invalidated when a model is retrained (§4.2's correctness note).
 
 use crate::expr::{ModelId, ModelOracle};
+use crate::fault::FaultInjector;
 use crate::index::SecondaryIndex;
 use crate::stats::TableStats;
 use crate::table::Table;
 use crate::EngineError;
-use mpq_core::{DeriveOptions, Envelope, EnvelopeProvider};
+use mpq_core::{CoreError, DeriveOptions, Envelope, EnvelopeProvider};
 use mpq_types::{AttrId, ClassId, Member, Row};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A registered mining model with its precomputed envelopes.
 pub struct ModelEntry {
@@ -28,6 +31,12 @@ pub struct ModelEntry {
     pub version: u64,
     /// Derivation options the envelopes were computed with.
     pub derive_opts: DeriveOptions,
+    /// `Some(reason)` when envelope derivation failed and the trivial
+    /// `TRUE` envelopes were installed instead. Degraded models still
+    /// answer queries correctly (the mining predicate remains as the
+    /// residual filter) but without access-path benefits. Cleared by a
+    /// successful retrain.
+    pub degraded: Option<String>,
 }
 
 /// A registered table with statistics and any secondary indexes.
@@ -57,12 +66,60 @@ impl TableEntry {
 pub struct Catalog {
     tables: Vec<TableEntry>,
     models: Vec<ModelEntry>,
+    faults: Arc<FaultInjector>,
+}
+
+/// Derives per-class envelopes, absorbing every failure mode this layer
+/// can see: injected faults, derivation timeouts
+/// ([`mpq_core::CoreError::DeriveTimeout`]), and panics inside model
+/// code. On `Err` the caller degrades to trivial envelopes.
+fn derive_envelopes(
+    model: &Arc<dyn EnvelopeProvider + Send + Sync>,
+    opts: &DeriveOptions,
+    faults: &FaultInjector,
+) -> Result<Vec<Envelope>, String> {
+    if faults.derive_timeout_armed() {
+        let budget = opts.time_budget.unwrap_or(Duration::ZERO);
+        return Err(CoreError::DeriveTimeout { budget }.to_string());
+    }
+    if faults.derive_grid_too_large_armed() {
+        return Err("attribute grid too large for top-down derivation (injected)".to_string());
+    }
+    let model = Arc::clone(model);
+    let opts = *opts;
+    match catch_unwind(AssertUnwindSafe(move || model.try_envelopes(&opts))) {
+        Ok(Ok(envs)) => Ok(envs),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(payload) => Err(format!(
+            "panic during envelope derivation: {}",
+            crate::error::panic_message(&*payload)
+        )),
+    }
+}
+
+/// One trivial (`TRUE`) envelope per class: sound because the mining
+/// predicate itself stays in the residual, so queries fall back to
+/// scan-plus-filter semantics.
+fn trivial_envelopes(model: &Arc<dyn EnvelopeProvider + Send + Sync>) -> Vec<Envelope> {
+    let schema = model.schema();
+    (0..model.n_classes()).map(|k| Envelope::trivial(ClassId(k as u16), schema)).collect()
 }
 
 impl Catalog {
     /// Creates an empty catalog.
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// The shared fault injector (every fault off unless a test armed it).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// A cloneable handle to the fault injector, for arming faults while
+    /// the catalog is borrowed elsewhere.
+    pub fn fault_injector(&self) -> Arc<FaultInjector> {
+        Arc::clone(&self.faults)
     }
 
     /// Registers a table, building statistics.
@@ -77,6 +134,12 @@ impl Catalog {
 
     /// Registers a trained model under `name`, precomputing the per-class
     /// envelopes (§4.2 training-time step).
+    ///
+    /// Derivation failures (timeout over
+    /// [`DeriveOptions::time_budget`], panics, injected faults) do NOT
+    /// fail the registration: the model is installed with trivial
+    /// `TRUE` envelopes and marked [`ModelEntry::degraded`]. Queries
+    /// against it remain correct — only unoptimized.
     pub fn add_model(
         &mut self,
         name: impl Into<String>,
@@ -87,25 +150,60 @@ impl Catalog {
         if self.model_by_name(&name).is_some() {
             return Err(EngineError::Duplicate(name));
         }
-        let envelopes = model.envelopes(&opts);
-        self.models.push(ModelEntry { name, model, envelopes, version: 1, derive_opts: opts });
+        let (envelopes, degraded) = match derive_envelopes(&model, &opts, &self.faults) {
+            Ok(envs) => (envs, None),
+            Err(reason) => (trivial_envelopes(&model), Some(reason)),
+        };
+        self.models.push(ModelEntry {
+            name,
+            model,
+            envelopes,
+            version: 1,
+            derive_opts: opts,
+            degraded,
+        });
         Ok(self.models.len() - 1)
     }
 
     /// Replaces a model's contents (retraining): envelopes are recomputed
     /// and the version bumped, invalidating dependent cached plans.
+    /// Reuses the options supplied at registration (or the last
+    /// [`Catalog::retrain_model_with`]).
     pub fn retrain_model(
         &mut self,
         id: ModelId,
         model: Arc<dyn EnvelopeProvider + Send + Sync>,
     ) -> Result<(), EngineError> {
-        let entry = self
+        let opts = self
             .models
-            .get_mut(id)
-            .ok_or_else(|| EngineError::UnknownModel(format!("#{id}")))?;
-        entry.envelopes = model.envelopes(&entry.derive_opts);
+            .get(id)
+            .ok_or_else(|| EngineError::UnknownModel(format!("#{id}")))?
+            .derive_opts;
+        self.retrain_model_with(id, model, opts)
+    }
+
+    /// Retrains with fresh derivation options — the retry path for a
+    /// degraded model: supply a larger (or no) time budget and a
+    /// successful derivation clears [`ModelEntry::degraded`].
+    pub fn retrain_model_with(
+        &mut self,
+        id: ModelId,
+        model: Arc<dyn EnvelopeProvider + Send + Sync>,
+        opts: DeriveOptions,
+    ) -> Result<(), EngineError> {
+        if id >= self.models.len() {
+            return Err(EngineError::UnknownModel(format!("#{id}")));
+        }
+        let (envelopes, degraded) = match derive_envelopes(&model, &opts, &self.faults) {
+            Ok(envs) => (envs, None),
+            Err(reason) => (trivial_envelopes(&model), Some(reason)),
+        };
+        let entry = &mut self.models[id];
+        entry.envelopes = envelopes;
         entry.model = model;
         entry.version += 1;
+        entry.derive_opts = opts;
+        entry.degraded = degraded;
         Ok(())
     }
 
@@ -154,11 +252,16 @@ impl Catalog {
     }
 
     /// Creates a secondary (possibly composite) index over `columns` of
-    /// `table_id` if an identical one does not already exist.
+    /// `table_id` if an identical one does not already exist. An empty
+    /// column set is a no-op (an index over nothing is meaningless, and
+    /// `SecondaryIndex::build` asserts non-emptiness).
     pub fn create_index(&mut self, table_id: usize, columns: &[AttrId]) {
         let mut cols = columns.to_vec();
         cols.sort_unstable();
         cols.dedup();
+        if cols.is_empty() {
+            return;
+        }
         let entry = &mut self.tables[table_id];
         if entry.index_over(&cols).is_none() {
             let ix = SecondaryIndex::build(&entry.table, &cols);
@@ -180,7 +283,17 @@ impl Catalog {
 
 impl ModelOracle for Catalog {
     fn predict(&self, model: ModelId, row: &Row) -> ClassId {
-        self.models[model].model.predict(row)
+        let entry = &self.models[model];
+        // Injected scorer faults surface as panics because `predict`
+        // returns a bare ClassId; the engine's catch_unwind entry points
+        // convert them to `EngineError::Internal`.
+        if self.faults.scorer_panic_armed() {
+            panic!("injected fault: scorer panicked on model '{}'", entry.name);
+        }
+        if self.faults.scorer_nan_armed() {
+            panic!("injected fault: scorer produced NaN for model '{}'", entry.name);
+        }
+        entry.model.predict(row)
     }
 
     fn class_for_member(&self, model: ModelId, column: AttrId, m: Member) -> Option<ClassId> {
@@ -244,6 +357,45 @@ mod tests {
         assert_eq!(cat.model(id).version, 2);
         assert_eq!(cat.model(id).envelopes.len(), before);
         assert!(cat.retrain_model(99, Arc::new(paper_table1_model())).is_err());
+    }
+
+    #[test]
+    fn derive_fault_degrades_instead_of_failing() {
+        let mut cat = Catalog::new();
+        cat.faults().set_derive_timeout(true);
+        let id = cat
+            .add_model("risk", Arc::new(paper_table1_model()), DeriveOptions::default())
+            .expect("registration must survive derivation failure");
+        let entry = cat.model(id);
+        let schema = entry.model.schema().clone();
+        assert!(entry.degraded.is_some(), "derivation failure recorded");
+        assert_eq!(entry.envelopes.len(), 3);
+        assert!(
+            entry.envelopes.iter().all(|e| e.is_tautology(&schema) && !e.exact),
+            "degraded envelopes are trivial TRUE"
+        );
+        // Retraining with the fault cleared recovers real envelopes.
+        cat.faults().reset();
+        cat.retrain_model(id, Arc::new(paper_table1_model())).unwrap();
+        let entry = cat.model(id);
+        assert!(entry.degraded.is_none());
+        assert!(entry.envelopes.iter().any(|e| !e.is_tautology(&schema)));
+        assert_eq!(entry.version, 2);
+    }
+
+    #[test]
+    fn retrain_with_updates_options() {
+        let (mut cat, id) = catalog_with_model();
+        let opts = DeriveOptions {
+            time_budget: Some(std::time::Duration::from_secs(60)),
+            ..DeriveOptions::default()
+        };
+        cat.retrain_model_with(id, Arc::new(paper_table1_model()), opts).unwrap();
+        assert_eq!(cat.model(id).derive_opts.time_budget, opts.time_budget);
+        assert!(cat.model(id).degraded.is_none());
+        assert!(cat
+            .retrain_model_with(99, Arc::new(paper_table1_model()), opts)
+            .is_err());
     }
 
     #[test]

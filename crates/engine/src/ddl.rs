@@ -42,6 +42,26 @@ impl ProjectedModel {
         buf.clear();
         buf.extend(row.iter().enumerate().filter(|(d, _)| *d != self.label).map(|(_, &m)| m));
     }
+
+    /// Lifts an inner-schema envelope into the full schema: each region
+    /// gains an unconstrained label dimension.
+    fn lift(&self, inner_env: Envelope) -> Envelope {
+        let label_dim = {
+            let attr = &self.full_schema.attrs()[self.label];
+            mpq_core::DimSet::full(attr.domain.cardinality(), attr.domain.is_ordered())
+        };
+        let regions = inner_env
+            .regions
+            .into_iter()
+            .map(|r| {
+                let mut dims: Vec<mpq_core::DimSet> =
+                    (0..r.n_dims()).map(|d| r.dim(d).clone()).collect();
+                dims.insert(self.label, label_dim.clone());
+                mpq_core::Region::from_dims(dims)
+            })
+            .collect();
+        Envelope { regions, ..inner_env }
+    }
 }
 
 impl Classifier for ProjectedModel {
@@ -66,24 +86,17 @@ impl Classifier for ProjectedModel {
 
 impl EnvelopeProvider for ProjectedModel {
     fn envelope(&self, class: ClassId, opts: &DeriveOptions) -> Envelope {
-        let inner_env = self.inner.envelope(class, opts);
-        // Lift each region into the full schema: unconstrained on the
-        // label dimension.
-        let label_dim = {
-            let attr = &self.full_schema.attrs()[self.label];
-            mpq_core::DimSet::full(attr.domain.cardinality(), attr.domain.is_ordered())
-        };
-        let regions = inner_env
-            .regions
-            .into_iter()
-            .map(|r| {
-                let mut dims: Vec<mpq_core::DimSet> =
-                    (0..r.n_dims()).map(|d| r.dim(d).clone()).collect();
-                dims.insert(self.label, label_dim.clone());
-                mpq_core::Region::from_dims(dims)
-            })
-            .collect();
-        Envelope { regions, ..inner_env }
+        self.lift(self.inner.envelope(class, opts))
+    }
+
+    fn try_envelope(
+        &self,
+        class: ClassId,
+        opts: &DeriveOptions,
+    ) -> Result<Envelope, mpq_core::CoreError> {
+        // Forward the fallible path so a time budget on the inner
+        // derivation propagates (and degradation can kick in upstream).
+        Ok(self.lift(self.inner.try_envelope(class, opts)?))
     }
 }
 
@@ -139,7 +152,11 @@ pub fn create_model(
     let full_schema = catalog.table(table).table.schema().clone();
     let model: Arc<dyn EnvelopeProvider + Send + Sync> = match algorithm {
         ModelAlgorithm::DecisionTree | ModelAlgorithm::NaiveBayes | ModelAlgorithm::Rules => {
-            let label = label.expect("parser guarantees a label for classification");
+            // The SQL parser guarantees a label, but create_model is
+            // public API: reject rather than panic on a direct call.
+            let label = label.ok_or_else(|| EngineError::SchemaMismatch {
+                detail: "classification algorithms need a label column".to_string(),
+            })?;
             let train = labeled_view(catalog, table, label)?;
             let inner: Arc<dyn EnvelopeProvider + Send + Sync> = match algorithm {
                 ModelAlgorithm::DecisionTree => Arc::new(
@@ -158,7 +175,9 @@ pub fn create_model(
             Arc::new(ProjectedModel::new(full_schema, label, inner))
         }
         ModelAlgorithm::KMeans => {
-            let k = clusters.expect("parser guarantees a cluster count");
+            let k = clusters.ok_or_else(|| EngineError::SchemaMismatch {
+                detail: "clustering algorithms need a cluster count".to_string(),
+            })?;
             let data = table_dataset(catalog, table);
             Arc::new(
                 KMeans::train_encoded(&data, KMeansParams { k, ..Default::default() })
@@ -166,7 +185,9 @@ pub fn create_model(
             )
         }
         ModelAlgorithm::Gmm => {
-            let k = clusters.expect("parser guarantees a cluster count");
+            let k = clusters.ok_or_else(|| EngineError::SchemaMismatch {
+                detail: "clustering algorithms need a cluster count".to_string(),
+            })?;
             let data = table_dataset(catalog, table);
             Arc::new(
                 Gmm::train_encoded(&data, GmmParams { k, ..Default::default() })
@@ -183,6 +204,8 @@ fn table_dataset(catalog: &Catalog, table: usize) -> Dataset {
     let t = &catalog.table(table).table;
     let mut ds = Dataset::new(t.schema().clone());
     for r in 0..t.n_rows() as u32 {
+        // Invariant-backed: rows were validated against this same
+        // schema when the table was built, so re-encoding cannot fail.
         ds.push_encoded(&t.row(r)).expect("stored rows are valid");
     }
     ds

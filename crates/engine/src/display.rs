@@ -52,6 +52,7 @@ fn atom_to_sql(a: &Atom, schema: &Schema) -> String {
             let parts: Vec<String> =
                 s.iter().map(|m| range_sql(name, &attr.domain, m, m)).collect();
             if parts.len() == 1 {
+                // Invariant-backed: guarded by the length check above.
                 parts.into_iter().next().expect("one part")
             } else {
                 format!("({})", parts.join(" OR "))
@@ -61,6 +62,8 @@ fn atom_to_sql(a: &Atom, schema: &Schema) -> String {
 }
 
 fn range_sql(name: &str, domain: &AttrDomain, lo: u16, hi: u16) -> String {
+    // Invariant-backed: range_sql is only called for Binned domains
+    // (the match arms above dispatch on the domain kind).
     let (lo_bound, _) = domain.bin_interval(lo).expect("ordered");
     let (_, hi_bound) = domain.bin_interval(hi).expect("ordered");
     let mut parts = Vec::new();
@@ -128,12 +131,21 @@ pub fn plan_to_string(plan: &Plan, schema: &Schema, catalog: &Catalog) -> String
             format!("Index Union on {table} ({} seeks: {})", seeks.len(), parts.join(" | "))
         }
     };
-    format!(
+    let mut text = format!(
         "{access}\n  est. cost: {:.2} pages, est. selectivity: {:.4}%\n  residual: {}",
         plan.est_cost,
         plan.est_selectivity * 100.0,
         expr_to_sql(&plan.residual, schema, catalog)
-    )
+    );
+    for m in &plan.degraded_models {
+        let entry = catalog.model(*m);
+        let reason = entry.degraded.as_deref().unwrap_or("unknown");
+        text.push_str(&format!(
+            "\n  degraded: model '{}' envelope unavailable ({reason}); residual-only evaluation",
+            entry.name
+        ));
+    }
+    text
 }
 
 #[cfg(test)]

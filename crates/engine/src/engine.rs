@@ -4,8 +4,11 @@
 
 use crate::catalog::Catalog;
 use crate::display::plan_to_string;
-use crate::exec::{execute, ExecMetrics};
+use crate::error::panic_message;
+use crate::exec::{execute_guarded, ExecMetrics};
 use crate::expr::{Expr, ModelId};
+use crate::fault::FaultInjector;
+use crate::guard::QueryGuard;
 use crate::optimizer::{choose_plan, OptimizerOptions, Plan};
 use crate::rewrite::rewrite_mining;
 use crate::sql::{parse, parse_statement, Statement};
@@ -13,6 +16,7 @@ use crate::table::RowId;
 use crate::EngineError;
 use mpq_core::{DeriveOptions, EnvelopeProvider};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Result of running one query.
@@ -44,7 +48,66 @@ pub enum StatementOutcome {
         model: ModelId,
         /// Number of output classes/clusters.
         n_classes: usize,
+        /// `Some(reason)` when envelope derivation failed and the model
+        /// was installed with trivial `TRUE` envelopes (degraded but
+        /// correct; see [`crate::ModelEntry::degraded`]).
+        degraded: Option<String>,
     },
+}
+
+/// Health snapshot of one registered model (see [`Engine::health`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelHealth {
+    /// Catalog name.
+    pub name: String,
+    /// Current version (bumped by retraining).
+    pub version: u64,
+    /// Degradation reason, if envelope derivation failed.
+    pub degraded: Option<String>,
+    /// Number of per-class envelopes installed.
+    pub n_envelopes: usize,
+    /// How many of those are exact (tight) envelopes.
+    pub exact_envelopes: usize,
+}
+
+/// Engine-wide health report: per-model envelope status plus catalog
+/// and cache counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineHealth {
+    /// One entry per registered model.
+    pub models: Vec<ModelHealth>,
+    /// Number of registered tables.
+    pub tables: usize,
+    /// Number of cached plans.
+    pub cached_plans: usize,
+}
+
+impl EngineHealth {
+    /// True when no model is degraded.
+    pub fn all_healthy(&self) -> bool {
+        self.models.iter().all(|m| m.degraded.is_none())
+    }
+}
+
+impl std::fmt::Display for EngineHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "tables: {}, cached plans: {}", self.tables, self.cached_plans)?;
+        for m in &self.models {
+            match &m.degraded {
+                Some(reason) => writeln!(
+                    f,
+                    "model '{}' v{}: DEGRADED ({reason}); {} trivial envelopes",
+                    m.name, m.version, m.n_envelopes
+                )?,
+                None => writeln!(
+                    f,
+                    "model '{}' v{}: healthy; {} envelopes ({} exact)",
+                    m.name, m.version, m.n_envelopes, m.exact_envelopes
+                )?,
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A SQL-facing engine over a [`Catalog`].
@@ -52,12 +115,57 @@ pub struct Engine {
     catalog: Catalog,
     opts: OptimizerOptions,
     plan_cache: HashMap<String, Plan>,
+    guard: QueryGuard,
 }
 
 impl Engine {
-    /// Wraps a catalog with default optimizer options.
+    /// Wraps a catalog with default optimizer options and an unlimited
+    /// query guard.
     pub fn new(catalog: Catalog) -> Engine {
-        Engine { catalog, opts: OptimizerOptions::default(), plan_cache: HashMap::new() }
+        Engine {
+            catalog,
+            opts: OptimizerOptions::default(),
+            plan_cache: HashMap::new(),
+            guard: QueryGuard::unlimited(),
+        }
+    }
+
+    /// The guard applied to every query.
+    pub fn guard(&self) -> QueryGuard {
+        self.guard
+    }
+
+    /// Sets the resource guard applied to every subsequent query.
+    pub fn set_guard(&mut self, guard: QueryGuard) {
+        self.guard = guard;
+    }
+
+    /// The catalog's fault injector (test hook; all faults off by
+    /// default).
+    pub fn fault_injector(&self) -> Arc<FaultInjector> {
+        self.catalog.fault_injector()
+    }
+
+    /// Reports per-model envelope health plus catalog/cache counts —
+    /// the operational view of degraded models.
+    pub fn health(&self) -> EngineHealth {
+        let models = (0..self.catalog.n_models())
+            .map(|id| {
+                let e = self.catalog.model(id);
+                ModelHealth {
+                    name: e.name.clone(),
+                    version: e.version,
+                    degraded: e.degraded.clone(),
+                    n_envelopes: e.envelopes.len(),
+                    exact_envelopes: e.envelopes.iter().filter(|env| env.exact).count(),
+                }
+            })
+            .collect();
+        EngineHealth {
+            models,
+            tables: self.catalog.n_tables(),
+            cached_plans: self.plan_cache.len(),
+        }
     }
 
     /// Read access to the catalog.
@@ -103,13 +211,25 @@ impl Engine {
     }
 
     /// Retrains a model in place; dependent cached plans become invalid
-    /// via the version check.
+    /// via the version check. If the previous registration was degraded,
+    /// a successful derivation here clears the flag.
     pub fn retrain_model(
         &mut self,
         id: ModelId,
         model: Arc<dyn EnvelopeProvider + Send + Sync>,
     ) -> Result<(), EngineError> {
         self.catalog.retrain_model(id, model)
+    }
+
+    /// Retrains with fresh derivation options — the recovery path for a
+    /// degraded model (e.g. retry with a larger time budget).
+    pub fn retrain_model_with(
+        &mut self,
+        id: ModelId,
+        model: Arc<dyn EnvelopeProvider + Send + Sync>,
+        opts: DeriveOptions,
+    ) -> Result<(), EngineError> {
+        self.catalog.retrain_model_with(id, model, opts)
     }
 
     /// Plans a predicate for a table (parse-free entry point used by the
@@ -125,7 +245,20 @@ impl Engine {
     }
 
     /// Runs (or explains) one SQL query.
+    ///
+    /// No panic escapes this entry point: panics from model code (or
+    /// injected scorer faults) are caught and reported as
+    /// [`EngineError::Internal`]; the engine remains usable afterwards.
     pub fn query(&mut self, sql: &str) -> Result<QueryOutcome, EngineError> {
+        catch_unwind(AssertUnwindSafe(|| self.query_inner(sql))).unwrap_or_else(|payload| {
+            // Conservative: a panic mid-query may have left a
+            // half-built plan cached.
+            self.plan_cache.clear();
+            Err(EngineError::Internal { detail: panic_message(&*payload) })
+        })
+    }
+
+    fn query_inner(&mut self, sql: &str) -> Result<QueryOutcome, EngineError> {
         let parsed = parse(sql, &self.catalog)?;
         let cache_key = format!("{}|env={}", sql.trim(), self.opts.use_envelopes);
         let (plan, cached) = match self.plan_cache.get(&cache_key) {
@@ -148,7 +281,7 @@ impl Engine {
                 cached_plan: cached,
             });
         }
-        let result = execute(&plan, &self.catalog);
+        let result = execute_guarded(&plan, &self.catalog, self.guard)?;
         Ok(QueryOutcome {
             rows: result.rows,
             metrics: result.metrics,
@@ -161,9 +294,23 @@ impl Engine {
     /// Runs one statement: a query, or DDL like `CREATE MINING MODEL m
     /// ON t PREDICT label USING decision_tree`. Training happens here;
     /// envelope precomputation happens at registration (§4.2).
+    ///
+    /// Like [`Engine::query`], panics are caught and surfaced as
+    /// [`EngineError::Internal`]. Envelope-derivation failures do not
+    /// fail a `CREATE MINING MODEL`: the model lands degraded (trivial
+    /// envelopes) and the outcome's `degraded` field carries the reason.
     pub fn execute_sql(&mut self, sql: &str) -> Result<StatementOutcome, EngineError> {
+        catch_unwind(AssertUnwindSafe(|| self.execute_sql_inner(sql))).unwrap_or_else(
+            |payload| {
+                self.plan_cache.clear();
+                Err(EngineError::Internal { detail: panic_message(&*payload) })
+            },
+        )
+    }
+
+    fn execute_sql_inner(&mut self, sql: &str) -> Result<StatementOutcome, EngineError> {
         match parse_statement(sql, &self.catalog)? {
-            Statement::Select(_) => Ok(StatementOutcome::Query(self.query(sql)?)),
+            Statement::Select(_) => Ok(StatementOutcome::Query(self.query_inner(sql)?)),
             Statement::CreateModel { name, table, label, clusters, algorithm } => {
                 self.plan_cache.clear();
                 let (model, n_classes) = crate::ddl::create_model(
@@ -175,7 +322,8 @@ impl Engine {
                     algorithm,
                     DeriveOptions::default(),
                 )?;
-                Ok(StatementOutcome::ModelCreated { name, model, n_classes })
+                let degraded = self.catalog.model(model).degraded.clone();
+                Ok(StatementOutcome::ModelCreated { name, model, n_classes, degraded })
             }
         }
     }

@@ -1,5 +1,29 @@
 //! Engine error type.
 
+/// The resource whose budget a [`crate::QueryGuard`] limit tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardResource {
+    /// Wall-clock execution time (spent/limit in milliseconds).
+    WallClock,
+    /// Rows fetched and tested against the residual predicate.
+    RowsExamined,
+    /// Heap plus index pages read.
+    PagesRead,
+    /// Black-box model applications.
+    ModelInvocations,
+}
+
+impl std::fmt::Display for GuardResource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            GuardResource::WallClock => "wall-clock time (ms)",
+            GuardResource::RowsExamined => "rows examined",
+            GuardResource::PagesRead => "pages read",
+            GuardResource::ModelInvocations => "model invocations",
+        })
+    }
+}
+
 /// Errors surfaced by the relational engine.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
@@ -32,6 +56,24 @@ pub enum EngineError {
     BadValue(String),
     /// Duplicate catalog object.
     Duplicate(String),
+    /// A [`crate::QueryGuard`] budget was breached during execution.
+    /// The query produced *no* result — partial row sets are never
+    /// returned silently.
+    BudgetExceeded {
+        /// Which budget tripped.
+        resource: GuardResource,
+        /// Amount consumed when the breach was detected.
+        spent: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// An internal failure (for example a panic caught at a query entry
+    /// point, or an injected fault): the engine stays usable, the query
+    /// reports this typed error instead of unwinding into the caller.
+    Internal {
+        /// Explanation (panic payload or fault description).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -47,11 +89,26 @@ impl std::fmt::Display for EngineError {
             EngineError::Parse { at, detail } => write!(f, "parse error at byte {at}: {detail}"),
             EngineError::BadValue(v) => write!(f, "cannot encode value: {v}"),
             EngineError::Duplicate(n) => write!(f, "catalog object {n:?} already exists"),
+            EngineError::BudgetExceeded { resource, spent, limit } => {
+                write!(f, "query guard tripped: {resource} spent {spent} of limit {limit}")
+            }
+            EngineError::Internal { detail } => write!(f, "internal engine error: {detail}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+/// Renders a caught panic payload as text (for [`EngineError::Internal`]).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,9 @@
 //! Plan execution with honest cost accounting.
 
 use crate::catalog::Catalog;
+use crate::error::EngineError;
 use crate::expr::Expr;
+use crate::guard::{GuardHeadroom, GuardState, QueryGuard};
 use crate::optimizer::{AccessPath, Plan};
 use crate::table::RowId;
 use std::collections::HashSet;
@@ -24,6 +26,13 @@ pub struct ExecMetrics {
     pub output_rows: u64,
     /// Wall-clock execution time.
     pub elapsed: std::time::Duration,
+    /// Budget headroom left when execution finished (all `None` when
+    /// the query ran with an unlimited [`QueryGuard`]).
+    pub guard: GuardHeadroom,
+    /// True when an index fault forced the executor to abandon the
+    /// chosen index path and fall back to a full scan with the complete
+    /// residual predicate (same row set, more pages).
+    pub index_fallback: bool,
 }
 
 impl ExecMetrics {
@@ -42,41 +51,80 @@ pub struct ExecResult {
     pub metrics: ExecMetrics,
 }
 
-/// Executes `plan` against the catalog.
+/// Executes `plan` against the catalog with no resource limits.
+///
+/// Equivalent to [`execute_guarded`] with [`QueryGuard::unlimited`]; an
+/// unlimited guard can never trip, so this cannot fail.
 pub fn execute(plan: &Plan, catalog: &Catalog) -> ExecResult {
+    execute_guarded(plan, catalog, QueryGuard::unlimited())
+        .expect("unlimited guard cannot trip")
+}
+
+/// Executes `plan` against the catalog under `guard`.
+///
+/// The guard is checked cooperatively: after every row examined and
+/// after every page accounted. A breach aborts with
+/// [`EngineError::BudgetExceeded`]; no partial row set is returned.
+///
+/// If the catalog's [`crate::FaultInjector`] has index-probe failure
+/// armed, index plans degrade to a full scan evaluating the complete
+/// residual predicate — the row set is identical (the residual is the
+/// whole predicate; index seeks only pre-filter), only the page counts
+/// grow. The fallback is flagged in [`ExecMetrics::index_fallback`].
+pub fn execute_guarded(
+    plan: &Plan,
+    catalog: &Catalog,
+    guard: QueryGuard,
+) -> Result<ExecResult, EngineError> {
     let start = Instant::now();
+    let gs = GuardState::new(guard);
     let entry = catalog.table(plan.table);
     let table = &entry.table;
     let mut m = ExecMetrics::default();
     let mut out = Vec::new();
     let mut row_buf = vec![0u16; table.schema().len()];
 
-    let mut test_pred = |row: RowId, pred: &Expr, m: &mut ExecMetrics, out: &mut Vec<RowId>| {
-        for d in 0..table.schema().len() {
-            row_buf[d] = table.cell(row, d);
+    let mut test_pred = |row: RowId,
+                         pred: &Expr,
+                         m: &mut ExecMetrics,
+                         out: &mut Vec<RowId>|
+     -> Result<(), EngineError> {
+        for (d, cell) in row_buf.iter_mut().enumerate() {
+            *cell = table.cell(row, d);
         }
         m.rows_examined += 1;
         if pred.eval(&row_buf, catalog, &mut m.model_invocations) {
             out.push(row);
         }
+        gs.check(m)
     };
     let residual = &plan.residual;
 
-    match &plan.access {
+    // Injected index failure: degrade to a full scan with the complete
+    // residual — sound because `plan.residual` is the whole predicate.
+    m.index_fallback = catalog.faults().index_probe_failure_armed()
+        && matches!(plan.access, AccessPath::IndexSeek(_) | AccessPath::IndexUnion(_));
+    let access = if m.index_fallback { &AccessPath::FullScan } else { &plan.access };
+
+    match access {
         AccessPath::ConstantScan => {}
         AccessPath::FullScan => {
-            m.heap_pages_read = table.n_pages() as u64;
             for row in 0..table.n_rows() as RowId {
-                test_pred(row, residual, &mut m, &mut out);
+                // Progressive page accounting so a pages budget trips
+                // mid-scan instead of after reading the whole heap.
+                m.heap_pages_read = table.page_of(row) as u64 + 1;
+                test_pred(row, residual, &mut m, &mut out)?;
             }
+            m.heap_pages_read = table.n_pages() as u64;
         }
         AccessPath::IndexSeek(seek) => {
             let ix = &entry.indexes[seek.index];
             let rows = ix.probe(&seek.preds);
             m.index_pages_read = index_pages(rows.len(), table.rows_per_page());
             m.heap_pages_read = distinct_pages(&rows, table);
+            gs.check(&m)?;
             for row in rows {
-                test_pred(row, residual, &mut m, &mut out);
+                test_pred(row, residual, &mut m, &mut out)?;
             }
         }
         AccessPath::IndexUnion(seeks) => {
@@ -90,25 +138,31 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> ExecResult {
                 let ix = &entry.indexes[seek.index];
                 let rows = ix.probe(&seek.preds);
                 m.index_pages_read += index_pages(rows.len(), table.rows_per_page());
+                gs.check(&m)?;
                 union.extend(rows.into_iter().map(|r| (r, seek.exact)));
             }
             union.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
             union.dedup_by_key(|(r, _)| *r); // keeps the exact=true copy
             m.heap_pages_read =
                 distinct_pages_iter(union.iter().map(|(r, _)| *r), table);
+            gs.check(&m)?;
             let skip_or = plan.skip_or.as_ref();
             for (row, exact) in union {
                 match (exact, skip_or) {
-                    (true, Some(rest)) => test_pred(row, rest, &mut m, &mut out),
-                    _ => test_pred(row, residual, &mut m, &mut out),
+                    (true, Some(rest)) => test_pred(row, rest, &mut m, &mut out)?,
+                    _ => test_pred(row, residual, &mut m, &mut out)?,
                 }
             }
         }
     }
 
+    // Final check covers paths that examined nothing (e.g. constant
+    // scans past the deadline).
+    gs.check(&m)?;
     m.output_rows = out.len() as u64;
     m.elapsed = start.elapsed();
-    ExecResult { rows: out, metrics: m }
+    m.guard = gs.headroom(&m);
+    Ok(ExecResult { rows: out, metrics: m })
 }
 
 fn index_pages(postings: usize, rows_per_page: usize) -> u64 {
@@ -206,6 +260,58 @@ mod tests {
         let r = execute(&plan, &cat);
         assert_eq!(r.rows.len(), 100);
         assert!(r.rows.windows(2).all(|w| w[0] < w[1]), "sorted, deduped row ids");
+    }
+
+    #[test]
+    fn guard_trips_row_budget_without_partial_result() {
+        use crate::error::GuardResource;
+        let cat = catalog();
+        let e = Expr::Atom(Atom { attr: AttrId(0), pred: AtomPred::Eq(1) });
+        let schema = cat.table(0).table.schema().clone();
+        let plan = choose_plan(e, 0, &schema, &cat, &OptimizerOptions::default());
+        let plan = Plan { access: AccessPath::FullScan, ..plan };
+        let guard = QueryGuard::default().with_max_rows_examined(10);
+        match execute_guarded(&plan, &cat, guard) {
+            Err(crate::EngineError::BudgetExceeded { resource, spent, limit }) => {
+                assert_eq!(resource, GuardResource::RowsExamined);
+                assert_eq!(limit, 10);
+                assert_eq!(spent, 11, "detected on the first row past the limit");
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guard_headroom_recorded_on_success() {
+        let cat = catalog();
+        let e = Expr::Atom(Atom { attr: AttrId(0), pred: AtomPred::Eq(0) });
+        let schema = cat.table(0).table.schema().clone();
+        let plan = choose_plan(e, 0, &schema, &cat, &OptimizerOptions::default());
+        let guard = QueryGuard::default().with_max_rows_examined(1_000);
+        let r = execute_guarded(&plan, &cat, guard).unwrap();
+        assert_eq!(r.rows.len(), 100);
+        assert_eq!(r.metrics.guard.rows_remaining, Some(900));
+        assert_eq!(r.metrics.guard.pages_remaining, None, "pages unlimited");
+    }
+
+    #[test]
+    fn index_fault_falls_back_to_scan_with_identical_rows() {
+        let cat = catalog();
+        let e = Expr::Atom(Atom { attr: AttrId(0), pred: AtomPred::Eq(0) });
+        let schema = cat.table(0).table.schema().clone();
+        let plan = choose_plan(e, 0, &schema, &cat, &OptimizerOptions::default());
+        assert!(
+            matches!(plan.access, AccessPath::IndexSeek(_) | AccessPath::IndexUnion(_)),
+            "selective predicate should choose an index path"
+        );
+        let healthy = execute(&plan, &cat);
+        cat.faults().set_index_probe_failure(true);
+        let degraded = execute(&plan, &cat);
+        cat.faults().reset();
+        assert_eq!(healthy.rows, degraded.rows, "fallback must not change the row set");
+        assert!(degraded.metrics.index_fallback);
+        assert!(!healthy.metrics.index_fallback);
+        assert!(degraded.metrics.heap_pages_read > healthy.metrics.heap_pages_read);
     }
 
     #[test]

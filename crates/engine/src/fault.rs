@@ -1,0 +1,130 @@
+//! Fault injection for robustness testing.
+//!
+//! A [`FaultInjector`] lets tests force the failure modes the engine is
+//! supposed to absorb: index probes erroring out, scorers returning NaN
+//! or panicking, and envelope derivation timing out or blowing the grid
+//! limit. Every flag is off by default, so production paths pay one
+//! relaxed atomic load per site and behave identically with the injector
+//! left untouched.
+//!
+//! The injector is shared via `Arc` between the [`crate::Engine`], its
+//! catalog, and the test harness, so tests can arm faults mid-session.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Switchboard of injectable faults. All flags default to off.
+///
+/// Intended for tests; arming faults in production turns healthy queries
+/// into fallbacks and typed errors.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    index_probe_failure: AtomicBool,
+    scorer_nan: AtomicBool,
+    scorer_panic: AtomicBool,
+    derive_timeout: AtomicBool,
+    derive_grid_too_large: AtomicBool,
+}
+
+impl FaultInjector {
+    /// A new injector with every fault disarmed.
+    pub fn new() -> FaultInjector {
+        FaultInjector::default()
+    }
+
+    /// Arm/disarm failing index probes. Armed, every index lookup
+    /// reports failure and the executor falls back to a full scan with
+    /// the full residual predicate (sound: identical row set).
+    pub fn set_index_probe_failure(&self, on: bool) {
+        self.index_probe_failure.store(on, Ordering::Relaxed);
+    }
+
+    /// True when index probes should fail.
+    pub fn index_probe_failure_armed(&self) -> bool {
+        self.index_probe_failure.load(Ordering::Relaxed)
+    }
+
+    /// Arm/disarm scorers producing NaN. Armed, model application
+    /// panics with a recognizable message, which the engine's
+    /// `catch_unwind` entry point converts to
+    /// [`crate::EngineError::Internal`].
+    pub fn set_scorer_nan(&self, on: bool) {
+        self.scorer_nan.store(on, Ordering::Relaxed);
+    }
+
+    /// True when scorers should produce NaN.
+    pub fn scorer_nan_armed(&self) -> bool {
+        self.scorer_nan.load(Ordering::Relaxed)
+    }
+
+    /// Arm/disarm scorer panics (distinct from NaN so tests can tell
+    /// the two payloads apart).
+    pub fn set_scorer_panic(&self, on: bool) {
+        self.scorer_panic.store(on, Ordering::Relaxed);
+    }
+
+    /// True when scorers should panic.
+    pub fn scorer_panic_armed(&self) -> bool {
+        self.scorer_panic.load(Ordering::Relaxed)
+    }
+
+    /// Arm/disarm forced derivation timeouts. Armed, envelope
+    /// derivation fails as if [`mpq_core::DeriveOptions::time_budget`]
+    /// had elapsed; the catalog installs degraded `TRUE` envelopes.
+    pub fn set_derive_timeout(&self, on: bool) {
+        self.derive_timeout.store(on, Ordering::Relaxed);
+    }
+
+    /// True when derivation should time out.
+    pub fn derive_timeout_armed(&self) -> bool {
+        self.derive_timeout.load(Ordering::Relaxed)
+    }
+
+    /// Arm/disarm the grid-too-large derivation failure (the
+    /// discretized attribute grid exceeding what top-down derivation
+    /// will enumerate).
+    pub fn set_derive_grid_too_large(&self, on: bool) {
+        self.derive_grid_too_large.store(on, Ordering::Relaxed);
+    }
+
+    /// True when derivation should report a grid-too-large failure.
+    pub fn derive_grid_too_large_armed(&self) -> bool {
+        self.derive_grid_too_large.load(Ordering::Relaxed)
+    }
+
+    /// Disarms every fault.
+    pub fn reset(&self) {
+        self.set_index_probe_failure(false);
+        self.set_scorer_nan(false);
+        self.set_scorer_panic(false);
+        self.set_derive_timeout(false);
+        self.set_derive_grid_too_large(false);
+    }
+
+    /// True when any fault is armed.
+    pub fn any_armed(&self) -> bool {
+        self.index_probe_failure_armed()
+            || self.scorer_nan_armed()
+            || self.scorer_panic_armed()
+            || self.derive_timeout_armed()
+            || self.derive_grid_too_large_armed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_off_and_reset_clears() {
+        let f = FaultInjector::new();
+        assert!(!f.any_armed());
+        f.set_scorer_panic(true);
+        f.set_derive_timeout(true);
+        assert!(f.any_armed());
+        assert!(f.scorer_panic_armed());
+        assert!(f.derive_timeout_armed());
+        assert!(!f.scorer_nan_armed());
+        f.reset();
+        assert!(!f.any_armed());
+    }
+}

@@ -30,6 +30,8 @@ mod engine;
 mod error;
 mod exec;
 mod expr;
+mod fault;
+mod guard;
 mod index;
 mod optimizer;
 mod rewrite;
@@ -41,9 +43,11 @@ mod tuner;
 pub use catalog::{Catalog, ModelEntry, TableEntry};
 pub use display::{expr_to_sql, plan_to_string};
 pub use ddl::{create_model, labeled_view, ProjectedModel};
-pub use engine::{Engine, QueryOutcome, StatementOutcome};
-pub use error::EngineError;
-pub use exec::{execute, ExecMetrics, ExecResult};
+pub use engine::{Engine, EngineHealth, ModelHealth, QueryOutcome, StatementOutcome};
+pub use error::{EngineError, GuardResource};
+pub use exec::{execute, execute_guarded, ExecMetrics, ExecResult};
+pub use fault::FaultInjector;
+pub use guard::{GuardHeadroom, QueryGuard};
 pub use expr::{envelope_to_expr, region_to_expr, Atom, AtomPred, Expr, MiningPred, ModelId, ModelOracle};
 pub use index::SecondaryIndex;
 pub use optimizer::{

@@ -126,6 +126,11 @@ pub struct Plan {
     pub est_selectivity: f64,
     /// Model versions this plan depended on (cache invalidation).
     pub model_versions: Vec<(ModelId, u64)>,
+    /// Referenced models whose envelopes are degraded to trivial `TRUE`
+    /// (derivation failed or timed out): the plan is still correct but
+    /// could not use envelope-driven access paths for them. Surfaced in
+    /// EXPLAIN.
+    pub degraded_models: Vec<ModelId>,
 }
 
 /// Estimates the selectivity of `expr` under attribute independence.
@@ -203,6 +208,11 @@ pub fn choose_plan(
         v.dedup();
         v.into_iter().map(|m| (m, catalog.model(m).version)).collect()
     };
+    let degraded_models: Vec<ModelId> = model_versions
+        .iter()
+        .map(|(m, _)| *m)
+        .filter(|m| catalog.model(*m).degraded.is_some())
+        .collect();
 
     let sel = estimate_selectivity(&expr, stats, catalog);
     let mining_count = expr.mining_preds().len() as f64;
@@ -217,6 +227,7 @@ pub fn choose_plan(
             est_cost: 0.0,
             est_selectivity: 0.0,
             model_versions,
+            degraded_models,
         };
     }
 
@@ -230,6 +241,7 @@ pub fn choose_plan(
         est_cost: scan_cost,
         est_selectivity: sel,
         model_versions: model_versions.clone(),
+        degraded_models: degraded_models.clone(),
     };
 
     // Fetch cost of `k` expected rows through an unclustered index:
@@ -255,6 +267,7 @@ pub fn choose_plan(
                 est_cost: c,
                 est_selectivity: sel,
                 model_versions: model_versions.clone(),
+                degraded_models: degraded_models.clone(),
             };
         }
     }
@@ -282,6 +295,7 @@ pub fn choose_plan(
                 est_cost: c,
                 est_selectivity: sel,
                 model_versions,
+                degraded_models,
             };
         }
     }

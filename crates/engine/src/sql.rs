@@ -278,6 +278,8 @@ impl<'a> Parser<'a> {
     }
 
     fn schema(&self) -> &Schema {
+        // Invariant-backed: the grammar resolves FROM (which sets
+        // self.schema) before any production that consults the schema.
         self.schema.as_ref().expect("FROM parsed before WHERE")
     }
 

@@ -284,7 +284,8 @@ mod tests {
             Expr::and(vec![atom(0, 0), atom(1, 0)]),
             Expr::and(vec![atom(0, 0), atom(1, 1)]),
         ]);
-        let report = tune_indexes(&mut cat, 0, &[disj.clone()], 4, &OptimizerOptions::default());
+        let report =
+            tune_indexes(&mut cat, 0, std::slice::from_ref(&disj), 4, &OptimizerOptions::default());
         assert!(report.cost_after < report.cost_before, "{report:?}");
         let schema = cat.table(0).table.schema().clone();
         let plan = choose_plan(disj, 0, &schema, &cat, &OptimizerOptions::default());

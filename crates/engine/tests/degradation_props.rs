@@ -1,0 +1,109 @@
+//! Property: for every model type, a query against a *degraded* model
+//! (trivial `TRUE` envelopes installed after a forced derivation
+//! failure) returns exactly the same row set as the same query with
+//! envelope rewriting disabled (`set_use_envelopes(false)`) — the
+//! unoptimized full-scan + residual baseline.
+
+use mpq_engine::{Catalog, Engine, StatementOutcome, Table};
+use mpq_types::{AttrDomain, Attribute, Dataset, Schema};
+use proptest::prelude::*;
+
+// Classification trains on the mixed-schema table `t`; clustering needs
+// an all-ordered schema, so it trains on the numeric table `pts`.
+const ALGORITHMS: [(&str, &str, &str); 5] = [
+    ("dt", "t", "PREDICT outcome USING decision_tree"),
+    ("nb", "t", "PREDICT outcome USING naive_bayes"),
+    ("rl", "t", "PREDICT outcome USING rules"),
+    ("km", "pts", "WITH 2 CLUSTERS USING kmeans"),
+    ("gm", "pts", "WITH 2 CLUSTERS USING gmm"),
+];
+
+/// Builds an engine over a table with the given extra rows appended to a
+/// deterministic base covering every (x, f, outcome) combination — so
+/// every class always has training examples.
+fn engine_with_rows(extra: &[(u16, u16, u16)]) -> Engine {
+    let schema = Schema::new(vec![
+        Attribute::new("x", AttrDomain::binned(vec![1.0, 2.0]).unwrap()),
+        Attribute::new("f", AttrDomain::categorical(["a", "b"])),
+        Attribute::new("outcome", AttrDomain::categorical(["lo", "hi"])),
+    ])
+    .unwrap();
+    let mut ds = Dataset::new(schema);
+    for x in 0..3u16 {
+        for f in 0..2u16 {
+            for y in 0..2u16 {
+                ds.push_encoded(&[x, f, y]).unwrap();
+            }
+        }
+    }
+    for &(x, f, y) in extra {
+        ds.push_encoded(&[x, f, y]).unwrap();
+    }
+    let mut cat = Catalog::new();
+    cat.add_table(Table::from_dataset("t", &ds)).unwrap();
+
+    // All-ordered companion table for the clustering algorithms,
+    // projecting the same generated rows onto two binned columns.
+    let pts_schema = Schema::new(vec![
+        Attribute::new("px", AttrDomain::binned(vec![1.0, 2.0]).unwrap()),
+        Attribute::new("py", AttrDomain::binned(vec![1.0]).unwrap()),
+    ])
+    .unwrap();
+    let mut pts = Dataset::new(pts_schema);
+    for x in 0..3u16 {
+        for f in 0..2u16 {
+            pts.push_encoded(&[x, f]).unwrap();
+        }
+    }
+    for &(x, f, _) in extra {
+        pts.push_encoded(&[x, f]).unwrap();
+    }
+    cat.add_table(Table::from_dataset("pts", &pts)).unwrap();
+    Engine::new(cat)
+}
+
+fn class_labels(alg: &str) -> &'static [&'static str] {
+    if alg.contains("CLUSTERS") {
+        &["cluster_0", "cluster_1"]
+    } else {
+        &["lo", "hi"]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn degraded_model_rows_equal_unoptimized_baseline(
+        extra in proptest::collection::vec((0u16..3, 0u16..2, 0u16..2), 20..60),
+    ) {
+        let mut e = engine_with_rows(&extra);
+        // Force every derivation to fail: all models land degraded.
+        e.fault_injector().set_derive_timeout(true);
+        for (name, table, clause) in ALGORITHMS {
+            let ddl = format!("CREATE MINING MODEL {name} ON {table} {clause}");
+            let out = e.execute_sql(&ddl).expect("DDL must survive derivation failure");
+            let StatementOutcome::ModelCreated { degraded, .. } = out else {
+                panic!("expected ModelCreated");
+            };
+            prop_assert!(degraded.is_some(), "{name} must be degraded");
+        }
+        e.fault_injector().reset();
+        prop_assert!(!e.health().all_healthy());
+
+        for (name, table, clause) in ALGORITHMS {
+            for label in class_labels(clause) {
+                let sql = format!("SELECT * FROM {table} WHERE PREDICT({name}) = '{label}'");
+                e.set_use_envelopes(true);
+                let degraded_rows = e.query(&sql).expect("degraded query must run").rows;
+                e.set_use_envelopes(false);
+                let baseline_rows = e.query(&sql).expect("baseline query must run").rows;
+                prop_assert_eq!(
+                    &degraded_rows,
+                    &baseline_rows,
+                    "model {} label {}", name, label
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Fault-injection suite: every injected fault must surface as a typed
+//! error or as a sound fallback whose row set equals the unoptimized
+//! full-scan + residual plan. A panic must never escape `Engine::query`
+//! or `Engine::execute_sql`, and the engine must stay usable afterwards.
+
+use mpq_core::{paper_table1_model, DeriveOptions};
+use mpq_engine::{
+    Catalog, Engine, EngineError, GuardResource, QueryGuard, StatementOutcome, Table,
+};
+use mpq_models::Classifier as _;
+use mpq_types::{AttrDomain, AttrId, Attribute, Dataset, Schema};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Engine with the paper's Table-1 naive-Bayes model over a skewed table
+/// with single-column indexes — selective classes get index plans.
+fn engine() -> Engine {
+    let nb = paper_table1_model();
+    let schema = nb.schema().clone();
+    let mut ds = Dataset::new(schema);
+    for m0 in 0..4u16 {
+        for m1 in 0..3u16 {
+            let copies = 1 + (m0 as usize * 3 + m1 as usize) * 7;
+            for _ in 0..copies {
+                ds.push_encoded(&[m0, m1]).unwrap();
+            }
+        }
+    }
+    let mut cat = Catalog::new();
+    let t = cat.add_table(Table::from_dataset("t", &ds)).unwrap();
+    cat.create_index(t, &[AttrId(0)]);
+    cat.create_index(t, &[AttrId(1)]);
+    cat.add_model("m", Arc::new(nb), DeriveOptions::default()).unwrap();
+    Engine::new(cat)
+}
+
+/// Engine with a training table for `CREATE MINING MODEL` DDL.
+fn ddl_engine() -> Engine {
+    let schema = Schema::new(vec![
+        Attribute::new("x", AttrDomain::binned(vec![5.0]).unwrap()),
+        Attribute::new("f", AttrDomain::categorical(["a", "b"])),
+        Attribute::new("outcome", AttrDomain::categorical(["lo", "hi"])),
+    ])
+    .unwrap();
+    let mut ds = Dataset::new(schema);
+    for i in 0..400u16 {
+        let x = i % 2;
+        let f = (i / 2) % 2;
+        let y = u16::from(x == 1 && f == 1);
+        ds.push_encoded(&[x, f, y]).unwrap();
+    }
+    let mut cat = Catalog::new();
+    cat.add_table(Table::from_dataset("t", &ds)).unwrap();
+    Engine::new(cat)
+}
+
+/// Row set of the unoptimized black-box plan (envelopes off).
+fn baseline_rows(e: &mut Engine, sql: &str) -> Vec<u32> {
+    let was_on = e.options().use_envelopes;
+    e.set_use_envelopes(false);
+    let rows = e.query(sql).expect("baseline plan must run").rows;
+    e.set_use_envelopes(was_on);
+    rows
+}
+
+#[test]
+fn scorer_panic_becomes_typed_internal_error() {
+    let mut e = engine();
+    let sql = "SELECT * FROM t WHERE PREDICT(m) = 'c1'";
+    let healthy = e.query(sql).unwrap().rows;
+
+    e.fault_injector().set_scorer_panic(true);
+    match e.query(sql) {
+        Err(EngineError::Internal { detail }) => {
+            assert!(detail.contains("injected fault"), "detail: {detail}");
+            assert!(detail.contains("scorer panicked"), "detail: {detail}");
+        }
+        other => panic!("expected Internal error, got {other:?}"),
+    }
+
+    // The engine must remain usable once the fault clears.
+    e.fault_injector().reset();
+    assert_eq!(e.query(sql).unwrap().rows, healthy);
+}
+
+#[test]
+fn scorer_nan_becomes_typed_internal_error() {
+    let mut e = engine();
+    let sql = "SELECT * FROM t WHERE PREDICT(m) = 'c2'";
+    e.fault_injector().set_scorer_nan(true);
+    match e.query(sql) {
+        Err(EngineError::Internal { detail }) => {
+            assert!(detail.contains("NaN"), "detail: {detail}");
+        }
+        other => panic!("expected Internal error, got {other:?}"),
+    }
+    e.fault_injector().reset();
+    assert!(e.query(sql).is_ok());
+}
+
+#[test]
+fn index_failure_falls_back_to_equivalent_scan() {
+    let mut e = engine();
+    for label in ["c1", "c2", "c3"] {
+        let sql = format!("SELECT * FROM t WHERE PREDICT(m) = '{label}'");
+        let expected = baseline_rows(&mut e, &sql);
+
+        e.fault_injector().set_index_probe_failure(true);
+        let out = e.query(&sql).expect("fallback must not error");
+        e.fault_injector().reset();
+
+        assert_eq!(out.rows, expected, "fallback row set must equal full scan for {label}");
+    }
+}
+
+#[test]
+fn derivation_timeout_degrades_create_model_visibly() {
+    let mut e = ddl_engine();
+    e.fault_injector().set_derive_timeout(true);
+
+    let out = e
+        .execute_sql("CREATE MINING MODEL risk ON t PREDICT outcome USING decision_tree")
+        .expect("CREATE MINING MODEL must survive derivation failure");
+    let StatementOutcome::ModelCreated { model, degraded, .. } = out else {
+        panic!("expected ModelCreated");
+    };
+    let reason = degraded.expect("derivation failure must be reported");
+    assert!(reason.contains("time budget"), "reason: {reason}");
+    e.fault_injector().reset();
+
+    // EXPLAIN surfaces the degradation.
+    let plan = e.query("EXPLAIN SELECT * FROM t WHERE PREDICT(risk) = 'hi'").unwrap().plan;
+    assert!(plan.contains("degraded"), "plan text: {plan}");
+    assert!(plan.contains("risk"), "plan text: {plan}");
+
+    // health() reports it too.
+    let health = e.health();
+    assert!(!health.all_healthy());
+    let mh = &health.models[model];
+    assert_eq!(mh.name, "risk");
+    assert!(mh.degraded.is_some());
+    assert!(health.to_string().contains("DEGRADED"));
+
+    // Degraded queries are still exact: the deterministic concept means
+    // PREDICT agrees with the stored label.
+    let q = e.query("SELECT * FROM t WHERE PREDICT(risk) = 'hi'").unwrap();
+    let stored = e.query("SELECT * FROM t WHERE outcome = 'hi'").unwrap();
+    assert_eq!(q.rows, stored.rows);
+
+    // Retraining with a (generous) budget clears the flag.
+    let trained = e.catalog().model(model).model.clone();
+    let opts = DeriveOptions {
+        time_budget: Some(Duration::from_secs(3600)),
+        ..DeriveOptions::default()
+    };
+    e.retrain_model_with(model, trained, opts).unwrap();
+    assert!(e.health().all_healthy(), "successful retrain must clear degradation");
+    let plan = e.query("EXPLAIN SELECT * FROM t WHERE PREDICT(risk) = 'hi'").unwrap().plan;
+    assert!(!plan.contains("degraded"), "plan text: {plan}");
+}
+
+#[test]
+fn grid_too_large_fault_degrades_registration() {
+    let mut e = engine(); // already has healthy model "m"
+    e.fault_injector().set_derive_grid_too_large(true);
+    let id = e
+        .register_model("m2", Arc::new(paper_table1_model()), DeriveOptions::default())
+        .expect("registration must survive grid failure");
+    e.fault_injector().reset();
+
+    let entry = e.catalog().model(id);
+    let reason = entry.degraded.as_deref().unwrap();
+    assert!(reason.contains("grid"), "reason: {reason}");
+
+    // The degraded model still answers exactly.
+    for label in ["c1", "c2", "c3"] {
+        let sql = format!("SELECT * FROM t WHERE PREDICT(m2) = '{label}'");
+        let expected = baseline_rows(&mut e, &sql);
+        assert_eq!(e.query(&sql).unwrap().rows, expected, "label {label}");
+    }
+}
+
+#[test]
+fn guard_trips_each_resource_with_typed_error() {
+    let trip = |guard: QueryGuard, sql: &str, envelopes: bool| -> EngineError {
+        let mut e = engine();
+        e.set_use_envelopes(envelopes);
+        e.set_guard(guard);
+        e.query(sql).expect_err("guard must trip")
+    };
+    let resource = |err: EngineError| match err {
+        EngineError::BudgetExceeded { resource, spent, limit } => {
+            // Wall-clock spent/limit are reported in whole milliseconds,
+            // so a zero deadline can legitimately report spent == limit.
+            assert!(spent >= limit, "breach must report spent {spent} >= limit {limit}");
+            resource
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    };
+
+    let sql = "SELECT * FROM t WHERE PREDICT(m) = 'c1'";
+    // Full scan (envelopes off) examines every row.
+    let err = trip(QueryGuard::default().with_max_rows_examined(5), sql, false);
+    assert_eq!(resource(err), GuardResource::RowsExamined);
+
+    // Every examined row invokes the model once.
+    let err = trip(QueryGuard::default().with_max_model_invocations(5), sql, false);
+    assert_eq!(resource(err), GuardResource::ModelInvocations);
+
+    // A zero-page budget trips on the first heap page.
+    let err = trip(QueryGuard::default().with_max_pages(0), sql, false);
+    assert_eq!(resource(err), GuardResource::PagesRead);
+
+    // A zero deadline trips on wall clock.
+    let err = trip(QueryGuard::default().with_deadline(Duration::ZERO), sql, false);
+    assert_eq!(resource(err), GuardResource::WallClock);
+}
+
+#[test]
+fn guard_headroom_recorded_and_generous_guard_passes() {
+    let mut e = engine();
+    e.set_guard(
+        QueryGuard::default()
+            .with_max_rows_examined(1_000_000)
+            .with_deadline(Duration::from_secs(60)),
+    );
+    let sql = "SELECT * FROM t WHERE PREDICT(m) = 'c1'";
+    let out = e.query(sql).unwrap();
+    let rows_left = out.metrics.guard.rows_remaining.expect("budget configured");
+    assert_eq!(rows_left, 1_000_000 - out.metrics.rows_examined);
+    assert!(out.metrics.guard.time_remaining_ms.is_some());
+    assert_eq!(out.metrics.guard.pages_remaining, None, "pages were unlimited");
+}
+
+#[test]
+fn budget_breach_returns_no_partial_rows() {
+    let mut e = engine();
+    e.set_guard(QueryGuard::default().with_max_rows_examined(5));
+    e.set_use_envelopes(false);
+    // A breach is an Err; QueryOutcome (and thus any row set) is never
+    // produced — the typed error is the entire result.
+    let res = e.query("SELECT * FROM t WHERE PREDICT(m) = 'c1'");
+    assert!(matches!(res, Err(EngineError::BudgetExceeded { .. })));
+    // Raising the guard re-runs cleanly.
+    e.set_guard(QueryGuard::unlimited());
+    assert!(!e.query("SELECT * FROM t WHERE PREDICT(m) = 'c1'").unwrap().rows.is_empty());
+}

@@ -151,7 +151,9 @@ impl Gmm {
         if means.iter().chain(vars.iter()).any(|v| v.len() != n) {
             return Err(TypesError::ArityMismatch { expected: n, got: 0 });
         }
-        if taus.iter().any(|&t| !(t > 0.0)) || vars.iter().flatten().any(|&v| !(v > 0.0)) {
+        if taus.iter().any(|&t| t.is_nan() || t <= 0.0)
+            || vars.iter().flatten().any(|&v| v.is_nan() || v <= 0.0)
+        {
             return Err(TypesError::BadCuts { detail: "taus and variances must be positive".into() });
         }
         let cluster_names = (0..k).map(|i| format!("cluster_{i}")).collect();

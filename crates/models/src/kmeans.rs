@@ -140,7 +140,7 @@ impl KMeans {
             // Recompute centroids: means on ordered dims, modes on
             // categorical dims; an emptied cluster is re-seeded so K
             // stays fixed.
-            for c in 0..k {
+            for (c, centroid) in centroids.iter_mut().enumerate() {
                 let members: Vec<&Vec<f64>> = points
                     .iter()
                     .zip(&assignment)
@@ -148,7 +148,7 @@ impl KMeans {
                     .map(|(p, _)| p)
                     .collect();
                 if members.is_empty() {
-                    centroids[c] = points.choose(&mut rng).expect("nonempty").clone();
+                    *centroid = points.choose(&mut rng).expect("nonempty").clone();
                     continue;
                 }
                 for d in 0..n {
@@ -164,9 +164,9 @@ impl KMeans {
                             .max_by_key(|(_, &cnt)| cnt)
                             .map(|(m, _)| m)
                             .expect("nonempty domain");
-                        centroids[c][d] = mode as f64;
+                        centroid[d] = mode as f64;
                     } else {
-                        centroids[c][d] =
+                        centroid[d] =
                             members.iter().map(|p| p[d]).sum::<f64>() / members.len() as f64;
                     }
                 }
@@ -191,7 +191,7 @@ impl KMeans {
         if centroids.iter().chain(weights.iter()).any(|v| v.len() != n) {
             return Err(TypesError::ArityMismatch { expected: n, got: 0 });
         }
-        if weights.iter().flatten().any(|&w| !(w >= 0.0) || !w.is_finite()) {
+        if weights.iter().flatten().any(|&w| !w.is_finite() || w < 0.0) {
             return Err(TypesError::BadCuts { detail: "weights must be finite and >= 0".into() });
         }
         let categorical = schema.attrs().iter().map(|a| !a.domain.is_ordered()).collect();

@@ -54,9 +54,9 @@ impl NaiveBayes {
             let card = attr.domain.cardinality() as f64;
             for kk in 0..k {
                 let denom = counts[kk] as f64 + card;
-                for m in 0..attr.domain.cardinality() as usize {
-                    let c = log_cond[d][m][kk];
-                    log_cond[d][m][kk] = ((c + 1.0) / denom).ln();
+                for per_member in log_cond[d].iter_mut() {
+                    let c = per_member[kk];
+                    per_member[kk] = ((c + 1.0) / denom).ln();
                 }
             }
         }
@@ -79,7 +79,7 @@ impl NaiveBayes {
         if priors.len() != k || cond.len() != schema.len() {
             return Err(TypesError::ArityMismatch { expected: k, got: priors.len() });
         }
-        if priors.iter().any(|&p| !(p > 0.0)) {
+        if priors.iter().any(|&p| p.is_nan() || p <= 0.0) {
             return Err(TypesError::BadCuts { detail: "priors must be positive".into() });
         }
         for (d, attr) in schema.attrs().iter().enumerate() {
@@ -93,7 +93,7 @@ impl NaiveBayes {
                 if per_member.len() != k {
                     return Err(TypesError::ArityMismatch { expected: k, got: per_member.len() });
                 }
-                if per_member.iter().any(|&p| !(p > 0.0)) {
+                if per_member.iter().any(|&p| p.is_nan() || p <= 0.0) {
                     return Err(TypesError::BadCuts {
                         detail: "conditional probabilities must be positive".into(),
                     });

@@ -40,17 +40,17 @@ impl AttrDomain {
     /// Builds a binned domain, validating that cuts are strictly
     /// increasing and finite.
     pub fn binned(cuts: Vec<f64>) -> Result<Self, TypesError> {
-        for w in cuts.windows(2) {
-            if !(w[0] < w[1]) {
-                return Err(TypesError::BadCuts {
-                    detail: format!("cut points must be strictly increasing, got {} then {}", w[0], w[1]),
-                });
-            }
-        }
         if cuts.iter().any(|c| !c.is_finite()) {
             return Err(TypesError::BadCuts {
                 detail: "cut points must be finite".into(),
             });
+        }
+        for w in cuts.windows(2) {
+            if w[0] >= w[1] {
+                return Err(TypesError::BadCuts {
+                    detail: format!("cut points must be strictly increasing, got {} then {}", w[0], w[1]),
+                });
+            }
         }
         Ok(AttrDomain::Binned { cuts })
     }

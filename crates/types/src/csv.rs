@@ -82,13 +82,9 @@ pub fn load_csv(text: &str, opts: &CsvOptions) -> Result<CsvData, TypesError> {
     let rows: Vec<Vec<String>> = lines
         .map(|l| split_line(l).into_iter().map(|s| s.trim().to_string()).collect())
         .collect();
-    for (i, r) in rows.iter().enumerate() {
+    for r in &rows {
         if r.len() != header.len() {
-            return Err(TypesError::ArityMismatch { expected: header.len(), got: r.len() })
-                .map_err(|e| {
-                    let _ = i;
-                    e
-                });
+            return Err(TypesError::ArityMismatch { expected: header.len(), got: r.len() });
         }
     }
 

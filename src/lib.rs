@@ -73,8 +73,9 @@ pub mod prelude {
         DeriveOptions, Envelope, EnvelopeProvider, Region, ScoreModel,
     };
     pub use mpq_engine::{
-        execute, parse, tune_indexes, AccessPath, Catalog, Engine, EngineError, Expr, MiningPred,
-        OptimizerOptions, Table,
+        execute, execute_guarded, parse, tune_indexes, AccessPath, Catalog, Engine, EngineError,
+        EngineHealth, Expr, FaultInjector, GuardResource, MiningPred, OptimizerOptions,
+        QueryGuard, Table,
     };
     pub use mpq_models::{
         accuracy, BoundaryClustering, Classifier, DecisionTree, Gmm, KMeans, NaiveBayes, RuleSet,

@@ -1,0 +1,594 @@
+//! Offline, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the API subset its tests use: the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map` / `prop_recursive` / `boxed`,
+//! range and tuple strategies, [`collection::vec`], [`arbitrary::any`],
+//! `Just`, `prop_oneof!`, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros.
+//!
+//! Semantics: each test runs `ProptestConfig::cases` generated inputs
+//! from a deterministic per-test RNG (seeded by hashing the test name),
+//! so failures reproduce run-to-run. There is **no shrinking** — a
+//! failing case reports the case number and assertion message only.
+
+pub mod test_runner {
+    /// Deterministic RNG driving all strategies (SplitMix64 stream).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator by hashing `name` (FNV-1a), so each test
+        /// gets an independent but reproducible stream.
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next pseudo-random word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform index in `0..n` (`n` must be nonzero).
+        pub fn index(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// A failed property-test case (assertion message).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure carrying `msg`.
+        pub fn fail(msg: String) -> TestCaseError {
+            TestCaseError { msg }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    /// Runner configuration (subset: number of cases).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated inputs per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` inputs.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking;
+    /// `generate` directly produces a value from the RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f`
+        /// builds out of it.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Recursive strategies: `self` is the leaf; `f` wraps an inner
+        /// strategy into a composite one. Nesting is bounded by `depth`
+        /// (the `_desired_size` / `_expected_branch` hints are accepted
+        /// for API compatibility and ignored).
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let deeper = f(cur).boxed();
+                let l = leaf.clone();
+                cur = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                    // Mix leaves back in so shapes vary at every depth.
+                    if rng.index(4) == 0 {
+                        l.generate(rng)
+                    } else {
+                        deeper.generate(rng)
+                    }
+                }));
+            }
+            cur
+        }
+
+        /// Type-erases this strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `options` must be nonempty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.index(self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + (rng.next_u64() % (span + 1)) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    float_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy, reachable via [`any`].
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical whole-domain strategy for `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Canonical strategy for `T` (`any::<bool>()` etc.).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    macro_rules! arb_via {
+        ($($t:ty => $gen:expr;)*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let f: fn(&mut TestRng) -> $t = $gen;
+                    f(rng)
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = Any<$t>;
+                fn arbitrary() -> Any<$t> {
+                    Any(PhantomData)
+                }
+            }
+        )*};
+    }
+    arb_via! {
+        bool => |rng| rng.next_u64() & 1 == 1;
+        u8 => |rng| rng.next_u64() as u8;
+        u16 => |rng| rng.next_u64() as u16;
+        u32 => |rng| rng.next_u64() as u32;
+        u64 => |rng| rng.next_u64();
+        usize => |rng| rng.next_u64() as usize;
+        i8 => |rng| rng.next_u64() as i8;
+        i16 => |rng| rng.next_u64() as i16;
+        i32 => |rng| rng.next_u64() as i32;
+        i64 => |rng| rng.next_u64() as i64;
+        isize => |rng| rng.next_u64() as isize;
+        f64 => |rng| rng.unit_f64();
+        f32 => |rng| rng.unit_f64() as f32;
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Accepted sizes for [`vec`]: a fixed length or a length range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Generates `Vec`s of elements from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Strategy for vectors with elements from `element` and length in
+    /// `size` (a `usize`, `Range<usize>`, or `RangeInclusive<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                self.size.lo + rng.index(self.size.hi - self.size.lo + 1)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]`-able function running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = __outcome {
+                        panic!("proptest {} failed at case {}/{}: {}", stringify!($name), __case + 1, __cfg.cases, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}
+
+/// `assert!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", a, b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`: {}", a, b, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert_eq!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`", a, b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`: {}", a, b, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs(x in 1u16..5, v in crate::collection::vec(0i32..10, 2..6), b in any::<bool>()) {
+            prop_assert!((1..5).contains(&x));
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| (0..10).contains(&e)));
+            let _ = b;
+        }
+
+        #[test]
+        fn combinators(pair in (0u16..4, 0.5f64..1.5).prop_map(|(a, f)| (a, f * 2.0)),
+                       nested in crate::collection::vec(0u8..3, 3).prop_flat_map(|v| Just(v.len()))) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((1.0..3.0).contains(&pair.1));
+            prop_assert_eq!(nested, 3);
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u16),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn recursion_is_bounded(t in (0u16..7).prop_map(Tree::Leaf).prop_recursive(3, 24, 3, |inner| {
+            crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+        })) {
+            prop_assert!(depth(&t) <= 4, "tree too deep: {:?}", t);
+        }
+
+        #[test]
+        fn oneof_hits_all_branches(v in crate::collection::vec(prop_oneof![Just(0u8), Just(1u8), Just(2u8)], 64)) {
+            for branch in 0..3u8 {
+                prop_assert!(v.contains(&branch), "branch {} never generated", branch);
+            }
+        }
+    }
+}
