@@ -37,6 +37,12 @@ pub struct ModelEntry {
     /// residual filter) but without access-path benefits. Cleared by a
     /// successful retrain.
     pub degraded: Option<String>,
+    /// Serialized form for durability. `None` marks a *transient* model
+    /// (registered as a bare trait object with no serializable
+    /// counterpart): it is skipped by checkpoints and does not survive
+    /// recovery. Models created through SQL DDL or
+    /// [`crate::Engine::register_durable_model`] always carry one.
+    pub stored: Option<crate::persist::StoredModel>,
 }
 
 /// A registered table with statistics and any secondary indexes.
@@ -111,6 +117,13 @@ impl Catalog {
         Catalog::default()
     }
 
+    /// Creates an empty catalog sharing an existing fault injector —
+    /// recovery uses this so faults armed before [`crate::Engine::open`]
+    /// apply to the replayed state too.
+    pub fn with_faults(faults: Arc<FaultInjector>) -> Catalog {
+        Catalog { faults, ..Catalog::default() }
+    }
+
     /// The shared fault injector (every fault off unless a test armed it).
     pub fn faults(&self) -> &FaultInjector {
         &self.faults
@@ -146,6 +159,18 @@ impl Catalog {
         model: Arc<dyn EnvelopeProvider + Send + Sync>,
         opts: DeriveOptions,
     ) -> Result<ModelId, EngineError> {
+        self.add_model_stored(name, model, opts, None)
+    }
+
+    /// Like [`Catalog::add_model`], also attaching the model's durable
+    /// serialized form (see [`ModelEntry::stored`]).
+    pub fn add_model_stored(
+        &mut self,
+        name: impl Into<String>,
+        model: Arc<dyn EnvelopeProvider + Send + Sync>,
+        opts: DeriveOptions,
+        stored: Option<crate::persist::StoredModel>,
+    ) -> Result<ModelId, EngineError> {
         let name = name.into();
         if self.model_by_name(&name).is_some() {
             return Err(EngineError::Duplicate(name));
@@ -161,6 +186,7 @@ impl Catalog {
             version: 1,
             derive_opts: opts,
             degraded,
+            stored,
         });
         Ok(self.models.len() - 1)
     }
@@ -191,6 +217,20 @@ impl Catalog {
         model: Arc<dyn EnvelopeProvider + Send + Sync>,
         opts: DeriveOptions,
     ) -> Result<(), EngineError> {
+        // A plain retrain replaces the model *content*; whatever durable
+        // form the entry had no longer describes it.
+        self.retrain_model_stored(id, model, opts, None)
+    }
+
+    /// Like [`Catalog::retrain_model_with`], also replacing the entry's
+    /// durable serialized form.
+    pub fn retrain_model_stored(
+        &mut self,
+        id: ModelId,
+        model: Arc<dyn EnvelopeProvider + Send + Sync>,
+        opts: DeriveOptions,
+        stored: Option<crate::persist::StoredModel>,
+    ) -> Result<(), EngineError> {
         if id >= self.models.len() {
             return Err(EngineError::UnknownModel(format!("#{id}")));
         }
@@ -204,6 +244,50 @@ impl Catalog {
         entry.version += 1;
         entry.derive_opts = opts;
         entry.degraded = degraded;
+        entry.stored = stored;
+        Ok(())
+    }
+
+    /// Appends validated rows to a table, rebuilding its statistics and
+    /// secondary indexes. All-or-nothing: every row is validated against
+    /// the schema before the first one is applied.
+    pub fn insert_rows(&mut self, table_id: usize, rows: &[Vec<Member>]) -> Result<(), EngineError> {
+        if table_id >= self.tables.len() {
+            return Err(EngineError::UnknownTable(format!("#{table_id}")));
+        }
+        let entry = &mut self.tables[table_id];
+        let schema = entry.table.schema();
+        for row in rows {
+            if row.len() != schema.len() {
+                return Err(EngineError::SchemaMismatch {
+                    detail: format!(
+                        "row has {} values, table {} has {} columns",
+                        row.len(),
+                        entry.table.name(),
+                        schema.len()
+                    ),
+                });
+            }
+            for (d, &m) in row.iter().enumerate() {
+                if m >= schema.attrs()[d].domain.cardinality() {
+                    return Err(EngineError::BadValue(format!(
+                        "member {m} out of range for column {}",
+                        schema.attrs()[d].name
+                    )));
+                }
+            }
+        }
+        for row in rows {
+            // Infallible after the validation pass above.
+            entry.table.push_row(row)?;
+        }
+        entry.stats = TableStats::build(&entry.table);
+        let cols: Vec<Vec<AttrId>> =
+            entry.indexes.iter().map(|ix| ix.columns().to_vec()).collect();
+        entry.indexes = cols
+            .iter()
+            .map(|c| SecondaryIndex::build(&entry.table, c))
+            .collect();
         Ok(())
     }
 

@@ -8,9 +8,11 @@
 //! unconstrained — so prediction joins and envelope rewriting against
 //! the same table keep working without any column mapping.
 
+use crate::persist::StoredModel;
 use crate::sql::ModelAlgorithm;
 use crate::{Catalog, EngineError};
 use mpq_core::{DeriveOptions, Envelope, EnvelopeProvider};
+use mpq_pmml::PmmlModel;
 use mpq_models::{
     Classifier, DecisionTree, Gmm, GmmParams, KMeans, KMeansParams, NaiveBayes, RuleSet,
     RuleSetParams, TreeParams,
@@ -138,8 +140,92 @@ pub fn labeled_view(catalog: &Catalog, table: usize, label: AttrId) -> Result<La
         .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })
 }
 
+/// Serializes a freshly trained model as PMML. Training only produces
+/// domain-consistent structures, so failure here means a bug, not bad
+/// user input — surfaced as `Internal` rather than panicking.
+fn export_trained(model: PmmlModel) -> Result<String, EngineError> {
+    mpq_pmml::export(&model)
+        .map_err(|e| EngineError::Internal { detail: format!("pmml export: {e}") })
+}
+
+/// Trains the requested model *without* registering it, returning the
+/// live trait object, its durable serialized form (see
+/// [`crate::persist::StoredModel`]), and its class count. The durable
+/// mutation path logs the serialized form before the catalog applies it.
+pub(crate) fn train_model_stored(
+    catalog: &Catalog,
+    table: usize,
+    label: Option<AttrId>,
+    clusters: Option<usize>,
+    algorithm: ModelAlgorithm,
+) -> Result<(Arc<dyn EnvelopeProvider + Send + Sync>, StoredModel, usize), EngineError> {
+    let full_schema = catalog.table(table).table.schema().clone();
+    match algorithm {
+        ModelAlgorithm::DecisionTree | ModelAlgorithm::NaiveBayes | ModelAlgorithm::Rules => {
+            // The SQL parser guarantees a label, but this is reachable
+            // from public API: reject rather than panic on a direct call.
+            let label = label.ok_or_else(|| EngineError::SchemaMismatch {
+                detail: "classification algorithms need a label column".to_string(),
+            })?;
+            let train = labeled_view(catalog, table, label)?;
+            let (inner, inner_xml): (Arc<dyn EnvelopeProvider + Send + Sync>, String) =
+                match algorithm {
+                    ModelAlgorithm::DecisionTree => {
+                        let m = DecisionTree::train(&train, TreeParams::default())
+                            .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })?;
+                        let xml = export_trained(PmmlModel::Tree(m.clone()))?;
+                        (Arc::new(m), xml)
+                    }
+                    ModelAlgorithm::NaiveBayes => {
+                        let m = NaiveBayes::train(&train)
+                            .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })?;
+                        let xml = export_trained(PmmlModel::NaiveBayes(m.clone()))?;
+                        (Arc::new(m), xml)
+                    }
+                    _ => {
+                        let m = RuleSet::train(&train, RuleSetParams::default())
+                            .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })?;
+                        let xml = export_trained(PmmlModel::Rules(m.clone()))?;
+                        (Arc::new(m), xml)
+                    }
+                };
+            let stored = StoredModel::Projected {
+                label_name: full_schema.attrs()[label.index()].name.clone(),
+                label_pos: label.index() as u32,
+                inner_xml,
+            };
+            let model = Arc::new(ProjectedModel::new(full_schema, label, inner));
+            let n_classes = model.n_classes();
+            Ok((model, stored, n_classes))
+        }
+        ModelAlgorithm::KMeans => {
+            let k = clusters.ok_or_else(|| EngineError::SchemaMismatch {
+                detail: "clustering algorithms need a cluster count".to_string(),
+            })?;
+            let data = table_dataset(catalog, table);
+            let m = KMeans::train_encoded(&data, KMeansParams { k, ..Default::default() })
+                .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })?;
+            let stored = StoredModel::Plain { xml: export_trained(PmmlModel::KMeans(m.clone()))? };
+            let n_classes = m.n_classes();
+            Ok((Arc::new(m), stored, n_classes))
+        }
+        ModelAlgorithm::Gmm => {
+            let k = clusters.ok_or_else(|| EngineError::SchemaMismatch {
+                detail: "clustering algorithms need a cluster count".to_string(),
+            })?;
+            let data = table_dataset(catalog, table);
+            let m = Gmm::train_encoded(&data, GmmParams { k, ..Default::default() })
+                .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })?;
+            let stored = StoredModel::Plain { xml: export_trained(PmmlModel::Gmm(m.clone()))? };
+            let n_classes = m.n_classes();
+            Ok((Arc::new(m), stored, n_classes))
+        }
+    }
+}
+
 /// Trains the requested model and registers it in the catalog under
-/// `name`, returning the model id and its class count.
+/// `name` (with its durable serialized form attached), returning the
+/// model id and its class count.
 pub fn create_model(
     catalog: &mut Catalog,
     name: &str,
@@ -149,54 +235,9 @@ pub fn create_model(
     algorithm: ModelAlgorithm,
     derive_opts: DeriveOptions,
 ) -> Result<(usize, usize), EngineError> {
-    let full_schema = catalog.table(table).table.schema().clone();
-    let model: Arc<dyn EnvelopeProvider + Send + Sync> = match algorithm {
-        ModelAlgorithm::DecisionTree | ModelAlgorithm::NaiveBayes | ModelAlgorithm::Rules => {
-            // The SQL parser guarantees a label, but create_model is
-            // public API: reject rather than panic on a direct call.
-            let label = label.ok_or_else(|| EngineError::SchemaMismatch {
-                detail: "classification algorithms need a label column".to_string(),
-            })?;
-            let train = labeled_view(catalog, table, label)?;
-            let inner: Arc<dyn EnvelopeProvider + Send + Sync> = match algorithm {
-                ModelAlgorithm::DecisionTree => Arc::new(
-                    DecisionTree::train(&train, TreeParams::default())
-                        .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })?,
-                ),
-                ModelAlgorithm::NaiveBayes => Arc::new(
-                    NaiveBayes::train(&train)
-                        .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })?,
-                ),
-                _ => Arc::new(
-                    RuleSet::train(&train, RuleSetParams::default())
-                        .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })?,
-                ),
-            };
-            Arc::new(ProjectedModel::new(full_schema, label, inner))
-        }
-        ModelAlgorithm::KMeans => {
-            let k = clusters.ok_or_else(|| EngineError::SchemaMismatch {
-                detail: "clustering algorithms need a cluster count".to_string(),
-            })?;
-            let data = table_dataset(catalog, table);
-            Arc::new(
-                KMeans::train_encoded(&data, KMeansParams { k, ..Default::default() })
-                    .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })?,
-            )
-        }
-        ModelAlgorithm::Gmm => {
-            let k = clusters.ok_or_else(|| EngineError::SchemaMismatch {
-                detail: "clustering algorithms need a cluster count".to_string(),
-            })?;
-            let data = table_dataset(catalog, table);
-            Arc::new(
-                Gmm::train_encoded(&data, GmmParams { k, ..Default::default() })
-                    .map_err(|e| EngineError::SchemaMismatch { detail: e.to_string() })?,
-            )
-        }
-    };
-    let n_classes = model.n_classes();
-    let id = catalog.add_model(name.to_string(), model, derive_opts)?;
+    let (model, stored, n_classes) =
+        train_model_stored(catalog, table, label, clusters, algorithm)?;
+    let id = catalog.add_model_stored(name.to_string(), model, derive_opts, Some(stored))?;
     Ok((id, n_classes))
 }
 

@@ -10,14 +10,32 @@ use crate::expr::{Expr, ModelId};
 use crate::fault::FaultInjector;
 use crate::guard::QueryGuard;
 use crate::optimizer::{choose_plan, OptimizerOptions, Plan};
+use crate::persist::recovery::{self, Recovered};
+use crate::persist::wal::WalWriter;
+use crate::persist::{snapshot, LogOp, RecoveryReport, StoredModel};
 use crate::rewrite::rewrite_mining;
 use crate::sql::{parse, parse_statement, Statement};
-use crate::table::RowId;
+use crate::table::{RowId, Table};
 use crate::EngineError;
 use mpq_core::{DeriveOptions, EnvelopeProvider};
+use mpq_types::{AttrId, Member};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Durability state of an engine opened from a directory.
+struct PersistState {
+    dir: PathBuf,
+    wal: WalWriter,
+    /// LSN the next logged mutation takes.
+    next_lsn: u64,
+    /// What recovery found when this engine was opened.
+    report: RecoveryReport,
+    /// Set by [`Engine::simulate_crash`]: suppresses the clean-shutdown
+    /// marker so the next open exercises real recovery.
+    crashed: bool,
+}
 
 /// Result of running one query.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +98,9 @@ pub struct EngineHealth {
     pub tables: usize,
     /// Number of cached plans.
     pub cached_plans: usize,
+    /// What recovery found when the engine was opened from a durability
+    /// directory; `None` for purely in-memory engines.
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl EngineHealth {
@@ -92,6 +113,9 @@ impl EngineHealth {
 impl std::fmt::Display for EngineHealth {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "tables: {}, cached plans: {}", self.tables, self.cached_plans)?;
+        if let Some(r) = &self.recovery {
+            writeln!(f, "{r}")?;
+        }
         for m in &self.models {
             match &m.degraded {
                 Some(reason) => writeln!(
@@ -116,17 +140,244 @@ pub struct Engine {
     opts: OptimizerOptions,
     plan_cache: HashMap<String, Plan>,
     guard: QueryGuard,
+    /// `Some` when the engine was opened from a durability directory.
+    persist: Option<PersistState>,
 }
 
 impl Engine {
     /// Wraps a catalog with default optimizer options and an unlimited
-    /// query guard.
+    /// query guard. Purely in-memory: nothing survives the process (use
+    /// [`Engine::open`] for durability).
     pub fn new(catalog: Catalog) -> Engine {
         Engine {
             catalog,
             opts: OptimizerOptions::default(),
             plan_cache: HashMap::new(),
             guard: QueryGuard::unlimited(),
+            persist: None,
+        }
+    }
+
+    /// Opens (or creates) a durable engine backed by directory `dir`.
+    ///
+    /// Recovery runs here: the newest checksum-valid snapshot is loaded,
+    /// the WAL prefix up to the first torn/corrupt record is replayed,
+    /// and the log is truncated to that verified prefix. What was found
+    /// — including anything dropped — is reported by
+    /// [`Engine::recovery_report`], [`Engine::health`], and `EXPLAIN`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Engine, EngineError> {
+        Engine::open_with_faults(dir, Arc::new(FaultInjector::new()))
+    }
+
+    /// Like [`Engine::open`], sharing a pre-armed fault injector so
+    /// tests can make recovery itself misbehave (short reads).
+    pub fn open_with_faults(
+        dir: impl AsRef<Path>,
+        faults: Arc<FaultInjector>,
+    ) -> Result<Engine, EngineError> {
+        let dir = dir.as_ref().to_path_buf();
+        let Recovered { catalog, wal, next_lsn, report } =
+            recovery::recover(&dir, faults)?;
+        Ok(Engine {
+            catalog,
+            opts: OptimizerOptions::default(),
+            plan_cache: HashMap::new(),
+            guard: QueryGuard::unlimited(),
+            persist: Some(PersistState { dir, wal, next_lsn, report, crashed: false }),
+        })
+    }
+
+    /// What recovery found when this engine was opened from a
+    /// durability directory (`None` for in-memory engines).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.persist.as_ref().map(|p| &p.report)
+    }
+
+    /// Logs a validated mutation (WAL append + fsync, when durable) and
+    /// then applies it through the same code replay uses, so the live
+    /// state and the recovered state can never disagree.
+    ///
+    /// Callers must pre-validate: once the record is on disk it WILL be
+    /// replayed, so an op that fails to apply here would poison every
+    /// future open. An `Io` error means the append failed and the
+    /// mutation was *not* applied.
+    fn apply_durable(&mut self, op: LogOp) -> Result<(), EngineError> {
+        self.plan_cache.clear();
+        if let Some(p) = &mut self.persist {
+            p.wal.append(p.next_lsn, &op)?;
+            p.next_lsn += 1;
+        }
+        recovery::apply_op(&mut self.catalog, &op)
+    }
+
+    /// Registers a table durably (logged before it is applied when the
+    /// engine was opened from a directory).
+    pub fn create_table(&mut self, table: Table) -> Result<usize, EngineError> {
+        if self.catalog.table_by_name(table.name()).is_some() {
+            return Err(EngineError::Duplicate(table.name().to_string()));
+        }
+        let columns: Vec<Vec<Member>> =
+            (0..table.schema().len()).map(|d| table.column(d).to_vec()).collect();
+        let op = LogOp::CreateTable {
+            name: table.name().to_string(),
+            schema: table.schema().clone(),
+            rows_per_page: table.rows_per_page() as u64,
+            columns,
+        };
+        self.apply_durable(op)?;
+        Ok(self.catalog.n_tables() - 1)
+    }
+
+    /// Appends rows to a table durably. All-or-nothing: every row is
+    /// validated against the schema before anything is logged.
+    pub fn insert_rows(
+        &mut self,
+        table: &str,
+        rows: Vec<Vec<Member>>,
+    ) -> Result<(), EngineError> {
+        let id = self
+            .catalog
+            .table_by_name(table)
+            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
+        let t = &self.catalog.table(id).table;
+        let schema = t.schema();
+        for row in &rows {
+            if row.len() != schema.len() {
+                return Err(EngineError::SchemaMismatch {
+                    detail: format!(
+                        "row has {} values, table {} has {} columns",
+                        row.len(),
+                        t.name(),
+                        schema.len()
+                    ),
+                });
+            }
+            for (d, &m) in row.iter().enumerate() {
+                if m >= schema.attrs()[d].domain.cardinality() {
+                    return Err(EngineError::BadValue(format!(
+                        "member {m} out of range for column {}",
+                        schema.attrs()[d].name
+                    )));
+                }
+            }
+        }
+        let name = t.name().to_string();
+        self.apply_durable(LogOp::Insert { table: name, rows })
+    }
+
+    /// Creates a secondary index durably.
+    pub fn create_index(&mut self, table: &str, columns: &[AttrId]) -> Result<(), EngineError> {
+        let (name, cols) = self.checked_index_target(table, columns)?;
+        self.apply_durable(LogOp::CreateIndex { table: name, columns: cols })
+    }
+
+    /// Drops a secondary index durably (a no-op if none matches).
+    pub fn drop_index(&mut self, table: &str, columns: &[AttrId]) -> Result<(), EngineError> {
+        let (name, cols) = self.checked_index_target(table, columns)?;
+        self.apply_durable(LogOp::DropIndex { table: name, columns: cols })
+    }
+
+    fn checked_index_target(
+        &self,
+        table: &str,
+        columns: &[AttrId],
+    ) -> Result<(String, Vec<u16>), EngineError> {
+        let id = self
+            .catalog
+            .table_by_name(table)
+            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
+        let t = &self.catalog.table(id).table;
+        let n = t.schema().len();
+        for a in columns {
+            if a.index() >= n {
+                return Err(EngineError::UnknownColumn(format!(
+                    "attribute #{} of table {}",
+                    a.index(),
+                    t.name()
+                )));
+            }
+        }
+        Ok((t.name().to_string(), columns.iter().map(|a| a.0).collect()))
+    }
+
+    /// Replaces a model's content durably from its serialized form. The
+    /// form is instantiated (and thereby fully validated) *before* it is
+    /// logged, so a bad document can never reach the WAL.
+    pub fn retrain_durable_model(
+        &mut self,
+        name: &str,
+        stored: StoredModel,
+        opts: DeriveOptions,
+    ) -> Result<(), EngineError> {
+        if self.catalog.model_by_name(name).is_none() {
+            return Err(EngineError::UnknownModel(name.to_string()));
+        }
+        stored.instantiate()?;
+        self.apply_durable(LogOp::Retrain { name: name.to_string(), stored, opts })
+    }
+
+    /// Registers a model durably from its serialized form (the
+    /// programmatic twin of `CREATE MINING MODEL`, for models trained
+    /// elsewhere and shipped as PMML).
+    pub fn register_durable_model(
+        &mut self,
+        name: &str,
+        stored: StoredModel,
+        opts: DeriveOptions,
+    ) -> Result<ModelId, EngineError> {
+        if self.catalog.model_by_name(name).is_some() {
+            return Err(EngineError::Duplicate(name.to_string()));
+        }
+        stored.instantiate()?;
+        self.apply_durable(LogOp::CreateModel { name: name.to_string(), stored, opts })?;
+        Ok(self.catalog.n_models() - 1)
+    }
+
+    /// Writes a checkpoint: the whole durable catalog as one atomically
+    /// installed, checksummed snapshot, after which the WAL is rotated
+    /// and segments older generations no longer need are deleted. The
+    /// two newest snapshots are retained so a corrupt newest snapshot
+    /// still leaves a recoverable older generation (with its WAL).
+    ///
+    /// Returns the LSN the snapshot covers. Errors if the engine is
+    /// in-memory ([`Engine::new`]).
+    pub fn checkpoint(&mut self) -> Result<u64, EngineError> {
+        let p = self.persist.as_mut().ok_or_else(|| EngineError::Io {
+            detail: "checkpoint on an in-memory engine (use Engine::open)".to_string(),
+        })?;
+        let last_lsn = p.next_lsn - 1;
+        snapshot::write_snapshot(&p.dir, &self.catalog, last_lsn)?;
+        // Rotate the log unless the current segment is still empty (a
+        // repeated checkpoint with no mutations in between).
+        if p.wal.start_lsn() != p.next_lsn {
+            p.wal = WalWriter::create(&p.dir, p.next_lsn, self.catalog.fault_injector())?;
+        }
+        // Retain the two newest snapshots; drop older ones and every
+        // segment the *older* retained snapshot no longer needs (so the
+        // fallback generation keeps a complete log suffix).
+        let snapshots = recovery::list_snapshots(&p.dir)?;
+        for (_, path) in snapshots.iter().skip(2) {
+            std::fs::remove_file(path)?;
+        }
+        if let Some((fallback_lsn, _)) = snapshots.get(1) {
+            let segments = recovery::list_segments(&p.dir)?;
+            for w in segments.windows(2) {
+                let (_, ref path) = w[0];
+                let (next_start, _) = w[1];
+                if next_start <= fallback_lsn + 1 && path != p.wal.path() {
+                    std::fs::remove_file(path)?;
+                }
+            }
+        }
+        Ok(last_lsn)
+    }
+
+    /// Drops the engine *without* writing the clean-shutdown marker,
+    /// exactly as a crash would — the next [`Engine::open`] replays the
+    /// log for real. Test hook for crash-safety tests.
+    pub fn simulate_crash(mut self) {
+        if let Some(p) = &mut self.persist {
+            p.crashed = true;
         }
     }
 
@@ -165,6 +416,7 @@ impl Engine {
             models,
             tables: self.catalog.n_tables(),
             cached_plans: self.plan_cache.len(),
+            recovery: self.persist.as_ref().map(|p| p.report.clone()),
         }
     }
 
@@ -199,7 +451,10 @@ impl Engine {
     }
 
     /// Registers a trained model (training-time envelope precomputation
-    /// happens inside the catalog).
+    /// happens inside the catalog). The model is *transient*: a bare
+    /// trait object has no serialized form, so it is skipped by
+    /// checkpoints and does not survive recovery — use
+    /// [`Engine::register_durable_model`] or SQL DDL for durability.
     pub fn register_model(
         &mut self,
         name: impl Into<String>,
@@ -273,6 +528,12 @@ impl Engine {
         let plan_text = plan_to_string(&plan, &schema, &self.catalog);
         let plan_changed = plan.access.changed_from_scan();
         if parsed.explain {
+            // EXPLAIN doubles as the operational status surface: a
+            // durable engine appends what recovery found at open time.
+            let mut plan_text = plan_text;
+            if let Some(p) = &self.persist {
+                plan_text.push_str(&format!("\n{}", p.report));
+            }
             return Ok(QueryOutcome {
                 rows: Vec::new(),
                 metrics: ExecMetrics::default(),
@@ -313,15 +574,27 @@ impl Engine {
             Statement::Select(_) => Ok(StatementOutcome::Query(self.query_inner(sql)?)),
             Statement::CreateModel { name, table, label, clusters, algorithm } => {
                 self.plan_cache.clear();
-                let (model, n_classes) = crate::ddl::create_model(
-                    &mut self.catalog,
-                    &name,
+                if self.catalog.model_by_name(&name).is_some() {
+                    return Err(EngineError::Duplicate(name));
+                }
+                // Train first (fallible, nothing logged yet), then log
+                // the *trained* model — replay re-registers identical
+                // content without retraining.
+                let (_, stored, n_classes) = crate::ddl::train_model_stored(
+                    &self.catalog,
                     table,
                     label,
                     clusters,
                     algorithm,
-                    DeriveOptions::default(),
                 )?;
+                self.apply_durable(LogOp::CreateModel {
+                    name: name.clone(),
+                    stored,
+                    opts: DeriveOptions::default(),
+                })?;
+                let model = self.catalog.model_by_name(&name).ok_or_else(|| {
+                    EngineError::Internal { detail: "created model missing".to_string() }
+                })?;
                 let degraded = self.catalog.model(model).degraded.clone();
                 Ok(StatementOutcome::ModelCreated { name, model, n_classes, degraded })
             }
@@ -332,6 +605,22 @@ impl Engine {
         plan.model_versions
             .iter()
             .all(|(m, v)| self.catalog.model(*m).version == *v)
+    }
+}
+
+impl Drop for Engine {
+    /// A graceful exit stamps the log with a clean-shutdown marker
+    /// (fsync'd like any record), so the next open reports
+    /// `clean_shutdown` and never has to drop anything. Failures are
+    /// swallowed — the marker is an optimization hint, not a
+    /// correctness requirement, and recovery handles its absence.
+    fn drop(&mut self) {
+        if let Some(p) = &mut self.persist {
+            if !p.crashed {
+                let _ = p.wal.append(p.next_lsn, &LogOp::CleanShutdown);
+                p.next_lsn += 1;
+            }
+        }
     }
 }
 

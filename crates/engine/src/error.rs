@@ -74,6 +74,20 @@ pub enum EngineError {
         /// Explanation (panic payload or fault description).
         detail: String,
     },
+    /// A durability I/O operation failed (WAL append, fsync, snapshot
+    /// write). The in-memory state is unchanged — the mutation that
+    /// triggered the write was *not* applied.
+    Io {
+        /// Explanation (underlying OS error or injected fault).
+        detail: String,
+    },
+    /// On-disk durability state failed validation (bad magic, CRC
+    /// mismatch, undecodable record). Recovery degrades gracefully —
+    /// this variant surfaces only when nothing consistent is loadable.
+    Corrupt {
+        /// Explanation.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -93,7 +107,21 @@ impl std::fmt::Display for EngineError {
                 write!(f, "query guard tripped: {resource} spent {spent} of limit {limit}")
             }
             EngineError::Internal { detail } => write!(f, "internal engine error: {detail}"),
+            EngineError::Io { detail } => write!(f, "durability i/o error: {detail}"),
+            EngineError::Corrupt { detail } => write!(f, "corrupt durability state: {detail}"),
         }
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io { detail: e.to_string() }
+    }
+}
+
+impl From<mpq_types::wire::WireError> for EngineError {
+    fn from(e: mpq_types::wire::WireError) -> Self {
+        EngineError::Corrupt { detail: e.to_string() }
     }
 }
 

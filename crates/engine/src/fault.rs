@@ -23,6 +23,9 @@ pub struct FaultInjector {
     scorer_panic: AtomicBool,
     derive_timeout: AtomicBool,
     derive_grid_too_large: AtomicBool,
+    wal_torn_write: AtomicBool,
+    wal_bit_flip: AtomicBool,
+    wal_short_read: AtomicBool,
 }
 
 impl FaultInjector {
@@ -91,6 +94,58 @@ impl FaultInjector {
         self.derive_grid_too_large.load(Ordering::Relaxed)
     }
 
+    /// Arm a torn WAL write: the *next* WAL append persists only a
+    /// prefix of the record's frame (simulating power loss mid-write),
+    /// reports [`crate::EngineError::Io`], and poisons the writer —
+    /// later appends fail too, as they would on a dead disk. One-shot:
+    /// consumed by the append that honours it.
+    pub fn set_wal_torn_write(&self, on: bool) {
+        self.wal_torn_write.store(on, Ordering::Relaxed);
+    }
+
+    /// Consumes the torn-write arm (one-shot), returning whether it was
+    /// set.
+    pub fn take_wal_torn_write(&self) -> bool {
+        self.wal_torn_write.swap(false, Ordering::Relaxed)
+    }
+
+    /// True when a torn write is armed (not yet consumed).
+    pub fn wal_torn_write_armed(&self) -> bool {
+        self.wal_torn_write.load(Ordering::Relaxed)
+    }
+
+    /// Arm a silent WAL bit flip: the *next* WAL append flips one bit of
+    /// the record payload after the checksum is computed, writes the
+    /// full frame, and reports success — the damage is only detectable
+    /// by CRC at the next recovery. One-shot.
+    pub fn set_wal_bit_flip(&self, on: bool) {
+        self.wal_bit_flip.store(on, Ordering::Relaxed);
+    }
+
+    /// Consumes the bit-flip arm (one-shot), returning whether it was
+    /// set.
+    pub fn take_wal_bit_flip(&self) -> bool {
+        self.wal_bit_flip.swap(false, Ordering::Relaxed)
+    }
+
+    /// True when a bit flip is armed (not yet consumed).
+    pub fn wal_bit_flip_armed(&self) -> bool {
+        self.wal_bit_flip.load(Ordering::Relaxed)
+    }
+
+    /// Arm/disarm short reads during recovery: every WAL segment reads
+    /// back a few bytes shorter than its true length, as if the final
+    /// write never fully reached the platter. Stays armed until
+    /// disarmed (it models a property of the file, not of one access).
+    pub fn set_wal_short_read(&self, on: bool) {
+        self.wal_short_read.store(on, Ordering::Relaxed);
+    }
+
+    /// True when recovery reads should come up short.
+    pub fn wal_short_read_armed(&self) -> bool {
+        self.wal_short_read.load(Ordering::Relaxed)
+    }
+
     /// Disarms every fault.
     pub fn reset(&self) {
         self.set_index_probe_failure(false);
@@ -98,6 +153,9 @@ impl FaultInjector {
         self.set_scorer_panic(false);
         self.set_derive_timeout(false);
         self.set_derive_grid_too_large(false);
+        self.set_wal_torn_write(false);
+        self.set_wal_bit_flip(false);
+        self.set_wal_short_read(false);
     }
 
     /// True when any fault is armed.
@@ -107,6 +165,9 @@ impl FaultInjector {
             || self.scorer_panic_armed()
             || self.derive_timeout_armed()
             || self.derive_grid_too_large_armed()
+            || self.wal_torn_write_armed()
+            || self.wal_bit_flip_armed()
+            || self.wal_short_read_armed()
     }
 }
 

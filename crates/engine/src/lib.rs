@@ -34,6 +34,7 @@ mod fault;
 mod guard;
 mod index;
 mod optimizer;
+mod persist;
 mod rewrite;
 mod sql;
 mod stats;
@@ -53,6 +54,7 @@ pub use index::SecondaryIndex;
 pub use optimizer::{
     choose_plan, estimate_selectivity, AccessPath, CostModel, OptimizerOptions, Plan,
 };
+pub use persist::{LogOp, RecoveryReport, StoredModel};
 pub use rewrite::{envelope_expr_for, rewrite_mining};
 pub use sql::{parse, parse_statement, ModelAlgorithm, ParsedQuery, Statement};
 pub use stats::{ColumnStats, TableStats};

@@ -1,0 +1,555 @@
+//! Crash-safe catalog durability: write-ahead log, checksummed
+//! snapshots, and recovery.
+//!
+//! The paper assumes mining models live inside a real DBMS catalog and
+//! survive process death; this module gives the engine that property.
+//! Design in one paragraph: every catalog mutation (`CREATE TABLE`,
+//! `INSERT`, `CREATE MINING MODEL`, retrain, index DDL) is serialized as
+//! a [`LogOp`], framed with a length + CRC32 and fsync'd to a WAL
+//! segment *before* it is applied in memory ([`wal`]); a checkpoint
+//! serializes the whole catalog to a temp file, fsyncs, and renames it
+//! into place atomically, then starts a fresh WAL segment
+//! ([`snapshot`]); [`Engine::open`](crate::Engine::open) loads the
+//! newest snapshot that passes its checksum and replays the WAL prefix
+//! up to the first torn or corrupt record ([`recovery`]), reporting what
+//! was dropped through [`RecoveryReport`] /
+//! [`Engine::health`](crate::Engine::health).
+//!
+//! Envelopes are *not* serialized: they are re-derived from the
+//! recovered models at open time, which keeps the on-disk format small
+//! and guarantees the recovered engine optimizes exactly like a fresh
+//! one. Model versions restart at 1 after recovery (cached plans do not
+//! survive a process anyway). Models registered as bare trait objects
+//! with no serialized form ([`crate::Catalog::add_model`]) are
+//! transient: checkpoints skip them and recovery does not restore them.
+
+pub(crate) mod recovery;
+pub(crate) mod snapshot;
+pub(crate) mod wal;
+
+use crate::ddl::ProjectedModel;
+use crate::EngineError;
+use mpq_core::{BoundMode, DeriveOptions, EnvelopeProvider, SplitHeuristic};
+use mpq_models::Classifier as _;
+use mpq_pmml::PmmlModel;
+use mpq_types::wire::{WireReader, WireWriter};
+use mpq_types::{AttrDomain, AttrId, Attribute, Member, Schema};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The durable, serialized form of a registered mining model.
+///
+/// Model *content* rides as PMML (the `mpq-pmml` crate), so anything the
+/// engine can import it can also persist. A [`ProjectedModel`] (the SQL
+/// DDL wrapper that hides the label column) stores its inner model's
+/// document plus the label position — the label's domain is recoverable
+/// because DDL defines the class names to *be* the label column's
+/// members.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoredModel {
+    /// A model applied to full table rows, as one PMML document.
+    Plain {
+        /// The PMML document.
+        xml: String,
+    },
+    /// A [`ProjectedModel`]: the inner model's PMML document plus where
+    /// the ignored label column sits in the full schema.
+    Projected {
+        /// Name of the label column.
+        label_name: String,
+        /// Index of the label column in the full schema.
+        label_pos: u32,
+        /// PMML document of the inner (feature-schema) model.
+        inner_xml: String,
+    },
+}
+
+const STORED_PLAIN: u8 = 0;
+const STORED_PROJECTED: u8 = 1;
+
+impl StoredModel {
+    pub(crate) fn encode(&self, w: &mut WireWriter) {
+        match self {
+            StoredModel::Plain { xml } => {
+                w.put_u8(STORED_PLAIN);
+                w.put_str(xml);
+            }
+            StoredModel::Projected { label_name, label_pos, inner_xml } => {
+                w.put_u8(STORED_PROJECTED);
+                w.put_str(label_name);
+                w.put_u32(*label_pos);
+                w.put_str(inner_xml);
+            }
+        }
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> Result<StoredModel, EngineError> {
+        Ok(match r.get_u8()? {
+            STORED_PLAIN => StoredModel::Plain { xml: r.get_str()? },
+            STORED_PROJECTED => StoredModel::Projected {
+                label_name: r.get_str()?,
+                label_pos: r.get_u32()?,
+                inner_xml: r.get_str()?,
+            },
+            other => {
+                return Err(EngineError::Corrupt {
+                    detail: format!("unknown stored-model tag {other}"),
+                })
+            }
+        })
+    }
+
+    /// Rebuilds the live model from its serialized form. Everything is
+    /// revalidated: the XML through the PMML importer, the projected
+    /// label position against the inner schema, and the reconstructed
+    /// full schema through `Schema::new`.
+    pub fn instantiate(
+        &self,
+    ) -> Result<Arc<dyn EnvelopeProvider + Send + Sync>, EngineError> {
+        match self {
+            StoredModel::Plain { xml } => {
+                let model = mpq_pmml::import(xml)
+                    .map_err(|e| EngineError::Corrupt { detail: e.to_string() })?;
+                Ok(pmml_to_provider(model))
+            }
+            StoredModel::Projected { label_name, label_pos, inner_xml } => {
+                let inner = mpq_pmml::import(inner_xml)
+                    .map_err(|e| EngineError::Corrupt { detail: e.to_string() })?;
+                let pos = *label_pos as usize;
+                if pos > inner.schema().len() {
+                    return Err(EngineError::Corrupt {
+                        detail: format!(
+                            "label position {pos} outside schema of {} features",
+                            inner.schema().len()
+                        ),
+                    });
+                }
+                // DDL trains classification models with class names taken
+                // from the label column's member list, so the label's
+                // categorical domain is exactly the class-name list.
+                let class_names: Vec<String> = {
+                    let n = classifier_n_classes(&inner);
+                    (0..n).map(|k| classifier_class_name(&inner, k).to_string()).collect()
+                };
+                if class_names.is_empty() {
+                    return Err(EngineError::Corrupt {
+                        detail: "projected model with no classes".to_string(),
+                    });
+                }
+                let mut attrs = inner.schema().attrs().to_vec();
+                attrs.insert(
+                    pos,
+                    Attribute::new(label_name.clone(), AttrDomain::categorical(class_names)),
+                );
+                let full_schema = Schema::new(attrs)
+                    .map_err(|e| EngineError::Corrupt { detail: e.to_string() })?;
+                let inner_arc = pmml_to_provider(inner);
+                Ok(Arc::new(ProjectedModel::new(full_schema, AttrId(pos as u16), inner_arc)))
+            }
+        }
+    }
+}
+
+fn classifier_n_classes(m: &PmmlModel) -> usize {
+    match m {
+        PmmlModel::Tree(x) => x.n_classes(),
+        PmmlModel::NaiveBayes(x) => x.n_classes(),
+        PmmlModel::KMeans(x) => x.n_classes(),
+        PmmlModel::Gmm(x) => x.n_classes(),
+        PmmlModel::Rules(x) => x.n_classes(),
+    }
+}
+
+fn classifier_class_name(m: &PmmlModel, k: usize) -> &str {
+    let c = mpq_types::ClassId(k as u16);
+    match m {
+        PmmlModel::Tree(x) => x.class_name(c),
+        PmmlModel::NaiveBayes(x) => x.class_name(c),
+        PmmlModel::KMeans(x) => x.class_name(c),
+        PmmlModel::Gmm(x) => x.class_name(c),
+        PmmlModel::Rules(x) => x.class_name(c),
+    }
+}
+
+/// Unwraps an imported PMML document into the trait object the catalog
+/// registers.
+pub(crate) fn pmml_to_provider(m: PmmlModel) -> Arc<dyn EnvelopeProvider + Send + Sync> {
+    match m {
+        PmmlModel::Tree(x) => Arc::new(x),
+        PmmlModel::NaiveBayes(x) => Arc::new(x),
+        PmmlModel::KMeans(x) => Arc::new(x),
+        PmmlModel::Gmm(x) => Arc::new(x),
+        PmmlModel::Rules(x) => Arc::new(x),
+    }
+}
+
+// ---------------------------------------------------------------------
+// DeriveOptions codec
+// ---------------------------------------------------------------------
+
+pub(crate) fn put_derive_opts(w: &mut WireWriter, o: &DeriveOptions) {
+    w.put_u8(match o.bound_mode {
+        BoundMode::Basic => 0,
+        BoundMode::PairwiseRatio => 1,
+    });
+    w.put_u8(match o.split_heuristic {
+        SplitHeuristic::Entropy => 0,
+        SplitHeuristic::RivalGap => 1,
+    });
+    w.put_u64(o.max_expansions as u64);
+    w.put_u64(o.max_disjuncts as u64);
+    w.put_bool(o.trace);
+    w.put_bool(o.cluster_raw_sound);
+    match o.time_budget {
+        Some(d) => {
+            w.put_bool(true);
+            w.put_u64(d.as_nanos().min(u64::MAX as u128) as u64);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+pub(crate) fn get_derive_opts(r: &mut WireReader<'_>) -> Result<DeriveOptions, EngineError> {
+    let bound_mode = match r.get_u8()? {
+        0 => BoundMode::Basic,
+        1 => BoundMode::PairwiseRatio,
+        other => {
+            return Err(EngineError::Corrupt { detail: format!("bad bound mode {other}") })
+        }
+    };
+    let split_heuristic = match r.get_u8()? {
+        0 => SplitHeuristic::Entropy,
+        1 => SplitHeuristic::RivalGap,
+        other => {
+            return Err(EngineError::Corrupt {
+                detail: format!("bad split heuristic {other}"),
+            })
+        }
+    };
+    let max_expansions = r.get_u64()? as usize;
+    let max_disjuncts = r.get_u64()? as usize;
+    let trace = r.get_bool()?;
+    let cluster_raw_sound = r.get_bool()?;
+    let time_budget =
+        if r.get_bool()? { Some(Duration::from_nanos(r.get_u64()?)) } else { None };
+    Ok(DeriveOptions {
+        bound_mode,
+        split_heuristic,
+        max_expansions,
+        max_disjuncts,
+        trace,
+        cluster_raw_sound,
+        time_budget,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Log operations
+// ---------------------------------------------------------------------
+
+/// One durable catalog mutation, as recorded in the WAL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogOp {
+    /// `CREATE TABLE` with its initial contents (column-major).
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Table schema.
+        schema: Schema,
+        /// Page geometry (rows per page).
+        rows_per_page: u64,
+        /// Cell data, one vector per column.
+        columns: Vec<Vec<Member>>,
+    },
+    /// `INSERT` of encoded rows into an existing table.
+    Insert {
+        /// Target table name.
+        table: String,
+        /// Encoded rows.
+        rows: Vec<Vec<Member>>,
+    },
+    /// Secondary index creation.
+    CreateIndex {
+        /// Target table name.
+        table: String,
+        /// Indexed columns (attribute ids).
+        columns: Vec<u16>,
+    },
+    /// Secondary index drop.
+    DropIndex {
+        /// Target table name.
+        table: String,
+        /// Indexed columns (attribute ids).
+        columns: Vec<u16>,
+    },
+    /// `CREATE MINING MODEL` — the trained model rides serialized, so
+    /// replay re-registers the *same* content without retraining.
+    CreateModel {
+        /// Model name.
+        name: String,
+        /// Serialized trained model.
+        stored: StoredModel,
+        /// Envelope-derivation options to register it with.
+        opts: DeriveOptions,
+    },
+    /// Retrain of an existing model with new content.
+    Retrain {
+        /// Model name.
+        name: String,
+        /// Serialized replacement model.
+        stored: StoredModel,
+        /// Envelope-derivation options.
+        opts: DeriveOptions,
+    },
+    /// Graceful-shutdown marker: a no-op whose presence at the log tail
+    /// tells the next open that the process exited cleanly.
+    CleanShutdown,
+}
+
+const OP_CREATE_TABLE: u8 = 1;
+const OP_INSERT: u8 = 2;
+const OP_CREATE_INDEX: u8 = 3;
+const OP_DROP_INDEX: u8 = 4;
+const OP_CREATE_MODEL: u8 = 5;
+const OP_RETRAIN: u8 = 6;
+const OP_CLEAN_SHUTDOWN: u8 = 7;
+
+fn put_rows(w: &mut WireWriter, rows: &[Vec<Member>]) {
+    w.put_u32(rows.len() as u32);
+    for row in rows {
+        w.put_u16s(row);
+    }
+}
+
+fn get_rows(r: &mut WireReader<'_>) -> Result<Vec<Vec<Member>>, EngineError> {
+    let n = r.get_u32()? as usize;
+    if n > r.remaining() {
+        return Err(EngineError::Corrupt { detail: "row count exceeds record".into() });
+    }
+    (0..n).map(|_| Ok(r.get_u16s()?)).collect()
+}
+
+impl LogOp {
+    /// Serializes the op body (everything after the LSN).
+    pub(crate) fn encode(&self, w: &mut WireWriter) {
+        match self {
+            LogOp::CreateTable { name, schema, rows_per_page, columns } => {
+                w.put_u8(OP_CREATE_TABLE);
+                w.put_str(name);
+                mpq_types::wire::put_schema(w, schema);
+                w.put_u64(*rows_per_page);
+                w.put_u32(columns.len() as u32);
+                for col in columns {
+                    w.put_u16s(col);
+                }
+            }
+            LogOp::Insert { table, rows } => {
+                w.put_u8(OP_INSERT);
+                w.put_str(table);
+                put_rows(w, rows);
+            }
+            LogOp::CreateIndex { table, columns } => {
+                w.put_u8(OP_CREATE_INDEX);
+                w.put_str(table);
+                w.put_u16s(columns);
+            }
+            LogOp::DropIndex { table, columns } => {
+                w.put_u8(OP_DROP_INDEX);
+                w.put_str(table);
+                w.put_u16s(columns);
+            }
+            LogOp::CreateModel { name, stored, opts } => {
+                w.put_u8(OP_CREATE_MODEL);
+                w.put_str(name);
+                stored.encode(w);
+                put_derive_opts(w, opts);
+            }
+            LogOp::Retrain { name, stored, opts } => {
+                w.put_u8(OP_RETRAIN);
+                w.put_str(name);
+                stored.encode(w);
+                put_derive_opts(w, opts);
+            }
+            LogOp::CleanShutdown => w.put_u8(OP_CLEAN_SHUTDOWN),
+        }
+    }
+
+    /// Decodes one op body, validating tags and bounds.
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> Result<LogOp, EngineError> {
+        Ok(match r.get_u8()? {
+            OP_CREATE_TABLE => {
+                let name = r.get_str()?;
+                let schema = mpq_types::wire::get_schema(r)?;
+                let rows_per_page = r.get_u64()?;
+                let n_cols = r.get_u32()? as usize;
+                if n_cols > r.remaining() {
+                    return Err(EngineError::Corrupt {
+                        detail: "column count exceeds record".into(),
+                    });
+                }
+                let columns: Vec<Vec<Member>> =
+                    (0..n_cols).map(|_| Ok(r.get_u16s()?)).collect::<Result<_, EngineError>>()?;
+                LogOp::CreateTable { name, schema, rows_per_page, columns }
+            }
+            OP_INSERT => LogOp::Insert { table: r.get_str()?, rows: get_rows(r)? },
+            OP_CREATE_INDEX => {
+                LogOp::CreateIndex { table: r.get_str()?, columns: r.get_u16s()? }
+            }
+            OP_DROP_INDEX => LogOp::DropIndex { table: r.get_str()?, columns: r.get_u16s()? },
+            OP_CREATE_MODEL => LogOp::CreateModel {
+                name: r.get_str()?,
+                stored: StoredModel::decode(r)?,
+                opts: get_derive_opts(r)?,
+            },
+            OP_RETRAIN => LogOp::Retrain {
+                name: r.get_str()?,
+                stored: StoredModel::decode(r)?,
+                opts: get_derive_opts(r)?,
+            },
+            OP_CLEAN_SHUTDOWN => LogOp::CleanShutdown,
+            other => {
+                return Err(EngineError::Corrupt { detail: format!("unknown log op {other}") })
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recovery report
+// ---------------------------------------------------------------------
+
+/// What [`crate::Engine::open`] found and recovered — surfaced through
+/// [`crate::Engine::health`] and appended to `EXPLAIN` output.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// LSN of the snapshot the state was loaded from (0 = none found).
+    pub snapshot_lsn: u64,
+    /// Snapshots that failed their checksum and were skipped in favour
+    /// of an older generation.
+    pub snapshots_skipped: usize,
+    /// WAL records replayed on top of the snapshot (excluding shutdown
+    /// markers).
+    pub wal_records_replayed: u64,
+    /// Well-formed records discarded because they sat *after* the first
+    /// corrupt record (prefix semantics: nothing past a tear is trusted).
+    pub records_dropped: u64,
+    /// Bytes of WAL discarded at and after the corruption point.
+    pub bytes_dropped: u64,
+    /// Description of the first corruption encountered, if any.
+    pub corruption: Option<String>,
+    /// True when the log ended with a clean-shutdown marker (or the
+    /// directory was freshly created).
+    pub clean_shutdown: bool,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "recovery: snapshot lsn={}, wal records replayed={}, dropped={} ({} bytes){}{}",
+            self.snapshot_lsn,
+            self.wal_records_replayed,
+            self.records_dropped,
+            self.bytes_dropped,
+            if self.clean_shutdown { ", clean shutdown" } else { "" },
+            match &self.corruption {
+                Some(c) => format!(", corruption: {c}"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("x", AttrDomain::binned(vec![1.0, 2.0]).unwrap()),
+            Attribute::new("f", AttrDomain::categorical(["a", "b"])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn ops_roundtrip() {
+        let ops = vec![
+            LogOp::CreateTable {
+                name: "t".into(),
+                schema: demo_schema(),
+                rows_per_page: 128,
+                columns: vec![vec![0, 1, 2], vec![1, 0, 1]],
+            },
+            LogOp::Insert { table: "t".into(), rows: vec![vec![2, 1], vec![0, 0]] },
+            LogOp::CreateIndex { table: "t".into(), columns: vec![0, 1] },
+            LogOp::DropIndex { table: "t".into(), columns: vec![1] },
+            LogOp::CreateModel {
+                name: "m".into(),
+                stored: StoredModel::Plain { xml: "<PMML/>".into() },
+                opts: DeriveOptions::default(),
+            },
+            LogOp::Retrain {
+                name: "m".into(),
+                stored: StoredModel::Projected {
+                    label_name: "y".into(),
+                    label_pos: 1,
+                    inner_xml: "<PMML/>".into(),
+                },
+                opts: DeriveOptions {
+                    time_budget: Some(Duration::from_millis(250)),
+                    trace: true,
+                    ..DeriveOptions::default()
+                },
+            },
+            LogOp::CleanShutdown,
+        ];
+        for op in &ops {
+            let mut w = WireWriter::new();
+            op.encode(&mut w);
+            let bytes = w.into_bytes();
+            let back = LogOp::decode(&mut WireReader::new(&bytes)).unwrap();
+            assert_eq!(&back, op);
+            // Every strict prefix must fail cleanly, never panic.
+            for cut in 0..bytes.len() {
+                assert!(LogOp::decode(&mut WireReader::new(&bytes[..cut])).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn derive_opts_roundtrip_all_variants() {
+        for bm in [BoundMode::Basic, BoundMode::PairwiseRatio] {
+            for sh in [SplitHeuristic::Entropy, SplitHeuristic::RivalGap] {
+                for tb in [None, Some(Duration::from_secs(3))] {
+                    let o = DeriveOptions {
+                        bound_mode: bm,
+                        split_heuristic: sh,
+                        time_budget: tb,
+                        max_expansions: 7,
+                        max_disjuncts: 9,
+                        trace: true,
+                        cluster_raw_sound: true,
+                    };
+                    let mut w = WireWriter::new();
+                    put_derive_opts(&mut w, &o);
+                    let bytes = w.into_bytes();
+                    let back = get_derive_opts(&mut WireReader::new(&bytes)).unwrap();
+                    assert_eq!(back, o);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_corrupt_errors() {
+        assert!(matches!(
+            LogOp::decode(&mut WireReader::new(&[99])),
+            Err(EngineError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            StoredModel::decode(&mut WireReader::new(&[7])),
+            Err(EngineError::Corrupt { .. })
+        ));
+    }
+}

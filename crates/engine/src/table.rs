@@ -56,6 +56,80 @@ impl Table {
         Table { name: name.into(), schema, columns, n_rows: data.len(), rows_per_page }
     }
 
+    /// Reassembles a table from its serialized parts (crash recovery).
+    ///
+    /// Everything is validated — the parts come straight off disk, so a
+    /// corrupt (but checksum-colliding) input must surface as `Err`, not
+    /// index out of bounds later: columns must be one per attribute, all
+    /// the same length, and every member within its domain cardinality.
+    pub fn from_encoded_parts(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<Vec<Member>>,
+        rows_per_page: usize,
+    ) -> Result<Table, EngineError> {
+        let name = name.into();
+        if columns.len() != schema.len() {
+            return Err(EngineError::Corrupt {
+                detail: format!(
+                    "table {name:?}: {} columns for {} attributes",
+                    columns.len(),
+                    schema.len()
+                ),
+            });
+        }
+        let n_rows = columns.first().map_or(0, Vec::len);
+        if columns.iter().any(|c| c.len() != n_rows) {
+            return Err(EngineError::Corrupt {
+                detail: format!("table {name:?}: ragged columns"),
+            });
+        }
+        for (d, col) in columns.iter().enumerate() {
+            let card = schema.attrs()[d].domain.cardinality();
+            if col.iter().any(|&m| m >= card) {
+                return Err(EngineError::Corrupt {
+                    detail: format!("table {name:?}: member out of range in column {d}"),
+                });
+            }
+        }
+        if rows_per_page == 0 {
+            return Err(EngineError::Corrupt {
+                detail: format!("table {name:?}: zero rows per page"),
+            });
+        }
+        Ok(Table { name, schema, columns, n_rows, rows_per_page })
+    }
+
+    /// Appends one encoded row, validating arity and member ranges.
+    /// Used by `INSERT` replay and the durable insert path; rejecting
+    /// here keeps every stored cell within its domain, which the rest of
+    /// the engine relies on.
+    pub fn push_row(&mut self, row: &[Member]) -> Result<(), EngineError> {
+        if row.len() != self.schema.len() {
+            return Err(EngineError::SchemaMismatch {
+                detail: format!(
+                    "row has {} values, table {} has {} columns",
+                    row.len(),
+                    self.name,
+                    self.schema.len()
+                ),
+            });
+        }
+        for (d, &m) in row.iter().enumerate() {
+            if m >= self.schema.attrs()[d].domain.cardinality() {
+                return Err(EngineError::BadValue(format!(
+                    "member {m} out of range for column {}",
+                    self.schema.attrs()[d].name
+                )));
+            }
+        }
+        for (d, &m) in row.iter().enumerate() {
+            self.columns[d].push(m);
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
     /// Table name.
     pub fn name(&self) -> &str {
         &self.name

@@ -44,20 +44,27 @@ impl PmmlModel {
 }
 
 /// Serializes a model as a PMML document.
-pub fn export(model: &PmmlModel) -> String {
+///
+/// Fails with [`PmmlError::Structure`] when the model is internally
+/// inconsistent — e.g. a tree split or rule range over an attribute the
+/// schema says is categorical. Such models cannot arise from this
+/// workspace's trainers, but `export` is also on the engine's checkpoint
+/// path, where aborting the whole checkpoint on one malformed model is
+/// not acceptable.
+pub fn export(model: &PmmlModel) -> Result<String, PmmlError> {
     let body = match model {
-        PmmlModel::Tree(t) => tree_to_xml(t),
+        PmmlModel::Tree(t) => tree_to_xml(t)?,
         PmmlModel::NaiveBayes(nb) => nb_to_xml(nb),
         PmmlModel::KMeans(km) => kmeans_to_xml(km),
         PmmlModel::Gmm(g) => gmm_to_xml(g),
-        PmmlModel::Rules(rs) => rules_to_xml(rs),
+        PmmlModel::Rules(rs) => rules_to_xml(rs)?,
     };
     let doc = XmlNode::new("PMML")
         .attr("version", "2.0")
         .child(XmlNode::new("Header").attr("copyright", "mpq"))
         .child(schema_to_xml(model.schema()))
         .child(body);
-    format!("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n{}", doc.to_string_pretty())
+    Ok(format!("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n{}", doc.to_string_pretty()))
 }
 
 /// Parses a PMML document back into a model.
@@ -113,7 +120,7 @@ fn class_of(names: &[String], label: &str) -> Result<ClassId, PmmlError> {
 // Decision tree
 // ---------------------------------------------------------------------
 
-fn tree_to_xml(tree: &DecisionTree) -> XmlNode {
+fn tree_to_xml(tree: &DecisionTree) -> Result<XmlNode, PmmlError> {
     let mut m = XmlNode::new("TreeModel").attr("functionName", "classification");
     let mut classes = XmlNode::new("Output");
     for k in 0..tree.n_classes() {
@@ -121,11 +128,11 @@ fn tree_to_xml(tree: &DecisionTree) -> XmlNode {
             .child(XmlNode::new("OutputField").attr("name", tree.class_name(ClassId(k as u16))));
     }
     m = m.child(classes);
-    m.child(node_to_xml(tree.root(), tree))
+    Ok(m.child(node_to_xml(tree.root(), tree)?))
 }
 
-fn node_to_xml(node: &Node, tree: &DecisionTree) -> XmlNode {
-    match node {
+fn node_to_xml(node: &Node, tree: &DecisionTree) -> Result<XmlNode, PmmlError> {
+    Ok(match node {
         Node::Leaf { class, support } => XmlNode::new("Node")
             .attr("score", tree.class_name(*class))
             .attr("recordCount", *support),
@@ -134,7 +141,12 @@ fn node_to_xml(node: &Node, tree: &DecisionTree) -> XmlNode {
             let pred = match split {
                 Split::LeMember { attr, cut_member } => {
                     let domain = &tree.schema().attr(*attr).domain;
-                    let (_, hi) = domain.bin_interval(*cut_member).expect("ordered split");
+                    let (_, hi) =
+                        domain.bin_interval(*cut_member).ok_or_else(|| PmmlError::Structure {
+                            detail: format!(
+                                "ordered split on unordered attribute {attr_name:?}"
+                            ),
+                        })?;
                     XmlNode::new("SimplePredicate")
                         .attr("field", attr_name)
                         .attr("operator", "lessOrEqual")
@@ -156,10 +168,10 @@ fn node_to_xml(node: &Node, tree: &DecisionTree) -> XmlNode {
             };
             XmlNode::new("Node")
                 .child(pred)
-                .child(node_to_xml(left, tree))
-                .child(node_to_xml(right, tree))
+                .child(node_to_xml(left, tree)?)
+                .child(node_to_xml(right, tree)?)
         }
-    }
+    })
 }
 
 fn tree_from_xml(m: &XmlNode, schema: &Schema) -> Result<DecisionTree, PmmlError> {
@@ -319,7 +331,7 @@ fn nb_from_xml(m: &XmlNode, schema: &Schema) -> Result<NaiveBayes, PmmlError> {
 // Rule sets
 // ---------------------------------------------------------------------
 
-fn rules_to_xml(rs: &RuleSet) -> XmlNode {
+fn rules_to_xml(rs: &RuleSet) -> Result<XmlNode, PmmlError> {
     let schema = rs.schema();
     let mut m = XmlNode::new("RuleSetModel").attr("functionName", "classification");
     let mut classes = XmlNode::new("Output");
@@ -342,8 +354,11 @@ fn rules_to_xml(rs: &RuleSet) -> XmlNode {
             let domain = &schema.attr(attr).domain;
             body = body.child(match cond {
                 RuleCond::Range { lo, hi, .. } => {
-                    let (lo_bound, _) = domain.bin_interval(*lo).expect("ordered cond");
-                    let (_, hi_bound) = domain.bin_interval(*hi).expect("ordered cond");
+                    let range_err = || PmmlError::Structure {
+                        detail: format!("range condition on unordered attribute {name:?}"),
+                    };
+                    let (lo_bound, _) = domain.bin_interval(*lo).ok_or_else(range_err)?;
+                    let (_, hi_bound) = domain.bin_interval(*hi).ok_or_else(range_err)?;
                     XmlNode::new("Interval")
                         .attr("field", name)
                         .attr("leftMargin", lo_bound)
@@ -366,7 +381,7 @@ fn rules_to_xml(rs: &RuleSet) -> XmlNode {
         r = r.child(body);
         set = set.child(r);
     }
-    m.child(set)
+    Ok(m.child(set))
 }
 
 fn rules_from_xml(m: &XmlNode, schema: &Schema) -> Result<RuleSet, PmmlError> {
@@ -536,7 +551,7 @@ mod tests {
     #[test]
     fn tree_roundtrips_with_identical_predictions() {
         let tree = DecisionTree::train(&training_data(), TreeParams::default()).unwrap();
-        let text = export(&PmmlModel::Tree(tree.clone()));
+        let text = export(&PmmlModel::Tree(tree.clone())).unwrap();
         let back = import(&text).unwrap();
         let PmmlModel::Tree(t2) = back else { panic!("wrong model kind") };
         for age in 0..3u16 {
@@ -549,7 +564,7 @@ mod tests {
     #[test]
     fn naive_bayes_roundtrips_exactly() {
         let nb = NaiveBayes::train(&training_data()).unwrap();
-        let text = export(&PmmlModel::NaiveBayes(nb.clone()));
+        let text = export(&PmmlModel::NaiveBayes(nb.clone())).unwrap();
         let PmmlModel::NaiveBayes(nb2) = import(&text).unwrap() else { panic!("kind") };
         // f64 Display is shortest-roundtrip, so parameters are identical.
         for age in 0..3u16 {
@@ -577,7 +592,7 @@ mod tests {
             vec![vec![1.0, 0.5], vec![2.0, 1.0]],
         )
         .unwrap();
-        let text = export(&PmmlModel::KMeans(km.clone()));
+        let text = export(&PmmlModel::KMeans(km.clone())).unwrap();
         let PmmlModel::KMeans(km2) = import(&text).unwrap() else { panic!("kind") };
         assert_eq!(km, km2);
     }
@@ -587,7 +602,7 @@ mod tests {
         let s = Schema::new(vec![Attribute::new("x", AttrDomain::binned(vec![1.0]).unwrap())]).unwrap();
         let g = Gmm::from_parts(s, vec![0.25, 0.75], vec![vec![0.5], vec![2.5]], vec![vec![0.7], vec![1.3]])
             .unwrap();
-        let text = export(&PmmlModel::Gmm(g.clone()));
+        let text = export(&PmmlModel::Gmm(g.clone())).unwrap();
         let PmmlModel::Gmm(g2) = import(&text).unwrap() else { panic!("kind") };
         for k in 0..2u16 {
             assert!((g.score_raw(&[1.0], ClassId(k)) - g2.score_raw(&[1.0], ClassId(k))).abs() < 1e-12);
@@ -615,7 +630,7 @@ mod tests {
         ];
         let rs = RuleSet::from_parts(s, vec!["no".into(), "yes".into()], rules, ClassId(0))
             .unwrap();
-        let text = export(&PmmlModel::Rules(rs.clone()));
+        let text = export(&PmmlModel::Rules(rs.clone())).unwrap();
         let PmmlModel::Rules(rs2) = import(&text).unwrap() else { panic!("kind") };
         assert_eq!(rs, rs2);
         for age in 0..3u16 {
@@ -623,6 +638,40 @@ mod tests {
                 assert_eq!(rs.predict(&[age, color]), rs2.predict(&[age, color]));
             }
         }
+    }
+
+    #[test]
+    fn export_rejects_ordered_split_on_categorical() {
+        use mpq_types::AttrId;
+        // `from_parts` only bounds-checks the cut member, so a LeMember
+        // split over a categorical attribute constructs fine — export must
+        // surface it as a typed error, not a panic.
+        let root = Node::Internal {
+            split: Split::LeMember { attr: AttrId(1), cut_member: 0 },
+            left: Box::new(Node::Leaf { class: ClassId(0), support: 1 }),
+            right: Box::new(Node::Leaf { class: ClassId(1), support: 1 }),
+        };
+        let tree = DecisionTree::from_parts(schema(), vec!["n".into(), "y".into()], root).unwrap();
+        assert!(matches!(
+            export(&PmmlModel::Tree(tree)),
+            Err(PmmlError::Structure { .. })
+        ));
+    }
+
+    #[test]
+    fn export_rejects_range_cond_on_categorical() {
+        use mpq_types::AttrId;
+        let rules = vec![Rule {
+            body: vec![RuleCond::Range { attr: AttrId(1), lo: 0, hi: 1 }],
+            head: ClassId(1),
+            weight: 0.5,
+        }];
+        let rs = RuleSet::from_parts(schema(), vec!["n".into(), "y".into()], rules, ClassId(0))
+            .unwrap();
+        assert!(matches!(
+            export(&PmmlModel::Rules(rs)),
+            Err(PmmlError::Structure { .. })
+        ));
     }
 
     #[test]
@@ -645,7 +694,7 @@ mod tests {
             right: Box::new(Node::Leaf { class: ClassId(0), support: 4 }),
         };
         let tree = DecisionTree::from_parts(s, vec!["n".into(), "y".into()], root).unwrap();
-        let text = export(&PmmlModel::Tree(tree.clone()));
+        let text = export(&PmmlModel::Tree(tree.clone())).unwrap();
         let PmmlModel::Tree(t2) = import(&text).unwrap() else { panic!("kind") };
         assert_eq!(tree, t2);
     }

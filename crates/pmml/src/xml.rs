@@ -176,7 +176,7 @@ impl XmlParser<'_> {
     }
 
     fn starts_with(&self, s: &str) -> bool {
-        self.bytes[self.pos..].starts_with(s.as_bytes())
+        self.bytes.get(self.pos..).is_some_and(|rest| rest.starts_with(s.as_bytes()))
     }
 
     fn skip_until(&mut self, end: &str) {
@@ -234,6 +234,9 @@ impl XmlParser<'_> {
             let start = self.pos;
             while self.pos < self.bytes.len() && self.bytes[self.pos] != quote {
                 self.pos += 1;
+            }
+            if self.pos >= self.bytes.len() {
+                return Err(self.err("eof inside attribute value"));
             }
             let v = unescape(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
             self.pos += 1; // closing quote

@@ -1,0 +1,110 @@
+//! Property: the XML/PMML parsers never panic on mutated or truncated
+//! input. Crash recovery parses model documents straight off disk, where
+//! torn writes and bit flips are expected — a corrupt document must
+//! surface as a typed `Err`, never a process abort (which would turn one
+//! bad byte into an unrecoverable catalog).
+
+use mpq_models::{DecisionTree, TreeParams};
+use mpq_pmml::xml::parse;
+use mpq_pmml::{export, import, PmmlModel};
+use mpq_types::{AttrDomain, Attribute, ClassId, Dataset, LabeledDataset, Schema};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A realistic seed document: an exported trained decision tree, so
+/// mutations explore the neighbourhood of well-formed PMML rather than
+/// only uniformly-random noise (which the lexer rejects immediately).
+fn seed_document() -> String {
+    let schema = Schema::new(vec![
+        Attribute::new("age", AttrDomain::binned(vec![30.0, 63.0]).unwrap()),
+        Attribute::new("color", AttrDomain::categorical(["red", "green", "blue"])),
+    ])
+    .unwrap();
+    let mut ds = Dataset::new(schema);
+    let mut labels = Vec::new();
+    for age in 0..3u16 {
+        for color in 0..3u16 {
+            ds.push_encoded(&[age, color]).unwrap();
+            labels.push(ClassId(u16::from(age == 2 || color == 0)));
+        }
+    }
+    let data = LabeledDataset::new(ds, labels, vec!["no".into(), "yes".into()]).unwrap();
+    let tree = DecisionTree::train(&data, TreeParams::default()).unwrap();
+    export(&PmmlModel::Tree(tree)).unwrap()
+}
+
+/// Runs both parser entry points over `text`, asserting neither panics.
+/// Returning `Err` (or even `Ok`, when a mutation happens to stay valid)
+/// is fine; unwinding is the only failure.
+fn assert_no_panic(text: &str) -> Result<(), TestCaseError> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _ = parse(text);
+        let _ = import(text);
+    }));
+    prop_assert!(outcome.is_ok(), "parser panicked on {} bytes", text.len());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every truncation point of a valid document parses without panic,
+    /// and strict prefixes fail cleanly.
+    #[test]
+    fn truncated_documents_error_cleanly(frac in 0.0f64..1.0) {
+        let doc = seed_document();
+        let cut = ((doc.len() as f64) * frac) as usize;
+        // Snap to a char boundary so the slice is valid UTF-8.
+        let mut cut = cut.min(doc.len());
+        while !doc.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let text = &doc[..cut];
+        assert_no_panic(text)?;
+        if cut < doc.len() {
+            prop_assert!(import(text).is_err(), "truncated document must not import");
+        }
+    }
+
+    /// Random byte flips/overwrites anywhere in the document never panic
+    /// the parsers.
+    #[test]
+    fn mutated_documents_never_panic(
+        flips in proptest::collection::vec((0usize..4096, 0u8..=255), 1..12),
+    ) {
+        let mut bytes = seed_document().into_bytes();
+        for &(pos, val) in &flips {
+            let p = pos % bytes.len();
+            bytes[p] = val;
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        assert_no_panic(&text)?;
+    }
+
+    /// Random insertions and deletions (framing damage, not just value
+    /// damage) never panic the parsers.
+    #[test]
+    fn spliced_documents_never_panic(
+        at in 0usize..4096,
+        drop_len in 0usize..64,
+        insert in proptest::collection::vec(0u8..=255, 0..16),
+    ) {
+        let mut bytes = seed_document().into_bytes();
+        let start = at % bytes.len();
+        let end = (start + drop_len).min(bytes.len());
+        bytes.splice(start..end, insert.iter().copied());
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        assert_no_panic(&text)?;
+    }
+
+    /// Pure noise (not derived from a valid document) errors cleanly.
+    #[test]
+    fn random_noise_errors_cleanly(noise in proptest::collection::vec(0u8..=255, 0..512)) {
+        let text = String::from_utf8_lossy(&noise).into_owned();
+        assert_no_panic(&text)?;
+        if !text.trim_start().starts_with("<?xml") {
+            // Anything that isn't even an XML prolog must fail import.
+            prop_assert!(import(&text).is_err());
+        }
+    }
+}

@@ -25,6 +25,7 @@ mod discretize;
 mod error;
 mod memberset;
 mod value;
+pub mod wire;
 
 pub use attribute::{AttrDomain, Attribute, Schema};
 pub use csv::{load_csv, CsvData, CsvOptions};

@@ -18,7 +18,7 @@ fn main() {
 
     // "Another system" trains the classifier...
     let tree = DecisionTree::train(&train, mpq_models::TreeParams::default()).expect("nonempty");
-    let document = export(&PmmlModel::Tree(tree));
+    let document = export(&PmmlModel::Tree(tree)).expect("trained tree exports");
     println!("exported PMML document ({} bytes):\n", document.len());
     for line in document.lines().take(18) {
         println!("  {line}");

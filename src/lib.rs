@@ -74,8 +74,8 @@ pub mod prelude {
     };
     pub use mpq_engine::{
         execute, execute_guarded, parse, tune_indexes, AccessPath, Catalog, Engine, EngineError,
-        EngineHealth, Expr, FaultInjector, GuardResource, MiningPred, OptimizerOptions,
-        QueryGuard, Table,
+        EngineHealth, Expr, FaultInjector, GuardResource, LogOp, MiningPred, OptimizerOptions,
+        QueryGuard, RecoveryReport, StoredModel, Table,
     };
     pub use mpq_models::{
         accuracy, BoundaryClustering, Classifier, DecisionTree, Gmm, KMeans, NaiveBayes, RuleSet,

@@ -15,7 +15,7 @@ fn spec(name: &str) -> mpq_datagen::DatasetSpec {
 fn tree_roundtrip_preserves_envelopes() {
     let train = generate_train(&spec("Anneal-U"), 7);
     let tree = DecisionTree::train(&train, mpq_models::TreeParams::default()).expect("data");
-    let PmmlModel::Tree(back) = import(&export(&PmmlModel::Tree(tree.clone()))).expect("roundtrip")
+    let PmmlModel::Tree(back) = import(&export(&PmmlModel::Tree(tree.clone())).expect("export")).expect("roundtrip")
     else {
         panic!("wrong kind")
     };
@@ -33,7 +33,7 @@ fn naive_bayes_roundtrip_preserves_envelopes() {
     let train = generate_train(&spec("Diabetes"), 7);
     let nb = NaiveBayes::train(&train).expect("data");
     let PmmlModel::NaiveBayes(back) =
-        import(&export(&PmmlModel::NaiveBayes(nb.clone()))).expect("roundtrip")
+        import(&export(&PmmlModel::NaiveBayes(nb.clone())).expect("export")).expect("roundtrip")
     else {
         panic!("wrong kind")
     };
@@ -54,7 +54,7 @@ fn kmeans_roundtrip_preserves_envelopes() {
     )
     .expect("ordered schema");
     let PmmlModel::KMeans(back) =
-        import(&export(&PmmlModel::KMeans(km.clone()))).expect("roundtrip")
+        import(&export(&PmmlModel::KMeans(km.clone())).expect("export")).expect("roundtrip")
     else {
         panic!("wrong kind")
     };
@@ -73,7 +73,7 @@ fn imported_models_predict_identically_everywhere() {
     let rules =
         RuleSet::train(&train, mpq_models::RuleSetParams::default()).expect("data");
     let PmmlModel::Rules(back) =
-        import(&export(&PmmlModel::Rules(rules.clone()))).expect("roundtrip")
+        import(&export(&PmmlModel::Rules(rules.clone())).expect("export")).expect("roundtrip")
     else {
         panic!("wrong kind")
     };
