@@ -13,14 +13,14 @@ use std::hint::black_box;
 
 fn bench_envelope_vs_scan(c: &mut Criterion) {
     let spec = table2().into_iter().find(|s| s.name == "Shuttle").expect("known dataset");
-    let mut setup =
+    let setup =
         build_setup(&spec, ModelKindTag::Tree, Scale(0.01), 7, &DeriveOptions::default());
     let schema = setup.engine.catalog().table(0).table.schema().clone();
     let workload: Vec<Expr> = (0..setup.n_classes)
-        .map(|k| envelope_to_expr(&schema, setup.envelope(ClassId(k as u16))).normalize(&schema))
+        .map(|k| envelope_to_expr(&schema, &setup.envelope(ClassId(k as u16))).normalize(&schema))
         .collect();
-    let opts = *setup.engine.options();
-    tune_indexes(setup.engine.catalog_mut(), 0, &workload, 24, &opts);
+    let opts = setup.engine.options();
+    tune_indexes(&mut setup.engine.catalog_mut(), 0, &workload, 24, &opts);
 
     // The rarest class: where envelopes pay off most.
     let rare = (0..setup.n_classes)
@@ -35,11 +35,11 @@ fn bench_envelope_vs_scan(c: &mut Criterion) {
     g.sample_size(20);
     let env_plan = setup.engine.plan_predicate(0, workload[rare].clone());
     g.bench_function("envelope_plan", |b| {
-        b.iter(|| black_box(execute(&env_plan, setup.engine.catalog())))
+        b.iter(|| black_box(execute(&env_plan, &setup.engine.catalog())))
     });
     let scan_plan = setup.engine.plan_predicate(0, Expr::Const(true));
     g.bench_function("full_scan", |b| {
-        b.iter(|| black_box(execute(&scan_plan, setup.engine.catalog())))
+        b.iter(|| black_box(execute(&scan_plan, &setup.engine.catalog())))
     });
     g.finish();
 }
@@ -47,7 +47,7 @@ fn bench_envelope_vs_scan(c: &mut Criterion) {
 fn bench_rewrite_overhead(c: &mut Criterion) {
     // §4.2's claim: envelope lookup at optimization time is insignificant.
     let spec = table2().into_iter().find(|s| s.name == "Diabetes").expect("known dataset");
-    let mut setup =
+    let setup =
         build_setup(&spec, ModelKindTag::NaiveBayes, Scale(0.005), 7, &DeriveOptions::default());
     let mut g = c.benchmark_group("optimize/mining_query");
     g.bench_function("plan_with_envelopes", |b| {

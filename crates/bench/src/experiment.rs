@@ -77,25 +77,25 @@ pub fn run_dataset_experiment(
     seed: u64,
     derive_opts: &DeriveOptions,
 ) -> (ExperimentSetup, Vec<ExperimentRow>) {
-    let mut setup = build_setup(spec, kind, scale, seed, derive_opts);
+    let setup = build_setup(spec, kind, scale, seed, derive_opts);
     let schema = setup.engine.catalog().table(0).table.schema().clone();
 
     // Workload: one envelope query per class.
     let workload: Vec<Expr> = (0..setup.n_classes)
         .map(|k| {
-            envelope_to_expr(&schema, setup.envelope(ClassId(k as u16))).normalize(&schema)
+            envelope_to_expr(&schema, &setup.envelope(ClassId(k as u16))).normalize(&schema)
         })
         .collect();
 
     // Index tuning over the workload (the paper's Index Tuning Wizard
     // step). Envelope unions need one usable index per disjunct, so the
     // budget is generous — the drop-greedy removes anything useless.
-    let opt_opts = *setup.engine.options();
-    tune_indexes(setup.engine.catalog_mut(), 0, &workload, 48, &opt_opts);
+    let opt_opts = setup.engine.options();
+    tune_indexes(&mut setup.engine.catalog_mut(), 0, &workload, 48, &opt_opts);
 
     // Baseline: SELECT * FROM T (full scan).
     let scan_plan = setup.engine.plan_predicate(0, Expr::Const(true));
-    let scan_exec = execute(&scan_plan, setup.engine.catalog());
+    let scan_exec = execute(&scan_plan, &setup.engine.catalog());
     let scan_time = scan_exec.metrics.elapsed;
 
     let mut rows = Vec::with_capacity(setup.n_classes);
@@ -104,7 +104,7 @@ pub fn run_dataset_experiment(
         let plan = setup.engine.plan_predicate(0, expr);
         let constant_scan = matches!(plan.access, AccessPath::ConstantScan);
         let plan_changed = plan.access.changed_from_scan();
-        let exec = execute(&plan, setup.engine.catalog());
+        let exec = execute(&plan, &setup.engine.catalog());
         let env = setup.envelope(class);
         rows.push(ExperimentRow {
             dataset: spec.name.to_string(),

@@ -69,9 +69,10 @@ pub struct ExperimentSetup {
 }
 
 impl ExperimentSetup {
-    /// The precomputed envelope of one class.
-    pub fn envelope(&self, class: ClassId) -> &Envelope {
-        &self.engine.catalog().model(0).envelopes[class.index()]
+    /// The precomputed envelope of one class (cloned out of the
+    /// catalog, whose read guard cannot outlive this call).
+    pub fn envelope(&self, class: ClassId) -> Envelope {
+        self.engine.catalog().model(0).envelopes[class.index()].clone()
     }
 }
 

@@ -10,7 +10,7 @@
 use crate::expr::{ModelId, ModelOracle};
 use crate::fault::FaultInjector;
 use crate::index::SecondaryIndex;
-use crate::stats::TableStats;
+use crate::stats::{default_stats_workers, TableStats};
 use crate::table::Table;
 use crate::EngineError;
 use mpq_core::{CoreError, DeriveOptions, Envelope, EnvelopeProvider};
@@ -140,7 +140,7 @@ impl Catalog {
         if self.table_by_name(table.name()).is_some() {
             return Err(EngineError::Duplicate(table.name().to_string()));
         }
-        let stats = TableStats::build(&table);
+        let stats = TableStats::build_parallel(&table, default_stats_workers());
         self.tables.push(TableEntry { table, stats, indexes: Vec::new() });
         Ok(self.tables.len() - 1)
     }
@@ -281,7 +281,7 @@ impl Catalog {
             // Infallible after the validation pass above.
             entry.table.push_row(row)?;
         }
-        entry.stats = TableStats::build(&entry.table);
+        entry.stats = TableStats::build_parallel(&entry.table, default_stats_workers());
         let cols: Vec<Vec<AttrId>> =
             entry.indexes.iter().map(|ix| ix.columns().to_vec()).collect();
         entry.indexes = cols

@@ -1,11 +1,19 @@
 //! The engine facade: SQL in, rows + metrics out, with a plan cache that
 //! is invalidated when a referenced mining model is retrained (§4.2's
 //! correctness requirement for content-dependent plans).
+//!
+//! The engine is concurrently readable: every method takes `&self`, so
+//! one `Engine` (or an `Arc<Engine>`) can serve many client threads at
+//! once. Queries share a catalog read lock; DDL, inserts, and
+//! checkpoints take it exclusively. Lock acquisition order is fixed —
+//! catalog → optimizer options → plan cache → persist state — and every
+//! lock recovers from poisoning (a panicking query cannot wedge the
+//! engine; see DESIGN.md §8).
 
 use crate::catalog::Catalog;
 use crate::display::plan_to_string;
 use crate::error::panic_message;
-use crate::exec::{execute_guarded, ExecMetrics};
+use crate::exec::{execute_opts, ExecMetrics, ExecOptions};
 use crate::expr::{Expr, ModelId};
 use crate::fault::FaultInjector;
 use crate::guard::QueryGuard;
@@ -22,7 +30,8 @@ use mpq_types::{AttrId, Member};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Durability state of an engine opened from a directory.
 struct PersistState {
@@ -70,6 +79,11 @@ pub enum StatementOutcome {
         /// was installed with trivial `TRUE` envelopes (degraded but
         /// correct; see [`crate::ModelEntry::degraded`]).
         degraded: Option<String>,
+    },
+    /// `SET PARALLELISM n` changed the session's degree of parallelism.
+    ParallelismSet {
+        /// The degree now in effect (after clamping).
+        dop: usize,
     },
 }
 
@@ -134,14 +148,35 @@ impl std::fmt::Display for EngineHealth {
     }
 }
 
-/// A SQL-facing engine over a [`Catalog`].
+/// A SQL-facing engine over a [`Catalog`], safe to share across threads
+/// (`Engine: Send + Sync`) — queries run under a shared catalog read
+/// lock, mutations under an exclusive one.
+///
+/// Guard-returning accessors ([`Engine::catalog`],
+/// [`Engine::catalog_mut`]) hold that lock until dropped: never keep
+/// one across a call to a mutating method on the same engine from the
+/// same thread, or the write lock will wait on your own read guard.
 pub struct Engine {
-    catalog: Catalog,
-    opts: OptimizerOptions,
-    plan_cache: HashMap<String, Plan>,
-    guard: QueryGuard,
+    catalog: RwLock<Catalog>,
+    opts: RwLock<OptimizerOptions>,
+    plan_cache: Mutex<HashMap<String, Plan>>,
+    guard: RwLock<QueryGuard>,
+    /// Degree of parallelism for query execution (`SET PARALLELISM n`).
+    parallelism: AtomicUsize,
     /// `Some` when the engine was opened from a durability directory.
-    persist: Option<PersistState>,
+    persist: Mutex<Option<PersistState>>,
+}
+
+/// Compile-time proof that the engine can be shared across threads.
+#[allow(dead_code)]
+fn engine_is_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+}
+
+/// Default degree of parallelism: the cores this process may use.
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get()).clamp(1, 256)
 }
 
 impl Engine {
@@ -150,11 +185,12 @@ impl Engine {
     /// [`Engine::open`] for durability).
     pub fn new(catalog: Catalog) -> Engine {
         Engine {
-            catalog,
-            opts: OptimizerOptions::default(),
-            plan_cache: HashMap::new(),
-            guard: QueryGuard::unlimited(),
-            persist: None,
+            catalog: RwLock::new(catalog),
+            opts: RwLock::new(OptimizerOptions::default()),
+            plan_cache: Mutex::new(HashMap::new()),
+            guard: RwLock::new(QueryGuard::unlimited()),
+            parallelism: AtomicUsize::new(default_parallelism()),
+            persist: Mutex::new(None),
         }
     }
 
@@ -179,41 +215,78 @@ impl Engine {
         let Recovered { catalog, wal, next_lsn, report } =
             recovery::recover(&dir, faults)?;
         Ok(Engine {
-            catalog,
-            opts: OptimizerOptions::default(),
-            plan_cache: HashMap::new(),
-            guard: QueryGuard::unlimited(),
-            persist: Some(PersistState { dir, wal, next_lsn, report, crashed: false }),
+            catalog: RwLock::new(catalog),
+            opts: RwLock::new(OptimizerOptions::default()),
+            plan_cache: Mutex::new(HashMap::new()),
+            guard: RwLock::new(QueryGuard::unlimited()),
+            parallelism: AtomicUsize::new(default_parallelism()),
+            persist: Mutex::new(Some(PersistState {
+                dir,
+                wal,
+                next_lsn,
+                report,
+                crashed: false,
+            })),
         })
+    }
+
+    // -- poison-recovering lock helpers (a panicking writer must not
+    //    wedge every later caller; state under a recovered lock is
+    //    consistent because mutations validate before they apply) ------
+
+    fn read_catalog(&self) -> RwLockReadGuard<'_, Catalog> {
+        self.catalog.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_catalog(&self) -> RwLockWriteGuard<'_, Catalog> {
+        self.catalog.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_cache(&self) -> MutexGuard<'_, HashMap<String, Plan>> {
+        self.plan_cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_persist(&self) -> MutexGuard<'_, Option<PersistState>> {
+        self.persist.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// What recovery found when this engine was opened from a
     /// durability directory (`None` for in-memory engines).
-    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
-        self.persist.as_ref().map(|p| &p.report)
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.lock_persist().as_ref().map(|p| p.report.clone())
     }
 
     /// Logs a validated mutation (WAL append + fsync, when durable) and
     /// then applies it through the same code replay uses, so the live
-    /// state and the recovered state can never disagree.
+    /// state and the recovered state can never disagree. The caller
+    /// holds the catalog write lock, which serializes WAL order with
+    /// apply order.
     ///
     /// Callers must pre-validate: once the record is on disk it WILL be
     /// replayed, so an op that fails to apply here would poison every
     /// future open. An `Io` error means the append failed and the
     /// mutation was *not* applied.
-    fn apply_durable(&mut self, op: LogOp) -> Result<(), EngineError> {
-        self.plan_cache.clear();
-        if let Some(p) = &mut self.persist {
-            p.wal.append(p.next_lsn, &op)?;
-            p.next_lsn += 1;
+    fn apply_durable_locked(
+        &self,
+        catalog: &mut Catalog,
+        op: LogOp,
+    ) -> Result<(), EngineError> {
+        self.lock_cache().clear();
+        {
+            let mut persist = self.lock_persist();
+            if let Some(p) = persist.as_mut() {
+                p.wal.append(p.next_lsn, &op)?;
+                p.next_lsn += 1;
+            }
         }
-        recovery::apply_op(&mut self.catalog, &op)
+        recovery::apply_op(catalog, &op)
     }
 
     /// Registers a table durably (logged before it is applied when the
     /// engine was opened from a directory).
-    pub fn create_table(&mut self, table: Table) -> Result<usize, EngineError> {
-        if self.catalog.table_by_name(table.name()).is_some() {
+    pub fn create_table(&self, table: Table) -> Result<usize, EngineError> {
+        let mut catalog = self.write_catalog();
+        if catalog.table_by_name(table.name()).is_some() {
             return Err(EngineError::Duplicate(table.name().to_string()));
         }
         let columns: Vec<Vec<Member>> =
@@ -224,22 +297,22 @@ impl Engine {
             rows_per_page: table.rows_per_page() as u64,
             columns,
         };
-        self.apply_durable(op)?;
-        Ok(self.catalog.n_tables() - 1)
+        self.apply_durable_locked(&mut catalog, op)?;
+        Ok(catalog.n_tables() - 1)
     }
 
     /// Appends rows to a table durably. All-or-nothing: every row is
     /// validated against the schema before anything is logged.
     pub fn insert_rows(
-        &mut self,
+        &self,
         table: &str,
         rows: Vec<Vec<Member>>,
     ) -> Result<(), EngineError> {
-        let id = self
-            .catalog
+        let mut catalog = self.write_catalog();
+        let id = catalog
             .table_by_name(table)
             .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
-        let t = &self.catalog.table(id).table;
+        let t = &catalog.table(id).table;
         let schema = t.schema();
         for row in &rows {
             if row.len() != schema.len() {
@@ -262,75 +335,68 @@ impl Engine {
             }
         }
         let name = t.name().to_string();
-        self.apply_durable(LogOp::Insert { table: name, rows })
+        self.apply_durable_locked(&mut catalog, LogOp::Insert { table: name, rows })
     }
 
     /// Creates a secondary index durably.
-    pub fn create_index(&mut self, table: &str, columns: &[AttrId]) -> Result<(), EngineError> {
-        let (name, cols) = self.checked_index_target(table, columns)?;
-        self.apply_durable(LogOp::CreateIndex { table: name, columns: cols })
+    pub fn create_index(&self, table: &str, columns: &[AttrId]) -> Result<(), EngineError> {
+        let mut catalog = self.write_catalog();
+        let (name, cols) = checked_index_target(&catalog, table, columns)?;
+        self.apply_durable_locked(
+            &mut catalog,
+            LogOp::CreateIndex { table: name, columns: cols },
+        )
     }
 
     /// Drops a secondary index durably (a no-op if none matches).
-    pub fn drop_index(&mut self, table: &str, columns: &[AttrId]) -> Result<(), EngineError> {
-        let (name, cols) = self.checked_index_target(table, columns)?;
-        self.apply_durable(LogOp::DropIndex { table: name, columns: cols })
-    }
-
-    fn checked_index_target(
-        &self,
-        table: &str,
-        columns: &[AttrId],
-    ) -> Result<(String, Vec<u16>), EngineError> {
-        let id = self
-            .catalog
-            .table_by_name(table)
-            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
-        let t = &self.catalog.table(id).table;
-        let n = t.schema().len();
-        for a in columns {
-            if a.index() >= n {
-                return Err(EngineError::UnknownColumn(format!(
-                    "attribute #{} of table {}",
-                    a.index(),
-                    t.name()
-                )));
-            }
-        }
-        Ok((t.name().to_string(), columns.iter().map(|a| a.0).collect()))
+    pub fn drop_index(&self, table: &str, columns: &[AttrId]) -> Result<(), EngineError> {
+        let mut catalog = self.write_catalog();
+        let (name, cols) = checked_index_target(&catalog, table, columns)?;
+        self.apply_durable_locked(
+            &mut catalog,
+            LogOp::DropIndex { table: name, columns: cols },
+        )
     }
 
     /// Replaces a model's content durably from its serialized form. The
     /// form is instantiated (and thereby fully validated) *before* it is
     /// logged, so a bad document can never reach the WAL.
     pub fn retrain_durable_model(
-        &mut self,
+        &self,
         name: &str,
         stored: StoredModel,
         opts: DeriveOptions,
     ) -> Result<(), EngineError> {
-        if self.catalog.model_by_name(name).is_none() {
+        let mut catalog = self.write_catalog();
+        if catalog.model_by_name(name).is_none() {
             return Err(EngineError::UnknownModel(name.to_string()));
         }
         stored.instantiate()?;
-        self.apply_durable(LogOp::Retrain { name: name.to_string(), stored, opts })
+        self.apply_durable_locked(
+            &mut catalog,
+            LogOp::Retrain { name: name.to_string(), stored, opts },
+        )
     }
 
     /// Registers a model durably from its serialized form (the
     /// programmatic twin of `CREATE MINING MODEL`, for models trained
     /// elsewhere and shipped as PMML).
     pub fn register_durable_model(
-        &mut self,
+        &self,
         name: &str,
         stored: StoredModel,
         opts: DeriveOptions,
     ) -> Result<ModelId, EngineError> {
-        if self.catalog.model_by_name(name).is_some() {
+        let mut catalog = self.write_catalog();
+        if catalog.model_by_name(name).is_some() {
             return Err(EngineError::Duplicate(name.to_string()));
         }
         stored.instantiate()?;
-        self.apply_durable(LogOp::CreateModel { name: name.to_string(), stored, opts })?;
-        Ok(self.catalog.n_models() - 1)
+        self.apply_durable_locked(
+            &mut catalog,
+            LogOp::CreateModel { name: name.to_string(), stored, opts },
+        )?;
+        Ok(catalog.n_models() - 1)
     }
 
     /// Writes a checkpoint: the whole durable catalog as one atomically
@@ -339,18 +405,24 @@ impl Engine {
     /// two newest snapshots are retained so a corrupt newest snapshot
     /// still leaves a recoverable older generation (with its WAL).
     ///
+    /// Holds the catalog read lock for the duration, so the snapshot is
+    /// a consistent cut: concurrent queries proceed, concurrent DDL
+    /// waits.
+    ///
     /// Returns the LSN the snapshot covers. Errors if the engine is
     /// in-memory ([`Engine::new`]).
-    pub fn checkpoint(&mut self) -> Result<u64, EngineError> {
-        let p = self.persist.as_mut().ok_or_else(|| EngineError::Io {
+    pub fn checkpoint(&self) -> Result<u64, EngineError> {
+        let catalog = self.read_catalog();
+        let mut persist = self.lock_persist();
+        let p = persist.as_mut().ok_or_else(|| EngineError::Io {
             detail: "checkpoint on an in-memory engine (use Engine::open)".to_string(),
         })?;
         let last_lsn = p.next_lsn - 1;
-        snapshot::write_snapshot(&p.dir, &self.catalog, last_lsn)?;
+        snapshot::write_snapshot(&p.dir, &catalog, last_lsn)?;
         // Rotate the log unless the current segment is still empty (a
         // repeated checkpoint with no mutations in between).
         if p.wal.start_lsn() != p.next_lsn {
-            p.wal = WalWriter::create(&p.dir, p.next_lsn, self.catalog.fault_injector())?;
+            p.wal = WalWriter::create(&p.dir, p.next_lsn, catalog.fault_injector())?;
         }
         // Retain the two newest snapshots; drop older ones and every
         // segment the *older* retained snapshot no longer needs (so the
@@ -375,34 +447,46 @@ impl Engine {
     /// Drops the engine *without* writing the clean-shutdown marker,
     /// exactly as a crash would — the next [`Engine::open`] replays the
     /// log for real. Test hook for crash-safety tests.
-    pub fn simulate_crash(mut self) {
-        if let Some(p) = &mut self.persist {
+    pub fn simulate_crash(self) {
+        if let Some(p) = self.lock_persist().as_mut() {
             p.crashed = true;
         }
     }
 
     /// The guard applied to every query.
     pub fn guard(&self) -> QueryGuard {
-        self.guard
+        *self.guard.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Sets the resource guard applied to every subsequent query.
-    pub fn set_guard(&mut self, guard: QueryGuard) {
-        self.guard = guard;
+    pub fn set_guard(&self, guard: QueryGuard) {
+        *self.guard.write().unwrap_or_else(|e| e.into_inner()) = guard;
+    }
+
+    /// Degree of parallelism applied to query execution.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism.load(Ordering::Relaxed)
+    }
+
+    /// Sets the degree of parallelism (clamped to `1..=256`); `1` runs
+    /// the serial executor. Also reachable as `SET PARALLELISM n`.
+    pub fn set_parallelism(&self, dop: usize) {
+        self.parallelism.store(dop.clamp(1, 256), Ordering::Relaxed);
     }
 
     /// The catalog's fault injector (test hook; all faults off by
     /// default).
     pub fn fault_injector(&self) -> Arc<FaultInjector> {
-        self.catalog.fault_injector()
+        self.read_catalog().fault_injector()
     }
 
     /// Reports per-model envelope health plus catalog/cache counts —
     /// the operational view of degraded models.
     pub fn health(&self) -> EngineHealth {
-        let models = (0..self.catalog.n_models())
+        let catalog = self.read_catalog();
+        let models = (0..catalog.n_models())
             .map(|id| {
-                let e = self.catalog.model(id);
+                let e = catalog.model(id);
                 ModelHealth {
                     name: e.name.clone(),
                     version: e.version,
@@ -414,40 +498,45 @@ impl Engine {
             .collect();
         EngineHealth {
             models,
-            tables: self.catalog.n_tables(),
-            cached_plans: self.plan_cache.len(),
-            recovery: self.persist.as_ref().map(|p| p.report.clone()),
+            tables: catalog.n_tables(),
+            cached_plans: self.lock_cache().len(),
+            recovery: self.lock_persist().as_ref().map(|p| p.report.clone()),
         }
     }
 
-    /// Read access to the catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// Read access to the catalog. The returned guard holds a shared
+    /// lock: any number of readers (and running queries) coexist, but
+    /// DDL waits until every guard is dropped — don't hold one across a
+    /// mutating call on the same engine from the same thread.
+    pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
+        self.read_catalog()
     }
 
     /// Mutable access to the catalog (table/model registration, index
-    /// creation). Clears the plan cache — DDL invalidates plans.
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        self.plan_cache.clear();
-        &mut self.catalog
+    /// creation). Takes the exclusive lock and clears the plan cache —
+    /// DDL invalidates plans.
+    pub fn catalog_mut(&self) -> RwLockWriteGuard<'_, Catalog> {
+        let catalog = self.write_catalog();
+        self.lock_cache().clear();
+        catalog
     }
 
     /// Current optimizer options.
-    pub fn options(&self) -> &OptimizerOptions {
-        &self.opts
+    pub fn options(&self) -> OptimizerOptions {
+        *self.opts.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Replaces optimizer options (clears the plan cache).
-    pub fn set_options(&mut self, opts: OptimizerOptions) {
-        self.opts = opts;
-        self.plan_cache.clear();
+    pub fn set_options(&self, opts: OptimizerOptions) {
+        *self.opts.write().unwrap_or_else(|e| e.into_inner()) = opts;
+        self.lock_cache().clear();
     }
 
     /// Enables/disables envelope rewriting — the experiments' switch
     /// between the optimized path and the black-box baseline.
-    pub fn set_use_envelopes(&mut self, on: bool) {
-        self.opts.use_envelopes = on;
-        self.plan_cache.clear();
+    pub fn set_use_envelopes(&self, on: bool) {
+        self.opts.write().unwrap_or_else(|e| e.into_inner()).use_envelopes = on;
+        self.lock_cache().clear();
     }
 
     /// Registers a trained model (training-time envelope precomputation
@@ -456,47 +545,44 @@ impl Engine {
     /// checkpoints and does not survive recovery — use
     /// [`Engine::register_durable_model`] or SQL DDL for durability.
     pub fn register_model(
-        &mut self,
+        &self,
         name: impl Into<String>,
         model: Arc<dyn EnvelopeProvider + Send + Sync>,
         opts: DeriveOptions,
     ) -> Result<ModelId, EngineError> {
-        self.plan_cache.clear();
-        self.catalog.add_model(name, model, opts)
+        let mut catalog = self.write_catalog();
+        self.lock_cache().clear();
+        catalog.add_model(name, model, opts)
     }
 
     /// Retrains a model in place; dependent cached plans become invalid
     /// via the version check. If the previous registration was degraded,
     /// a successful derivation here clears the flag.
     pub fn retrain_model(
-        &mut self,
+        &self,
         id: ModelId,
         model: Arc<dyn EnvelopeProvider + Send + Sync>,
     ) -> Result<(), EngineError> {
-        self.catalog.retrain_model(id, model)
+        self.write_catalog().retrain_model(id, model)
     }
 
     /// Retrains with fresh derivation options — the recovery path for a
     /// degraded model (e.g. retry with a larger time budget).
     pub fn retrain_model_with(
-        &mut self,
+        &self,
         id: ModelId,
         model: Arc<dyn EnvelopeProvider + Send + Sync>,
         opts: DeriveOptions,
     ) -> Result<(), EngineError> {
-        self.catalog.retrain_model_with(id, model, opts)
+        self.write_catalog().retrain_model_with(id, model, opts)
     }
 
     /// Plans a predicate for a table (parse-free entry point used by the
     /// benchmark harness).
-    pub fn plan_predicate(&mut self, table: usize, predicate: Expr) -> Plan {
-        let schema = self.catalog.table(table).table.schema().clone();
-        let rewritten = if self.opts.use_envelopes {
-            rewrite_mining(predicate, &schema, &self.catalog)
-        } else {
-            predicate.normalize(&schema)
-        };
-        choose_plan(rewritten, table, &schema, &self.catalog, &self.opts)
+    pub fn plan_predicate(&self, table: usize, predicate: Expr) -> Plan {
+        let catalog = self.read_catalog();
+        let opts = self.options();
+        plan_with(&catalog, &opts, table, predicate)
     }
 
     /// Runs (or explains) one SQL query.
@@ -504,34 +590,49 @@ impl Engine {
     /// No panic escapes this entry point: panics from model code (or
     /// injected scorer faults) are caught and reported as
     /// [`EngineError::Internal`]; the engine remains usable afterwards.
-    pub fn query(&mut self, sql: &str) -> Result<QueryOutcome, EngineError> {
+    pub fn query(&self, sql: &str) -> Result<QueryOutcome, EngineError> {
         catch_unwind(AssertUnwindSafe(|| self.query_inner(sql))).unwrap_or_else(|payload| {
             // Conservative: a panic mid-query may have left a
             // half-built plan cached.
-            self.plan_cache.clear();
+            self.lock_cache().clear();
             Err(EngineError::Internal { detail: panic_message(&*payload) })
         })
     }
 
-    fn query_inner(&mut self, sql: &str) -> Result<QueryOutcome, EngineError> {
-        let parsed = parse(sql, &self.catalog)?;
-        let cache_key = format!("{}|env={}", sql.trim(), self.opts.use_envelopes);
-        let (plan, cached) = match self.plan_cache.get(&cache_key) {
-            Some(p) if self.plan_is_valid(p) => (p.clone(), true),
-            _ => {
-                let plan = self.plan_predicate(parsed.table, parsed.predicate.clone());
-                self.plan_cache.insert(cache_key, plan.clone());
-                (plan, false)
+    fn query_inner(&self, sql: &str) -> Result<QueryOutcome, EngineError> {
+        // Held for the whole query: readers share it, so queries run
+        // concurrently; DDL takes it exclusively, so no query ever sees
+        // a half-applied mutation.
+        let catalog = self.read_catalog();
+        let opts = self.options();
+        let parsed = parse(sql, &catalog)?;
+        let cache_key = format!("{}|env={}", sql.trim(), opts.use_envelopes);
+        let (plan, cached) = {
+            // The cache mutex is held while planning: cheap, and it
+            // guarantees a stale plan can never be inserted over a
+            // fresher one (inserts only happen under the catalog lock).
+            let mut cache = self.lock_cache();
+            match cache.get(&cache_key) {
+                Some(p) if plan_is_valid(p, &catalog) => (p.clone(), true),
+                _ => {
+                    let plan =
+                        plan_with(&catalog, &opts, parsed.table, parsed.predicate.clone());
+                    cache.insert(cache_key, plan.clone());
+                    (plan, false)
+                }
             }
         };
-        let schema = self.catalog.table(parsed.table).table.schema().clone();
-        let plan_text = plan_to_string(&plan, &schema, &self.catalog);
+        let schema = catalog.table(parsed.table).table.schema().clone();
+        let plan_text = plan_to_string(&plan, &schema, &catalog);
         let plan_changed = plan.access.changed_from_scan();
+        let dop = self.parallelism();
         if parsed.explain {
-            // EXPLAIN doubles as the operational status surface: a
-            // durable engine appends what recovery found at open time.
+            // EXPLAIN doubles as the operational status surface: the
+            // effective degree of parallelism, plus (for durable
+            // engines) what recovery found at open time.
             let mut plan_text = plan_text;
-            if let Some(p) = &self.persist {
+            plan_text.push_str(&format!("\nparallelism: {dop}"));
+            if let Some(p) = self.lock_persist().as_ref() {
                 plan_text.push_str(&format!("\n{}", p.report));
             }
             return Ok(QueryOutcome {
@@ -542,7 +643,12 @@ impl Engine {
                 cached_plan: cached,
             });
         }
-        let result = execute_guarded(&plan, &self.catalog, self.guard)?;
+        let result = execute_opts(
+            &plan,
+            &catalog,
+            self.guard(),
+            &ExecOptions::with_parallelism(dop),
+        )?;
         Ok(QueryOutcome {
             rows: result.rows,
             metrics: result.metrics,
@@ -552,60 +658,115 @@ impl Engine {
         })
     }
 
-    /// Runs one statement: a query, or DDL like `CREATE MINING MODEL m
-    /// ON t PREDICT label USING decision_tree`. Training happens here;
-    /// envelope precomputation happens at registration (§4.2).
+    /// Runs one statement: a query, DDL like `CREATE MINING MODEL m ON
+    /// t PREDICT label USING decision_tree`, or a session knob like
+    /// `SET PARALLELISM 4`. Training happens here; envelope
+    /// precomputation happens at registration (§4.2).
     ///
     /// Like [`Engine::query`], panics are caught and surfaced as
     /// [`EngineError::Internal`]. Envelope-derivation failures do not
     /// fail a `CREATE MINING MODEL`: the model lands degraded (trivial
     /// envelopes) and the outcome's `degraded` field carries the reason.
-    pub fn execute_sql(&mut self, sql: &str) -> Result<StatementOutcome, EngineError> {
+    pub fn execute_sql(&self, sql: &str) -> Result<StatementOutcome, EngineError> {
         catch_unwind(AssertUnwindSafe(|| self.execute_sql_inner(sql))).unwrap_or_else(
             |payload| {
-                self.plan_cache.clear();
+                self.lock_cache().clear();
                 Err(EngineError::Internal { detail: panic_message(&*payload) })
             },
         )
     }
 
-    fn execute_sql_inner(&mut self, sql: &str) -> Result<StatementOutcome, EngineError> {
-        match parse_statement(sql, &self.catalog)? {
+    fn execute_sql_inner(&self, sql: &str) -> Result<StatementOutcome, EngineError> {
+        let statement = {
+            let catalog = self.read_catalog();
+            parse_statement(sql, &catalog)?
+        };
+        match statement {
             Statement::Select(_) => Ok(StatementOutcome::Query(self.query_inner(sql)?)),
+            Statement::SetParallelism(dop) => {
+                self.set_parallelism(dop);
+                Ok(StatementOutcome::ParallelismSet { dop: self.parallelism() })
+            }
             Statement::CreateModel { name, table, label, clusters, algorithm } => {
-                self.plan_cache.clear();
-                if self.catalog.model_by_name(&name).is_some() {
+                let mut catalog = self.write_catalog();
+                // Re-checked under the exclusive lock: another client
+                // may have registered the name since parsing.
+                if catalog.model_by_name(&name).is_some() {
                     return Err(EngineError::Duplicate(name));
                 }
                 // Train first (fallible, nothing logged yet), then log
                 // the *trained* model — replay re-registers identical
                 // content without retraining.
                 let (_, stored, n_classes) = crate::ddl::train_model_stored(
-                    &self.catalog,
+                    &catalog,
                     table,
                     label,
                     clusters,
                     algorithm,
                 )?;
-                self.apply_durable(LogOp::CreateModel {
-                    name: name.clone(),
-                    stored,
-                    opts: DeriveOptions::default(),
-                })?;
-                let model = self.catalog.model_by_name(&name).ok_or_else(|| {
+                self.apply_durable_locked(
+                    &mut catalog,
+                    LogOp::CreateModel {
+                        name: name.clone(),
+                        stored,
+                        opts: DeriveOptions::default(),
+                    },
+                )?;
+                let model = catalog.model_by_name(&name).ok_or_else(|| {
                     EngineError::Internal { detail: "created model missing".to_string() }
                 })?;
-                let degraded = self.catalog.model(model).degraded.clone();
+                let degraded = catalog.model(model).degraded.clone();
                 Ok(StatementOutcome::ModelCreated { name, model, n_classes, degraded })
             }
         }
     }
+}
 
-    fn plan_is_valid(&self, plan: &Plan) -> bool {
-        plan.model_versions
-            .iter()
-            .all(|(m, v)| self.catalog.model(*m).version == *v)
+/// Validates an index DDL target, resolving the table name and column
+/// list (free function: callers already hold the catalog lock).
+fn checked_index_target(
+    catalog: &Catalog,
+    table: &str,
+    columns: &[AttrId],
+) -> Result<(String, Vec<u16>), EngineError> {
+    let id = catalog
+        .table_by_name(table)
+        .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
+    let t = &catalog.table(id).table;
+    let n = t.schema().len();
+    for a in columns {
+        if a.index() >= n {
+            return Err(EngineError::UnknownColumn(format!(
+                "attribute #{} of table {}",
+                a.index(),
+                t.name()
+            )));
+        }
     }
+    Ok((t.name().to_string(), columns.iter().map(|a| a.0).collect()))
+}
+
+/// Rewrites and plans a predicate against an already-locked catalog
+/// (keeping planning lock-free avoids re-entrant catalog acquisition).
+fn plan_with(
+    catalog: &Catalog,
+    opts: &OptimizerOptions,
+    table: usize,
+    predicate: Expr,
+) -> Plan {
+    let schema = catalog.table(table).table.schema().clone();
+    let rewritten = if opts.use_envelopes {
+        rewrite_mining(predicate, &schema, catalog)
+    } else {
+        predicate.normalize(&schema)
+    };
+    choose_plan(rewritten, table, &schema, catalog, opts)
+}
+
+fn plan_is_valid(plan: &Plan, catalog: &Catalog) -> bool {
+    plan.model_versions
+        .iter()
+        .all(|(m, v)| catalog.model(*m).version == *v)
 }
 
 impl Drop for Engine {
@@ -615,7 +776,8 @@ impl Drop for Engine {
     /// swallowed — the marker is an optimization hint, not a
     /// correctness requirement, and recovery handles its absence.
     fn drop(&mut self) {
-        if let Some(p) = &mut self.persist {
+        let persist = self.persist.get_mut().unwrap_or_else(|e| e.into_inner());
+        if let Some(p) = persist {
             if !p.crashed {
                 let _ = p.wal.append(p.next_lsn, &LogOp::CleanShutdown);
                 p.next_lsn += 1;
@@ -656,7 +818,7 @@ mod tests {
 
     #[test]
     fn mining_query_matches_black_box_baseline() {
-        let mut e = engine();
+        let e = engine();
         for label in ["c1", "c2", "c3"] {
             let sql = format!("SELECT * FROM t WHERE PREDICT(m) = '{label}'");
             let optimized = e.query(&sql).unwrap();
@@ -673,16 +835,21 @@ mod tests {
 
     #[test]
     fn explain_produces_plan_without_execution() {
-        let mut e = engine();
+        let e = engine();
         let out = e.query("EXPLAIN SELECT * FROM t WHERE PREDICT(m) = 'c1'").unwrap();
         assert!(out.rows.is_empty());
         assert_eq!(out.metrics.rows_examined, 0);
         assert!(out.plan.contains("residual"), "plan text: {}", out.plan);
+        assert!(
+            out.plan.contains(&format!("parallelism: {}", e.parallelism())),
+            "EXPLAIN surfaces the dop: {}",
+            out.plan
+        );
     }
 
     #[test]
     fn plan_cache_hits_and_invalidates_on_retrain() {
-        let mut e = engine();
+        let e = engine();
         let sql = "SELECT COUNT(*) FROM t WHERE PREDICT(m) = 'c1'";
         let first = e.query(sql).unwrap();
         assert!(!first.cached_plan);
@@ -697,7 +864,7 @@ mod tests {
 
     #[test]
     fn envelope_toggle_changes_plan_not_results() {
-        let mut e = engine();
+        let e = engine();
         let sql = "SELECT * FROM t WHERE PREDICT(m) = 'c3'";
         let on = e.query(sql).unwrap();
         e.set_use_envelopes(false);
@@ -709,7 +876,7 @@ mod tests {
 
     #[test]
     fn count_queries_work() {
-        let mut e = engine();
+        let e = engine();
         let out = e.query("SELECT COUNT(*) FROM t WHERE d0 = 'm0'").unwrap();
         let expected: u64 = (0..3).map(|m1| 1 + (m1 as u64) * 7).sum();
         assert_eq!(out.metrics.output_rows, expected);
@@ -717,11 +884,52 @@ mod tests {
 
     #[test]
     fn ddl_clears_plan_cache() {
-        let mut e = engine();
+        let e = engine();
         let sql = "SELECT * FROM t WHERE d0 = 'm0'";
         e.query(sql).unwrap();
-        let _ = e.catalog_mut(); // any DDL touch
+        drop(e.catalog_mut()); // any DDL touch
         let out = e.query(sql).unwrap();
         assert!(!out.cached_plan);
+    }
+
+    #[test]
+    fn set_parallelism_statement_round_trips() {
+        let e = engine();
+        match e.execute_sql("SET PARALLELISM 4").unwrap() {
+            StatementOutcome::ParallelismSet { dop } => assert_eq!(dop, 4),
+            other => panic!("expected ParallelismSet, got {other:?}"),
+        }
+        assert_eq!(e.parallelism(), 4);
+        // Queries still agree with the serial answer at dop 4.
+        let sql = "SELECT * FROM t WHERE PREDICT(m) = 'c2'";
+        let parallel = e.query(sql).unwrap();
+        e.set_parallelism(1);
+        let serial = e.query(sql).unwrap();
+        assert_eq!(parallel.rows, serial.rows);
+        assert_eq!(parallel.metrics.rows_examined, serial.metrics.rows_examined);
+        // Out-of-range values clamp instead of erroring.
+        e.set_parallelism(0);
+        assert_eq!(e.parallelism(), 1);
+        e.set_parallelism(100_000);
+        assert_eq!(e.parallelism(), 256);
+        // And the knob is visible in EXPLAIN.
+        e.set_parallelism(8);
+        let out = e.query("EXPLAIN SELECT * FROM t WHERE d0 = 'm0'").unwrap();
+        assert!(out.plan.contains("parallelism: 8"), "plan: {}", out.plan);
+    }
+
+    #[test]
+    fn engine_is_shareable_across_scoped_threads() {
+        let e = engine();
+        let sql = "SELECT * FROM t WHERE PREDICT(m) = 'c1'";
+        let expected = e.query(sql).unwrap().rows;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let out = e.query(sql).unwrap();
+                    assert_eq!(out.rows, expected);
+                });
+            }
+        });
     }
 }

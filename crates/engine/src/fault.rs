@@ -10,22 +10,44 @@
 //! The injector is shared via `Arc` between the [`crate::Engine`], its
 //! catalog, and the test harness, so tests can arm faults mid-session.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Sentinel for "no morsel targeted" in [`FaultInjector::scorer_panic_morsel`].
+const NO_MORSEL: usize = usize::MAX;
 
 /// Switchboard of injectable faults. All flags default to off.
 ///
 /// Intended for tests; arming faults in production turns healthy queries
 /// into fallbacks and typed errors.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FaultInjector {
     index_probe_failure: AtomicBool,
     scorer_nan: AtomicBool,
     scorer_panic: AtomicBool,
+    /// Morsel index whose worker should panic mid-scan; `NO_MORSEL`
+    /// when disarmed.
+    scorer_panic_morsel: AtomicUsize,
     derive_timeout: AtomicBool,
     derive_grid_too_large: AtomicBool,
     wal_torn_write: AtomicBool,
     wal_bit_flip: AtomicBool,
     wal_short_read: AtomicBool,
+}
+
+impl Default for FaultInjector {
+    fn default() -> FaultInjector {
+        FaultInjector {
+            index_probe_failure: AtomicBool::new(false),
+            scorer_nan: AtomicBool::new(false),
+            scorer_panic: AtomicBool::new(false),
+            scorer_panic_morsel: AtomicUsize::new(NO_MORSEL),
+            derive_timeout: AtomicBool::new(false),
+            derive_grid_too_large: AtomicBool::new(false),
+            wal_torn_write: AtomicBool::new(false),
+            wal_bit_flip: AtomicBool::new(false),
+            wal_short_read: AtomicBool::new(false),
+        }
+    }
 }
 
 impl FaultInjector {
@@ -68,6 +90,22 @@ impl FaultInjector {
     /// True when scorers should panic.
     pub fn scorer_panic_armed(&self) -> bool {
         self.scorer_panic.load(Ordering::Relaxed)
+    }
+
+    /// Arm a scorer panic inside the worker that picks up morsel
+    /// `morsel` of the next parallel execution (`None` disarms). Unlike
+    /// [`FaultInjector::set_scorer_panic`], which fails the first model
+    /// invocation anywhere, this targets one specific partition so tests
+    /// can prove a panic on a worker thread — not the coordinating
+    /// thread — surfaces as a typed error. Serial executions ignore it.
+    pub fn set_scorer_panic_on_morsel(&self, morsel: Option<usize>) {
+        self.scorer_panic_morsel.store(morsel.unwrap_or(NO_MORSEL), Ordering::Relaxed);
+    }
+
+    /// The morsel index armed to panic, if any.
+    pub fn scorer_panic_morsel(&self) -> Option<usize> {
+        let m = self.scorer_panic_morsel.load(Ordering::Relaxed);
+        (m != NO_MORSEL).then_some(m)
     }
 
     /// Arm/disarm forced derivation timeouts. Armed, envelope
@@ -151,6 +189,7 @@ impl FaultInjector {
         self.set_index_probe_failure(false);
         self.set_scorer_nan(false);
         self.set_scorer_panic(false);
+        self.set_scorer_panic_on_morsel(None);
         self.set_derive_timeout(false);
         self.set_derive_grid_too_large(false);
         self.set_wal_torn_write(false);
@@ -163,6 +202,7 @@ impl FaultInjector {
         self.index_probe_failure_armed()
             || self.scorer_nan_armed()
             || self.scorer_panic_armed()
+            || self.scorer_panic_morsel().is_some()
             || self.derive_timeout_armed()
             || self.derive_grid_too_large_armed()
             || self.wal_torn_write_armed()
@@ -186,6 +226,21 @@ mod tests {
         assert!(f.derive_timeout_armed());
         assert!(!f.scorer_nan_armed());
         f.reset();
+        assert!(!f.any_armed());
+    }
+
+    #[test]
+    fn morsel_targeted_panic_round_trips() {
+        let f = FaultInjector::new();
+        assert_eq!(f.scorer_panic_morsel(), None);
+        f.set_scorer_panic_on_morsel(Some(3));
+        assert_eq!(f.scorer_panic_morsel(), Some(3));
+        assert!(f.any_armed());
+        f.set_scorer_panic_on_morsel(None);
+        assert_eq!(f.scorer_panic_morsel(), None);
+        f.set_scorer_panic_on_morsel(Some(0));
+        f.reset();
+        assert_eq!(f.scorer_panic_morsel(), None);
         assert!(!f.any_armed());
     }
 }

@@ -93,17 +93,76 @@ pub struct GuardHeadroom {
     pub time_remaining_ms: Option<u64>,
 }
 
+/// Time source for deadline checks: the wall clock anchored at guard
+/// creation, or (in tests) a virtual nanosecond counter advanced
+/// explicitly — so deadline tests are deterministic under arbitrary CI
+/// load instead of sleeping real time.
+#[derive(Debug, Clone)]
+enum Clock {
+    /// Wall clock anchored at guard creation.
+    Real(Instant),
+    /// Virtual elapsed nanoseconds, advanced explicitly by tests.
+    #[cfg(test)]
+    Virtual(std::sync::Arc<std::sync::atomic::AtomicU64>),
+}
+
+impl Clock {
+    fn elapsed(&self) -> Duration {
+        match self {
+            Clock::Real(t0) => t0.elapsed(),
+            #[cfg(test)]
+            Clock::Virtual(ns) => {
+                Duration::from_nanos(ns.load(std::sync::atomic::Ordering::Relaxed))
+            }
+        }
+    }
+}
+
 /// Live guard state for one execution: the configured budgets plus the
-/// start instant for deadline checks.
-#[derive(Debug, Clone, Copy)]
+/// clock for deadline checks. Shared by reference across the parallel
+/// executor's workers (budget counters live in the metrics, not here).
+#[derive(Debug, Clone)]
 pub(crate) struct GuardState {
     guard: QueryGuard,
-    started: Instant,
+    clock: Clock,
 }
 
 impl GuardState {
     pub(crate) fn new(guard: QueryGuard) -> GuardState {
-        GuardState { guard, started: Instant::now() }
+        GuardState { guard, clock: Clock::Real(Instant::now()) }
+    }
+
+    /// A guard state reading elapsed time from `ns` (virtual
+    /// nanoseconds) instead of the wall clock. Test-only: lets deadline
+    /// tests advance time deterministically.
+    #[cfg(test)]
+    fn with_virtual_clock(
+        guard: QueryGuard,
+        ns: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    ) -> GuardState {
+        GuardState { guard, clock: Clock::Virtual(ns) }
+    }
+
+    /// Elapsed time according to this guard's clock.
+    pub(crate) fn elapsed(&self) -> Duration {
+        self.clock.elapsed()
+    }
+
+    /// Checks only the wall-clock budget. The parallel executor's
+    /// workers use this between the exact atomic budget charges — a
+    /// deadline probe needs no counters, just the clock.
+    pub(crate) fn check_deadline(&self) -> Result<(), EngineError> {
+        if let Some(budget) = self.guard.deadline {
+            let elapsed = self.elapsed();
+            if elapsed > budget {
+                return Err(EngineError::BudgetExceeded {
+                    resource: GuardResource::WallClock,
+                    spent: elapsed.as_millis() as u64,
+                    limit: budget.as_millis() as u64,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Checks every configured budget against the metrics so far.
@@ -137,17 +196,7 @@ impl GuardState {
                 });
             }
         }
-        if let Some(budget) = g.deadline {
-            let elapsed = self.started.elapsed();
-            if elapsed > budget {
-                return Err(EngineError::BudgetExceeded {
-                    resource: GuardResource::WallClock,
-                    spent: elapsed.as_millis() as u64,
-                    limit: budget.as_millis() as u64,
-                });
-            }
-        }
-        Ok(())
+        self.check_deadline()
     }
 
     /// Headroom left at end of execution.
@@ -164,7 +213,7 @@ impl GuardState {
                 .max_model_invocations
                 .map(|l| l.saturating_sub(m.model_invocations)),
             time_remaining_ms: g.deadline.map(|d| {
-                d.saturating_sub(self.started.elapsed()).as_millis() as u64
+                d.saturating_sub(self.elapsed()).as_millis() as u64
             }),
         }
     }
@@ -222,15 +271,42 @@ mod tests {
 
     #[test]
     fn zero_deadline_trips() {
-        let st = GuardState::new(QueryGuard::default().with_deadline(Duration::ZERO));
-        std::thread::sleep(Duration::from_millis(1));
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        // Virtual clock: no sleeping, no dependence on scheduler load.
+        let ns = Arc::new(AtomicU64::new(0));
+        let st = GuardState::with_virtual_clock(
+            QueryGuard::default().with_deadline(Duration::ZERO),
+            Arc::clone(&ns),
+        );
         let m = ExecMetrics::default();
+        assert!(st.check(&m).is_ok(), "nothing elapsed yet");
+        ns.store(1_000_000, Ordering::Relaxed); // advance 1ms
         match st.check(&m) {
-            Err(EngineError::BudgetExceeded { resource, .. }) => {
+            Err(EngineError::BudgetExceeded { resource, spent, limit }) => {
                 assert_eq!(resource, GuardResource::WallClock);
+                assert_eq!((spent, limit), (1, 0), "exactly the virtual 1ms");
             }
             other => panic!("expected BudgetExceeded, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deadline_headroom_is_exact_under_virtual_clock() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let ns = Arc::new(AtomicU64::new(0));
+        let st = GuardState::with_virtual_clock(
+            QueryGuard::default().with_deadline(Duration::from_millis(100)),
+            Arc::clone(&ns),
+        );
+        let m = ExecMetrics::default();
+        ns.store(40_000_000, Ordering::Relaxed); // 40ms of virtual work
+        assert!(st.check(&m).is_ok());
+        assert_eq!(st.headroom(&m).time_remaining_ms, Some(60));
+        ns.store(101_000_000, Ordering::Relaxed); // past the budget
+        assert!(st.check(&m).is_err());
+        assert_eq!(st.headroom(&m).time_remaining_ms, Some(0), "saturates at zero");
     }
 
     #[test]

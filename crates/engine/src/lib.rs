@@ -46,7 +46,7 @@ pub use display::{expr_to_sql, plan_to_string};
 pub use ddl::{create_model, labeled_view, ProjectedModel};
 pub use engine::{Engine, EngineHealth, ModelHealth, QueryOutcome, StatementOutcome};
 pub use error::{EngineError, GuardResource};
-pub use exec::{execute, execute_guarded, ExecMetrics, ExecResult};
+pub use exec::{execute, execute_guarded, execute_opts, ExecMetrics, ExecOptions, ExecResult};
 pub use fault::FaultInjector;
 pub use guard::{GuardHeadroom, QueryGuard};
 pub use expr::{envelope_to_expr, region_to_expr, Atom, AtomPred, Expr, MiningPred, ModelId, ModelOracle};

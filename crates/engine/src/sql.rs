@@ -73,6 +73,9 @@ pub enum Statement {
         /// The algorithm.
         algorithm: ModelAlgorithm,
     },
+    /// `SET PARALLELISM <n>`: the session knob for the degree of
+    /// parallelism query execution uses (1 = serial).
+    SetParallelism(usize),
 }
 
 // ---------------------------------------------------------------------
@@ -287,7 +290,26 @@ impl<'a> Parser<'a> {
         if self.eat_kw("CREATE") {
             return self.create_model();
         }
+        if self.eat_kw("SET") {
+            return self.set_parallelism();
+        }
         Ok(Statement::Select(self.query()?))
+    }
+
+    fn set_parallelism(&mut self) -> Result<Statement, EngineError> {
+        self.expect_kw("PARALLELISM")?;
+        let dop = match self.bump() {
+            Some(Tok::Num(n)) if n >= 1.0 && n.fract() == 0.0 => n as usize,
+            other => {
+                return Err(self.err(format!(
+                    "expected a positive integer degree of parallelism, got {other:?}"
+                )))
+            }
+        };
+        if self.pos != self.toks.len() {
+            return Err(self.err("trailing input after statement"));
+        }
+        Ok(Statement::SetParallelism(dop))
     }
 
     fn create_model(&mut self) -> Result<Statement, EngineError> {
@@ -618,6 +640,25 @@ mod tests {
         // applied to `people` in these parse tests).
         cat.add_model("m", Arc::new(paper_table1_model()), DeriveOptions::default()).unwrap();
         cat
+    }
+
+    #[test]
+    fn parses_set_parallelism() {
+        let cat = catalog();
+        assert_eq!(
+            parse_statement("SET PARALLELISM 4", &cat).unwrap(),
+            Statement::SetParallelism(4)
+        );
+        assert_eq!(
+            parse_statement("set parallelism 1", &cat).unwrap(),
+            Statement::SetParallelism(1)
+        );
+        // Zero, fractional, missing, and trailing input all reject.
+        assert!(parse_statement("SET PARALLELISM 0", &cat).is_err());
+        assert!(parse_statement("SET PARALLELISM 2.5", &cat).is_err());
+        assert!(parse_statement("SET PARALLELISM", &cat).is_err());
+        assert!(parse_statement("SET PARALLELISM 2 4", &cat).is_err());
+        assert!(parse_statement("SET SOMETHING 2", &cat).is_err());
     }
 
     #[test]

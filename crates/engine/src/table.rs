@@ -161,6 +161,30 @@ impl Table {
         row as usize / self.rows_per_page
     }
 
+    /// Splits the heap into page-aligned morsels for parallel scans.
+    ///
+    /// Every range starts on a page boundary and covers whole pages
+    /// (the tail may be short), so per-worker progressive page
+    /// accounting sums to exactly [`Table::n_pages`] — no page is
+    /// shared between two morsels. Sizing targets at least `4 ×
+    /// workers` morsels when the heap has that many pages, so the
+    /// executor's atomic dispatcher can rebalance skewed per-morsel
+    /// costs; smaller heaps fall back to one-page morsels.
+    pub fn morsels(&self, workers: usize) -> Vec<std::ops::Range<RowId>> {
+        let n = self.n_rows as RowId;
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = workers.max(1);
+        let target_rows = (self.n_rows / (workers * 4)).max(1);
+        let pages = (target_rows / self.rows_per_page).max(1);
+        let step = pages * self.rows_per_page;
+        (0..self.n_rows)
+            .step_by(step)
+            .map(|s| s as RowId..((s + step) as RowId).min(n))
+            .collect()
+    }
+
     /// Value of column `d` at `row`.
     #[inline]
     pub fn cell(&self, row: RowId, d: usize) -> Member {
@@ -228,6 +252,31 @@ mod tests {
         assert_eq!(t.page_of(3), 0);
         assert_eq!(t.page_of(4), 1);
         assert_eq!(t.page_of(99), 24);
+    }
+
+    #[test]
+    fn morsels_partition_rows_on_page_boundaries() {
+        // 4 rows/page over 100 rows = 25 pages.
+        let t = Table::with_page_bytes("t", &dataset(), 256);
+        for workers in [1usize, 2, 4, 8, 64] {
+            let ms = t.morsels(workers);
+            // A disjoint cover of 0..n_rows, in order.
+            let mut next = 0;
+            for m in &ms {
+                assert_eq!(m.start, next, "contiguous at {workers} workers");
+                assert!(m.end > m.start);
+                assert_eq!(m.start as usize % t.rows_per_page(), 0, "page-aligned start");
+                next = m.end;
+            }
+            assert_eq!(next, 100);
+            if (workers * 4) <= t.n_pages() {
+                assert!(ms.len() >= workers * 4, "{workers} workers got {} morsels", ms.len());
+            }
+        }
+        // Degenerate sizes.
+        let empty = Table::from_dataset("e", &Dataset::new(dataset().schema().clone()));
+        assert!(empty.morsels(4).is_empty());
+        assert_eq!(Table::with_page_bytes("t", &dataset(), 1 << 20).morsels(8).len(), 1);
     }
 
     #[test]

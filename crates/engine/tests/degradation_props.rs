@@ -77,7 +77,7 @@ proptest! {
     fn degraded_model_rows_equal_unoptimized_baseline(
         extra in proptest::collection::vec((0u16..3, 0u16..2, 0u16..2), 20..60),
     ) {
-        let mut e = engine_with_rows(&extra);
+        let e = engine_with_rows(&extra);
         // Force every derivation to fail: all models land degraded.
         e.fault_injector().set_derive_timeout(true);
         for (name, table, clause) in ALGORITHMS {

@@ -65,7 +65,7 @@ fn baseline_rows(e: &mut Engine, sql: &str) -> Vec<u32> {
 
 #[test]
 fn scorer_panic_becomes_typed_internal_error() {
-    let mut e = engine();
+    let e = engine();
     let sql = "SELECT * FROM t WHERE PREDICT(m) = 'c1'";
     let healthy = e.query(sql).unwrap().rows;
 
@@ -85,7 +85,7 @@ fn scorer_panic_becomes_typed_internal_error() {
 
 #[test]
 fn scorer_nan_becomes_typed_internal_error() {
-    let mut e = engine();
+    let e = engine();
     let sql = "SELECT * FROM t WHERE PREDICT(m) = 'c2'";
     e.fault_injector().set_scorer_nan(true);
     match e.query(sql) {
@@ -115,7 +115,7 @@ fn index_failure_falls_back_to_equivalent_scan() {
 
 #[test]
 fn derivation_timeout_degrades_create_model_visibly() {
-    let mut e = ddl_engine();
+    let e = ddl_engine();
     e.fault_injector().set_derive_timeout(true);
 
     let out = e
@@ -168,8 +168,8 @@ fn grid_too_large_fault_degrades_registration() {
         .expect("registration must survive grid failure");
     e.fault_injector().reset();
 
-    let entry = e.catalog().model(id);
-    let reason = entry.degraded.as_deref().unwrap();
+    let reason =
+        e.catalog().model(id).degraded.clone().expect("grid fault must degrade");
     assert!(reason.contains("grid"), "reason: {reason}");
 
     // The degraded model still answers exactly.
@@ -181,9 +181,38 @@ fn grid_too_large_fault_degrades_registration() {
 }
 
 #[test]
+fn morsel_targeted_scorer_panic_only_hits_parallel_workers() {
+    let e = engine();
+    e.set_use_envelopes(false); // full scan → the residual runs per morsel
+    let sql = "SELECT * FROM t WHERE PREDICT(m) = 'c1'";
+    let healthy = e.query(sql).unwrap().rows;
+
+    e.fault_injector().set_scorer_panic_on_morsel(Some(1));
+
+    // The serial executor has no morsels: the targeted fault never fires.
+    e.set_parallelism(1);
+    assert_eq!(e.query(sql).unwrap().rows, healthy);
+
+    // The worker that picks up morsel 1 panics; the panic surfaces as a
+    // typed error naming the morsel — not a poisoned lock or an abort.
+    e.set_parallelism(4);
+    match e.query(sql) {
+        Err(EngineError::Internal { detail }) => {
+            assert!(detail.contains("injected fault"), "detail: {detail}");
+            assert!(detail.contains("morsel 1"), "detail: {detail}");
+        }
+        other => panic!("expected Internal error, got {other:?}"),
+    }
+
+    // The engine stays usable once the fault clears — still parallel.
+    e.fault_injector().reset();
+    assert_eq!(e.query(sql).unwrap().rows, healthy);
+}
+
+#[test]
 fn guard_trips_each_resource_with_typed_error() {
     let trip = |guard: QueryGuard, sql: &str, envelopes: bool| -> EngineError {
-        let mut e = engine();
+        let e = engine();
         e.set_use_envelopes(envelopes);
         e.set_guard(guard);
         e.query(sql).expect_err("guard must trip")
@@ -218,7 +247,7 @@ fn guard_trips_each_resource_with_typed_error() {
 
 #[test]
 fn guard_headroom_recorded_and_generous_guard_passes() {
-    let mut e = engine();
+    let e = engine();
     e.set_guard(
         QueryGuard::default()
             .with_max_rows_examined(1_000_000)
@@ -234,7 +263,7 @@ fn guard_headroom_recorded_and_generous_guard_passes() {
 
 #[test]
 fn budget_breach_returns_no_partial_rows() {
-    let mut e = engine();
+    let e = engine();
     e.set_guard(QueryGuard::default().with_max_rows_examined(5));
     e.set_use_envelopes(false);
     // A breach is an Err; QueryOutcome (and thus any row set) is never

@@ -42,7 +42,7 @@ fn demo_table(name: &str) -> Table {
 /// Builds a populated durable engine: table, rows, index, and a trained
 /// decision-tree model created through SQL DDL.
 fn seed_engine(dir: &PathBuf) -> Engine {
-    let mut e = Engine::open(dir).expect("open fresh dir");
+    let e = Engine::open(dir).expect("open fresh dir");
     e.create_table(demo_table("t")).unwrap();
     e.insert_rows("t", vec![vec![0, 0, 0], vec![2, 2, 1]]).unwrap();
     e.create_index("t", &[mpq_types::AttrId(0)]).unwrap();
@@ -58,12 +58,12 @@ const QUERY: &str = "SELECT * FROM t WHERE PREDICT(m) = 'hi'";
 #[test]
 fn state_survives_crash_via_wal_replay() {
     let dir = temp_dir("replay");
-    let mut e = seed_engine(&dir);
+    let e = seed_engine(&dir);
     let before = e.query(QUERY).unwrap().rows;
     assert!(!before.is_empty());
     e.simulate_crash();
 
-    let mut e = Engine::open(&dir).unwrap();
+    let e = Engine::open(&dir).unwrap();
     let report = e.recovery_report().unwrap().clone();
     assert_eq!(report.snapshot_lsn, 0, "no checkpoint was taken");
     assert_eq!(report.wal_records_replayed, 4, "table, insert, index, model");
@@ -80,12 +80,12 @@ fn state_survives_crash_via_wal_replay() {
 #[test]
 fn clean_shutdown_skips_replay_after_checkpoint() {
     let dir = temp_dir("clean");
-    let mut e = seed_engine(&dir);
+    let e = seed_engine(&dir);
     let before = e.query(QUERY).unwrap().rows;
     e.checkpoint().unwrap();
     drop(e); // graceful: writes the clean-shutdown marker
 
-    let mut e = Engine::open(&dir).unwrap();
+    let e = Engine::open(&dir).unwrap();
     let report = e.recovery_report().unwrap().clone();
     assert!(report.clean_shutdown, "graceful exit must be visible");
     assert_eq!(report.wal_records_replayed, 0, "checkpoint absorbed everything");
@@ -103,14 +103,14 @@ fn clean_shutdown_skips_replay_after_checkpoint() {
 #[test]
 fn checkpoint_plus_tail_replay() {
     let dir = temp_dir("tail");
-    let mut e = seed_engine(&dir);
+    let e = seed_engine(&dir);
     e.checkpoint().unwrap();
     e.insert_rows("t", vec![vec![1, 1, 0]]).unwrap();
     e.drop_index("t", &[mpq_types::AttrId(0)]).unwrap();
     let before = e.query(QUERY).unwrap().rows;
     e.simulate_crash();
 
-    let mut e = Engine::open(&dir).unwrap();
+    let e = Engine::open(&dir).unwrap();
     let report = e.recovery_report().unwrap().clone();
     assert!(report.snapshot_lsn > 0);
     assert_eq!(report.wal_records_replayed, 2, "only the post-checkpoint tail");
@@ -122,7 +122,7 @@ fn checkpoint_plus_tail_replay() {
 #[test]
 fn corrupt_newest_snapshot_falls_back_to_older() {
     let dir = temp_dir("snapfall");
-    let mut e = seed_engine(&dir);
+    let e = seed_engine(&dir);
     e.checkpoint().unwrap();
     e.insert_rows("t", vec![vec![1, 0, 0]]).unwrap();
     let second = e.checkpoint().unwrap();
@@ -136,7 +136,7 @@ fn corrupt_newest_snapshot_falls_back_to_older() {
     bytes[mid] ^= 0x40;
     std::fs::write(&snap, bytes).unwrap();
 
-    let mut e = Engine::open(&dir).unwrap();
+    let e = Engine::open(&dir).unwrap();
     let report = e.recovery_report().unwrap().clone();
     assert_eq!(report.snapshots_skipped, 1);
     assert!(report.corruption.is_some());
@@ -150,7 +150,7 @@ fn corrupt_newest_snapshot_falls_back_to_older() {
 #[test]
 fn torn_write_rejects_mutation_and_keeps_memory_consistent() {
     let dir = temp_dir("torn");
-    let mut e = seed_engine(&dir);
+    let e = seed_engine(&dir);
     let rows_before = e.catalog().table(0).table.n_rows();
     e.fault_injector().set_wal_torn_write(true);
     let err = e.insert_rows("t", vec![vec![0, 1, 0]]).unwrap_err();
@@ -178,7 +178,7 @@ fn torn_write_rejects_mutation_and_keeps_memory_consistent() {
 #[test]
 fn silent_bit_flip_caught_at_next_open() {
     let dir = temp_dir("flip");
-    let mut e = seed_engine(&dir);
+    let e = seed_engine(&dir);
     e.fault_injector().set_wal_bit_flip(true);
     // The damaged append *succeeds* — the flip happened after the CRC.
     e.insert_rows("t", vec![vec![0, 1, 0]]).unwrap();
@@ -217,7 +217,7 @@ fn short_reads_shrink_the_recovered_prefix() {
 #[test]
 fn transient_models_do_not_survive() {
     let dir = temp_dir("transient");
-    let mut e = Engine::open(&dir).unwrap();
+    let e = Engine::open(&dir).unwrap();
     e.create_table(demo_table("t")).unwrap();
     e.register_model("ephemeral", Arc::new(mpq_core::paper_table1_model()), DeriveOptions::default())
         .unwrap();
@@ -233,7 +233,7 @@ fn transient_models_do_not_survive() {
 #[test]
 fn durable_model_registration_and_retrain_survive() {
     let dir = temp_dir("retrain");
-    let mut e = seed_engine(&dir);
+    let e = seed_engine(&dir);
     // Reuse the DDL-trained model's serialized form as shipped PMML.
     let stored = e.catalog().model(0).stored.clone().unwrap();
     e.register_durable_model("m2", stored.clone(), DeriveOptions::default()).unwrap();
@@ -249,7 +249,7 @@ fn durable_model_registration_and_retrain_survive() {
 
     // A checkpoint collapses that history: snapshot-loaded models start
     // back at version 1 (plan caches never outlive a process anyway).
-    let mut e = e;
+    let e = e;
     e.checkpoint().unwrap();
     drop(e);
     let e = Engine::open(&dir).unwrap();
@@ -263,7 +263,7 @@ fn health_and_explain_surface_recovery_status() {
     let e = seed_engine(&dir);
     e.simulate_crash();
 
-    let mut e = Engine::open(&dir).unwrap();
+    let e = Engine::open(&dir).unwrap();
     let health = e.health();
     let rec = health.recovery.as_ref().expect("durable engine reports recovery");
     assert_eq!(rec.wal_records_replayed, 4);
@@ -283,7 +283,7 @@ fn health_and_explain_surface_recovery_status() {
 #[test]
 fn checkpoint_prunes_old_generations() {
     let dir = temp_dir("prune");
-    let mut e = seed_engine(&dir);
+    let e = seed_engine(&dir);
     for round in 0..4u16 {
         e.insert_rows("t", vec![vec![round % 3, 0, 0]]).unwrap();
         e.checkpoint().unwrap();
@@ -310,7 +310,7 @@ fn open_on_garbage_directory_degrades_not_panics() {
     std::fs::write(dir.join("snap-00000000000000000009.snap"), b"junk").unwrap();
     std::fs::write(dir.join("snap-00000000000000000009.snap.tmp"), b"leftover").unwrap();
 
-    let mut e = Engine::open(&dir).unwrap();
+    let e = Engine::open(&dir).unwrap();
     let report = e.recovery_report().unwrap().clone();
     assert_eq!(report.snapshots_skipped, 1);
     assert!(report.corruption.is_some());
@@ -320,4 +320,62 @@ fn open_on_garbage_directory_degrades_not_panics() {
     e.simulate_crash();
     let e = Engine::open(&dir).unwrap();
     assert_eq!(e.catalog().n_tables(), 1);
+}
+
+/// Satellite stress test: eight reader threads run mixed queries (point,
+/// mining, COUNT, EXPLAIN — at parallelism 2, so worker pools spin up
+/// under contention) against one shared engine while a writer thread
+/// interleaves durable inserts with checkpoints. Nothing may deadlock,
+/// no read may tear, and a crash afterwards must replay every write.
+#[test]
+fn concurrent_readers_and_durable_writer_stay_consistent() {
+    let dir = temp_dir("stress");
+    let e = seed_engine(&dir);
+    e.checkpoint().unwrap();
+    e.set_parallelism(2);
+
+    const READERS: usize = 8;
+    const ROUNDS: usize = 30;
+    let before = e.catalog().table(0).table.n_rows();
+
+    std::thread::scope(|s| {
+        for r in 0..READERS {
+            let e = &e;
+            s.spawn(move || {
+                let queries = [
+                    QUERY,
+                    "SELECT * FROM t WHERE x <= 2",
+                    "SELECT COUNT(*) FROM t WHERE PREDICT(m) = 'lo' OR y > 4",
+                    "EXPLAIN SELECT * FROM t WHERE PREDICT(m) = 'hi'",
+                ];
+                for i in 0..ROUNDS {
+                    let sql = queries[(r + i) % queries.len()];
+                    // Concurrent inserts legally change the row set;
+                    // what must hold is that every read sees *some*
+                    // consistent snapshot and never errors or hangs.
+                    e.query(sql).expect(sql);
+                }
+            });
+        }
+        let e = &e;
+        s.spawn(move || {
+            for i in 0..ROUNDS {
+                let row = vec![(i % 3) as u16, ((i / 3) % 3) as u16, (i % 2) as u16];
+                e.insert_rows("t", vec![row]).expect("durable insert");
+                if i % 5 == 4 {
+                    e.checkpoint().expect("checkpoint under read load");
+                }
+            }
+        });
+    });
+
+    // Every write landed, and recovery replays to the identical state.
+    let total = e.catalog().table(0).table.n_rows();
+    assert_eq!(total, before + ROUNDS);
+    let healthy = e.query(QUERY).unwrap().rows;
+    e.simulate_crash();
+    let r = Engine::open(&dir).expect("reopen after crash");
+    assert_eq!(r.catalog().table(0).table.n_rows(), total);
+    assert_eq!(r.query(QUERY).unwrap().rows, healthy);
+    std::fs::remove_dir_all(&dir).ok();
 }

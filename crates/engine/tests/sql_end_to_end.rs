@@ -35,8 +35,9 @@ fn build_engine() -> Engine {
 
 /// Brute-force evaluation of the same SQL semantics.
 fn brute_force(engine: &Engine, pred: impl Fn(&[u16], &dyn Fn(&[u16]) -> ClassId) -> bool) -> Vec<u32> {
-    let table = &engine.catalog().table(0).table;
-    let model = &engine.catalog().model(0).model;
+    let catalog = engine.catalog();
+    let table = &catalog.table(0).table;
+    let model = &catalog.model(0).model;
     let predict = |row: &[u16]| model.predict(row);
     (0..table.n_rows() as u32)
         .filter(|&r| pred(&table.row(r), &predict))
@@ -45,7 +46,7 @@ fn brute_force(engine: &Engine, pred: impl Fn(&[u16], &dyn Fn(&[u16]) -> ClassId
 
 #[test]
 fn column_only_queries_match_brute_force() {
-    let mut e = build_engine();
+    let e = build_engine();
     #[allow(clippy::type_complexity)]
     let cases: Vec<(&str, Box<dyn Fn(&[u16], &dyn Fn(&[u16]) -> ClassId) -> bool>)> = vec![
         ("SELECT * FROM customers WHERE age <= 30", Box::new(|r, _| r[0] == 0)),
@@ -72,7 +73,7 @@ fn column_only_queries_match_brute_force() {
 
 #[test]
 fn mining_queries_match_brute_force() {
-    let mut e = build_engine();
+    let e = build_engine();
     let out = e.query("SELECT * FROM customers WHERE PREDICT(tier) = 'premium'").unwrap();
     let expected = brute_force(&e, |r, predict| predict(r) == ClassId(1));
     assert_eq!(out.rows, expected);
@@ -94,7 +95,7 @@ fn mining_queries_match_brute_force() {
 fn between_boundary_semantics() {
     // BETWEEN's low end snaps inclusively into the bin containing the
     // constant; exact cut points keep envelope round-trips lossless.
-    let mut e = build_engine();
+    let e = build_engine();
     let a = e.query("SELECT COUNT(*) FROM customers WHERE age BETWEEN 30 AND 70").unwrap();
     let b = e.query("SELECT COUNT(*) FROM customers WHERE age <= 70").unwrap();
     // (member 0 contains values <= 30, so the inclusive-low snap makes
@@ -107,7 +108,7 @@ fn residual_orders_model_invocations_last() {
     // Predicate migration: the mining predicate must be evaluated only
     // on rows surviving the cheap predicates, regardless of the order
     // the query wrote them in.
-    let mut e = build_engine();
+    let e = build_engine();
     let a = e
         .query("SELECT * FROM customers WHERE PREDICT(tier) = 'premium' AND city = 'oslo'")
         .unwrap();
@@ -146,7 +147,7 @@ fn create_mining_model_via_sql() {
     }
     let mut cat = Catalog::new();
     cat.add_table(Table::from_dataset("t", &ds)).unwrap();
-    let mut e = Engine::new(cat);
+    let e = Engine::new(cat);
 
     let out = e
         .execute_sql("CREATE MINING MODEL risk ON t PREDICT outcome USING decision_tree")
@@ -175,7 +176,7 @@ fn create_mining_model_via_sql() {
 
 #[test]
 fn ddl_parse_errors_are_specific() {
-    let mut e = build_engine();
+    let e = build_engine();
     assert!(e.execute_sql("CREATE MINING MODEL m ON ghost PREDICT x USING tree").is_err());
     assert!(e
         .execute_sql("CREATE MINING MODEL m ON customers PREDICT ghost USING tree")
@@ -194,7 +195,7 @@ fn ddl_parse_errors_are_specific() {
 
 #[test]
 fn explain_never_executes() {
-    let mut e = build_engine();
+    let e = build_engine();
     let out = e.query("EXPLAIN SELECT * FROM customers WHERE PREDICT(tier) = 'premium'").unwrap();
     assert_eq!(out.metrics.rows_examined, 0);
     assert!(out.plan.contains("customers"));

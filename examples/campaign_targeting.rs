@@ -57,7 +57,7 @@ fn main() {
     let mut catalog = Catalog::new();
     catalog.add_table(Table::from_dataset("customers", &customers)).expect("fresh");
     catalog.add_model("fan_model", Arc::new(tree), DeriveOptions::default()).expect("fresh");
-    let mut engine = Engine::new(catalog);
+    let engine = Engine::new(catalog);
 
     // Tune indexes for the campaign workload.
     let schema2 = schema.clone();
@@ -65,8 +65,8 @@ fn main() {
         .iter()
         .map(|e| mpq_engine::envelope_to_expr(&schema2, e).normalize(&schema2))
         .collect();
-    let opts = *engine.options();
-    tune_indexes(engine.catalog_mut(), 0, &envs, 8, &opts);
+    let opts = engine.options();
+    tune_indexes(&mut engine.catalog_mut(), 0, &envs, 8, &opts);
 
     let sql = "SELECT * FROM customers \
                WHERE visited_last_week = 'yes' AND PREDICT(fan_model) = 'baseball_fan'";

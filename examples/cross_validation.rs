@@ -59,7 +59,7 @@ fn main() {
     let mut catalog = Catalog::new();
     catalog.add_table(Table::from_dataset("customers", &data)).expect("fresh");
     catalog.add_model("age_model", Arc::new(nb), DeriveOptions::default()).expect("fresh");
-    let mut engine = Engine::new(catalog);
+    let engine = Engine::new(catalog);
 
     // 1. PREDICT = column. The rewriter expands to
     //    OR_c (envelope_c AND age_class = c).

@@ -30,7 +30,7 @@ fn main() {
     catalog.add_table(Table::from_dataset("vehicles", &test)).expect("fresh");
     catalog.add_model("tree_model", Arc::new(tree), DeriveOptions::default()).expect("fresh");
     catalog.add_model("nb_model", Arc::new(nb), DeriveOptions::default()).expect("fresh");
-    let mut engine = Engine::new(catalog);
+    let engine = Engine::new(catalog);
 
     // 1. General concurrence: envelope = OR over common labels of
     //    (tree envelope AND nb envelope).

@@ -48,13 +48,13 @@ fn main() {
     let mut catalog = Catalog::new();
     catalog.add_table(Table::from_dataset("patients", &test)).expect("fresh");
     catalog.add_model("risk", Arc::new(imported), DeriveOptions::default()).expect("fresh");
-    let mut engine = Engine::new(catalog);
+    let engine = Engine::new(catalog);
     let envs: Vec<Expr> = engine.catalog().model(0).envelopes
         .iter()
         .map(|e| mpq_engine::envelope_to_expr(&schema, e).normalize(&schema))
         .collect();
-    let opts = *engine.options();
-    tune_indexes(engine.catalog_mut(), 0, &envs, 8, &opts);
+    let opts = engine.options();
+    tune_indexes(&mut engine.catalog_mut(), 0, &envs, 8, &opts);
 
     let out = engine.query("SELECT * FROM patients WHERE PREDICT(risk) = 'k1'").expect("valid");
     println!("query on the imported model:\n{}", out.plan);

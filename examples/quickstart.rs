@@ -36,14 +36,14 @@ fn main() {
     let mut catalog = Catalog::new();
     catalog.add_table(Table::from_dataset("shuttle", &test)).expect("fresh catalog");
     catalog.add_model("nb", Arc::new(nb), DeriveOptions::default()).expect("fresh catalog");
-    let mut engine = Engine::new(catalog);
+    let engine = Engine::new(catalog);
     let schema = engine.catalog().table(0).table.schema().clone();
     let workload: Vec<Expr> = engine.catalog().model(0).envelopes
         .iter()
         .map(|e| mpq_engine::envelope_to_expr(&schema, e).normalize(&schema))
         .collect();
-    let opts = *engine.options();
-    let report = tune_indexes(engine.catalog_mut(), 0, &workload, 16, &opts);
+    let opts = engine.options();
+    let report = tune_indexes(&mut engine.catalog_mut(), 0, &workload, 16, &opts);
     println!("\nindex tuning created {} indexes", report.created.len());
 
     // 5. Run the mining query with and without envelope rewriting.

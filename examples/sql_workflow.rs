@@ -36,7 +36,7 @@ fn main() {
     // 3. Register the table and train via DDL.
     let mut catalog = Catalog::new();
     catalog.add_table(Table::from_dataset("subscribers", &data)).expect("fresh");
-    let mut engine = Engine::new(catalog);
+    let engine = Engine::new(catalog);
     let out = engine
         .execute_sql(
             "CREATE MINING MODEL churn_risk ON subscribers PREDICT churned USING decision_tree",
@@ -52,8 +52,8 @@ fn main() {
         .iter()
         .map(|e| mpq_engine::envelope_to_expr(&schema, e).normalize(&schema))
         .collect();
-    let opt_opts = *engine.options();
-    tune_indexes(engine.catalog_mut(), 0, &envs, 8, &opt_opts);
+    let opt_opts = engine.options();
+    tune_indexes(&mut engine.catalog_mut(), 0, &envs, 8, &opt_opts);
 
     let sql = "SELECT * FROM subscribers WHERE PREDICT(churn_risk) = 'yes' AND intl_plan = 'no'";
     println!("\nquery: {sql}\n");

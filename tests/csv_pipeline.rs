@@ -50,7 +50,7 @@ fn csv_to_optimized_query() {
     let mut cat = Catalog::new();
     cat.add_table(Table::from_dataset("customers", &data2.data)).expect("fresh");
     cat.add_model("churn_model", Arc::new(tree), DeriveOptions::default()).expect("fresh");
-    let mut engine = Engine::new(cat);
+    let engine = Engine::new(cat);
 
     let optimized =
         engine.query("SELECT * FROM customers WHERE PREDICT(churn_model) = 'yes'").expect("sql");

@@ -107,7 +107,7 @@ fn never_predicted_class_is_answered_without_data_access() {
     let mut cat = Catalog::new();
     cat.add_table(Table::from_dataset("t", &ds)).expect("fresh");
     cat.add_model("m", Arc::new(nb), DeriveOptions::default()).expect("fresh");
-    let mut engine = Engine::new(cat);
+    let engine = Engine::new(cat);
     let out = engine.query("SELECT * FROM t WHERE PREDICT(m) = 'never'").expect("valid");
     assert_eq!(out.metrics.output_rows, 0);
     assert_eq!(out.metrics.total_pages(), 0, "constant scan expected: {}", out.plan);
@@ -117,7 +117,7 @@ fn never_predicted_class_is_answered_without_data_access() {
 
 #[test]
 fn retraining_invalidates_plans_but_keeps_correctness() {
-    let (mut engine, _) = engine_for("Diabetes", 0.001);
+    let (engine, _) = engine_for("Diabetes", 0.001);
     let sql = "SELECT * FROM t WHERE PREDICT(nb) = 'k1'";
     let before = engine.query(sql).expect("valid");
     // Retrain NB on a different seed: predictions (and envelopes) shift.

@@ -100,15 +100,16 @@ proptest! {
         // End to end: whatever plan the optimizer picks, the result set
         // equals brute-force row filtering of the original predicate.
         let (cat, _) = catalog();
-        let mut engine = Engine::new(cat);
+        let engine = Engine::new(cat);
         let plan = engine.plan_predicate(0, e.clone());
-        let result = execute(&plan, engine.catalog());
-        let table = &engine.catalog().table(0).table;
+        let catalog = engine.catalog();
+        let result = execute(&plan, &catalog);
+        let table = &catalog.table(0).table;
         let mut expected = Vec::new();
         for r in 0..table.n_rows() as u32 {
             let row = table.row(r);
             let mut inv = 0;
-            if e.eval(&row, engine.catalog(), &mut inv) {
+            if e.eval(&row, &*catalog, &mut inv) {
                 expected.push(r);
             }
         }
