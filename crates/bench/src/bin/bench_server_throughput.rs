@@ -1,0 +1,173 @@
+//! Server throughput benchmark: queries-per-second and latency
+//! percentiles over the wire at 1/8/32/128 concurrent clients, with and
+//! without admission control, writing `BENCH_server_throughput.json`.
+//!
+//! Each client thread opens its own connection and replays a fixed
+//! mining-predicate query back-to-back for a fixed wall-clock window;
+//! the harness records every request's latency and reports p50/p99 plus
+//! aggregate qps. The admission-controlled leg bounds in-flight
+//! execution at the core count (refusals are counted, and the client
+//! retries after a refusal, as a well-behaved caller would); the
+//! uncontrolled leg lets every connection execute at once — the
+//! comparison shows what the controller buys at high fan-in: bounded
+//! tail latency instead of thundering-herd collapse.
+//!
+//! Usage: `bench_server_throughput [out.json]` (default
+//! `BENCH_server_throughput.json` in the current directory).
+
+use mpq_client::{Client, ClientError};
+use mpq_engine::{Catalog, Engine, Table};
+use mpq_server::{AdmissionConfig, Server, ServerConfig, ServerError};
+use mpq_types::{AttrDomain, AttrId, Attribute, Dataset, Schema};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N_ROWS: usize = 120_000;
+const CLIENTS: [usize; 4] = [1, 8, 32, 128];
+const MEASURE_WINDOW: Duration = Duration::from_millis(1500);
+
+fn build_engine() -> Arc<Engine> {
+    let schema = Schema::new(vec![
+        Attribute::new("a", AttrDomain::categorical(["a0", "a1", "a2", "a3"])),
+        Attribute::new("b", AttrDomain::categorical(["b0", "b1", "b2"])),
+        Attribute::new("label", AttrDomain::categorical(["neg", "pos"])),
+    ])
+    .expect("schema");
+    let mut ds = Dataset::new(schema);
+    for i in 0..N_ROWS {
+        let (a, b) = ((i % 4) as u16, ((i / 4) % 3) as u16);
+        let label = u16::from(a >= 2 && b != 1);
+        ds.push_encoded(&[a, b, label]).expect("row");
+    }
+    let mut cat = Catalog::new();
+    let t = cat.add_table(Table::from_dataset("t", &ds)).expect("table");
+    cat.create_index(t, &[AttrId(0)]);
+    cat.create_index(t, &[AttrId(1)]);
+    let e = Engine::new(cat);
+    // Each query stays single-threaded: concurrency comes from the
+    // clients, not from nesting a parallel scan under 128 connections.
+    e.set_parallelism(1);
+    e.execute_sql("CREATE MINING MODEL m ON t PREDICT label USING decision_tree")
+        .expect("model");
+    Arc::new(e)
+}
+
+const SQL: &str = "SELECT * FROM t WHERE PREDICT(m) = 'pos' AND a = 'a2'";
+
+struct Leg {
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    requests: u64,
+    refusals: u64,
+}
+
+/// Runs `n_clients` connections against `addr` for the measurement
+/// window; returns aggregate qps and latency percentiles.
+fn run_leg(addr: std::net::SocketAddr, n_clients: usize) -> Leg {
+    let stop_at = Instant::now() + MEASURE_WINDOW;
+    let threads: Vec<_> = (0..n_clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut latencies_us: Vec<u64> = Vec::new();
+                let mut refusals = 0u64;
+                while Instant::now() < stop_at {
+                    let t0 = Instant::now();
+                    match client.statement(SQL) {
+                        Ok(_) => latencies_us.push(t0.elapsed().as_micros() as u64),
+                        Err(ClientError::Remote(
+                            ServerError::Busy { .. } | ServerError::QueueTimeout { .. },
+                        )) => {
+                            // A typed refusal: back off briefly and retry.
+                            refusals += 1;
+                            std::thread::sleep(Duration::from_micros(500));
+                        }
+                        Err(e) => panic!("bench client failed: {e}"),
+                    }
+                }
+                let _ = client.goodbye();
+                (latencies_us, refusals)
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut refusals = 0u64;
+    for t in threads {
+        let (lat, refused) = t.join().expect("bench client thread");
+        latencies.extend(lat);
+        refusals += refused;
+    }
+    // Every client stops at the same deadline, so the window length is
+    // the denominator (in-flight tails past it are negligible).
+    let elapsed = MEASURE_WINDOW.as_secs_f64();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[idx] as f64 / 1e3
+    };
+    Leg {
+        qps: latencies.len() as f64 / elapsed,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        requests: latencies.len() as u64,
+        refusals,
+    }
+}
+
+fn main() {
+    let out_path =
+        std::env::args().nth(1).unwrap_or_else(|| "BENCH_server_throughput.json".into());
+    eprintln!("building {N_ROWS}-row engine ...");
+    let engine = build_engine();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+
+    let mut results = Vec::new();
+    for (label, admission) in [
+        ("admission", AdmissionConfig {
+            max_in_flight: cores,
+            max_queue: 256,
+            queue_timeout: Duration::from_secs(5),
+        }),
+        ("unbounded", AdmissionConfig::unbounded()),
+    ] {
+        let cfg = ServerConfig { admission, ..ServerConfig::default() };
+        let server = Server::start(Arc::clone(&engine), cfg).expect("bind");
+        let addr = server.local_addr();
+        // Warm the plan cache so every leg measures execution, not
+        // first-time planning.
+        let mut warm = Client::connect(addr).expect("warm connect");
+        warm.statement(SQL).expect("warmup");
+        let _ = warm.goodbye();
+
+        for n_clients in CLIENTS {
+            let leg = run_leg(addr, n_clients);
+            eprintln!(
+                "{label:>9} · {n_clients:>3} clients: {:>7.0} qps, p50 {:>7.2} ms, p99 {:>8.2} ms ({} requests, {} refusals)",
+                leg.qps, leg.p50_ms, leg.p99_ms, leg.requests, leg.refusals
+            );
+            results.push(format!(
+                "    {{\"admission\": \"{label}\", \"clients\": {n_clients}, \
+                 \"qps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+                 \"requests\": {}, \"refusals\": {}}}",
+                leg.qps, leg.p50_ms, leg.p99_ms, leg.requests, leg.refusals
+            ));
+        }
+        let report = server.shutdown();
+        eprintln!("{label:>9} · {report}");
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"server_throughput\",\n  \"table_rows\": {N_ROWS},\n  \
+         \"query\": \"{SQL}\",\n  \"measure_window_ms\": {},\n  \
+         \"admission_max_in_flight\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        MEASURE_WINDOW.as_millis(),
+        results.join(",\n"),
+    );
+    std::fs::write(&out_path, json).expect("write report");
+    eprintln!("wrote {out_path}");
+}

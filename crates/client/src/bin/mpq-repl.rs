@@ -1,0 +1,150 @@
+//! `mpq-repl`: a line-oriented client for `mpq-serverd`.
+//!
+//! ```text
+//! mpq-repl (--connect HOST:PORT | --port-file FILE)
+//! ```
+//!
+//! Reads statements from stdin, one per line, and prints each outcome.
+//! Lines starting with `.` are meta commands:
+//!
+//! * `.health`   — print the engine health report
+//! * `.shutdown` — ask the server to drain and exit
+//! * `.quit`     — close this session (EOF does the same)
+//!
+//! Everything else is sent as SQL. Suitable both interactively and
+//! piped (`printf '...\n' | mpq-repl --port-file p`), which is how the
+//! CI smoke test drives it.
+
+use mpq_client::{Client, ClientError};
+use mpq_engine::StatementOutcome;
+use std::io::BufRead;
+use std::process::ExitCode;
+
+fn parse_addr() -> Result<String, String> {
+    let mut addr: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--connect" => {
+                addr = Some(it.next().ok_or("--connect requires HOST:PORT")?);
+            }
+            "--port-file" => {
+                let path = it.next().ok_or("--port-file requires a path")?;
+                let contents = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("read {path}: {e}"))?;
+                addr = Some(contents.trim().to_string());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    addr.ok_or_else(|| "need --connect HOST:PORT or --port-file FILE".to_string())
+}
+
+fn print_outcome(outcome: &StatementOutcome) {
+    match outcome {
+        StatementOutcome::Query(q) => {
+            println!(
+                "{} rows ({} examined, {} heap + {} index pages, {} model calls, {:?}){}",
+                q.rows.len(),
+                q.metrics.rows_examined,
+                q.metrics.heap_pages_read,
+                q.metrics.index_pages_read,
+                q.metrics.model_invocations,
+                q.metrics.elapsed,
+                if q.cached_plan { " [cached plan]" } else { "" },
+            );
+            if q.rows.is_empty() && !q.plan.is_empty() && q.metrics.rows_examined == 0 {
+                // EXPLAIN returns no rows and zero metrics: show the plan.
+                println!("{}", q.plan);
+            }
+        }
+        StatementOutcome::ModelCreated { name, n_classes, degraded, .. } => {
+            match degraded {
+                Some(reason) => println!(
+                    "model {name} created ({n_classes} classes; DEGRADED: {reason})"
+                ),
+                None => println!("model {name} created ({n_classes} classes)"),
+            }
+        }
+        StatementOutcome::ParallelismSet { dop } => {
+            println!("session parallelism set to {dop}");
+        }
+        StatementOutcome::GuardSet { guard } => {
+            println!("session guard set: {guard:?}");
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let addr = parse_addr()?;
+    let mut client =
+        Client::connect_named(&addr, "mpq-repl").map_err(|e| format!("connect {addr}: {e}"))?;
+    eprintln!("connected to {addr} (session {})", client.session_id());
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("--") {
+            continue;
+        }
+        match line {
+            ".quit" => break,
+            ".health" => match client.health() {
+                Ok(h) => {
+                    println!(
+                        "health: {} tables, {} models, {} cached plans",
+                        h.tables,
+                        h.models.len(),
+                        h.cached_plans
+                    );
+                    for m in &h.models {
+                        println!(
+                            "  model {} v{} ({}/{} exact envelopes){}",
+                            m.name,
+                            m.version,
+                            m.exact_envelopes,
+                            m.n_envelopes,
+                            match &m.degraded {
+                                Some(r) => format!(" DEGRADED: {r}"),
+                                None => String::new(),
+                            }
+                        );
+                    }
+                    if let Some(rec) = &h.recovery {
+                        println!(
+                            "  recovery: clean_shutdown={} replayed={} dropped={}",
+                            rec.clean_shutdown, rec.wal_records_replayed, rec.records_dropped
+                        );
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            ".shutdown" => {
+                match client.shutdown_server() {
+                    Ok(()) => println!("server shutting down"),
+                    Err(e) => println!("error: {e}"),
+                }
+                break;
+            }
+            sql => match client.statement(sql) {
+                Ok(outcome) => print_outcome(&outcome),
+                // Typed remote errors keep the session alive; anything
+                // else (disconnect, torn frame) ends it.
+                Err(ClientError::Remote(e)) => println!("error: {e}"),
+                Err(e) => return Err(format!("connection failed: {e}")),
+            },
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mpq-repl: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! # mpq-client
+//!
+//! A blocking TCP client for the mining-predicates wire protocol (see
+//! the `mpq-server` crate and DESIGN.md §9).
+//!
+//! [`Client::connect`] performs the versioned handshake and returns a
+//! connected session; [`Client::statement`] runs one SQL statement and
+//! returns the engine's own [`StatementOutcome`], reconstructed from
+//! the wire — so results compare `==` against in-process execution,
+//! which is exactly what the differential oracle tests do.
+//!
+//! Failures are total and typed ([`ClientError`]): a server-side
+//! refusal arrives as [`ClientError::Remote`] with the exact
+//! [`ServerError`]; a torn or corrupted frame is [`ClientError::Frame`]
+//! (never a panic, never a half-decoded value); a severed connection is
+//! [`ClientError::Disconnected`].
+//!
+//! For tests, [`Client::connect_with`] takes a [`FaultInjector`]: with
+//! `conn_slow_loris` armed the client dribbles its next request one
+//! byte at a time — the misbehaving peer the server's request-read
+//! timeout exists to defend against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mpq_engine::{EngineHealth, FaultInjector, QueryOutcome, StatementOutcome};
+use mpq_server::protocol::{
+    decode_frame, encode_frame, FrameError, Request, Response, ServerError,
+    DEFAULT_MAX_FRAME_LEN, PROTO_VERSION,
+};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// A socket-level failure.
+    Io(String),
+    /// The server closed the connection (EOF mid-exchange).
+    Disconnected,
+    /// A frame arrived torn, corrupted, or undecodable.
+    Frame(String),
+    /// The server answered with a typed error.
+    Remote(ServerError),
+    /// The server answered with a message that makes no sense for the
+    /// request (protocol bug, not an I/O accident).
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Frame(e) => write!(f, "bad frame from server: {e}"),
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+            ClientError::Unexpected(e) => write!(f, "unexpected response: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e.to_string())
+    }
+}
+
+/// A connected, handshaken session with an `mpq-server`.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    session_id: u64,
+    faults: Option<Arc<FaultInjector>>,
+}
+
+impl Client {
+    /// Connects to `addr` and performs the protocol handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_named(addr, "mpq-client")
+    }
+
+    /// Like [`Client::connect`] with a caller-chosen client name (shown
+    /// in server-side diagnostics).
+    pub fn connect_named(
+        addr: impl ToSocketAddrs,
+        name: &str,
+    ) -> Result<Client, ClientError> {
+        Client::connect_inner(addr, name, None)
+    }
+
+    /// Test hook: a client that honours connection-level fault
+    /// injection (currently `conn_slow_loris`, which dribbles the next
+    /// request one byte at a time to provoke the server's read
+    /// timeout).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        faults: Arc<FaultInjector>,
+    ) -> Result<Client, ClientError> {
+        Client::connect_inner(addr, "mpq-client-faulty", Some(faults))
+    }
+
+    fn connect_inner(
+        addr: impl ToSocketAddrs,
+        name: &str,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client { stream, buf: Vec::new(), session_id: 0, faults };
+        let resp = client.exchange(&Request::Hello {
+            proto_version: PROTO_VERSION,
+            client: name.to_string(),
+        })?;
+        match resp {
+            Response::Hello { session_id, .. } => {
+                client.session_id = session_id;
+                Ok(client)
+            }
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Hello"))),
+        }
+    }
+
+    /// The session id the server assigned at handshake.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Executes one SQL statement (query, DDL, or session `SET`).
+    pub fn statement(&mut self, sql: &str) -> Result<StatementOutcome, ClientError> {
+        let resp = self.exchange(&Request::Statement { sql: sql.to_string() })?;
+        match resp {
+            Response::Outcome(o) => Ok(o),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Statement"))),
+        }
+    }
+
+    /// Executes a statement that must be a SELECT; returns its
+    /// [`QueryOutcome`].
+    pub fn query(&mut self, sql: &str) -> Result<QueryOutcome, ClientError> {
+        match self.statement(sql)? {
+            StatementOutcome::Query(q) => Ok(q),
+            other => Err(ClientError::Unexpected(format!("{other:?} to a SELECT"))),
+        }
+    }
+
+    /// Fetches the engine's health report (models, envelope state,
+    /// recovery report).
+    pub fn health(&mut self) -> Result<EngineHealth, ClientError> {
+        let resp = self.exchange(&Request::Health)?;
+        match resp {
+            Response::Health(h) => Ok(h),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Health"))),
+        }
+    }
+
+    /// Asks the server to begin its graceful shutdown (drain, then
+    /// checkpoint). Returns once the server acknowledges.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        let resp = self.exchange(&Request::Shutdown)?;
+        match resp {
+            Response::ShutdownStarted => Ok(()),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Shutdown"))),
+        }
+    }
+
+    /// Closes the session politely.
+    pub fn goodbye(mut self) -> Result<(), ClientError> {
+        let resp = self.exchange(&Request::Goodbye)?;
+        match resp {
+            Response::Goodbye => Ok(()),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Goodbye"))),
+        }
+    }
+
+    fn exchange(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        let frame = encode_frame(&req.encode());
+        let slow = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.conn_slow_loris_armed());
+        if slow {
+            // One byte at a time with a pause between: the slow-loris
+            // shape the server's request-read deadline cuts off.
+            for &b in &frame {
+                if self.stream.write_all(&[b]).is_err() {
+                    // The server gave up on us — exactly what the fault
+                    // is meant to provoke; surface it on the next recv.
+                    return Ok(());
+                }
+                let _ = self.stream.flush();
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            return Ok(());
+        }
+        self.stream.write_all(&frame)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match decode_frame(&self.buf, DEFAULT_MAX_FRAME_LEN) {
+                Ok((payload, consumed)) => {
+                    self.buf.drain(..consumed);
+                    return Response::decode(&payload)
+                        .map_err(|e| ClientError::Frame(e.to_string()));
+                }
+                Err(FrameError::Incomplete { .. }) => {}
+                Err(e) => return Err(ClientError::Frame(e.to_string())),
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(ClientError::Disconnected),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ClientError::Io(e.to_string())),
+            }
+        }
+    }
+}

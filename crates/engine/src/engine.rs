@@ -22,6 +22,7 @@ use crate::persist::recovery::{self, Recovered};
 use crate::persist::wal::WalWriter;
 use crate::persist::{snapshot, LogOp, RecoveryReport, StoredModel};
 use crate::rewrite::rewrite_mining;
+use crate::session::SessionState;
 use crate::sql::{parse, parse_statement, Statement};
 use crate::table::{RowId, Table};
 use crate::EngineError;
@@ -63,7 +64,7 @@ pub struct QueryOutcome {
 }
 
 /// Result of [`Engine::execute_sql`].
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StatementOutcome {
     /// A SELECT ran (or was explained).
     Query(QueryOutcome),
@@ -84,6 +85,11 @@ pub enum StatementOutcome {
     ParallelismSet {
         /// The degree now in effect (after clamping).
         dop: usize,
+    },
+    /// `SET GUARD ...` changed the session's query guard.
+    GuardSet {
+        /// The complete guard now in effect for the session.
+        guard: QueryGuard,
     },
 }
 
@@ -585,21 +591,39 @@ impl Engine {
         plan_with(&catalog, &opts, table, predicate)
     }
 
-    /// Runs (or explains) one SQL query.
+    /// Runs (or explains) one SQL query with the engine-wide
+    /// parallelism and guard (a session with no overrides).
     ///
     /// No panic escapes this entry point: panics from model code (or
     /// injected scorer faults) are caught and reported as
     /// [`EngineError::Internal`]; the engine remains usable afterwards.
     pub fn query(&self, sql: &str) -> Result<QueryOutcome, EngineError> {
-        catch_unwind(AssertUnwindSafe(|| self.query_inner(sql))).unwrap_or_else(|payload| {
-            // Conservative: a panic mid-query may have left a
-            // half-built plan cached.
-            self.lock_cache().clear();
-            Err(EngineError::Internal { detail: panic_message(&*payload) })
-        })
+        self.query_in(sql, &SessionState::new())
     }
 
-    fn query_inner(&self, sql: &str) -> Result<QueryOutcome, EngineError> {
+    /// Runs (or explains) one SQL query under `session`'s overrides
+    /// (parallelism and guard); unset overrides fall through to the
+    /// engine-wide defaults. Panic containment as in [`Engine::query`].
+    pub fn query_in(
+        &self,
+        sql: &str,
+        session: &SessionState,
+    ) -> Result<QueryOutcome, EngineError> {
+        catch_unwind(AssertUnwindSafe(|| self.query_inner(sql, session))).unwrap_or_else(
+            |payload| {
+                // Conservative: a panic mid-query may have left a
+                // half-built plan cached.
+                self.lock_cache().clear();
+                Err(EngineError::Internal { detail: panic_message(&*payload) })
+            },
+        )
+    }
+
+    fn query_inner(
+        &self,
+        sql: &str,
+        session: &SessionState,
+    ) -> Result<QueryOutcome, EngineError> {
         // Held for the whole query: readers share it, so queries run
         // concurrently; DDL takes it exclusively, so no query ever sees
         // a half-applied mutation.
@@ -625,7 +649,7 @@ impl Engine {
         let schema = catalog.table(parsed.table).table.schema().clone();
         let plan_text = plan_to_string(&plan, &schema, &catalog);
         let plan_changed = plan.access.changed_from_scan();
-        let dop = self.parallelism();
+        let dop = session.parallelism().unwrap_or_else(|| self.parallelism());
         if parsed.explain {
             // EXPLAIN doubles as the operational status surface: the
             // effective degree of parallelism, plus (for durable
@@ -646,7 +670,7 @@ impl Engine {
         let result = execute_opts(
             &plan,
             &catalog,
-            self.guard(),
+            session.guard().unwrap_or_else(|| self.guard()),
             &ExecOptions::with_parallelism(dop),
         )?;
         Ok(QueryOutcome {
@@ -668,24 +692,85 @@ impl Engine {
     /// fail a `CREATE MINING MODEL`: the model lands degraded (trivial
     /// envelopes) and the outcome's `degraded` field carries the reason.
     pub fn execute_sql(&self, sql: &str) -> Result<StatementOutcome, EngineError> {
-        catch_unwind(AssertUnwindSafe(|| self.execute_sql_inner(sql))).unwrap_or_else(
-            |payload| {
-                self.lock_cache().clear();
-                Err(EngineError::Internal { detail: panic_message(&*payload) })
-            },
-        )
+        self.execute_sql_dispatch(sql, None)
     }
 
-    fn execute_sql_inner(&self, sql: &str) -> Result<StatementOutcome, EngineError> {
+    /// Like [`Engine::execute_sql`], but scoped to `session`: `SET
+    /// PARALLELISM` and `SET GUARD` update the session's overrides
+    /// instead of the engine-wide defaults, and queries run under them.
+    /// This is the entry point one network connection (or any other
+    /// client wanting isolation from its neighbours) should use.
+    pub fn execute_sql_in(
+        &self,
+        sql: &str,
+        session: &mut SessionState,
+    ) -> Result<StatementOutcome, EngineError> {
+        self.execute_sql_dispatch(sql, Some(session))
+    }
+
+    fn execute_sql_dispatch(
+        &self,
+        sql: &str,
+        session: Option<&mut SessionState>,
+    ) -> Result<StatementOutcome, EngineError> {
+        catch_unwind(AssertUnwindSafe(|| self.execute_sql_inner(sql, session)))
+            .unwrap_or_else(|payload| {
+                self.lock_cache().clear();
+                Err(EngineError::Internal { detail: panic_message(&*payload) })
+            })
+    }
+
+    fn execute_sql_inner(
+        &self,
+        sql: &str,
+        mut session: Option<&mut SessionState>,
+    ) -> Result<StatementOutcome, EngineError> {
         let statement = {
             let catalog = self.read_catalog();
             parse_statement(sql, &catalog)?
         };
         match statement {
-            Statement::Select(_) => Ok(StatementOutcome::Query(self.query_inner(sql)?)),
+            Statement::Select(_) => {
+                let no_overrides = SessionState::new();
+                let s = session.as_deref().unwrap_or(&no_overrides);
+                Ok(StatementOutcome::Query(self.query_inner(sql, s)?))
+            }
             Statement::SetParallelism(dop) => {
-                self.set_parallelism(dop);
-                Ok(StatementOutcome::ParallelismSet { dop: self.parallelism() })
+                // With a session, the override is session-local; without
+                // one, the statement keeps its historical meaning and
+                // re-tunes the engine-wide default.
+                let dop = match session.as_mut() {
+                    Some(s) => s.set_parallelism(dop),
+                    None => {
+                        self.set_parallelism(dop);
+                        self.parallelism()
+                    }
+                };
+                Ok(StatementOutcome::ParallelismSet { dop })
+            }
+            Statement::SetGuard { resource, limit } => {
+                let guard = match session.as_mut() {
+                    Some(s) => {
+                        let g = s.guard().unwrap_or_else(|| self.guard());
+                        let g = g.with_limit(resource, limit);
+                        s.set_guard(g);
+                        g
+                    }
+                    None => {
+                        let g = self.guard().with_limit(resource, limit);
+                        self.set_guard(g);
+                        g
+                    }
+                };
+                Ok(StatementOutcome::GuardSet { guard })
+            }
+            Statement::SetGuardOff => {
+                let guard = QueryGuard::unlimited();
+                match session.as_mut() {
+                    Some(s) => s.set_guard(guard),
+                    None => self.set_guard(guard),
+                }
+                Ok(StatementOutcome::GuardSet { guard })
             }
             Statement::CreateModel { name, table, label, clusters, algorithm } => {
                 let mut catalog = self.write_catalog();
@@ -916,6 +1001,51 @@ mod tests {
         e.set_parallelism(8);
         let out = e.query("EXPLAIN SELECT * FROM t WHERE d0 = 'm0'").unwrap();
         assert!(out.plan.contains("parallelism: 8"), "plan: {}", out.plan);
+    }
+
+    #[test]
+    fn session_scoped_set_does_not_leak_across_sessions() {
+        let e = engine();
+        let global_dop = e.parallelism();
+        let mut s1 = SessionState::new();
+        let mut s2 = SessionState::new();
+        match e.execute_sql_in("SET PARALLELISM 2", &mut s1).unwrap() {
+            StatementOutcome::ParallelismSet { dop } => assert_eq!(dop, 2),
+            other => panic!("expected ParallelismSet, got {other:?}"),
+        }
+        assert_eq!(e.parallelism(), global_dop, "engine default untouched");
+        assert_eq!(s2.parallelism(), None, "other session untouched");
+        // Session 1 throttles itself to one examined row; session 2 and
+        // the session-less path stay unlimited.
+        match e.execute_sql_in("SET GUARD ROWS 1", &mut s1).unwrap() {
+            StatementOutcome::GuardSet { guard } => {
+                assert_eq!(guard.max_rows_examined, Some(1))
+            }
+            other => panic!("expected GuardSet, got {other:?}"),
+        }
+        let sql = "SELECT * FROM t WHERE PREDICT(m) = 'c1'";
+        assert!(matches!(
+            e.execute_sql_in(sql, &mut s1),
+            Err(EngineError::BudgetExceeded { .. })
+        ));
+        assert!(e.execute_sql_in(sql, &mut s2).is_ok());
+        assert!(e.query(sql).is_ok());
+        // `SET GUARD ROWS 0` lifts the budget; OFF clears everything.
+        e.execute_sql_in("SET GUARD ROWS 0", &mut s1).unwrap();
+        assert!(e.execute_sql_in(sql, &mut s1).is_ok());
+        e.execute_sql_in("SET GUARD TIME_MS 5000", &mut s1).unwrap();
+        match e.execute_sql_in("SET GUARD OFF", &mut s1).unwrap() {
+            StatementOutcome::GuardSet { guard } => assert!(guard.is_unlimited()),
+            other => panic!("expected GuardSet, got {other:?}"),
+        }
+        // Session EXPLAIN reports the session's effective parallelism.
+        let out = e
+            .query_in("EXPLAIN SELECT * FROM t WHERE d0 = 'm0'", &s1)
+            .unwrap();
+        assert!(out.plan.contains("parallelism: 2"), "plan: {}", out.plan);
+        // Session-less SET keeps its historical engine-global meaning.
+        e.execute_sql("SET PARALLELISM 3").unwrap();
+        assert_eq!(e.parallelism(), 3);
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub struct FaultInjector {
     wal_torn_write: AtomicBool,
     wal_bit_flip: AtomicBool,
     wal_short_read: AtomicBool,
+    conn_drop_mid_response: AtomicBool,
+    conn_torn_frame: AtomicBool,
+    conn_slow_loris: AtomicBool,
 }
 
 impl Default for FaultInjector {
@@ -46,6 +49,9 @@ impl Default for FaultInjector {
             wal_torn_write: AtomicBool::new(false),
             wal_bit_flip: AtomicBool::new(false),
             wal_short_read: AtomicBool::new(false),
+            conn_drop_mid_response: AtomicBool::new(false),
+            conn_torn_frame: AtomicBool::new(false),
+            conn_slow_loris: AtomicBool::new(false),
         }
     }
 }
@@ -184,6 +190,62 @@ impl FaultInjector {
         self.wal_short_read.load(Ordering::Relaxed)
     }
 
+    // -- connection-level faults (honoured by the wire-protocol server
+    //    and client in the `mpq-server`/`mpq-client` crates) ----------
+
+    /// Arm a mid-response connection drop: the server writes only a
+    /// prefix of the *next* response frame, then severs the connection
+    /// — as a crashed server or cut cable would. The client must see a
+    /// typed transport error, never a panic or a half-parsed reply.
+    /// One-shot: consumed by the response that honours it.
+    pub fn set_conn_drop_mid_response(&self, on: bool) {
+        self.conn_drop_mid_response.store(on, Ordering::Relaxed);
+    }
+
+    /// Consumes the mid-response-drop arm (one-shot), returning whether
+    /// it was set.
+    pub fn take_conn_drop_mid_response(&self) -> bool {
+        self.conn_drop_mid_response.swap(false, Ordering::Relaxed)
+    }
+
+    /// True when a mid-response drop is armed (not yet consumed).
+    pub fn conn_drop_mid_response_armed(&self) -> bool {
+        self.conn_drop_mid_response.load(Ordering::Relaxed)
+    }
+
+    /// Arm a torn response frame: the server flips one payload byte of
+    /// the *next* response after its CRC was computed and sends the
+    /// full frame — the client's CRC check must reject it with a typed
+    /// frame error. One-shot.
+    pub fn set_conn_torn_frame(&self, on: bool) {
+        self.conn_torn_frame.store(on, Ordering::Relaxed);
+    }
+
+    /// Consumes the torn-frame arm (one-shot), returning whether it was
+    /// set.
+    pub fn take_conn_torn_frame(&self) -> bool {
+        self.conn_torn_frame.swap(false, Ordering::Relaxed)
+    }
+
+    /// True when a torn response frame is armed (not yet consumed).
+    pub fn conn_torn_frame_armed(&self) -> bool {
+        self.conn_torn_frame.load(Ordering::Relaxed)
+    }
+
+    /// Arm/disarm slow-loris request writes: an armed client trickles
+    /// its request bytes one at a time with pauses, exercising the
+    /// server's request read deadline (which must cut the connection
+    /// with a typed protocol error instead of pinning a thread
+    /// forever). Level-triggered: stays armed until disarmed.
+    pub fn set_conn_slow_loris(&self, on: bool) {
+        self.conn_slow_loris.store(on, Ordering::Relaxed);
+    }
+
+    /// True when clients should trickle their request bytes.
+    pub fn conn_slow_loris_armed(&self) -> bool {
+        self.conn_slow_loris.load(Ordering::Relaxed)
+    }
+
     /// Disarms every fault.
     pub fn reset(&self) {
         self.set_index_probe_failure(false);
@@ -195,6 +257,9 @@ impl FaultInjector {
         self.set_wal_torn_write(false);
         self.set_wal_bit_flip(false);
         self.set_wal_short_read(false);
+        self.set_conn_drop_mid_response(false);
+        self.set_conn_torn_frame(false);
+        self.set_conn_slow_loris(false);
     }
 
     /// True when any fault is armed.
@@ -208,6 +273,9 @@ impl FaultInjector {
             || self.wal_torn_write_armed()
             || self.wal_bit_flip_armed()
             || self.wal_short_read_armed()
+            || self.conn_drop_mid_response_armed()
+            || self.conn_torn_frame_armed()
+            || self.conn_slow_loris_armed()
     }
 }
 
@@ -225,6 +293,23 @@ mod tests {
         assert!(f.scorer_panic_armed());
         assert!(f.derive_timeout_armed());
         assert!(!f.scorer_nan_armed());
+        f.reset();
+        assert!(!f.any_armed());
+    }
+
+    #[test]
+    fn connection_faults_round_trip_and_one_shots_consume() {
+        let f = FaultInjector::new();
+        f.set_conn_drop_mid_response(true);
+        f.set_conn_torn_frame(true);
+        f.set_conn_slow_loris(true);
+        assert!(f.any_armed());
+        // One-shots consume; the level-triggered loris stays armed.
+        assert!(f.take_conn_drop_mid_response());
+        assert!(!f.take_conn_drop_mid_response());
+        assert!(f.take_conn_torn_frame());
+        assert!(!f.conn_torn_frame_armed());
+        assert!(f.conn_slow_loris_armed());
         f.reset();
         assert!(!f.any_armed());
     }

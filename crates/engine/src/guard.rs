@@ -76,6 +76,25 @@ impl QueryGuard {
     pub fn is_unlimited(&self) -> bool {
         *self == QueryGuard::default()
     }
+
+    /// Returns a copy with the budget for `resource` replaced by
+    /// `limit` (`None` = unlimited; wall-clock limits are in
+    /// milliseconds). This is how `SET GUARD <resource> <n>` updates
+    /// one budget of a session's guard without disturbing the rest.
+    pub fn with_limit(
+        mut self,
+        resource: crate::error::GuardResource,
+        limit: Option<u64>,
+    ) -> QueryGuard {
+        use crate::error::GuardResource;
+        match resource {
+            GuardResource::WallClock => self.deadline = limit.map(Duration::from_millis),
+            GuardResource::RowsExamined => self.max_rows_examined = limit,
+            GuardResource::PagesRead => self.max_pages = limit,
+            GuardResource::ModelInvocations => self.max_model_invocations = limit,
+        }
+        self
+    }
 }
 
 /// How much budget was left when a query finished; recorded in

@@ -36,6 +36,7 @@ mod index;
 mod optimizer;
 mod persist;
 mod rewrite;
+mod session;
 mod sql;
 mod stats;
 mod table;
@@ -56,6 +57,7 @@ pub use optimizer::{
 };
 pub use persist::{LogOp, RecoveryReport, StoredModel};
 pub use rewrite::{envelope_expr_for, rewrite_mining};
+pub use session::SessionState;
 pub use sql::{parse, parse_statement, ModelAlgorithm, ParsedQuery, Statement};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{RowId, Table, ASSUMED_COLUMN_BYTES, DEFAULT_PAGE_BYTES};

@@ -76,6 +76,16 @@ pub enum Statement {
     /// `SET PARALLELISM <n>`: the session knob for the degree of
     /// parallelism query execution uses (1 = serial).
     SetParallelism(usize),
+    /// `SET GUARD <ROWS|PAGES|MODEL_CALLS|TIME_MS> <n>`: replaces one
+    /// budget of the session's query guard (`n = 0` lifts that budget).
+    SetGuard {
+        /// Which budget to replace.
+        resource: crate::error::GuardResource,
+        /// The new limit; `None` (spelled `0`) means unlimited.
+        limit: Option<u64>,
+    },
+    /// `SET GUARD OFF`: clears every budget (the unlimited guard).
+    SetGuardOff,
 }
 
 // ---------------------------------------------------------------------
@@ -291,12 +301,15 @@ impl<'a> Parser<'a> {
             return self.create_model();
         }
         if self.eat_kw("SET") {
-            return self.set_parallelism();
+            return self.set_statement();
         }
         Ok(Statement::Select(self.query()?))
     }
 
-    fn set_parallelism(&mut self) -> Result<Statement, EngineError> {
+    fn set_statement(&mut self) -> Result<Statement, EngineError> {
+        if self.eat_kw("GUARD") {
+            return self.set_guard();
+        }
         self.expect_kw("PARALLELISM")?;
         let dop = match self.bump() {
             Some(Tok::Num(n)) if n >= 1.0 && n.fract() == 0.0 => n as usize,
@@ -306,10 +319,52 @@ impl<'a> Parser<'a> {
                 )))
             }
         };
+        self.expect_end()?;
+        Ok(Statement::SetParallelism(dop))
+    }
+
+    fn set_guard(&mut self) -> Result<Statement, EngineError> {
+        use crate::error::GuardResource;
+        if self.eat_kw("OFF") {
+            self.expect_end()?;
+            return Ok(Statement::SetGuardOff);
+        }
+        let resource = match self.bump() {
+            Some(Tok::Ident(s)) => match s.to_ascii_uppercase().as_str() {
+                "ROWS" => GuardResource::RowsExamined,
+                "PAGES" => GuardResource::PagesRead,
+                "MODEL_CALLS" => GuardResource::ModelInvocations,
+                "TIME_MS" => GuardResource::WallClock,
+                other => {
+                    return Err(self.err(format!(
+                        "unknown guard resource {other:?} (expected ROWS, PAGES, \
+                         MODEL_CALLS, TIME_MS or OFF)"
+                    )))
+                }
+            },
+            other => return Err(self.err(format!("expected a guard resource, got {other:?}"))),
+        };
+        let limit = match self.bump() {
+            Some(Tok::Num(n)) if n >= 0.0 && n.fract() == 0.0 => {
+                // 0 lifts the budget: "no limit" needs a spelling and a
+                // zero-row/zero-page budget would reject every query.
+                (n > 0.0).then_some(n as u64)
+            }
+            other => {
+                return Err(self.err(format!(
+                    "expected a non-negative integer limit (0 = unlimited), got {other:?}"
+                )))
+            }
+        };
+        self.expect_end()?;
+        Ok(Statement::SetGuard { resource, limit })
+    }
+
+    fn expect_end(&mut self) -> Result<(), EngineError> {
         if self.pos != self.toks.len() {
             return Err(self.err("trailing input after statement"));
         }
-        Ok(Statement::SetParallelism(dop))
+        Ok(())
     }
 
     fn create_model(&mut self) -> Result<Statement, EngineError> {

@@ -1,0 +1,163 @@
+//! `mpq-serverd`: the mining-predicates SQL server daemon.
+//!
+//! ```text
+//! mpq-serverd [--addr HOST:PORT] [--data-dir DIR | --demo]
+//!             [--port-file FILE] [--max-in-flight N] [--max-queue N]
+//!             [--queue-timeout-ms N]
+//! ```
+//!
+//! With `--data-dir` the engine opens (or creates) a durable catalog in
+//! `DIR` — WAL, snapshots, crash recovery, the lot. With `--demo` (the
+//! default) it serves an in-memory demo catalog: a table `t(a, b,
+//! label)` with secondary indexes and two mining models (`m_tree`,
+//! `m_bayes`) ready for `PREDICT(...)` queries. An empty durable
+//! directory is seeded with the same demo content so the daemon is
+//! immediately queryable either way.
+//!
+//! The daemon runs until a client sends the protocol `Shutdown` request
+//! (the REPL's `.shutdown`), then drains in-flight queries, checkpoints,
+//! prints the drain report and exits 0.
+
+use mpq_engine::{Catalog, Engine, Table};
+use mpq_server::{AdmissionConfig, Server, ServerConfig};
+use mpq_types::{AttrDomain, AttrId, Attribute, Dataset, Schema};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    data_dir: Option<String>,
+    port_file: Option<String>,
+    max_in_flight: Option<usize>,
+    max_queue: Option<usize>,
+    queue_timeout_ms: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: None,
+        port_file: None,
+        max_in_flight: None,
+        max_queue: None,
+        queue_timeout_ms: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?),
+            "--demo" => args.data_dir = None,
+            "--port-file" => args.port_file = Some(value("--port-file")?),
+            "--max-in-flight" => {
+                args.max_in_flight =
+                    Some(value("--max-in-flight")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--max-queue" => {
+                args.max_queue =
+                    Some(value("--max-queue")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--queue-timeout-ms" => {
+                args.queue_timeout_ms =
+                    Some(value("--queue-timeout-ms")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn demo_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new("a", AttrDomain::categorical(["a0", "a1", "a2", "a3"])),
+        Attribute::new("b", AttrDomain::categorical(["b0", "b1", "b2"])),
+        Attribute::new("label", AttrDomain::categorical(["neg", "pos"])),
+    ])
+    .expect("demo schema is valid")
+}
+
+/// Seeds the demo catalog: table `t`, two single-column indexes, and
+/// two classifiers trained on a deterministic concept.
+fn seed_demo(engine: &Engine) -> Result<(), String> {
+    let mut ds = Dataset::new(demo_schema());
+    for i in 0..600u16 {
+        let (a, b) = (i % 4, (i / 4) % 3);
+        let label = u16::from(a >= 2 && b != 1);
+        ds.push_encoded(&[a, b, label]).map_err(|e| e.to_string())?;
+    }
+    engine
+        .create_table(Table::with_page_bytes("t", &ds, 1024))
+        .map_err(|e| e.to_string())?;
+    engine.create_index("t", &[AttrId(0)]).map_err(|e| e.to_string())?;
+    engine.create_index("t", &[AttrId(1)]).map_err(|e| e.to_string())?;
+    for ddl in [
+        "CREATE MINING MODEL m_tree ON t PREDICT label USING decision_tree",
+        "CREATE MINING MODEL m_bayes ON t PREDICT label USING bayes",
+    ] {
+        engine.execute_sql(ddl).map_err(|e| format!("{ddl}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    let engine = match &args.data_dir {
+        Some(dir) => Engine::open(dir).map_err(|e| format!("open {dir}: {e}"))?,
+        None => Engine::new(Catalog::new()),
+    };
+    if engine.health().tables == 0 {
+        seed_demo(&engine)?;
+        eprintln!("mpq-serverd: seeded demo catalog (table t, models m_tree, m_bayes)");
+    }
+    if let Some(report) = engine.health().recovery {
+        eprintln!(
+            "mpq-serverd: recovered catalog (clean_shutdown={}, wal_records_replayed={})",
+            report.clean_shutdown, report.wal_records_replayed
+        );
+    }
+
+    let mut admission = AdmissionConfig::default();
+    if let Some(n) = args.max_in_flight {
+        admission.max_in_flight = n.max(1);
+    }
+    if let Some(n) = args.max_queue {
+        admission.max_queue = n;
+    }
+    if let Some(ms) = args.queue_timeout_ms {
+        admission.queue_timeout = Duration::from_millis(ms);
+    }
+
+    let cfg = ServerConfig { addr: args.addr.clone(), admission, ..ServerConfig::default() };
+    let server =
+        Server::start(Arc::new(engine), cfg).map_err(|e| format!("bind {}: {e}", args.addr))?;
+    let addr = server.local_addr();
+    if let Some(path) = &args.port_file {
+        // Write-then-rename so a watcher never reads a half-written
+        // address.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, addr.to_string()).map_err(|e| format!("{tmp}: {e}"))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("{path}: {e}"))?;
+    }
+    println!("mpq-serverd: listening on {addr}");
+
+    server.wait_shutdown_requested();
+    eprintln!("mpq-serverd: shutdown requested, draining");
+    let report = server.shutdown();
+    println!("mpq-serverd: {report}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mpq-serverd: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

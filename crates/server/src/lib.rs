@@ -1,0 +1,36 @@
+//! # mpq-server
+//!
+//! A multi-client TCP server for the mining-predicates engine.
+//!
+//! The engine crate executes SQL with mining predicates in-process;
+//! this crate puts it on a socket. Three pieces:
+//!
+//! * [`protocol`] — the framed wire protocol: `len | crc32 | payload`
+//!   frames (the WAL's framing discipline, applied to a socket),
+//!   typed [`protocol::Request`]/[`protocol::Response`] messages, and
+//!   codecs that rebuild the engine's own result/error types on the
+//!   far side so wire results compare `==` against in-process ones.
+//! * [`admission`] — a permit-based admission controller bounding
+//!   concurrent query execution and queue depth, with typed
+//!   `Busy`/`QueueTimeout` refusals.
+//! * [`server`] — the accept loop, one thread + one
+//!   [`mpq_engine::SessionState`] per connection (session-scoped `SET
+//!   PARALLELISM` / `SET GUARD`), and a graceful shutdown that drains
+//!   in-flight statements and checkpoints the engine.
+//!
+//! See `DESIGN.md` §9 for the protocol specification and the
+//! admission state machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionError, AdmissionStats};
+pub use protocol::{
+    decode_frame, encode_frame, FrameError, Request, Response, ServerError,
+    DEFAULT_MAX_FRAME_LEN, FRAME_HEADER_LEN, PROTO_VERSION,
+};
+pub use server::{DrainReport, Server, ServerConfig};

@@ -1,0 +1,884 @@
+//! The wire protocol: CRC-framed request/response messages.
+//!
+//! Framing reuses the discipline of the engine's WAL (`persist/wal.rs`):
+//! every message travels as one frame
+//!
+//! ```text
+//! +---------+-----------+-------------+
+//! | len u32 | crc32 u32 | payload ... |
+//! +---------+-----------+-------------+
+//! ```
+//!
+//! little-endian, with the CRC-32 (same polynomial as the WAL) covering
+//! the whole payload. The payload is one tag byte followed by the
+//! message body, encoded through the same validated
+//! [`WireWriter`]/[`WireReader`] primitives durability uses — so a torn,
+//! truncated or bit-flipped frame decodes to a typed [`FrameError`] /
+//! [`mpq_types::wire::WireError`], never a panic and never a
+//! half-trusted value.
+//!
+//! A connection opens with `Hello`/`Hello` (versioned), then runs any
+//! number of request/response exchanges — exactly one response per
+//! request, always on the connection the request arrived on. There is
+//! no pipelining; the protocol is deliberately stop-and-wait, which
+//! makes "drain in-flight queries" well-defined at shutdown.
+//!
+//! Message vocabulary (tag bytes in parentheses):
+//!
+//! | direction | message | body |
+//! |---|---|---|
+//! | C→S | `Hello` (1) | proto version `u32`, client name |
+//! | C→S | `Statement` (2) | SQL text |
+//! | C→S | `Health` (3) | — |
+//! | C→S | `Shutdown` (4) | — |
+//! | C→S | `Goodbye` (5) | — |
+//! | S→C | `Hello` (128) | proto version `u32`, session id `u64`, server name |
+//! | S→C | `Outcome` (129) | a [`StatementOutcome`]: rows + metrics + plan, model-created, parallelism-set, guard-set |
+//! | S→C | `Health` (130) | an [`EngineHealth`], recovery report included |
+//! | S→C | `ShutdownStarted` (131) | — |
+//! | S→C | `Goodbye` (132) | — |
+//! | S→C | `Error` (133) | a [`ServerError`] |
+//!
+//! Every engine type crossing the wire ([`QueryOutcome`],
+//! [`ExecMetrics`], [`EngineHealth`], [`RecoveryReport`],
+//! [`EngineError`], …) is encoded field-by-field and rebuilt on the
+//! other side as the *same* Rust type, so the differential oracle can
+//! compare wire results against in-process results with plain `==`.
+
+use mpq_engine::{
+    EngineError, EngineHealth, ExecMetrics, GuardHeadroom, GuardResource, ModelHealth,
+    QueryGuard, QueryOutcome, RecoveryReport, StatementOutcome,
+};
+use mpq_types::wire::{crc32, WireError, WireReader, WireWriter};
+use std::time::Duration;
+
+/// Protocol version spoken by this build. A server rejects a `Hello`
+/// with any other version — there is exactly one version in the wild,
+/// so no negotiation, just a typed refusal.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Default ceiling on one frame's payload length. Large enough for a
+/// multi-million-row result (row ids are 4 bytes), small enough that a
+/// hostile length prefix cannot make either side allocate the moon.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// Frame header bytes: length + CRC.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Why a byte sequence does not (yet) parse as a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// More bytes are needed. `needed` is the total frame length once
+    /// known (i.e. once the 8-byte header has arrived).
+    Incomplete {
+        /// Total bytes of the frame, when the header has been read.
+        needed: Option<usize>,
+    },
+    /// The length prefix exceeds the configured ceiling: the peer is
+    /// broken or hostile; the connection cannot be resynchronized.
+    TooLong {
+        /// Claimed payload length.
+        len: u64,
+        /// The ceiling it exceeded.
+        max: u64,
+    },
+    /// The payload failed its CRC: a torn or corrupted frame.
+    BadCrc,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Incomplete { needed: Some(n) } => {
+                write!(f, "incomplete frame (need {n} bytes)")
+            }
+            FrameError::Incomplete { needed: None } => write!(f, "incomplete frame header"),
+            FrameError::TooLong { len, max } => {
+                write!(f, "frame length {len} exceeds maximum {max}")
+            }
+            FrameError::BadCrc => write!(f, "frame payload failed its CRC"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Wraps a payload in its frame (length + CRC header).
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Attempts to parse one frame from the front of `buf`.
+///
+/// Returns the payload and the number of bytes consumed. Total: every
+/// possible input returns `Ok` or a typed [`FrameError`] — torn
+/// prefixes are `Incomplete`, oversized length prefixes are `TooLong`
+/// (checked *before* any allocation), corrupted payloads are `BadCrc`.
+pub fn decode_frame(buf: &[u8], max_len: u32) -> Result<(Vec<u8>, usize), FrameError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Err(FrameError::Incomplete { needed: None });
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len > max_len {
+        return Err(FrameError::TooLong { len: len as u64, max: max_len as u64 });
+    }
+    let crc = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    let total = FRAME_HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Err(FrameError::Incomplete { needed: Some(total) });
+    }
+    let payload = &buf[FRAME_HEADER_LEN..total];
+    if crc32(payload) != crc {
+        return Err(FrameError::BadCrc);
+    }
+    Ok((payload.to_vec(), total))
+}
+
+// ---------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------
+
+const REQ_HELLO: u8 = 1;
+const REQ_STATEMENT: u8 = 2;
+const REQ_HEALTH: u8 = 3;
+const REQ_SHUTDOWN: u8 = 4;
+const REQ_GOODBYE: u8 = 5;
+
+const RESP_HELLO: u8 = 128;
+const RESP_OUTCOME: u8 = 129;
+const RESP_HEALTH: u8 = 130;
+const RESP_SHUTDOWN_STARTED: u8 = 131;
+const RESP_GOODBYE: u8 = 132;
+const RESP_ERROR: u8 = 133;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Opens the connection; must be the first frame sent.
+    Hello {
+        /// The client's protocol version (must equal [`PROTO_VERSION`]).
+        proto_version: u32,
+        /// Free-form client identification (shown in server logs).
+        client: String,
+    },
+    /// One SQL statement (query, DDL, or a session `SET`).
+    Statement {
+        /// The SQL text.
+        sql: String,
+    },
+    /// Asks for the engine's health report.
+    Health,
+    /// Asks the server to begin a graceful shutdown.
+    Shutdown,
+    /// Announces the client is closing the connection.
+    Goodbye,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Accepts the connection.
+    Hello {
+        /// The server's protocol version.
+        proto_version: u32,
+        /// Identifier of the session created for this connection.
+        session_id: u64,
+        /// Free-form server identification.
+        server: String,
+    },
+    /// A statement executed; its outcome verbatim.
+    Outcome(StatementOutcome),
+    /// The health report.
+    Health(EngineHealth),
+    /// Graceful shutdown has begun; in-flight work drains, new queries
+    /// are refused.
+    ShutdownStarted,
+    /// Acknowledges a client `Goodbye` (or an idle connection closed by
+    /// server shutdown).
+    Goodbye,
+    /// The request failed with a typed error; the connection stays
+    /// usable unless the error says otherwise.
+    Error(ServerError),
+}
+
+/// A typed failure crossing the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// The engine rejected or aborted the statement — the exact
+    /// [`EngineError`], reconstructed on the client.
+    Engine(EngineError),
+    /// Admission control refused the query outright: the in-flight
+    /// limit is reached and the wait queue is full. Retryable.
+    Busy {
+        /// Queries executing when the request was refused.
+        in_flight: u64,
+        /// Requests already waiting in the admission queue.
+        queued: u64,
+    },
+    /// The query waited in the admission queue past the configured
+    /// timeout without a slot opening. Retryable.
+    QueueTimeout {
+        /// How long the request waited, in milliseconds.
+        waited_ms: u64,
+    },
+    /// The server is draining for shutdown; no new queries.
+    ShuttingDown,
+    /// The peer violated the protocol (bad handshake, undecodable
+    /// frame, request timeout). The connection is closed after this.
+    Protocol {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Engine(e) => write!(f, "{e}"),
+            ServerError::Busy { in_flight, queued } => write!(
+                f,
+                "server busy: {in_flight} queries in flight, {queued} queued"
+            ),
+            ServerError::QueueTimeout { waited_ms } => {
+                write!(f, "queued past the admission timeout ({waited_ms} ms)")
+            }
+            ServerError::ShuttingDown => write!(f, "server is shutting down"),
+            ServerError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+// ---------------------------------------------------------------------
+// Field codecs
+// ---------------------------------------------------------------------
+
+fn put_opt_u64(w: &mut WireWriter, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            w.put_bool(true);
+            w.put_u64(x);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn get_opt_u64(r: &mut WireReader<'_>) -> Result<Option<u64>, WireError> {
+    Ok(if r.get_bool()? { Some(r.get_u64()?) } else { None })
+}
+
+fn put_opt_str(w: &mut WireWriter, v: Option<&str>) {
+    match v {
+        Some(s) => {
+            w.put_bool(true);
+            w.put_str(s);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn get_opt_str(r: &mut WireReader<'_>) -> Result<Option<String>, WireError> {
+    Ok(if r.get_bool()? { Some(r.get_str()?) } else { None })
+}
+
+fn put_guard_resource(w: &mut WireWriter, g: GuardResource) {
+    w.put_u8(match g {
+        GuardResource::WallClock => 0,
+        GuardResource::RowsExamined => 1,
+        GuardResource::PagesRead => 2,
+        GuardResource::ModelInvocations => 3,
+    });
+}
+
+fn get_guard_resource(r: &mut WireReader<'_>) -> Result<GuardResource, WireError> {
+    Ok(match r.get_u8()? {
+        0 => GuardResource::WallClock,
+        1 => GuardResource::RowsExamined,
+        2 => GuardResource::PagesRead,
+        3 => GuardResource::ModelInvocations,
+        other => {
+            return Err(WireError::Invalid { detail: format!("guard resource tag {other}") })
+        }
+    })
+}
+
+fn put_guard(w: &mut WireWriter, g: &QueryGuard) {
+    put_opt_u64(w, g.deadline.map(|d| d.as_millis() as u64));
+    put_opt_u64(w, g.max_rows_examined);
+    put_opt_u64(w, g.max_pages);
+    put_opt_u64(w, g.max_model_invocations);
+}
+
+fn get_guard(r: &mut WireReader<'_>) -> Result<QueryGuard, WireError> {
+    Ok(QueryGuard {
+        deadline: get_opt_u64(r)?.map(Duration::from_millis),
+        max_rows_examined: get_opt_u64(r)?,
+        max_pages: get_opt_u64(r)?,
+        max_model_invocations: get_opt_u64(r)?,
+    })
+}
+
+fn put_metrics(w: &mut WireWriter, m: &ExecMetrics) {
+    w.put_u64(m.heap_pages_read);
+    w.put_u64(m.index_pages_read);
+    w.put_u64(m.rows_examined);
+    w.put_u64(m.model_invocations);
+    w.put_u64(m.output_rows);
+    w.put_u64(m.elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    put_opt_u64(w, m.guard.rows_remaining);
+    put_opt_u64(w, m.guard.pages_remaining);
+    put_opt_u64(w, m.guard.model_invocations_remaining);
+    put_opt_u64(w, m.guard.time_remaining_ms);
+    w.put_bool(m.index_fallback);
+}
+
+fn get_metrics(r: &mut WireReader<'_>) -> Result<ExecMetrics, WireError> {
+    Ok(ExecMetrics {
+        heap_pages_read: r.get_u64()?,
+        index_pages_read: r.get_u64()?,
+        rows_examined: r.get_u64()?,
+        model_invocations: r.get_u64()?,
+        output_rows: r.get_u64()?,
+        elapsed: Duration::from_nanos(r.get_u64()?),
+        guard: GuardHeadroom {
+            rows_remaining: get_opt_u64(r)?,
+            pages_remaining: get_opt_u64(r)?,
+            model_invocations_remaining: get_opt_u64(r)?,
+            time_remaining_ms: get_opt_u64(r)?,
+        },
+        index_fallback: r.get_bool()?,
+    })
+}
+
+fn put_query_outcome(w: &mut WireWriter, q: &QueryOutcome) {
+    w.put_u32(q.rows.len() as u32);
+    for &row in &q.rows {
+        w.put_u32(row);
+    }
+    put_metrics(w, &q.metrics);
+    w.put_str(&q.plan);
+    w.put_bool(q.plan_changed);
+    w.put_bool(q.cached_plan);
+}
+
+fn get_query_outcome(r: &mut WireReader<'_>) -> Result<QueryOutcome, WireError> {
+    let n = r.get_u32()? as usize;
+    // Bound the allocation by what the buffer could actually hold.
+    if n > r.remaining() / 4 {
+        return Err(WireError::Truncated { at: r.position() });
+    }
+    let rows = (0..n).map(|_| r.get_u32()).collect::<Result<Vec<_>, _>>()?;
+    Ok(QueryOutcome {
+        rows,
+        metrics: get_metrics(r)?,
+        plan: r.get_str()?,
+        plan_changed: r.get_bool()?,
+        cached_plan: r.get_bool()?,
+    })
+}
+
+fn put_recovery_report(w: &mut WireWriter, rep: &RecoveryReport) {
+    w.put_u64(rep.snapshot_lsn);
+    w.put_u64(rep.snapshots_skipped as u64);
+    w.put_u64(rep.wal_records_replayed);
+    w.put_u64(rep.records_dropped);
+    w.put_u64(rep.bytes_dropped);
+    put_opt_str(w, rep.corruption.as_deref());
+    w.put_bool(rep.clean_shutdown);
+}
+
+fn get_recovery_report(r: &mut WireReader<'_>) -> Result<RecoveryReport, WireError> {
+    Ok(RecoveryReport {
+        snapshot_lsn: r.get_u64()?,
+        snapshots_skipped: r.get_u64()? as usize,
+        wal_records_replayed: r.get_u64()?,
+        records_dropped: r.get_u64()?,
+        bytes_dropped: r.get_u64()?,
+        corruption: get_opt_str(r)?,
+        clean_shutdown: r.get_bool()?,
+    })
+}
+
+fn put_health(w: &mut WireWriter, h: &EngineHealth) {
+    w.put_u32(h.models.len() as u32);
+    for m in &h.models {
+        w.put_str(&m.name);
+        w.put_u64(m.version);
+        put_opt_str(w, m.degraded.as_deref());
+        w.put_u64(m.n_envelopes as u64);
+        w.put_u64(m.exact_envelopes as u64);
+    }
+    w.put_u64(h.tables as u64);
+    w.put_u64(h.cached_plans as u64);
+    match &h.recovery {
+        Some(rep) => {
+            w.put_bool(true);
+            put_recovery_report(w, rep);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn get_health(r: &mut WireReader<'_>) -> Result<EngineHealth, WireError> {
+    let n = r.get_u32()? as usize;
+    if n > r.remaining() {
+        return Err(WireError::Truncated { at: r.position() });
+    }
+    let models = (0..n)
+        .map(|_| {
+            Ok(ModelHealth {
+                name: r.get_str()?,
+                version: r.get_u64()?,
+                degraded: get_opt_str(r)?,
+                n_envelopes: r.get_u64()? as usize,
+                exact_envelopes: r.get_u64()? as usize,
+            })
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    Ok(EngineHealth {
+        models,
+        tables: r.get_u64()? as usize,
+        cached_plans: r.get_u64()? as usize,
+        recovery: if r.get_bool()? { Some(get_recovery_report(r)?) } else { None },
+    })
+}
+
+const ENGERR_UNKNOWN_TABLE: u8 = 0;
+const ENGERR_UNKNOWN_MODEL: u8 = 1;
+const ENGERR_UNKNOWN_COLUMN: u8 = 2;
+const ENGERR_UNKNOWN_CLASS: u8 = 3;
+const ENGERR_SCHEMA_MISMATCH: u8 = 4;
+const ENGERR_PARSE: u8 = 5;
+const ENGERR_BAD_VALUE: u8 = 6;
+const ENGERR_DUPLICATE: u8 = 7;
+const ENGERR_BUDGET: u8 = 8;
+const ENGERR_INTERNAL: u8 = 9;
+const ENGERR_IO: u8 = 10;
+const ENGERR_CORRUPT: u8 = 11;
+
+fn put_engine_error(w: &mut WireWriter, e: &EngineError) {
+    match e {
+        EngineError::UnknownTable(s) => {
+            w.put_u8(ENGERR_UNKNOWN_TABLE);
+            w.put_str(s);
+        }
+        EngineError::UnknownModel(s) => {
+            w.put_u8(ENGERR_UNKNOWN_MODEL);
+            w.put_str(s);
+        }
+        EngineError::UnknownColumn(s) => {
+            w.put_u8(ENGERR_UNKNOWN_COLUMN);
+            w.put_str(s);
+        }
+        EngineError::UnknownClass { model, label } => {
+            w.put_u8(ENGERR_UNKNOWN_CLASS);
+            w.put_str(model);
+            w.put_str(label);
+        }
+        EngineError::SchemaMismatch { detail } => {
+            w.put_u8(ENGERR_SCHEMA_MISMATCH);
+            w.put_str(detail);
+        }
+        EngineError::Parse { at, detail } => {
+            w.put_u8(ENGERR_PARSE);
+            w.put_u64(*at as u64);
+            w.put_str(detail);
+        }
+        EngineError::BadValue(s) => {
+            w.put_u8(ENGERR_BAD_VALUE);
+            w.put_str(s);
+        }
+        EngineError::Duplicate(s) => {
+            w.put_u8(ENGERR_DUPLICATE);
+            w.put_str(s);
+        }
+        EngineError::BudgetExceeded { resource, spent, limit } => {
+            w.put_u8(ENGERR_BUDGET);
+            put_guard_resource(w, *resource);
+            w.put_u64(*spent);
+            w.put_u64(*limit);
+        }
+        EngineError::Internal { detail } => {
+            w.put_u8(ENGERR_INTERNAL);
+            w.put_str(detail);
+        }
+        EngineError::Io { detail } => {
+            w.put_u8(ENGERR_IO);
+            w.put_str(detail);
+        }
+        EngineError::Corrupt { detail } => {
+            w.put_u8(ENGERR_CORRUPT);
+            w.put_str(detail);
+        }
+    }
+}
+
+fn get_engine_error(r: &mut WireReader<'_>) -> Result<EngineError, WireError> {
+    Ok(match r.get_u8()? {
+        ENGERR_UNKNOWN_TABLE => EngineError::UnknownTable(r.get_str()?),
+        ENGERR_UNKNOWN_MODEL => EngineError::UnknownModel(r.get_str()?),
+        ENGERR_UNKNOWN_COLUMN => EngineError::UnknownColumn(r.get_str()?),
+        ENGERR_UNKNOWN_CLASS => {
+            EngineError::UnknownClass { model: r.get_str()?, label: r.get_str()? }
+        }
+        ENGERR_SCHEMA_MISMATCH => EngineError::SchemaMismatch { detail: r.get_str()? },
+        ENGERR_PARSE => {
+            EngineError::Parse { at: r.get_u64()? as usize, detail: r.get_str()? }
+        }
+        ENGERR_BAD_VALUE => EngineError::BadValue(r.get_str()?),
+        ENGERR_DUPLICATE => EngineError::Duplicate(r.get_str()?),
+        ENGERR_BUDGET => EngineError::BudgetExceeded {
+            resource: get_guard_resource(r)?,
+            spent: r.get_u64()?,
+            limit: r.get_u64()?,
+        },
+        ENGERR_INTERNAL => EngineError::Internal { detail: r.get_str()? },
+        ENGERR_IO => EngineError::Io { detail: r.get_str()? },
+        ENGERR_CORRUPT => EngineError::Corrupt { detail: r.get_str()? },
+        other => {
+            return Err(WireError::Invalid { detail: format!("engine error tag {other}") })
+        }
+    })
+}
+
+const SRVERR_ENGINE: u8 = 0;
+const SRVERR_BUSY: u8 = 1;
+const SRVERR_QUEUE_TIMEOUT: u8 = 2;
+const SRVERR_SHUTTING_DOWN: u8 = 3;
+const SRVERR_PROTOCOL: u8 = 4;
+
+fn put_server_error(w: &mut WireWriter, e: &ServerError) {
+    match e {
+        ServerError::Engine(inner) => {
+            w.put_u8(SRVERR_ENGINE);
+            put_engine_error(w, inner);
+        }
+        ServerError::Busy { in_flight, queued } => {
+            w.put_u8(SRVERR_BUSY);
+            w.put_u64(*in_flight);
+            w.put_u64(*queued);
+        }
+        ServerError::QueueTimeout { waited_ms } => {
+            w.put_u8(SRVERR_QUEUE_TIMEOUT);
+            w.put_u64(*waited_ms);
+        }
+        ServerError::ShuttingDown => w.put_u8(SRVERR_SHUTTING_DOWN),
+        ServerError::Protocol { detail } => {
+            w.put_u8(SRVERR_PROTOCOL);
+            w.put_str(detail);
+        }
+    }
+}
+
+fn get_server_error(r: &mut WireReader<'_>) -> Result<ServerError, WireError> {
+    Ok(match r.get_u8()? {
+        SRVERR_ENGINE => ServerError::Engine(get_engine_error(r)?),
+        SRVERR_BUSY => ServerError::Busy { in_flight: r.get_u64()?, queued: r.get_u64()? },
+        SRVERR_QUEUE_TIMEOUT => ServerError::QueueTimeout { waited_ms: r.get_u64()? },
+        SRVERR_SHUTTING_DOWN => ServerError::ShuttingDown,
+        SRVERR_PROTOCOL => ServerError::Protocol { detail: r.get_str()? },
+        other => {
+            return Err(WireError::Invalid { detail: format!("server error tag {other}") })
+        }
+    })
+}
+
+const OUTCOME_QUERY: u8 = 0;
+const OUTCOME_MODEL_CREATED: u8 = 1;
+const OUTCOME_PARALLELISM_SET: u8 = 2;
+const OUTCOME_GUARD_SET: u8 = 3;
+
+fn put_outcome(w: &mut WireWriter, o: &StatementOutcome) {
+    match o {
+        StatementOutcome::Query(q) => {
+            w.put_u8(OUTCOME_QUERY);
+            put_query_outcome(w, q);
+        }
+        StatementOutcome::ModelCreated { name, model, n_classes, degraded } => {
+            w.put_u8(OUTCOME_MODEL_CREATED);
+            w.put_str(name);
+            w.put_u64(*model as u64);
+            w.put_u64(*n_classes as u64);
+            put_opt_str(w, degraded.as_deref());
+        }
+        StatementOutcome::ParallelismSet { dop } => {
+            w.put_u8(OUTCOME_PARALLELISM_SET);
+            w.put_u64(*dop as u64);
+        }
+        StatementOutcome::GuardSet { guard } => {
+            w.put_u8(OUTCOME_GUARD_SET);
+            put_guard(w, guard);
+        }
+    }
+}
+
+fn get_outcome(r: &mut WireReader<'_>) -> Result<StatementOutcome, WireError> {
+    Ok(match r.get_u8()? {
+        OUTCOME_QUERY => StatementOutcome::Query(get_query_outcome(r)?),
+        OUTCOME_MODEL_CREATED => StatementOutcome::ModelCreated {
+            name: r.get_str()?,
+            model: r.get_u64()? as usize,
+            n_classes: r.get_u64()? as usize,
+            degraded: get_opt_str(r)?,
+        },
+        OUTCOME_PARALLELISM_SET => {
+            StatementOutcome::ParallelismSet { dop: r.get_u64()? as usize }
+        }
+        OUTCOME_GUARD_SET => StatementOutcome::GuardSet { guard: get_guard(r)? },
+        other => {
+            return Err(WireError::Invalid { detail: format!("outcome tag {other}") })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Message codecs
+// ---------------------------------------------------------------------
+
+impl Request {
+    /// Serializes this request to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Request::Hello { proto_version, client } => {
+                w.put_u8(REQ_HELLO);
+                w.put_u32(*proto_version);
+                w.put_str(client);
+            }
+            Request::Statement { sql } => {
+                w.put_u8(REQ_STATEMENT);
+                w.put_str(sql);
+            }
+            Request::Health => w.put_u8(REQ_HEALTH),
+            Request::Shutdown => w.put_u8(REQ_SHUTDOWN),
+            Request::Goodbye => w.put_u8(REQ_GOODBYE),
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a frame payload; every byte must be consumed.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = WireReader::new(payload);
+        let req = match r.get_u8()? {
+            REQ_HELLO => {
+                Request::Hello { proto_version: r.get_u32()?, client: r.get_str()? }
+            }
+            REQ_STATEMENT => Request::Statement { sql: r.get_str()? },
+            REQ_HEALTH => Request::Health,
+            REQ_SHUTDOWN => Request::Shutdown,
+            REQ_GOODBYE => Request::Goodbye,
+            other => {
+                return Err(WireError::Invalid { detail: format!("request tag {other}") })
+            }
+        };
+        if !r.is_exhausted() {
+            return Err(WireError::Invalid {
+                detail: format!("{} trailing bytes after request", r.remaining()),
+            });
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes this response to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Response::Hello { proto_version, session_id, server } => {
+                w.put_u8(RESP_HELLO);
+                w.put_u32(*proto_version);
+                w.put_u64(*session_id);
+                w.put_str(server);
+            }
+            Response::Outcome(o) => {
+                w.put_u8(RESP_OUTCOME);
+                put_outcome(&mut w, o);
+            }
+            Response::Health(h) => {
+                w.put_u8(RESP_HEALTH);
+                put_health(&mut w, h);
+            }
+            Response::ShutdownStarted => w.put_u8(RESP_SHUTDOWN_STARTED),
+            Response::Goodbye => w.put_u8(RESP_GOODBYE),
+            Response::Error(e) => {
+                w.put_u8(RESP_ERROR);
+                put_server_error(&mut w, e);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a frame payload; every byte must be consumed.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = WireReader::new(payload);
+        let resp = match r.get_u8()? {
+            RESP_HELLO => Response::Hello {
+                proto_version: r.get_u32()?,
+                session_id: r.get_u64()?,
+                server: r.get_str()?,
+            },
+            RESP_OUTCOME => Response::Outcome(get_outcome(&mut r)?),
+            RESP_HEALTH => Response::Health(get_health(&mut r)?),
+            RESP_SHUTDOWN_STARTED => Response::ShutdownStarted,
+            RESP_GOODBYE => Response::Goodbye,
+            RESP_ERROR => Response::Error(get_server_error(&mut r)?),
+            other => {
+                return Err(WireError::Invalid { detail: format!("response tag {other}") })
+            }
+        };
+        if !r.is_exhausted() {
+            return Err(WireError::Invalid {
+                detail: format!("{} trailing bytes after response", r.remaining()),
+            });
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_and_boundaries() {
+        let payload = b"hello, frames".to_vec();
+        let frame = encode_frame(&payload);
+        let (back, consumed) = decode_frame(&frame, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(consumed, frame.len());
+        // Every strict prefix is Incomplete, never an error of another
+        // kind and never a panic.
+        for cut in 0..frame.len() {
+            assert!(matches!(
+                decode_frame(&frame[..cut], DEFAULT_MAX_FRAME_LEN),
+                Err(FrameError::Incomplete { .. })
+            ));
+        }
+        // A flipped payload byte fails the CRC.
+        let mut torn = frame.clone();
+        *torn.last_mut().unwrap() ^= 0x01;
+        assert_eq!(decode_frame(&torn, DEFAULT_MAX_FRAME_LEN), Err(FrameError::BadCrc));
+        // A hostile length prefix is refused before any allocation.
+        let mut hostile = frame;
+        hostile[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&hostile, DEFAULT_MAX_FRAME_LEN),
+            Err(FrameError::TooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Hello { proto_version: PROTO_VERSION, client: "repl".into() },
+            Request::Statement { sql: "SELECT * FROM t WHERE PREDICT(m) = 'c1'".into() },
+            Request::Health,
+            Request::Shutdown,
+            Request::Goodbye,
+        ];
+        for req in &reqs {
+            assert_eq!(&Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_including_rich_outcomes() {
+        let outcome = StatementOutcome::Query(QueryOutcome {
+            rows: vec![1, 5, 9, 1000],
+            metrics: ExecMetrics {
+                heap_pages_read: 3,
+                index_pages_read: 2,
+                rows_examined: 40,
+                model_invocations: 12,
+                output_rows: 4,
+                elapsed: Duration::from_micros(1234),
+                guard: GuardHeadroom {
+                    rows_remaining: Some(60),
+                    pages_remaining: None,
+                    model_invocations_remaining: Some(0),
+                    time_remaining_ms: Some(17),
+                },
+                index_fallback: true,
+            },
+            plan: "index seek ...".into(),
+            plan_changed: true,
+            cached_plan: false,
+        });
+        let health = EngineHealth {
+            models: vec![ModelHealth {
+                name: "m".into(),
+                version: 3,
+                degraded: Some("derivation timeout".into()),
+                n_envelopes: 4,
+                exact_envelopes: 2,
+            }],
+            tables: 2,
+            cached_plans: 5,
+            recovery: Some(RecoveryReport {
+                snapshot_lsn: 17,
+                snapshots_skipped: 1,
+                wal_records_replayed: 4,
+                records_dropped: 2,
+                bytes_dropped: 99,
+                corruption: Some("crc mismatch at byte 123".into()),
+                clean_shutdown: false,
+            }),
+        };
+        let resps = [
+            Response::Hello { proto_version: 1, session_id: 42, server: "mpq".into() },
+            Response::Outcome(outcome),
+            Response::Outcome(StatementOutcome::ModelCreated {
+                name: "m2".into(),
+                model: 1,
+                n_classes: 3,
+                degraded: None,
+            }),
+            Response::Outcome(StatementOutcome::ParallelismSet { dop: 8 }),
+            Response::Outcome(StatementOutcome::GuardSet {
+                guard: QueryGuard::default()
+                    .with_deadline(Duration::from_millis(250))
+                    .with_max_pages(100),
+            }),
+            Response::Health(health),
+            Response::ShutdownStarted,
+            Response::Goodbye,
+            Response::Error(ServerError::Engine(EngineError::BudgetExceeded {
+                resource: GuardResource::PagesRead,
+                spent: 11,
+                limit: 10,
+            })),
+            Response::Error(ServerError::Busy { in_flight: 8, queued: 64 }),
+            Response::Error(ServerError::QueueTimeout { waited_ms: 2000 }),
+            Response::Error(ServerError::ShuttingDown),
+            Response::Error(ServerError::Protocol { detail: "bad hello".into() }),
+        ];
+        for resp in &resps {
+            assert_eq!(&Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_fail_cleanly() {
+        let resp = Response::Outcome(StatementOutcome::Query(QueryOutcome {
+            rows: vec![3, 4, 5],
+            metrics: ExecMetrics::default(),
+            plan: "full scan".into(),
+            plan_changed: false,
+            cached_plan: true,
+        }));
+        let payload = resp.encode();
+        for cut in 0..payload.len() {
+            assert!(Response::decode(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Differential oracle for the wire protocol: results fetched through
+//! the TCP server must be byte-identical (rows) and metric-identical
+//! (everything but wall-clock) to direct in-process `Engine` calls — at
+//! 1, 8 and 32 concurrent clients, and the server must survive injected
+//! connection drops, torn frames, slow-loris clients and scorer panics
+//! with *typed* client-visible errors.
+
+use mpq_client::{Client, ClientError};
+use mpq_engine::{Catalog, Engine, EngineError, SessionState, StatementOutcome, Table};
+use mpq_server::{AdmissionConfig, Server, ServerConfig, ServerError};
+use mpq_types::{AttrDomain, AttrId, Attribute, Dataset, Schema};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Demo-shaped engine: table `t(a, b, label)` over tiny pages with two
+/// single-column indexes and two classifiers, the same catalog
+/// `mpq-serverd --demo` serves.
+fn demo_engine() -> Arc<Engine> {
+    let schema = Schema::new(vec![
+        Attribute::new("a", AttrDomain::categorical(["a0", "a1", "a2", "a3"])),
+        Attribute::new("b", AttrDomain::categorical(["b0", "b1", "b2"])),
+        Attribute::new("label", AttrDomain::categorical(["neg", "pos"])),
+    ])
+    .unwrap();
+    let mut ds = Dataset::new(schema);
+    for i in 0..600u16 {
+        let (a, b) = (i % 4, (i / 4) % 3);
+        let label = u16::from(a >= 2 && b != 1);
+        ds.push_encoded(&[a, b, label]).unwrap();
+    }
+    let mut cat = Catalog::new();
+    let t = cat.add_table(Table::with_page_bytes("t", &ds, 512)).unwrap();
+    cat.create_index(t, &[AttrId(0)]);
+    cat.create_index(t, &[AttrId(1)]);
+    let e = Engine::new(cat);
+    e.set_parallelism(2); // keep 32 concurrent clients from over-threading
+    for ddl in [
+        "CREATE MINING MODEL m_tree ON t PREDICT label USING decision_tree",
+        "CREATE MINING MODEL m_bayes ON t PREDICT label USING bayes",
+    ] {
+        e.execute_sql(ddl).expect(ddl);
+    }
+    Arc::new(e)
+}
+
+/// The statement corpus every client replays: mining predicates alone,
+/// mixed with column atoms, plain column queries, and EXPLAIN.
+const CORPUS: &[&str] = &[
+    "SELECT * FROM t WHERE PREDICT(m_tree) = 'pos'",
+    "SELECT * FROM t WHERE PREDICT(m_tree) = 'neg'",
+    "SELECT * FROM t WHERE PREDICT(m_bayes) = 'pos' AND a = 'a2'",
+    "SELECT * FROM t WHERE PREDICT(m_bayes) = 'neg' OR b = 'b1'",
+    "SELECT * FROM t WHERE a = 'a1'",
+    "SELECT * FROM t WHERE a IN ('a0', 'a3') AND b = 'b2'",
+    "EXPLAIN SELECT * FROM t WHERE PREDICT(m_tree) = 'pos'",
+];
+
+/// Zeroes the only field two identical executions may legitimately
+/// disagree on: wall-clock time (and its guard-headroom shadow).
+fn normalize(mut o: StatementOutcome) -> StatementOutcome {
+    if let StatementOutcome::Query(q) = &mut o {
+        q.metrics.elapsed = Duration::ZERO;
+        q.metrics.guard.time_remaining_ms = None;
+    }
+    o
+}
+
+/// Reference outcomes straight from the engine, after a warmup pass so
+/// both reference and wire runs see a hot plan cache.
+fn expected_outcomes(engine: &Engine) -> Vec<StatementOutcome> {
+    let mut warm = SessionState::new();
+    for sql in CORPUS {
+        engine.execute_sql_in(sql, &mut warm).expect(sql);
+    }
+    let mut session = SessionState::new();
+    CORPUS
+        .iter()
+        .map(|sql| normalize(engine.execute_sql_in(sql, &mut session).expect(sql)))
+        .collect()
+}
+
+fn start(engine: Arc<Engine>) -> Server {
+    let cfg = ServerConfig {
+        admission: AdmissionConfig {
+            max_in_flight: 8,
+            max_queue: 256,
+            queue_timeout: Duration::from_secs(30),
+        },
+        ..ServerConfig::default()
+    };
+    Server::start(engine, cfg).expect("bind loopback")
+}
+
+/// The tentpole guarantee: N concurrent wire clients each replaying the
+/// corpus get exactly the in-process outcomes — same rows, same
+/// deterministic metrics, same plans.
+#[test]
+fn wire_matches_in_process_at_1_8_32_clients() {
+    let engine = demo_engine();
+    let expected = Arc::new(expected_outcomes(&engine));
+    let server = start(Arc::clone(&engine));
+    let addr = server.local_addr();
+
+    for n_clients in [1usize, 8, 32] {
+        let threads: Vec<_> = (0..n_clients)
+            .map(|tid| {
+                let expected = Arc::clone(&expected);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for round in 0..3 {
+                        for (i, sql) in CORPUS.iter().enumerate() {
+                            let got = normalize(
+                                client.statement(sql).unwrap_or_else(|e| {
+                                    panic!("client {tid} round {round}: {sql}: {e}")
+                                }),
+                            );
+                            assert_eq!(
+                                got, expected[i],
+                                "client {tid} round {round} diverged on {sql}"
+                            );
+                        }
+                    }
+                    client.goodbye().expect("goodbye");
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("client thread");
+        }
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.connections, 1 + 8 + 32);
+    assert_eq!(
+        report.queries_served,
+        (1 + 8 + 32) as u64 * 3 * CORPUS.len() as u64
+    );
+}
+
+/// Session scoping over the wire: a `SET GUARD` on one connection
+/// throttles only that connection; a `SET PARALLELISM` shows up in that
+/// session's EXPLAIN and nobody else's.
+#[test]
+fn sessions_are_scoped_per_connection() {
+    let engine = demo_engine();
+    let server = start(engine);
+    let addr = server.local_addr();
+
+    let mut c1 = Client::connect(addr).unwrap();
+    let mut c2 = Client::connect(addr).unwrap();
+    assert_ne!(c1.session_id(), c2.session_id());
+
+    // c1 throttles itself to one examined row; c2 is unaffected.
+    match c1.statement("SET GUARD ROWS 1").unwrap() {
+        StatementOutcome::GuardSet { guard } => {
+            assert_eq!(guard.max_rows_examined, Some(1));
+        }
+        other => panic!("expected GuardSet, got {other:?}"),
+    }
+    let sql = "SELECT * FROM t WHERE PREDICT(m_bayes) = 'pos'";
+    match c1.statement(sql) {
+        Err(ClientError::Remote(ServerError::Engine(EngineError::BudgetExceeded {
+            ..
+        }))) => {}
+        other => panic!("c1 must breach its guard, got {other:?}"),
+    }
+    c2.query(sql).expect("c2 runs unguarded");
+
+    // c1 lifts its guard and recovers — same connection, typed error
+    // did not poison the session.
+    c1.statement("SET GUARD OFF").unwrap();
+    c1.query(sql).expect("c1 recovered after SET GUARD OFF");
+
+    // Parallelism override is session-local too.
+    match c1.statement("SET PARALLELISM 4").unwrap() {
+        StatementOutcome::ParallelismSet { dop } => assert_eq!(dop, 4),
+        other => panic!("expected ParallelismSet, got {other:?}"),
+    }
+    let explain = "EXPLAIN SELECT * FROM t WHERE a = 'a1'";
+    let p1 = match c1.statement(explain).unwrap() {
+        StatementOutcome::Query(q) => q.plan,
+        other => panic!("expected Query, got {other:?}"),
+    };
+    let p2 = match c2.statement(explain).unwrap() {
+        StatementOutcome::Query(q) => q.plan,
+        other => panic!("expected Query, got {other:?}"),
+    };
+    assert!(p1.contains("parallelism: 4"), "c1 plan must show its dop: {p1}");
+    assert!(!p2.contains("parallelism: 4"), "c2 plan must not inherit c1's dop: {p2}");
+
+    drop(c1);
+    drop(c2);
+    server.shutdown();
+}
+
+/// Injected connection faults: a drop mid-response and a torn frame
+/// each fail exactly one exchange with a typed client error; the server
+/// stays up and a reconnecting client gets correct results again.
+#[test]
+fn survives_connection_drops_and_torn_frames() {
+    let engine = demo_engine();
+    let expected = expected_outcomes(&engine);
+    let faults = engine.fault_injector();
+    let server = start(Arc::clone(&engine));
+    let addr = server.local_addr();
+    let sql = CORPUS[0];
+
+    // Drop mid-response: the client sees a severed connection, never a
+    // half-decoded result.
+    let mut client = Client::connect(addr).unwrap();
+    faults.set_conn_drop_mid_response(true);
+    match client.statement(sql) {
+        Err(ClientError::Disconnected | ClientError::Io(_) | ClientError::Frame(_)) => {}
+        other => panic!("expected a connection failure, got {other:?}"),
+    }
+    assert!(!faults.conn_drop_mid_response_armed(), "one-shot fault consumed");
+
+    // The server survived: reconnect and get the exact oracle answer.
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(normalize(client.statement(sql).unwrap()), expected[0]);
+
+    // Torn frame: CRC catches the corruption, typed Frame error.
+    faults.set_conn_torn_frame(true);
+    match client.statement(sql) {
+        Err(ClientError::Frame(detail)) => {
+            assert!(detail.contains("CRC"), "typed CRC failure, got: {detail}");
+        }
+        other => panic!("expected Frame error, got {other:?}"),
+    }
+    assert!(!faults.conn_torn_frame_armed(), "one-shot fault consumed");
+
+    // Again: server fine, fresh connection correct.
+    let mut client = Client::connect(addr).unwrap();
+    for (i, sql) in CORPUS.iter().enumerate() {
+        assert_eq!(normalize(client.statement(sql).unwrap()), expected[i]);
+    }
+    server.shutdown();
+}
+
+/// A scorer panic inside the engine arrives at the client as a typed
+/// `Internal` error frame; the connection and the server both stay
+/// usable for the next statement.
+#[test]
+fn scorer_panic_is_a_typed_error_frame() {
+    let engine = demo_engine();
+    let expected = expected_outcomes(&engine);
+    let faults = engine.fault_injector();
+    let server = start(Arc::clone(&engine));
+    let addr = server.local_addr();
+    let sql = CORPUS[0];
+
+    let mut client = Client::connect(addr).unwrap();
+    faults.set_scorer_panic(true);
+    match client.statement(sql) {
+        Err(ClientError::Remote(ServerError::Engine(EngineError::Internal { detail }))) => {
+            assert!(detail.contains("scorer panicked"), "got: {detail}");
+        }
+        other => panic!("expected typed Internal, got {other:?}"),
+    }
+    faults.reset();
+
+    // Same connection, next statement: correct again.
+    assert_eq!(normalize(client.statement(sql).unwrap()), expected[0]);
+    client.goodbye().unwrap();
+    server.shutdown();
+}
+
+/// A slow-loris client (one byte every 10 ms) trips the server's
+/// request-read deadline; the server reports a typed protocol error,
+/// closes that connection only, and keeps serving honest clients.
+#[test]
+fn slow_loris_is_cut_off_without_collateral() {
+    let engine = demo_engine();
+    let expected = expected_outcomes(&engine);
+    let faults = engine.fault_injector();
+    let cfg = ServerConfig {
+        request_read_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&engine), cfg).expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Handshake at full speed, then arm the trickle.
+    let mut slow = Client::connect_with(addr, Arc::clone(&faults)).unwrap();
+    faults.set_conn_slow_loris(true);
+    match slow.statement(CORPUS[0]) {
+        Err(
+            ClientError::Remote(ServerError::Protocol { .. })
+            | ClientError::Disconnected
+            | ClientError::Io(_),
+        ) => {}
+        other => panic!("slow-loris must be cut off, got {other:?}"),
+    }
+    faults.set_conn_slow_loris(false);
+
+    // An honest client on the same server is unaffected.
+    let mut honest = Client::connect(addr).unwrap();
+    assert_eq!(normalize(honest.statement(CORPUS[0]).unwrap()), expected[0]);
+    honest.goodbye().unwrap();
+    server.shutdown();
+}

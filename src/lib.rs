@@ -24,7 +24,10 @@
 //!   implementing §4's rewrites, an executor with honest page/invocation
 //!   accounting, a SQL surface and an index-tuning-wizard-lite;
 //! * [`pmml`] — PMML-flavoured model import/export (§2.3's path);
-//! * [`datagen`] — synthetic stand-ins for the paper's Table-2 datasets.
+//! * [`datagen`] — synthetic stand-ins for the paper's Table-2 datasets;
+//! * [`server`] / [`client`] — a multi-client TCP wire-protocol server
+//!   over the engine (framed protocol, per-connection sessions, admission
+//!   control, graceful shutdown) and its client library.
 //!
 //! ## Quickstart
 //!
@@ -59,11 +62,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use mpq_client as client;
 pub use mpq_core as core;
 pub use mpq_datagen as datagen;
 pub use mpq_engine as engine;
 pub use mpq_models as models;
 pub use mpq_pmml as pmml;
+pub use mpq_server as server;
 pub use mpq_types as types;
 
 /// The most common imports in one place.
