@@ -49,7 +49,8 @@ fn main() {
     let mut baseline: Option<(Vec<u32>, f64)> = None;
     let mut results = Vec::new();
     for dop in DOPS {
-        let opts = ExecOptions { parallelism: dop, io_stall: Some(IO_STALL) };
+        let opts =
+            ExecOptions { parallelism: dop, io_stall: Some(IO_STALL), ..ExecOptions::default() };
         let mut times_ms = Vec::with_capacity(RUNS);
         let mut rows = Vec::new();
         let mut pages = 0;

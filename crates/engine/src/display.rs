@@ -137,6 +137,12 @@ pub fn plan_to_string(plan: &Plan, schema: &Schema, catalog: &Catalog) -> String
         plan.est_selectivity * 100.0,
         expr_to_sql(&plan.residual, schema, catalog)
     );
+    if plan.est_pages_skipped > 0 {
+        text.push_str(&format!(
+            "\n  zone maps: ~{} pages provably empty, skipped",
+            plan.est_pages_skipped
+        ));
+    }
     for m in &plan.degraded_models {
         let entry = catalog.model(*m);
         let reason = entry.degraded.as_deref().unwrap_or("unknown");

@@ -39,6 +39,31 @@ impl AtomPred {
             AtomPred::In(s) => s.contains(m),
         }
     }
+
+    /// The exact set of matching members over a domain of `card`
+    /// members — the bitset form the vectorized executor tests
+    /// column-at-a-time. Out-of-domain bounds clamp to the domain, so
+    /// the set agrees with [`AtomPred::matches`] on every storable
+    /// member.
+    pub fn member_set(&self, card: u16) -> MemberSet {
+        match self {
+            AtomPred::Eq(v) => {
+                if *v < card {
+                    MemberSet::of(card, [*v])
+                } else {
+                    MemberSet::empty(card)
+                }
+            }
+            AtomPred::Range { lo, hi } => {
+                if card == 0 || *lo > *hi || *lo >= card {
+                    MemberSet::empty(card)
+                } else {
+                    MemberSet::range(card, *lo, (*hi).min(card - 1))
+                }
+            }
+            AtomPred::In(s) => s.clone(),
+        }
+    }
 }
 
 /// A column atom.
@@ -403,6 +428,24 @@ mod tests {
         assert!(AtomPred::Range { lo: 1, hi: 2 }.matches(2));
         assert!(!AtomPred::Range { lo: 1, hi: 2 }.matches(3));
         assert!(AtomPred::In(MemberSet::of(4, [0, 3])).matches(3));
+    }
+
+    #[test]
+    fn member_set_agrees_with_matches() {
+        let preds = [
+            AtomPred::Eq(2),
+            AtomPred::Eq(9), // out of domain
+            AtomPred::Range { lo: 1, hi: 2 },
+            AtomPred::Range { lo: 2, hi: 9 }, // clamped
+            AtomPred::Range { lo: 5, hi: 9 }, // fully out of domain
+            AtomPred::In(MemberSet::of(4, [0, 3])),
+        ];
+        for p in &preds {
+            let s = p.member_set(4);
+            for m in 0..4u16 {
+                assert_eq!(s.contains(m), p.matches(m), "{p:?} member {m}");
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 /// Sentinel for "no morsel targeted" in [`FaultInjector::scorer_panic_morsel`].
 const NO_MORSEL: usize = usize::MAX;
 
+/// Sentinel for "no page targeted" in [`FaultInjector::scorer_panic_page`].
+const NO_PAGE: usize = usize::MAX;
+
 /// Switchboard of injectable faults. All flags default to off.
 ///
 /// Intended for tests; arming faults in production turns healthy queries
@@ -27,6 +30,9 @@ pub struct FaultInjector {
     /// Morsel index whose worker should panic mid-scan; `NO_MORSEL`
     /// when disarmed.
     scorer_panic_morsel: AtomicUsize,
+    /// Heap page whose scan should panic (both executors, any degree of
+    /// parallelism); `NO_PAGE` when disarmed.
+    scorer_panic_page: AtomicUsize,
     derive_timeout: AtomicBool,
     derive_grid_too_large: AtomicBool,
     wal_torn_write: AtomicBool,
@@ -44,6 +50,7 @@ impl Default for FaultInjector {
             scorer_nan: AtomicBool::new(false),
             scorer_panic: AtomicBool::new(false),
             scorer_panic_morsel: AtomicUsize::new(NO_MORSEL),
+            scorer_panic_page: AtomicUsize::new(NO_PAGE),
             derive_timeout: AtomicBool::new(false),
             derive_grid_too_large: AtomicBool::new(false),
             wal_torn_write: AtomicBool::new(false),
@@ -112,6 +119,22 @@ impl FaultInjector {
     pub fn scorer_panic_morsel(&self) -> Option<usize> {
         let m = self.scorer_panic_morsel.load(Ordering::Relaxed);
         (m != NO_MORSEL).then_some(m)
+    }
+
+    /// Arm a scorer panic while scanning heap page `page` of the next
+    /// execution (`None` disarms). Unlike the morsel-targeted fault —
+    /// whose unit only exists in the parallel executor — pages are the
+    /// shared scan unit, so this fault fires identically under the
+    /// serial, vectorized, and parallel paths; fault-parity tests use
+    /// it to prove all of them surface the same typed error.
+    pub fn set_scorer_panic_on_page(&self, page: Option<usize>) {
+        self.scorer_panic_page.store(page.unwrap_or(NO_PAGE), Ordering::Relaxed);
+    }
+
+    /// The heap page armed to panic, if any.
+    pub fn scorer_panic_page(&self) -> Option<usize> {
+        let p = self.scorer_panic_page.load(Ordering::Relaxed);
+        (p != NO_PAGE).then_some(p)
     }
 
     /// Arm/disarm forced derivation timeouts. Armed, envelope
@@ -252,6 +275,7 @@ impl FaultInjector {
         self.set_scorer_nan(false);
         self.set_scorer_panic(false);
         self.set_scorer_panic_on_morsel(None);
+        self.set_scorer_panic_on_page(None);
         self.set_derive_timeout(false);
         self.set_derive_grid_too_large(false);
         self.set_wal_torn_write(false);
@@ -268,6 +292,7 @@ impl FaultInjector {
             || self.scorer_nan_armed()
             || self.scorer_panic_armed()
             || self.scorer_panic_morsel().is_some()
+            || self.scorer_panic_page().is_some()
             || self.derive_timeout_armed()
             || self.derive_grid_too_large_armed()
             || self.wal_torn_write_armed()
@@ -326,6 +351,20 @@ mod tests {
         f.set_scorer_panic_on_morsel(Some(0));
         f.reset();
         assert_eq!(f.scorer_panic_morsel(), None);
+        assert!(!f.any_armed());
+    }
+
+    #[test]
+    fn page_targeted_panic_round_trips() {
+        let f = FaultInjector::new();
+        assert_eq!(f.scorer_panic_page(), None);
+        f.set_scorer_panic_on_page(Some(2));
+        assert_eq!(f.scorer_panic_page(), Some(2));
+        assert!(f.any_armed());
+        f.set_scorer_panic_on_page(Some(0));
+        assert_eq!(f.scorer_panic_page(), Some(0));
+        f.reset();
+        assert_eq!(f.scorer_panic_page(), None);
         assert!(!f.any_armed());
     }
 }

@@ -167,6 +167,13 @@ impl GuardState {
         self.clock.elapsed()
     }
 
+    /// The configured budgets. The vectorized executor charges rows in
+    /// page batches and needs the raw limits to emulate the reference
+    /// executor's per-row trip points.
+    pub(crate) fn guard(&self) -> &QueryGuard {
+        &self.guard
+    }
+
     /// Checks only the wall-clock budget. The parallel executor's
     /// workers use this between the exact atomic budget charges — a
     /// deadline probe needs no counters, just the clock.

@@ -41,6 +41,7 @@ mod sql;
 mod stats;
 mod table;
 mod tuner;
+mod vectorized;
 
 pub use catalog::{Catalog, ModelEntry, TableEntry};
 pub use display::{expr_to_sql, plan_to_string};
@@ -62,3 +63,4 @@ pub use sql::{parse, parse_statement, ModelAlgorithm, ParsedQuery, Statement};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{RowId, Table, ASSUMED_COLUMN_BYTES, DEFAULT_PAGE_BYTES};
 pub use tuner::{tune_indexes, TuningReport};
+pub use vectorized::{CompiledPredicate, DEFAULT_MEMO_CAPACITY};

@@ -58,13 +58,23 @@ pub struct OptimizerOptions {
     /// refuses index union (the paper's "complex AND/OR expressions
     /// degenerate to sequential scan" behavior, made explicit).
     pub max_union_disjuncts: usize,
+    /// Whether full-scan costing credits zone-map pruning: pages no
+    /// member of the predicate can appear on are proven empty by the
+    /// executor and never read, which makes scans over clustered
+    /// selective members competitive with index seeks.
+    pub use_zone_maps: bool,
     /// Cost constants.
     pub cost: CostModel,
 }
 
 impl Default for OptimizerOptions {
     fn default() -> Self {
-        OptimizerOptions { use_envelopes: true, max_union_disjuncts: 640, cost: CostModel::default() }
+        OptimizerOptions {
+            use_envelopes: true,
+            max_union_disjuncts: 640,
+            use_zone_maps: true,
+            cost: CostModel::default(),
+        }
     }
 }
 
@@ -131,6 +141,11 @@ pub struct Plan {
     pub est_cost: f64,
     /// Estimated output selectivity.
     pub est_selectivity: f64,
+    /// For [`AccessPath::FullScan`]: heap pages (actual table pages,
+    /// not cost-model units) the executor is expected to prove empty
+    /// via zone maps and skip. Zero for other paths or when zone-map
+    /// costing is off. Surfaced in EXPLAIN.
+    pub est_pages_skipped: u64,
     /// Model versions this plan depended on (cache invalidation).
     pub model_versions: Vec<(ModelId, u64)>,
     /// Referenced models whose envelopes are degraded to trivial `TRUE`
@@ -233,13 +248,24 @@ pub fn choose_plan(
             skip_or: None,
             est_cost: 0.0,
             est_selectivity: 0.0,
+            est_pages_skipped: 0,
             model_versions,
             degraded_models,
         };
     }
 
-    // Candidate: full scan.
-    let scan_cost = heap_pages + n_rows * per_row_residual;
+    // Candidate: full scan, credited with zone-map pruning: only pages
+    // some predicate member can appear on are read (and only their rows
+    // evaluated). `covered_pages` works in actual table pages; the cost
+    // keeps the assumed-width page units via the covered *fraction*.
+    let n_pages_actual = entry.table.n_pages() as u64;
+    let (covered_frac, est_pages_skipped) = if opts.use_zone_maps && n_pages_actual > 0 {
+        let covered = covered_pages(&expr, stats, schema, n_pages_actual);
+        (covered as f64 / n_pages_actual as f64, n_pages_actual - covered)
+    } else {
+        (1.0, 0)
+    };
+    let scan_cost = heap_pages * covered_frac + n_rows * covered_frac * per_row_residual;
     let mut best = Plan {
         table: table_id,
         access: AccessPath::FullScan,
@@ -247,6 +273,7 @@ pub fn choose_plan(
         skip_or: None,
         est_cost: scan_cost,
         est_selectivity: sel,
+        est_pages_skipped,
         model_versions: model_versions.clone(),
         degraded_models: degraded_models.clone(),
     };
@@ -273,6 +300,7 @@ pub fn choose_plan(
                 skip_or: None,
                 est_cost: c,
                 est_selectivity: sel,
+                est_pages_skipped: 0,
                 model_versions: model_versions.clone(),
                 degraded_models: degraded_models.clone(),
             };
@@ -301,6 +329,7 @@ pub fn choose_plan(
                 skip_or: Some(skip_or),
                 est_cost: c,
                 est_selectivity: sel,
+                est_pages_skipped: 0,
                 model_versions,
                 degraded_models,
             };
@@ -308,6 +337,36 @@ pub fn choose_plan(
     }
 
     best
+}
+
+/// Upper bound on the heap pages a zone-pruned scan must read: pages
+/// that *may* hold a row satisfying `expr`, estimated from the
+/// per-member page counts in the statistics. Mirrors the executor's
+/// `page_may_match` proof at estimation time: an atom covers at most
+/// the pages its members appear on, a conjunction at most its tightest
+/// conjunct, a disjunction at most the sum, and mining predicates (or
+/// anything else non-columnar) prove nothing.
+fn covered_pages(expr: &Expr, stats: &TableStats, schema: &Schema, n_pages: u64) -> u64 {
+    match expr {
+        Expr::Const(false) => 0,
+        Expr::Atom(a) => {
+            let card = schema.attr(a.attr).domain.cardinality();
+            let col = stats.column(a.attr.index());
+            let sum: u64 = a.pred.member_set(card).iter().map(|m| col.pages_with(m)).sum();
+            sum.min(n_pages)
+        }
+        Expr::And(ps) => ps
+            .iter()
+            .map(|p| covered_pages(p, stats, schema, n_pages))
+            .min()
+            .unwrap_or(n_pages),
+        Expr::Or(ps) => ps
+            .iter()
+            .map(|p| covered_pages(p, stats, schema, n_pages))
+            .sum::<u64>()
+            .min(n_pages),
+        _ => n_pages,
+    }
 }
 
 /// The most selective available index probe for a set of conjunct atoms:
@@ -460,20 +519,46 @@ mod tests {
         Expr::Atom(Atom { attr: AttrId(attr), pred })
     }
 
+    /// Options with zone-map costing off, for tests that exercise the
+    /// index paths (the striped fixture clusters its rare members well
+    /// enough that a pruned scan otherwise wins).
+    fn no_zone() -> OptimizerOptions {
+        OptimizerOptions { use_zone_maps: false, ..OptimizerOptions::default() }
+    }
+
     #[test]
     fn selective_predicate_picks_index_seek() {
         let cat = catalog();
         let schema = cat.table(0).table.schema().clone();
-        let plan = choose_plan(
-            atom(0, AtomPred::Eq(0)),
-            0,
-            &schema,
-            &cat,
-            &OptimizerOptions::default(),
-        );
+        let plan = choose_plan(atom(0, AtomPred::Eq(0)), 0, &schema, &cat, &no_zone());
         assert!(matches!(plan.access, AccessPath::IndexSeek(_)), "{plan:?}");
         assert!(plan.access.changed_from_scan());
         assert!((plan.est_selectivity - 0.005).abs() < 1e-9);
+        assert_eq!(plan.est_pages_skipped, 0, "no zone credit when costing is off");
+    }
+
+    #[test]
+    fn zone_maps_prefer_pruned_scan_for_clustered_member() {
+        // Member 0 fills the first 500 rows only: its zone footprint is
+        // 2 of 391 pages, so a pruned scan beats any unclustered fetch.
+        let schema = Schema::new(vec![Attribute::new(
+            "a",
+            AttrDomain::categorical(["rare", "common"]),
+        )])
+        .unwrap();
+        let rows = (0..100_000u32).map(|i| vec![u16::from(i >= 500)]);
+        let ds = Dataset::from_rows(schema.clone(), rows).unwrap();
+        let mut cat = Catalog::new();
+        let t = cat.add_table(Table::from_dataset("t", &ds)).unwrap();
+        cat.create_index(t, &[AttrId(0)]);
+        let e = atom(0, AtomPred::Eq(0));
+        let pruned = choose_plan(e.clone(), 0, &schema, &cat, &OptimizerOptions::default());
+        assert_eq!(pruned.access, AccessPath::FullScan, "{pruned:?}");
+        let n_pages = cat.table(0).table.n_pages() as u64;
+        assert_eq!(pruned.est_pages_skipped, n_pages - 2);
+        let blind = choose_plan(e, 0, &schema, &cat, &no_zone());
+        assert!(matches!(blind.access, AccessPath::IndexSeek(_)), "{blind:?}");
+        assert!(pruned.est_cost < blind.est_cost);
     }
 
     #[test]
@@ -506,7 +591,7 @@ mod tests {
         let cat = catalog();
         let schema = cat.table(0).table.schema().clone();
         let e = Expr::or(vec![atom(0, AtomPred::Eq(0)), atom(0, AtomPred::Eq(1))]);
-        let plan = choose_plan(e, 0, &schema, &cat, &OptimizerOptions::default());
+        let plan = choose_plan(e, 0, &schema, &cat, &no_zone());
         assert!(matches!(&plan.access, AccessPath::IndexUnion(seeks) if seeks.len() == 2), "{plan:?}");
     }
 

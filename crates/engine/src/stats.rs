@@ -12,6 +12,10 @@ use crate::table::Table;
 pub struct ColumnStats {
     /// `counts[m]` = rows with member `m`.
     counts: Vec<u64>,
+    /// `page_counts[m]` = heap pages holding at least one row with
+    /// member `m` — the optimizer's view of the table's zone maps, used
+    /// to estimate how many pages a zone-pruned scan must read.
+    page_counts: Vec<u64>,
     total: u64,
 }
 
@@ -22,15 +26,27 @@ impl ColumnStats {
     }
 
     /// Builds the histogram of column `d` over the row range `rows` —
-    /// the per-morsel unit of the parallel statistics build.
+    /// the per-morsel unit of the parallel statistics build. `rows` must
+    /// start on a page boundary (morsels do), so every page is counted
+    /// by exactly one range and page counts merge exactly.
     fn build_range(table: &Table, d: usize, rows: std::ops::Range<usize>) -> ColumnStats {
         let card = table.schema().attrs()[d].domain.cardinality() as usize;
         let mut counts = vec![0u64; card];
+        let mut page_counts = vec![0u64; card];
         let total = rows.len() as u64;
-        for &m in &table.column(d)[rows] {
+        for &m in &table.column(d)[rows.clone()] {
             counts[m as usize] += 1;
         }
-        ColumnStats { counts, total }
+        let rpp = table.rows_per_page();
+        debug_assert!(rows.start.is_multiple_of(rpp), "stats ranges must be page-aligned");
+        if !rows.is_empty() {
+            for page in (rows.start / rpp)..=((rows.end - 1) / rpp) {
+                for m in table.page_zones(page)[d].iter() {
+                    page_counts[m as usize] += 1;
+                }
+            }
+        }
+        ColumnStats { counts, page_counts, total }
     }
 
     /// Folds another partial histogram of the same column into this
@@ -39,6 +55,9 @@ impl ColumnStats {
     fn merge(&mut self, other: &ColumnStats) {
         debug_assert_eq!(self.counts.len(), other.counts.len());
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        for (a, b) in self.page_counts.iter_mut().zip(&other.page_counts) {
             *a += b;
         }
         self.total += other.total;
@@ -81,6 +100,11 @@ impl ColumnStats {
         }
         let sum: u64 = members.map(|m| self.count(m)).sum();
         sum as f64 / self.total as f64
+    }
+
+    /// Heap pages holding at least one row with member `m`.
+    pub fn pages_with(&self, m: u16) -> u64 {
+        self.page_counts.get(m as usize).copied().unwrap_or(0)
     }
 
     /// Number of distinct members actually present.
@@ -153,7 +177,7 @@ impl TableStats {
         let mut columns: Vec<ColumnStats> = (0..table.schema().len())
             .map(|d| {
                 let card = table.schema().attrs()[d].domain.cardinality() as usize;
-                ColumnStats { counts: vec![0; card], total: 0 }
+                ColumnStats { counts: vec![0; card], page_counts: vec![0; card], total: 0 }
             })
             .collect();
         for worker_cols in &partials {
@@ -237,6 +261,29 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn page_counts_track_clustering() {
+        let schema = Schema::new(vec![Attribute::new(
+            "c",
+            AttrDomain::categorical(["a", "b", "c", "d"]),
+        )])
+        .unwrap();
+        let rows = std::iter::repeat_n(vec![0u16], 40)
+            .chain(std::iter::repeat_n(vec![1u16], 30))
+            .chain(std::iter::repeat_n(vec![2u16], 20))
+            .chain(std::iter::repeat_n(vec![3u16], 10));
+        // 256-byte pages → 8 rows per page → 13 pages over 100 rows.
+        let t = Table::with_page_bytes("t", &Dataset::from_rows(schema, rows).unwrap(), 256);
+        assert_eq!(t.rows_per_page(), 8);
+        let s = TableStats::build(&t);
+        let c = s.column(0);
+        assert_eq!(c.pages_with(0), 5, "rows 0..40 fill pages 0..5");
+        assert_eq!(c.pages_with(1), 4, "rows 40..70 touch pages 5..9");
+        assert_eq!(c.pages_with(2), 4, "rows 70..90 touch pages 8..12");
+        assert_eq!(c.pages_with(3), 2, "rows 90..100 touch pages 11..13");
+        assert_eq!(c.pages_with(9), 0, "out-of-domain member is nowhere");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! ones pointless — the effect Figure 6 documents.
 
 use crate::EngineError;
-use mpq_types::{Dataset, Member, Schema};
+use mpq_types::{Dataset, Member, MemberSet, Schema};
 
 /// Identifier of a row within a table.
 pub type RowId = u32;
@@ -33,6 +33,12 @@ pub struct Table {
     n_rows: usize,
     /// Rows per page, derived from the page byte budget and row width.
     rows_per_page: usize,
+    /// Zone maps: `zones[page][d]` is the set of members present in
+    /// column `d` on `page` — Moerkotte's small materialized aggregates,
+    /// specialized to member-presence bitsets. A scan can skip a page
+    /// whenever its compiled predicate is provably false on every
+    /// member combination the zone admits.
+    zones: Vec<Vec<MemberSet>>,
 }
 
 impl Table {
@@ -53,7 +59,9 @@ impl Table {
         }
         let row_bytes = (n * ASSUMED_COLUMN_BYTES).max(1);
         let rows_per_page = (page_bytes / row_bytes).max(1);
-        Table { name: name.into(), schema, columns, n_rows: data.len(), rows_per_page }
+        let n_rows = data.len();
+        let zones = build_zones(&schema, &columns, n_rows, rows_per_page);
+        Table { name: name.into(), schema, columns, n_rows, rows_per_page, zones }
     }
 
     /// Reassembles a table from its serialized parts (crash recovery).
@@ -97,7 +105,8 @@ impl Table {
                 detail: format!("table {name:?}: zero rows per page"),
             });
         }
-        Ok(Table { name, schema, columns, n_rows, rows_per_page })
+        let zones = build_zones(&schema, &columns, n_rows, rows_per_page);
+        Ok(Table { name, schema, columns, n_rows, rows_per_page, zones })
     }
 
     /// Appends one encoded row, validating arity and member ranges.
@@ -123,8 +132,13 @@ impl Table {
                 )));
             }
         }
+        let page = self.n_rows / self.rows_per_page;
+        if page == self.zones.len() {
+            self.zones.push(empty_zone_row(&self.schema));
+        }
         for (d, &m) in row.iter().enumerate() {
             self.columns[d].push(m);
+            self.zones[page][d].insert(m);
         }
         self.n_rows += 1;
         Ok(())
@@ -201,6 +215,12 @@ impl Table {
         &self.columns[d]
     }
 
+    /// The zone map of `page`: one member-presence set per column.
+    /// Never empty for a page that holds at least one row.
+    pub fn page_zones(&self, page: usize) -> &[MemberSet] {
+        &self.zones[page]
+    }
+
     /// Checks that a model schema matches this table's schema (§2.2's
     /// prediction-join column mapping, simplified to name/domain
     /// equality).
@@ -215,6 +235,34 @@ impl Table {
         }
         Ok(())
     }
+}
+
+/// One empty zone entry per column of `schema`.
+fn empty_zone_row(schema: &Schema) -> Vec<MemberSet> {
+    schema.attrs().iter().map(|a| MemberSet::empty(a.domain.cardinality())).collect()
+}
+
+/// Builds every page's zone map from the stored columns.
+fn build_zones(
+    schema: &Schema,
+    columns: &[Vec<Member>],
+    n_rows: usize,
+    rows_per_page: usize,
+) -> Vec<Vec<MemberSet>> {
+    let n_pages = n_rows.div_ceil(rows_per_page);
+    let mut zones = Vec::with_capacity(n_pages);
+    for page in 0..n_pages {
+        let start = page * rows_per_page;
+        let end = (start + rows_per_page).min(n_rows);
+        let mut row = empty_zone_row(schema);
+        for (d, zone) in row.iter_mut().enumerate() {
+            for &m in &columns[d][start..end] {
+                zone.insert(m);
+            }
+        }
+        zones.push(row);
+    }
+    zones
 }
 
 #[cfg(test)]
@@ -284,6 +332,53 @@ mod tests {
         let t = Table::with_page_bytes("t", &dataset(), 1);
         assert_eq!(t.rows_per_page(), 1);
         assert_eq!(t.n_pages(), 100);
+    }
+
+    #[test]
+    fn zone_maps_record_page_membership() {
+        // Column a alternates 0/1 per row; column b alternates per pair —
+        // with 4 rows/page every page sees both members of both columns
+        // except when the data is clustered, which we force below.
+        let t = Table::with_page_bytes("t", &dataset(), 256);
+        for page in 0..t.n_pages() {
+            let z = t.page_zones(page);
+            assert!(z[0].contains(0) && z[0].contains(1));
+        }
+        // Clustered column: zones distinguish the halves.
+        let schema =
+            Schema::new(vec![Attribute::new("a", AttrDomain::categorical(["x", "y"]))]).unwrap();
+        let ds = Dataset::from_rows(schema, (0..100).map(|i| vec![u16::from(i >= 50)])).unwrap();
+        let t = Table::with_page_bytes("t", &ds, 256); // 8 rows/page
+        assert!(t.page_zones(0).iter().all(|z| z.contains(0) && !z.contains(1)));
+        let last = t.n_pages() - 1;
+        assert!(t.page_zones(last).iter().all(|z| z.contains(1) && !z.contains(0)));
+    }
+
+    #[test]
+    fn push_row_maintains_zones() {
+        let schema =
+            Schema::new(vec![Attribute::new("a", AttrDomain::categorical(["x", "y", "z"]))])
+                .unwrap();
+        let mut t =
+            Table::with_page_bytes("t", &Dataset::new(schema.clone()), ASSUMED_COLUMN_BYTES * 2);
+        assert_eq!(t.rows_per_page(), 2);
+        for m in [0u16, 1, 2, 2, 1] {
+            t.push_row(&[m]).unwrap();
+        }
+        // Incrementally-maintained zones must equal a from-scratch build.
+        let rebuilt = Table::from_encoded_parts(
+            "t",
+            schema,
+            vec![t.column(0).to_vec()],
+            t.rows_per_page(),
+        )
+        .unwrap();
+        assert_eq!(t.n_pages(), 3);
+        for page in 0..t.n_pages() {
+            assert_eq!(t.page_zones(page), rebuilt.page_zones(page), "page {page}");
+        }
+        assert!(t.page_zones(0).iter().all(|z| z.contains(0) && z.contains(1) && !z.contains(2)));
+        assert!(t.page_zones(2).iter().all(|z| z.contains(1) && !z.contains(0)));
     }
 
     #[test]

@@ -1,0 +1,459 @@
+//! Vectorized predicate evaluation: compiled column programs, zone-map
+//! pruning, and the scorer memo cache.
+//!
+//! The paper's §4.2 rewrite turns opaque mining predicates into
+//! data-column predicates; this module exploits that form one layer
+//! deeper than access-path selection. Instead of walking the [`Expr`]
+//! tree per row, the executor compiles the residual once into a
+//! [`CompiledPredicate`] — a flat program whose leaves are per-column
+//! member bitsets — and evaluates it MonetDB/X100-style over selection
+//! vectors, one column at a time. Mining predicates (and `NOT` over
+//! them) stay as [`CompiledNode::Scalar`] escape hatches evaluated
+//! row-at-a-time, so the compiled program is exact on every input.
+//!
+//! The same compiled form doubles as a page-pruning test: a page whose
+//! zone map ([`crate::Table::page_zones`]) is disjoint from a `Col`
+//! leaf's mask can be proven empty without reading it (`Scalar` leaves
+//! are conservatively "maybe"). Both executors consult
+//! [`CompiledPredicate::page_may_match`] before touching a heap page.
+//!
+//! Finally, [`MemoScorer`] wraps the catalog's [`ModelOracle`] with a
+//! bounded per-query memo keyed by the dictionary-encoded input tuple:
+//! rows are small `u16` member vectors, so distinct tuples are few and
+//! black-box residual checks collapse to hash lookups after the first
+//! occurrence. `model_invocations` counts memo *misses* — actual model
+//! applications — identically in the serial reference and the
+//! vectorized/parallel executors, which is what keeps the differential
+//! oracles exact.
+
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+use crate::expr::{Expr, ModelId, ModelOracle};
+use crate::table::{RowId, Table};
+use mpq_types::{AttrId, ClassId, Member, MemberSet, Row, Schema};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Default capacity (in cached `(model, tuple)` entries) of the scorer
+/// memo. Tuples are a handful of `u16`s, so even the full cache is a
+/// few megabytes; capacity `0` disables memoization entirely.
+pub const DEFAULT_MEMO_CAPACITY: usize = 1 << 16;
+
+/// One node of a compiled predicate program.
+pub(crate) enum CompiledNode {
+    /// Constant truth value.
+    Const(bool),
+    /// Column leaf: row qualifies iff `mask` contains its member in
+    /// column `col`. Compiled from [`crate::AtomPred`] via
+    /// [`crate::AtomPred::member_set`].
+    Col {
+        /// Column index into the table's schema.
+        col: usize,
+        /// Matching members.
+        mask: MemberSet,
+    },
+    /// Conjunction: children filter the selection in order, so the
+    /// evaluated (model, tuple) set matches short-circuit `&&` exactly.
+    And(Vec<CompiledNode>),
+    /// Disjunction: children run over not-yet-matched rows only, which
+    /// preserves short-circuit `||` semantics per row.
+    Or(Vec<CompiledNode>),
+    /// Escape hatch for mining predicates and `NOT` over them: exact
+    /// row-at-a-time tree evaluation through the oracle.
+    Scalar(Expr),
+}
+
+/// A predicate compiled for vectorized evaluation and zone-map pruning.
+pub struct CompiledPredicate {
+    root: CompiledNode,
+    n_nodes: usize,
+}
+
+impl CompiledPredicate {
+    /// Compiles `expr` against `schema`. Total: every expression
+    /// compiles; shapes with no columnar form become `Scalar` leaves.
+    pub fn compile(expr: &Expr, schema: &Schema) -> CompiledPredicate {
+        let root = compile_node(expr, schema);
+        let n_nodes = count_nodes(&root);
+        CompiledPredicate { root, n_nodes }
+    }
+
+    /// Number of nodes in the compiled program.
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Whether any row of a page with zone summary `zones` *may*
+    /// satisfy the predicate. `false` is a proof of emptiness (the page
+    /// can be skipped); `true` is inconclusive. Sound because a `Col`
+    /// leaf whose mask is disjoint from the column's zone set matches no
+    /// row of the page, conjunction needs every child possible,
+    /// disjunction needs one, and `Scalar` leaves are always "maybe".
+    pub fn page_may_match(&self, zones: &[MemberSet]) -> bool {
+        may_match(&self.root, zones)
+    }
+
+    /// Filters `sel` (ascending row ids) down to the rows satisfying
+    /// the predicate, evaluating column leaves over column slices and
+    /// `Scalar` leaves row-at-a-time through `ctx`. On error `sel` is
+    /// garbage and must be discarded.
+    pub(crate) fn filter_batch<O: ModelOracle>(
+        &self,
+        sel: &mut Vec<RowId>,
+        ctx: &mut BatchCtx<'_, O>,
+    ) -> Result<(), EngineError> {
+        filter(&self.root, sel, ctx)
+    }
+}
+
+fn compile_node(expr: &Expr, schema: &Schema) -> CompiledNode {
+    match expr {
+        Expr::Const(b) => CompiledNode::Const(*b),
+        Expr::Atom(a) => {
+            let card = schema.attr(a.attr).domain.cardinality();
+            CompiledNode::Col { col: a.attr.index(), mask: a.pred.member_set(card) }
+        }
+        Expr::And(ps) => CompiledNode::And(ps.iter().map(|p| compile_node(p, schema)).collect()),
+        Expr::Or(ps) => CompiledNode::Or(ps.iter().map(|p| compile_node(p, schema)).collect()),
+        // Mining predicates and NOT (normalize pushes NOT down to atoms
+        // except over mining predicates) stay scalar.
+        other => CompiledNode::Scalar(other.clone()),
+    }
+}
+
+fn count_nodes(node: &CompiledNode) -> usize {
+    match node {
+        CompiledNode::And(ps) | CompiledNode::Or(ps) => {
+            1 + ps.iter().map(count_nodes).sum::<usize>()
+        }
+        _ => 1,
+    }
+}
+
+fn may_match(node: &CompiledNode, zones: &[MemberSet]) -> bool {
+    match node {
+        CompiledNode::Const(b) => *b,
+        CompiledNode::Col { col, mask } => !mask.is_disjoint(&zones[*col]),
+        CompiledNode::And(ps) => ps.iter().all(|p| may_match(p, zones)),
+        CompiledNode::Or(ps) => ps.iter().any(|p| may_match(p, zones)),
+        CompiledNode::Scalar(_) => true,
+    }
+}
+
+/// Per-execution state threaded through batch evaluation.
+pub(crate) struct BatchCtx<'a, O: ModelOracle> {
+    /// Table being scanned (column access for `Col` leaves, row
+    /// materialization for `Scalar` leaves).
+    pub table: &'a Table,
+    /// Oracle resolving model predictions (normally a [`MemoScorer`]).
+    pub oracle: &'a O,
+    /// Reused row buffer — the scalar path's column-cursor view fills
+    /// it only when a `Scalar` leaf actually runs, killing the per-row
+    /// `Vec<Member>` allocation of the old interpreter.
+    pub row_buf: Vec<Member>,
+    /// Called after each row evaluated through a `Scalar` leaf; the
+    /// executors hook invocation-budget and deadline checks here so
+    /// breach classification matches the row-at-a-time reference.
+    pub after_scalar_row: &'a mut dyn FnMut() -> Result<(), EngineError>,
+}
+
+fn filter<O: ModelOracle>(
+    node: &CompiledNode,
+    sel: &mut Vec<RowId>,
+    ctx: &mut BatchCtx<'_, O>,
+) -> Result<(), EngineError> {
+    match node {
+        CompiledNode::Const(true) => Ok(()),
+        CompiledNode::Const(false) => {
+            sel.clear();
+            Ok(())
+        }
+        CompiledNode::Col { col, mask } => {
+            let column = ctx.table.column(*col);
+            sel.retain(|&r| mask.contains(column[r as usize]));
+            Ok(())
+        }
+        CompiledNode::And(ps) => {
+            for p in ps {
+                if sel.is_empty() {
+                    break;
+                }
+                filter(p, sel, ctx)?;
+            }
+            Ok(())
+        }
+        CompiledNode::Or(ps) => {
+            // Each child sees only rows no earlier child matched —
+            // exactly the rows short-circuit `||` would evaluate it on.
+            let mut remaining = std::mem::take(sel);
+            let mut matched: Vec<RowId> = Vec::new();
+            for p in ps {
+                if remaining.is_empty() {
+                    break;
+                }
+                let mut pass = remaining.clone();
+                filter(p, &mut pass, ctx)?;
+                if pass.is_empty() {
+                    continue;
+                }
+                subtract_sorted(&mut remaining, &pass);
+                matched.extend_from_slice(&pass);
+            }
+            matched.sort_unstable();
+            *sel = matched;
+            Ok(())
+        }
+        CompiledNode::Scalar(expr) => {
+            let n_cols = ctx.table.schema().len();
+            let mut kept = 0;
+            for i in 0..sel.len() {
+                let row = sel[i];
+                for d in 0..n_cols {
+                    ctx.row_buf[d] = ctx.table.cell(row, d);
+                }
+                // Invocations are counted by the memo oracle (misses),
+                // not by the tree walk — the counter here is discarded.
+                let mut tree_inv = 0u64;
+                let hit = expr.eval(&ctx.row_buf, ctx.oracle, &mut tree_inv);
+                (ctx.after_scalar_row)()?;
+                if hit {
+                    sel[kept] = row;
+                    kept += 1;
+                }
+            }
+            sel.truncate(kept);
+            Ok(())
+        }
+    }
+}
+
+/// Removes the (sorted, subset) `pass` rows from the sorted `remaining`
+/// vector in one merge pass.
+fn subtract_sorted(remaining: &mut Vec<RowId>, pass: &[RowId]) {
+    let mut pi = 0;
+    let mut kept = 0;
+    for i in 0..remaining.len() {
+        let r = remaining[i];
+        if pi < pass.len() && pass[pi] == r {
+            pi += 1;
+        } else {
+            remaining[kept] = r;
+            kept += 1;
+        }
+    }
+    remaining.truncate(kept);
+}
+
+// ---------------------------------------------------------------------
+// Scorer memo cache
+// ---------------------------------------------------------------------
+
+/// Per-model memo table. `Box<[Member]>` keys let `&[Member]` rows
+/// probe without allocating (via `Borrow`).
+type ModelMemo = HashMap<Box<[Member]>, ClassId>;
+
+/// A bounded per-query memo over the catalog's [`ModelOracle`].
+///
+/// `predict` answers repeated `(model, tuple)` questions from the memo;
+/// a miss computes under the write lock (double-checked), so each
+/// distinct key is scored exactly once no matter how many workers race
+/// on it — miss counts are deterministic across degrees of parallelism.
+/// The capacity bound stops *inserting* when full (no eviction): the
+/// memo can only shrink `model_invocations`, and counts stay identical
+/// across executors as long as the distinct-tuple count fits. Injected
+/// scorer faults still fire: the miss path calls straight into the
+/// catalog, and the memo never outlives one execution.
+pub(crate) struct MemoScorer<'a> {
+    catalog: &'a Catalog,
+    capacity: usize,
+    memo: RwLock<MemoState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct MemoState {
+    per_model: Vec<ModelMemo>,
+    len: usize,
+}
+
+impl<'a> MemoScorer<'a> {
+    pub(crate) fn new(catalog: &'a Catalog, capacity: usize) -> MemoScorer<'a> {
+        MemoScorer {
+            catalog,
+            capacity,
+            memo: RwLock::new(MemoState { per_model: Vec::new(), len: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Memo hits so far (predictions answered without the model).
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Memo misses so far = actual black-box model applications.
+    pub(crate) fn invocations(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl ModelOracle for MemoScorer<'_> {
+    fn predict(&self, model: ModelId, row: &Row) -> ClassId {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return self.catalog.predict(model, row);
+        }
+        {
+            let state = self.memo.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(&c) = state.per_model.get(model).and_then(|m| m.get(row)) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return c;
+            }
+        }
+        let mut state = self.memo.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(&c) = state.per_model.get(model).and_then(|m| m.get(row)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return c;
+        }
+        // Counted before the (possibly panicking) model runs, matching
+        // the reference interpreter's increment-then-predict order.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let c = self.catalog.predict(model, row);
+        if state.len < self.capacity {
+            if state.per_model.len() <= model {
+                state.per_model.resize_with(model + 1, ModelMemo::new);
+            }
+            state.per_model[model].insert(Box::from(row), c);
+            state.len += 1;
+        }
+        c
+    }
+
+    fn class_for_member(&self, model: ModelId, column: AttrId, m: Member) -> Option<ClassId> {
+        // Pure metadata lookup — not an invocation; no memo needed.
+        self.catalog.class_for_member(model, column, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Atom, AtomPred, MiningPred};
+    use crate::table::Table;
+    use mpq_types::{AttrDomain, Attribute, Dataset};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("a", AttrDomain::categorical(["p", "q", "r", "s"])),
+            Attribute::new("b", AttrDomain::categorical(["x", "y", "z"])),
+        ])
+        .unwrap()
+    }
+
+    fn table() -> Table {
+        let rows = (0..64u16).map(|i| vec![i % 4, (i / 4) % 3]);
+        Table::with_page_bytes("t", &Dataset::from_rows(schema(), rows).unwrap(), 256)
+    }
+
+    struct NoModels;
+    impl ModelOracle for NoModels {
+        fn predict(&self, _: ModelId, _: &Row) -> ClassId {
+            unreachable!("no mining predicates here")
+        }
+        fn class_for_member(&self, _: ModelId, _: AttrId, _: Member) -> Option<ClassId> {
+            None
+        }
+    }
+
+    fn run(pred: &CompiledPredicate, t: &Table) -> Vec<RowId> {
+        let mut after = || Ok(());
+        let mut ctx = BatchCtx {
+            table: t,
+            oracle: &NoModels,
+            row_buf: vec![0; t.schema().len()],
+            after_scalar_row: &mut after,
+        };
+        let mut sel: Vec<RowId> = (0..t.n_rows() as RowId).collect();
+        pred.filter_batch(&mut sel, &mut ctx).unwrap();
+        sel
+    }
+
+    fn reference(e: &Expr, t: &Table) -> Vec<RowId> {
+        let mut inv = 0;
+        (0..t.n_rows() as RowId)
+            .filter(|&r| e.eval(&t.row(r), &NoModels, &mut inv))
+            .collect()
+    }
+
+    #[test]
+    fn compiled_filter_matches_tree_walk() {
+        let s = schema();
+        let t = table();
+        let a = |attr, pred| Expr::Atom(Atom { attr: AttrId(attr), pred });
+        let exprs = [
+            Expr::Const(true),
+            Expr::Const(false),
+            a(0, AtomPred::Eq(2)),
+            a(1, AtomPred::Range { lo: 1, hi: 2 }),
+            Expr::and(vec![a(0, AtomPred::Eq(1)), a(1, AtomPred::Eq(0))]),
+            Expr::or(vec![a(0, AtomPred::Eq(0)), a(1, AtomPred::Eq(2))]),
+            Expr::and(vec![
+                Expr::or(vec![a(0, AtomPred::Eq(0)), a(0, AtomPred::Eq(3))]),
+                a(1, AtomPred::In(mpq_types::MemberSet::of(3, [0, 2]))),
+            ]),
+        ];
+        for e in &exprs {
+            let c = CompiledPredicate::compile(e, &s);
+            assert_eq!(run(&c, &t), reference(e, &t), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn zone_pruning_is_sound_and_effective() {
+        let s = schema();
+        let t = table(); // 4 rows/page: column a cycles fully per page
+        let eq0 = CompiledPredicate::compile(
+            &Expr::Atom(Atom { attr: AttrId(0), pred: AtomPred::Eq(0) }),
+            &s,
+        );
+        // Every page holds member 0 of column a → nothing prunable.
+        for page in 0..t.n_pages() {
+            assert!(eq0.page_may_match(t.page_zones(page)));
+        }
+        // Column b is clustered in runs of 4 rows = 1 page.
+        let b1 = CompiledPredicate::compile(
+            &Expr::Atom(Atom { attr: AttrId(1), pred: AtomPred::Eq(1) }),
+            &s,
+        );
+        let prunable: Vec<bool> =
+            (0..t.n_pages()).map(|p| !b1.page_may_match(t.page_zones(p))).collect();
+        assert!(prunable.iter().any(|&x| x), "clustered member must prune pages");
+        // Soundness: no pruned page may contain a matching row.
+        for (page, pruned) in prunable.iter().enumerate() {
+            if *pruned {
+                let start = page * t.rows_per_page();
+                let end = (start + t.rows_per_page()).min(t.n_rows());
+                assert!((start..end).all(|r| t.cell(r as RowId, 1) != 1));
+            }
+        }
+        // Scalar leaves never prune.
+        let mining = CompiledPredicate::compile(
+            &Expr::Mining(MiningPred::ClassEq { model: 0, class: ClassId(0) }),
+            &s,
+        );
+        assert!((0..t.n_pages()).all(|p| mining.page_may_match(t.page_zones(p))));
+    }
+
+    #[test]
+    fn subtract_sorted_removes_subset() {
+        let mut rem: Vec<RowId> = vec![1, 3, 5, 7, 9];
+        subtract_sorted(&mut rem, &[3, 9]);
+        assert_eq!(rem, vec![1, 5, 7]);
+        subtract_sorted(&mut rem, &[]);
+        assert_eq!(rem, vec![1, 5, 7]);
+        subtract_sorted(&mut rem, &[1, 5, 7]);
+        assert!(rem.is_empty());
+    }
+}

@@ -5,10 +5,12 @@
 
 use mpq_core::{paper_table1_model, DeriveOptions};
 use mpq_engine::{
-    Catalog, Engine, EngineError, GuardResource, QueryGuard, StatementOutcome, Table,
+    choose_plan, execute_opts, AccessPath, Atom, AtomPred, Catalog, Engine, EngineError,
+    ExecOptions, Expr, GuardResource, MiningPred, OptimizerOptions, QueryGuard, StatementOutcome,
+    Table,
 };
 use mpq_models::Classifier as _;
-use mpq_types::{AttrDomain, AttrId, Attribute, Dataset, Schema};
+use mpq_types::{AttrDomain, AttrId, Attribute, ClassId, Dataset, Schema};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -207,6 +209,159 @@ fn morsel_targeted_scorer_panic_only_hits_parallel_workers() {
     // The engine stays usable once the fault clears — still parallel.
     e.fault_injector().reset();
     assert_eq!(e.query(sql).unwrap().rows, healthy);
+}
+
+/// Like [`engine`] but with 256-byte pages, so the table spans many
+/// heap pages and page-targeted faults have real targets.
+fn paged_engine() -> Engine {
+    let nb = paper_table1_model();
+    let schema = nb.schema().clone();
+    let mut ds = Dataset::new(schema);
+    for m0 in 0..4u16 {
+        for m1 in 0..3u16 {
+            let copies = 1 + (m0 as usize * 3 + m1 as usize) * 7;
+            for _ in 0..copies {
+                ds.push_encoded(&[m0, m1]).unwrap();
+            }
+        }
+    }
+    let mut cat = Catalog::new();
+    let t = cat.add_table(Table::with_page_bytes("t", &ds, 256)).unwrap();
+    cat.create_index(t, &[AttrId(0)]);
+    cat.create_index(t, &[AttrId(1)]);
+    cat.add_model("m", Arc::new(nb), DeriveOptions::default()).unwrap();
+    Engine::new(cat)
+}
+
+/// Fault parity across execution strategies: a page-targeted scorer
+/// panic must fire on the same page — with the same message — whether
+/// the residual runs through the vectorized batch path or the scalar
+/// row-at-a-time reference, serially or in parallel workers.
+#[test]
+fn page_targeted_scorer_panic_fires_identically_across_strategies() {
+    let e = paged_engine();
+    e.set_use_envelopes(false); // full scan + black-box residual
+    let plan =
+        e.plan_predicate(0, Expr::Mining(MiningPred::ClassEq { model: 0, class: ClassId(0) }));
+    let catalog = e.catalog();
+    assert!(catalog.table(0).table.n_pages() > 3, "fixture must span pages");
+
+    let healthy: Vec<_> = [true, false]
+        .into_iter()
+        .map(|v| {
+            let opts = ExecOptions { vectorized: v, ..ExecOptions::default() };
+            execute_opts(&plan, &catalog, QueryGuard::unlimited(), &opts)
+                .expect("healthy run")
+                .rows
+        })
+        .collect();
+    assert_eq!(healthy[0], healthy[1]);
+
+    e.fault_injector().set_scorer_panic_on_page(Some(2));
+    // Serial executors propagate the raw panic (the engine facade is
+    // what catches it); both strategies must name the same page.
+    for vectorized in [true, false] {
+        let opts = ExecOptions { vectorized, ..ExecOptions::default() };
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = execute_opts(&plan, &catalog, QueryGuard::unlimited(), &opts);
+        }))
+        .expect_err("armed page fault must panic");
+        let msg = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("injected fault") && msg.contains("heap page 2"),
+            "vectorized={vectorized}: {msg}"
+        );
+    }
+    // Parallel workers catch the same panic and surface it typed.
+    for vectorized in [true, false] {
+        let opts = ExecOptions { parallelism: 4, vectorized, ..ExecOptions::default() };
+        match execute_opts(&plan, &catalog, QueryGuard::unlimited(), &opts) {
+            Err(EngineError::Internal { detail }) => {
+                assert!(detail.contains("heap page 2"), "vectorized={vectorized}: {detail}");
+            }
+            other => panic!("vectorized={vectorized}: expected Internal, got {other:?}"),
+        }
+    }
+
+    // The engine facade converts the serial panic into the same typed
+    // error, and stays usable once the fault clears.
+    let sql = "SELECT * FROM t WHERE PREDICT(m) = 'c1'";
+    match e.query(sql) {
+        Err(EngineError::Internal { detail }) => {
+            assert!(detail.contains("heap page 2"), "detail: {detail}");
+        }
+        other => panic!("expected Internal error, got {other:?}"),
+    }
+    e.fault_injector().reset();
+    assert!(e.query(sql).is_ok());
+}
+
+/// An index-probe fault must degrade to the identical zone-pruned full
+/// scan under both execution strategies: same rows, same fallback flag,
+/// same heap/skip page accounting.
+#[test]
+fn index_fault_fallback_is_identical_across_strategies() {
+    // A table big enough that the cost model sees many pages, with a
+    // 0.1%-rare member 0 of attr 0: an index seek wins decisively.
+    let schema = Schema::new(vec![
+        Attribute::new("d0", AttrDomain::categorical(["m0", "m1", "m2", "m3"])),
+        Attribute::new("d1", AttrDomain::categorical(["n0", "n1", "n2"])),
+    ])
+    .unwrap();
+    let mut ds = Dataset::new(schema.clone());
+    for i in 0..20_000u32 {
+        let m0 = if i % 1000 == 0 { 0 } else { 1 + (i % 3) as u16 };
+        ds.push_encoded(&[m0, (i % 3) as u16]).unwrap();
+    }
+    let mut cat = Catalog::new();
+    let t = cat.add_table(Table::with_page_bytes("t", &ds, 256)).unwrap();
+    cat.create_index(t, &[AttrId(0)]);
+    let e = Engine::new(cat);
+    let catalog = e.catalog();
+    // Build the plan with zone-map costing off so the access-path
+    // choice is the index seek — the *fallback* scan still prunes via
+    // zone maps, which both strategies must account identically.
+    let no_zone = OptimizerOptions { use_zone_maps: false, ..OptimizerOptions::default() };
+    let plan = choose_plan(
+        Expr::Atom(Atom { attr: AttrId(0), pred: AtomPred::Eq(0) }),
+        0,
+        &schema,
+        &catalog,
+        &no_zone,
+    );
+    assert!(
+        matches!(plan.access, AccessPath::IndexSeek(_)),
+        "fixture must yield an index seek, got {:?}",
+        plan.access
+    );
+
+    e.fault_injector().set_index_probe_failure(true);
+    let runs: Vec<_> = [true, false]
+        .into_iter()
+        .map(|v| {
+            let opts = ExecOptions { vectorized: v, ..ExecOptions::default() };
+            execute_opts(&plan, &catalog, QueryGuard::unlimited(), &opts)
+                .expect("fallback must not error")
+        })
+        .collect();
+    e.fault_injector().reset();
+
+    let (vec_run, ref_run) = (&runs[0], &runs[1]);
+    assert_eq!(vec_run.rows, ref_run.rows, "fallback row sets diverged");
+    assert!(vec_run.metrics.index_fallback && ref_run.metrics.index_fallback);
+    assert_eq!(vec_run.metrics.heap_pages_read, ref_run.metrics.heap_pages_read);
+    assert_eq!(vec_run.metrics.pages_skipped, ref_run.metrics.pages_skipped);
+    assert!(
+        vec_run.metrics.pages_skipped > 0,
+        "clustered member 0 must let the fallback scan prune pages"
+    );
+    assert_eq!(vec_run.metrics.rows_examined, ref_run.metrics.rows_examined);
+    assert_eq!(vec_run.metrics.model_invocations, ref_run.metrics.model_invocations);
+    assert_eq!(vec_run.metrics.memo_hits, ref_run.metrics.memo_hits);
 }
 
 #[test]

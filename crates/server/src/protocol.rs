@@ -54,8 +54,9 @@ use std::time::Duration;
 
 /// Protocol version spoken by this build. A server rejects a `Hello`
 /// with any other version — there is exactly one version in the wild,
-/// so no negotiation, just a typed refusal.
-pub const PROTO_VERSION: u32 = 1;
+/// so no negotiation, just a typed refusal. Version 2 added the
+/// `pages_skipped` and `memo_hits` metrics fields.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Default ceiling on one frame's payload length. Large enough for a
 /// multi-million-row result (row ids are 4 bytes), small enough that a
@@ -330,8 +331,10 @@ fn get_guard(r: &mut WireReader<'_>) -> Result<QueryGuard, WireError> {
 fn put_metrics(w: &mut WireWriter, m: &ExecMetrics) {
     w.put_u64(m.heap_pages_read);
     w.put_u64(m.index_pages_read);
+    w.put_u64(m.pages_skipped);
     w.put_u64(m.rows_examined);
     w.put_u64(m.model_invocations);
+    w.put_u64(m.memo_hits);
     w.put_u64(m.output_rows);
     w.put_u64(m.elapsed.as_nanos().min(u64::MAX as u128) as u64);
     put_opt_u64(w, m.guard.rows_remaining);
@@ -345,8 +348,10 @@ fn get_metrics(r: &mut WireReader<'_>) -> Result<ExecMetrics, WireError> {
     Ok(ExecMetrics {
         heap_pages_read: r.get_u64()?,
         index_pages_read: r.get_u64()?,
+        pages_skipped: r.get_u64()?,
         rows_examined: r.get_u64()?,
         model_invocations: r.get_u64()?,
+        memo_hits: r.get_u64()?,
         output_rows: r.get_u64()?,
         elapsed: Duration::from_nanos(r.get_u64()?),
         guard: GuardHeadroom {
@@ -798,8 +803,10 @@ mod tests {
             metrics: ExecMetrics {
                 heap_pages_read: 3,
                 index_pages_read: 2,
+                pages_skipped: 7,
                 rows_examined: 40,
                 model_invocations: 12,
+                memo_hits: 28,
                 output_rows: 4,
                 elapsed: Duration::from_micros(1234),
                 guard: GuardHeadroom {

@@ -1,0 +1,314 @@
+//! Differential oracle for the vectorized executor: for
+//! proptest-generated tables, models (all five algorithms) and query
+//! predicates, the vectorized column-at-a-time path must agree with the
+//! scalar row-at-a-time reference interpreter on row sets, rows
+//! examined, page totals (heap reads plus zone-map skips), memoized
+//! model-invocation counts, and guard-breach classification — serially
+//! and at every degree of parallelism.
+
+use mining_predicates::prelude::*;
+use mpq_engine::{
+    execute_opts, Atom, AtomPred, ExecMetrics, ExecOptions, StatementOutcome,
+    DEFAULT_MEMO_CAPACITY,
+};
+use mpq_types::MemberSet;
+use proptest::prelude::*;
+
+const DOPS: [usize; 4] = [1, 2, 4, 8];
+
+/// The scalar reference interpreter: serial, tree-walking `Expr::eval`
+/// per row, memo cache on (the memo is shared semantics, not a
+/// vectorized-only optimization).
+fn reference_opts() -> ExecOptions {
+    ExecOptions { parallelism: 1, vectorized: false, ..ExecOptions::default() }
+}
+
+/// Three-attribute schema: two feature columns plus a label column the
+/// classification models train on.
+fn schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new("a", AttrDomain::categorical(["a0", "a1", "a2", "a3"])),
+        Attribute::new("b", AttrDomain::categorical(["b0", "b1", "b2"])),
+        Attribute::new("label", AttrDomain::categorical(["neg", "pos"])),
+    ])
+    .unwrap()
+}
+
+/// All-ordered companion schema for the Gaussian-mixture model.
+fn numeric_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new("x", AttrDomain::binned(vec![1.0, 2.0, 3.0]).unwrap()),
+        Attribute::new("y", AttrDomain::binned(vec![1.0, 2.0]).unwrap()),
+    ])
+    .unwrap()
+}
+
+/// Builds an engine over the generated rows with tiny (256-byte) pages
+/// — so even small tables span many pages and zone maps have something
+/// to prune — plus single-column indexes, and trains one model per
+/// algorithm (tree / bayes / rules / k-means on `t`, GMM on `tn`).
+fn engine_with_models(extra: &[(u16, u16)]) -> Engine {
+    let mut ds = Dataset::new(schema());
+    let mut dsn = Dataset::new(numeric_schema());
+    for a in 0..4u16 {
+        for b in 0..3u16 {
+            for label in 0..2u16 {
+                ds.push_encoded(&[a, b, label]).unwrap();
+            }
+            dsn.push_encoded(&[a, b]).unwrap();
+        }
+    }
+    for &(a, b) in extra {
+        let label = u16::from(a >= 2 && b != 1);
+        ds.push_encoded(&[a, b, label]).unwrap();
+        dsn.push_encoded(&[a, b]).unwrap();
+    }
+
+    let mut cat = Catalog::new();
+    let t = cat.add_table(Table::with_page_bytes("t", &ds, 256)).unwrap();
+    cat.create_index(t, &[AttrId(0)]);
+    cat.create_index(t, &[AttrId(1)]);
+    let tn = cat.add_table(Table::with_page_bytes("tn", &dsn, 256)).unwrap();
+    cat.create_index(tn, &[AttrId(0)]);
+    let e = Engine::new(cat);
+
+    for ddl in [
+        "CREATE MINING MODEL m_tree ON t PREDICT label USING decision_tree",
+        "CREATE MINING MODEL m_bayes ON t PREDICT label USING bayes",
+        "CREATE MINING MODEL m_rules ON t PREDICT label USING rules",
+        "CREATE MINING MODEL m_km ON t WITH 2 CLUSTERS USING kmeans",
+        "CREATE MINING MODEL m_gmm ON tn WITH 2 CLUSTERS USING gmm",
+    ] {
+        let out = e.execute_sql(ddl).expect(ddl);
+        assert!(matches!(out, StatementOutcome::ModelCreated { .. }), "{ddl}");
+    }
+    e
+}
+
+/// The query corpus: for each of the five models, mining predicates
+/// alone and mixed with column atoms — exercising constant scans,
+/// zone-pruned full scans, index seeks, index unions, disjunctions with
+/// scalar residual legs, and pure column predicates.
+fn query_corpus() -> Vec<(usize, Expr)> {
+    let mut exprs = Vec::new();
+    for model in 0..5usize {
+        let table = usize::from(model == 4);
+        for class in 0..2u16 {
+            exprs.push((table, Expr::Mining(MiningPred::ClassEq { model, class: ClassId(class) })));
+        }
+        exprs.push((
+            table,
+            Expr::And(vec![
+                Expr::Mining(MiningPred::ClassEq { model, class: ClassId(1) }),
+                Expr::Atom(Atom { attr: AttrId(0), pred: AtomPred::Eq(2) }),
+            ]),
+        ));
+        exprs.push((
+            table,
+            Expr::Or(vec![
+                Expr::Mining(MiningPred::ClassEq { model, class: ClassId(0) }),
+                Expr::Atom(Atom { attr: AttrId(1), pred: AtomPred::Eq(1) }),
+            ]),
+        ));
+    }
+    exprs.push((0, Expr::Const(true)));
+    exprs.push((0, Expr::Const(false)));
+    exprs.push((0, Expr::Atom(Atom { attr: AttrId(0), pred: AtomPred::Range { lo: 1, hi: 2 } })));
+    exprs.push((
+        0,
+        Expr::Or(vec![
+            Expr::Atom(Atom { attr: AttrId(0), pred: AtomPred::Eq(0) }),
+            Expr::Atom(Atom { attr: AttrId(1), pred: AtomPred::In(MemberSet::of(3, [0, 2])) }),
+        ]),
+    ));
+    exprs.push((0, Expr::Not(Box::new(Expr::Atom(Atom { attr: AttrId(0), pred: AtomPred::Eq(3) })))));
+    exprs
+}
+
+/// Asserts the vectorized result is indistinguishable from the scalar
+/// reference: identical rows and identical deterministic metrics —
+/// including the zone-map skip count and the memo hit count, which both
+/// paths must agree on page for page and tuple for tuple.
+fn assert_matches_reference(
+    reference: &mpq_engine::ExecResult,
+    vectorized: &mpq_engine::ExecResult,
+    ctx: &str,
+) {
+    assert_eq!(vectorized.rows, reference.rows, "row set diverged: {ctx}");
+    let (s, v): (&ExecMetrics, &ExecMetrics) = (&reference.metrics, &vectorized.metrics);
+    assert_eq!(v.heap_pages_read, s.heap_pages_read, "heap pages: {ctx}");
+    assert_eq!(v.index_pages_read, s.index_pages_read, "index pages: {ctx}");
+    assert_eq!(v.pages_skipped, s.pages_skipped, "zone skips: {ctx}");
+    assert_eq!(v.rows_examined, s.rows_examined, "rows examined: {ctx}");
+    assert_eq!(v.model_invocations, s.model_invocations, "invocations: {ctx}");
+    assert_eq!(v.memo_hits, s.memo_hits, "memo hits: {ctx}");
+    assert_eq!(v.output_rows, s.output_rows, "output rows: {ctx}");
+    assert_eq!(v.index_fallback, s.index_fallback, "fallback flag: {ctx}");
+    assert_eq!(v.guard.rows_remaining, s.guard.rows_remaining, "rows headroom: {ctx}");
+    assert_eq!(v.guard.pages_remaining, s.guard.pages_remaining, "pages headroom: {ctx}");
+    assert_eq!(
+        v.guard.model_invocations_remaining, s.guard.model_invocations_remaining,
+        "invocation headroom: {ctx}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole guarantee: every query in the corpus, over all five
+    /// model algorithms, returns the same rows and metrics under the
+    /// vectorized executor at parallelism 1, 2, 4 and 8 as the scalar
+    /// row-at-a-time reference — with envelope optimization both on and
+    /// off, and with the memo cache both enabled and disabled.
+    #[test]
+    fn vectorized_execution_matches_scalar_reference(
+        extra in proptest::collection::vec((0u16..4, 0u16..3), 40..120),
+    ) {
+        let e = engine_with_models(&extra);
+        for use_envelopes in [true, false] {
+            e.set_use_envelopes(use_envelopes);
+            for (table, expr) in query_corpus() {
+                let plan = e.plan_predicate(table, expr.clone());
+                let catalog = e.catalog();
+                let reference =
+                    execute_opts(&plan, &catalog, QueryGuard::unlimited(), &reference_opts())
+                        .expect("unlimited reference run cannot fail");
+                for dop in DOPS {
+                    let vec = execute_opts(
+                        &plan,
+                        &catalog,
+                        QueryGuard::unlimited(),
+                        &ExecOptions::with_parallelism(dop),
+                    )
+                    .expect("unlimited vectorized run cannot fail");
+                    assert_matches_reference(
+                        &reference,
+                        &vec,
+                        &format!("dop {dop}, envelopes {use_envelopes}, expr {expr:?}"),
+                    );
+                }
+                // Memo off: the row set is unchanged, hits drop to
+                // zero, and every scalar evaluation hits the real
+                // scorer — so invocations can only grow.
+                let no_memo = execute_opts(
+                    &plan,
+                    &catalog,
+                    QueryGuard::unlimited(),
+                    &ExecOptions { memo_capacity: 0, ..ExecOptions::default() },
+                )
+                .expect("memo-free run cannot fail");
+                prop_assert_eq!(&no_memo.rows, &reference.rows, "memo off changed rows");
+                prop_assert_eq!(no_memo.metrics.memo_hits, 0, "disabled memo reported hits");
+                prop_assert!(
+                    no_memo.metrics.model_invocations
+                        >= reference.metrics.model_invocations,
+                    "memo must only ever reduce scorer calls: {} < {}",
+                    no_memo.metrics.model_invocations,
+                    reference.metrics.model_invocations
+                );
+            }
+        }
+    }
+
+    /// Guard parity under a generated single-resource budget: at dop 1
+    /// the vectorized executor must breach with the same resource,
+    /// limit *and* spent as the scalar reference (batched charging
+    /// emulates the per-row trip point); at dop > 1 the classification
+    /// and limit still match and spent may only overshoot.
+    #[test]
+    fn guard_breach_classification_matches_reference(
+        extra in proptest::collection::vec((0u16..4, 0u16..3), 40..100),
+        rows_limit in 1u64..200,
+        inv_limit in 1u64..200,
+        pages_limit in 0u64..80,
+    ) {
+        let e = engine_with_models(&extra);
+        e.set_use_envelopes(false); // full scan + black-box residual
+        let expr = Expr::Mining(MiningPred::ClassEq { model: 1, class: ClassId(1) });
+        let plan = e.plan_predicate(0, expr);
+        let catalog = e.catalog();
+
+        let guards = [
+            QueryGuard::default().with_max_rows_examined(rows_limit),
+            QueryGuard::default().with_max_model_invocations(inv_limit),
+            QueryGuard::default().with_max_pages(pages_limit),
+        ];
+        for guard in guards {
+            let reference = execute_opts(&plan, &catalog, guard, &reference_opts());
+            for dop in DOPS {
+                let vec = execute_opts(
+                    &plan,
+                    &catalog,
+                    guard,
+                    &ExecOptions::with_parallelism(dop),
+                );
+                match (&reference, &vec) {
+                    (Ok(s), Ok(v)) => assert_matches_reference(s, v, &format!("dop {dop}")),
+                    (
+                        Err(EngineError::BudgetExceeded { resource: rs, limit: ls, spent: ss }),
+                        Err(EngineError::BudgetExceeded { resource: rv, limit: lv, spent: sv }),
+                    ) => {
+                        prop_assert_eq!(rv, rs, "breach resource diverged at dop {}", dop);
+                        prop_assert_eq!(lv, ls, "breach limit diverged at dop {}", dop);
+                        if dop == 1 {
+                            prop_assert_eq!(
+                                sv, ss,
+                                "serial vectorized breach must report the reference trip point"
+                            );
+                        } else {
+                            prop_assert!(
+                                sv > lv,
+                                "breach must report spent {} > limit {}", sv, lv
+                            );
+                        }
+                    }
+                    (s, v) => {
+                        return Err(TestCaseError::fail(format!(
+                            "outcome diverged at dop {dop}: reference {s:?} vs vectorized {v:?}"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    /// A capacity-bounded memo stays sound: a tiny cache (or none) must
+    /// never change the row set, and its hit count can only shrink
+    /// relative to the unbounded cache.
+    #[test]
+    fn bounded_memo_is_sound(
+        extra in proptest::collection::vec((0u16..4, 0u16..3), 40..100),
+        capacity in 0usize..6,
+    ) {
+        let e = engine_with_models(&extra);
+        e.set_use_envelopes(false);
+        let expr = Expr::Mining(MiningPred::ClassEq { model: 0, class: ClassId(1) });
+        let plan = e.plan_predicate(0, expr);
+        let catalog = e.catalog();
+        let full = execute_opts(
+            &plan,
+            &catalog,
+            QueryGuard::unlimited(),
+            &ExecOptions { memo_capacity: DEFAULT_MEMO_CAPACITY, ..ExecOptions::default() },
+        )
+        .unwrap();
+        let bounded = execute_opts(
+            &plan,
+            &catalog,
+            QueryGuard::unlimited(),
+            &ExecOptions { memo_capacity: capacity, ..ExecOptions::default() },
+        )
+        .unwrap();
+        prop_assert_eq!(&bounded.rows, &full.rows, "bounded memo changed the row set");
+        prop_assert!(
+            bounded.metrics.memo_hits <= full.metrics.memo_hits,
+            "a smaller cache cannot hit more: {} > {}",
+            bounded.metrics.memo_hits,
+            full.metrics.memo_hits
+        );
+        prop_assert!(
+            bounded.metrics.model_invocations >= full.metrics.model_invocations,
+            "a smaller cache cannot call the scorer less"
+        );
+    }
+}
