@@ -66,6 +66,9 @@ fn print_outcome(outcome: &StatementOutcome) {
                 None => println!("model {name} created ({n_classes} classes)"),
             }
         }
+        StatementOutcome::Inserted { table, rows_inserted } => {
+            println!("{rows_inserted} rows inserted into {table}");
+        }
         StatementOutcome::ParallelismSet { dop } => {
             println!("session parallelism set to {dop}");
         }

@@ -7,6 +7,7 @@
 //! version; cached plans remember the versions they read and are
 //! invalidated when a model is retrained (§4.2's correctness note).
 
+use crate::dedup::StatementDedup;
 use crate::expr::{ModelId, ModelOracle};
 use crate::fault::FaultInjector;
 use crate::index::SecondaryIndex;
@@ -73,6 +74,10 @@ pub struct Catalog {
     tables: Vec<TableEntry>,
     models: Vec<ModelEntry>,
     faults: Arc<FaultInjector>,
+    /// Applied statement ids and their outcomes, for exactly-once
+    /// retries. Mutated only under the catalog write lock, so it stays
+    /// crash-consistent with the state it guards.
+    dedup: StatementDedup,
 }
 
 /// Derives per-class envelopes, absorbing every failure mode this layer
@@ -133,6 +138,22 @@ impl Catalog {
     /// the catalog is borrowed elsewhere.
     pub fn fault_injector(&self) -> Arc<FaultInjector> {
         Arc::clone(&self.faults)
+    }
+
+    /// The statement-outcome dedup store (exactly-once retries).
+    pub fn dedup(&self) -> &StatementDedup {
+        &self.dedup
+    }
+
+    /// Mutable dedup store — callers hold the catalog write lock, which
+    /// keeps dedup state and applied state in lockstep.
+    pub fn dedup_mut(&mut self) -> &mut StatementDedup {
+        &mut self.dedup
+    }
+
+    /// Replaces the dedup store wholesale (snapshot recovery).
+    pub(crate) fn set_dedup(&mut self, dedup: StatementDedup) {
+        self.dedup = dedup;
     }
 
     /// Registers a table, building statistics.

@@ -1,0 +1,397 @@
+//! Per-session statement-outcome deduplication: the engine half of
+//! exactly-once statement execution.
+//!
+//! A client stamps every mutating statement with a [`StatementId`]
+//! (session nonce + sequence number) and re-sends the *same* id when it
+//! retries after an ambiguous failure (connection dropped before the
+//! response arrived). The engine records applied ids together with a
+//! compact outcome summary, so a retry is answered from this store
+//! instead of re-applying the mutation. Because ids ride inside the WAL
+//! record itself ([`crate::LogOp::Stamped`]) and this store is rebuilt
+//! by replay and persisted in snapshots, the guarantee holds across
+//! crash recovery: a retry that lands after a crash-and-restart still
+//! deduplicates.
+//!
+//! Memory is bounded on both axes. Within a session, outcomes evict
+//! oldest-acknowledged-first (lowest sequence number) past a cap, with a
+//! watermark remembering that everything below it *was* applied — a
+//! retry of an evicted statement gets a typed "already applied" error
+//! rather than a silent duplicate. Whole sessions evict
+//! least-recently-used past a session cap, retiring their watermark into
+//! a small side table so even a retry from an evicted session cannot
+//! re-apply.
+
+use crate::persist::StatementId;
+use mpq_types::wire::{WireReader, WireWriter};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Capacity limits for a [`StatementDedup`] store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DedupLimits {
+    /// Outcomes retained per session before oldest-first eviction.
+    pub max_outcomes_per_session: usize,
+    /// Sessions tracked before least-recently-used eviction.
+    pub max_sessions: usize,
+    /// Watermarks of evicted sessions retained before the oldest-retired
+    /// watermark is forgotten.
+    pub max_retired: usize,
+}
+
+impl Default for DedupLimits {
+    fn default() -> DedupLimits {
+        DedupLimits { max_outcomes_per_session: 256, max_sessions: 1024, max_retired: 4096 }
+    }
+}
+
+/// Compact summary of a mutation's outcome, enough to answer a retry
+/// without re-running the statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DedupOutcome {
+    /// An `INSERT` applied.
+    Inserted {
+        /// Target table name.
+        table: String,
+        /// Rows the statement appended.
+        rows_inserted: u64,
+    },
+    /// A `CREATE MINING MODEL` applied.
+    ModelCreated {
+        /// The model's catalog name.
+        name: String,
+        /// Number of output classes/clusters.
+        n_classes: u64,
+        /// Degradation reason, if envelope derivation failed.
+        degraded: Option<String>,
+    },
+    /// Some other stamped mutation applied (replay-only; the SQL surface
+    /// stamps only inserts and model DDL).
+    Applied,
+}
+
+const OUT_INSERTED: u8 = 0;
+const OUT_MODEL_CREATED: u8 = 1;
+const OUT_APPLIED: u8 = 2;
+
+impl DedupOutcome {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            DedupOutcome::Inserted { table, rows_inserted } => {
+                w.put_u8(OUT_INSERTED);
+                w.put_str(table);
+                w.put_u64(*rows_inserted);
+            }
+            DedupOutcome::ModelCreated { name, n_classes, degraded } => {
+                w.put_u8(OUT_MODEL_CREATED);
+                w.put_str(name);
+                w.put_u64(*n_classes);
+                match degraded {
+                    Some(d) => {
+                        w.put_bool(true);
+                        w.put_str(d);
+                    }
+                    None => w.put_bool(false),
+                }
+            }
+            DedupOutcome::Applied => w.put_u8(OUT_APPLIED),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<DedupOutcome, crate::EngineError> {
+        Ok(match r.get_u8()? {
+            OUT_INSERTED => {
+                DedupOutcome::Inserted { table: r.get_str()?, rows_inserted: r.get_u64()? }
+            }
+            OUT_MODEL_CREATED => DedupOutcome::ModelCreated {
+                name: r.get_str()?,
+                n_classes: r.get_u64()?,
+                degraded: if r.get_bool()? { Some(r.get_str()?) } else { None },
+            },
+            OUT_APPLIED => DedupOutcome::Applied,
+            other => {
+                return Err(crate::EngineError::Corrupt {
+                    detail: format!("unknown dedup outcome tag {other}"),
+                })
+            }
+        })
+    }
+}
+
+/// What the store knows about a statement id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DedupCheck {
+    /// Never seen: apply and [`StatementDedup::record`].
+    New,
+    /// Already applied; here is the original outcome.
+    Replay(DedupOutcome),
+    /// Already applied, but the outcome aged out of the cache. The
+    /// mutation must NOT re-apply; the caller reports a typed error.
+    Evicted,
+}
+
+#[derive(Debug, Default)]
+struct SessionOutcomes {
+    outcomes: BTreeMap<u64, DedupOutcome>,
+    /// Every recorded seq below this was applied and its outcome
+    /// evicted (oldest-acknowledged-first).
+    evicted_below: u64,
+}
+
+/// The bounded statement-outcome store. Lives inside the
+/// [`crate::Catalog`] so it mutates under the same write lock as the
+/// state it guards and rides in snapshots.
+#[derive(Debug, Default)]
+pub struct StatementDedup {
+    limits: DedupLimits,
+    sessions: BTreeMap<u64, SessionOutcomes>,
+    /// Nonce recency, coldest first.
+    lru: VecDeque<u64>,
+    /// Watermarks of evicted sessions: nonce → first seq NOT known
+    /// applied. Insertion order tracked for bounded forgetting.
+    retired: BTreeMap<u64, u64>,
+    retired_order: VecDeque<u64>,
+}
+
+impl StatementDedup {
+    /// An empty store with the given capacity limits (tests use tiny
+    /// ones to exercise eviction).
+    pub fn with_limits(limits: DedupLimits) -> StatementDedup {
+        StatementDedup { limits, ..StatementDedup::default() }
+    }
+
+    /// Looks up `id` without mutating anything.
+    pub fn check(&self, id: StatementId) -> DedupCheck {
+        if let Some(s) = self.sessions.get(&id.nonce) {
+            if let Some(o) = s.outcomes.get(&id.seq) {
+                return DedupCheck::Replay(o.clone());
+            }
+            if id.seq < s.evicted_below {
+                return DedupCheck::Evicted;
+            }
+            return DedupCheck::New;
+        }
+        match self.retired.get(&id.nonce) {
+            Some(&watermark) if id.seq < watermark => DedupCheck::Evicted,
+            _ => DedupCheck::New,
+        }
+    }
+
+    /// Records an applied statement's outcome, evicting per the limits.
+    pub fn record(&mut self, id: StatementId, outcome: DedupOutcome) {
+        let is_new_session = !self.sessions.contains_key(&id.nonce);
+        let s = self.sessions.entry(id.nonce).or_default();
+        s.outcomes.insert(id.seq, outcome);
+        while s.outcomes.len() > self.limits.max_outcomes_per_session {
+            if let Some((seq, _)) = s.outcomes.pop_first() {
+                s.evicted_below = s.evicted_below.max(seq + 1);
+            }
+        }
+        // Touch the nonce in the LRU (move to back).
+        if !is_new_session {
+            if let Some(i) = self.lru.iter().position(|&n| n == id.nonce) {
+                self.lru.remove(i);
+            }
+        }
+        self.lru.push_back(id.nonce);
+        while self.sessions.len() > self.limits.max_sessions {
+            let Some(cold) = self.lru.pop_front() else { break };
+            if let Some(gone) = self.sessions.remove(&cold) {
+                let watermark = gone
+                    .outcomes
+                    .last_key_value()
+                    .map(|(&seq, _)| seq + 1)
+                    .unwrap_or(0)
+                    .max(gone.evicted_below);
+                self.retire(cold, watermark);
+            }
+        }
+    }
+
+    fn retire(&mut self, nonce: u64, watermark: u64) {
+        if self.retired.insert(nonce, watermark).is_none() {
+            self.retired_order.push_back(nonce);
+        }
+        while self.retired.len() > self.limits.max_retired {
+            if let Some(old) = self.retired_order.pop_front() {
+                self.retired.remove(&old);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of tracked (non-retired) sessions.
+    pub fn n_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Outcomes currently retained for `nonce`.
+    pub fn n_outcomes(&self, nonce: u64) -> usize {
+        self.sessions.get(&nonce).map_or(0, |s| s.outcomes.len())
+    }
+
+    /// Total outcomes retained across every session.
+    pub fn total_outcomes(&self) -> usize {
+        self.sessions.values().map(|s| s.outcomes.len()).sum()
+    }
+
+    /// Serializes the store (snapshot section). LRU recency is not
+    /// persisted — after recovery, recency restarts in nonce order,
+    /// which only affects which session evicts first, never whether a
+    /// retry deduplicates.
+    pub(crate) fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.sessions.len() as u32);
+        for (&nonce, s) in &self.sessions {
+            w.put_u64(nonce);
+            w.put_u64(s.evicted_below);
+            w.put_u32(s.outcomes.len() as u32);
+            for (&seq, o) in &s.outcomes {
+                w.put_u64(seq);
+                o.encode(w);
+            }
+        }
+        w.put_u32(self.retired.len() as u32);
+        for (&nonce, &watermark) in &self.retired {
+            w.put_u64(nonce);
+            w.put_u64(watermark);
+        }
+    }
+
+    /// Decodes a store serialized by [`StatementDedup::encode`], with
+    /// default limits.
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> Result<StatementDedup, crate::EngineError> {
+        let mut store = StatementDedup::default();
+        let n_sessions = r.get_u32()? as usize;
+        if n_sessions > r.remaining() {
+            return Err(crate::EngineError::Corrupt {
+                detail: "dedup session count exceeds snapshot".into(),
+            });
+        }
+        for _ in 0..n_sessions {
+            let nonce = r.get_u64()?;
+            let evicted_below = r.get_u64()?;
+            let n_outcomes = r.get_u32()? as usize;
+            if n_outcomes > r.remaining() {
+                return Err(crate::EngineError::Corrupt {
+                    detail: "dedup outcome count exceeds snapshot".into(),
+                });
+            }
+            let mut outcomes = BTreeMap::new();
+            for _ in 0..n_outcomes {
+                let seq = r.get_u64()?;
+                outcomes.insert(seq, DedupOutcome::decode(r)?);
+            }
+            store.sessions.insert(nonce, SessionOutcomes { outcomes, evicted_below });
+            store.lru.push_back(nonce);
+        }
+        let n_retired = r.get_u32()? as usize;
+        if n_retired > r.remaining() {
+            return Err(crate::EngineError::Corrupt {
+                detail: "dedup retired count exceeds snapshot".into(),
+            });
+        }
+        for _ in 0..n_retired {
+            let nonce = r.get_u64()?;
+            let watermark = r.get_u64()?;
+            if store.retired.insert(nonce, watermark).is_none() {
+                store.retired_order.push_back(nonce);
+            }
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(nonce: u64, seq: u64) -> StatementId {
+        StatementId { nonce, seq }
+    }
+
+    fn ins(n: u64) -> DedupOutcome {
+        DedupOutcome::Inserted { table: "t".into(), rows_inserted: n }
+    }
+
+    #[test]
+    fn new_then_replay() {
+        let mut d = StatementDedup::default();
+        assert_eq!(d.check(id(7, 0)), DedupCheck::New);
+        d.record(id(7, 0), ins(3));
+        assert_eq!(d.check(id(7, 0)), DedupCheck::Replay(ins(3)));
+        assert_eq!(d.check(id(7, 1)), DedupCheck::New);
+        assert_eq!(d.check(id(8, 0)), DedupCheck::New);
+    }
+
+    #[test]
+    fn per_session_eviction_is_oldest_first_with_watermark() {
+        let mut d = StatementDedup::with_limits(DedupLimits {
+            max_outcomes_per_session: 3,
+            ..DedupLimits::default()
+        });
+        for seq in 0..5 {
+            d.record(id(1, seq), ins(seq));
+        }
+        assert_eq!(d.n_outcomes(1), 3);
+        // Seqs 0 and 1 evicted: known-applied, outcome gone.
+        assert_eq!(d.check(id(1, 0)), DedupCheck::Evicted);
+        assert_eq!(d.check(id(1, 1)), DedupCheck::Evicted);
+        // Newest three still replay.
+        for seq in 2..5 {
+            assert_eq!(d.check(id(1, seq)), DedupCheck::Replay(ins(seq)));
+        }
+        assert_eq!(d.check(id(1, 5)), DedupCheck::New);
+    }
+
+    #[test]
+    fn session_eviction_is_lru_and_retires_watermark() {
+        let mut d = StatementDedup::with_limits(DedupLimits {
+            max_sessions: 2,
+            ..DedupLimits::default()
+        });
+        d.record(id(1, 0), ins(1));
+        d.record(id(2, 0), ins(1));
+        // Touch session 1 so session 2 is the cold one.
+        d.record(id(1, 1), ins(1));
+        d.record(id(3, 0), ins(1));
+        assert_eq!(d.n_sessions(), 2);
+        assert_eq!(d.n_outcomes(2), 0, "session 2 evicted");
+        // The retired watermark still refuses to re-apply session 2's
+        // statement — exactly-once survives whole-session eviction.
+        assert_eq!(d.check(id(2, 0)), DedupCheck::Evicted);
+        assert_eq!(d.check(id(2, 1)), DedupCheck::New);
+        assert_eq!(d.check(id(1, 1)), DedupCheck::Replay(ins(1)));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut d = StatementDedup::with_limits(DedupLimits {
+            max_outcomes_per_session: 2,
+            max_sessions: 2,
+            ..DedupLimits::default()
+        });
+        for seq in 0..4 {
+            d.record(id(10, seq), ins(seq));
+        }
+        d.record(
+            id(11, 0),
+            DedupOutcome::ModelCreated {
+                name: "m".into(),
+                n_classes: 3,
+                degraded: Some("timeout".into()),
+            },
+        );
+        d.record(id(12, 5), DedupOutcome::Applied);
+        let mut w = WireWriter::new();
+        d.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = StatementDedup::decode(&mut WireReader::new(&bytes)).unwrap();
+        assert_eq!(back.check(id(10, 0)), DedupCheck::Evicted, "watermark survives");
+        assert_eq!(back.check(id(10, 3)), d.check(id(10, 3)));
+        assert_eq!(back.check(id(11, 0)), d.check(id(11, 0)));
+        assert_eq!(back.check(id(12, 5)), DedupCheck::Replay(DedupOutcome::Applied));
+        // Every strict prefix fails cleanly.
+        for cut in 0..bytes.len() {
+            assert!(StatementDedup::decode(&mut WireReader::new(&bytes[..cut])).is_err());
+        }
+    }
+}

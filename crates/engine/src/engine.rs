@@ -11,6 +11,7 @@
 //! engine; see DESIGN.md §8).
 
 use crate::catalog::Catalog;
+use crate::dedup::{DedupCheck, DedupOutcome};
 use crate::display::plan_to_string;
 use crate::error::panic_message;
 use crate::exec::{execute_opts, ExecMetrics, ExecOptions};
@@ -20,7 +21,7 @@ use crate::guard::QueryGuard;
 use crate::optimizer::{choose_plan, OptimizerOptions, Plan};
 use crate::persist::recovery::{self, Recovered};
 use crate::persist::wal::WalWriter;
-use crate::persist::{snapshot, LogOp, RecoveryReport, StoredModel};
+use crate::persist::{snapshot, LogOp, RecoveryReport, StatementId, StoredModel};
 use crate::rewrite::rewrite_mining;
 use crate::session::SessionState;
 use crate::sql::{parse, parse_statement, Statement};
@@ -80,6 +81,13 @@ pub enum StatementOutcome {
         /// was installed with trivial `TRUE` envelopes (degraded but
         /// correct; see [`crate::ModelEntry::degraded`]).
         degraded: Option<String>,
+    },
+    /// Rows were appended by an `INSERT`.
+    Inserted {
+        /// Target table name.
+        table: String,
+        /// Number of rows appended.
+        rows_inserted: u64,
     },
     /// `SET PARALLELISM n` changed the session's degree of parallelism.
     ParallelismSet {
@@ -319,27 +327,7 @@ impl Engine {
             .table_by_name(table)
             .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
         let t = &catalog.table(id).table;
-        let schema = t.schema();
-        for row in &rows {
-            if row.len() != schema.len() {
-                return Err(EngineError::SchemaMismatch {
-                    detail: format!(
-                        "row has {} values, table {} has {} columns",
-                        row.len(),
-                        t.name(),
-                        schema.len()
-                    ),
-                });
-            }
-            for (d, &m) in row.iter().enumerate() {
-                if m >= schema.attrs()[d].domain.cardinality() {
-                    return Err(EngineError::BadValue(format!(
-                        "member {m} out of range for column {}",
-                        schema.attrs()[d].name
-                    )));
-                }
-            }
-        }
+        validate_rows(t, &rows)?;
         let name = t.name().to_string();
         self.apply_durable_locked(&mut catalog, LogOp::Insert { table: name, rows })
     }
@@ -692,7 +680,7 @@ impl Engine {
     /// fail a `CREATE MINING MODEL`: the model lands degraded (trivial
     /// envelopes) and the outcome's `degraded` field carries the reason.
     pub fn execute_sql(&self, sql: &str) -> Result<StatementOutcome, EngineError> {
-        self.execute_sql_dispatch(sql, None)
+        self.execute_sql_dispatch(sql, None, None)
     }
 
     /// Like [`Engine::execute_sql`], but scoped to `session`: `SET
@@ -705,25 +693,72 @@ impl Engine {
         sql: &str,
         session: &mut SessionState,
     ) -> Result<StatementOutcome, EngineError> {
-        self.execute_sql_dispatch(sql, Some(session))
+        self.execute_sql_dispatch(sql, Some(session), None)
+    }
+
+    /// Like [`Engine::execute_sql_in`], with an exactly-once stamp: if a
+    /// statement carrying the same id already applied — whether observed
+    /// live or replayed from the WAL after a crash — the mutation is NOT
+    /// re-applied and the original outcome is reconstructed instead.
+    /// This is what makes blind client retries safe: a response lost to
+    /// a connection drop (or a crash after the WAL append) cannot turn
+    /// into a double INSERT.
+    ///
+    /// Only mutating statements (INSERT, CREATE MINING MODEL) consult
+    /// the stamp; queries and SET are idempotent and simply re-execute.
+    /// A retry whose outcome was evicted from the dedup cache fails with
+    /// [`EngineError::Internal`] rather than re-applying.
+    pub fn execute_sql_stamped(
+        &self,
+        sql: &str,
+        session: &mut SessionState,
+        id: StatementId,
+    ) -> Result<StatementOutcome, EngineError> {
+        self.execute_sql_dispatch(sql, Some(session), Some(id))
     }
 
     fn execute_sql_dispatch(
         &self,
         sql: &str,
         session: Option<&mut SessionState>,
+        stamp: Option<StatementId>,
     ) -> Result<StatementOutcome, EngineError> {
-        catch_unwind(AssertUnwindSafe(|| self.execute_sql_inner(sql, session)))
+        catch_unwind(AssertUnwindSafe(|| self.execute_sql_inner(sql, session, stamp)))
             .unwrap_or_else(|payload| {
                 self.lock_cache().clear();
                 Err(EngineError::Internal { detail: panic_message(&*payload) })
             })
     }
 
+    /// Checks a statement stamp against the dedup store (caller holds
+    /// the catalog write lock). `Ok(Some(..))` means the statement
+    /// already applied: hand its reconstructed outcome back instead of
+    /// re-executing.
+    fn check_stamp(
+        &self,
+        catalog: &Catalog,
+        stamp: Option<StatementId>,
+    ) -> Result<Option<StatementOutcome>, EngineError> {
+        let Some(id) = stamp else { return Ok(None) };
+        match catalog.dedup().check(id) {
+            DedupCheck::New => Ok(None),
+            DedupCheck::Replay(outcome) => {
+                Ok(Some(reconstruct_outcome(catalog, &outcome)?))
+            }
+            DedupCheck::Evicted => Err(EngineError::Internal {
+                detail: format!(
+                    "statement {id} already applied but its outcome was evicted \
+                     from the dedup cache; refusing to re-apply"
+                ),
+            }),
+        }
+    }
+
     fn execute_sql_inner(
         &self,
         sql: &str,
         mut session: Option<&mut SessionState>,
+        stamp: Option<StatementId>,
     ) -> Result<StatementOutcome, EngineError> {
         let statement = {
             let catalog = self.read_catalog();
@@ -772,8 +807,34 @@ impl Engine {
                 }
                 Ok(StatementOutcome::GuardSet { guard })
             }
+            Statement::Insert { table, rows } => {
+                let mut catalog = self.write_catalog();
+                // Stamp check first: a retried INSERT whose response was
+                // lost must come back with the original outcome, not
+                // apply again.
+                if let Some(replayed) = self.check_stamp(&catalog, stamp)? {
+                    return Ok(replayed);
+                }
+                let t = &catalog.table(table).table;
+                // Re-validated under the exclusive lock: a logged op
+                // MUST replay, so nothing invalid may reach the WAL.
+                validate_rows(t, &rows)?;
+                let name = t.name().to_string();
+                let rows_inserted = rows.len() as u64;
+                let mut op = LogOp::Insert { table: name.clone(), rows };
+                if let Some(id) = stamp {
+                    op = LogOp::Stamped { id, inner: Box::new(op) };
+                }
+                self.apply_durable_locked(&mut catalog, op)?;
+                Ok(StatementOutcome::Inserted { table: name, rows_inserted })
+            }
             Statement::CreateModel { name, table, label, clusters, algorithm } => {
                 let mut catalog = self.write_catalog();
+                // Stamp check before the duplicate check: a retried
+                // CREATE of the same name is a replay, not a conflict.
+                if let Some(replayed) = self.check_stamp(&catalog, stamp)? {
+                    return Ok(replayed);
+                }
                 // Re-checked under the exclusive lock: another client
                 // may have registered the name since parsing.
                 if catalog.model_by_name(&name).is_some() {
@@ -789,14 +850,15 @@ impl Engine {
                     clusters,
                     algorithm,
                 )?;
-                self.apply_durable_locked(
-                    &mut catalog,
-                    LogOp::CreateModel {
-                        name: name.clone(),
-                        stored,
-                        opts: DeriveOptions::default(),
-                    },
-                )?;
+                let mut op = LogOp::CreateModel {
+                    name: name.clone(),
+                    stored,
+                    opts: DeriveOptions::default(),
+                };
+                if let Some(id) = stamp {
+                    op = LogOp::Stamped { id, inner: Box::new(op) };
+                }
+                self.apply_durable_locked(&mut catalog, op)?;
                 let model = catalog.model_by_name(&name).ok_or_else(|| {
                     EngineError::Internal { detail: "created model missing".to_string() }
                 })?;
@@ -805,6 +867,64 @@ impl Engine {
             }
         }
     }
+}
+
+/// Rebuilds the statement-level outcome a deduplicated retry should
+/// see from the recorded [`DedupOutcome`]. `ModelCreated` re-resolves
+/// the model id by name, because ids are assigned at apply time.
+fn reconstruct_outcome(
+    catalog: &Catalog,
+    o: &DedupOutcome,
+) -> Result<StatementOutcome, EngineError> {
+    match o {
+        DedupOutcome::Inserted { table, rows_inserted } => Ok(StatementOutcome::Inserted {
+            table: table.clone(),
+            rows_inserted: *rows_inserted,
+        }),
+        DedupOutcome::ModelCreated { name, n_classes, degraded } => {
+            let model = catalog.model_by_name(name).ok_or_else(|| EngineError::Internal {
+                detail: format!("deduplicated CREATE of model '{name}' but it is missing"),
+            })?;
+            Ok(StatementOutcome::ModelCreated {
+                name: name.clone(),
+                model,
+                n_classes: *n_classes as usize,
+                degraded: degraded.clone(),
+            })
+        }
+        // Statement-level stamps only cover INSERT and CREATE MINING
+        // MODEL, both of which record a shaped outcome.
+        DedupOutcome::Applied => Err(EngineError::Internal {
+            detail: "recorded dedup outcome has no statement-level shape".to_string(),
+        }),
+    }
+}
+
+/// Validates rows against a table's schema before anything is logged:
+/// arity must match and every member must fit its column's domain.
+fn validate_rows(t: &Table, rows: &[Vec<Member>]) -> Result<(), EngineError> {
+    let schema = t.schema();
+    for row in rows {
+        if row.len() != schema.len() {
+            return Err(EngineError::SchemaMismatch {
+                detail: format!(
+                    "row has {} values, table {} has {} columns",
+                    row.len(),
+                    t.name(),
+                    schema.len()
+                ),
+            });
+        }
+        for (d, &m) in row.iter().enumerate() {
+            if m >= schema.attrs()[d].domain.cardinality() {
+                return Err(EngineError::BadValue(format!(
+                    "member {m} out of range for column {}",
+                    schema.attrs()[d].name
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Validates an index DDL target, resolving the table name and column

@@ -38,6 +38,8 @@ pub struct FaultInjector {
     wal_torn_write: AtomicBool,
     wal_bit_flip: AtomicBool,
     wal_short_read: AtomicBool,
+    wal_enospc: AtomicBool,
+    wal_fsync_fail: AtomicBool,
     conn_drop_mid_response: AtomicBool,
     conn_torn_frame: AtomicBool,
     conn_slow_loris: AtomicBool,
@@ -56,6 +58,8 @@ impl Default for FaultInjector {
             wal_torn_write: AtomicBool::new(false),
             wal_bit_flip: AtomicBool::new(false),
             wal_short_read: AtomicBool::new(false),
+            wal_enospc: AtomicBool::new(false),
+            wal_fsync_fail: AtomicBool::new(false),
             conn_drop_mid_response: AtomicBool::new(false),
             conn_torn_frame: AtomicBool::new(false),
             conn_slow_loris: AtomicBool::new(false),
@@ -213,6 +217,41 @@ impl FaultInjector {
         self.wal_short_read.load(Ordering::Relaxed)
     }
 
+    /// Arm/disarm disk-full WAL appends: appends fail with a typed
+    /// ENOSPC-style [`crate::EngineError::Io`] *before* any byte
+    /// reaches the file, so the writer stays trustworthy — once the
+    /// fault clears (space freed), appends succeed again. Level-
+    /// triggered: it models a property of the disk, not of one write.
+    pub fn set_wal_enospc(&self, on: bool) {
+        self.wal_enospc.store(on, Ordering::Relaxed);
+    }
+
+    /// True when appends should fail as if the disk were full.
+    pub fn wal_enospc_armed(&self) -> bool {
+        self.wal_enospc.load(Ordering::Relaxed)
+    }
+
+    /// Arm an fsync failure: the *next* WAL append writes its frame but
+    /// the following `fsync` reports an error. Per fsync-gate
+    /// semantics, the kernel may have dropped the dirty pages — the
+    /// tail is untrusted, so the writer goes dead (read-only-degraded)
+    /// and every later append fails typed. One-shot: consumed by the
+    /// append that honours it.
+    pub fn set_wal_fsync_fail(&self, on: bool) {
+        self.wal_fsync_fail.store(on, Ordering::Relaxed);
+    }
+
+    /// Consumes the fsync-failure arm (one-shot), returning whether it
+    /// was set.
+    pub fn take_wal_fsync_fail(&self) -> bool {
+        self.wal_fsync_fail.swap(false, Ordering::Relaxed)
+    }
+
+    /// True when an fsync failure is armed (not yet consumed).
+    pub fn wal_fsync_fail_armed(&self) -> bool {
+        self.wal_fsync_fail.load(Ordering::Relaxed)
+    }
+
     // -- connection-level faults (honoured by the wire-protocol server
     //    and client in the `mpq-server`/`mpq-client` crates) ----------
 
@@ -281,6 +320,8 @@ impl FaultInjector {
         self.set_wal_torn_write(false);
         self.set_wal_bit_flip(false);
         self.set_wal_short_read(false);
+        self.set_wal_enospc(false);
+        self.set_wal_fsync_fail(false);
         self.set_conn_drop_mid_response(false);
         self.set_conn_torn_frame(false);
         self.set_conn_slow_loris(false);
@@ -298,6 +339,8 @@ impl FaultInjector {
             || self.wal_torn_write_armed()
             || self.wal_bit_flip_armed()
             || self.wal_short_read_armed()
+            || self.wal_enospc_armed()
+            || self.wal_fsync_fail_armed()
             || self.conn_drop_mid_response_armed()
             || self.conn_torn_frame_armed()
             || self.conn_slow_loris_armed()
@@ -335,6 +378,21 @@ mod tests {
         assert!(f.take_conn_torn_frame());
         assert!(!f.conn_torn_frame_armed());
         assert!(f.conn_slow_loris_armed());
+        f.reset();
+        assert!(!f.any_armed());
+    }
+
+    #[test]
+    fn wal_disk_faults_round_trip() {
+        let f = FaultInjector::new();
+        f.set_wal_enospc(true);
+        f.set_wal_fsync_fail(true);
+        assert!(f.any_armed());
+        // ENOSPC is level-triggered; fsync failure is one-shot.
+        assert!(f.wal_enospc_armed());
+        assert!(f.wal_enospc_armed());
+        assert!(f.take_wal_fsync_fail());
+        assert!(!f.take_wal_fsync_fail());
         f.reset();
         assert!(!f.any_armed());
     }

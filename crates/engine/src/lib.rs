@@ -25,6 +25,7 @@
 
 mod catalog;
 mod ddl;
+mod dedup;
 mod display;
 mod engine;
 mod error;
@@ -44,6 +45,7 @@ mod tuner;
 mod vectorized;
 
 pub use catalog::{Catalog, ModelEntry, TableEntry};
+pub use dedup::{DedupCheck, DedupLimits, DedupOutcome, StatementDedup};
 pub use display::{expr_to_sql, plan_to_string};
 pub use ddl::{create_model, labeled_view, ProjectedModel};
 pub use engine::{Engine, EngineHealth, ModelHealth, QueryOutcome, StatementOutcome};
@@ -56,7 +58,7 @@ pub use index::SecondaryIndex;
 pub use optimizer::{
     choose_plan, estimate_selectivity, AccessPath, CostModel, OptimizerOptions, Plan,
 };
-pub use persist::{LogOp, RecoveryReport, StoredModel};
+pub use persist::{LogOp, RecoveryReport, StatementId, StoredModel};
 pub use rewrite::{envelope_expr_for, rewrite_mining};
 pub use session::SessionState;
 pub use sql::{parse, parse_statement, ModelAlgorithm, ParsedQuery, Statement};

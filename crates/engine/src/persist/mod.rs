@@ -244,6 +244,32 @@ pub(crate) fn get_derive_opts(r: &mut WireReader<'_>) -> Result<DeriveOptions, E
 }
 
 // ---------------------------------------------------------------------
+// Statement identity
+// ---------------------------------------------------------------------
+
+/// A client-generated identity for one mutating statement.
+///
+/// The `nonce` is drawn once per client session (random enough to not
+/// collide across sessions); `seq` increments per statement within the
+/// session. A retried statement carries the *same* id, which is how the
+/// server and the WAL tell a retry apart from a new statement: the id
+/// rides inside [`LogOp::Stamped`], so deduplication holds both against
+/// live state and across crash recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StatementId {
+    /// Per-session random identity.
+    pub nonce: u64,
+    /// Position of the statement within the session (monotone).
+    pub seq: u64,
+}
+
+impl std::fmt::Display for StatementId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}/{}", self.nonce, self.seq)
+    }
+}
+
+// ---------------------------------------------------------------------
 // Log operations
 // ---------------------------------------------------------------------
 
@@ -304,6 +330,15 @@ pub enum LogOp {
     /// Graceful-shutdown marker: a no-op whose presence at the log tail
     /// tells the next open that the process exited cleanly.
     CleanShutdown,
+    /// A mutation carrying its client [`StatementId`], so replay can
+    /// deduplicate a retry that raced a crash. Applying a `Stamped` op
+    /// whose id is already recorded is a no-op.
+    Stamped {
+        /// Client-assigned statement identity.
+        id: StatementId,
+        /// The mutation itself (never itself `Stamped`).
+        inner: Box<LogOp>,
+    },
 }
 
 const OP_CREATE_TABLE: u8 = 1;
@@ -313,6 +348,7 @@ const OP_DROP_INDEX: u8 = 4;
 const OP_CREATE_MODEL: u8 = 5;
 const OP_RETRAIN: u8 = 6;
 const OP_CLEAN_SHUTDOWN: u8 = 7;
+const OP_STAMPED: u8 = 8;
 
 fn put_rows(w: &mut WireWriter, rows: &[Vec<Member>]) {
     w.put_u32(rows.len() as u32);
@@ -371,6 +407,12 @@ impl LogOp {
                 put_derive_opts(w, opts);
             }
             LogOp::CleanShutdown => w.put_u8(OP_CLEAN_SHUTDOWN),
+            LogOp::Stamped { id, inner } => {
+                w.put_u8(OP_STAMPED);
+                w.put_u64(id.nonce);
+                w.put_u64(id.seq);
+                inner.encode(w);
+            }
         }
     }
 
@@ -407,6 +449,16 @@ impl LogOp {
                 opts: get_derive_opts(r)?,
             },
             OP_CLEAN_SHUTDOWN => LogOp::CleanShutdown,
+            OP_STAMPED => {
+                let id = StatementId { nonce: r.get_u64()?, seq: r.get_u64()? };
+                let inner = LogOp::decode(r)?;
+                if matches!(inner, LogOp::Stamped { .. }) {
+                    return Err(EngineError::Corrupt {
+                        detail: "nested stamped log op".into(),
+                    });
+                }
+                LogOp::Stamped { id, inner: Box::new(inner) }
+            }
             other => {
                 return Err(EngineError::Corrupt { detail: format!("unknown log op {other}") })
             }
@@ -503,6 +555,13 @@ mod tests {
                 },
             },
             LogOp::CleanShutdown,
+            LogOp::Stamped {
+                id: StatementId { nonce: 0xdead_beef_0123, seq: 42 },
+                inner: Box::new(LogOp::Insert {
+                    table: "t".into(),
+                    rows: vec![vec![1, 1]],
+                }),
+            },
         ];
         for op in &ops {
             let mut w = WireWriter::new();
@@ -549,6 +608,26 @@ mod tests {
         ));
         assert!(matches!(
             StoredModel::decode(&mut WireReader::new(&[7])),
+            Err(EngineError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn nested_stamped_is_corrupt() {
+        let op = LogOp::Stamped {
+            id: StatementId { nonce: 1, seq: 2 },
+            inner: Box::new(LogOp::CleanShutdown),
+        };
+        let mut w = WireWriter::new();
+        // Hand-build Stamped(Stamped(CleanShutdown)) — the encoder
+        // cannot produce it, the decoder must still reject it.
+        w.put_u8(8);
+        w.put_u64(9);
+        w.put_u64(9);
+        op.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            LogOp::decode(&mut WireReader::new(&bytes)),
             Err(EngineError::Corrupt { .. })
         ));
     }

@@ -22,6 +22,7 @@ use super::snapshot::{self, SnapshotState};
 use super::wal::{self, SegmentData, WalWriter, HEADER_LEN};
 use super::{LogOp, RecoveryReport};
 use crate::catalog::Catalog;
+use crate::dedup::{DedupCheck, DedupOutcome};
 use crate::fault::FaultInjector;
 use crate::table::Table;
 use crate::EngineError;
@@ -128,6 +129,42 @@ pub(crate) fn apply_op(catalog: &mut Catalog, op: &LogOp) -> Result<(), EngineEr
             catalog.retrain_model_stored(id, model, *opts, Some(stored.clone()))
         }
         LogOp::CleanShutdown => Ok(()),
+        LogOp::Stamped { id, inner } => {
+            match catalog.dedup().check(*id) {
+                // Already applied (a retry raced a crash and both the
+                // original and the retried record landed in the log, or
+                // the snapshot already covers it): skip, exactly-once.
+                DedupCheck::Replay(_) | DedupCheck::Evicted => Ok(()),
+                DedupCheck::New => {
+                    apply_op(catalog, inner)?;
+                    let outcome = summarize_applied(catalog, inner);
+                    catalog.dedup_mut().record(*id, outcome);
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Builds the compact outcome summary recorded for a stamped mutation,
+/// from the catalog state right after the inner op applied.
+fn summarize_applied(catalog: &Catalog, inner: &LogOp) -> DedupOutcome {
+    match inner {
+        LogOp::Insert { table, rows } => DedupOutcome::Inserted {
+            table: table.clone(),
+            rows_inserted: rows.len() as u64,
+        },
+        LogOp::CreateModel { name, .. } => {
+            let (n_classes, degraded) = match catalog.model_by_name(name) {
+                Some(id) => {
+                    let e = catalog.model(id);
+                    (e.model.n_classes() as u64, e.degraded.clone())
+                }
+                None => (0, None),
+            };
+            DedupOutcome::ModelCreated { name: name.clone(), n_classes, degraded }
+        }
+        _ => DedupOutcome::Applied,
     }
 }
 
@@ -173,6 +210,7 @@ fn build_catalog(
         let model = m.stored.instantiate()?;
         catalog.add_model_stored(m.name, model, m.opts, Some(m.stored))?;
     }
+    catalog.set_dedup(state.dedup);
     Ok((catalog, state.last_lsn))
 }
 

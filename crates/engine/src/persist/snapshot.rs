@@ -10,6 +10,7 @@
 
 use super::{get_derive_opts, put_derive_opts, StoredModel};
 use crate::catalog::Catalog;
+use crate::dedup::StatementDedup;
 use crate::EngineError;
 use mpq_core::DeriveOptions;
 use mpq_types::wire::{crc32, get_schema, put_schema, WireReader, WireWriter};
@@ -62,6 +63,9 @@ pub(crate) struct SnapshotState {
     pub last_lsn: u64,
     pub tables: Vec<TableState>,
     pub models: Vec<ModelState>,
+    /// Statement-outcome dedup state as of `last_lsn` (empty when the
+    /// snapshot predates the exactly-once format extension).
+    pub dedup: StatementDedup,
 }
 
 /// Serializes the durable parts of a catalog into snapshot file bytes.
@@ -95,6 +99,7 @@ pub(crate) fn serialize_catalog(catalog: &Catalog, last_lsn: u64) -> Vec<u8> {
         stored.encode(&mut w);
         put_derive_opts(&mut w, &catalog.model(m).derive_opts);
     }
+    catalog.dedup().encode(&mut w);
     let payload = w.into_bytes();
     let mut bytes = Vec::with_capacity(SNAPSHOT_MAGIC.len() + 8 + payload.len());
     bytes.extend_from_slice(SNAPSHOT_MAGIC);
@@ -162,12 +167,16 @@ pub(crate) fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotState, EngineError
         let opts = get_derive_opts(&mut r)?;
         models.push(ModelState { name, stored, opts });
     }
+    // The dedup section was appended to the format later; a payload
+    // ending right after the models decodes as an empty store.
+    let dedup =
+        if r.is_exhausted() { StatementDedup::default() } else { StatementDedup::decode(&mut r)? };
     if !r.is_exhausted() {
         return Err(EngineError::Corrupt {
             detail: "trailing bytes inside snapshot payload".to_string(),
         });
     }
-    Ok(SnapshotState { last_lsn, tables, models })
+    Ok(SnapshotState { last_lsn, tables, models, dedup })
 }
 
 /// Writes a snapshot of `catalog` covering the log through `last_lsn`,

@@ -129,7 +129,24 @@ impl WalWriter {
                 detail: "wal writer poisoned by an earlier failed append".to_string(),
             });
         }
+        if self.faults.wal_enospc_armed() {
+            // The disk refused the write before any byte landed: the
+            // on-disk tail is exactly what it was, so the writer stays
+            // trustworthy and later appends may succeed once space is
+            // freed (the fault is disarmed).
+            return Err(EngineError::Io {
+                detail: "injected ENOSPC: no space left on device".to_string(),
+            });
+        }
         let mut frame = encode_frame(lsn, op);
+        if self.faults.take_wal_fsync_fail() {
+            // The frame was written but fsync reported failure. The
+            // kernel may have already dropped the dirty pages (fsync
+            // gate), so nothing about the tail can be trusted.
+            self.file.write_all(&frame)?;
+            self.dead = true;
+            return Err(EngineError::Io { detail: "injected fsync failure".to_string() });
+        }
         if self.faults.take_wal_torn_write() {
             let cut = (frame.len() / 2).max(1);
             self.file.write_all(&frame[..cut])?;
@@ -360,6 +377,44 @@ mod tests {
         assert_eq!(seg.records.len(), 1);
         assert!(seg.corruption.is_some());
         assert!(seg.dropped_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn enospc_fails_typed_and_writer_survives() {
+        let dir = temp_dir();
+        let faults = Arc::new(FaultInjector::new());
+        let mut w = WalWriter::create(&dir, 1, Arc::clone(&faults)).unwrap();
+        w.append(1, &LogOp::CleanShutdown).unwrap();
+        faults.set_wal_enospc(true);
+        for lsn in [2, 3] {
+            let err = w.append(lsn, &LogOp::CleanShutdown).unwrap_err();
+            assert!(err.to_string().contains("no space left"), "got {err}");
+        }
+        // Space freed: the writer was never poisoned, appends resume.
+        faults.set_wal_enospc(false);
+        w.append(2, &LogOp::CleanShutdown).unwrap();
+        let seg = read_segment(w.path(), &faults).unwrap();
+        assert_eq!(seg.records.len(), 2);
+        assert!(seg.corruption.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_failure_poisons_writer() {
+        let dir = temp_dir();
+        let faults = Arc::new(FaultInjector::new());
+        let mut w = WalWriter::create(&dir, 1, Arc::clone(&faults)).unwrap();
+        w.append(1, &LogOp::CleanShutdown).unwrap();
+        faults.set_wal_fsync_fail(true);
+        let err = w.append(2, &LogOp::CleanShutdown).unwrap_err();
+        assert!(matches!(err, EngineError::Io { .. }));
+        assert!(!faults.wal_fsync_fail_armed(), "one-shot consumed");
+        // The unsynced tail is untrusted: the writer is dead.
+        assert!(matches!(w.append(3, &LogOp::CleanShutdown), Err(EngineError::Io { .. })));
+        // The record before the failed fsync is still readable.
+        let seg = read_segment(w.path(), &faults).unwrap();
+        assert_eq!(seg.records[0], (1, LogOp::CleanShutdown));
         std::fs::remove_dir_all(&dir).ok();
     }
 

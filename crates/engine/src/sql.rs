@@ -73,6 +73,17 @@ pub enum Statement {
         /// The algorithm.
         algorithm: ModelAlgorithm,
     },
+    /// `INSERT INTO <table> VALUES (v, ...), (v, ...)`: appends rows.
+    /// Each literal resolves against its column's domain exactly as a
+    /// WHERE comparison would (strings on categorical columns, numbers
+    /// snapped into bins on binned columns), so arity and domain errors
+    /// are rejected at parse time, before anything is logged.
+    Insert {
+        /// Target table (catalog id).
+        table: usize,
+        /// Rows in member space, one entry per schema column.
+        rows: Vec<Vec<mpq_types::Member>>,
+    },
     /// `SET PARALLELISM <n>`: the session knob for the degree of
     /// parallelism query execution uses (1 = serial).
     SetParallelism(usize),
@@ -300,6 +311,9 @@ impl<'a> Parser<'a> {
         if self.eat_kw("CREATE") {
             return self.create_model();
         }
+        if self.eat_kw("INSERT") {
+            return self.insert();
+        }
         if self.eat_kw("SET") {
             return self.set_statement();
         }
@@ -358,6 +372,40 @@ impl<'a> Parser<'a> {
         };
         self.expect_end()?;
         Ok(Statement::SetGuard { resource, limit })
+    }
+
+    fn insert(&mut self) -> Result<Statement, EngineError> {
+        self.expect_kw("INTO")?;
+        let table_name = match self.bump() {
+            Some(Tok::Ident(s)) => s,
+            other => return Err(self.err(format!("expected table name, got {other:?}"))),
+        };
+        let table = self
+            .catalog
+            .table_by_name(&table_name)
+            .ok_or(EngineError::UnknownTable(table_name))?;
+        self.table = Some(table);
+        self.schema = Some(self.catalog.table(table).table.schema().clone());
+        self.expect_kw("VALUES")?;
+        let n_cols = self.schema().len();
+        let mut rows = Vec::new();
+        loop {
+            self.expect_sym("(")?;
+            let mut row = Vec::with_capacity(n_cols);
+            for d in 0..n_cols {
+                if d > 0 {
+                    self.expect_sym(",")?;
+                }
+                row.push(self.value_member(AttrId(d as u16), Snap::Exact)?);
+            }
+            self.expect_sym(")")?;
+            rows.push(row);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_end()?;
+        Ok(Statement::Insert { table, rows })
     }
 
     fn expect_end(&mut self) -> Result<(), EngineError> {
@@ -714,6 +762,22 @@ mod tests {
         assert!(parse_statement("SET PARALLELISM", &cat).is_err());
         assert!(parse_statement("SET PARALLELISM 2 4", &cat).is_err());
         assert!(parse_statement("SET SOMETHING 2", &cat).is_err());
+    }
+
+    #[test]
+    fn parses_insert() {
+        let cat = catalog();
+        // 40 falls in bin (30, 63] = member 1; 70 in (63, inf) = member 2.
+        let s =
+            parse_statement("INSERT INTO people VALUES (40, 'red'), (70, 'blue')", &cat).unwrap();
+        assert_eq!(s, Statement::Insert { table: 0, rows: vec![vec![1, 0], vec![2, 2]] });
+        // Arity, domain, table, and trailing-input errors reject at parse.
+        assert!(parse_statement("INSERT INTO people VALUES (40)", &cat).is_err());
+        assert!(parse_statement("INSERT INTO people VALUES ('red', 40)", &cat).is_err());
+        assert!(parse_statement("INSERT INTO people VALUES (40, 'mauve')", &cat).is_err());
+        assert!(parse_statement("INSERT INTO nope VALUES (40, 'red')", &cat).is_err());
+        assert!(parse_statement("INSERT INTO people VALUES (40, 'red') x", &cat).is_err());
+        assert!(parse_statement("INSERT INTO people VALUES", &cat).is_err());
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! Exactly-once integration tests: a stamped statement retried by a
+//! client — because the response was lost to a dropped connection, or
+//! because the server crashed between the WAL append and the reply —
+//! must apply its mutation exactly once, and the retry must receive the
+//! original outcome. Also covers the disk-full / fsync-failure faults:
+//! the engine degrades to read-only with typed errors, never a poisoned
+//! lock or a double-applied write.
+
+use mpq_engine::{
+    Engine, EngineError, FaultInjector, SessionState, StatementId, StatementOutcome, Table,
+};
+use mpq_types::{AttrDomain, Attribute, Dataset, Schema};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "mpq-once-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn demo_table(name: &str) -> Table {
+    let schema = Schema::new(vec![
+        Attribute::new("x", AttrDomain::binned(vec![2.0, 4.0]).unwrap()),
+        Attribute::new("grade", AttrDomain::categorical(["lo", "hi"])),
+    ])
+    .unwrap();
+    let mut ds = Dataset::new(schema);
+    for i in 0..12u16 {
+        ds.push_encoded(&[i % 3, u16::from(i % 3 == 2)]).unwrap();
+    }
+    Table::from_dataset(name, &ds)
+}
+
+fn rows_in(e: &Engine) -> usize {
+    e.catalog().table(0).table.n_rows()
+}
+
+const INSERT: &str = "INSERT INTO t VALUES (1, 'lo'), (5, 'hi')";
+
+fn id(seq: u64) -> StatementId {
+    StatementId { nonce: 0xdead_beef, seq }
+}
+
+#[test]
+fn retried_stamped_insert_applies_exactly_once() {
+    let dir = temp_dir("live");
+    let e = Engine::open(&dir).unwrap();
+    e.create_table(demo_table("t")).unwrap();
+    let before = rows_in(&e);
+    let mut s = SessionState::new();
+
+    let first = e.execute_sql_stamped(INSERT, &mut s, id(0)).unwrap();
+    assert!(matches!(
+        &first,
+        StatementOutcome::Inserted { table, rows_inserted: 2 } if table == "t"
+    ));
+    assert_eq!(rows_in(&e), before + 2);
+
+    // The client never saw the response and retries blindly — twice.
+    for _ in 0..2 {
+        let retry = e.execute_sql_stamped(INSERT, &mut s, id(0)).unwrap();
+        assert_eq!(retry, first, "replay hands back the original outcome");
+        assert_eq!(rows_in(&e), before + 2, "retry must not re-apply");
+    }
+
+    // A fresh id is a fresh statement, not a replay.
+    e.execute_sql_stamped(INSERT, &mut s, id(1)).unwrap();
+    assert_eq!(rows_in(&e), before + 4);
+}
+
+#[test]
+fn retry_after_crash_is_deduplicated_by_wal_replay() {
+    let dir = temp_dir("crash");
+    let e = Engine::open(&dir).unwrap();
+    e.create_table(demo_table("t")).unwrap();
+    let mut s = SessionState::new();
+    e.execute_sql_stamped(INSERT, &mut s, id(0)).unwrap();
+    let applied = rows_in(&e);
+    // The response is lost: the server dies before the client reads it.
+    e.simulate_crash();
+
+    let e = Engine::open(&dir).unwrap();
+    assert_eq!(rows_in(&e), applied, "replay restored the write");
+    let mut s = SessionState::new();
+    let retry = e.execute_sql_stamped(INSERT, &mut s, id(0)).unwrap();
+    assert!(matches!(
+        retry,
+        StatementOutcome::Inserted { rows_inserted: 2, .. }
+    ));
+    assert_eq!(rows_in(&e), applied, "recovered dedup state blocks the re-apply");
+}
+
+/// The acceptance-criterion crash window: the WAL append succeeded (the
+/// frame is fully on disk) but the statement still *failed* from the
+/// engine's point of view because fsync reported an error — exactly the
+/// ambiguity of a crash between append and response. After restart the
+/// record replays, and the client's retry must be recognised as a
+/// duplicate, not applied a second time.
+#[test]
+fn crash_between_wal_append_and_response_still_dedups() {
+    let dir = temp_dir("window");
+    let e = Engine::open(&dir).unwrap();
+    e.create_table(demo_table("t")).unwrap();
+    let before = rows_in(&e);
+    let mut s = SessionState::new();
+
+    e.fault_injector().set_wal_fsync_fail(true);
+    let err = e.execute_sql_stamped(INSERT, &mut s, id(0)).unwrap_err();
+    assert!(matches!(err, EngineError::Io { .. }), "got {err:?}");
+    assert_eq!(rows_in(&e), before, "in-memory state is untouched");
+    e.simulate_crash();
+
+    let e = Engine::open(&dir).unwrap();
+    // The frame reached the file before the injected fsync failure, so
+    // recovery legitimately replays it: the write *did* happen.
+    assert_eq!(rows_in(&e), before + 2);
+    let mut s = SessionState::new();
+    let retry = e.execute_sql_stamped(INSERT, &mut s, id(0)).unwrap();
+    assert!(matches!(
+        retry,
+        StatementOutcome::Inserted { rows_inserted: 2, .. }
+    ));
+    assert_eq!(rows_in(&e), before + 2, "retry after the crash window applies nothing");
+}
+
+#[test]
+fn dedup_state_survives_checkpoint_and_recovery() {
+    let dir = temp_dir("ckpt");
+    let e = Engine::open(&dir).unwrap();
+    e.create_table(demo_table("t")).unwrap();
+    let mut s = SessionState::new();
+    e.execute_sql_stamped(INSERT, &mut s, id(0)).unwrap();
+    let applied = rows_in(&e);
+    // The checkpoint absorbs the WAL: dedup state must ride the snapshot.
+    e.checkpoint().unwrap();
+    e.simulate_crash();
+
+    let e = Engine::open(&dir).unwrap();
+    assert_eq!(e.recovery_report().unwrap().wal_records_replayed, 0);
+    let mut s = SessionState::new();
+    let retry = e.execute_sql_stamped(INSERT, &mut s, id(0)).unwrap();
+    assert!(matches!(
+        retry,
+        StatementOutcome::Inserted { rows_inserted: 2, .. }
+    ));
+    assert_eq!(rows_in(&e), applied, "snapshot-loaded dedup blocks the re-apply");
+}
+
+#[test]
+fn retried_create_model_is_a_replay_not_a_name_conflict() {
+    let dir = temp_dir("ddl");
+    let e = Engine::open(&dir).unwrap();
+    e.create_table(demo_table("t")).unwrap();
+    let mut s = SessionState::new();
+    const DDL: &str = "CREATE MINING MODEL m ON t PREDICT grade USING decision_tree";
+
+    let first = e.execute_sql_stamped(DDL, &mut s, id(0)).unwrap();
+    let StatementOutcome::ModelCreated { name, n_classes, .. } = &first else {
+        panic!("expected ModelCreated, got {first:?}");
+    };
+    assert_eq!((name.as_str(), *n_classes), ("m", 2));
+
+    // Without the stamp a retry would be EngineError::Duplicate; the
+    // stamp turns it into a replay of the original outcome.
+    let retry = e.execute_sql_stamped(DDL, &mut s, id(0)).unwrap();
+    assert_eq!(retry, first);
+    assert_eq!(e.catalog().n_models(), 1);
+
+    // And the same holds across a crash: the stamped DDL record replays.
+    e.simulate_crash();
+    let e = Engine::open(&dir).unwrap();
+    let mut s = SessionState::new();
+    let retry = e.execute_sql_stamped(DDL, &mut s, id(0)).unwrap();
+    assert!(matches!(retry, StatementOutcome::ModelCreated { .. }));
+    assert_eq!(e.catalog().n_models(), 1);
+}
+
+/// A retry that arrives after its outcome was evicted from the bounded
+/// dedup cache must fail loudly rather than silently re-apply. (The
+/// per-session window defaults to 256 outcomes; a client would have to
+/// fall 256+ acknowledged statements behind its own retry for this to
+/// trigger.)
+#[test]
+fn evicted_stamp_refuses_to_reapply() {
+    let dir = temp_dir("evict");
+    let e = Engine::open(&dir).unwrap();
+    e.create_table(demo_table("t")).unwrap();
+    let mut s = SessionState::new();
+    e.execute_sql_stamped("INSERT INTO t VALUES (0, 'lo')", &mut s, id(0)).unwrap();
+    let per_session = 256;
+    for seq in 1..=per_session {
+        e.execute_sql_stamped("INSERT INTO t VALUES (0, 'lo')", &mut s, id(seq)).unwrap();
+    }
+    let rows = rows_in(&e);
+
+    let err = e
+        .execute_sql_stamped("INSERT INTO t VALUES (0, 'lo')", &mut s, id(0))
+        .unwrap_err();
+    match err {
+        EngineError::Internal { detail } => {
+            assert!(detail.contains("evicted"), "detail: {detail}");
+        }
+        other => panic!("expected Internal, got {other:?}"),
+    }
+    assert_eq!(rows_in(&e), rows, "an evicted retry must never re-apply");
+}
+
+/// Satellite: injected ENOSPC on the WAL path. The insert fails with a
+/// typed I/O error, nothing is half-applied, the engine stays fully
+/// queryable, and once space "frees up" (the fault is disarmed) writes
+/// succeed again — the writer was never poisoned.
+#[test]
+fn enospc_degrades_to_read_only_then_recovers() {
+    let dir = temp_dir("enospc");
+    let e = Engine::open(&dir).unwrap();
+    e.create_table(demo_table("t")).unwrap();
+    let before = rows_in(&e);
+    let mut s = SessionState::new();
+
+    e.fault_injector().set_wal_enospc(true);
+    for seq in 0..3 {
+        let err = e.execute_sql_stamped(INSERT, &mut s, id(seq)).unwrap_err();
+        match err {
+            EngineError::Io { detail } => assert!(detail.contains("ENOSPC"), "{detail}"),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+    assert_eq!(rows_in(&e), before, "failed appends must not mutate memory");
+    // Read-only degraded, not poisoned: queries keep working.
+    e.query("SELECT COUNT(*) FROM t WHERE x <= 2").expect("reads survive ENOSPC");
+
+    // Space freed: the same writer accepts the retried statement. The
+    // failed attempts recorded nothing, so the stamp is still `New`.
+    e.fault_injector().set_wal_enospc(false);
+    let out = e.execute_sql_stamped(INSERT, &mut s, id(0)).unwrap();
+    assert!(matches!(out, StatementOutcome::Inserted { rows_inserted: 2, .. }));
+    assert_eq!(rows_in(&e), before + 2);
+
+    // And the post-ENOSPC write is durable like any other.
+    e.simulate_crash();
+    let e = Engine::open(&dir).unwrap();
+    assert_eq!(rows_in(&e), before + 2);
+}
+
+/// Satellite: after an fsync failure the WAL writer is dead — every
+/// further mutation fails typed — but reads never degrade and the
+/// process restart (the only safe way out) recovers a consistent state.
+#[test]
+fn fsync_failure_is_read_only_degraded_not_poisoned() {
+    let dir = temp_dir("fsync");
+    let e = Engine::open(&dir).unwrap();
+    e.create_table(demo_table("t")).unwrap();
+    let before = rows_in(&e);
+
+    e.fault_injector().set_wal_fsync_fail(true);
+    assert!(matches!(e.insert_rows("t", vec![vec![0, 0]]), Err(EngineError::Io { .. })));
+    // One-shot fault consumed, but the writer stays dead on purpose.
+    assert!(matches!(e.insert_rows("t", vec![vec![0, 0]]), Err(EngineError::Io { .. })));
+    assert_eq!(rows_in(&e), before);
+    for _ in 0..3 {
+        e.query("SELECT * FROM t WHERE x <= 2").expect("reads survive a dead writer");
+    }
+    let health = e.health();
+    assert_eq!(health.tables, 1, "health introspection still works degraded");
+
+    e.simulate_crash();
+    let faults = Arc::new(FaultInjector::new());
+    let e = Engine::open_with_faults(&dir, faults).unwrap();
+    // The first failed append's frame reached the file; only it replays
+    // (the second was refused by the dead writer before any byte).
+    assert_eq!(rows_in(&e), before + 1);
+    e.insert_rows("t", vec![vec![1, 1]]).expect("restart fully heals the writer");
+}

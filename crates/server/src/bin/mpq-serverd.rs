@@ -4,6 +4,7 @@
 //! mpq-serverd [--addr HOST:PORT] [--data-dir DIR | --demo]
 //!             [--port-file FILE] [--max-in-flight N] [--max-queue N]
 //!             [--queue-timeout-ms N]
+//!             [--chaos-seed SEED [--chaos-period-ms N]]
 //! ```
 //!
 //! With `--data-dir` the engine opens (or creates) a durable catalog in
@@ -17,8 +18,16 @@
 //! The daemon runs until a client sends the protocol `Shutdown` request
 //! (the REPL's `.shutdown`), then drains in-flight queries, checkpoints,
 //! prints the drain report and exits 0.
+//!
+//! `--chaos-seed` arms a deterministic fault schedule: a background
+//! thread steps a seeded xorshift generator once per period and arms
+//! connection faults (responses dropped mid-frame, torn frames) and
+//! WAL faults (ENOSPC pulses, torn writes, fsync failures) against the
+//! engine's [`FaultInjector`]. The same seed produces the same fault
+//! sequence, so a chaos run that finds a bug can be replayed. Strictly
+//! a test harness — never set it on a server you care about.
 
-use mpq_engine::{Catalog, Engine, Table};
+use mpq_engine::{Catalog, Engine, FaultInjector, Table};
 use mpq_server::{AdmissionConfig, Server, ServerConfig};
 use mpq_types::{AttrDomain, AttrId, Attribute, Dataset, Schema};
 use std::process::ExitCode;
@@ -32,6 +41,8 @@ struct Args {
     max_in_flight: Option<usize>,
     max_queue: Option<usize>,
     queue_timeout_ms: Option<u64>,
+    chaos_seed: Option<u64>,
+    chaos_period_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +53,8 @@ fn parse_args() -> Result<Args, String> {
         max_in_flight: None,
         max_queue: None,
         queue_timeout_ms: None,
+        chaos_seed: None,
+        chaos_period_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -64,6 +77,14 @@ fn parse_args() -> Result<Args, String> {
             "--queue-timeout-ms" => {
                 args.queue_timeout_ms =
                     Some(value("--queue-timeout-ms")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--chaos-seed" => {
+                args.chaos_seed =
+                    Some(value("--chaos-seed")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--chaos-period-ms" => {
+                args.chaos_period_ms =
+                    Some(value("--chaos-period-ms")?.parse().map_err(|e| format!("{e}"))?)
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -103,6 +124,64 @@ fn seed_demo(engine: &Engine) -> Result<(), String> {
     Ok(())
 }
 
+/// The deterministic fault schedule. Each tick draws once from a
+/// seeded xorshift64 stream and arms at most one fault:
+///
+/// * ~25%: drop the next response mid-frame (one-shot);
+/// * ~12%: flip a byte in the next response frame (one-shot);
+/// * ~6%: an ENOSPC pulse — WAL appends fail typed for 1–3 ticks,
+///   then the "disk" frees up again (level-triggered);
+/// * ~2%: tear the next WAL append (one-shot, write path dead until
+///   restart — the server degrades to read-only);
+/// * ~2%: fail the next WAL fsync (one-shot, same degradation, but
+///   the frame reaches the file: the crash-window case);
+/// * otherwise: a quiet tick.
+///
+/// The thread is detached: it dies with the process, which under a
+/// chaos supervisor is usually a SIGKILL anyway.
+fn chaos_schedule(faults: Arc<FaultInjector>, seed: u64, period: Duration) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut enospc_until = 0u64;
+    for tick in 0u64.. {
+        std::thread::sleep(period);
+        if tick >= enospc_until && faults.wal_enospc_armed() {
+            faults.set_wal_enospc(false);
+            eprintln!("mpq-serverd: chaos[{tick}]: enospc cleared");
+        }
+        let fault = match next() % 100 {
+            0..=24 => {
+                faults.set_conn_drop_mid_response(true);
+                "conn_drop_mid_response"
+            }
+            25..=36 => {
+                faults.set_conn_torn_frame(true);
+                "conn_torn_frame"
+            }
+            37..=42 => {
+                faults.set_wal_enospc(true);
+                enospc_until = tick + 1 + next() % 3;
+                "wal_enospc"
+            }
+            43..=44 => {
+                faults.set_wal_torn_write(true);
+                "wal_torn_write"
+            }
+            45..=46 => {
+                faults.set_wal_fsync_fail(true);
+                "wal_fsync_fail"
+            }
+            _ => continue,
+        };
+        eprintln!("mpq-serverd: chaos[{tick}]: {fault}");
+    }
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
 
@@ -118,6 +197,19 @@ fn run() -> Result<(), String> {
         eprintln!(
             "mpq-serverd: recovered catalog (clean_shutdown={}, wal_records_replayed={})",
             report.clean_shutdown, report.wal_records_replayed
+        );
+    }
+
+    if let Some(seed) = args.chaos_seed {
+        let faults = engine.fault_injector();
+        let period = Duration::from_millis(args.chaos_period_ms.unwrap_or(25));
+        std::thread::Builder::new()
+            .name("chaos".to_string())
+            .spawn(move || chaos_schedule(faults, seed, period))
+            .map_err(|e| format!("spawn chaos thread: {e}"))?;
+        eprintln!(
+            "mpq-serverd: CHAOS SCHEDULE ARMED (seed {seed}, period {}ms) — test harness only",
+            period.as_millis()
         );
     }
 

@@ -28,7 +28,7 @@
 //! | direction | message | body |
 //! |---|---|---|
 //! | C→S | `Hello` (1) | proto version `u32`, client name |
-//! | C→S | `Statement` (2) | SQL text |
+//! | C→S | `Statement` (2) | SQL text, optional statement id (nonce `u64`, seq `u64`) |
 //! | C→S | `Health` (3) | — |
 //! | C→S | `Shutdown` (4) | — |
 //! | C→S | `Goodbye` (5) | — |
@@ -47,7 +47,7 @@
 
 use mpq_engine::{
     EngineError, EngineHealth, ExecMetrics, GuardHeadroom, GuardResource, ModelHealth,
-    QueryGuard, QueryOutcome, RecoveryReport, StatementOutcome,
+    QueryGuard, QueryOutcome, RecoveryReport, StatementId, StatementOutcome,
 };
 use mpq_types::wire::{crc32, WireError, WireReader, WireWriter};
 use std::time::Duration;
@@ -55,8 +55,10 @@ use std::time::Duration;
 /// Protocol version spoken by this build. A server rejects a `Hello`
 /// with any other version — there is exactly one version in the wild,
 /// so no negotiation, just a typed refusal. Version 2 added the
-/// `pages_skipped` and `memo_hits` metrics fields.
-pub const PROTO_VERSION: u32 = 2;
+/// `pages_skipped` and `memo_hits` metrics fields; version 3 added the
+/// optional exactly-once statement id on `Statement` and the
+/// `Inserted` outcome.
+pub const PROTO_VERSION: u32 = 3;
 
 /// Default ceiling on one frame's payload length. Large enough for a
 /// multi-million-row result (row ids are 4 bytes), small enough that a
@@ -170,10 +172,16 @@ pub enum Request {
         /// Free-form client identification (shown in server logs).
         client: String,
     },
-    /// One SQL statement (query, DDL, or a session `SET`).
+    /// One SQL statement (query, DDL, a session `SET`, or an INSERT).
     Statement {
         /// The SQL text.
         sql: String,
+        /// Client-generated exactly-once id (session nonce + per-nonce
+        /// sequence). When present, a retried mutation with the same id
+        /// is deduplicated — the server replies with the original
+        /// outcome instead of applying it twice. `None` means the
+        /// client takes its chances on retry (the pre-v3 behaviour).
+        stmt_id: Option<StatementId>,
     },
     /// Asks for the engine's health report.
     Health,
@@ -601,6 +609,7 @@ const OUTCOME_QUERY: u8 = 0;
 const OUTCOME_MODEL_CREATED: u8 = 1;
 const OUTCOME_PARALLELISM_SET: u8 = 2;
 const OUTCOME_GUARD_SET: u8 = 3;
+const OUTCOME_INSERTED: u8 = 4;
 
 fn put_outcome(w: &mut WireWriter, o: &StatementOutcome) {
     match o {
@@ -623,6 +632,11 @@ fn put_outcome(w: &mut WireWriter, o: &StatementOutcome) {
             w.put_u8(OUTCOME_GUARD_SET);
             put_guard(w, guard);
         }
+        StatementOutcome::Inserted { table, rows_inserted } => {
+            w.put_u8(OUTCOME_INSERTED);
+            w.put_str(table);
+            w.put_u64(*rows_inserted);
+        }
     }
 }
 
@@ -639,6 +653,10 @@ fn get_outcome(r: &mut WireReader<'_>) -> Result<StatementOutcome, WireError> {
             StatementOutcome::ParallelismSet { dop: r.get_u64()? as usize }
         }
         OUTCOME_GUARD_SET => StatementOutcome::GuardSet { guard: get_guard(r)? },
+        OUTCOME_INSERTED => StatementOutcome::Inserted {
+            table: r.get_str()?,
+            rows_inserted: r.get_u64()?,
+        },
         other => {
             return Err(WireError::Invalid { detail: format!("outcome tag {other}") })
         }
@@ -659,9 +677,17 @@ impl Request {
                 w.put_u32(*proto_version);
                 w.put_str(client);
             }
-            Request::Statement { sql } => {
+            Request::Statement { sql, stmt_id } => {
                 w.put_u8(REQ_STATEMENT);
                 w.put_str(sql);
+                match stmt_id {
+                    Some(id) => {
+                        w.put_bool(true);
+                        w.put_u64(id.nonce);
+                        w.put_u64(id.seq);
+                    }
+                    None => w.put_bool(false),
+                }
             }
             Request::Health => w.put_u8(REQ_HEALTH),
             Request::Shutdown => w.put_u8(REQ_SHUTDOWN),
@@ -677,7 +703,14 @@ impl Request {
             REQ_HELLO => {
                 Request::Hello { proto_version: r.get_u32()?, client: r.get_str()? }
             }
-            REQ_STATEMENT => Request::Statement { sql: r.get_str()? },
+            REQ_STATEMENT => Request::Statement {
+                sql: r.get_str()?,
+                stmt_id: if r.get_bool()? {
+                    Some(StatementId { nonce: r.get_u64()?, seq: r.get_u64()? })
+                } else {
+                    None
+                },
+            },
             REQ_HEALTH => Request::Health,
             REQ_SHUTDOWN => Request::Shutdown,
             REQ_GOODBYE => Request::Goodbye,
@@ -786,7 +819,14 @@ mod tests {
     fn requests_roundtrip() {
         let reqs = [
             Request::Hello { proto_version: PROTO_VERSION, client: "repl".into() },
-            Request::Statement { sql: "SELECT * FROM t WHERE PREDICT(m) = 'c1'".into() },
+            Request::Statement {
+                sql: "SELECT * FROM t WHERE PREDICT(m) = 'c1'".into(),
+                stmt_id: None,
+            },
+            Request::Statement {
+                sql: "INSERT INTO t VALUES ('a0', 'b1')".into(),
+                stmt_id: Some(StatementId { nonce: 0xfeed_f00d, seq: 7 }),
+            },
             Request::Health,
             Request::Shutdown,
             Request::Goodbye,
@@ -849,6 +889,10 @@ mod tests {
                 model: 1,
                 n_classes: 3,
                 degraded: None,
+            }),
+            Response::Outcome(StatementOutcome::Inserted {
+                table: "t".into(),
+                rows_inserted: 3,
             }),
             Response::Outcome(StatementOutcome::ParallelismSet { dop: 8 }),
             Response::Outcome(StatementOutcome::GuardSet {

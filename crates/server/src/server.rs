@@ -24,7 +24,7 @@ use crate::protocol::{
     decode_frame, encode_frame, FrameError, Request, Response, ServerError,
     DEFAULT_MAX_FRAME_LEN, PROTO_VERSION,
 };
-use mpq_engine::{Engine, FaultInjector, SessionState};
+use mpq_engine::{Engine, FaultInjector, SessionState, StatementId};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -42,7 +42,10 @@ pub struct ServerConfig {
     pub admission: AdmissionConfig,
     /// Once the first byte of a request has arrived, the whole frame
     /// must arrive within this budget — the slow-loris defence. Idle
-    /// connections (no partial frame) may sit forever.
+    /// connections (no partial frame) may sit forever, with one
+    /// exception: the `Hello` handshake must complete within this
+    /// budget from the moment the connection is accepted, so a client
+    /// that connects and stalls cannot pin an accept slot.
     pub request_read_timeout: Duration,
     /// Ceiling on one frame's payload length, both directions.
     pub max_frame_len: u32,
@@ -265,9 +268,11 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> ConnExit {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
     let faults = shared.engine.fault_injector();
 
-    // Handshake: the first frame must be a version-matched Hello.
+    // Handshake: the first frame must be a version-matched Hello, and
+    // it must arrive within the read-timeout budget — a pre-Hello
+    // connection holds server resources while having proven nothing.
     let mut buf: Vec<u8> = Vec::new();
-    let hello = match read_request(&mut stream, &mut buf, &shared) {
+    let hello = match read_request(&mut stream, &mut buf, &shared, true) {
         Ok(Some(req)) => req,
         Ok(None) => return ConnExit::Clean,
         Err(exit) => return exit,
@@ -313,7 +318,7 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> ConnExit {
     let mut session = SessionState::new();
 
     loop {
-        let req = match read_request(&mut stream, &mut buf, &shared) {
+        let req = match read_request(&mut stream, &mut buf, &shared, false) {
             Ok(Some(req)) => req,
             Ok(None) => return ConnExit::Clean,
             Err(exit) => return exit,
@@ -322,7 +327,9 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> ConnExit {
             Request::Hello { .. } => Response::Error(ServerError::Protocol {
                 detail: "duplicate Hello".to_string(),
             }),
-            Request::Statement { sql } => handle_statement(&shared, &mut session, &sql),
+            Request::Statement { sql, stmt_id } => {
+                handle_statement(&shared, &mut session, &sql, stmt_id)
+            }
             Request::Health => Response::Health(shared.engine.health()),
             Request::Shutdown => {
                 shared.request_shutdown();
@@ -346,6 +353,7 @@ fn handle_statement(
     shared: &Shared,
     session: &mut SessionState,
     sql: &str,
+    stmt_id: Option<StatementId>,
 ) -> Response {
     if shared.is_shutting_down() {
         return Response::Error(ServerError::ShuttingDown);
@@ -359,7 +367,13 @@ fn handle_statement(
             return Response::Error(ServerError::QueueTimeout { waited_ms });
         }
     };
-    let result = shared.engine.execute_sql_in(sql, session);
+    // A stamped statement goes through the exactly-once path: if the
+    // same id already applied (live or replayed from the WAL after a
+    // crash), the original outcome comes back instead of a re-apply.
+    let result = match stmt_id {
+        Some(id) => shared.engine.execute_sql_stamped(sql, session, id),
+        None => shared.engine.execute_sql_in(sql, session),
+    };
     drop(permit);
     shared.queries_served.fetch_add(1, Ordering::Relaxed);
     match result {
@@ -371,14 +385,17 @@ fn handle_statement(
 /// Reads one request frame. `Ok(None)` means the connection ended
 /// cleanly (EOF while idle, or server shutdown while idle — the latter
 /// after a best-effort `Goodbye`). The slow-loris budget starts ticking
-/// once a partial frame exists.
+/// once a partial frame exists — or immediately when `timebox_idle` is
+/// set (the handshake read: a pre-Hello connection may not idle).
 fn read_request(
     stream: &mut TcpStream,
     buf: &mut Vec<u8>,
     shared: &Shared,
+    timebox_idle: bool,
 ) -> Result<Option<Request>, ConnExit> {
     let faults = shared.engine.fault_injector();
-    let mut partial_since: Option<Instant> = None;
+    let mut partial_since: Option<Instant> =
+        if timebox_idle { Some(Instant::now()) } else { None };
     let mut chunk = [0u8; 16 * 1024];
     loop {
         // Try to parse a complete frame off the front of the buffer.
@@ -416,23 +433,31 @@ fn read_request(
         }
 
         if buf.is_empty() {
-            partial_since = None;
+            if !timebox_idle {
+                partial_since = None;
+            }
             if shared.is_shutting_down() {
                 // Idle at shutdown: wave goodbye and drain out.
                 let _ = send_response(stream, &Response::Goodbye, &faults);
                 let _ = stream.shutdown(SockShutdown::Both);
                 return Ok(None);
             }
-        } else {
-            let started = *partial_since.get_or_insert_with(Instant::now);
+        }
+        if let Some(started) = (!buf.is_empty() || timebox_idle)
+            .then(|| *partial_since.get_or_insert_with(Instant::now))
+        {
             if started.elapsed() > shared.cfg.request_read_timeout {
-                // Slow-loris: a partial frame has been dribbling in for
-                // longer than any honest client needs.
+                // Slow-loris: a partial frame (or an unfinished
+                // handshake) has been dribbling in for longer than any
+                // honest client needs.
+                let detail = if timebox_idle {
+                    "handshake timed out".to_string()
+                } else {
+                    "request read timed out".to_string()
+                };
                 let _ = send_response(
                     stream,
-                    &Response::Error(ServerError::Protocol {
-                        detail: "request read timed out".to_string(),
-                    }),
+                    &Response::Error(ServerError::Protocol { detail }),
                     &faults,
                 );
                 let _ = stream.shutdown(SockShutdown::Both);

@@ -111,9 +111,15 @@ proptest! {
     fn messages_roundtrip_through_frames(
         sql_bytes in proptest::collection::vec(0x20u8..0x7f, 0..200),
         session_id in any::<u64>(),
+        stamped in any::<bool>(),
+        nonce in any::<u64>(),
+        seq in any::<u64>(),
     ) {
         let sql: String = sql_bytes.iter().map(|&b| b as char).collect();
-        let req = Request::Statement { sql: sql.clone() };
+        let req = Request::Statement {
+            sql: sql.clone(),
+            stmt_id: stamped.then_some(mpq_engine::StatementId { nonce, seq }),
+        };
         let (payload, consumed) =
             decode_frame(&encode_frame(&req.encode()), DEFAULT_MAX_FRAME_LEN).unwrap();
         prop_assert_eq!(consumed, FRAME_HEADER_LEN + payload.len());

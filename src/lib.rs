@@ -80,7 +80,7 @@ pub mod prelude {
     pub use mpq_engine::{
         execute, execute_guarded, parse, tune_indexes, AccessPath, Catalog, Engine, EngineError,
         EngineHealth, Expr, FaultInjector, GuardResource, LogOp, MiningPred, OptimizerOptions,
-        QueryGuard, RecoveryReport, StoredModel, Table,
+        QueryGuard, RecoveryReport, SessionState, StatementId, StoredModel, Table,
     };
     pub use mpq_models::{
         accuracy, BoundaryClustering, Classifier, DecisionTree, Gmm, KMeans, NaiveBayes, RuleSet,
