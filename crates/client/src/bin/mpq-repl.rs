@@ -101,6 +101,16 @@ fn run() -> Result<(), String> {
                         h.models.len(),
                         h.cached_plans
                     );
+                    // Replication fields arrived with protocol v4; a v3
+                    // server's report decodes with the defaults (role
+                    // primary, epoch 0, no lag), so print the lag line
+                    // only when the server actually measured one.
+                    println!("  role: {}, epoch: {}", h.role, h.epoch);
+                    if let (Some(records), Some(bytes)) =
+                        (h.replica_lag_records, h.replica_lag_bytes)
+                    {
+                        println!("  replica lag: {records} records ({bytes} bytes)");
+                    }
                     for m in &h.models {
                         println!(
                             "  model {} v{} ({}/{} exact envelopes){}",

@@ -37,7 +37,7 @@ use mpq_engine::{
 };
 use mpq_server::protocol::{
     decode_frame, encode_frame, FrameError, Request, Response, ServerError,
-    DEFAULT_MAX_FRAME_LEN, PROTO_VERSION,
+    DEFAULT_MAX_FRAME_LEN, PROTO_VERSION, PROTO_VERSION_V3,
 };
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -79,10 +79,14 @@ impl ClientError {
     /// Retryable: socket failures, disconnects, torn frames (the
     /// response was lost, not the statement's validity), admission
     /// refusals (`Busy`, `QueueTimeout`), a draining server
-    /// (`ShuttingDown` — it may restart), and transient engine I/O
-    /// errors (disk full). Everything else — SQL errors, budget
-    /// violations, internal errors, protocol violations — is fatal:
-    /// the same statement would fail the same way again.
+    /// (`ShuttingDown` — it may restart), transient engine I/O errors
+    /// (disk full, or a synchronous-replication ack that timed out),
+    /// and failover transients: a read-only refusal (the supervisor is
+    /// about to repoint us at the new primary) and a stale-epoch
+    /// refusal (we raced a promotion; the retry goes to the winner).
+    /// Everything else — SQL errors, budget violations, internal
+    /// errors, protocol violations — is fatal: the same statement
+    /// would fail the same way again.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -92,12 +96,18 @@ impl ClientError {
                 | ClientError::Remote(ServerError::Busy { .. })
                 | ClientError::Remote(ServerError::QueueTimeout { .. })
                 | ClientError::Remote(ServerError::ShuttingDown)
+                | ClientError::Remote(ServerError::ReadOnly { .. })
                 | ClientError::Remote(ServerError::Engine(EngineError::Io { .. }))
+                | ClientError::Remote(ServerError::Engine(EngineError::ReadOnly { .. }))
+                | ClientError::Remote(ServerError::Engine(EngineError::StaleEpoch { .. }))
         )
     }
 
     /// Whether the failure invalidated the connection itself (reconnect
-    /// before retrying) rather than just the request.
+    /// before retrying) rather than just the request. Read-only and
+    /// stale-epoch refusals sever on purpose: the node we are talking
+    /// to is the wrong one, and the reconnect re-reads the shared
+    /// address handle the supervisor repoints at the new primary.
     fn severs_connection(&self) -> bool {
         matches!(
             self,
@@ -105,6 +115,9 @@ impl ClientError {
                 | ClientError::Disconnected
                 | ClientError::Frame(_)
                 | ClientError::Remote(ServerError::ShuttingDown)
+                | ClientError::Remote(ServerError::ReadOnly { .. })
+                | ClientError::Remote(ServerError::Engine(EngineError::ReadOnly { .. }))
+                | ClientError::Remote(ServerError::Engine(EngineError::StaleEpoch { .. }))
         )
     }
 }
@@ -178,12 +191,32 @@ impl Client {
         faults: Option<Arc<FaultInjector>>,
         read_timeout: Option<Duration>,
     ) -> Result<Client, ClientError> {
+        // Newest first: a v3 server refuses the v4 hello (and hangs up),
+        // so the fallback dials again at v3. One extra round-trip, only
+        // against old servers, only at connect time.
+        match Client::connect_at(&addr, name, faults.clone(), read_timeout, PROTO_VERSION) {
+            Err(ClientError::Remote(ServerError::Protocol { detail }))
+                if detail.contains("protocol version") =>
+            {
+                Client::connect_at(&addr, name, faults, read_timeout, PROTO_VERSION_V3)
+            }
+            other => other,
+        }
+    }
+
+    fn connect_at(
+        addr: impl ToSocketAddrs,
+        name: &str,
+        faults: Option<Arc<FaultInjector>>,
+        read_timeout: Option<Duration>,
+        proto_version: u32,
+    ) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(read_timeout)?;
         let mut client = Client { stream, buf: Vec::new(), session_id: 0, faults };
         let resp = client.exchange(&Request::Hello {
-            proto_version: PROTO_VERSION,
+            proto_version,
             client: name.to_string(),
         })?;
         match resp {

@@ -78,6 +78,10 @@ pub struct Catalog {
     /// retries. Mutated only under the catalog write lock, so it stays
     /// crash-consistent with the state it guards.
     dedup: StatementDedup,
+    /// Replication epoch: bumped durably on every standby promotion.
+    /// A replication stream stamped with an older epoch is rejected,
+    /// which fences a deposed (zombie) primary.
+    epoch: u64,
 }
 
 /// Derives per-class envelopes, absorbing every failure mode this layer
@@ -154,6 +158,16 @@ impl Catalog {
     /// Replaces the dedup store wholesale (snapshot recovery).
     pub(crate) fn set_dedup(&mut self, dedup: StatementDedup) {
         self.dedup = dedup;
+    }
+
+    /// Current replication epoch (0 until a promotion ever happened).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Sets the replication epoch (recovery replay and promotion).
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Registers a table, building statistics.

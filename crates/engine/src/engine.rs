@@ -20,6 +20,7 @@ use crate::fault::FaultInjector;
 use crate::guard::QueryGuard;
 use crate::optimizer::{choose_plan, OptimizerOptions, Plan};
 use crate::persist::recovery::{self, Recovered};
+use crate::persist::replicate::{self, ReplBatch, ReplRole, ReplStatus};
 use crate::persist::wal::WalWriter;
 use crate::persist::{snapshot, LogOp, RecoveryReport, StatementId, StoredModel};
 use crate::rewrite::rewrite_mining;
@@ -33,7 +34,15 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
+
+/// How long a synchronously-replicated mutation waits for the standby's
+/// acknowledgement before failing with a retryable I/O error. The
+/// mutation is already durable locally when the wait starts, so a
+/// timed-out (and retried) statement deduplicates instead of
+/// re-applying.
+const REPL_ACK_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Durability state of an engine opened from a directory.
 struct PersistState {
@@ -46,6 +55,40 @@ struct PersistState {
     /// Set by [`Engine::simulate_crash`]: suppresses the clean-shutdown
     /// marker so the next open exercises real recovery.
     crashed: bool,
+}
+
+/// Live replication state. Everything here is transient — the one
+/// durable piece of replication state, the epoch, lives in the catalog
+/// (bumped via [`LogOp::EpochBump`], so it replays and snapshots like
+/// any other mutation).
+struct ReplState {
+    role: ReplRole,
+    /// True when mutation acknowledgements gate on the standby having
+    /// applied the record (synchronous replication).
+    sync: bool,
+    /// Set once a higher epoch was observed on the wire: `(our epoch
+    /// when fenced, the higher epoch)`. A fenced node was deposed by a
+    /// promotion and refuses all further mutations.
+    fenced: Option<(u64, u64)>,
+    /// Highest LSN the standby has acknowledged applying.
+    acked_lsn: u64,
+    /// Stream bytes of records appended locally (lag accounting).
+    appended_bytes: u64,
+    /// Stream bytes the standby has acknowledged.
+    acked_bytes: u64,
+}
+
+impl Default for ReplState {
+    fn default() -> ReplState {
+        ReplState {
+            role: ReplRole::Primary,
+            sync: false,
+            fenced: None,
+            acked_lsn: 0,
+            appended_bytes: 0,
+            acked_bytes: 0,
+        }
+    }
 }
 
 /// Result of running one query.
@@ -129,6 +172,17 @@ pub struct EngineHealth {
     /// What recovery found when the engine was opened from a durability
     /// directory; `None` for purely in-memory engines.
     pub recovery: Option<RecoveryReport>,
+    /// This node's replication role (every engine is a primary unless
+    /// it was explicitly made a standby).
+    pub role: ReplRole,
+    /// This node's replication epoch (0 until a promotion happened
+    /// anywhere in the replica set's history).
+    pub epoch: u64,
+    /// Records appended but not yet acknowledged by the standby; `None`
+    /// unless this node is a primary with synchronous replication on.
+    pub replica_lag_records: Option<u64>,
+    /// Bytes appended but not yet acknowledged by the standby.
+    pub replica_lag_bytes: Option<u64>,
 }
 
 impl EngineHealth {
@@ -141,6 +195,14 @@ impl EngineHealth {
 impl std::fmt::Display for EngineHealth {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "tables: {}, cached plans: {}", self.tables, self.cached_plans)?;
+        match (self.replica_lag_records, self.replica_lag_bytes) {
+            (Some(records), Some(bytes)) => writeln!(
+                f,
+                "role: {}, epoch: {}, replica lag: {records} records ({bytes} bytes)",
+                self.role, self.epoch
+            )?,
+            _ => writeln!(f, "role: {}, epoch: {}", self.role, self.epoch)?,
+        }
         if let Some(r) = &self.recovery {
             writeln!(f, "{r}")?;
         }
@@ -179,6 +241,11 @@ pub struct Engine {
     parallelism: AtomicUsize,
     /// `Some` when the engine was opened from a durability directory.
     persist: Mutex<Option<PersistState>>,
+    /// Replication role, fence, and standby-acknowledgement progress.
+    repl: Mutex<ReplState>,
+    /// Signalled on every standby acknowledgement (and on fencing), so
+    /// synchronous mutations can wait without spinning.
+    repl_cv: Condvar,
 }
 
 /// Compile-time proof that the engine can be shared across threads.
@@ -205,6 +272,8 @@ impl Engine {
             guard: RwLock::new(QueryGuard::unlimited()),
             parallelism: AtomicUsize::new(default_parallelism()),
             persist: Mutex::new(None),
+            repl: Mutex::new(ReplState::default()),
+            repl_cv: Condvar::new(),
         }
     }
 
@@ -241,6 +310,8 @@ impl Engine {
                 report,
                 crashed: false,
             })),
+            repl: Mutex::new(ReplState::default()),
+            repl_cv: Condvar::new(),
         })
     }
 
@@ -264,6 +335,10 @@ impl Engine {
         self.persist.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    fn lock_repl(&self) -> MutexGuard<'_, ReplState> {
+        self.repl.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// What recovery found when this engine was opened from a
     /// durability directory (`None` for in-memory engines).
     pub fn recovery_report(&self) -> Option<RecoveryReport> {
@@ -280,20 +355,43 @@ impl Engine {
     /// replayed, so an op that fails to apply here would poison every
     /// future open. An `Io` error means the append failed and the
     /// mutation was *not* applied.
+    ///
+    /// A standby refuses with [`EngineError::ReadOnly`] (its mutations
+    /// arrive only through [`Engine::apply_replicated_frames`]); a
+    /// fenced ex-primary refuses with [`EngineError::StaleEpoch`].
+    ///
+    /// Returns the LSN the record was logged at (0 for in-memory
+    /// engines, whose LSNs start at 1).
     fn apply_durable_locked(
         &self,
         catalog: &mut Catalog,
         op: LogOp,
-    ) -> Result<(), EngineError> {
+    ) -> Result<u64, EngineError> {
+        {
+            let repl = self.lock_repl();
+            if repl.role == ReplRole::Standby {
+                return Err(EngineError::ReadOnly {
+                    detail: "mutations reach a standby only via the replication stream"
+                        .to_string(),
+                });
+            }
+            if let Some((sent, have)) = repl.fenced {
+                return Err(EngineError::StaleEpoch { sent, have });
+            }
+        }
         self.lock_cache().clear();
+        let mut lsn = 0;
         {
             let mut persist = self.lock_persist();
             if let Some(p) = persist.as_mut() {
-                p.wal.append(p.next_lsn, &op)?;
+                lsn = p.next_lsn;
+                let frame_bytes = p.wal.append(p.next_lsn, &op)?;
                 p.next_lsn += 1;
+                self.lock_repl().appended_bytes += frame_bytes;
             }
         }
-        recovery::apply_op(catalog, &op)
+        recovery::apply_op(catalog, &op)?;
+        Ok(lsn)
     }
 
     /// Registers a table durably (logged before it is applied when the
@@ -329,7 +427,8 @@ impl Engine {
         let t = &catalog.table(id).table;
         validate_rows(t, &rows)?;
         let name = t.name().to_string();
-        self.apply_durable_locked(&mut catalog, LogOp::Insert { table: name, rows })
+        self.apply_durable_locked(&mut catalog, LogOp::Insert { table: name, rows })?;
+        Ok(())
     }
 
     /// Creates a secondary index durably.
@@ -339,7 +438,8 @@ impl Engine {
         self.apply_durable_locked(
             &mut catalog,
             LogOp::CreateIndex { table: name, columns: cols },
-        )
+        )?;
+        Ok(())
     }
 
     /// Drops a secondary index durably (a no-op if none matches).
@@ -349,7 +449,8 @@ impl Engine {
         self.apply_durable_locked(
             &mut catalog,
             LogOp::DropIndex { table: name, columns: cols },
-        )
+        )?;
+        Ok(())
     }
 
     /// Replaces a model's content durably from its serialized form. The
@@ -369,7 +470,8 @@ impl Engine {
         self.apply_durable_locked(
             &mut catalog,
             LogOp::Retrain { name: name.to_string(), stored, opts },
-        )
+        )?;
+        Ok(())
     }
 
     /// Registers a model durably from its serialized form (the
@@ -474,6 +576,257 @@ impl Engine {
         self.read_catalog().fault_injector()
     }
 
+    // ---- replication -------------------------------------------------
+
+    /// This node's replication role.
+    pub fn role(&self) -> ReplRole {
+        self.lock_repl().role
+    }
+
+    /// This node's replication epoch (durable, catalog-resident).
+    pub fn epoch(&self) -> u64 {
+        self.read_catalog().epoch()
+    }
+
+    /// Makes this engine a read-only standby: every local mutation is
+    /// refused with [`EngineError::ReadOnly`] until [`Engine::promote`].
+    pub fn set_standby(&self) {
+        self.lock_repl().role = ReplRole::Standby;
+        self.repl_cv.notify_all();
+    }
+
+    /// Turns on synchronous replication: mutation acknowledgements gate
+    /// on the standby confirming the record (via
+    /// [`Engine::replica_acked`]).
+    pub fn enable_sync_replication(&self) {
+        self.lock_repl().sync = true;
+    }
+
+    /// Promotes a standby to primary: flips the role, clears any fence,
+    /// and durably bumps the epoch so the deposed primary's stream (and
+    /// any zombie writes it attempts) is rejected everywhere. Returns
+    /// the new epoch. Safe to call on a node that is already primary —
+    /// the bump still fences the peer.
+    pub fn promote(&self) -> Result<u64, EngineError> {
+        let mut catalog = self.write_catalog();
+        let prior = {
+            let mut repl = self.lock_repl();
+            let prior = (repl.role, repl.fenced);
+            repl.role = ReplRole::Primary;
+            repl.fenced = None;
+            prior
+        };
+        let epoch = catalog.epoch() + 1;
+        match self.apply_durable_locked(&mut catalog, LogOp::EpochBump { epoch }) {
+            Ok(_) => Ok(epoch),
+            Err(e) => {
+                // The bump never became durable: restore the prior role
+                // so a failed promotion doesn't leave a writable node
+                // with an unfenced twin.
+                let mut repl = self.lock_repl();
+                (repl.role, repl.fenced) = prior;
+                Err(e)
+            }
+        }
+    }
+
+    /// Records a standby acknowledgement up to `lsn` (`bytes` is the
+    /// stream size acknowledged, for lag accounting) and wakes waiting
+    /// mutations. Called by the shipping layer.
+    pub fn replica_acked(&self, lsn: u64, bytes: u64) {
+        {
+            let mut repl = self.lock_repl();
+            repl.acked_lsn = repl.acked_lsn.max(lsn);
+            repl.acked_bytes = repl.acked_bytes.saturating_add(bytes);
+        }
+        self.repl_cv.notify_all();
+    }
+
+    /// Marks this node fenced: a replication peer reported a higher
+    /// epoch (`have`) than the one this node sent (`sent`). Every
+    /// mutation — and every waiter in [`Engine::wait_replicated`] —
+    /// fails with [`EngineError::StaleEpoch`] from now on.
+    pub fn mark_fenced(&self, sent: u64, have: u64) {
+        self.lock_repl().fenced = Some((sent, have));
+        self.repl_cv.notify_all();
+    }
+
+    /// Blocks until the standby has acknowledged `lsn`, the node is
+    /// fenced (typed error), or `timeout` elapses (retryable `Io`
+    /// error). Immediate `Ok` when synchronous replication is off.
+    /// Call *after* dropping the catalog write lock: the record is
+    /// already durable locally, and holding the lock here would stall
+    /// readers for the full network round-trip.
+    pub fn wait_replicated(&self, lsn: u64, timeout: Duration) -> Result<(), EngineError> {
+        let deadline = Instant::now() + timeout;
+        let mut repl = self.lock_repl();
+        loop {
+            if !repl.sync || repl.role == ReplRole::Standby {
+                return Ok(());
+            }
+            if let Some((sent, have)) = repl.fenced {
+                return Err(EngineError::StaleEpoch { sent, have });
+            }
+            if repl.acked_lsn >= lsn {
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(EngineError::Io {
+                    detail: format!(
+                        "replication ack timeout: standby at lsn {}, waiting for {lsn}",
+                        repl.acked_lsn
+                    ),
+                });
+            }
+            let (guard, _) = self
+                .repl_cv
+                .wait_timeout(repl, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            repl = guard;
+        }
+    }
+
+    /// Point-in-time replication status (role, epoch, and — on a
+    /// synchronous primary — how far behind the standby is).
+    pub fn replication_status(&self) -> ReplStatus {
+        let epoch = self.read_catalog().epoch();
+        let last = self.last_lsn();
+        let repl = self.lock_repl();
+        let (lag_records, lag_bytes) = if repl.sync && repl.role == ReplRole::Primary {
+            (
+                Some(last.saturating_sub(repl.acked_lsn)),
+                Some(repl.appended_bytes.saturating_sub(repl.acked_bytes)),
+            )
+        } else {
+            (None, None)
+        };
+        ReplStatus { role: repl.role, epoch, lag_records, lag_bytes }
+    }
+
+    /// LSN of the most recently logged record (0 when nothing was ever
+    /// logged, including for in-memory engines).
+    pub fn last_lsn(&self) -> u64 {
+        self.lock_persist().as_ref().map_or(0, |p| p.next_lsn - 1)
+    }
+
+    /// Reads committed WAL frames after `from_lsn` for shipping; see
+    /// [`replicate::read_frames_after`] for the `None` (snapshot
+    /// needed) contract. Errors on in-memory engines.
+    pub fn replication_frames_after(
+        &self,
+        from_lsn: u64,
+    ) -> Result<Option<ReplBatch>, EngineError> {
+        let dir = self
+            .lock_persist()
+            .as_ref()
+            .map(|p| p.dir.clone())
+            .ok_or_else(|| EngineError::Io {
+                detail: "replication requires a durable engine (use Engine::open)".to_string(),
+            })?;
+        replicate::read_frames_after(&dir, from_lsn, &self.fault_injector())
+    }
+
+    /// Serializes the whole catalog for standby bootstrap, returning
+    /// the checksummed snapshot bytes and the LSN they cover. Taken
+    /// under the catalog read lock, so it is a consistent cut.
+    pub fn snapshot_for_replication(&self) -> Result<(Vec<u8>, u64), EngineError> {
+        let catalog = self.read_catalog();
+        let last_lsn = self.last_lsn();
+        Ok((snapshot::serialize_catalog(&catalog, last_lsn), last_lsn))
+    }
+
+    /// Standby side of shipping: decodes a stream batch (strictly; any
+    /// corrupt byte fails the whole batch) and replays each record
+    /// through the recovery apply path, appending it to this node's own
+    /// WAL first so the standby is itself crash-safe. Records below the
+    /// standby's next LSN are skipped (at-least-once delivery), records
+    /// above it are a typed gap error. A batch stamped with an epoch
+    /// below this node's is refused — that sender was deposed.
+    ///
+    /// Returns this node's next LSN after the batch (the ack value).
+    pub fn apply_replicated_frames(
+        &self,
+        epoch: u64,
+        bytes: &[u8],
+    ) -> Result<u64, EngineError> {
+        let mut catalog = self.write_catalog();
+        if self.lock_repl().role != ReplRole::Standby {
+            return Err(EngineError::Internal {
+                detail: "replication stream applied to a non-standby node".to_string(),
+            });
+        }
+        if epoch < catalog.epoch() {
+            return Err(EngineError::StaleEpoch { sent: epoch, have: catalog.epoch() });
+        }
+        let records = replicate::decode_stream(bytes)?;
+        self.lock_cache().clear();
+        let mut persist = self.lock_persist();
+        let p = persist.as_mut().ok_or_else(|| EngineError::Io {
+            detail: "standby replay requires a durable engine (use Engine::open)".to_string(),
+        })?;
+        for (lsn, op) in records {
+            if lsn < p.next_lsn {
+                continue; // duplicate delivery — already applied
+            }
+            if lsn > p.next_lsn {
+                return Err(EngineError::Corrupt {
+                    detail: format!(
+                        "replication gap: received lsn {lsn}, expected {}",
+                        p.next_lsn
+                    ),
+                });
+            }
+            p.wal.append(lsn, &op)?;
+            p.next_lsn += 1;
+            recovery::apply_op(&mut catalog, &op)?;
+        }
+        Ok(p.next_lsn)
+    }
+
+    /// Standby bootstrap: installs a primary-shipped snapshot as this
+    /// node's entire durable state, replacing the catalog and starting
+    /// a fresh WAL at the snapshot's LSN + 1. The pre-bootstrap log and
+    /// snapshots describe a different history and are deleted.
+    ///
+    /// Returns this node's next LSN (the ack value).
+    pub fn install_replica_snapshot(&self, bytes: &[u8]) -> Result<u64, EngineError> {
+        let state = snapshot::decode_snapshot(bytes)?;
+        let mut catalog = self.write_catalog();
+        if self.lock_repl().role != ReplRole::Standby {
+            return Err(EngineError::Internal {
+                detail: "replication snapshot installed on a non-standby node".to_string(),
+            });
+        }
+        if state.epoch < catalog.epoch() {
+            return Err(EngineError::StaleEpoch { sent: state.epoch, have: catalog.epoch() });
+        }
+        let faults = catalog.fault_injector();
+        let (new_catalog, last_lsn) = recovery::build_catalog(state, faults.clone())?;
+        self.lock_cache().clear();
+        let mut persist = self.lock_persist();
+        let p = persist.as_mut().ok_or_else(|| EngineError::Io {
+            detail: "standby bootstrap requires a durable engine (use Engine::open)".to_string(),
+        })?;
+        snapshot::write_snapshot(&p.dir, &new_catalog, last_lsn)?;
+        for (lsn, path) in recovery::list_snapshots(&p.dir)? {
+            if lsn != last_lsn {
+                std::fs::remove_file(&path)?;
+            }
+        }
+        // Delete every old segment *including* the one the current
+        // writer holds open (its name could collide with the fresh
+        // segment's); the held fd keeps pointing at the unlinked file
+        // until the writer is replaced on the next line.
+        for (_, path) in recovery::list_segments(&p.dir)? {
+            std::fs::remove_file(&path)?;
+        }
+        p.wal = WalWriter::create(&p.dir, last_lsn + 1, faults)?;
+        p.next_lsn = last_lsn + 1;
+        *catalog = new_catalog;
+        Ok(p.next_lsn)
+    }
+
     /// Reports per-model envelope health plus catalog/cache counts —
     /// the operational view of degraded models.
     pub fn health(&self) -> EngineHealth {
@@ -490,11 +843,28 @@ impl Engine {
                 }
             })
             .collect();
+        let last = self.lock_persist().as_ref().map_or(0, |p| p.next_lsn - 1);
+        let (role, lag_records, lag_bytes) = {
+            let repl = self.lock_repl();
+            if repl.sync && repl.role == ReplRole::Primary {
+                (
+                    repl.role,
+                    Some(last.saturating_sub(repl.acked_lsn)),
+                    Some(repl.appended_bytes.saturating_sub(repl.acked_bytes)),
+                )
+            } else {
+                (repl.role, None, None)
+            }
+        };
         EngineHealth {
             models,
             tables: catalog.n_tables(),
             cached_plans: self.lock_cache().len(),
             recovery: self.lock_persist().as_ref().map(|p| p.report.clone()),
+            role,
+            epoch: catalog.epoch(),
+            replica_lag_records: lag_records,
+            replica_lag_bytes: lag_bytes,
         }
     }
 
@@ -808,62 +1178,84 @@ impl Engine {
                 Ok(StatementOutcome::GuardSet { guard })
             }
             Statement::Insert { table, rows } => {
-                let mut catalog = self.write_catalog();
-                // Stamp check first: a retried INSERT whose response was
-                // lost must come back with the original outcome, not
-                // apply again.
-                if let Some(replayed) = self.check_stamp(&catalog, stamp)? {
-                    return Ok(replayed);
-                }
-                let t = &catalog.table(table).table;
-                // Re-validated under the exclusive lock: a logged op
-                // MUST replay, so nothing invalid may reach the WAL.
-                validate_rows(t, &rows)?;
-                let name = t.name().to_string();
-                let rows_inserted = rows.len() as u64;
-                let mut op = LogOp::Insert { table: name.clone(), rows };
-                if let Some(id) = stamp {
-                    op = LogOp::Stamped { id, inner: Box::new(op) };
-                }
-                self.apply_durable_locked(&mut catalog, op)?;
-                Ok(StatementOutcome::Inserted { table: name, rows_inserted })
+                let (outcome, lsn) = {
+                    let mut catalog = self.write_catalog();
+                    // Stamp check first: a retried INSERT whose response
+                    // was lost must come back with the original outcome,
+                    // not apply again. The replayed ack still gates on
+                    // replication of the *last* local record — the
+                    // original apply may not have shipped yet.
+                    if let Some(replayed) = self.check_stamp(&catalog, stamp)? {
+                        (replayed, self.last_lsn())
+                    } else {
+                        let t = &catalog.table(table).table;
+                        // Re-validated under the exclusive lock: a logged
+                        // op MUST replay, so nothing invalid may reach
+                        // the WAL.
+                        validate_rows(t, &rows)?;
+                        let name = t.name().to_string();
+                        let rows_inserted = rows.len() as u64;
+                        let mut op = LogOp::Insert { table: name.clone(), rows };
+                        if let Some(id) = stamp {
+                            op = LogOp::Stamped { id, inner: Box::new(op) };
+                        }
+                        let lsn = self.apply_durable_locked(&mut catalog, op)?;
+                        (StatementOutcome::Inserted { table: name, rows_inserted }, lsn)
+                    }
+                };
+                // Catalog lock dropped: the mutation is durable locally,
+                // but with synchronous replication on, success is only
+                // reported once the standby has it too (zero lost acks
+                // across a failover).
+                self.wait_replicated(lsn, REPL_ACK_TIMEOUT)?;
+                Ok(outcome)
             }
             Statement::CreateModel { name, table, label, clusters, algorithm } => {
-                let mut catalog = self.write_catalog();
-                // Stamp check before the duplicate check: a retried
-                // CREATE of the same name is a replay, not a conflict.
-                if let Some(replayed) = self.check_stamp(&catalog, stamp)? {
-                    return Ok(replayed);
-                }
-                // Re-checked under the exclusive lock: another client
-                // may have registered the name since parsing.
-                if catalog.model_by_name(&name).is_some() {
-                    return Err(EngineError::Duplicate(name));
-                }
-                // Train first (fallible, nothing logged yet), then log
-                // the *trained* model — replay re-registers identical
-                // content without retraining.
-                let (_, stored, n_classes) = crate::ddl::train_model_stored(
-                    &catalog,
-                    table,
-                    label,
-                    clusters,
-                    algorithm,
-                )?;
-                let mut op = LogOp::CreateModel {
-                    name: name.clone(),
-                    stored,
-                    opts: DeriveOptions::default(),
+                let (outcome, lsn) = {
+                    let mut catalog = self.write_catalog();
+                    // Stamp check before the duplicate check: a retried
+                    // CREATE of the same name is a replay, not a conflict.
+                    if let Some(replayed) = self.check_stamp(&catalog, stamp)? {
+                        (replayed, self.last_lsn())
+                    } else {
+                        // Re-checked under the exclusive lock: another
+                        // client may have registered the name since
+                        // parsing.
+                        if catalog.model_by_name(&name).is_some() {
+                            return Err(EngineError::Duplicate(name));
+                        }
+                        // Train first (fallible, nothing logged yet),
+                        // then log the *trained* model — replay
+                        // re-registers identical content without
+                        // retraining.
+                        let (_, stored, n_classes) = crate::ddl::train_model_stored(
+                            &catalog,
+                            table,
+                            label,
+                            clusters,
+                            algorithm,
+                        )?;
+                        let mut op = LogOp::CreateModel {
+                            name: name.clone(),
+                            stored,
+                            opts: DeriveOptions::default(),
+                        };
+                        if let Some(id) = stamp {
+                            op = LogOp::Stamped { id, inner: Box::new(op) };
+                        }
+                        let lsn = self.apply_durable_locked(&mut catalog, op)?;
+                        let model = catalog.model_by_name(&name).ok_or_else(|| {
+                            EngineError::Internal { detail: "created model missing".to_string() }
+                        })?;
+                        let degraded = catalog.model(model).degraded.clone();
+                        (
+                            StatementOutcome::ModelCreated { name, model, n_classes, degraded },
+                            lsn,
+                        )
+                    }
                 };
-                if let Some(id) = stamp {
-                    op = LogOp::Stamped { id, inner: Box::new(op) };
-                }
-                self.apply_durable_locked(&mut catalog, op)?;
-                let model = catalog.model_by_name(&name).ok_or_else(|| {
-                    EngineError::Internal { detail: "created model missing".to_string() }
-                })?;
-                let degraded = catalog.model(model).degraded.clone();
-                Ok(StatementOutcome::ModelCreated { name, model, n_classes, degraded })
+                self.wait_replicated(lsn, REPL_ACK_TIMEOUT)?;
+                Ok(outcome)
             }
         }
     }

@@ -88,6 +88,20 @@ pub enum EngineError {
         /// Explanation.
         detail: String,
     },
+    /// The engine is serving as a read-only standby: mutations are
+    /// refused (they arrive only through the replication stream).
+    ReadOnly {
+        /// Explanation (which mutation was refused).
+        detail: String,
+    },
+    /// A replication message carried an epoch older than this node's —
+    /// the sender was deposed by a promotion and is fenced off.
+    StaleEpoch {
+        /// Epoch stamped on the rejected message.
+        sent: u64,
+        /// This node's current epoch.
+        have: u64,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -109,6 +123,12 @@ impl std::fmt::Display for EngineError {
             EngineError::Internal { detail } => write!(f, "internal engine error: {detail}"),
             EngineError::Io { detail } => write!(f, "durability i/o error: {detail}"),
             EngineError::Corrupt { detail } => write!(f, "corrupt durability state: {detail}"),
+            EngineError::ReadOnly { detail } => {
+                write!(f, "read-only standby refuses mutation: {detail}")
+            }
+            EngineError::StaleEpoch { sent, have } => {
+                write!(f, "stale replication epoch {sent} (this node is at epoch {have})")
+            }
         }
     }
 }

@@ -43,6 +43,9 @@ pub struct FaultInjector {
     conn_drop_mid_response: AtomicBool,
     conn_torn_frame: AtomicBool,
     conn_slow_loris: AtomicBool,
+    repl_drop_stream: AtomicBool,
+    repl_stall: AtomicBool,
+    repl_duplicate: AtomicBool,
 }
 
 impl Default for FaultInjector {
@@ -63,6 +66,9 @@ impl Default for FaultInjector {
             conn_drop_mid_response: AtomicBool::new(false),
             conn_torn_frame: AtomicBool::new(false),
             conn_slow_loris: AtomicBool::new(false),
+            repl_drop_stream: AtomicBool::new(false),
+            repl_stall: AtomicBool::new(false),
+            repl_duplicate: AtomicBool::new(false),
         }
     }
 }
@@ -308,6 +314,60 @@ impl FaultInjector {
         self.conn_slow_loris.load(Ordering::Relaxed)
     }
 
+    // -- replication faults (honoured by the WAL shipper in
+    //    `mpq-server` and by replication tests) ----------------------
+
+    /// Arm a replication-stream drop: the shipper severs its standby
+    /// connection mid-segment, *after* sending a batch but *before*
+    /// reading the ack — so on reconnect the same records are shipped
+    /// again and the standby must deduplicate by LSN. One-shot:
+    /// consumed by the send that honours it.
+    pub fn set_repl_drop_stream(&self, on: bool) {
+        self.repl_drop_stream.store(on, Ordering::Relaxed);
+    }
+
+    /// Consumes the stream-drop arm (one-shot), returning whether it
+    /// was set.
+    pub fn take_repl_drop_stream(&self) -> bool {
+        self.repl_drop_stream.swap(false, Ordering::Relaxed)
+    }
+
+    /// True when a stream drop is armed (not yet consumed).
+    pub fn repl_drop_stream_armed(&self) -> bool {
+        self.repl_drop_stream.load(Ordering::Relaxed)
+    }
+
+    /// Arm/disarm a stalled standby: the shipper pauses each cycle
+    /// instead of shipping, so replication lag grows while the primary
+    /// keeps appending. Level-triggered: it models a slow or wedged
+    /// peer, not one lost message.
+    pub fn set_repl_stall(&self, on: bool) {
+        self.repl_stall.store(on, Ordering::Relaxed);
+    }
+
+    /// True when the shipper should stall.
+    pub fn repl_stall_armed(&self) -> bool {
+        self.repl_stall.load(Ordering::Relaxed)
+    }
+
+    /// Arm a duplicate segment delivery: the shipper sends the *next*
+    /// batch twice back-to-back; the standby must apply it exactly once
+    /// (LSN-based replay idempotence). One-shot.
+    pub fn set_repl_duplicate(&self, on: bool) {
+        self.repl_duplicate.store(on, Ordering::Relaxed);
+    }
+
+    /// Consumes the duplicate-delivery arm (one-shot), returning
+    /// whether it was set.
+    pub fn take_repl_duplicate(&self) -> bool {
+        self.repl_duplicate.swap(false, Ordering::Relaxed)
+    }
+
+    /// True when a duplicate delivery is armed (not yet consumed).
+    pub fn repl_duplicate_armed(&self) -> bool {
+        self.repl_duplicate.load(Ordering::Relaxed)
+    }
+
     /// Disarms every fault.
     pub fn reset(&self) {
         self.set_index_probe_failure(false);
@@ -325,6 +385,9 @@ impl FaultInjector {
         self.set_conn_drop_mid_response(false);
         self.set_conn_torn_frame(false);
         self.set_conn_slow_loris(false);
+        self.set_repl_drop_stream(false);
+        self.set_repl_stall(false);
+        self.set_repl_duplicate(false);
     }
 
     /// True when any fault is armed.
@@ -344,6 +407,9 @@ impl FaultInjector {
             || self.conn_drop_mid_response_armed()
             || self.conn_torn_frame_armed()
             || self.conn_slow_loris_armed()
+            || self.repl_drop_stream_armed()
+            || self.repl_stall_armed()
+            || self.repl_duplicate_armed()
     }
 }
 
@@ -393,6 +459,23 @@ mod tests {
         assert!(f.wal_enospc_armed());
         assert!(f.take_wal_fsync_fail());
         assert!(!f.take_wal_fsync_fail());
+        f.reset();
+        assert!(!f.any_armed());
+    }
+
+    #[test]
+    fn replication_faults_round_trip_and_one_shots_consume() {
+        let f = FaultInjector::new();
+        f.set_repl_drop_stream(true);
+        f.set_repl_stall(true);
+        f.set_repl_duplicate(true);
+        assert!(f.any_armed());
+        // Drop and duplicate are one-shot; the stall is level-triggered.
+        assert!(f.take_repl_drop_stream());
+        assert!(!f.take_repl_drop_stream());
+        assert!(f.take_repl_duplicate());
+        assert!(!f.repl_duplicate_armed());
+        assert!(f.repl_stall_armed());
         f.reset();
         assert!(!f.any_armed());
     }

@@ -58,6 +58,7 @@ pub use index::SecondaryIndex;
 pub use optimizer::{
     choose_plan, estimate_selectivity, AccessPath, CostModel, OptimizerOptions, Plan,
 };
+pub use persist::replicate::{decode_stream, encode_stream, ReplBatch, ReplRole, ReplStatus};
 pub use persist::{LogOp, RecoveryReport, StatementId, StoredModel};
 pub use rewrite::{envelope_expr_for, rewrite_mining};
 pub use session::SessionState;

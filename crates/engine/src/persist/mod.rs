@@ -24,6 +24,7 @@
 //! transient: checkpoints skip them and recovery does not restore them.
 
 pub(crate) mod recovery;
+pub mod replicate;
 pub(crate) mod snapshot;
 pub(crate) mod wal;
 
@@ -339,6 +340,13 @@ pub enum LogOp {
         /// The mutation itself (never itself `Stamped`).
         inner: Box<LogOp>,
     },
+    /// Raises the catalog's replication epoch. Written durably on
+    /// standby promotion; a replication stream stamped with an older
+    /// epoch is rejected, which fences a zombie primary.
+    EpochBump {
+        /// The new (strictly higher) epoch.
+        epoch: u64,
+    },
 }
 
 const OP_CREATE_TABLE: u8 = 1;
@@ -349,6 +357,7 @@ const OP_CREATE_MODEL: u8 = 5;
 const OP_RETRAIN: u8 = 6;
 const OP_CLEAN_SHUTDOWN: u8 = 7;
 const OP_STAMPED: u8 = 8;
+const OP_EPOCH_BUMP: u8 = 9;
 
 fn put_rows(w: &mut WireWriter, rows: &[Vec<Member>]) {
     w.put_u32(rows.len() as u32);
@@ -413,6 +422,10 @@ impl LogOp {
                 w.put_u64(id.seq);
                 inner.encode(w);
             }
+            LogOp::EpochBump { epoch } => {
+                w.put_u8(OP_EPOCH_BUMP);
+                w.put_u64(*epoch);
+            }
         }
     }
 
@@ -459,6 +472,7 @@ impl LogOp {
                 }
                 LogOp::Stamped { id, inner: Box::new(inner) }
             }
+            OP_EPOCH_BUMP => LogOp::EpochBump { epoch: r.get_u64()? },
             other => {
                 return Err(EngineError::Corrupt { detail: format!("unknown log op {other}") })
             }
@@ -562,6 +576,7 @@ mod tests {
                     rows: vec![vec![1, 1]],
                 }),
             },
+            LogOp::EpochBump { epoch: 3 },
         ];
         for op in &ops {
             let mut w = WireWriter::new();

@@ -129,6 +129,18 @@ pub(crate) fn apply_op(catalog: &mut Catalog, op: &LogOp) -> Result<(), EngineEr
             catalog.retrain_model_stored(id, model, *opts, Some(stored.clone()))
         }
         LogOp::CleanShutdown => Ok(()),
+        LogOp::EpochBump { epoch } => {
+            if *epoch <= catalog.epoch() {
+                return Err(EngineError::Corrupt {
+                    detail: format!(
+                        "epoch bump to {epoch} does not exceed current epoch {}",
+                        catalog.epoch()
+                    ),
+                });
+            }
+            catalog.set_epoch(*epoch);
+            Ok(())
+        }
         LogOp::Stamped { id, inner } => {
             match catalog.dedup().check(*id) {
                 // Already applied (a retry raced a crash and both the
@@ -188,7 +200,7 @@ fn checked_attr_ids(
 
 /// Rebuilds a catalog from a decoded snapshot, revalidating everything
 /// (the decode only proved framing; this proves semantics).
-fn build_catalog(
+pub(crate) fn build_catalog(
     state: SnapshotState,
     faults: Arc<FaultInjector>,
 ) -> Result<(Catalog, u64), EngineError> {
@@ -211,6 +223,7 @@ fn build_catalog(
         catalog.add_model_stored(m.name, model, m.opts, Some(m.stored))?;
     }
     catalog.set_dedup(state.dedup);
+    catalog.set_epoch(state.epoch);
     Ok((catalog, state.last_lsn))
 }
 

@@ -66,6 +66,9 @@ pub(crate) struct SnapshotState {
     /// Statement-outcome dedup state as of `last_lsn` (empty when the
     /// snapshot predates the exactly-once format extension).
     pub dedup: StatementDedup,
+    /// Replication epoch as of `last_lsn` (0 when the snapshot predates
+    /// the replication format extension).
+    pub epoch: u64,
 }
 
 /// Serializes the durable parts of a catalog into snapshot file bytes.
@@ -100,6 +103,7 @@ pub(crate) fn serialize_catalog(catalog: &Catalog, last_lsn: u64) -> Vec<u8> {
         put_derive_opts(&mut w, &catalog.model(m).derive_opts);
     }
     catalog.dedup().encode(&mut w);
+    w.put_u64(catalog.epoch());
     let payload = w.into_bytes();
     let mut bytes = Vec::with_capacity(SNAPSHOT_MAGIC.len() + 8 + payload.len());
     bytes.extend_from_slice(SNAPSHOT_MAGIC);
@@ -171,12 +175,14 @@ pub(crate) fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotState, EngineError
     // ending right after the models decodes as an empty store.
     let dedup =
         if r.is_exhausted() { StatementDedup::default() } else { StatementDedup::decode(&mut r)? };
+    // The epoch tail was appended later still; absent means epoch 0.
+    let epoch = if r.is_exhausted() { 0 } else { r.get_u64()? };
     if !r.is_exhausted() {
         return Err(EngineError::Corrupt {
             detail: "trailing bytes inside snapshot payload".to_string(),
         });
     }
-    Ok(SnapshotState { last_lsn, tables, models, dedup })
+    Ok(SnapshotState { last_lsn, tables, models, dedup, epoch })
 }
 
 /// Writes a snapshot of `catalog` covering the log through `last_lsn`,

@@ -117,13 +117,15 @@ impl WalWriter {
         &self.path
     }
 
-    /// Appends one record and fsyncs before returning success.
+    /// Appends one record and fsyncs before returning success. Returns
+    /// the byte length of the appended frame (the unit replication lag
+    /// is accounted in).
     ///
     /// Honours armed WAL faults: a torn write persists only part of the
     /// frame, fails, and poisons the writer; a bit flip damages the
     /// payload after the CRC was computed and *succeeds* — the damage
     /// surfaces only at the next recovery.
-    pub(crate) fn append(&mut self, lsn: u64, op: &LogOp) -> Result<(), EngineError> {
+    pub(crate) fn append(&mut self, lsn: u64, op: &LogOp) -> Result<u64, EngineError> {
         if self.dead {
             return Err(EngineError::Io {
                 detail: "wal writer poisoned by an earlier failed append".to_string(),
@@ -159,7 +161,7 @@ impl WalWriter {
             frame[idx] ^= 0x04;
         }
         match self.file.write_all(&frame).and_then(|()| self.file.sync_data()) {
-            Ok(()) => Ok(()),
+            Ok(()) => Ok(frame.len() as u64),
             Err(e) => {
                 // How much of the frame reached disk is unknown.
                 self.dead = true;

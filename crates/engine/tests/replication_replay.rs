@@ -1,0 +1,296 @@
+//! Replication integration tests at the engine level: WAL shipping
+//! batches replayed on a standby, idempotence under duplicate delivery,
+//! gap detection, read-only refusal, epoch fencing, snapshot bootstrap,
+//! and standby crash-safety.
+
+use mpq_engine::{Engine, EngineError, ReplRole, StatementOutcome};
+use mpq_types::{AttrDomain, Attribute, Dataset, Schema};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "mpq-repl-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn demo_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new("x", AttrDomain::binned(vec![2.0, 4.0]).unwrap()),
+        Attribute::new("y", AttrDomain::binned(vec![2.0, 4.0]).unwrap()),
+        Attribute::new("grade", AttrDomain::categorical(["lo", "hi"])),
+    ])
+    .unwrap()
+}
+
+fn demo_table(name: &str) -> mpq_engine::Table {
+    let mut ds = Dataset::new(demo_schema());
+    for i in 0..24u16 {
+        let x = i % 3;
+        let y = (i / 3) % 3;
+        ds.push_encoded(&[x, y, u16::from(x == 2 && y >= 1)]).unwrap();
+    }
+    mpq_engine::Table::from_dataset(name, &ds)
+}
+
+fn seed_primary(dir: &PathBuf) -> Engine {
+    let e = Engine::open(dir).expect("open fresh dir");
+    e.create_table(demo_table("t")).unwrap();
+    e.insert_rows("t", vec![vec![0, 0, 0], vec![2, 2, 1]]).unwrap();
+    let out = e
+        .execute_sql("CREATE MINING MODEL m ON t PREDICT grade USING decision_tree")
+        .unwrap();
+    assert!(matches!(out, StatementOutcome::ModelCreated { .. }));
+    e
+}
+
+fn fresh_standby(dir: &PathBuf) -> Engine {
+    let e = Engine::open(dir).expect("open standby dir");
+    e.set_standby();
+    e
+}
+
+const QUERIES: &[&str] = &[
+    "SELECT * FROM t WHERE PREDICT(m) = 'hi'",
+    "SELECT * FROM t WHERE x <= 2 AND y > 2",
+    "SELECT COUNT(*) FROM t WHERE PREDICT(m) = 'lo'",
+];
+
+/// Both nodes must answer every probe query with byte-identical rows.
+fn assert_no_divergence(primary: &Engine, standby: &Engine) {
+    for q in QUERIES {
+        assert_eq!(
+            primary.query(q).unwrap().rows,
+            standby.query(q).unwrap().rows,
+            "divergent rows for {q}"
+        );
+    }
+}
+
+#[test]
+fn shipped_frames_replay_to_identical_state() {
+    let (da, db) = (temp_dir("ship-a"), temp_dir("ship-b"));
+    let primary = seed_primary(&da);
+    let standby = fresh_standby(&db);
+
+    let batch = primary.replication_frames_after(0).unwrap().expect("log covers lsn 1");
+    assert!(batch.records >= 3, "table + insert + model");
+    let next = standby.apply_replicated_frames(primary.epoch(), &batch.bytes).unwrap();
+    assert_eq!(next, batch.last_lsn + 1);
+    assert_no_divergence(&primary, &standby);
+
+    // Health reflects the roles.
+    assert_eq!(primary.health().role, ReplRole::Primary);
+    assert_eq!(standby.health().role, ReplRole::Standby);
+    assert!(standby.health().to_string().contains("role: standby"));
+}
+
+#[test]
+fn duplicate_delivery_is_idempotent() {
+    let (da, db) = (temp_dir("dup-a"), temp_dir("dup-b"));
+    let primary = seed_primary(&da);
+    let standby = fresh_standby(&db);
+
+    let batch = primary.replication_frames_after(0).unwrap().unwrap();
+    let first = standby.apply_replicated_frames(0, &batch.bytes).unwrap();
+    // The exact same batch again: every record is below the standby's
+    // next LSN and is skipped without touching state.
+    let second = standby.apply_replicated_frames(0, &batch.bytes).unwrap();
+    assert_eq!(first, second);
+    assert_no_divergence(&primary, &standby);
+
+    // An overlapping batch (old records plus new ones) applies only the
+    // new suffix.
+    primary.insert_rows("t", vec![vec![1, 1, 0]]).unwrap();
+    let wider = primary.replication_frames_after(0).unwrap().unwrap();
+    assert!(wider.records > batch.records);
+    standby.apply_replicated_frames(0, &wider.bytes).unwrap();
+    assert_no_divergence(&primary, &standby);
+}
+
+#[test]
+fn gap_in_the_stream_is_a_typed_error() {
+    let (da, db) = (temp_dir("gap-a"), temp_dir("gap-b"));
+    let primary = seed_primary(&da);
+    let standby = fresh_standby(&db);
+
+    // Records 2.. while the standby expects record 1: typed gap.
+    let tail = primary.replication_frames_after(1).unwrap().unwrap();
+    assert!(tail.records > 0);
+    let err = standby.apply_replicated_frames(0, &tail.bytes).unwrap_err();
+    assert!(
+        matches!(err, EngineError::Corrupt { ref detail } if detail.contains("gap")),
+        "got {err}"
+    );
+}
+
+#[test]
+fn standby_refuses_local_mutations_but_serves_reads() {
+    let (da, db) = (temp_dir("ro-a"), temp_dir("ro-b"));
+    let primary = seed_primary(&da);
+    let standby = fresh_standby(&db);
+    let batch = primary.replication_frames_after(0).unwrap().unwrap();
+    standby.apply_replicated_frames(0, &batch.bytes).unwrap();
+
+    // Reads are fine.
+    assert!(!standby.query(QUERIES[0]).unwrap().rows.is_empty());
+    // Every mutation path is refused with the typed error.
+    let err = standby.insert_rows("t", vec![vec![0, 0, 0]]).unwrap_err();
+    assert!(matches!(err, EngineError::ReadOnly { .. }), "got {err}");
+    let err = standby
+        .execute_sql("INSERT INTO t VALUES (1, 1, 'lo')")
+        .unwrap_err();
+    assert!(matches!(err, EngineError::ReadOnly { .. }), "got {err}");
+    let err = standby.create_table(demo_table("t2")).unwrap_err();
+    assert!(matches!(err, EngineError::ReadOnly { .. }), "got {err}");
+    // And nothing leaked into the standby's state.
+    assert_no_divergence(&primary, &standby);
+}
+
+#[test]
+fn promotion_bumps_the_epoch_durably_and_fences_the_zombie() {
+    let (da, db, dc) = (temp_dir("promo-a"), temp_dir("promo-b"), temp_dir("promo-c"));
+    let primary = seed_primary(&da);
+    let standby = fresh_standby(&db);
+    let batch = primary.replication_frames_after(0).unwrap().unwrap();
+    standby.apply_replicated_frames(0, &batch.bytes).unwrap();
+
+    // Promote: role flips, epoch rises, and the new primary accepts
+    // writes again.
+    let epoch = standby.promote().unwrap();
+    assert_eq!(epoch, 1);
+    assert_eq!(standby.role(), ReplRole::Primary);
+    standby.insert_rows("t", vec![vec![1, 0, 0]]).unwrap();
+
+    // The bump is durable: a crash-reopen still knows the epoch.
+    standby.simulate_crash();
+    let new_primary = Engine::open(&db).unwrap();
+    assert_eq!(new_primary.epoch(), 1);
+
+    // A second standby bootstrapped from the NEW primary carries epoch
+    // 1 in its snapshot, so the deposed primary's epoch-0 stream is
+    // provably rejected.
+    let standby2 = fresh_standby(&dc);
+    let (snap, _) = new_primary.snapshot_for_replication().unwrap();
+    standby2.install_replica_snapshot(&snap).unwrap();
+    assert_eq!(standby2.epoch(), 1);
+    let stale = primary.replication_frames_after(0).unwrap().unwrap();
+    let err = standby2.apply_replicated_frames(primary.epoch(), &stale.bytes).unwrap_err();
+    assert!(matches!(err, EngineError::StaleEpoch { sent: 0, have: 1 }), "got {err}");
+
+    // Once the zombie learns it was deposed, every local mutation (and
+    // every in-flight synchronous ack wait) fails typed.
+    primary.mark_fenced(0, 1);
+    let err = primary.insert_rows("t", vec![vec![0, 0, 0]]).unwrap_err();
+    assert!(matches!(err, EngineError::StaleEpoch { sent: 0, have: 1 }), "got {err}");
+    primary.enable_sync_replication();
+    let err = primary.wait_replicated(u64::MAX, Duration::from_secs(5)).unwrap_err();
+    assert!(matches!(err, EngineError::StaleEpoch { .. }), "got {err}");
+}
+
+#[test]
+fn snapshot_bootstrap_covers_a_checkpointed_log() {
+    let (da, db) = (temp_dir("boot-a"), temp_dir("boot-b"));
+    let primary = seed_primary(&da);
+    // Two checkpoints with mutations in between prune the early
+    // segments, so lsn 1 is no longer on disk.
+    primary.insert_rows("t", vec![vec![1, 1, 0]]).unwrap();
+    primary.checkpoint().unwrap();
+    primary.insert_rows("t", vec![vec![0, 1, 0]]).unwrap();
+    primary.checkpoint().unwrap();
+    assert!(
+        primary.replication_frames_after(0).unwrap().is_none(),
+        "pruned log must demand a snapshot"
+    );
+
+    let standby = fresh_standby(&db);
+    let (snap, snap_lsn) = primary.snapshot_for_replication().unwrap();
+    let next = standby.install_replica_snapshot(&snap).unwrap();
+    assert_eq!(next, snap_lsn + 1);
+    assert_no_divergence(&primary, &standby);
+
+    // Incremental shipping continues from the snapshot position.
+    primary.insert_rows("t", vec![vec![2, 0, 1]]).unwrap();
+    let tail = primary.replication_frames_after(snap_lsn).unwrap().unwrap();
+    assert_eq!(tail.records, 1);
+    standby.apply_replicated_frames(0, &tail.bytes).unwrap();
+    assert_no_divergence(&primary, &standby);
+}
+
+#[test]
+fn standby_replay_is_itself_crash_safe() {
+    let (da, db) = (temp_dir("crash-a"), temp_dir("crash-b"));
+    let primary = seed_primary(&da);
+    let standby = fresh_standby(&db);
+    let batch = primary.replication_frames_after(0).unwrap().unwrap();
+    let next = standby.apply_replicated_frames(0, &batch.bytes).unwrap();
+
+    // The standby dies hard; a reopen replays its own WAL back to the
+    // replicated state, and shipping resumes where it left off.
+    standby.simulate_crash();
+    let standby = fresh_standby(&db);
+    assert_no_divergence(&primary, &standby);
+
+    primary.insert_rows("t", vec![vec![1, 2, 0]]).unwrap();
+    let tail = primary.replication_frames_after(next - 1).unwrap().unwrap();
+    standby.apply_replicated_frames(0, &tail.bytes).unwrap();
+    assert_no_divergence(&primary, &standby);
+}
+
+#[test]
+fn synchronous_acks_gate_on_the_standby_and_report_lag() {
+    let (da, db) = (temp_dir("sync-a"), temp_dir("sync-b"));
+    let primary = seed_primary(&da);
+    let standby = fresh_standby(&db);
+    let batch = primary.replication_frames_after(0).unwrap().unwrap();
+    standby.apply_replicated_frames(0, &batch.bytes).unwrap();
+
+    primary.enable_sync_replication();
+    // Nothing acked yet: the whole history counts as lag.
+    let h = primary.health();
+    assert_eq!(h.replica_lag_records, Some(primary.last_lsn()));
+
+    // An un-acked wait times out with a retryable I/O error...
+    let err = primary
+        .wait_replicated(primary.last_lsn(), Duration::from_millis(50))
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Io { .. }), "got {err}");
+
+    // ...and succeeds once the shipping layer reports the ack.
+    primary.replica_acked(primary.last_lsn(), batch.bytes.len() as u64);
+    primary.wait_replicated(primary.last_lsn(), Duration::from_millis(50)).unwrap();
+    assert_eq!(primary.health().replica_lag_records, Some(0));
+
+    // A synchronous SQL insert blocks until a concurrent acker catches
+    // the standby up, then returns success.
+    std::thread::scope(|s| {
+        let (p, sb) = (&primary, &standby);
+        s.spawn(move || {
+            // Poll as a shipping loop would: read new frames, apply to
+            // the standby, report the ack.
+            // Bounded so a failing insert can't wedge the scope join.
+            for _ in 0..2000 {
+                let from = sb.last_lsn();
+                if let Ok(Some(b)) = p.replication_frames_after(from) {
+                    if b.records > 0 {
+                        sb.apply_replicated_frames(0, &b.bytes).unwrap();
+                        p.replica_acked(b.last_lsn, b.bytes.len() as u64);
+                        return;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        let out = primary
+            .execute_sql("INSERT INTO t VALUES (1, 1, 'lo')")
+            .unwrap();
+        assert!(matches!(out, StatementOutcome::Inserted { rows_inserted: 1, .. }));
+    });
+    assert_no_divergence(&primary, &standby);
+}

@@ -4,6 +4,7 @@
 //! mpq-serverd [--addr HOST:PORT] [--data-dir DIR | --demo]
 //!             [--port-file FILE] [--max-in-flight N] [--max-queue N]
 //!             [--queue-timeout-ms N]
+//!             [--standby] [--read-only] [--peer-file FILE]
 //!             [--chaos-seed SEED [--chaos-period-ms N]]
 //! ```
 //!
@@ -18,6 +19,17 @@
 //! The daemon runs until a client sends the protocol `Shutdown` request
 //! (the REPL's `.shutdown`), then drains in-flight queries, checkpoints,
 //! prints the drain report and exits 0.
+//!
+//! Replication (DESIGN.md §12): `--standby` starts the node as a
+//! read-only replica — it refuses mutations with a typed error, applies
+//! the primary's shipped WAL, and is promotable by a supervisor.
+//! `--read-only` refuses mutations without making the node a replica.
+//! `--peer-file FILE` starts the WAL shipper with synchronous acks: the
+//! node ships committed WAL to whatever standby address the file holds
+//! (re-read on every reconnect, so a supervisor repoints it by
+//! rewriting the file), and mutations acknowledge only after the
+//! standby has them. A standby started with `--peer-file` ships only
+//! after it is promoted.
 //!
 //! `--chaos-seed` arms a deterministic fault schedule: a background
 //! thread steps a seeded xorshift generator once per period and arms
@@ -41,6 +53,9 @@ struct Args {
     max_in_flight: Option<usize>,
     max_queue: Option<usize>,
     queue_timeout_ms: Option<u64>,
+    standby: bool,
+    read_only: bool,
+    peer_file: Option<String>,
     chaos_seed: Option<u64>,
     chaos_period_ms: Option<u64>,
 }
@@ -53,6 +68,9 @@ fn parse_args() -> Result<Args, String> {
         max_in_flight: None,
         max_queue: None,
         queue_timeout_ms: None,
+        standby: false,
+        read_only: false,
+        peer_file: None,
         chaos_seed: None,
         chaos_period_ms: None,
     };
@@ -78,6 +96,9 @@ fn parse_args() -> Result<Args, String> {
                 args.queue_timeout_ms =
                     Some(value("--queue-timeout-ms")?.parse().map_err(|e| format!("{e}"))?)
             }
+            "--standby" => args.standby = true,
+            "--read-only" => args.read_only = true,
+            "--peer-file" => args.peer_file = Some(value("--peer-file")?),
             "--chaos-seed" => {
                 args.chaos_seed =
                     Some(value("--chaos-seed")?.parse().map_err(|e| format!("{e}"))?)
@@ -185,11 +206,20 @@ fn chaos_schedule(faults: Arc<FaultInjector>, seed: u64, period: Duration) {
 fn run() -> Result<(), String> {
     let args = parse_args()?;
 
+    if args.standby && args.data_dir.is_none() {
+        return Err("--standby requires --data-dir (replica replay must be durable)".into());
+    }
     let engine = match &args.data_dir {
         Some(dir) => Engine::open(dir).map_err(|e| format!("open {dir}: {e}"))?,
         None => Engine::new(Catalog::new()),
     };
-    if engine.health().tables == 0 {
+    if args.standby {
+        engine.set_standby();
+        eprintln!("mpq-serverd: serving as standby (read-only, awaiting shipped WAL)");
+    }
+    // A standby's content comes from the primary; a read-only node must
+    // not mutate at all. Only a writable primary self-seeds.
+    if engine.health().tables == 0 && !args.standby && !args.read_only {
         seed_demo(&engine)?;
         eprintln!("mpq-serverd: seeded demo catalog (table t, models m_tree, m_bayes)");
     }
@@ -224,9 +254,31 @@ fn run() -> Result<(), String> {
         admission.queue_timeout = Duration::from_millis(ms);
     }
 
-    let cfg = ServerConfig { addr: args.addr.clone(), admission, ..ServerConfig::default() };
+    let cfg = ServerConfig {
+        addr: args.addr.clone(),
+        admission,
+        // `--standby` is *not* static read-only: the server refuses
+        // mutations while the engine's role is Standby, and the refusal
+        // lifts at promotion without a restart.
+        read_only: args.read_only,
+        ..ServerConfig::default()
+    };
+    let engine = Arc::new(engine);
+    let shipper = args.peer_file.as_ref().map(|path| {
+        // Shipping implies synchronous acks: a mutation acknowledges
+        // only once the standby holds it, so a failover loses nothing.
+        engine.enable_sync_replication();
+        eprintln!("mpq-serverd: WAL shipper armed (peer file {path}, synchronous acks)");
+        mpq_server::start_shipper(
+            Arc::clone(&engine),
+            mpq_server::ShipperConfig {
+                peer_file: path.into(),
+                ..mpq_server::ShipperConfig::default()
+            },
+        )
+    });
     let server =
-        Server::start(Arc::new(engine), cfg).map_err(|e| format!("bind {}: {e}", args.addr))?;
+        Server::start(engine, cfg).map_err(|e| format!("bind {}: {e}", args.addr))?;
     let addr = server.local_addr();
     if let Some(path) = &args.port_file {
         // Write-then-rename so a watcher never reads a half-written
@@ -240,6 +292,9 @@ fn run() -> Result<(), String> {
     server.wait_shutdown_requested();
     eprintln!("mpq-serverd: shutdown requested, draining");
     let report = server.shutdown();
+    if let Some(s) = shipper {
+        s.stop();
+    }
     println!("mpq-serverd: {report}");
     Ok(())
 }

@@ -17,6 +17,13 @@
 //!   [`mpq_engine::SessionState`] per connection (session-scoped `SET
 //!   PARALLELISM` / `SET GUARD`), and a graceful shutdown that drains
 //!   in-flight statements and checkpoints the engine.
+//! * [`replication`] — the primary's WAL-shipping thread and the
+//!   minimal peer client it speaks through; the engine replays the
+//!   shipped frames on the standby.
+//! * [`supervisor`] — failure detection and promotion: health-checks
+//!   the primary, promotes the standby on sustained failure (the epoch
+//!   fence makes a false positive safe), and repoints writers through
+//!   their shared address handle.
 //!
 //! See `DESIGN.md` §9 for the protocol specification and the
 //! admission state machine.
@@ -26,11 +33,15 @@
 
 pub mod admission;
 pub mod protocol;
+pub mod replication;
 pub mod server;
+pub mod supervisor;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionError, AdmissionStats};
 pub use protocol::{
     decode_frame, encode_frame, FrameError, Request, Response, ServerError,
-    DEFAULT_MAX_FRAME_LEN, FRAME_HEADER_LEN, PROTO_VERSION,
+    DEFAULT_MAX_FRAME_LEN, FRAME_HEADER_LEN, PROTO_VERSION, PROTO_VERSION_V3,
 };
+pub use replication::{start_shipper, PeerError, PeerState, ReplPeer, ShipperConfig, ShipperHandle};
 pub use server::{DrainReport, Server, ServerConfig};
+pub use supervisor::{start_supervisor, write_peer_file, SupervisorConfig, SupervisorHandle};

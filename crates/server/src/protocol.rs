@@ -32,12 +32,23 @@
 //! | C→S | `Health` (3) | — |
 //! | C→S | `Shutdown` (4) | — |
 //! | C→S | `Goodbye` (5) | — |
+//! | C→S | `ReplState` (6) | — (v4; asks role/epoch/next LSN) |
+//! | C→S | `ReplAppend` (7) | epoch `u64`, concatenated WAL frames (v4) |
+//! | C→S | `ReplSnapshot` (8) | checksummed snapshot bytes (v4) |
+//! | C→S | `Promote` (9) | — (v4; standby → primary) |
 //! | S→C | `Hello` (128) | proto version `u32`, session id `u64`, server name |
 //! | S→C | `Outcome` (129) | a [`StatementOutcome`]: rows + metrics + plan, model-created, parallelism-set, guard-set |
 //! | S→C | `Health` (130) | an [`EngineHealth`], recovery report included |
 //! | S→C | `ShutdownStarted` (131) | — |
 //! | S→C | `Goodbye` (132) | — |
 //! | S→C | `Error` (133) | a [`ServerError`] |
+//! | S→C | `ReplState` (134) | role `u8`, epoch `u64`, next LSN `u64` (v4) |
+//! | S→C | `ReplAck` (135) | next LSN `u64`, epoch `u64` (v4) |
+//!
+//! Version compatibility: a v4 server accepts v3 hellos and answers
+//! them with v3-shaped frames (the `Health` replication tail is
+//! omitted, since a v3 peer rejects trailing bytes). A v4 client
+//! falls back to a v3 hello when a v3 server refuses its version.
 //!
 //! Every engine type crossing the wire ([`QueryOutcome`],
 //! [`ExecMetrics`], [`EngineHealth`], [`RecoveryReport`],
@@ -47,18 +58,24 @@
 
 use mpq_engine::{
     EngineError, EngineHealth, ExecMetrics, GuardHeadroom, GuardResource, ModelHealth,
-    QueryGuard, QueryOutcome, RecoveryReport, StatementId, StatementOutcome,
+    QueryGuard, QueryOutcome, RecoveryReport, ReplRole, StatementId, StatementOutcome,
 };
 use mpq_types::wire::{crc32, WireError, WireReader, WireWriter};
 use std::time::Duration;
 
-/// Protocol version spoken by this build. A server rejects a `Hello`
-/// with any other version — there is exactly one version in the wild,
-/// so no negotiation, just a typed refusal. Version 2 added the
+/// Protocol version spoken by this build. Version 2 added the
 /// `pages_skipped` and `memo_hits` metrics fields; version 3 added the
 /// optional exactly-once statement id on `Statement` and the
-/// `Inserted` outcome.
-pub const PROTO_VERSION: u32 = 3;
+/// `Inserted` outcome; version 4 added the replication channel
+/// (`ReplState`/`ReplAppend`/`ReplSnapshot`/`Promote`), the
+/// role/epoch/lag tail on `Health`, and the read-only/stale-epoch
+/// errors. A v4 server still accepts [`PROTO_VERSION_V3`] hellos and
+/// answers them with v3-shaped frames.
+pub const PROTO_VERSION: u32 = 4;
+
+/// The previous protocol version, still accepted by the server's
+/// handshake and used by the client's fallback hello.
+pub const PROTO_VERSION_V3: u32 = 3;
 
 /// Default ceiling on one frame's payload length. Large enough for a
 /// multi-million-row result (row ids are 4 bytes), small enough that a
@@ -154,6 +171,10 @@ const REQ_STATEMENT: u8 = 2;
 const REQ_HEALTH: u8 = 3;
 const REQ_SHUTDOWN: u8 = 4;
 const REQ_GOODBYE: u8 = 5;
+const REQ_REPL_STATE: u8 = 6;
+const REQ_REPL_APPEND: u8 = 7;
+const REQ_REPL_SNAPSHOT: u8 = 8;
+const REQ_PROMOTE: u8 = 9;
 
 const RESP_HELLO: u8 = 128;
 const RESP_OUTCOME: u8 = 129;
@@ -161,6 +182,8 @@ const RESP_HEALTH: u8 = 130;
 const RESP_SHUTDOWN_STARTED: u8 = 131;
 const RESP_GOODBYE: u8 = 132;
 const RESP_ERROR: u8 = 133;
+const RESP_REPL_STATE: u8 = 134;
+const RESP_REPL_ACK: u8 = 135;
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -189,6 +212,25 @@ pub enum Request {
     Shutdown,
     /// Announces the client is closing the connection.
     Goodbye,
+    /// (v4) Asks for the node's replication state — the shipper's first
+    /// message after connecting, to learn where the standby left off.
+    ReplState,
+    /// (v4) Ships a batch of WAL frames to a standby, stamped with the
+    /// sender's epoch. A stale epoch is refused — that is the fence.
+    ReplAppend {
+        /// The sending primary's replication epoch.
+        epoch: u64,
+        /// Concatenated on-disk-format WAL frames.
+        frames: Vec<u8>,
+    },
+    /// (v4) Ships a full checksummed snapshot for standby bootstrap
+    /// (the snapshot payload carries the epoch internally).
+    ReplSnapshot {
+        /// Serialized snapshot bytes (`MPQSNAP1`-framed).
+        snapshot: Vec<u8>,
+    },
+    /// (v4) Promotes a standby to primary, durably bumping the epoch.
+    Promote,
 }
 
 /// A server-to-client message.
@@ -216,6 +258,24 @@ pub enum Response {
     /// The request failed with a typed error; the connection stays
     /// usable unless the error says otherwise.
     Error(ServerError),
+    /// (v4) The node's replication state.
+    ReplState {
+        /// The node's role.
+        role: ReplRole,
+        /// The node's replication epoch.
+        epoch: u64,
+        /// The next LSN the node will log — a shipper resumes from
+        /// `next_lsn - 1`.
+        next_lsn: u64,
+    },
+    /// (v4) A replication batch or snapshot was applied.
+    ReplAck {
+        /// The standby's next LSN after applying.
+        next_lsn: u64,
+        /// The standby's epoch (lets a shipper detect it was deposed
+        /// even on the success path).
+        epoch: u64,
+    },
 }
 
 /// A typed failure crossing the wire.
@@ -246,6 +306,13 @@ pub enum ServerError {
         /// Explanation.
         detail: String,
     },
+    /// The server is serving read-only (a standby, or started with
+    /// `--read-only`): mutations are refused. Retryable — a retrying
+    /// client reconnects and may land on the new primary.
+    ReadOnly {
+        /// Explanation.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ServerError {
@@ -261,6 +328,9 @@ impl std::fmt::Display for ServerError {
             }
             ServerError::ShuttingDown => write!(f, "server is shutting down"),
             ServerError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            ServerError::ReadOnly { detail } => {
+                write!(f, "server is read-only: {detail}")
+            }
         }
     }
 }
@@ -421,7 +491,27 @@ fn get_recovery_report(r: &mut WireReader<'_>) -> Result<RecoveryReport, WireErr
     })
 }
 
-fn put_health(w: &mut WireWriter, h: &EngineHealth) {
+fn put_role(w: &mut WireWriter, role: ReplRole) {
+    w.put_u8(match role {
+        ReplRole::Primary => 0,
+        ReplRole::Standby => 1,
+    });
+}
+
+fn get_role(r: &mut WireReader<'_>) -> Result<ReplRole, WireError> {
+    Ok(match r.get_u8()? {
+        0 => ReplRole::Primary,
+        1 => ReplRole::Standby,
+        other => {
+            return Err(WireError::Invalid { detail: format!("replication role tag {other}") })
+        }
+    })
+}
+
+/// Encodes a health report. `include_repl` is false when answering a v3
+/// peer: that peer's decoder rejects trailing bytes, so the replication
+/// tail (role, epoch, lag) must be omitted for it.
+fn put_health(w: &mut WireWriter, h: &EngineHealth, include_repl: bool) {
     w.put_u32(h.models.len() as u32);
     for m in &h.models {
         w.put_str(&m.name);
@@ -439,8 +529,19 @@ fn put_health(w: &mut WireWriter, h: &EngineHealth) {
         }
         None => w.put_bool(false),
     }
+    if include_repl {
+        put_role(w, h.role);
+        w.put_u64(h.epoch);
+        put_opt_u64(w, h.replica_lag_records);
+        put_opt_u64(w, h.replica_lag_bytes);
+    }
 }
 
+/// Decodes a health report from either shape: when bytes remain after
+/// the v3 fields, they are the v4 replication tail; when none do (a v3
+/// server answered), the replication fields take their defaults —
+/// which is how the repl's `.health` degrades gracefully against an
+/// old server.
 fn get_health(r: &mut WireReader<'_>) -> Result<EngineHealth, WireError> {
     let n = r.get_u32()? as usize;
     if n > r.remaining() {
@@ -457,11 +558,23 @@ fn get_health(r: &mut WireReader<'_>) -> Result<EngineHealth, WireError> {
             })
         })
         .collect::<Result<Vec<_>, WireError>>()?;
+    let tables = r.get_u64()? as usize;
+    let cached_plans = r.get_u64()? as usize;
+    let recovery = if r.get_bool()? { Some(get_recovery_report(r)?) } else { None };
+    let (role, epoch, lag_records, lag_bytes) = if r.is_exhausted() {
+        (ReplRole::Primary, 0, None, None)
+    } else {
+        (get_role(r)?, r.get_u64()?, get_opt_u64(r)?, get_opt_u64(r)?)
+    };
     Ok(EngineHealth {
         models,
-        tables: r.get_u64()? as usize,
-        cached_plans: r.get_u64()? as usize,
-        recovery: if r.get_bool()? { Some(get_recovery_report(r)?) } else { None },
+        tables,
+        cached_plans,
+        recovery,
+        role,
+        epoch,
+        replica_lag_records: lag_records,
+        replica_lag_bytes: lag_bytes,
     })
 }
 
@@ -477,6 +590,8 @@ const ENGERR_BUDGET: u8 = 8;
 const ENGERR_INTERNAL: u8 = 9;
 const ENGERR_IO: u8 = 10;
 const ENGERR_CORRUPT: u8 = 11;
+const ENGERR_READ_ONLY: u8 = 12;
+const ENGERR_STALE_EPOCH: u8 = 13;
 
 fn put_engine_error(w: &mut WireWriter, e: &EngineError) {
     match e {
@@ -532,6 +647,15 @@ fn put_engine_error(w: &mut WireWriter, e: &EngineError) {
             w.put_u8(ENGERR_CORRUPT);
             w.put_str(detail);
         }
+        EngineError::ReadOnly { detail } => {
+            w.put_u8(ENGERR_READ_ONLY);
+            w.put_str(detail);
+        }
+        EngineError::StaleEpoch { sent, have } => {
+            w.put_u8(ENGERR_STALE_EPOCH);
+            w.put_u64(*sent);
+            w.put_u64(*have);
+        }
     }
 }
 
@@ -557,6 +681,10 @@ fn get_engine_error(r: &mut WireReader<'_>) -> Result<EngineError, WireError> {
         ENGERR_INTERNAL => EngineError::Internal { detail: r.get_str()? },
         ENGERR_IO => EngineError::Io { detail: r.get_str()? },
         ENGERR_CORRUPT => EngineError::Corrupt { detail: r.get_str()? },
+        ENGERR_READ_ONLY => EngineError::ReadOnly { detail: r.get_str()? },
+        ENGERR_STALE_EPOCH => {
+            EngineError::StaleEpoch { sent: r.get_u64()?, have: r.get_u64()? }
+        }
         other => {
             return Err(WireError::Invalid { detail: format!("engine error tag {other}") })
         }
@@ -568,6 +696,7 @@ const SRVERR_BUSY: u8 = 1;
 const SRVERR_QUEUE_TIMEOUT: u8 = 2;
 const SRVERR_SHUTTING_DOWN: u8 = 3;
 const SRVERR_PROTOCOL: u8 = 4;
+const SRVERR_READ_ONLY: u8 = 5;
 
 fn put_server_error(w: &mut WireWriter, e: &ServerError) {
     match e {
@@ -589,6 +718,10 @@ fn put_server_error(w: &mut WireWriter, e: &ServerError) {
             w.put_u8(SRVERR_PROTOCOL);
             w.put_str(detail);
         }
+        ServerError::ReadOnly { detail } => {
+            w.put_u8(SRVERR_READ_ONLY);
+            w.put_str(detail);
+        }
     }
 }
 
@@ -599,6 +732,7 @@ fn get_server_error(r: &mut WireReader<'_>) -> Result<ServerError, WireError> {
         SRVERR_QUEUE_TIMEOUT => ServerError::QueueTimeout { waited_ms: r.get_u64()? },
         SRVERR_SHUTTING_DOWN => ServerError::ShuttingDown,
         SRVERR_PROTOCOL => ServerError::Protocol { detail: r.get_str()? },
+        SRVERR_READ_ONLY => ServerError::ReadOnly { detail: r.get_str()? },
         other => {
             return Err(WireError::Invalid { detail: format!("server error tag {other}") })
         }
@@ -692,6 +826,17 @@ impl Request {
             Request::Health => w.put_u8(REQ_HEALTH),
             Request::Shutdown => w.put_u8(REQ_SHUTDOWN),
             Request::Goodbye => w.put_u8(REQ_GOODBYE),
+            Request::ReplState => w.put_u8(REQ_REPL_STATE),
+            Request::ReplAppend { epoch, frames } => {
+                w.put_u8(REQ_REPL_APPEND);
+                w.put_u64(*epoch);
+                w.put_bytes(frames);
+            }
+            Request::ReplSnapshot { snapshot } => {
+                w.put_u8(REQ_REPL_SNAPSHOT);
+                w.put_bytes(snapshot);
+            }
+            Request::Promote => w.put_u8(REQ_PROMOTE),
         }
         w.into_bytes()
     }
@@ -714,6 +859,13 @@ impl Request {
             REQ_HEALTH => Request::Health,
             REQ_SHUTDOWN => Request::Shutdown,
             REQ_GOODBYE => Request::Goodbye,
+            REQ_REPL_STATE => Request::ReplState,
+            REQ_REPL_APPEND => Request::ReplAppend {
+                epoch: r.get_u64()?,
+                frames: r.get_bytes()?.to_vec(),
+            },
+            REQ_REPL_SNAPSHOT => Request::ReplSnapshot { snapshot: r.get_bytes()?.to_vec() },
+            REQ_PROMOTE => Request::Promote,
             other => {
                 return Err(WireError::Invalid { detail: format!("request tag {other}") })
             }
@@ -728,8 +880,17 @@ impl Request {
 }
 
 impl Response {
-    /// Serializes this response to a frame payload.
+    /// Serializes this response to a frame payload at the current
+    /// protocol version.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_versioned(PROTO_VERSION)
+    }
+
+    /// Serializes this response for a peer that negotiated
+    /// `proto_version`. A v3 peer's decoder rejects trailing bytes, so
+    /// the `Health` replication tail is only written for v4+ peers; all
+    /// other responses are shape-identical across versions.
+    pub fn encode_versioned(&self, proto_version: u32) -> Vec<u8> {
         let mut w = WireWriter::new();
         match self {
             Response::Hello { proto_version, session_id, server } => {
@@ -744,13 +905,24 @@ impl Response {
             }
             Response::Health(h) => {
                 w.put_u8(RESP_HEALTH);
-                put_health(&mut w, h);
+                put_health(&mut w, h, proto_version >= PROTO_VERSION);
             }
             Response::ShutdownStarted => w.put_u8(RESP_SHUTDOWN_STARTED),
             Response::Goodbye => w.put_u8(RESP_GOODBYE),
             Response::Error(e) => {
                 w.put_u8(RESP_ERROR);
                 put_server_error(&mut w, e);
+            }
+            Response::ReplState { role, epoch, next_lsn } => {
+                w.put_u8(RESP_REPL_STATE);
+                put_role(&mut w, *role);
+                w.put_u64(*epoch);
+                w.put_u64(*next_lsn);
+            }
+            Response::ReplAck { next_lsn, epoch } => {
+                w.put_u8(RESP_REPL_ACK);
+                w.put_u64(*next_lsn);
+                w.put_u64(*epoch);
             }
         }
         w.into_bytes()
@@ -770,6 +942,12 @@ impl Response {
             RESP_SHUTDOWN_STARTED => Response::ShutdownStarted,
             RESP_GOODBYE => Response::Goodbye,
             RESP_ERROR => Response::Error(get_server_error(&mut r)?),
+            RESP_REPL_STATE => Response::ReplState {
+                role: get_role(&mut r)?,
+                epoch: r.get_u64()?,
+                next_lsn: r.get_u64()?,
+            },
+            RESP_REPL_ACK => Response::ReplAck { next_lsn: r.get_u64()?, epoch: r.get_u64()? },
             other => {
                 return Err(WireError::Invalid { detail: format!("response tag {other}") })
             }
@@ -830,6 +1008,11 @@ mod tests {
             Request::Health,
             Request::Shutdown,
             Request::Goodbye,
+            Request::ReplState,
+            Request::ReplAppend { epoch: 2, frames: vec![0xde, 0xad, 0xbe, 0xef] },
+            Request::ReplAppend { epoch: 0, frames: Vec::new() },
+            Request::ReplSnapshot { snapshot: vec![7; 64] },
+            Request::Promote,
         ];
         for req in &reqs {
             assert_eq!(&Request::decode(&req.encode()).unwrap(), req);
@@ -880,6 +1063,10 @@ mod tests {
                 corruption: Some("crc mismatch at byte 123".into()),
                 clean_shutdown: false,
             }),
+            role: ReplRole::Primary,
+            epoch: 2,
+            replica_lag_records: Some(3),
+            replica_lag_bytes: Some(412),
         };
         let resps = [
             Response::Hello { proto_version: 1, session_id: 42, server: "mpq".into() },
@@ -912,10 +1099,51 @@ mod tests {
             Response::Error(ServerError::QueueTimeout { waited_ms: 2000 }),
             Response::Error(ServerError::ShuttingDown),
             Response::Error(ServerError::Protocol { detail: "bad hello".into() }),
+            Response::Error(ServerError::ReadOnly { detail: "standby".into() }),
+            Response::Error(ServerError::Engine(EngineError::ReadOnly {
+                detail: "standby refuses mutations".into(),
+            })),
+            Response::Error(ServerError::Engine(EngineError::StaleEpoch {
+                sent: 1,
+                have: 2,
+            })),
+            Response::ReplState { role: ReplRole::Standby, epoch: 4, next_lsn: 99 },
+            Response::ReplAck { next_lsn: 100, epoch: 4 },
         ];
         for resp in &resps {
             assert_eq!(&Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn health_downgrades_to_v3_shape_and_decodes_both_ways() {
+        let health = EngineHealth {
+            models: Vec::new(),
+            tables: 1,
+            cached_plans: 0,
+            recovery: None,
+            role: ReplRole::Standby,
+            epoch: 7,
+            replica_lag_records: Some(5),
+            replica_lag_bytes: Some(333),
+        };
+        let resp = Response::Health(health);
+        // v4 encoding carries the replication tail verbatim.
+        assert_eq!(Response::decode(&resp.encode_versioned(PROTO_VERSION)).unwrap(), resp);
+        // v3 encoding omits the tail (a v3 decoder rejects trailing
+        // bytes); our decoder fills the defaults back in.
+        let v3 = Response::decode(&resp.encode_versioned(PROTO_VERSION_V3)).unwrap();
+        let Response::Health(h) = v3 else { panic!("not a health response") };
+        assert_eq!(h.tables, 1);
+        assert_eq!(h.role, ReplRole::Primary);
+        assert_eq!(h.epoch, 0);
+        assert_eq!(h.replica_lag_records, None);
+        assert_eq!(h.replica_lag_bytes, None);
+        // And the v3 payload is strictly shorter.
+        assert!(
+            resp.encode_versioned(PROTO_VERSION_V3).len()
+                < resp.encode_versioned(PROTO_VERSION).len()
+        );
     }
 
     #[test]

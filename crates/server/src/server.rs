@@ -22,7 +22,7 @@
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionError};
 use crate::protocol::{
     decode_frame, encode_frame, FrameError, Request, Response, ServerError,
-    DEFAULT_MAX_FRAME_LEN, PROTO_VERSION,
+    DEFAULT_MAX_FRAME_LEN, PROTO_VERSION, PROTO_VERSION_V3,
 };
 use mpq_engine::{Engine, FaultInjector, SessionState, StatementId};
 use std::io::{self, Read, Write};
@@ -51,6 +51,12 @@ pub struct ServerConfig {
     pub max_frame_len: u32,
     /// Free-form name sent in the handshake.
     pub server_name: String,
+    /// Statically refuse mutating statements with a typed
+    /// [`ServerError::ReadOnly`] before they reach the engine
+    /// (`--read-only`). Standbys need no flag: the same refusal is
+    /// applied whenever the engine's live role is `Standby`, and lifts
+    /// by itself at promotion.
+    pub read_only: bool,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +67,7 @@ impl Default for ServerConfig {
             request_read_timeout: Duration::from_secs(2),
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             server_name: "mpq-server".to_string(),
+            read_only: false,
         }
     }
 }
@@ -277,17 +284,23 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> ConnExit {
         Ok(None) => return ConnExit::Clean,
         Err(exit) => return exit,
     };
-    match hello {
-        Request::Hello { proto_version, client: _ } if proto_version == PROTO_VERSION => {
+    // The connection speaks the version the client asked for: v4
+    // natively, v3 for old clients (the only shape difference is the
+    // Health replication tail, which v3 responses omit).
+    let proto = match hello {
+        Request::Hello { proto_version, client: _ }
+            if proto_version == PROTO_VERSION || proto_version == PROTO_VERSION_V3 =>
+        {
             let session_id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
             let resp = Response::Hello {
-                proto_version: PROTO_VERSION,
+                proto_version,
                 session_id,
                 server: shared.cfg.server_name.clone(),
             };
-            if send_response(&mut stream, &resp, &faults).is_err() {
+            if send_response(&mut stream, &resp, proto_version, &faults).is_err() {
                 return ConnExit::Abrupt;
             }
+            proto_version
         }
         Request::Hello { proto_version, .. } => {
             let _ = send_response(
@@ -297,6 +310,7 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> ConnExit {
                         "protocol version {proto_version} not supported (server speaks {PROTO_VERSION})"
                     ),
                 }),
+                PROTO_VERSION,
                 &faults,
             );
             return ConnExit::Abrupt;
@@ -307,11 +321,12 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> ConnExit {
                 &Response::Error(ServerError::Protocol {
                     detail: "first request must be Hello".to_string(),
                 }),
+                PROTO_VERSION,
                 &faults,
             );
             return ConnExit::Abrupt;
         }
-    }
+    };
 
     // Session scope: SET statements on this connection land here, not
     // on the engine-wide defaults.
@@ -336,12 +351,44 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> ConnExit {
                 Response::ShutdownStarted
             }
             Request::Goodbye => {
-                let _ = send_response(&mut stream, &Response::Goodbye, &faults);
+                let _ = send_response(&mut stream, &Response::Goodbye, proto, &faults);
                 let _ = stream.shutdown(SockShutdown::Both);
                 return ConnExit::Clean;
             }
+            // Replication traffic bypasses admission control: a stalled
+            // admission queue must not be able to stall the standby
+            // (which would stall every synchronous commit).
+            Request::ReplState => Response::ReplState {
+                role: shared.engine.role(),
+                epoch: shared.engine.epoch(),
+                next_lsn: shared.engine.last_lsn() + 1,
+            },
+            Request::ReplAppend { epoch, frames } => {
+                match shared.engine.apply_replicated_frames(epoch, &frames) {
+                    Ok(next_lsn) => {
+                        Response::ReplAck { next_lsn, epoch: shared.engine.epoch() }
+                    }
+                    Err(e) => Response::Error(ServerError::Engine(e)),
+                }
+            }
+            Request::ReplSnapshot { snapshot } => {
+                match shared.engine.install_replica_snapshot(&snapshot) {
+                    Ok(next_lsn) => {
+                        Response::ReplAck { next_lsn, epoch: shared.engine.epoch() }
+                    }
+                    Err(e) => Response::Error(ServerError::Engine(e)),
+                }
+            }
+            Request::Promote => match shared.engine.promote() {
+                Ok(_) => Response::ReplState {
+                    role: shared.engine.role(),
+                    epoch: shared.engine.epoch(),
+                    next_lsn: shared.engine.last_lsn() + 1,
+                },
+                Err(e) => Response::Error(ServerError::Engine(e)),
+            },
         };
-        let failed = send_response(&mut stream, &resp, &faults).is_err();
+        let failed = send_response(&mut stream, &resp, proto, &faults).is_err();
         if failed || matches!(resp, Response::Error(ServerError::Protocol { .. })) {
             let _ = stream.shutdown(SockShutdown::Both);
             return ConnExit::Abrupt;
@@ -357,6 +404,17 @@ fn handle_statement(
 ) -> Response {
     if shared.is_shutting_down() {
         return Response::Error(ServerError::ShuttingDown);
+    }
+    // Two refusal sources: a statically read-only server (`--read-only`)
+    // and the engine's *live* role — a standby refuses mutations until
+    // the moment it is promoted, then accepts them on the very next
+    // statement with no restart.
+    if (shared.cfg.read_only || shared.engine.role() == mpq_engine::ReplRole::Standby)
+        && is_mutation_sql(sql)
+    {
+        return Response::Error(ServerError::ReadOnly {
+            detail: "this server only accepts reads (standby or --read-only)".to_string(),
+        });
     }
     let permit = match shared.admission.admit() {
         Ok(p) => p,
@@ -380,6 +438,16 @@ fn handle_statement(
         Ok(outcome) => Response::Outcome(outcome),
         Err(e) => Response::Error(ServerError::Engine(e)),
     }
+}
+
+/// True when the statement's leading keyword marks a mutation. The
+/// grammar's only mutating statements are `INSERT` and `CREATE ...`
+/// (model/index), so a keyword test is exact — and it must not parse,
+/// because a read-only server refuses mutations even for tables it
+/// does not know about yet.
+fn is_mutation_sql(sql: &str) -> bool {
+    let first = sql.split_whitespace().next().unwrap_or("");
+    first.eq_ignore_ascii_case("insert") || first.eq_ignore_ascii_case("create")
 }
 
 /// Reads one request frame. `Ok(None)` means the connection ended
@@ -410,6 +478,7 @@ fn read_request(
                             &Response::Error(ServerError::Protocol {
                                 detail: format!("undecodable request: {e}"),
                             }),
+                            PROTO_VERSION,
                             &faults,
                         );
                         let _ = stream.shutdown(SockShutdown::Both);
@@ -425,6 +494,7 @@ fn read_request(
                     &Response::Error(ServerError::Protocol {
                         detail: format!("bad frame: {e}"),
                     }),
+                    PROTO_VERSION,
                     &faults,
                 );
                 let _ = stream.shutdown(SockShutdown::Both);
@@ -438,7 +508,7 @@ fn read_request(
             }
             if shared.is_shutting_down() {
                 // Idle at shutdown: wave goodbye and drain out.
-                let _ = send_response(stream, &Response::Goodbye, &faults);
+                let _ = send_response(stream, &Response::Goodbye, PROTO_VERSION, &faults);
                 let _ = stream.shutdown(SockShutdown::Both);
                 return Ok(None);
             }
@@ -458,6 +528,7 @@ fn read_request(
                 let _ = send_response(
                     stream,
                     &Response::Error(ServerError::Protocol { detail }),
+                    PROTO_VERSION,
                     &faults,
                 );
                 let _ = stream.shutdown(SockShutdown::Both);
@@ -487,9 +558,10 @@ fn read_request(
 fn send_response(
     stream: &mut TcpStream,
     resp: &Response,
+    proto_version: u32,
     faults: &FaultInjector,
 ) -> io::Result<()> {
-    let payload = resp.encode();
+    let payload = resp.encode_versioned(proto_version);
     let mut frame = encode_frame(&payload);
     if faults.take_conn_torn_frame() {
         // Corrupt one payload byte *after* the CRC was computed.

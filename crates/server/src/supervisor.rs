@@ -1,0 +1,173 @@
+//! Supervised failover: health-check the primary, promote the standby
+//! when it dies, repoint writers.
+//!
+//! The supervisor owns three pieces of shared state and nothing else:
+//!
+//! * the **primary handle** (`Arc<RwLock<String>>`) — the address
+//!   writers dial. `mpq_client::ReliableClient::with_addr_handle`
+//!   re-reads it on every reconnect, so repointing writers is one
+//!   write to this lock;
+//! * the **standby handle** — the address of the current promotion
+//!   candidate (empty = none; promotion is impossible until a standby
+//!   exists). A harness that brings up a fresh standby after each
+//!   failover writes its address here;
+//! * the **peer file** — the file the primary's WAL shipper re-reads
+//!   (see [`crate::replication`]). The supervisor rewrites it
+//!   atomically (write-then-rename) after a promotion so the new
+//!   primary ships to whatever standby appears next.
+//!
+//! The failure detector is deliberately simple: a `ReplState` ping per
+//! tick, a consecutive-failure threshold, no quorum. What makes the
+//! promotion *safe* is not the detector but the epoch fence — if the
+//! detector fires on a slow-but-alive primary, the promotion bumps the
+//! epoch and the old primary is fenced the moment it next talks to
+//! anything newer, so a false positive costs availability of one node,
+//! never divergence.
+
+use crate::replication::{PeerError, ReplPeer};
+use mpq_engine::ReplRole;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Supervisor tuning.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Interval between health probes of the primary.
+    pub check_interval: Duration,
+    /// Consecutive failed probes before the standby is promoted.
+    pub fail_threshold: u32,
+    /// Connect and per-read deadline for probes and the promote call.
+    pub io_timeout: Duration,
+    /// The WAL shipper's peer file, rewritten after a promotion so the
+    /// new primary ships to the next standby that registers.
+    pub peer_file: PathBuf,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            check_interval: Duration::from_millis(50),
+            fail_threshold: 3,
+            io_timeout: Duration::from_millis(500),
+            peer_file: PathBuf::from("standby.addr"),
+        }
+    }
+}
+
+/// A running supervisor thread.
+pub struct SupervisorHandle {
+    stop: Arc<AtomicBool>,
+    promotions: Arc<AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl SupervisorHandle {
+    /// Signals the thread and joins it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Failovers performed so far.
+    pub fn promotions(&self) -> u64 {
+        self.promotions.load(Ordering::Relaxed)
+    }
+}
+
+/// Atomically publishes `addr` into `path` (write a sibling temp file,
+/// then rename): readers see the old address or the new one, never a
+/// torn line.
+pub fn write_peer_file(path: &Path, addr: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, addr)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Starts the supervision loop. `primary` is the writers' shared
+/// address handle; `standby` holds the current promotion candidate
+/// (empty string = none).
+pub fn start_supervisor(
+    primary: Arc<RwLock<String>>,
+    standby: Arc<RwLock<String>>,
+    cfg: SupervisorConfig,
+) -> SupervisorHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let promotions = Arc::new(AtomicU64::new(0));
+    let t_stop = Arc::clone(&stop);
+    let t_promotions = Arc::clone(&promotions);
+    let thread = thread::Builder::new()
+        .name("mpq-supervisor".to_string())
+        .spawn(move || supervise_loop(&primary, &standby, &cfg, &t_stop, &t_promotions))
+        .expect("spawn supervisor thread");
+    SupervisorHandle { stop, promotions, thread: Some(thread) }
+}
+
+fn read_handle(h: &RwLock<String>) -> String {
+    h.read().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+fn supervise_loop(
+    primary: &RwLock<String>,
+    standby: &RwLock<String>,
+    cfg: &SupervisorConfig,
+    stop: &AtomicBool,
+    promotions: &AtomicU64,
+) {
+    let mut fails = 0u32;
+    while !stop.load(Ordering::SeqCst) {
+        thread::sleep(cfg.check_interval);
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let primary_addr = read_handle(primary);
+        if probe(&primary_addr, cfg.io_timeout) {
+            fails = 0;
+            continue;
+        }
+        fails += 1;
+        if fails < cfg.fail_threshold {
+            continue;
+        }
+        fails = 0;
+        let standby_addr = read_handle(standby);
+        if standby_addr.is_empty() || standby_addr == primary_addr {
+            continue; // nothing to promote onto
+        }
+        if promote(&standby_addr, cfg).is_ok() {
+            // Repoint writers first (they start landing on the new
+            // primary immediately), then clear the standby slot and the
+            // shipper's peer file — the new primary has no standby
+            // until the harness registers one.
+            *primary.write().unwrap_or_else(|p| p.into_inner()) = standby_addr;
+            *standby.write().unwrap_or_else(|p| p.into_inner()) = String::new();
+            let _ = write_peer_file(&cfg.peer_file, "");
+            promotions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One liveness probe: can we connect, shake hands, and get a
+/// `ReplState` answer within the deadline?
+fn probe(addr: &str, timeout: Duration) -> bool {
+    match ReplPeer::connect(addr, timeout) {
+        Ok(mut peer) => peer.repl_state().is_ok(),
+        Err(_) => false,
+    }
+}
+
+/// Promotes the standby at `addr`; succeeds only if the node confirms
+/// it now serves as primary.
+fn promote(addr: &str, cfg: &SupervisorConfig) -> Result<(), PeerError> {
+    let mut peer = ReplPeer::connect(addr, cfg.io_timeout)?;
+    let state = peer.promote()?;
+    if state.role == ReplRole::Primary {
+        Ok(())
+    } else {
+        Err(PeerError::Unexpected(format!("promotion left the node a {}", state.role)))
+    }
+}

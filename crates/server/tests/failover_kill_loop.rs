@@ -1,0 +1,317 @@
+//! The failover kill-loop and its zero-loss promotion oracle.
+//!
+//! A real primary/standby pair of `mpq-serverd` processes runs under
+//! an in-process supervisor while concurrent [`ReliableClient`]
+//! writers hammer stamped INSERTs through a shared address handle.
+//! Each cycle SIGKILLs the primary; the supervisor detects the loss,
+//! promotes the standby (epoch bump + fence), and repoints the handle
+//! — the writers' retries land on the new primary with no harness
+//! help. The deposed node's directory is then wiped and reborn as a
+//! fresh standby that bootstraps over the replication channel, and the
+//! loop repeats, ping-ponging the primary role between the two
+//! directories.
+//!
+//! Shipping runs in synchronous-ack mode (`--peer-file`): a write is
+//! acknowledged only once the standby holds it, which is what makes
+//! the oracle's first clause possible at all. Checked against the
+//! final primary's recovered state:
+//!
+//! 1. **No lost acks** — every write any client saw acknowledged, by
+//!    any primary of any epoch, is in the final state.
+//! 2. **No duplicates** — no (writer, seq) pair appears twice, however
+//!    many times its statement was retried across failovers.
+//! 3. **No ghosts** — every surviving row was actually attempted.
+//! 4. **Reference equivalence** — a fresh, never-faulted engine given
+//!    the same rows serially answers the workload queries identically.
+//!
+//! `failover_kill_loop_smoke` is sized for CI. The acceptance-scale
+//! run is `failover_kill_loop_full`, `#[ignore]`d by default:
+//!
+//! ```text
+//! cargo test -p mpq-server --test failover_kill_loop -- --ignored
+//! ```
+
+use mpq_client::{ReliableClient, RetryPolicy};
+use mpq_engine::{Catalog, Engine, Table};
+use mpq_server::{start_supervisor, write_peer_file, SupervisorConfig};
+use mpq_types::{AttrDomain, Attribute, Dataset, Member, Schema};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+const MAX_WRITERS: usize = 8;
+const MAX_SEQS: usize = 512;
+const SEQ_CAP: u64 = 500;
+
+/// Same lossless (writer, seq) encoding as the chaos kill-loop, plus
+/// the same sentinel row keeping the table non-empty from birth.
+fn chaos_schema() -> Schema {
+    let writers: Vec<String> = (0..MAX_WRITERS).map(|w| format!("w{w}")).collect();
+    let seqs: Vec<String> = (0..MAX_SEQS).map(|s| format!("s{s}")).collect();
+    Schema::new(vec![
+        Attribute::new("writer", AttrDomain::categorical(writers.iter().map(String::as_str))),
+        Attribute::new("seq", AttrDomain::categorical(seqs.iter().map(String::as_str))),
+    ])
+    .unwrap()
+}
+
+const SENTINEL: (Member, Member) = (0, (MAX_SEQS - 1) as Member);
+
+fn chaos_table() -> Table {
+    let mut ds = Dataset::new(chaos_schema());
+    ds.push_encoded(&[SENTINEL.0, SENTINEL.1]).unwrap();
+    Table::with_page_bytes("chaos", &ds, 512)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mpq-failover-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create temp dir");
+    d
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Spawns one replication-enabled `mpq-serverd` node and blocks until
+/// it publishes its port. Every node gets the shared peer file: only
+/// the node whose role is Primary ships into it, so the pair can swap
+/// roles without respawning.
+fn spawn_node(data_dir: &Path, port_file: &Path, peer_file: &Path, standby: bool) -> (Child, String) {
+    let _ = std::fs::remove_file(port_file);
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mpq-serverd"));
+    cmd.arg("--data-dir")
+        .arg(data_dir)
+        .arg("--port-file")
+        .arg(port_file)
+        .arg("--peer-file")
+        .arg(peer_file)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if standby {
+        cmd.arg("--standby");
+    }
+    let mut child = cmd.spawn().expect("spawn mpq-serverd");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(port_file) {
+            return (child, addr.trim().to_string());
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("mpq-serverd exited before publishing its port: {status}");
+        }
+        assert!(Instant::now() < deadline, "mpq-serverd never published its port");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+struct WriterLog {
+    acked: Vec<u64>,
+    attempted: u64,
+}
+
+fn run_writer(writer: usize, addr: Arc<RwLock<String>>, stop: Arc<AtomicBool>) -> WriterLog {
+    let policy = RetryPolicy {
+        max_attempts: 1000,
+        initial_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(100),
+        total_budget: Duration::from_secs(45),
+        attempt_timeout: Duration::from_secs(8),
+    };
+    let mut client = ReliableClient::with_addr_handle(addr, policy, 2000 + writer as u64);
+    let mut log = WriterLog { acked: Vec::new(), attempted: 0 };
+    for seq in 0..SEQ_CAP {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        log.attempted = seq + 1;
+        let sql = format!("INSERT INTO chaos VALUES ('w{writer}', 's{seq}')");
+        if client.statement(&sql).is_ok() {
+            log.acked.push(seq);
+        }
+    }
+    log
+}
+
+fn failover_loop(tag: &str, seed: u64, cycles: usize, writers: usize) {
+    assert!(writers <= MAX_WRITERS);
+    let root = temp_dir(tag);
+    let dirs = [root.join("node0"), root.join("node1")];
+    let port_files = [root.join("port0"), root.join("port1")];
+    let peer_file = root.join("peers");
+
+    // Pre-create the chaos table on the first primary; the standby
+    // starts empty and bootstraps it over the replication channel.
+    {
+        let e = Engine::open(&dirs[0]).expect("pre-create primary dir");
+        e.create_table(chaos_table()).expect("create chaos table");
+    }
+
+    let mut rng = seed | 1;
+    // `active`/`passive` index into dirs/port_files; the primary role
+    // ping-pongs between them as the loop kills and promotes.
+    let (mut active, mut passive) = (0usize, 1usize);
+    let (mut primary_child, primary_addr) =
+        spawn_node(&dirs[active], &port_files[active], &peer_file, false);
+    let (mut standby_child, standby_addr) =
+        spawn_node(&dirs[passive], &port_files[passive], &peer_file, true);
+    write_peer_file(&peer_file, &standby_addr).expect("register standby");
+
+    let primary_handle = Arc::new(RwLock::new(primary_addr));
+    let standby_handle = Arc::new(RwLock::new(standby_addr));
+    let supervisor = start_supervisor(
+        Arc::clone(&primary_handle),
+        Arc::clone(&standby_handle),
+        SupervisorConfig {
+            check_interval: Duration::from_millis(25),
+            fail_threshold: 3,
+            io_timeout: Duration::from_millis(300),
+            peer_file: peer_file.clone(),
+        },
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let (addr, stop) = (Arc::clone(&primary_handle), Arc::clone(&stop));
+            std::thread::spawn(move || run_writer(w, addr, stop))
+        })
+        .collect();
+
+    for cycle in 0..cycles {
+        // Let the writers make progress against the current primary.
+        std::thread::sleep(Duration::from_millis(200 + xorshift(&mut rng) % 400));
+
+        // SIGKILL the primary; the supervisor must notice, promote the
+        // standby, and repoint the writers — all without harness help.
+        primary_child.kill().expect("SIGKILL primary");
+        primary_child.wait().expect("reap primary");
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while supervisor.promotions() < (cycle + 1) as u64 {
+            assert!(Instant::now() < deadline, "cycle {cycle}: supervisor never promoted");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // Rebirth: wipe the deposed node's directory and bring it back
+        // as a fresh standby of the new primary. Registering it in the
+        // peer file (which promotion cleared) both resumes shipping and
+        // unblocks the new primary's synchronous acks.
+        std::mem::swap(&mut active, &mut passive);
+        primary_child = standby_child;
+        let _ = std::fs::remove_dir_all(&dirs[passive]);
+        let (child, addr) = spawn_node(&dirs[passive], &port_files[passive], &peer_file, true);
+        standby_child = child;
+        *standby_handle.write().unwrap() = addr.clone();
+        write_peer_file(&peer_file, &addr).expect("register reborn standby");
+    }
+
+    // Drain against the final primary, then stop.
+    std::thread::sleep(Duration::from_millis(400));
+    stop.store(true, Ordering::Relaxed);
+    let logs: Vec<WriterLog> = handles.into_iter().map(|h| h.join().expect("writer")).collect();
+    supervisor.stop();
+    primary_child.kill().expect("SIGKILL final primary");
+    primary_child.wait().expect("reap final primary");
+    standby_child.kill().expect("SIGKILL final standby");
+    standby_child.wait().expect("reap final standby");
+
+    // ---- the zero-loss promotion oracle ----
+    let recovered = Engine::open(&dirs[active]).expect("final recovery");
+    assert!(
+        recovered.epoch() >= cycles as u64,
+        "final primary's epoch {} never advanced through {} promotions",
+        recovered.epoch(),
+        cycles
+    );
+    let t = recovered.catalog().table_by_name("chaos").expect("chaos table survived");
+    let (writer_col, seq_col) = {
+        let cat = recovered.catalog();
+        let table = &cat.table(t).table;
+        (table.column(0).to_vec(), table.column(1).to_vec())
+    };
+    let mut present = HashSet::new();
+    let mut duplicates = Vec::new();
+    for (&w, &s) in writer_col.iter().zip(&seq_col) {
+        if (w, s) == SENTINEL {
+            continue;
+        }
+        if !present.insert((w, s)) {
+            duplicates.push((w, s));
+        }
+    }
+    assert!(duplicates.is_empty(), "writes applied twice across failovers: {duplicates:?}");
+
+    let total_acked: usize = logs.iter().map(|l| l.acked.len()).sum();
+    for (w, log) in logs.iter().enumerate() {
+        for &seq in &log.acked {
+            assert!(
+                present.contains(&(w as Member, seq as Member)),
+                "acknowledged write (w{w}, s{seq}) lost across a promotion"
+            );
+        }
+    }
+    for &(w, s) in &present {
+        let log = logs.get(w as usize).unwrap_or_else(|| panic!("ghost writer w{w}"));
+        assert!(
+            (s as u64) < log.attempted,
+            "surviving row (w{w}, s{s}) was never attempted (attempted up to {})",
+            log.attempted
+        );
+    }
+    assert!(total_acked > 0, "no write was ever acknowledged — failovers too hot");
+    assert!(present.len() >= total_acked);
+
+    // Reference equivalence: a never-faulted engine fed the same rows
+    // serially answers the workload queries identically.
+    let mut reference_cat = Catalog::new();
+    reference_cat.add_table(chaos_table()).unwrap();
+    let reference = Engine::new(reference_cat);
+    let mut rows: Vec<Vec<Member>> = present.iter().map(|&(w, s)| vec![w, s]).collect();
+    rows.sort();
+    reference.insert_rows("chaos", rows).expect("reference insert");
+    let decode = |e: &Engine, tid: usize, ids: &[u32]| -> Vec<(Member, Member)> {
+        let cat = e.catalog();
+        let table = &cat.table(tid).table;
+        let mut rows: Vec<(Member, Member)> = ids
+            .iter()
+            .map(|&i| (table.column(0)[i as usize], table.column(1)[i as usize]))
+            .collect();
+        rows.sort_unstable();
+        rows
+    };
+    let reference_tid = reference.catalog().table_by_name("chaos").unwrap();
+    for w in 0..writers {
+        let q = format!("SELECT * FROM chaos WHERE writer = 'w{w}'");
+        let live = recovered.query(&q).expect("recovered query").rows;
+        let reference_ids = reference.query(&q).expect("reference query").rows;
+        assert_eq!(
+            decode(&recovered, t, &live),
+            decode(&reference, reference_tid, &reference_ids),
+            "writer w{w}: final primary != reference"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// CI-sized: three supervised failovers over four concurrent writers,
+/// fixed seed.
+#[test]
+fn failover_kill_loop_smoke() {
+    failover_loop("smoke", 0xfa110f, 3, 4);
+}
+
+/// Acceptance-scale: eight failovers, six concurrent retrying writers.
+/// Run explicitly with `-- --ignored`.
+#[test]
+#[ignore = "acceptance-scale failover run; minutes long"]
+fn failover_kill_loop_full() {
+    failover_loop("full", 0x5eed, 8, 6);
+}

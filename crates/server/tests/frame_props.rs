@@ -2,7 +2,10 @@
 //! for arbitrary payloads, and every mangled input — truncated at any
 //! byte, bit-flipped anywhere, or carrying a hostile length prefix —
 //! fails with a *typed* error, never a panic and never a wrong payload.
+//! The same discipline is checked for the replication layer: the v4
+//! replication messages and the shipped WAL-frame stream they carry.
 
+use mpq_engine::{decode_stream, encode_stream, LogOp, ReplRole};
 use mpq_server::protocol::{
     decode_frame, encode_frame, FrameError, Request, Response, ServerError,
     DEFAULT_MAX_FRAME_LEN, FRAME_HEADER_LEN,
@@ -143,6 +146,110 @@ proptest! {
     fn decoders_are_total(junk in proptest::collection::vec(any::<u8>(), 0..256)) {
         let _ = Request::decode(&junk);
         let _ = Response::decode(&junk);
+    }
+
+    /// Replication messages survive the frame pipeline: `ReplAppend`
+    /// carries its frame bytes verbatim (the standby CRC-checks each
+    /// inner WAL frame itself), acks and state reports round-trip.
+    #[test]
+    fn replication_messages_roundtrip(
+        epoch in any::<u64>(),
+        frames in proptest::collection::vec(any::<u8>(), 0..2048),
+        next_lsn in any::<u64>(),
+        standby in any::<bool>(),
+    ) {
+        let role = if standby { ReplRole::Standby } else { ReplRole::Primary };
+        for req in [
+            Request::ReplState,
+            Request::ReplAppend { epoch, frames: frames.clone() },
+            Request::ReplSnapshot { snapshot: frames.clone() },
+            Request::Promote,
+        ] {
+            let (payload, _) =
+                decode_frame(&encode_frame(&req.encode()), DEFAULT_MAX_FRAME_LEN).unwrap();
+            prop_assert_eq!(Request::decode(&payload).unwrap(), req);
+        }
+        for resp in [
+            Response::ReplState { role, epoch, next_lsn },
+            Response::ReplAck { next_lsn, epoch },
+        ] {
+            let (payload, _) =
+                decode_frame(&encode_frame(&resp.encode()), DEFAULT_MAX_FRAME_LEN).unwrap();
+            prop_assert_eq!(Response::decode(&payload).unwrap(), resp);
+        }
+    }
+
+    /// The replication *stream* (concatenated WAL frames inside a
+    /// `ReplAppend`) decodes strictly: any single bit flip anywhere in
+    /// an encoded stream is a typed `Corrupt` error — never a panic,
+    /// never silently different records.
+    #[test]
+    fn replication_stream_bit_flips_fail_typed(
+        lsns in proptest::collection::vec(1u64..1_000_000, 1..5),
+        byte_pick in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let records: Vec<(u64, LogOp)> = lsns
+            .iter()
+            .map(|&lsn| (lsn, LogOp::CreateIndex { table: format!("t{lsn}"), columns: vec![0] }))
+            .collect();
+        let bytes = encode_stream(&records);
+        prop_assert_eq!(decode_stream(&bytes).unwrap(), records.clone());
+        let mut evil = bytes.clone();
+        let idx = (byte_pick % evil.len() as u64) as usize;
+        evil[idx] ^= 1 << bit;
+        match decode_stream(&evil) {
+            Err(mpq_engine::EngineError::Corrupt { .. }) => {}
+            other => prop_assert!(false, "flip at byte {}: got {:?}", idx, other),
+        }
+    }
+
+    /// Truncating the stream mid-frame is `Corrupt`; truncating exactly
+    /// at a frame boundary is a legal shorter stream that decodes to
+    /// that prefix of the records (the stream has no record count — a
+    /// shipper may legitimately send fewer frames).
+    #[test]
+    fn replication_stream_truncation_is_typed_or_a_clean_prefix(
+        lsns in proptest::collection::vec(1u64..1_000_000, 1..4),
+        cut_pick in any::<u64>(),
+    ) {
+        let records: Vec<(u64, LogOp)> = lsns
+            .iter()
+            .map(|&lsn| (lsn, LogOp::CreateIndex { table: "t".into(), columns: vec![0, 1] }))
+            .collect();
+        let bytes = encode_stream(&records);
+        let mut boundaries = vec![0usize];
+        for r in &records {
+            let end = boundaries.last().unwrap() + encode_stream(std::slice::from_ref(r)).len();
+            boundaries.push(end);
+        }
+        let cut = (cut_pick % bytes.len() as u64) as usize;
+        match decode_stream(&bytes[..cut]) {
+            Ok(prefix) => {
+                let i = boundaries.iter().position(|&b| b == cut);
+                prop_assert_eq!(Some(prefix.len()), i, "cut {} is not a boundary", cut);
+                prop_assert_eq!(&prefix[..], &records[..prefix.len()]);
+            }
+            Err(mpq_engine::EngineError::Corrupt { .. }) => {
+                prop_assert!(!boundaries.contains(&cut), "clean prefix at {} rejected", cut);
+            }
+            Err(e) => prop_assert!(false, "cut {}: wrong error {:?}", cut, e),
+        }
+    }
+
+    /// A hostile length prefix inside the stream is refused before any
+    /// allocation or out-of-bounds read.
+    #[test]
+    fn replication_stream_hostile_length_fails_typed(
+        lsn in 1u64..1_000_000,
+        hostile in (1u32 << 24)..=u32::MAX,
+    ) {
+        let mut bytes = encode_stream(&[(lsn, LogOp::EpochBump { epoch: 1 })]);
+        bytes[0..4].copy_from_slice(&hostile.to_le_bytes());
+        prop_assert!(matches!(
+            decode_stream(&bytes),
+            Err(mpq_engine::EngineError::Corrupt { .. })
+        ));
     }
 }
 
