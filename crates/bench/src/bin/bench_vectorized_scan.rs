@@ -9,8 +9,18 @@
 //! (a ~0.8% point lookup, a 12.5% and a 50% IN-set on an interleaved
 //! 128-member column), a DNF envelope shape (OR of ANDs mixing both
 //! columns), a clustered predicate where zone maps prove most pages
-//! empty, and a mining predicate whose scorer calls the per-tuple memo
-//! collapses.
+//! empty, and two mining predicates: a decision tree the rewrite
+//! compiles out entirely (`mining_memo`) and a two-model agreement
+//! predicate — never compilable, since agreement is decided on raw
+//! class ids at prediction time — served through the proxy cascade
+//! (`mining_cascade`).
+//!
+//! The scalar leg plans with model compilation *off* — the classic
+//! envelope+residual interpreter — while the vectorized leg runs the
+//! compiled/cascaded plan, so the two legs double as a
+//! compiled-vs-reference parity oracle: the run aborts if any bucket's
+//! row sets diverge. Per-bucket `scorer_ms` attributes each leg's wall
+//! time spent inside the real model scorer.
 //!
 //! Usage: `bench_vectorized_scan [out.json] [n_rows]` (defaults:
 //! `BENCH_vectorized_scan.json`, 1,000,000 — CI smoke passes a small
@@ -40,16 +50,18 @@ fn main() {
 
     eprintln!("building {n_rows}-row table ...");
     let region_labels: Vec<String> = (0..8).map(|r| format!("r{r}")).collect();
+    let band_domain =
+        || AttrDomain::binned((1..BAND_CARD as usize).map(|b| b as f64).collect()).unwrap();
     let schema = Schema::new(vec![
         Attribute::new(
             "region",
             AttrDomain::categorical(region_labels.iter().map(String::as_str)),
         ),
-        Attribute::new(
-            "band",
-            AttrDomain::binned((1..BAND_CARD as usize).map(|b| b as f64).collect()).unwrap(),
-        ),
+        Attribute::new("band", band_domain()),
+        Attribute::new("c1", band_domain()),
+        Attribute::new("c2", band_domain()),
         Attribute::new("label", AttrDomain::categorical(["neg", "pos"])),
+        Attribute::new("label2", AttrDomain::categorical(["neg", "pos"])),
     ])
     .expect("schema");
     let mut ds = Dataset::new(schema);
@@ -58,19 +70,34 @@ fn main() {
         // maps have something to prove; `band` is interleaved so
         // per-band selections touch every page and measure pure
         // predicate-evaluation speed; `label` follows a deterministic
-        // concept the tree model learns exactly.
+        // concept over `band`/`region` the tree model learns exactly —
+        // its predicate compiles away completely (`mining_memo`).
+        // `label2` is the same band concept with ~10% label noise, so
+        // the two Bayes models `mb` (on label2) and `mb2` (on label)
+        // learn *different* surfaces and their agreement predicate
+        // (`mining_cascade`) has a non-trivial answer; `c1`/`c2` are
+        // high-cardinality noise that defeats the prediction memo at
+        // scale, so the scalar leg pays real per-row scorer calls.
         let region = (i * 8 / n_rows) as u16;
         let band = ((i * 37 + i / 11) % BAND_CARD as usize) as u16;
         let label = u16::from(band < 32 && region != 3);
-        ds.push_encoded(&[region, band, label]).expect("row");
+        let c1 = ((i * 13 + 5) % BAND_CARD as usize) as u16;
+        let c2 = ((i * 7 + i / 13) % BAND_CARD as usize) as u16;
+        let flip = (i.wrapping_mul(2654435761) >> 7) % 10 == 0;
+        let label2 = u16::from((band < 32) ^ flip);
+        ds.push_encoded(&[region, band, c1, c2, label, label2]).expect("row");
     }
     let mut cat = Catalog::new();
     cat.add_table(Table::from_dataset("events", &ds)).expect("table");
     let engine = Engine::new(cat);
-    let out = engine
-        .execute_sql("CREATE MINING MODEL m ON events PREDICT label USING decision_tree")
-        .expect("train model");
-    assert!(matches!(out, StatementOutcome::ModelCreated { .. }));
+    for ddl in [
+        "CREATE MINING MODEL m ON events PREDICT label USING decision_tree",
+        "CREATE MINING MODEL mb ON events PREDICT label2 USING bayes",
+        "CREATE MINING MODEL mb2 ON events PREDICT label USING bayes",
+    ] {
+        let out = engine.execute_sql(ddl).expect("train model");
+        assert!(matches!(out, StatementOutcome::ModelCreated { .. }));
+    }
 
     let buckets: Vec<(&str, Expr)> = vec![
         (
@@ -106,6 +133,10 @@ fn main() {
             "mining_memo",
             Expr::Mining(MiningPred::ClassEq { model: 0, class: ClassId(1) }),
         ),
+        (
+            "mining_cascade",
+            Expr::Mining(MiningPred::ModelsAgree { m1: 1, m2: 2 }),
+        ),
     ];
 
     let catalog = engine.catalog();
@@ -113,14 +144,21 @@ fn main() {
     let vector_opts = ExecOptions::default();
     let mut results = Vec::new();
     for (name, expr) in buckets {
+        let has_mining = !expr.mining_preds().is_empty();
+        // The scalar leg is the classic envelope+residual interpreter:
+        // plan with model compilation off. The vectorized leg runs the
+        // compiled (tree/rules) or cascaded (NB) form of the same query.
+        engine.set_compile_models(false);
+        let plan_ref = engine.plan_predicate(0, expr.clone());
+        engine.set_compile_models(true);
         let plan = engine.plan_predicate(0, expr);
 
-        let median = |opts: &ExecOptions| {
+        let median = |plan: &mpq_engine::Plan, opts: &ExecOptions| {
             let mut times_ms = Vec::with_capacity(RUNS);
             let mut last = None;
             for _ in 0..RUNS {
                 let t0 = Instant::now();
-                let res = execute_opts(&plan, &catalog, QueryGuard::unlimited(), opts)
+                let res = execute_opts(plan, &catalog, QueryGuard::unlimited(), opts)
                     .expect("unlimited scan");
                 times_ms.push(t0.elapsed().as_secs_f64() * 1e3);
                 last = Some(res);
@@ -128,35 +166,58 @@ fn main() {
             times_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             (times_ms[times_ms.len() / 2], last.expect("ran"))
         };
-        let (scalar_ms, scalar) = median(&scalar_opts);
-        let (vector_ms, vector) = median(&vector_opts);
+        let (scalar_ms, scalar) = median(&plan_ref, &scalar_opts);
+        let (vector_ms, vector) = median(&plan, &vector_opts);
 
-        // The benchmark doubles as an oracle: both strategies must
-        // agree on rows and deterministic metrics.
+        // The benchmark doubles as a compiled-vs-reference parity
+        // oracle: both legs must return the same rows, and when no
+        // mining predicate is involved the plans are identical so every
+        // deterministic metric must match too.
         assert_eq!(scalar.rows, vector.rows, "{name}: row sets diverged");
-        assert_eq!(
-            scalar.metrics.pages_skipped, vector.metrics.pages_skipped,
-            "{name}: zone accounting diverged"
-        );
-        assert_eq!(
-            scalar.metrics.model_invocations, vector.metrics.model_invocations,
-            "{name}: scorer accounting diverged"
-        );
+        if !has_mining {
+            assert_eq!(
+                scalar.metrics.pages_skipped, vector.metrics.pages_skipped,
+                "{name}: zone accounting diverged"
+            );
+            assert_eq!(
+                scalar.metrics.model_invocations, vector.metrics.model_invocations,
+                "{name}: scorer accounting diverged"
+            );
+        }
 
         let m = &vector.metrics;
+        // Every row the cascade decides is accounted as accept, reject
+        // or band (envelope pushdown may reject rows before the mining
+        // residual, so `<=`), and the scorer only ever runs on band
+        // rows.
+        if m.cascade_accepts + m.cascade_rejects + m.band_rows > 0 {
+            assert!(
+                m.cascade_accepts + m.cascade_rejects + m.band_rows <= m.rows_examined,
+                "{name}: cascade decided more rows than were examined"
+            );
+            assert!(
+                m.model_invocations <= m.band_rows,
+                "{name}: scorer ran outside the uncertainty band"
+            );
+        }
+        let scalar_scorer_ms = scalar.metrics.scorer_ns as f64 / 1e6;
+        let scorer_ms = m.scorer_ns as f64 / 1e6;
         let selectivity = vector.rows.len() as f64 / n_rows as f64;
         let speedup = scalar_ms / vector_ms;
         eprintln!(
-            "{name}: sel {:.4} scalar {scalar_ms:.1} ms, vectorized {vector_ms:.1} ms \
-             ({speedup:.2}x), heap {} pages, {} skipped, {} scorer calls ({} memo hits)",
-            selectivity, m.heap_pages_read, m.pages_skipped, m.model_invocations, m.memo_hits
+            "{name}: sel {:.4} scalar {scalar_ms:.1} ms (scorer {scalar_scorer_ms:.1} ms), \
+             vectorized {vector_ms:.1} ms (scorer {scorer_ms:.1} ms) ({speedup:.2}x), \
+             heap {} pages, {} skipped, {} scorer calls ({} memo hits, {} band rows)",
+            selectivity, m.heap_pages_read, m.pages_skipped, m.model_invocations, m.memo_hits,
+            m.band_rows
         );
         results.push(format!(
             "    {{\"bucket\": \"{name}\", \"selectivity\": {selectivity:.4}, \
-             \"scalar_ms\": {scalar_ms:.3}, \"vectorized_ms\": {vector_ms:.3}, \
+             \"scalar_ms\": {scalar_ms:.3}, \"scalar_scorer_ms\": {scalar_scorer_ms:.3}, \
+             \"vectorized_ms\": {vector_ms:.3}, \"scorer_ms\": {scorer_ms:.3}, \
              \"speedup\": {speedup:.3}, \"heap_pages_read\": {}, \"pages_skipped\": {}, \
-             \"model_invocations\": {}, \"memo_hits\": {}}}",
-            m.heap_pages_read, m.pages_skipped, m.model_invocations, m.memo_hits
+             \"model_invocations\": {}, \"memo_hits\": {}, \"band_rows\": {}}}",
+            m.heap_pages_read, m.pages_skipped, m.model_invocations, m.memo_hits, m.band_rows
         ));
     }
 

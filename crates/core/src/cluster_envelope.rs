@@ -4,6 +4,7 @@
 use crate::covering::cover_cells;
 use crate::envelope::{DeriveOptions, DeriveStats, Envelope};
 use crate::error::CoreError;
+use crate::proxy::ProxyScore;
 use crate::score_model::ScoreModel;
 use crate::topdown::{derive_topdown, merge_regions, try_derive_topdown};
 use crate::tree_envelope::{ruleset_envelope, tree_envelope};
@@ -37,6 +38,14 @@ pub trait EnvelopeProvider: Classifier {
     /// the model to trivial envelopes instead of failing the statement.
     fn try_envelopes(&self, opts: &DeriveOptions) -> Result<Vec<Envelope>, CoreError> {
         (0..self.n_classes()).map(|k| self.try_envelope(ClassId(k as u16), opts)).collect()
+    }
+
+    /// A tabulated proxy score reproducing this model's argmax
+    /// bit-for-bit wherever the argmax is unique (see [`ProxyScore`]),
+    /// or `None` for model families without an additive-score form.
+    /// Engines use it to cascade: proxy-decided rows skip the scorer.
+    fn proxy(&self) -> Option<ProxyScore> {
+        None
     }
 }
 
@@ -84,6 +93,10 @@ impl EnvelopeProvider for NaiveBayes {
             .map(|k| try_derive_topdown(&sm, self.schema(), ClassId(k as u16), opts))
             .collect()
     }
+
+    fn proxy(&self) -> Option<ProxyScore> {
+        Some(ProxyScore::from_naive_bayes(self))
+    }
 }
 
 impl EnvelopeProvider for KMeans {
@@ -126,6 +139,10 @@ impl EnvelopeProvider for KMeans {
             .map(|k| try_derive_topdown(&sm, self.schema(), ClassId(k as u16), opts))
             .collect()
     }
+
+    fn proxy(&self) -> Option<ProxyScore> {
+        Some(ProxyScore::from_kmeans(self))
+    }
 }
 
 impl EnvelopeProvider for Gmm {
@@ -167,6 +184,10 @@ impl EnvelopeProvider for Gmm {
         (0..self.n_classes())
             .map(|k| try_derive_topdown(&sm, self.schema(), ClassId(k as u16), opts))
             .collect()
+    }
+
+    fn proxy(&self) -> Option<ProxyScore> {
+        Some(ProxyScore::from_gmm(self))
     }
 }
 

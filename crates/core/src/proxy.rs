@@ -1,0 +1,295 @@
+//! Proxy-score cascades for additive-score models.
+//!
+//! Naive Bayes, k-means and diagonal GMMs all assign a row to the class
+//! maximizing a score of the form `prior_k + Σ_d f_k(d, x_d)` — a sum of
+//! per-dimension contributions over the *discretized* row. Because every
+//! dimension is a finite member domain, each contribution can be
+//! tabulated once per `(dimension, member, class)` at model-registration
+//! time. Evaluating the table reproduces the real scorer **bit-for-bit**
+//! (the tables hold the exact `f64` terms the scorer computes, summed in
+//! the same dimension order), so the proxy's argmax is *provably* the
+//! scorer's prediction whenever the argmax is unique. Only score ties
+//! (and NaN poisoning) are undecidable without the scorer's tie-break —
+//! those rows form the *uncertainty band* and fall through to the real
+//! scorer. That is the cascade: accept/reject decided by the proxy,
+//! band rows by the model.
+
+use mpq_models::{embed_member, Classifier, Gmm, KMeans, NaiveBayes};
+use mpq_types::{ClassId, Row};
+
+/// Outcome of evaluating a [`ProxyScore`] on one row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProxyDecision {
+    /// The proxy's argmax is unique: this *is* the model's prediction.
+    Unique(ClassId),
+    /// Tied (or NaN-poisoned) scores: the row is inside the uncertainty
+    /// band and must be resolved by the real scorer.
+    Band,
+}
+
+/// A tabulated argmax surrogate for one additive-score model: per-class
+/// priors plus per-`(dimension, member, class)` score contributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProxyScore {
+    /// Per-class constant term (`log Pr(k)`, `log τ_k`, or `0`).
+    prior: Vec<f64>,
+    /// Whether the scorer adds the prior before the dimension terms
+    /// (naive Bayes) or after them (clusterers). Matching the scorer's
+    /// accumulation order keeps the sums bit-identical.
+    prior_first: bool,
+    /// `contrib[d][m][k]`: dimension `d`, member `m`, class `k`.
+    contrib: Vec<Vec<Vec<f64>>>,
+}
+
+impl ProxyScore {
+    /// Tabulates the naive-Bayes log-posterior: `log_prior` first, then
+    /// `log_cond[d][m][k]` in dimension order — exactly `log_score`.
+    pub fn from_naive_bayes(nb: &NaiveBayes) -> Self {
+        let schema = Classifier::schema(nb).clone();
+        let k_n = nb.n_classes();
+        let prior = (0..k_n).map(|k| nb.log_prior(ClassId(k as u16))).collect();
+        let contrib = (0..schema.len())
+            .map(|d| {
+                (0..schema.attrs()[d].domain.cardinality())
+                    .map(|m| {
+                        (0..k_n).map(|k| nb.log_cond(d, m, ClassId(k as u16))).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        ProxyScore { prior, prior_first: true, contrib }
+    }
+
+    /// Tabulates the k-means negated weighted distance through the same
+    /// member embedding and per-dimension terms `predict` uses.
+    pub fn from_kmeans(km: &KMeans) -> Self {
+        let schema = Classifier::schema(km).clone();
+        let k_n = km.n_classes();
+        let contrib = (0..schema.len())
+            .map(|d| {
+                (0..schema.attrs()[d].domain.cardinality())
+                    .map(|m| {
+                        let x = embed_member(&schema, d, m);
+                        (0..k_n).map(|k| km.dim_score(ClassId(k as u16), d, x)).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        ProxyScore { prior: vec![0.0; k_n], prior_first: false, contrib }
+    }
+
+    /// Tabulates the GMM log-likelihood terms; `log τ_k` is added after
+    /// the dimension sum, exactly as `score_raw` does.
+    pub fn from_gmm(g: &Gmm) -> Self {
+        let schema = Classifier::schema(g).clone();
+        let k_n = g.n_classes();
+        let prior = (0..k_n).map(|k| g.log_tau(ClassId(k as u16))).collect();
+        let contrib = (0..schema.len())
+            .map(|d| {
+                (0..schema.attrs()[d].domain.cardinality())
+                    .map(|m| {
+                        let x = embed_member(&schema, d, m);
+                        (0..k_n).map(|k| g.dim_score(ClassId(k as u16), d, x)).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        ProxyScore { prior, prior_first: false, contrib }
+    }
+
+    /// Number of classes the proxy scores.
+    pub fn n_classes(&self) -> usize {
+        self.prior.len()
+    }
+
+    /// Number of dimensions the proxy expects in a row.
+    pub fn n_dims(&self) -> usize {
+        self.contrib.len()
+    }
+
+    /// Member cardinality of dimension `d`.
+    pub fn dim_cardinality(&self, d: usize) -> usize {
+        self.contrib[d].len()
+    }
+
+    /// The per-class score of `row`, accumulated in the scorer's order.
+    fn score(&self, row: &Row, k: usize) -> f64 {
+        let mut s = if self.prior_first { self.prior[k] } else { 0.0 };
+        for (d, &m) in row.iter().enumerate() {
+            s += self.contrib[d][m as usize][k];
+        }
+        if !self.prior_first {
+            s += self.prior[k];
+        }
+        s
+    }
+
+    /// Evaluates the cascade on one encoded row: a unique argmax is the
+    /// model's prediction; ties and NaNs go to the band. Sound by
+    /// construction — the proxy never *guesses* on an ambiguous score.
+    pub fn decide(&self, row: &Row) -> ProxyDecision {
+        debug_assert_eq!(row.len(), self.contrib.len());
+        let mut best = 0usize;
+        let mut best_s = self.score(row, 0);
+        if best_s.is_nan() {
+            return ProxyDecision::Band;
+        }
+        let mut ties = 1u32;
+        for k in 1..self.prior.len() {
+            let s = self.score(row, k);
+            if s.is_nan() {
+                return ProxyDecision::Band;
+            }
+            if s > best_s {
+                best = k;
+                best_s = s;
+                ties = 1;
+            } else if s == best_s {
+                ties += 1;
+            }
+        }
+        if ties == 1 {
+            ProxyDecision::Unique(ClassId(best as u16))
+        } else {
+            ProxyDecision::Band
+        }
+    }
+
+    /// Lifts the table into a schema with one extra dimension inserted
+    /// at `at`, whose contribution is literal `0.0` for every member
+    /// and class — the shape projected-model wrappers need: the ignored
+    /// (label) column never affects the score. `s + 0.0` preserves the
+    /// score's *value* at every accumulation step, and [`decide`]
+    /// compares values, never bit patterns, so decisions on lifted rows
+    /// equal the inner model's decisions on projected rows.
+    ///
+    /// [`decide`]: ProxyScore::decide
+    pub fn with_zero_dim(&self, at: usize, cardinality: usize) -> ProxyScore {
+        let mut contrib = self.contrib.clone();
+        contrib.insert(at, vec![vec![0.0; self.n_classes()]; cardinality]);
+        ProxyScore { prior: self.prior.clone(), prior_first: self.prior_first, contrib }
+    }
+
+    /// Fault-injection hook: deterministically corrupt one table entry
+    /// so the stored proxy no longer matches a fresh rebuild. Used to
+    /// prove the engine's cascade verification detects drift and falls
+    /// back to the sound scorer path.
+    pub fn perturb_for_fault(&mut self) {
+        for per_dim in &mut self.contrib {
+            for per_member in per_dim {
+                if let Some(v) = per_member.first_mut() {
+                    *v = if *v == 0.25 { 0.5 } else { 0.25 };
+                    return;
+                }
+            }
+        }
+        if let Some(v) = self.prior.first_mut() {
+            *v = if *v == 0.25 { 0.5 } else { 0.25 };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_types::{AttrDomain, Attribute, Schema};
+
+    fn grid_schema(bins: usize) -> Schema {
+        let cuts: Vec<f64> = (1..bins).map(|i| i as f64).collect();
+        Schema::new(vec![
+            Attribute::new("x", AttrDomain::binned(cuts.clone()).unwrap()),
+            Attribute::new("y", AttrDomain::binned(cuts).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn naive_bayes_proxy_matches_predict_on_every_cell() {
+        let nb = crate::paper_table1_model();
+        let proxy = ProxyScore::from_naive_bayes(&nb);
+        for m0 in 0..4u16 {
+            for m1 in 0..3u16 {
+                let row = [m0, m1];
+                match proxy.decide(&row) {
+                    ProxyDecision::Unique(c) => {
+                        assert_eq!(c, nb.predict(&row), "cell {row:?}")
+                    }
+                    ProxyDecision::Band => {} // ties defer; always sound
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_proxy_matches_predict_on_every_cell() {
+        let schema = grid_schema(6);
+        let km = KMeans::from_parts(
+            schema.clone(),
+            vec![vec![1.0, 1.0], vec![5.0, 1.0], vec![3.0, 5.0]],
+            vec![vec![1.0, 1.0]; 3],
+        )
+        .unwrap();
+        let proxy = ProxyScore::from_kmeans(&km);
+        let mut decided = 0;
+        for m0 in 0..6u16 {
+            for m1 in 0..6u16 {
+                let row = [m0, m1];
+                if let ProxyDecision::Unique(c) = proxy.decide(&row) {
+                    assert_eq!(c, km.predict(&row), "cell {row:?}");
+                    decided += 1;
+                }
+            }
+        }
+        assert!(decided > 30, "well-separated centroids must mostly decide");
+    }
+
+    #[test]
+    fn gmm_proxy_matches_predict_on_every_cell() {
+        let schema = grid_schema(5);
+        let g = Gmm::from_parts(
+            schema.clone(),
+            vec![0.5, 0.5],
+            vec![vec![1.0, 1.0], vec![4.0, 4.0]],
+            vec![vec![0.8, 0.8], vec![1.2, 1.2]],
+        )
+        .unwrap();
+        let proxy = ProxyScore::from_gmm(&g);
+        for m0 in 0..5u16 {
+            for m1 in 0..5u16 {
+                let row = [m0, m1];
+                if let ProxyDecision::Unique(c) = proxy.decide(&row) {
+                    assert_eq!(c, g.predict(&row), "cell {row:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_score_ties_go_to_the_band() {
+        // Two identical centroids tie on every cell: the proxy must
+        // refuse to decide (the model's tie-break is its own business).
+        let schema = grid_schema(4);
+        let km = KMeans::from_parts(
+            schema,
+            vec![vec![2.0, 2.0], vec![2.0, 2.0]],
+            vec![vec![1.0, 1.0]; 2],
+        )
+        .unwrap();
+        let proxy = ProxyScore::from_kmeans(&km);
+        for m0 in 0..4u16 {
+            for m1 in 0..4u16 {
+                assert_eq!(proxy.decide(&[m0, m1]), ProxyDecision::Band);
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_is_detectable_by_equality() {
+        let nb = crate::paper_table1_model();
+        let fresh = ProxyScore::from_naive_bayes(&nb);
+        let mut stored = fresh.clone();
+        assert_eq!(stored, fresh);
+        stored.perturb_for_fault();
+        assert_ne!(stored, fresh, "perturbation must be visible to verification");
+    }
+}

@@ -14,10 +14,10 @@ use crate::index::SecondaryIndex;
 use crate::stats::{default_stats_workers, TableStats};
 use crate::table::Table;
 use crate::EngineError;
-use mpq_core::{CoreError, DeriveOptions, Envelope, EnvelopeProvider};
+use mpq_core::{CoreError, DeriveOptions, Envelope, EnvelopeProvider, ProxyScore};
 use mpq_types::{AttrId, ClassId, Member, Row};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// A registered mining model with its precomputed envelopes.
@@ -44,6 +44,18 @@ pub struct ModelEntry {
     /// recovery. Models created through SQL DDL or
     /// [`crate::Engine::register_durable_model`] always carry one.
     pub stored: Option<crate::persist::StoredModel>,
+    /// The tabulated proxy score for cascade evaluation, precomputed at
+    /// registration for additive-score families (NB/k-means/GMM);
+    /// `None` for families without one (their envelopes are exact
+    /// anyway). Executors re-verify this table against a fresh rebuild
+    /// before trusting it — see [`ModelEntry::cascade_note`].
+    pub proxy: Option<Arc<ProxyScore>>,
+    /// `Some(reason)` when the stored proxy failed its pre-execution
+    /// verification (e.g. under the injected cascade-band fault) and the
+    /// executor fell back to the sound scorer path for this model.
+    /// Cleared by the next successful cascade build. Interior-mutable
+    /// because executors only hold a shared catalog borrow.
+    pub cascade_note: Mutex<Option<String>>,
 }
 
 /// A registered table with statistics and any secondary indexes.
@@ -214,6 +226,7 @@ impl Catalog {
             Ok(envs) => (envs, None),
             Err(reason) => (trivial_envelopes(&model), Some(reason)),
         };
+        let proxy = model.proxy().map(Arc::new);
         self.models.push(ModelEntry {
             name,
             model,
@@ -222,6 +235,8 @@ impl Catalog {
             derive_opts: opts,
             degraded,
             stored,
+            proxy,
+            cascade_note: Mutex::new(None),
         });
         Ok(self.models.len() - 1)
     }
@@ -275,11 +290,13 @@ impl Catalog {
         };
         let entry = &mut self.models[id];
         entry.envelopes = envelopes;
+        entry.proxy = model.proxy().map(Arc::new);
         entry.model = model;
         entry.version += 1;
         entry.derive_opts = opts;
         entry.degraded = degraded;
         entry.stored = stored;
+        entry.cascade_note = Mutex::new(None);
         Ok(())
     }
 

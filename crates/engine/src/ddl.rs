@@ -11,7 +11,7 @@
 use crate::persist::StoredModel;
 use crate::sql::ModelAlgorithm;
 use crate::{Catalog, EngineError};
-use mpq_core::{DeriveOptions, Envelope, EnvelopeProvider};
+use mpq_core::{DeriveOptions, Envelope, EnvelopeProvider, ProxyScore};
 use mpq_pmml::PmmlModel;
 use mpq_models::{
     Classifier, DecisionTree, Gmm, GmmParams, KMeans, KMeansParams, NaiveBayes, RuleSet,
@@ -99,6 +99,14 @@ impl EnvelopeProvider for ProjectedModel {
         // Forward the fallible path so a time budget on the inner
         // derivation propagates (and degradation can kick in upstream).
         Ok(self.lift(self.inner.try_envelope(class, opts)?))
+    }
+
+    fn proxy(&self) -> Option<ProxyScore> {
+        // Mirror `lift`: the label dimension joins the table with
+        // all-zero contributions, so full-row decisions equal the inner
+        // model's decisions on projected rows.
+        let card = self.full_schema.attrs()[self.label].domain.cardinality();
+        Some(self.inner.proxy()?.with_zero_dim(self.label, card.into()))
     }
 }
 
@@ -320,6 +328,39 @@ mod tests {
         let env = &cat.model(id).envelopes[1];
         assert!(env.matches(&[1, 1, 0]) && env.matches(&[1, 1, 1]));
         assert!(!env.matches(&[0, 0, 0]));
+    }
+
+    #[test]
+    fn projected_model_lifts_the_inner_proxy() {
+        let mut cat = catalog_with_training_table();
+        let label = cat.table(0).table.schema().attr_by_name("outcome").unwrap();
+        let (id, _) = create_model(
+            &mut cat,
+            "m",
+            0,
+            Some(label),
+            None,
+            ModelAlgorithm::NaiveBayes,
+            DeriveOptions::default(),
+        )
+        .unwrap();
+        let model = &cat.model(id).model;
+        let proxy = model.proxy().expect("projected additive model must tabulate a proxy");
+        assert_eq!(proxy.n_dims(), 3, "lifted proxy covers the full schema, label included");
+        for x in 0..2u16 {
+            for f in 0..2u16 {
+                // The label column must not influence the decision...
+                assert_eq!(proxy.decide(&[x, f, 0]), proxy.decide(&[x, f, 1]));
+                for y in 0..2u16 {
+                    // ...and unique decisions must be the model's
+                    // prediction on the full row.
+                    let row = [x, f, y];
+                    if let mpq_core::ProxyDecision::Unique(c) = proxy.decide(&row) {
+                        assert_eq!(c, model.predict(&row), "row {row:?}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -143,6 +143,18 @@ pub fn plan_to_string(plan: &Plan, schema: &Schema, catalog: &Catalog) -> String
             plan.est_pages_skipped
         ));
     }
+    if !plan.compiled_exact.is_empty() {
+        let names: Vec<&str> =
+            plan.compiled_exact.iter().map(|m| catalog.model(*m).name.as_str()).collect();
+        text.push_str(&format!("\n  compiled: exact ({})", names.join(", ")));
+    }
+    for (m, band) in &plan.cascades {
+        text.push_str(&format!(
+            "\n  cascade: model '{}' band ~{:.1}%",
+            catalog.model(*m).name,
+            band * 100.0
+        ));
+    }
     for m in &plan.degraded_models {
         let entry = catalog.model(*m);
         let reason = entry.degraded.as_deref().unwrap_or("unknown");

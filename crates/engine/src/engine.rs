@@ -23,7 +23,7 @@ use crate::persist::recovery::{self, Recovered};
 use crate::persist::replicate::{self, ReplBatch, ReplRole, ReplStatus};
 use crate::persist::wal::WalWriter;
 use crate::persist::{snapshot, LogOp, RecoveryReport, StatementId, StoredModel};
-use crate::rewrite::rewrite_mining;
+use crate::rewrite::rewrite_mining_opts;
 use crate::session::SessionState;
 use crate::sql::{parse, parse_statement, Statement};
 use crate::table::{RowId, Table};
@@ -157,6 +157,11 @@ pub struct ModelHealth {
     pub n_envelopes: usize,
     /// How many of those are exact (tight) envelopes.
     pub exact_envelopes: usize,
+    /// `Some(note)` when the model's proxy cascade was disabled because
+    /// its stored table failed verification against a fresh rebuild
+    /// (e.g. under the injected cascade-band fault); queries still run
+    /// on the sound envelope+residual scorer path.
+    pub cascade_note: Option<String>,
 }
 
 /// Engine-wide health report: per-model envelope status plus catalog
@@ -218,6 +223,9 @@ impl std::fmt::Display for EngineHealth {
                     "model '{}' v{}: healthy; {} envelopes ({} exact)",
                     m.name, m.version, m.n_envelopes, m.exact_envelopes
                 )?,
+            }
+            if let Some(note) = &m.cascade_note {
+                writeln!(f, "  {note}")?;
             }
         }
         Ok(())
@@ -840,6 +848,11 @@ impl Engine {
                     degraded: e.degraded.clone(),
                     n_envelopes: e.envelopes.len(),
                     exact_envelopes: e.envelopes.iter().filter(|env| env.exact).count(),
+                    cascade_note: e
+                        .cascade_note
+                        .lock()
+                        .unwrap_or_else(|err| err.into_inner())
+                        .clone(),
                 }
             })
             .collect();
@@ -900,6 +913,15 @@ impl Engine {
     /// between the optimized path and the black-box baseline.
     pub fn set_use_envelopes(&self, on: bool) {
         self.opts.write().unwrap_or_else(|e| e.into_inner()).use_envelopes = on;
+        self.lock_cache().clear();
+    }
+
+    /// Enables/disables model compilation (exact-envelope predicate
+    /// substitution and proxy cascades). Off = the envelope+residual
+    /// reference path every compiled plan is differentially tested
+    /// against.
+    pub fn set_compile_models(&self, on: bool) {
+        self.opts.write().unwrap_or_else(|e| e.into_inner()).compile_models = on;
         self.lock_cache().clear();
     }
 
@@ -988,7 +1010,14 @@ impl Engine {
         let catalog = self.read_catalog();
         let opts = self.options();
         let parsed = parse(sql, &catalog)?;
-        let cache_key = format!("{}|env={}", sql.trim(), opts.use_envelopes);
+        // The effective compile flag is part of the key: arming a scorer
+        // fault must not reuse a plan whose models were compiled away.
+        // (The cascade-perturbation fault needs no key bit: it is applied
+        // and caught by verification at *execution* time, so a cached
+        // plan's cascade annotations stay correct either way.)
+        let compile = opts.compile_models && !catalog.faults().any_scorer_fault_armed();
+        let cache_key =
+            format!("{}|env={}|cmp={}", sql.trim(), opts.use_envelopes, compile);
         let (plan, cached) = {
             // The cache mutex is held while planning: cheap, and it
             // guarantees a stale plan can never be inserted over a
@@ -1345,6 +1374,11 @@ fn checked_index_target(
 
 /// Rewrites and plans a predicate against an already-locked catalog
 /// (keeping planning lock-free avoids re-entrant catalog acquisition).
+///
+/// Model compilation is gated twice: by the optimizer option, and by
+/// armed scorer faults — a fault targeting the scorer needs the scorer
+/// path live, so compilation (which would remove or bypass the scorer)
+/// is suspended while one is armed.
 fn plan_with(
     catalog: &Catalog,
     opts: &OptimizerOptions,
@@ -1352,12 +1386,31 @@ fn plan_with(
     predicate: Expr,
 ) -> Plan {
     let schema = catalog.table(table).table.schema().clone();
-    let rewritten = if opts.use_envelopes {
-        rewrite_mining(predicate, &schema, catalog)
+    let compile = opts.compile_models && !catalog.faults().any_scorer_fault_armed();
+    let (rewritten, compiled_exact) = if opts.use_envelopes {
+        let normalized = predicate.normalize(&schema);
+        let rewritten = rewrite_mining_opts(normalized.clone(), &schema, catalog, compile);
+        let compiled_exact = if compile {
+            crate::compile::compiled_out_models(&normalized, &rewritten)
+        } else {
+            Vec::new()
+        };
+        (rewritten, compiled_exact)
     } else {
-        predicate.normalize(&schema)
+        (predicate.normalize(&schema), Vec::new())
     };
-    choose_plan(rewritten, table, &schema, catalog, opts)
+    let eff = OptimizerOptions { compile_models: compile, ..*opts };
+    let mut plan = choose_plan(rewritten, table, &schema, catalog, &eff);
+    // Compiled-out models leave no mining predicate behind, but the
+    // compiled atoms were derived from the model: its version must still
+    // invalidate the cached plan on retrain.
+    for m in &compiled_exact {
+        if !plan.model_versions.iter().any(|(pm, _)| pm == m) {
+            plan.model_versions.push((*m, catalog.model(*m).version));
+        }
+    }
+    plan.compiled_exact = compiled_exact;
+    plan
 }
 
 fn plan_is_valid(plan: &Plan, catalog: &Catalog) -> bool {

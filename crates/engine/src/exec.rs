@@ -73,6 +73,18 @@ pub struct ExecMetrics {
     /// Model predictions answered from the scorer memo without running
     /// the model.
     pub memo_hits: u64,
+    /// Mining-predicate rows decided `true` by a proxy cascade's unique
+    /// argmax, without invoking the model or the memo.
+    pub cascade_accepts: u64,
+    /// Mining-predicate rows decided `false` by a proxy cascade's unique
+    /// argmax, without invoking the model or the memo.
+    pub cascade_rejects: u64,
+    /// Rows that fell in a cascade's uncertainty band (tied or
+    /// non-finite proxy scores) and were handed to the real scorer path.
+    pub band_rows: u64,
+    /// Wall-clock nanoseconds spent inside real model scoring calls
+    /// (memo misses only). Excluded from determinism oracles.
+    pub scorer_ns: u64,
     /// Rows in the result.
     pub output_rows: u64,
     /// Wall-clock execution time.
@@ -238,6 +250,17 @@ fn fill_row(table: &Table, row: RowId, buf: &mut [Member]) {
 fn sync_model_metrics(memo: &MemoScorer<'_>, m: &mut ExecMetrics) {
     m.model_invocations = memo.invocations();
     m.memo_hits = memo.hits();
+    m.cascade_accepts = memo.cascade_accepts();
+    m.cascade_rejects = memo.cascade_rejects();
+    m.band_rows = memo.band_rows();
+    m.scorer_ns = memo.scorer_ns();
+}
+
+/// The scorer memo for one execution of `plan`: cascade tables are
+/// built (and verified) from the plan's cascade annotations.
+fn memo_for_plan<'a>(plan: &Plan, catalog: &'a Catalog, opts: &ExecOptions) -> MemoScorer<'a> {
+    let models: Vec<crate::expr::ModelId> = plan.cascades.iter().map(|(m, _)| *m).collect();
+    MemoScorer::with_cascades(catalog, opts.memo_capacity, crate::compile::build_cascades(catalog, &models))
 }
 
 /// Charges `n` rows at once, tripping the rows budget at exactly the
@@ -274,7 +297,7 @@ fn execute_serial(
     let table = &entry.table;
     let io_stall = opts.io_stall;
     let faults = catalog.faults();
-    let memo = MemoScorer::new(catalog, opts.memo_capacity);
+    let memo = memo_for_plan(plan, catalog, opts);
     let schema = table.schema();
     let compiled = CompiledPredicate::compile(&plan.residual, schema);
     let compiled_skip =
@@ -568,7 +591,7 @@ fn execute_parallel(
     let table = &entry.table;
     let mut m = ExecMetrics::default();
     let io_stall = opts.io_stall;
-    let memo = MemoScorer::new(catalog, opts.memo_capacity);
+    let memo = memo_for_plan(plan, catalog, opts);
     let schema = table.schema();
     let compiled = CompiledPredicate::compile(&plan.residual, schema);
     let compiled_skip =
@@ -1202,6 +1225,9 @@ mod tests {
         assert_eq!(s.pages_skipped, p.pages_skipped);
         assert_eq!(s.model_invocations, p.model_invocations);
         assert_eq!(s.memo_hits, p.memo_hits);
+        assert_eq!(s.cascade_accepts, p.cascade_accepts);
+        assert_eq!(s.cascade_rejects, p.cascade_rejects);
+        assert_eq!(s.band_rows, p.band_rows);
         assert_eq!(s.output_rows, p.output_rows);
         assert_eq!(s.index_fallback, p.index_fallback);
         assert_eq!(s.guard.rows_remaining, p.guard.rows_remaining);

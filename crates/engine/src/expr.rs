@@ -146,6 +146,14 @@ pub trait ModelOracle {
     /// Maps member `m` of `column` to the model's class with the same
     /// label, if any (for `PREDICT(M) = column`).
     fn class_for_member(&self, model: ModelId, column: AttrId, m: Member) -> Option<ClassId>;
+    /// Evaluates `predict(model, row) ∈ accept`. The default scores the
+    /// row; oracles with a sound proxy cascade may answer set membership
+    /// without invoking the scorer when the proxy's argmax is unique
+    /// (see `ProxyScore`), which is why every mining predicate routes
+    /// through this set form instead of comparing `predict` directly.
+    fn predict_in(&self, model: ModelId, row: &Row, accept: &[ClassId]) -> bool {
+        accept.contains(&self.predict(model, row))
+    }
 }
 
 impl Expr {
@@ -180,12 +188,11 @@ impl Expr {
             Expr::Mining(mp) => match mp {
                 MiningPred::ClassEq { model, class } => {
                     *invocations += 1;
-                    oracle.predict(*model, row) == *class
+                    oracle.predict_in(*model, row, std::slice::from_ref(class))
                 }
                 MiningPred::ClassIn { model, classes } => {
                     *invocations += 1;
-                    let c = oracle.predict(*model, row);
-                    classes.contains(&c)
+                    oracle.predict_in(*model, row, classes)
                 }
                 MiningPred::ModelsAgree { m1, m2 } => {
                     *invocations += 2;
@@ -195,9 +202,14 @@ impl Expr {
                 }
                 MiningPred::ClassEqColumn { model, column } => {
                     *invocations += 1;
-                    let predicted = oracle.predict(*model, row);
-                    oracle.class_for_member(*model, *column, row[column.index()])
-                        == Some(predicted)
+                    match oracle.class_for_member(*model, *column, row[column.index()]) {
+                        Some(c) => oracle.predict_in(*model, row, std::slice::from_ref(&c)),
+                        // No class carries this member's label: the
+                        // equality cannot hold, but the row is still
+                        // scored (an empty accept set) so invocation
+                        // side effects don't silently vanish.
+                        None => oracle.predict_in(*model, row, &[]),
+                    }
                 }
             },
         }

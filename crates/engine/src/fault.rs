@@ -33,6 +33,7 @@ pub struct FaultInjector {
     /// Heap page whose scan should panic (both executors, any degree of
     /// parallelism); `NO_PAGE` when disarmed.
     scorer_panic_page: AtomicUsize,
+    cascade_band_perturb: AtomicBool,
     derive_timeout: AtomicBool,
     derive_grid_too_large: AtomicBool,
     wal_torn_write: AtomicBool,
@@ -56,6 +57,7 @@ impl Default for FaultInjector {
             scorer_panic: AtomicBool::new(false),
             scorer_panic_morsel: AtomicUsize::new(NO_MORSEL),
             scorer_panic_page: AtomicUsize::new(NO_PAGE),
+            cascade_band_perturb: AtomicBool::new(false),
             derive_timeout: AtomicBool::new(false),
             derive_grid_too_large: AtomicBool::new(false),
             wal_torn_write: AtomicBool::new(false),
@@ -145,6 +147,33 @@ impl FaultInjector {
     pub fn scorer_panic_page(&self) -> Option<usize> {
         let p = self.scorer_panic_page.load(Ordering::Relaxed);
         (p != NO_PAGE).then_some(p)
+    }
+
+    /// Arm/disarm cascade-band perturbation: when a query's cascade is
+    /// set up, the stored proxy table is corrupted first (simulating a
+    /// stale or bit-rotted table whose thresholds no longer match the
+    /// model). The executor's pre-trust verification must detect the
+    /// drift, skip the cascade for that model (sound scorer path), and
+    /// record a typed health note — never return a wrong row set.
+    /// Level-triggered: stays armed until disarmed.
+    pub fn set_cascade_band_perturb(&self, on: bool) {
+        self.cascade_band_perturb.store(on, Ordering::Relaxed);
+    }
+
+    /// True when cascade setup should perturb the stored proxy.
+    pub fn cascade_band_perturb_armed(&self) -> bool {
+        self.cascade_band_perturb.load(Ordering::Relaxed)
+    }
+
+    /// True when any fault that fires inside the model scorer is armed.
+    /// Executors keep the real scorer path live in that case (no
+    /// cascade short-circuit) so the armed fault has a target — the
+    /// same reasoning that makes index faults fall back to full scans.
+    pub fn any_scorer_fault_armed(&self) -> bool {
+        self.scorer_nan_armed()
+            || self.scorer_panic_armed()
+            || self.scorer_panic_morsel().is_some()
+            || self.scorer_panic_page().is_some()
     }
 
     /// Arm/disarm forced derivation timeouts. Armed, envelope
@@ -375,6 +404,7 @@ impl FaultInjector {
         self.set_scorer_panic(false);
         self.set_scorer_panic_on_morsel(None);
         self.set_scorer_panic_on_page(None);
+        self.set_cascade_band_perturb(false);
         self.set_derive_timeout(false);
         self.set_derive_grid_too_large(false);
         self.set_wal_torn_write(false);
@@ -397,6 +427,7 @@ impl FaultInjector {
             || self.scorer_panic_armed()
             || self.scorer_panic_morsel().is_some()
             || self.scorer_panic_page().is_some()
+            || self.cascade_band_perturb_armed()
             || self.derive_timeout_armed()
             || self.derive_grid_too_large_armed()
             || self.wal_torn_write_armed()

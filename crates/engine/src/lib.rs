@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 mod catalog;
+mod compile;
 mod ddl;
 mod dedup;
 mod display;
@@ -60,7 +61,7 @@ pub use optimizer::{
 };
 pub use persist::replicate::{decode_stream, encode_stream, ReplBatch, ReplRole, ReplStatus};
 pub use persist::{LogOp, RecoveryReport, StatementId, StoredModel};
-pub use rewrite::{envelope_expr_for, rewrite_mining};
+pub use rewrite::{envelope_expr_for, rewrite_mining, rewrite_mining_opts};
 pub use session::SessionState;
 pub use sql::{parse, parse_statement, ModelAlgorithm, ParsedQuery, Statement};
 pub use stats::{ColumnStats, TableStats};

@@ -63,6 +63,12 @@ pub struct OptimizerOptions {
     /// executor and never read, which makes scans over clustered
     /// selective members competitive with index seeks.
     pub use_zone_maps: bool,
+    /// Whether models may be compiled out of the query: exact envelopes
+    /// replace their mining predicate outright, and additive-score
+    /// models get a proxy cascade so only uncertainty-band rows reach
+    /// the real scorer. Off = the classic envelope+residual reference
+    /// path.
+    pub compile_models: bool,
     /// Cost constants.
     pub cost: CostModel,
 }
@@ -73,6 +79,7 @@ impl Default for OptimizerOptions {
             use_envelopes: true,
             max_union_disjuncts: 640,
             use_zone_maps: true,
+            compile_models: true,
             cost: CostModel::default(),
         }
     }
@@ -153,6 +160,16 @@ pub struct Plan {
     /// could not use envelope-driven access paths for them. Surfaced in
     /// EXPLAIN.
     pub degraded_models: Vec<ModelId>,
+    /// Models the rewrite compiled out of the query entirely (exact
+    /// envelopes): the executor never invokes them. Filled in by the
+    /// engine, which sees the pre-rewrite expression. Surfaced in
+    /// EXPLAIN as `compiled: exact`.
+    pub compiled_exact: Vec<ModelId>,
+    /// Residual mining models with a verified proxy cascade, paired with
+    /// the estimated fraction of rows falling in the uncertainty band
+    /// (the only rows that reach the real scorer). Surfaced in EXPLAIN
+    /// as `cascade: band ~N%`.
+    pub cascades: Vec<(ModelId, f64)>,
 }
 
 /// Estimates the selectivity of `expr` under attribute independence.
@@ -237,8 +254,28 @@ pub fn choose_plan(
         .collect();
 
     let sel = estimate_selectivity(&expr, stats, catalog);
-    let mining_count = expr.mining_preds().len() as f64;
-    let per_row_residual = cost.cpu_row + mining_count * cost.model_invoke;
+    // Residual mining models with a proxy table cascade: only the
+    // estimated uncertainty-band fraction of rows pays the real scorer.
+    let cascades: Vec<(ModelId, f64)> = if opts.compile_models {
+        model_versions
+            .iter()
+            .filter_map(|(m, _)| {
+                let proxy = catalog.model(*m).proxy.as_ref()?;
+                Some((*m, crate::compile::estimate_band_fraction(proxy, stats)))
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let invoke_frac = |m: &ModelId| -> f64 {
+        cascades.iter().find(|(cm, _)| cm == m).map_or(1.0, |(_, band)| *band)
+    };
+    let expected_invokes: f64 = expr
+        .mining_preds()
+        .iter()
+        .map(|mp| mp.models().iter().map(invoke_frac).sum::<f64>())
+        .sum();
+    let per_row_residual = cost.cpu_row + expected_invokes * cost.model_invoke;
 
     if expr == Expr::Const(false) {
         return Plan {
@@ -251,6 +288,8 @@ pub fn choose_plan(
             est_pages_skipped: 0,
             model_versions,
             degraded_models,
+            compiled_exact: Vec::new(),
+            cascades: Vec::new(),
         };
     }
 
@@ -276,6 +315,8 @@ pub fn choose_plan(
         est_pages_skipped,
         model_versions: model_versions.clone(),
         degraded_models: degraded_models.clone(),
+        compiled_exact: Vec::new(),
+        cascades: cascades.clone(),
     };
 
     // Fetch cost of `k` expected rows through an unclustered index:
@@ -303,6 +344,8 @@ pub fn choose_plan(
                 est_pages_skipped: 0,
                 model_versions: model_versions.clone(),
                 degraded_models: degraded_models.clone(),
+                compiled_exact: Vec::new(),
+                cascades: cascades.clone(),
             };
         }
     }
@@ -332,6 +375,8 @@ pub fn choose_plan(
                 est_pages_skipped: 0,
                 model_versions,
                 degraded_models,
+                compiled_exact: Vec::new(),
+                cascades,
             };
         }
     }

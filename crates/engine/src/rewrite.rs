@@ -21,7 +21,25 @@ use mpq_types::{ClassId, Schema};
 /// Rewrites `expr` (a predicate over `schema`) by augmenting every mining
 /// predicate with its upper envelope. The result is semantically
 /// equivalent: envelopes only ever *add* implied conjuncts.
+///
+/// This is the classic §4.2 envelope+residual rewrite — the reference
+/// form every compiled plan is checked against. Exact compilation is
+/// opt-in through [`rewrite_mining_opts`].
 pub fn rewrite_mining(expr: Expr, schema: &Schema, catalog: &Catalog) -> Expr {
+    rewrite_mining_opts(expr, schema, catalog, false)
+}
+
+/// [`rewrite_mining`] with exact model compilation optionally enabled:
+/// when `compile_models` is set, a mining predicate whose envelopes are
+/// all [`mpq_core::Envelope::exact`] is replaced by its envelope
+/// expression *alone* — the model is compiled out of the query and the
+/// executor never invokes it for that predicate.
+pub fn rewrite_mining_opts(
+    expr: Expr,
+    schema: &Schema,
+    catalog: &Catalog,
+    compile_models: bool,
+) -> Expr {
     // §4.2 step 1: normalize first.
     let mut expr = expr.normalize(schema);
     // Steps 2-3 loop: augment + transitivity until fixpoint (bounded —
@@ -32,7 +50,7 @@ pub fn rewrite_mining(expr: Expr, schema: &Schema, catalog: &Catalog) -> Expr {
         // Transitivity first: it pattern-matches flattened conjunctions,
         // which `augment` would re-nest.
         expr = transitivity(expr, schema, catalog);
-        expr = augment(expr, schema, catalog);
+        expr = augment(expr, schema, catalog, compile_models);
         expr = expr.normalize(schema);
         if expr == before {
             break;
@@ -115,8 +133,11 @@ fn common_classes(catalog: &Catalog, m1: ModelId, m2: ModelId) -> Vec<(ClassId, 
 }
 
 /// Replaces each mining predicate `m` with `m ∧ u` (or a constant when
-/// the envelope decides the predicate outright).
-fn augment(expr: Expr, schema: &Schema, catalog: &Catalog) -> Expr {
+/// the envelope decides the predicate outright). With `compile` set,
+/// exactly-enveloped predicates become `u` alone — see
+/// [`crate::compile::exactly_compiled`] for the per-variant soundness
+/// conditions.
+fn augment(expr: Expr, schema: &Schema, catalog: &Catalog, compile: bool) -> Expr {
     match expr {
         Expr::Mining(mp) => {
             let u = envelope_expr_for(&mp, schema, catalog).normalize(schema);
@@ -126,15 +147,23 @@ fn augment(expr: Expr, schema: &Schema, catalog: &Catalog) -> Expr {
                 (MiningPred::ModelsAgree { m1, m2 }, _) if m1 == m2 => Expr::Const(true),
                 // Unsatisfiable envelope: the predicate can never hold.
                 (_, Expr::Const(false)) => Expr::Const(false),
+                // Exact envelopes: `u ⇔ m`, so `u` replaces the mining
+                // predicate outright (this also upgrades a tautological
+                // exact envelope to TRUE rather than a model call).
+                _ if compile && crate::compile::exactly_compiled(&mp, catalog) => u,
                 // Tautological envelope adds nothing: keep the bare
                 // mining predicate (avoid bloating the expression).
                 (_, Expr::Const(true)) => Expr::Mining(mp),
                 _ => Expr::and(vec![Expr::Mining(mp), u]),
             }
         }
-        Expr::And(ps) => Expr::and(ps.into_iter().map(|p| augment(p, schema, catalog)).collect()),
-        Expr::Or(ps) => Expr::or(ps.into_iter().map(|p| augment(p, schema, catalog)).collect()),
-        Expr::Not(p) => Expr::Not(Box::new(augment(*p, schema, catalog))),
+        Expr::And(ps) => {
+            Expr::and(ps.into_iter().map(|p| augment(p, schema, catalog, compile)).collect())
+        }
+        Expr::Or(ps) => {
+            Expr::or(ps.into_iter().map(|p| augment(p, schema, catalog, compile)).collect())
+        }
+        Expr::Not(p) => Expr::Not(Box::new(augment(*p, schema, catalog, compile))),
         other => other,
     }
 }
@@ -340,6 +369,48 @@ mod tests {
         let id = cat.add_model("n", Arc::new(nb), DeriveOptions::default()).unwrap();
         let e = Expr::Mining(MiningPred::ClassEq { model: id, class: ClassId(1) });
         assert_eq!(rewrite_mining(e, &schema, &cat), Expr::Const(false));
+    }
+
+    #[test]
+    fn exact_compilation_drops_the_model_from_the_query() {
+        // A decision tree's extracted envelopes are exact, so the
+        // compiled rewrite must emit the pure data predicate — same
+        // semantics, zero model invocations by construction.
+        let schema = mpq_types::Schema::new(vec![
+            mpq_types::Attribute::new("a", mpq_types::AttrDomain::categorical(["f", "t"])),
+            mpq_types::Attribute::new("b", mpq_types::AttrDomain::categorical(["f", "t"])),
+        ])
+        .unwrap();
+        let mut ds = Dataset::new(schema.clone());
+        let mut labels = Vec::new();
+        for a in 0..2u16 {
+            for b in 0..2u16 {
+                for _ in 0..10 {
+                    ds.push_encoded(&[a, b]).unwrap();
+                    labels.push(ClassId(a ^ b));
+                }
+            }
+        }
+        let data =
+            mpq_types::LabeledDataset::new(ds, labels, vec!["zero".into(), "one".into()]).unwrap();
+        let tree =
+            mpq_models::DecisionTree::train(&data, mpq_models::TreeParams::default()).unwrap();
+        let mut cat = Catalog::new();
+        let id = cat.add_model("xor", Arc::new(tree), DeriveOptions::default()).unwrap();
+
+        let e = Expr::Mining(MiningPred::ClassEq { model: id, class: ClassId(1) });
+        let compiled = rewrite_mining_opts(e.clone(), &schema, &cat, true);
+        assert!(compiled.mining_preds().is_empty(), "model must be compiled out: {compiled:?}");
+        let reference = rewrite_mining(e.clone(), &schema, &cat);
+        assert!(!reference.mining_preds().is_empty(), "reference keeps the residual");
+        for a in 0..2u16 {
+            for b in 0..2u16 {
+                let row = [a, b];
+                let (mut i1, mut i2) = (0, 0);
+                assert_eq!(e.eval(&row, &cat, &mut i1), compiled.eval(&row, &cat, &mut i2));
+                assert_eq!(i2, 0, "compiled predicate invoked the model at {row:?}");
+            }
+        }
     }
 
     #[test]

@@ -30,10 +30,12 @@ use crate::catalog::Catalog;
 use crate::error::EngineError;
 use crate::expr::{Expr, ModelId, ModelOracle};
 use crate::table::{RowId, Table};
+use mpq_core::{ProxyDecision, ProxyScore};
 use mpq_types::{AttrId, ClassId, Member, MemberSet, Row, Schema};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 /// Default capacity (in cached `(model, tuple)` entries) of the scorer
 /// memo. Tuples are a handful of `u16`s, so even the full cache is a
@@ -114,11 +116,82 @@ fn compile_node(expr: &Expr, schema: &Schema) -> CompiledNode {
             let card = schema.attr(a.attr).domain.cardinality();
             CompiledNode::Col { col: a.attr.index(), mask: a.pred.member_set(card) }
         }
-        Expr::And(ps) => CompiledNode::And(ps.iter().map(|p| compile_node(p, schema)).collect()),
-        Expr::Or(ps) => CompiledNode::Or(ps.iter().map(|p| compile_node(p, schema)).collect()),
+        Expr::And(ps) => {
+            let mut kids: Vec<CompiledNode> =
+                ps.iter().map(|p| compile_node(p, schema)).collect();
+            order_children(&mut kids, true);
+            CompiledNode::And(kids)
+        }
+        Expr::Or(ps) => {
+            let mut kids: Vec<CompiledNode> =
+                ps.iter().map(|p| compile_node(p, schema)).collect();
+            order_children(&mut kids, false);
+            CompiledNode::Or(kids)
+        }
         // Mining predicates and NOT (normalize pushes NOT down to atoms
         // except over mining predicates) stay scalar.
         other => CompiledNode::Scalar(other.clone()),
+    }
+}
+
+/// Estimated fraction of a uniform domain a node matches: mask density
+/// for column leaves, independence products for the connectives.
+/// `Scalar` leaves report 1.0 so they never look cheaper than a column
+/// filter.
+fn match_density(node: &CompiledNode) -> f64 {
+    match node {
+        CompiledNode::Const(b) => f64::from(u8::from(*b)),
+        CompiledNode::Col { mask, .. } => {
+            if mask.domain() == 0 {
+                0.0
+            } else {
+                f64::from(mask.len()) / f64::from(mask.domain())
+            }
+        }
+        CompiledNode::And(ps) => ps.iter().map(match_density).product(),
+        CompiledNode::Or(ps) => {
+            1.0 - ps.iter().map(|p| 1.0 - match_density(p)).product::<f64>()
+        }
+        CompiledNode::Scalar(_) => 1.0,
+    }
+}
+
+fn has_scalar(node: &CompiledNode) -> bool {
+    match node {
+        CompiledNode::Scalar(_) => true,
+        CompiledNode::And(ps) | CompiledNode::Or(ps) => ps.iter().any(has_scalar),
+        _ => false,
+    }
+}
+
+/// Reorders each maximal run of consecutive scalar-free children by
+/// estimated match density: ascending for `And` (most selective filter
+/// narrows the selection first), descending for `Or` (largest disjunct
+/// shrinks the not-yet-matched set first). Scalar-bearing children never
+/// move, and pure filters never cross one, so the row set reaching every
+/// scalar leaf — and with it model-invocation accounting against the
+/// row-at-a-time reference — is unchanged: permuting pure filters within
+/// a run cannot change what survives (or matches out of) the run.
+fn order_children(children: &mut [CompiledNode], ascending: bool) {
+    let mut i = 0;
+    while i < children.len() {
+        if has_scalar(&children[i]) {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < children.len() && !has_scalar(&children[j]) {
+            j += 1;
+        }
+        children[i..j].sort_by(|a, b| {
+            let (da, db) = (match_density(a), match_density(b));
+            if ascending {
+                da.total_cmp(&db)
+            } else {
+                db.total_cmp(&da)
+            }
+        });
+        i = j;
     }
 }
 
@@ -270,6 +343,16 @@ pub(crate) struct MemoScorer<'a> {
     memo: RwLock<MemoState>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Verified proxy cascades, indexed by model id (`None` = the plan
+    /// enabled no cascade for this model, or verification rejected it).
+    /// Living on the shared oracle means the scalar reference, the
+    /// vectorized executor, and every parallel worker make identical
+    /// cascade decisions — the differential oracles hold for free.
+    cascades: Vec<Option<Arc<ProxyScore>>>,
+    cascade_accepts: AtomicU64,
+    cascade_rejects: AtomicU64,
+    band_rows: AtomicU64,
+    scorer_ns: AtomicU64,
 }
 
 struct MemoState {
@@ -278,13 +361,25 @@ struct MemoState {
 }
 
 impl<'a> MemoScorer<'a> {
-    pub(crate) fn new(catalog: &'a Catalog, capacity: usize) -> MemoScorer<'a> {
+    /// A memo scorer with proxy cascades enabled for the models carrying
+    /// `Some` entries (index = model id). Callers build the vector via
+    /// [`crate::compile::build_cascades`], which verifies each table.
+    pub(crate) fn with_cascades(
+        catalog: &'a Catalog,
+        capacity: usize,
+        cascades: Vec<Option<Arc<ProxyScore>>>,
+    ) -> MemoScorer<'a> {
         MemoScorer {
             catalog,
             capacity,
             memo: RwLock::new(MemoState { per_model: Vec::new(), len: 0 }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            cascades,
+            cascade_accepts: AtomicU64::new(0),
+            cascade_rejects: AtomicU64::new(0),
+            band_rows: AtomicU64::new(0),
+            scorer_ns: AtomicU64::new(0),
         }
     }
 
@@ -297,13 +392,45 @@ impl<'a> MemoScorer<'a> {
     pub(crate) fn invocations(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Rows whose mining predicate the cascade answered positively.
+    pub(crate) fn cascade_accepts(&self) -> u64 {
+        self.cascade_accepts.load(Ordering::Relaxed)
+    }
+
+    /// Rows whose mining predicate the cascade answered negatively.
+    pub(crate) fn cascade_rejects(&self) -> u64 {
+        self.cascade_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Rows inside the proxy's uncertainty band (fell through to the
+    /// memo/scorer path).
+    pub(crate) fn band_rows(&self) -> u64 {
+        self.band_rows.load(Ordering::Relaxed)
+    }
+
+    /// Wall nanoseconds spent inside the real scorer (memo misses only).
+    pub(crate) fn scorer_ns(&self) -> u64 {
+        self.scorer_ns.load(Ordering::Relaxed)
+    }
+
+    /// The timed catalog scorer call shared by every miss path.
+    fn scored_predict(&self, model: ModelId, row: &Row) -> ClassId {
+        let t0 = Instant::now();
+        let c = self.catalog.predict(model, row);
+        self.scorer_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        c
+    }
 }
 
-impl ModelOracle for MemoScorer<'_> {
-    fn predict(&self, model: ModelId, row: &Row) -> ClassId {
+impl MemoScorer<'_> {
+    /// The memo/scorer path without the cascade front end: called for
+    /// band rows (already counted by the caller) and for models with no
+    /// verified proxy.
+    fn predict_via_memo(&self, model: ModelId, row: &Row) -> ClassId {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            return self.catalog.predict(model, row);
+            return self.scored_predict(model, row);
         }
         {
             let state = self.memo.read().unwrap_or_else(|e| e.into_inner());
@@ -320,7 +447,7 @@ impl ModelOracle for MemoScorer<'_> {
         // Counted before the (possibly panicking) model runs, matching
         // the reference interpreter's increment-then-predict order.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let c = self.catalog.predict(model, row);
+        let c = self.scored_predict(model, row);
         if state.len < self.capacity {
             if state.per_model.len() <= model {
                 state.per_model.resize_with(model + 1, ModelMemo::new);
@@ -330,10 +457,55 @@ impl ModelOracle for MemoScorer<'_> {
         }
         c
     }
+}
+
+impl ModelOracle for MemoScorer<'_> {
+    fn predict(&self, model: ModelId, row: &Row) -> ClassId {
+        // A unique proxy argmax IS the model's prediction (bit-identical
+        // score tables), so `ModelsAgree`-style direct predictions ride
+        // the cascade too. Only tied rows — the band — reach the
+        // memo/scorer path, and they are counted here so `band_rows`
+        // equals the fallback-scorer set on every query shape.
+        if let Some(Some(proxy)) = self.cascades.get(model) {
+            match proxy.decide(row) {
+                ProxyDecision::Unique(c) => return c,
+                ProxyDecision::Band => {
+                    self.band_rows.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.predict_via_memo(model, row)
+    }
 
     fn class_for_member(&self, model: ModelId, column: AttrId, m: Member) -> Option<ClassId> {
         // Pure metadata lookup — not an invocation; no memo needed.
         self.catalog.class_for_member(model, column, m)
+    }
+
+    fn predict_in(&self, model: ModelId, row: &Row, accept: &[ClassId]) -> bool {
+        if let Some(Some(proxy)) = self.cascades.get(model) {
+            match proxy.decide(row) {
+                // A unique proxy argmax IS the model's prediction
+                // (bit-identical score tables): answer membership
+                // without scoring, memoizing, or counting an invocation.
+                ProxyDecision::Unique(c) => {
+                    let hit = accept.contains(&c);
+                    if hit {
+                        self.cascade_accepts.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.cascade_rejects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return hit;
+                }
+                // Tied scores: only the model's tie-break can decide.
+                // Counted here, so the fallback must skip the cascade
+                // front end (`predict` would count the band row twice).
+                ProxyDecision::Band => {
+                    self.band_rows.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        accept.contains(&self.predict_via_memo(model, row))
     }
 }
 

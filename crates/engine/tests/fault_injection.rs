@@ -369,6 +369,10 @@ fn guard_trips_each_resource_with_typed_error() {
     let trip = |guard: QueryGuard, sql: &str, envelopes: bool| -> EngineError {
         let e = engine();
         e.set_use_envelopes(envelopes);
+        // The proxy cascade would satisfy most rows without a real
+        // invocation; this test is about budget enforcement, so pin
+        // the classic one-invocation-per-row path.
+        e.set_compile_models(false);
         e.set_guard(guard);
         e.query(sql).expect_err("guard must trip")
     };
@@ -398,6 +402,52 @@ fn guard_trips_each_resource_with_typed_error() {
     // A zero deadline trips on wall clock.
     let err = trip(QueryGuard::default().with_deadline(Duration::ZERO), sql, false);
     assert_eq!(resource(err), GuardResource::WallClock);
+}
+
+/// A perturbed proxy table must never change a row set: the always-on
+/// verification against a fresh rebuild catches the corruption, the
+/// engine degrades to the sound envelope+residual scorer path, and the
+/// disablement is visible as a typed health note. Clearing the fault
+/// restores the cascade and clears the note.
+#[test]
+fn cascade_band_fault_degrades_to_sound_scorer_path() {
+    let e = engine();
+    e.set_use_envelopes(false); // full scan → every row reaches the scorer
+    let sql = "SELECT * FROM t WHERE PREDICT(m) = 'c1'";
+    let healthy = e.query(sql).unwrap();
+    let m = &healthy.metrics;
+    assert!(
+        m.cascade_accepts + m.cascade_rejects + m.band_rows > 0,
+        "fixture must exercise the cascade"
+    );
+
+    e.fault_injector().set_cascade_band_perturb(true);
+    let degraded = e.query(sql).unwrap();
+    // Never a wrong row set.
+    assert_eq!(degraded.rows, healthy.rows, "degradation must keep the row set sound");
+    // The perturbed table fails verification, so no cascade decisions
+    // are made at all — every row goes to the real scorer.
+    assert_eq!(degraded.metrics.cascade_accepts, 0);
+    assert_eq!(degraded.metrics.cascade_rejects, 0);
+    assert_eq!(degraded.metrics.band_rows, 0);
+    assert_eq!(
+        degraded.metrics.model_invocations + degraded.metrics.memo_hits,
+        degraded.metrics.rows_examined,
+        "fallback path must score every examined row"
+    );
+    // The disablement is a typed health note, not a silent downgrade.
+    let health = e.health();
+    let note = health.models[0].cascade_note.as_deref().expect("health must carry the note");
+    assert!(note.contains("failed verification"), "note: {note}");
+    assert!(health.to_string().contains(note), "display must surface the note");
+
+    // Clearing the fault restores the cascade and clears the note.
+    e.fault_injector().reset();
+    let recovered = e.query(sql).unwrap();
+    assert_eq!(recovered.rows, healthy.rows);
+    let rm = &recovered.metrics;
+    assert!(rm.cascade_accepts + rm.cascade_rejects + rm.band_rows > 0);
+    assert_eq!(e.health().models[0].cascade_note, None, "recovery must clear the note");
 }
 
 #[test]

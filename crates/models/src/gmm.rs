@@ -181,6 +181,15 @@ impl Gmm {
         self.log_tau[k.index()] + log_gauss(x, &self.means[k.index()], &self.vars[k.index()])
     }
 
+    /// The additive log-density contribution of dimension `d` at
+    /// coordinate `x` to component `k`'s score. `log f_k` is exactly the
+    /// dimension-order sum of these terms, which is what lets
+    /// proxy-score compilation tabulate per-member contributions that
+    /// reproduce the scorer bit-for-bit.
+    pub fn dim_score(&self, k: ClassId, d: usize, x: f64) -> f64 {
+        gauss_term(x, self.means[k.index()][d], self.vars[k.index()][d])
+    }
+
     /// Assigns a raw point to the maximum-posterior component.
     pub fn assign_raw(&self, x: &[f64]) -> ClassId {
         let mut best = ClassId(0);
@@ -197,10 +206,14 @@ impl Gmm {
     }
 }
 
+fn gauss_term(x: f64, mean: f64, var: f64) -> f64 {
+    -0.5 * (LOG_2PI + var.ln()) - (x - mean).powi(2) / (2.0 * var)
+}
+
 fn log_gauss(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
     let mut s = 0.0;
     for d in 0..x.len() {
-        s += -0.5 * (LOG_2PI + var[d].ln()) - (x[d] - mean[d]).powi(2) / (2.0 * var[d]);
+        s += gauss_term(x[d], mean[d], var[d]);
     }
     s
 }

@@ -218,18 +218,31 @@ impl KMeans {
     /// weighted distance (quadratic on ordered dims, mismatch on
     /// categorical dims); assignment is argmax, ties to the lower id.
     pub fn score_raw(&self, x: &[f64], k: ClassId) -> f64 {
-        let (c, w) = (&self.centroids[k.index()], &self.weights[k.index()]);
         let mut s = 0.0;
-        for d in 0..x.len() {
-            if self.categorical[d] {
-                if x[d] != c[d] {
-                    s -= w[d];
-                }
-            } else {
-                s -= w[d] * (x[d] - c[d]) * (x[d] - c[d]);
-            }
+        for (d, &xd) in x.iter().enumerate() {
+            s += self.dim_score(k, d, xd);
         }
         s
+    }
+
+    /// The additive contribution of dimension `d` at coordinate `x` to
+    /// cluster `k`'s score. `score_raw` is exactly the dimension-order
+    /// sum of these terms, which is what lets proxy-score compilation
+    /// tabulate per-member contributions that reproduce the scorer
+    /// bit-for-bit (a categorical match contributes literal `0.0`;
+    /// partial sums start at `+0.0` and only ever add non-positive
+    /// terms, so they can never be `-0.0` and `s + 0.0 == s` exactly).
+    pub fn dim_score(&self, k: ClassId, d: usize, x: f64) -> f64 {
+        let (c, w) = (self.centroids[k.index()][d], self.weights[k.index()][d]);
+        if self.categorical[d] {
+            if x != c {
+                -w
+            } else {
+                0.0
+            }
+        } else {
+            -(w * (x - c) * (x - c))
+        }
     }
 
     /// Assigns a raw point to its cluster.
@@ -251,15 +264,21 @@ impl KMeans {
 /// Embeds an encoded row: ordered dims through bin representatives,
 /// categorical dims as their member index.
 pub(crate) fn embed(schema: &Schema, row: &Row) -> Vec<f64> {
-    row.iter()
-        .enumerate()
-        .map(|(d, &m)| match &schema.attrs()[d].domain {
-            AttrDomain::Binned { .. } => {
-                schema.attrs()[d].domain.bin_representative(m).expect("ordered attr")
-            }
-            AttrDomain::Categorical { .. } => m as f64,
-        })
-        .collect()
+    row.iter().enumerate().map(|(d, &m)| embed_member(schema, d, m)).collect()
+}
+
+/// The embedded coordinate of member `m` on dimension `d` — the exact
+/// per-dimension mapping the clusterers apply to encoded rows before
+/// scoring (bin representative for ordered dims, the member index for
+/// categorical ones). Public so proxy-score compilation tabulates
+/// per-member scores through the same embedding the scorer uses.
+pub fn embed_member(schema: &Schema, d: usize, m: u16) -> f64 {
+    match &schema.attrs()[d].domain {
+        AttrDomain::Binned { .. } => {
+            schema.attrs()[d].domain.bin_representative(m).expect("ordered attr")
+        }
+        AttrDomain::Categorical { .. } => m as f64,
+    }
 }
 
 fn kmeanspp_init(

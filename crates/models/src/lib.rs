@@ -34,7 +34,7 @@ mod rules;
 pub use boundary::BoundaryClustering;
 pub use decision_tree::{DecisionTree, Node, Split, TreeParams};
 pub use gmm::{Gmm, GmmParams};
-pub use kmeans::{KMeans, KMeansParams};
+pub use kmeans::{embed_member, KMeans, KMeansParams};
 pub use naive_bayes::NaiveBayes;
 pub use rules::{Rule, RuleCond, RuleSet, RuleSetParams};
 

@@ -41,6 +41,7 @@ pub use admission::{AdmissionConfig, AdmissionController, AdmissionError, Admiss
 pub use protocol::{
     decode_frame, encode_frame, FrameError, Request, Response, ServerError,
     DEFAULT_MAX_FRAME_LEN, FRAME_HEADER_LEN, PROTO_VERSION, PROTO_VERSION_V3,
+    PROTO_VERSION_V4,
 };
 pub use replication::{start_shipper, PeerError, PeerState, ReplPeer, ShipperConfig, ShipperHandle};
 pub use server::{DrainReport, Server, ServerConfig};

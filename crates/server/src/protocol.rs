@@ -69,11 +69,19 @@ use std::time::Duration;
 /// `Inserted` outcome; version 4 added the replication channel
 /// (`ReplState`/`ReplAppend`/`ReplSnapshot`/`Promote`), the
 /// role/epoch/lag tail on `Health`, and the read-only/stale-epoch
-/// errors. A v4 server still accepts [`PROTO_VERSION_V3`] hellos and
-/// answers them with v3-shaped frames.
-pub const PROTO_VERSION: u32 = 4;
+/// errors; version 5 added the cascade metrics tail on query outcomes
+/// (`cascade_accepts`/`cascade_rejects`/`band_rows`/`scorer_ns`) and
+/// the per-model `cascade_note` tail on `Health`. A v5 server still
+/// accepts [`PROTO_VERSION_V4`] and [`PROTO_VERSION_V3`] hellos and
+/// answers them with frames of the matching shape.
+pub const PROTO_VERSION: u32 = 5;
 
 /// The previous protocol version, still accepted by the server's
+/// handshake. A v4 peer understands the replication channel but not
+/// the cascade tails.
+pub const PROTO_VERSION_V4: u32 = 4;
+
+/// The oldest protocol version still accepted by the server's
 /// handshake and used by the client's fallback hello.
 pub const PROTO_VERSION_V3: u32 = 3;
 
@@ -439,10 +447,18 @@ fn get_metrics(r: &mut WireReader<'_>) -> Result<ExecMetrics, WireError> {
             time_remaining_ms: get_opt_u64(r)?,
         },
         index_fallback: r.get_bool()?,
+        // The cascade counters travel in the v5 tail of the query
+        // outcome (after `cached_plan`), so a v4 decoder — which
+        // rejects trailing bytes — keeps working against this layout.
+        ..ExecMetrics::default()
     })
 }
 
-fn put_query_outcome(w: &mut WireWriter, q: &QueryOutcome) {
+/// Encodes a query outcome. The cascade metrics
+/// (`cascade_accepts`/`cascade_rejects`/`band_rows`/`scorer_ns`) ride
+/// as a v5 tail after `cached_plan`; a v4 peer's decoder rejects
+/// trailing bytes, so the tail is omitted for it.
+fn put_query_outcome(w: &mut WireWriter, q: &QueryOutcome, proto_version: u32) {
     w.put_u32(q.rows.len() as u32);
     for &row in &q.rows {
         w.put_u32(row);
@@ -451,8 +467,17 @@ fn put_query_outcome(w: &mut WireWriter, q: &QueryOutcome) {
     w.put_str(&q.plan);
     w.put_bool(q.plan_changed);
     w.put_bool(q.cached_plan);
+    if proto_version >= PROTO_VERSION {
+        w.put_u64(q.metrics.cascade_accepts);
+        w.put_u64(q.metrics.cascade_rejects);
+        w.put_u64(q.metrics.band_rows);
+        w.put_u64(q.metrics.scorer_ns);
+    }
 }
 
+/// Decodes a query outcome from either shape: bytes remaining after
+/// `cached_plan` are the v5 cascade tail; none remaining (a v4 server
+/// answered) leaves the cascade counters at their zero defaults.
 fn get_query_outcome(r: &mut WireReader<'_>) -> Result<QueryOutcome, WireError> {
     let n = r.get_u32()? as usize;
     // Bound the allocation by what the buffer could actually hold.
@@ -460,13 +485,20 @@ fn get_query_outcome(r: &mut WireReader<'_>) -> Result<QueryOutcome, WireError> 
         return Err(WireError::Truncated { at: r.position() });
     }
     let rows = (0..n).map(|_| r.get_u32()).collect::<Result<Vec<_>, _>>()?;
-    Ok(QueryOutcome {
+    let mut out = QueryOutcome {
         rows,
         metrics: get_metrics(r)?,
         plan: r.get_str()?,
         plan_changed: r.get_bool()?,
         cached_plan: r.get_bool()?,
-    })
+    };
+    if !r.is_exhausted() {
+        out.metrics.cascade_accepts = r.get_u64()?;
+        out.metrics.cascade_rejects = r.get_u64()?;
+        out.metrics.band_rows = r.get_u64()?;
+        out.metrics.scorer_ns = r.get_u64()?;
+    }
+    Ok(out)
 }
 
 fn put_recovery_report(w: &mut WireWriter, rep: &RecoveryReport) {
@@ -508,10 +540,11 @@ fn get_role(r: &mut WireReader<'_>) -> Result<ReplRole, WireError> {
     })
 }
 
-/// Encodes a health report. `include_repl` is false when answering a v3
-/// peer: that peer's decoder rejects trailing bytes, so the replication
-/// tail (role, epoch, lag) must be omitted for it.
-fn put_health(w: &mut WireWriter, h: &EngineHealth, include_repl: bool) {
+/// Encodes a health report at the peer's negotiated version. A v3
+/// peer's decoder rejects trailing bytes, so the v4 replication tail
+/// (role, epoch, lag) is omitted for it; likewise the v5 per-model
+/// `cascade_note` tail is omitted for v3 and v4 peers.
+fn put_health(w: &mut WireWriter, h: &EngineHealth, proto_version: u32) {
     w.put_u32(h.models.len() as u32);
     for m in &h.models {
         w.put_str(&m.name);
@@ -529,11 +562,16 @@ fn put_health(w: &mut WireWriter, h: &EngineHealth, include_repl: bool) {
         }
         None => w.put_bool(false),
     }
-    if include_repl {
+    if proto_version >= PROTO_VERSION_V4 {
         put_role(w, h.role);
         w.put_u64(h.epoch);
         put_opt_u64(w, h.replica_lag_records);
         put_opt_u64(w, h.replica_lag_bytes);
+    }
+    if proto_version >= PROTO_VERSION {
+        for m in &h.models {
+            put_opt_str(w, m.cascade_note.as_deref());
+        }
     }
 }
 
@@ -547,7 +585,7 @@ fn get_health(r: &mut WireReader<'_>) -> Result<EngineHealth, WireError> {
     if n > r.remaining() {
         return Err(WireError::Truncated { at: r.position() });
     }
-    let models = (0..n)
+    let mut models = (0..n)
         .map(|_| {
             Ok(ModelHealth {
                 name: r.get_str()?,
@@ -555,6 +593,7 @@ fn get_health(r: &mut WireReader<'_>) -> Result<EngineHealth, WireError> {
                 degraded: get_opt_str(r)?,
                 n_envelopes: r.get_u64()? as usize,
                 exact_envelopes: r.get_u64()? as usize,
+                cascade_note: None,
             })
         })
         .collect::<Result<Vec<_>, WireError>>()?;
@@ -566,6 +605,13 @@ fn get_health(r: &mut WireReader<'_>) -> Result<EngineHealth, WireError> {
     } else {
         (get_role(r)?, r.get_u64()?, get_opt_u64(r)?, get_opt_u64(r)?)
     };
+    // v5 appends one optional cascade note per model; a v4 or v3
+    // server stops before them and the notes stay `None`.
+    if !r.is_exhausted() {
+        for m in &mut models {
+            m.cascade_note = get_opt_str(r)?;
+        }
+    }
     Ok(EngineHealth {
         models,
         tables,
@@ -745,11 +791,11 @@ const OUTCOME_PARALLELISM_SET: u8 = 2;
 const OUTCOME_GUARD_SET: u8 = 3;
 const OUTCOME_INSERTED: u8 = 4;
 
-fn put_outcome(w: &mut WireWriter, o: &StatementOutcome) {
+fn put_outcome(w: &mut WireWriter, o: &StatementOutcome, proto_version: u32) {
     match o {
         StatementOutcome::Query(q) => {
             w.put_u8(OUTCOME_QUERY);
-            put_query_outcome(w, q);
+            put_query_outcome(w, q, proto_version);
         }
         StatementOutcome::ModelCreated { name, model, n_classes, degraded } => {
             w.put_u8(OUTCOME_MODEL_CREATED);
@@ -887,9 +933,11 @@ impl Response {
     }
 
     /// Serializes this response for a peer that negotiated
-    /// `proto_version`. A v3 peer's decoder rejects trailing bytes, so
-    /// the `Health` replication tail is only written for v4+ peers; all
-    /// other responses are shape-identical across versions.
+    /// `proto_version`. Older peers' decoders reject trailing bytes,
+    /// so the `Health` replication tail is only written for v4+ peers
+    /// and the cascade tails (query-outcome counters, per-model
+    /// `cascade_note`) only for v5+ peers; all other responses are
+    /// shape-identical across versions.
     pub fn encode_versioned(&self, proto_version: u32) -> Vec<u8> {
         let mut w = WireWriter::new();
         match self {
@@ -901,11 +949,11 @@ impl Response {
             }
             Response::Outcome(o) => {
                 w.put_u8(RESP_OUTCOME);
-                put_outcome(&mut w, o);
+                put_outcome(&mut w, o, proto_version);
             }
             Response::Health(h) => {
                 w.put_u8(RESP_HEALTH);
-                put_health(&mut w, h, proto_version >= PROTO_VERSION);
+                put_health(&mut w, h, proto_version);
             }
             Response::ShutdownStarted => w.put_u8(RESP_SHUTDOWN_STARTED),
             Response::Goodbye => w.put_u8(RESP_GOODBYE),
@@ -1030,6 +1078,10 @@ mod tests {
                 rows_examined: 40,
                 model_invocations: 12,
                 memo_hits: 28,
+                cascade_accepts: 9,
+                cascade_rejects: 13,
+                band_rows: 3,
+                scorer_ns: 4_200,
                 output_rows: 4,
                 elapsed: Duration::from_micros(1234),
                 guard: GuardHeadroom {
@@ -1051,6 +1103,7 @@ mod tests {
                 degraded: Some("derivation timeout".into()),
                 n_envelopes: 4,
                 exact_envelopes: 2,
+                cascade_note: Some("cascade disabled for model 'm': stored proxy table failed verification".into()),
             }],
             tables: 2,
             cached_plans: 5,
@@ -1147,6 +1200,68 @@ mod tests {
     }
 
     #[test]
+    fn outcome_downgrades_to_v4_shape_and_decodes_both_ways() {
+        let resp = Response::Outcome(StatementOutcome::Query(QueryOutcome {
+            rows: vec![2, 4],
+            metrics: ExecMetrics {
+                rows_examined: 10,
+                output_rows: 2,
+                cascade_accepts: 6,
+                cascade_rejects: 2,
+                band_rows: 2,
+                scorer_ns: 777,
+                ..ExecMetrics::default()
+            },
+            plan: "full scan".into(),
+            plan_changed: false,
+            cached_plan: false,
+        }));
+        // v5 encoding carries the cascade tail verbatim.
+        assert_eq!(Response::decode(&resp.encode_versioned(PROTO_VERSION)).unwrap(), resp);
+        // v4 encoding omits the tail (a v4 decoder rejects trailing
+        // bytes); our decoder fills the zero defaults back in.
+        let v4 = Response::decode(&resp.encode_versioned(PROTO_VERSION_V4)).unwrap();
+        let Response::Outcome(StatementOutcome::Query(q)) = v4 else {
+            panic!("not a query outcome")
+        };
+        assert_eq!(q.rows, vec![2, 4]);
+        assert_eq!(q.metrics.rows_examined, 10);
+        assert_eq!(q.metrics.cascade_accepts, 0);
+        assert_eq!(q.metrics.cascade_rejects, 0);
+        assert_eq!(q.metrics.band_rows, 0);
+        assert_eq!(q.metrics.scorer_ns, 0);
+        // And the v4 payload is strictly shorter.
+        assert!(
+            resp.encode_versioned(PROTO_VERSION_V4).len()
+                < resp.encode_versioned(PROTO_VERSION).len()
+        );
+        // A health report with models downgrades the same way: the v4
+        // shape keeps the replication tail but drops the notes.
+        let health = Response::Health(EngineHealth {
+            models: vec![ModelHealth {
+                name: "m".into(),
+                version: 1,
+                degraded: None,
+                n_envelopes: 2,
+                exact_envelopes: 2,
+                cascade_note: Some("disabled".into()),
+            }],
+            tables: 1,
+            cached_plans: 0,
+            recovery: None,
+            role: ReplRole::Standby,
+            epoch: 3,
+            replica_lag_records: None,
+            replica_lag_bytes: None,
+        });
+        assert_eq!(Response::decode(&health.encode_versioned(PROTO_VERSION)).unwrap(), health);
+        let v4 = Response::decode(&health.encode_versioned(PROTO_VERSION_V4)).unwrap();
+        let Response::Health(h) = v4 else { panic!("not a health response") };
+        assert_eq!(h.role, ReplRole::Standby, "v4 keeps the replication tail");
+        assert_eq!(h.models[0].cascade_note, None, "v4 drops the cascade notes");
+    }
+
+    #[test]
     fn truncated_payloads_fail_cleanly() {
         let resp = Response::Outcome(StatementOutcome::Query(QueryOutcome {
             rows: vec![3, 4, 5],
@@ -1156,8 +1271,16 @@ mod tests {
             cached_plan: true,
         }));
         let payload = resp.encode();
+        // The one prefix that is exactly the v4 shape (cascade tail
+        // absent) decodes by design — that is the downgrade path. Every
+        // other strict prefix must fail cleanly.
+        let v4_len = resp.encode_versioned(PROTO_VERSION_V4).len();
         for cut in 0..payload.len() {
-            assert!(Response::decode(&payload[..cut]).is_err(), "cut at {cut}");
+            if cut == v4_len {
+                assert!(Response::decode(&payload[..cut]).is_ok(), "v4-shaped cut at {cut}");
+            } else {
+                assert!(Response::decode(&payload[..cut]).is_err(), "cut at {cut}");
+            }
         }
     }
 }

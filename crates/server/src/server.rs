@@ -22,7 +22,7 @@
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionError};
 use crate::protocol::{
     decode_frame, encode_frame, FrameError, Request, Response, ServerError,
-    DEFAULT_MAX_FRAME_LEN, PROTO_VERSION, PROTO_VERSION_V3,
+    DEFAULT_MAX_FRAME_LEN, PROTO_VERSION, PROTO_VERSION_V3, PROTO_VERSION_V4,
 };
 use mpq_engine::{Engine, FaultInjector, SessionState, StatementId};
 use std::io::{self, Read, Write};
@@ -284,12 +284,15 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> ConnExit {
         Ok(None) => return ConnExit::Clean,
         Err(exit) => return exit,
     };
-    // The connection speaks the version the client asked for: v4
-    // natively, v3 for old clients (the only shape difference is the
-    // Health replication tail, which v3 responses omit).
+    // The connection speaks the version the client asked for: v5
+    // natively, v4/v3 for old clients (the shape differences are the
+    // Health replication tail, absent below v4, and the cascade
+    // tails, absent below v5 — older responses omit them).
     let proto = match hello {
         Request::Hello { proto_version, client: _ }
-            if proto_version == PROTO_VERSION || proto_version == PROTO_VERSION_V3 =>
+            if proto_version == PROTO_VERSION
+                || proto_version == PROTO_VERSION_V4
+                || proto_version == PROTO_VERSION_V3 =>
         {
             let session_id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
             let resp = Response::Hello {

@@ -1,0 +1,311 @@
+//! Cascade soundness oracle: the tabulated proxy score for the additive
+//! models (naive Bayes, k-means, GMM) must agree with the real scorer on
+//! every decided row — a `Unique` decision *is* the model's prediction —
+//! and the uncertainty band must be exactly the set of rows the
+//! executor falls back to the real scorer for. Execution through the
+//! cascade must be row-identical to the cascade-free reference at every
+//! degree of parallelism, with the memo cache on and off.
+
+use mining_predicates::prelude::*;
+use mpq_engine::{execute_opts, ExecOptions, ModelOracle, StatementOutcome};
+use mpq_core::{ProxyDecision, ProxyScore};
+use proptest::prelude::*;
+
+const DOPS: [usize; 4] = [1, 2, 4, 8];
+
+fn reference_opts() -> ExecOptions {
+    ExecOptions { parallelism: 1, vectorized: false, ..ExecOptions::default() }
+}
+
+/// Two categorical feature columns plus a label for the Bayes model.
+fn schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new("a", AttrDomain::categorical(["a0", "a1", "a2", "a3"])),
+        Attribute::new("b", AttrDomain::categorical(["b0", "b1", "b2"])),
+        Attribute::new("label", AttrDomain::categorical(["neg", "pos"])),
+    ])
+    .unwrap()
+}
+
+/// All-ordered companion schema for the Gaussian-mixture model.
+fn numeric_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new("x", AttrDomain::binned(vec![1.0, 2.0, 3.0]).unwrap()),
+        Attribute::new("y", AttrDomain::binned(vec![1.0, 2.0]).unwrap()),
+    ])
+    .unwrap()
+}
+
+/// Trains one model per additive-score algorithm over the generated
+/// rows: naive Bayes (model 0) and k-means (model 1) on `t`, a Gaussian
+/// mixture (model 2) on `tn`. Returns the engine; every model carries a
+/// stored proxy table built at registration.
+fn engine_with_models(extra: &[(u16, u16)]) -> Engine {
+    let mut ds = Dataset::new(schema());
+    let mut dsn = Dataset::new(numeric_schema());
+    for a in 0..4u16 {
+        for b in 0..3u16 {
+            for label in 0..2u16 {
+                ds.push_encoded(&[a, b, label]).unwrap();
+            }
+            dsn.push_encoded(&[a, b]).unwrap();
+        }
+    }
+    for &(a, b) in extra {
+        let label = u16::from(a >= 2 && b != 1);
+        ds.push_encoded(&[a, b, label]).unwrap();
+        dsn.push_encoded(&[a, b]).unwrap();
+    }
+    let mut cat = Catalog::new();
+    cat.add_table(Table::with_page_bytes("t", &ds, 256)).unwrap();
+    cat.add_table(Table::with_page_bytes("tn", &dsn, 256)).unwrap();
+    let e = Engine::new(cat);
+    for ddl in [
+        "CREATE MINING MODEL m_bayes ON t PREDICT label USING bayes",
+        "CREATE MINING MODEL m_km ON t WITH 2 CLUSTERS USING kmeans",
+        "CREATE MINING MODEL m_gmm ON tn WITH 2 CLUSTERS USING gmm",
+    ] {
+        let out = e.execute_sql(ddl).expect(ddl);
+        assert!(matches!(out, StatementOutcome::ModelCreated { .. }), "{ddl}");
+    }
+    e
+}
+
+/// (model id, table id) pairs for the three cascaded models.
+const MODELS: [(usize, usize); 3] = [(0, 0), (1, 0), (2, 1)];
+
+/// Two Bayes models over the *same* class vocabulary for the agreement
+/// predicate: `label` and `label2` encode different concepts, so the
+/// models learn different surfaces and `MODELS AGREE` has a non-trivial
+/// answer. Each model sees the other's label column as an ordinary
+/// feature — the projected-model proxy lift must neutralize its own.
+fn engine_with_agreeing_models(extra: &[(u16, u16)]) -> Engine {
+    let schema = Schema::new(vec![
+        Attribute::new("a", AttrDomain::categorical(["a0", "a1", "a2", "a3"])),
+        Attribute::new("b", AttrDomain::categorical(["b0", "b1", "b2"])),
+        Attribute::new("label", AttrDomain::categorical(["neg", "pos"])),
+        Attribute::new("label2", AttrDomain::categorical(["neg", "pos"])),
+    ])
+    .unwrap();
+    let mut ds = Dataset::new(schema);
+    for &(a, b) in extra {
+        let label = u16::from(a >= 2);
+        let label2 = u16::from(b == 1);
+        ds.push_encoded(&[a, b, label, label2]).unwrap();
+    }
+    let mut cat = Catalog::new();
+    cat.add_table(Table::with_page_bytes("t", &ds, 256)).unwrap();
+    let e = Engine::new(cat);
+    for ddl in [
+        "CREATE MINING MODEL m1 ON t PREDICT label USING bayes",
+        "CREATE MINING MODEL m2 ON t PREDICT label2 USING bayes",
+    ] {
+        let out = e.execute_sql(ddl).expect(ddl);
+        assert!(matches!(out, StatementOutcome::ModelCreated { .. }), "{ddl}");
+    }
+    e
+}
+
+/// The model's proxy table, rebuilt fresh from the model itself.
+fn fresh_proxy(e: &Engine, model: usize) -> ProxyScore {
+    e.catalog().model(model).model.proxy().expect("additive model must tabulate a proxy")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The heart of the soundness claim, checked directly against the
+    /// scorer: on every row of the table, a `Unique` proxy decision
+    /// names exactly the class the real model predicts. (Band rows make
+    /// no claim — they are the fallback set by definition.)
+    #[test]
+    fn unique_decisions_agree_with_the_real_scorer(
+        extra in proptest::collection::vec((0u16..4, 0u16..3), 40..120),
+    ) {
+        let e = engine_with_models(&extra);
+        let catalog = e.catalog();
+        for (model, table) in MODELS {
+            let proxy = fresh_proxy(&e, model);
+            let t = &catalog.table(table).table;
+            let mut decided = 0u64;
+            for r in 0..t.n_rows() as u32 {
+                let row = t.row(r);
+                match proxy.decide(&row) {
+                    ProxyDecision::Unique(c) => {
+                        decided += 1;
+                        prop_assert_eq!(
+                            c,
+                            catalog.predict(model, &row),
+                            "proxy and scorer diverged on model {} row {:?}", model, row
+                        );
+                    }
+                    ProxyDecision::Band => {}
+                }
+            }
+            // The cascade must actually decide something on these grids,
+            // or the test proves nothing.
+            prop_assert!(decided > 0, "model {} decided no rows at all", model);
+        }
+    }
+
+    /// End to end through the executors: a cascaded plan returns the
+    /// same rows as the cascade-free reference at every dop; every
+    /// scored row is accounted as exactly one of accept, reject or
+    /// band; and with the memo disabled the real scorer runs exactly
+    /// once per band row — the band *is* the fallback-scorer set.
+    #[test]
+    fn cascade_execution_is_sound_and_band_equals_fallback_set(
+        extra in proptest::collection::vec((0u16..4, 0u16..3), 40..120),
+    ) {
+        let e = engine_with_models(&extra);
+        e.set_use_envelopes(false); // full scan: every row reaches the scorer
+        for (model, table) in MODELS {
+            for class in 0..2u16 {
+                let expr = Expr::Mining(MiningPred::ClassEq { model, class: ClassId(class) });
+                e.set_compile_models(false);
+                let plan_ref = e.plan_predicate(table, expr.clone());
+                e.set_compile_models(true);
+                let plan_casc = e.plan_predicate(table, expr.clone());
+                let catalog = e.catalog();
+                let reference =
+                    execute_opts(&plan_ref, &catalog, QueryGuard::unlimited(), &reference_opts())
+                        .expect("reference run cannot fail");
+                prop_assert_eq!(
+                    reference.metrics.band_rows, 0,
+                    "cascade-free reference must not report band rows"
+                );
+
+                let mut serial_counters = None;
+                for dop in DOPS {
+                    let got = execute_opts(
+                        &plan_casc,
+                        &catalog,
+                        QueryGuard::unlimited(),
+                        &ExecOptions::with_parallelism(dop),
+                    )
+                    .expect("cascaded run cannot fail");
+                    prop_assert_eq!(
+                        &got.rows, &reference.rows,
+                        "cascade changed the row set: model {}, class {}, dop {}",
+                        model, class, dop
+                    );
+                    let m = &got.metrics;
+                    prop_assert_eq!(
+                        m.cascade_accepts + m.cascade_rejects + m.band_rows,
+                        m.rows_examined,
+                        "every scored row is accept, reject or band: model {}", model
+                    );
+                    // Cascade decisions are deterministic: identical at
+                    // every dop.
+                    let counters = (m.cascade_accepts, m.cascade_rejects, m.band_rows);
+                    match serial_counters {
+                        None => serial_counters = Some(counters),
+                        Some(expected) => prop_assert_eq!(
+                            counters, expected,
+                            "cascade counters diverged at dop {}", dop
+                        ),
+                    }
+                }
+
+                // Memo off: the real scorer runs exactly once per band
+                // row — nothing more (Unique rows never invoke), nothing
+                // less (every band row falls back).
+                let no_memo = execute_opts(
+                    &plan_casc,
+                    &catalog,
+                    QueryGuard::unlimited(),
+                    &ExecOptions { memo_capacity: 0, ..ExecOptions::default() },
+                )
+                .expect("memo-free cascaded run cannot fail");
+                prop_assert_eq!(&no_memo.rows, &reference.rows, "memo off changed rows");
+                prop_assert_eq!(
+                    no_memo.metrics.model_invocations,
+                    no_memo.metrics.band_rows,
+                    "band rows must equal the fallback-scorer set exactly: model {}", model
+                );
+                prop_assert_eq!(no_memo.metrics.memo_hits, 0, "disabled memo reported hits");
+
+                // Memo on: decisions (and thus counters) are unchanged;
+                // the memo can only absorb band-row scorer calls.
+                let memo = execute_opts(
+                    &plan_casc,
+                    &catalog,
+                    QueryGuard::unlimited(),
+                    &reference_opts(),
+                )
+                .expect("memoized cascaded run cannot fail");
+                prop_assert_eq!(&memo.rows, &reference.rows, "memo on changed rows");
+                prop_assert_eq!(
+                    (memo.metrics.cascade_accepts, memo.metrics.cascade_rejects,
+                     memo.metrics.band_rows),
+                    serial_counters.expect("dop sweep ran"),
+                    "memo must not change cascade decisions"
+                );
+                prop_assert!(
+                    memo.metrics.model_invocations <= memo.metrics.band_rows,
+                    "memoized scorer calls cannot exceed the band: {} > {}",
+                    memo.metrics.model_invocations, memo.metrics.band_rows
+                );
+            }
+        }
+    }
+
+    /// `MODELS AGREE` is never compiled away (agreement is decided on
+    /// raw class ids at prediction time), so its *direct* predictions
+    /// must ride the cascade's predict path: a unique proxy argmax is
+    /// the prediction, and with the memo off the real scorer runs
+    /// exactly once per banded predict call — across both models.
+    #[test]
+    fn models_agree_rides_the_predict_path_cascade(
+        extra in proptest::collection::vec((0u16..4, 0u16..3), 60..140),
+    ) {
+        let e = engine_with_agreeing_models(&extra);
+        e.set_use_envelopes(false); // full scan: every row reaches eval
+        let expr = Expr::Mining(MiningPred::ModelsAgree { m1: 0, m2: 1 });
+        e.set_compile_models(false);
+        let plan_ref = e.plan_predicate(0, expr.clone());
+        e.set_compile_models(true);
+        let plan_casc = e.plan_predicate(0, expr);
+        let catalog = e.catalog();
+        let reference =
+            execute_opts(&plan_ref, &catalog, QueryGuard::unlimited(), &reference_opts())
+                .expect("reference run cannot fail");
+        prop_assert_eq!(reference.metrics.band_rows, 0, "reference must not cascade");
+
+        for dop in DOPS {
+            let got = execute_opts(
+                &plan_casc,
+                &catalog,
+                QueryGuard::unlimited(),
+                &ExecOptions::with_parallelism(dop),
+            )
+            .expect("cascaded run cannot fail");
+            prop_assert_eq!(
+                &got.rows, &reference.rows,
+                "cascade changed the agreement row set at dop {}", dop
+            );
+        }
+
+        // Memo off: each row makes two predict calls; every one either
+        // decides uniquely (no scorer) or lands in the band and invokes
+        // the scorer exactly once.
+        let no_memo = execute_opts(
+            &plan_casc,
+            &catalog,
+            QueryGuard::unlimited(),
+            &ExecOptions { memo_capacity: 0, ..ExecOptions::default() },
+        )
+        .expect("memo-free cascaded run cannot fail");
+        prop_assert_eq!(&no_memo.rows, &reference.rows, "memo off changed rows");
+        prop_assert_eq!(
+            no_memo.metrics.model_invocations,
+            no_memo.metrics.band_rows,
+            "banded predict calls must equal the fallback-scorer set exactly"
+        );
+        prop_assert!(
+            no_memo.metrics.band_rows <= 2 * no_memo.metrics.rows_examined,
+            "at most two predict calls per examined row"
+        );
+        prop_assert_eq!(no_memo.metrics.memo_hits, 0, "disabled memo reported hits");
+    }
+}

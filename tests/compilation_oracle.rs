@@ -1,0 +1,239 @@
+//! Compilation oracle: when the rewrite compiles a model out of the
+//! query (every envelope it would AND in is exact), the compiled
+//! pure-data-predicate plan must be observationally identical to the
+//! classic envelope+residual reference — same row sets, same rows
+//! examined, same page accounting, same guard-breach classification —
+//! at every degree of parallelism, with `model_invocations == 0` by
+//! construction for fully compiled plans.
+
+use mining_predicates::prelude::*;
+use mpq_engine::{execute_opts, Atom, AtomPred, ExecOptions, StatementOutcome};
+use mpq_types::MemberSet;
+use proptest::prelude::*;
+
+const DOPS: [usize; 4] = [1, 2, 4, 8];
+
+/// The reference interpreter: compilation off, scalar row-at-a-time,
+/// serial — the classic envelope+residual form of the same query.
+fn reference_opts() -> ExecOptions {
+    ExecOptions { parallelism: 1, vectorized: false, ..ExecOptions::default() }
+}
+
+/// Two feature columns plus the label column the models train on.
+fn schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new("a", AttrDomain::categorical(["a0", "a1", "a2", "a3"])),
+        Attribute::new("b", AttrDomain::categorical(["b0", "b1", "b2"])),
+        Attribute::new("label", AttrDomain::categorical(["neg", "pos"])),
+    ])
+    .unwrap()
+}
+
+/// Builds an engine over the generated rows with tiny (256-byte) pages
+/// and trains the two exactly-compilable model families: a decision
+/// tree (envelopes always exact) and a rule set (exact when no
+/// cross-class rule overlap exists). `indexed` controls whether the
+/// access-path optimizer has index seeks available — the metric-parity
+/// assertions need the index-free full-scan-only world, where both
+/// plans must touch the identical pages.
+fn engine_with_models(extra: &[(u16, u16)], indexed: bool) -> Engine {
+    let mut ds = Dataset::new(schema());
+    for a in 0..4u16 {
+        for b in 0..3u16 {
+            let label = u16::from(a >= 2 && b != 1);
+            ds.push_encoded(&[a, b, label]).unwrap();
+        }
+    }
+    for &(a, b) in extra {
+        let label = u16::from((a + b) % 2 == 0);
+        ds.push_encoded(&[a, b, label]).unwrap();
+    }
+    let mut cat = Catalog::new();
+    let t = cat.add_table(Table::with_page_bytes("t", &ds, 256)).unwrap();
+    if indexed {
+        cat.create_index(t, &[AttrId(0)]);
+        cat.create_index(t, &[AttrId(1)]);
+    }
+    let e = Engine::new(cat);
+    for ddl in [
+        "CREATE MINING MODEL m_tree ON t PREDICT label USING decision_tree",
+        "CREATE MINING MODEL m_rules ON t PREDICT label USING rules",
+    ] {
+        let out = e.execute_sql(ddl).expect(ddl);
+        assert!(matches!(out, StatementOutcome::ModelCreated { .. }), "{ddl}");
+    }
+    e
+}
+
+/// Mining-predicate queries over both models: every predicate shape the
+/// compiler handles, alone and mixed with column atoms.
+fn query_corpus() -> Vec<Expr> {
+    let mut exprs = Vec::new();
+    for model in 0..2usize {
+        for class in 0..2u16 {
+            exprs.push(Expr::Mining(MiningPred::ClassEq { model, class: ClassId(class) }));
+        }
+        exprs.push(Expr::Mining(MiningPred::ClassIn {
+            model,
+            classes: vec![ClassId(0), ClassId(1)],
+        }));
+        exprs.push(Expr::Mining(MiningPred::ClassEqColumn { model, column: AttrId(2) }));
+        exprs.push(Expr::And(vec![
+            Expr::Mining(MiningPred::ClassEq { model, class: ClassId(1) }),
+            Expr::Atom(Atom { attr: AttrId(0), pred: AtomPred::Eq(2) }),
+        ]));
+        exprs.push(Expr::Or(vec![
+            Expr::Mining(MiningPred::ClassEq { model, class: ClassId(0) }),
+            Expr::Atom(Atom { attr: AttrId(1), pred: AtomPred::In(MemberSet::of(3, [0, 2])) }),
+        ]));
+    }
+    exprs.push(Expr::Mining(MiningPred::ModelsAgree { m1: 0, m2: 1 }));
+    exprs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Index-free tables force both plans onto a full scan, so the
+    /// compiled plan must be bit-identical to the envelope+residual
+    /// reference in every deterministic metric — and a plan whose
+    /// residual carries no mining predicate must never touch a scorer.
+    #[test]
+    fn compiled_plans_match_reference_bit_for_bit(
+        extra in proptest::collection::vec((0u16..4, 0u16..3), 40..120),
+    ) {
+        let e = engine_with_models(&extra, false);
+        for expr in query_corpus() {
+            e.set_compile_models(false);
+            let plan_ref = e.plan_predicate(0, expr.clone());
+            e.set_compile_models(true);
+            let plan_cmp = e.plan_predicate(0, expr.clone());
+            let catalog = e.catalog();
+            let reference =
+                execute_opts(&plan_ref, &catalog, QueryGuard::unlimited(), &reference_opts())
+                    .expect("reference run cannot fail");
+            let fully_compiled = plan_cmp.residual.mining_preds().is_empty();
+            // The decision tree's envelopes are exact by construction,
+            // so its mining predicates always compile away entirely.
+            let tree_only = expr.mining_preds().iter().all(|mp| mp.models() == vec![0]);
+            if tree_only {
+                prop_assert!(
+                    fully_compiled,
+                    "tree predicates must compile exactly: {:?} left {:?}",
+                    expr, plan_cmp.residual
+                );
+            }
+            for dop in DOPS {
+                let got = execute_opts(
+                    &plan_cmp,
+                    &catalog,
+                    QueryGuard::unlimited(),
+                    &ExecOptions::with_parallelism(dop),
+                )
+                .expect("compiled run cannot fail");
+                prop_assert_eq!(&got.rows, &reference.rows, "rows diverged: dop {}, {:?}", dop, expr);
+                let (g, r) = (&got.metrics, &reference.metrics);
+                prop_assert_eq!(g.rows_examined, r.rows_examined, "rows examined: {:?}", expr);
+                prop_assert_eq!(g.heap_pages_read, r.heap_pages_read, "heap pages: {:?}", expr);
+                prop_assert_eq!(g.pages_skipped, r.pages_skipped, "zone skips: {:?}", expr);
+                prop_assert_eq!(g.output_rows, r.output_rows, "output rows: {:?}", expr);
+                if fully_compiled {
+                    prop_assert_eq!(
+                        g.model_invocations, 0,
+                        "a compiled plan must never invoke a model: {:?}", expr
+                    );
+                    prop_assert_eq!(g.memo_hits, 0, "no scorer, no memo: {:?}", expr);
+                }
+            }
+        }
+    }
+
+    /// With indexes available the two plans may pick different access
+    /// paths (compilation changes the costing), so parity narrows to
+    /// the semantic guarantees: identical row sets at every dop, and
+    /// zero invocations whenever the residual is mining-free.
+    #[test]
+    fn compiled_plans_match_reference_rows_with_indexes(
+        extra in proptest::collection::vec((0u16..4, 0u16..3), 40..120),
+    ) {
+        let e = engine_with_models(&extra, true);
+        for expr in query_corpus() {
+            e.set_compile_models(false);
+            let plan_ref = e.plan_predicate(0, expr.clone());
+            e.set_compile_models(true);
+            let plan_cmp = e.plan_predicate(0, expr.clone());
+            let catalog = e.catalog();
+            let reference =
+                execute_opts(&plan_ref, &catalog, QueryGuard::unlimited(), &reference_opts())
+                    .expect("reference run cannot fail");
+            for dop in DOPS {
+                let got = execute_opts(
+                    &plan_cmp,
+                    &catalog,
+                    QueryGuard::unlimited(),
+                    &ExecOptions::with_parallelism(dop),
+                )
+                .expect("compiled run cannot fail");
+                prop_assert_eq!(&got.rows, &reference.rows, "rows diverged: dop {}, {:?}", dop, expr);
+                if plan_cmp.residual.mining_preds().is_empty() {
+                    prop_assert_eq!(got.metrics.model_invocations, 0, "{:?}", expr);
+                }
+            }
+        }
+    }
+
+    /// Guard-breach parity on the full-scan-only world: under a
+    /// generated rows or pages budget, the compiled plan must breach
+    /// with the same resource and limit as the reference — and at dop 1
+    /// the same spent — or both must succeed with the same rows.
+    #[test]
+    fn compiled_plans_breach_guards_identically(
+        extra in proptest::collection::vec((0u16..4, 0u16..3), 40..100),
+        rows_limit in 1u64..150,
+        pages_limit in 0u64..40,
+    ) {
+        let e = engine_with_models(&extra, false);
+        let expr = Expr::Mining(MiningPred::ClassEq { model: 0, class: ClassId(1) });
+        e.set_compile_models(false);
+        let plan_ref = e.plan_predicate(0, expr.clone());
+        e.set_compile_models(true);
+        let plan_cmp = e.plan_predicate(0, expr);
+        let catalog = e.catalog();
+        let guards = [
+            QueryGuard::default().with_max_rows_examined(rows_limit),
+            QueryGuard::default().with_max_pages(pages_limit),
+        ];
+        for guard in guards {
+            let reference = execute_opts(&plan_ref, &catalog, guard, &reference_opts());
+            for dop in DOPS {
+                let got = execute_opts(
+                    &plan_cmp,
+                    &catalog,
+                    guard,
+                    &ExecOptions::with_parallelism(dop),
+                );
+                match (&reference, &got) {
+                    (Ok(r), Ok(g)) => {
+                        prop_assert_eq!(&g.rows, &r.rows, "rows diverged at dop {}", dop);
+                        prop_assert_eq!(g.metrics.model_invocations, 0, "compiled plan invoked");
+                    }
+                    (
+                        Err(EngineError::BudgetExceeded { resource: rr, limit: lr, spent: sr }),
+                        Err(EngineError::BudgetExceeded { resource: rg, limit: lg, spent: sg }),
+                    ) => {
+                        prop_assert_eq!(rg, rr, "breach resource diverged at dop {}", dop);
+                        prop_assert_eq!(lg, lr, "breach limit diverged at dop {}", dop);
+                        if dop == 1 {
+                            prop_assert_eq!(sg, sr, "serial breach trip point diverged");
+                        }
+                    }
+                    (r, g) => {
+                        return Err(TestCaseError::fail(format!(
+                            "outcome diverged at dop {dop}: reference {r:?} vs compiled {g:?}"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+}
