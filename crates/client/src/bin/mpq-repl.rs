@@ -7,18 +7,26 @@
 //! Reads statements from stdin, one per line, and prints each outcome.
 //! Lines starting with `.` are meta commands:
 //!
-//! * `.health`   — print the engine health report
-//! * `.shutdown` — ask the server to drain and exit
-//! * `.quit`     — close this session (EOF does the same)
+//! * `.health`            — print the engine health report
+//! * `.subscribe <query>` — register a standing query (`SUBSCRIBE ...`)
+//! * `.unsubscribe <id>`  — drop a standing query (`UNSUBSCRIBE <id>`)
+//! * `.poll [ms]`         — print pending notifications; with `ms`,
+//!   wait up to that long for the first one to arrive
+//! * `.shutdown`          — ask the server to drain and exit
+//! * `.quit`              — close this session (EOF does the same)
 //!
-//! Everything else is sent as SQL. Suitable both interactively and
-//! piped (`printf '...\n' | mpq-repl --port-file p`), which is how the
-//! CI smoke test drives it.
+//! Everything else is sent as SQL. Server-push `Notify` frames (matches
+//! against this session's subscriptions) are drained and printed after
+//! each executed line — between commands, never mid-line — so piped
+//! use stays deterministic and interactive editing is never corrupted.
+//! Suitable both interactively and piped (`printf '...\n' | mpq-repl
+//! --port-file p`), which is how the CI smoke tests drive it.
 
-use mpq_client::{Client, ClientError};
+use mpq_client::{Client, ClientError, Notification};
 use mpq_engine::StatementOutcome;
 use std::io::BufRead;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 fn parse_addr() -> Result<String, String> {
     let mut addr: Option<String> = None;
@@ -66,8 +74,21 @@ fn print_outcome(outcome: &StatementOutcome) {
                 None => println!("model {name} created ({n_classes} classes)"),
             }
         }
-        StatementOutcome::Inserted { table, rows_inserted } => {
-            println!("{rows_inserted} rows inserted into {table}");
+        StatementOutcome::Inserted { table, rows_inserted, subs_matched, subs_index_pruned } => {
+            if *subs_matched > 0 || *subs_index_pruned > 0 {
+                println!(
+                    "{rows_inserted} rows inserted into {table} \
+                     ({subs_matched} subscription matches, {subs_index_pruned} index-pruned)"
+                );
+            } else {
+                println!("{rows_inserted} rows inserted into {table}");
+            }
+        }
+        StatementOutcome::Subscribed { id } => {
+            println!("subscription {id} registered");
+        }
+        StatementOutcome::Unsubscribed { id } => {
+            println!("subscription {id} dropped");
         }
         StatementOutcome::ParallelismSet { dop } => {
             println!("session parallelism set to {dop}");
@@ -76,6 +97,53 @@ fn print_outcome(outcome: &StatementOutcome) {
             println!("session guard set: {guard:?}");
         }
     }
+}
+
+fn print_notification(n: &Notification) {
+    match n {
+        Notification::Match { subscription, table, row_id, row, metrics } => {
+            let members: Vec<String> = row.iter().map(|m| m.to_string()).collect();
+            println!(
+                "notify: subscription {subscription} matched {table} row {row_id} \
+                 [{}] (index-pruned {}, residual {}, scorer-banded {})",
+                members.join(", "),
+                metrics.index_pruned,
+                metrics.residual_evaluated,
+                metrics.scorer_banded,
+            );
+        }
+        Notification::Gap { dropped } => {
+            println!("notify: GAP — {dropped} notifications dropped (slow consumer)");
+        }
+    }
+}
+
+/// Prints every notification already queued or readable right now.
+/// Returns how many were printed, or the connection-fatal error.
+fn drain_notifications(client: &mut Client) -> Result<usize, ClientError> {
+    let mut n = 0;
+    while let Some(notif) = client.poll_notification()? {
+        print_notification(&notif);
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// `.poll [ms]`: drain immediately; with a deadline, keep re-polling
+/// until at least one notification has printed or the time is up.
+fn poll_until(client: &mut Client, wait: Option<Duration>) -> Result<(), ClientError> {
+    let mut printed = drain_notifications(client)?;
+    if let Some(wait) = wait {
+        let deadline = Instant::now() + wait;
+        while printed == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+            printed += drain_notifications(client)?;
+        }
+    }
+    if printed == 0 {
+        println!("no notifications pending");
+    }
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
@@ -91,16 +159,51 @@ fn run() -> Result<(), String> {
         if line.is_empty() || line.starts_with("--") {
             continue;
         }
-        match line {
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
             ".quit" => break,
+            ".subscribe" if !rest.is_empty() => {
+                match client.statement(&format!("SUBSCRIBE {rest}")) {
+                    Ok(outcome) => print_outcome(&outcome),
+                    Err(ClientError::Remote(e)) => println!("error: {e}"),
+                    Err(e) => return Err(format!("connection failed: {e}")),
+                }
+            }
+            ".unsubscribe" if !rest.is_empty() => {
+                match client.statement(&format!("UNSUBSCRIBE {rest}")) {
+                    Ok(outcome) => print_outcome(&outcome),
+                    Err(ClientError::Remote(e)) => println!("error: {e}"),
+                    Err(e) => return Err(format!("connection failed: {e}")),
+                }
+            }
+            ".poll" => {
+                let wait = match rest.parse::<u64>() {
+                    Ok(ms) => Some(Duration::from_millis(ms)),
+                    Err(_) if rest.is_empty() => None,
+                    Err(_) => {
+                        println!("error: .poll takes an optional wait in milliseconds");
+                        continue;
+                    }
+                };
+                if let Err(e) = poll_until(&mut client, wait) {
+                    return Err(format!("connection failed: {e}"));
+                }
+            }
             ".health" => match client.health() {
                 Ok(h) => {
                     println!(
-                        "health: {} tables, {} models, {} cached plans",
+                        "health: {} tables, {} models, {} cached plans, {} subscriptions",
                         h.tables,
                         h.models.len(),
-                        h.cached_plans
+                        h.cached_plans,
+                        h.subscriptions
                     );
+                    if let Some(note) = &h.sub_index_note {
+                        println!("  subscription matcher: {note}");
+                    }
                     // Replication fields arrived with protocol v4; a v3
                     // server's report decodes with the defaults (role
                     // primary, epoch 0, no lag), so print the lag line
@@ -140,13 +243,18 @@ fn run() -> Result<(), String> {
                 }
                 break;
             }
-            sql => match client.statement(sql) {
+            _ => match client.statement(line) {
                 Ok(outcome) => print_outcome(&outcome),
                 // Typed remote errors keep the session alive; anything
                 // else (disconnect, torn frame) ends it.
                 Err(ClientError::Remote(e)) => println!("error: {e}"),
                 Err(e) => return Err(format!("connection failed: {e}")),
             },
+        }
+        // Safe point between commands: surface any pushes that arrived
+        // while the line above executed.
+        if let Err(e) = drain_notifications(&mut client) {
+            return Err(format!("connection failed: {e}"));
         }
     }
     Ok(())

@@ -39,6 +39,8 @@ use mpq_server::protocol::{
     decode_frame, encode_frame, FrameError, Request, Response, ServerError,
     DEFAULT_MAX_FRAME_LEN, PROTO_VERSION, PROTO_VERSION_V3,
 };
+pub use mpq_server::protocol::Notification;
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Arc, RwLock};
@@ -137,6 +139,10 @@ pub struct Client {
     buf: Vec<u8>,
     session_id: u64,
     faults: Option<Arc<FaultInjector>>,
+    /// Server-push [`Notification`]s that arrived interleaved with (or
+    /// between) request/response exchanges, in delivery order, waiting
+    /// for the application to [`Client::poll_notification`] them.
+    notifications: VecDeque<Notification>,
 }
 
 impl Client {
@@ -214,7 +220,13 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(read_timeout)?;
-        let mut client = Client { stream, buf: Vec::new(), session_id: 0, faults };
+        let mut client = Client {
+            stream,
+            buf: Vec::new(),
+            session_id: 0,
+            faults,
+            notifications: VecDeque::new(),
+        };
         let resp = client.exchange(&Request::Hello {
             proto_version,
             client: name.to_string(),
@@ -337,14 +349,78 @@ impl Client {
         Ok(())
     }
 
+    /// Returns the next server-push [`Notification`] if one is ready,
+    /// without blocking. Drains whatever bytes the socket already holds
+    /// (Notify frames pushed after acked inserts), then answers from
+    /// the queue. `Ok(None)` means nothing is pending right now.
+    ///
+    /// Only meaningful after a `SUBSCRIBE` statement registered a
+    /// standing query on this session; other sessions' clients never
+    /// receive pushes.
+    pub fn poll_notification(&mut self) -> Result<Option<Notification>, ClientError> {
+        if let Some(n) = self.notifications.pop_front() {
+            return Ok(Some(n));
+        }
+        // Drain without blocking: flip the socket to non-blocking for
+        // the duration of the read loop, restore before returning.
+        self.stream.set_nonblocking(true)?;
+        let drained = self.drain_ready();
+        self.stream.set_nonblocking(false)?;
+        drained?;
+        Ok(self.notifications.pop_front())
+    }
+
+    /// Reads every byte the kernel already buffered (non-blocking mode
+    /// must be set by the caller) and files complete Notify frames into
+    /// the queue. A non-Notify frame here is a protocol violation — no
+    /// request is outstanding.
+    fn drain_ready(&mut self) -> Result<(), ClientError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            loop {
+                match decode_frame(&self.buf, DEFAULT_MAX_FRAME_LEN) {
+                    Ok((payload, consumed)) => {
+                        self.buf.drain(..consumed);
+                        let resp = Response::decode(&payload)
+                            .map_err(|e| ClientError::Frame(e.to_string()))?;
+                        match resp {
+                            Response::Notify(n) => self.notifications.push_back(n),
+                            other => {
+                                return Err(ClientError::Unexpected(format!(
+                                    "{other:?} with no request outstanding"
+                                )))
+                            }
+                        }
+                    }
+                    Err(FrameError::Incomplete { .. }) => break,
+                    Err(e) => return Err(ClientError::Frame(e.to_string())),
+                }
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(ClientError::Disconnected),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ClientError::Io(e.to_string())),
+            }
+        }
+    }
+
     fn recv(&mut self) -> Result<Response, ClientError> {
         let mut chunk = [0u8; 16 * 1024];
         loop {
             match decode_frame(&self.buf, DEFAULT_MAX_FRAME_LEN) {
                 Ok((payload, consumed)) => {
                     self.buf.drain(..consumed);
-                    return Response::decode(&payload)
-                        .map_err(|e| ClientError::Frame(e.to_string()));
+                    let resp = Response::decode(&payload)
+                        .map_err(|e| ClientError::Frame(e.to_string()))?;
+                    // A push frame racing our request/response exchange:
+                    // queue it and keep waiting for the real answer.
+                    if let Response::Notify(n) = resp {
+                        self.notifications.push_back(n);
+                        continue;
+                    }
+                    return Ok(resp);
                 }
                 Err(FrameError::Incomplete { .. }) => {}
                 Err(e) => return Err(ClientError::Frame(e.to_string())),

@@ -11,11 +11,14 @@ use crate::dedup::StatementDedup;
 use crate::expr::{ModelId, ModelOracle};
 use crate::fault::FaultInjector;
 use crate::index::SecondaryIndex;
+use crate::sql::ParsedQuery;
 use crate::stats::{default_stats_workers, TableStats};
+use crate::subscribe::Subscription;
 use crate::table::Table;
 use crate::EngineError;
 use mpq_core::{CoreError, DeriveOptions, Envelope, EnvelopeProvider, ProxyScore};
 use mpq_types::{AttrId, ClassId, Member, Row};
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -94,6 +97,20 @@ pub struct Catalog {
     /// A replication stream stamped with an older epoch is rejected,
     /// which fences a deposed (zombie) primary.
     epoch: u64,
+    /// Standing subscriptions, keyed by stable id. Mutated only under
+    /// the catalog write lock (the same WAL-backed path as tables and
+    /// models), so registrations survive crash recovery.
+    subs: BTreeMap<u64, Subscription>,
+    /// Next id to hand out (never reused, even after UNSUBSCRIBE).
+    next_sub_id: u64,
+    /// Bumped on every subscribe/unsubscribe; the engine's cached
+    /// inverted index is invalidated when this moves.
+    subs_generation: u64,
+    /// `Some(note)` while the subscription matcher is running in
+    /// degraded per-subscription full-evaluation mode (index-corruption
+    /// fault armed). Interior-mutable: the matcher only holds a shared
+    /// borrow.
+    sub_index_note: Mutex<Option<String>>,
 }
 
 /// Derives per-class envelopes, absorbing every failure mode this layer
@@ -180,6 +197,82 @@ impl Catalog {
     /// Sets the replication epoch (recovery replay and promotion).
     pub(crate) fn set_epoch(&mut self, epoch: u64) {
         self.epoch = epoch;
+    }
+
+    /// Registers a standing subscription under a caller-chosen id (the
+    /// id is allocated *before* WAL logging so replay reproduces it
+    /// exactly). The query must already be validated against this
+    /// catalog.
+    pub fn add_subscription(
+        &mut self,
+        id: u64,
+        sql: String,
+        query: ParsedQuery,
+    ) -> Result<(), EngineError> {
+        if self.subs.contains_key(&id) {
+            return Err(EngineError::Duplicate(format!("subscription {id}")));
+        }
+        self.subs.insert(
+            id,
+            Subscription { id, table: query.table, sql, predicate: query.predicate },
+        );
+        self.next_sub_id = self.next_sub_id.max(id + 1);
+        self.subs_generation += 1;
+        Ok(())
+    }
+
+    /// Removes a standing subscription.
+    pub fn remove_subscription(&mut self, id: u64) -> Result<(), EngineError> {
+        if self.subs.remove(&id).is_none() {
+            return Err(EngineError::UnknownSubscription(id));
+        }
+        self.subs_generation += 1;
+        Ok(())
+    }
+
+    /// The id `SUBSCRIBE` will assign next (ids start at 1 and are
+    /// never reused).
+    pub fn next_subscription_id(&self) -> u64 {
+        self.next_sub_id.max(1)
+    }
+
+    /// Raises the next-id floor (snapshot recovery): ids stay unique
+    /// even when every subscription present at snapshot time has since
+    /// been removed.
+    pub(crate) fn clamp_next_subscription_id(&mut self, floor: u64) {
+        self.next_sub_id = self.next_sub_id.max(floor);
+    }
+
+    /// Every registered subscription, in ascending id order.
+    pub fn subscriptions(&self) -> impl Iterator<Item = &Subscription> {
+        self.subs.values()
+    }
+
+    /// Looks up one subscription by id.
+    pub fn subscription(&self, id: u64) -> Option<&Subscription> {
+        self.subs.get(&id)
+    }
+
+    /// Number of registered subscriptions.
+    pub fn n_subscriptions(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Subscription-set generation (bumped on every change), for index
+    /// invalidation.
+    pub(crate) fn subs_generation(&self) -> u64 {
+        self.subs_generation
+    }
+
+    /// The degraded-matcher health note, if the last insert matched in
+    /// per-subscription full-evaluation mode.
+    pub fn sub_index_note(&self) -> Option<String> {
+        self.sub_index_note.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Records (or clears) the degraded-matcher health note.
+    pub(crate) fn set_sub_index_note(&self, note: Option<String>) {
+        *self.sub_index_note.lock().unwrap_or_else(|e| e.into_inner()) = note;
     }
 
     /// Registers a table, building statistics.

@@ -53,6 +53,12 @@ pub enum DedupOutcome {
         table: String,
         /// Rows the statement appended.
         rows_inserted: u64,
+        /// Standing-subscription matches the insert produced (the
+        /// notifications were delivered once, when the statement first
+        /// applied — a replayed ack only reports the count).
+        subs_matched: u64,
+        /// Subscription candidates the inverted index pruned.
+        subs_index_pruned: u64,
     },
     /// A `CREATE MINING MODEL` applied.
     ModelCreated {
@@ -64,21 +70,44 @@ pub enum DedupOutcome {
         degraded: Option<String>,
     },
     /// Some other stamped mutation applied (replay-only; the SQL surface
-    /// stamps only inserts and model DDL).
+    /// stamps only inserts, model DDL and subscription changes).
     Applied,
+    /// A `SUBSCRIBE` applied.
+    Subscribed {
+        /// The stable subscription id that was assigned.
+        id: u64,
+    },
+    /// An `UNSUBSCRIBE` applied.
+    Unsubscribed {
+        /// The removed subscription id.
+        id: u64,
+    },
 }
 
 const OUT_INSERTED: u8 = 0;
 const OUT_MODEL_CREATED: u8 = 1;
 const OUT_APPLIED: u8 = 2;
+const OUT_SUBSCRIBED: u8 = 3;
+const OUT_UNSUBSCRIBED: u8 = 4;
+const OUT_INSERTED_SUBS: u8 = 5;
 
 impl DedupOutcome {
     fn encode(&self, w: &mut WireWriter) {
         match self {
-            DedupOutcome::Inserted { table, rows_inserted } => {
-                w.put_u8(OUT_INSERTED);
-                w.put_str(table);
-                w.put_u64(*rows_inserted);
+            DedupOutcome::Inserted { table, rows_inserted, subs_matched, subs_index_pruned } => {
+                // Inserts that matched no standing subscription keep the
+                // original compact shape (and stay decodable by it).
+                if *subs_matched == 0 && *subs_index_pruned == 0 {
+                    w.put_u8(OUT_INSERTED);
+                    w.put_str(table);
+                    w.put_u64(*rows_inserted);
+                } else {
+                    w.put_u8(OUT_INSERTED_SUBS);
+                    w.put_str(table);
+                    w.put_u64(*rows_inserted);
+                    w.put_u64(*subs_matched);
+                    w.put_u64(*subs_index_pruned);
+                }
             }
             DedupOutcome::ModelCreated { name, n_classes, degraded } => {
                 w.put_u8(OUT_MODEL_CREATED);
@@ -93,20 +122,39 @@ impl DedupOutcome {
                 }
             }
             DedupOutcome::Applied => w.put_u8(OUT_APPLIED),
+            DedupOutcome::Subscribed { id } => {
+                w.put_u8(OUT_SUBSCRIBED);
+                w.put_u64(*id);
+            }
+            DedupOutcome::Unsubscribed { id } => {
+                w.put_u8(OUT_UNSUBSCRIBED);
+                w.put_u64(*id);
+            }
         }
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<DedupOutcome, crate::EngineError> {
         Ok(match r.get_u8()? {
-            OUT_INSERTED => {
-                DedupOutcome::Inserted { table: r.get_str()?, rows_inserted: r.get_u64()? }
-            }
+            OUT_INSERTED => DedupOutcome::Inserted {
+                table: r.get_str()?,
+                rows_inserted: r.get_u64()?,
+                subs_matched: 0,
+                subs_index_pruned: 0,
+            },
+            OUT_INSERTED_SUBS => DedupOutcome::Inserted {
+                table: r.get_str()?,
+                rows_inserted: r.get_u64()?,
+                subs_matched: r.get_u64()?,
+                subs_index_pruned: r.get_u64()?,
+            },
             OUT_MODEL_CREATED => DedupOutcome::ModelCreated {
                 name: r.get_str()?,
                 n_classes: r.get_u64()?,
                 degraded: if r.get_bool()? { Some(r.get_str()?) } else { None },
             },
             OUT_APPLIED => DedupOutcome::Applied,
+            OUT_SUBSCRIBED => DedupOutcome::Subscribed { id: r.get_u64()? },
+            OUT_UNSUBSCRIBED => DedupOutcome::Unsubscribed { id: r.get_u64()? },
             other => {
                 return Err(crate::EngineError::Corrupt {
                     detail: format!("unknown dedup outcome tag {other}"),
@@ -309,7 +357,12 @@ mod tests {
     }
 
     fn ins(n: u64) -> DedupOutcome {
-        DedupOutcome::Inserted { table: "t".into(), rows_inserted: n }
+        DedupOutcome::Inserted {
+            table: "t".into(),
+            rows_inserted: n,
+            subs_matched: 0,
+            subs_index_pruned: 0,
+        }
     }
 
     #[test]
@@ -390,6 +443,36 @@ mod tests {
         assert_eq!(back.check(id(11, 0)), d.check(id(11, 0)));
         assert_eq!(back.check(id(12, 5)), DedupCheck::Replay(DedupOutcome::Applied));
         // Every strict prefix fails cleanly.
+        for cut in 0..bytes.len() {
+            assert!(StatementDedup::decode(&mut WireReader::new(&bytes[..cut])).is_err());
+        }
+    }
+
+    #[test]
+    fn subscription_outcomes_roundtrip() {
+        let mut d = StatementDedup::default();
+        d.record(id(1, 0), DedupOutcome::Subscribed { id: 4 });
+        d.record(id(1, 1), DedupOutcome::Unsubscribed { id: 4 });
+        d.record(
+            id(1, 2),
+            DedupOutcome::Inserted {
+                table: "t".into(),
+                rows_inserted: 2,
+                subs_matched: 5,
+                subs_index_pruned: 9,
+            },
+        );
+        let mut w = WireWriter::new();
+        d.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = StatementDedup::decode(&mut WireReader::new(&bytes)).unwrap();
+        for seq in 0..3 {
+            assert_eq!(back.check(id(1, seq)), d.check(id(1, seq)));
+        }
+        assert!(matches!(
+            back.check(id(1, 2)),
+            DedupCheck::Replay(DedupOutcome::Inserted { subs_matched: 5, .. })
+        ));
         for cut in 0..bytes.len() {
             assert!(StatementDedup::decode(&mut WireReader::new(&bytes[..cut])).is_err());
         }

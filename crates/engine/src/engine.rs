@@ -26,7 +26,9 @@ use crate::persist::{snapshot, LogOp, RecoveryReport, StatementId, StoredModel};
 use crate::rewrite::rewrite_mining_opts;
 use crate::session::SessionState;
 use crate::sql::{parse, parse_statement, Statement};
+use crate::subscribe::{MatchEvent, SubIndex};
 use crate::table::{RowId, Table};
+use crate::vectorized::{MemoScorer, DEFAULT_MEMO_CAPACITY};
 use crate::EngineError;
 use mpq_core::{DeriveOptions, EnvelopeProvider};
 use mpq_types::{AttrId, Member};
@@ -131,6 +133,22 @@ pub enum StatementOutcome {
         table: String,
         /// Number of rows appended.
         rows_inserted: u64,
+        /// Total (subscription, row) matches the insert produced across
+        /// every standing subscription on the target table.
+        subs_matched: u64,
+        /// Total (subscription, row) candidacies the inverted envelope
+        /// index pruned without evaluating the rewritten predicate.
+        subs_index_pruned: u64,
+    },
+    /// A standing subscription was registered by `SUBSCRIBE`.
+    Subscribed {
+        /// The durable subscription id (stable across crash recovery).
+        id: u64,
+    },
+    /// A standing subscription was removed by `UNSUBSCRIBE`.
+    Unsubscribed {
+        /// The id that was removed.
+        id: u64,
     },
     /// `SET PARALLELISM n` changed the session's degree of parallelism.
     ParallelismSet {
@@ -188,6 +206,12 @@ pub struct EngineHealth {
     pub replica_lag_records: Option<u64>,
     /// Bytes appended but not yet acknowledged by the standby.
     pub replica_lag_bytes: Option<u64>,
+    /// Number of registered standing subscriptions.
+    pub subscriptions: usize,
+    /// `Some(note)` when the last insert matched subscriptions in the
+    /// degraded per-subscription full-evaluation mode (index-corruption
+    /// fault armed); matches stay oracle-identical, only slower.
+    pub sub_index_note: Option<String>,
 }
 
 impl EngineHealth {
@@ -199,7 +223,14 @@ impl EngineHealth {
 
 impl std::fmt::Display for EngineHealth {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "tables: {}, cached plans: {}", self.tables, self.cached_plans)?;
+        writeln!(
+            f,
+            "tables: {}, cached plans: {}, subscriptions: {}",
+            self.tables, self.cached_plans, self.subscriptions
+        )?;
+        if let Some(note) = &self.sub_index_note {
+            writeln!(f, "subscription matcher: {note}")?;
+        }
         match (self.replica_lag_records, self.replica_lag_bytes) {
             (Some(records), Some(bytes)) => writeln!(
                 f,
@@ -254,7 +285,19 @@ pub struct Engine {
     /// Signalled on every standby acknowledgement (and on fencing), so
     /// synchronous mutations can wait without spinning.
     repl_cv: Condvar,
+    /// Cached inverted envelope index over the standing subscriptions,
+    /// rebuilt when its key (subscription generation, model versions,
+    /// compile flag) no longer matches the catalog.
+    sub_index: Mutex<Option<Arc<SubIndex>>>,
+    /// Where subscription match events go (installed by the server;
+    /// `None` drops them). Called *after* the insert's catalog lock is
+    /// released and replication has acknowledged, so a slow sink can
+    /// never block the write path.
+    notify_sink: RwLock<Option<NotifySink>>,
 }
+
+/// Callback receiving every subscription match event.
+pub type NotifySink = Arc<dyn Fn(MatchEvent) + Send + Sync>;
 
 /// Compile-time proof that the engine can be shared across threads.
 #[allow(dead_code)]
@@ -282,6 +325,8 @@ impl Engine {
             persist: Mutex::new(None),
             repl: Mutex::new(ReplState::default()),
             repl_cv: Condvar::new(),
+            sub_index: Mutex::new(None),
+            notify_sink: RwLock::new(None),
         }
     }
 
@@ -320,6 +365,8 @@ impl Engine {
             })),
             repl: Mutex::new(ReplState::default()),
             repl_cv: Condvar::new(),
+            sub_index: Mutex::new(None),
+            notify_sink: RwLock::new(None),
         })
     }
 
@@ -582,6 +629,104 @@ impl Engine {
     /// default).
     pub fn fault_injector(&self) -> Arc<FaultInjector> {
         self.read_catalog().fault_injector()
+    }
+
+    // ---- standing subscriptions (predicate pub/sub) ------------------
+
+    /// Installs (or clears) the callback that receives subscription
+    /// match events. The server installs one sink per process and fans
+    /// events out to subscriber sessions; embedded users can install a
+    /// channel sender. Events are delivered on the inserting thread,
+    /// after the insert is durable, replicated, and unlocked.
+    pub fn set_notify_sink(&self, sink: Option<NotifySink>) {
+        *self.notify_sink.write().unwrap_or_else(|e| e.into_inner()) = sink;
+    }
+
+    /// The inverted envelope index for the current subscription set,
+    /// reusing the cached build when its key still matches (same
+    /// subscription generation, same model versions, same compile
+    /// setting).
+    fn sub_index_for(&self, catalog: &Catalog, compile: bool) -> Arc<SubIndex> {
+        let mut cached = self.sub_index.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(idx) = cached.as_ref() {
+            if *idx.key() == crate::subscribe::IndexKey::current(catalog, compile) {
+                return Arc::clone(idx);
+            }
+        }
+        let idx = Arc::new(SubIndex::build(catalog, compile));
+        *cached = Some(Arc::clone(&idx));
+        idx
+    }
+
+    /// Matches the rows appended at `first_row..` against every
+    /// standing subscription on `table`. Runs under the catalog write
+    /// lock, immediately after the insert applied, so the match set is
+    /// exactly what re-running each subscription's query from scratch
+    /// over the post-insert table would add — the differential oracle's
+    /// definition of correct delivery.
+    ///
+    /// Returns the events plus the statement-level counters
+    /// (`subs_matched`, `subs_index_pruned`).
+    fn match_subscriptions(
+        &self,
+        catalog: &Catalog,
+        table: usize,
+        first_row: RowId,
+    ) -> (Vec<MatchEvent>, u64, u64) {
+        if catalog.n_subscriptions() == 0 {
+            return (Vec::new(), 0, 0);
+        }
+        let opts = self.options();
+        let compile = opts.compile_models && !catalog.faults().any_scorer_fault_armed();
+        let idx = self.sub_index_for(catalog, compile);
+        if idx.n_subs(table) == 0 {
+            return (Vec::new(), 0, 0);
+        }
+        // Degraded mode: with the index-corruption fault armed the
+        // matcher evaluates every subscription in full. Identical
+        // matches by construction (the index is only ever a
+        // necessary-condition filter), recorded as a health note.
+        let naive = catalog.faults().sub_index_corrupt_armed();
+        catalog.set_sub_index_note(naive.then(|| {
+            "inverted subscription index distrusted (corruption fault armed); \
+             every subscription evaluated in full against each inserted row"
+                .to_string()
+        }));
+        let cascades = crate::compile::build_cascades(catalog, idx.models(table));
+        let memo = MemoScorer::with_cascades(catalog, DEFAULT_MEMO_CAPACITY, cascades);
+        let t = &catalog.table(table).table;
+        let name = t.name().to_string();
+        let mut events = Vec::new();
+        let (mut matched, mut pruned) = (0u64, 0u64);
+        for row_id in first_row..t.n_rows() as RowId {
+            let row = t.row(row_id);
+            let (subs, metrics) = idx.match_row(table, &row, &memo, naive);
+            matched += subs.len() as u64;
+            pruned += metrics.index_pruned;
+            for sub in subs {
+                events.push(MatchEvent {
+                    subscription: sub,
+                    table: name.clone(),
+                    row_id,
+                    row: row.clone(),
+                    metrics,
+                });
+            }
+        }
+        (events, matched, pruned)
+    }
+
+    /// Hands match events to the installed notify sink, if any.
+    fn deliver_matches(&self, events: Vec<MatchEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        let sink = self.notify_sink.read().unwrap_or_else(|e| e.into_inner()).clone();
+        if let Some(sink) = sink {
+            for event in events {
+                sink(event);
+            }
+        }
     }
 
     // ---- replication -------------------------------------------------
@@ -878,6 +1023,8 @@ impl Engine {
             epoch: catalog.epoch(),
             replica_lag_records: lag_records,
             replica_lag_bytes: lag_bytes,
+            subscriptions: catalog.n_subscriptions(),
+            sub_index_note: catalog.sub_index_note(),
         }
     }
 
@@ -1207,15 +1354,16 @@ impl Engine {
                 Ok(StatementOutcome::GuardSet { guard })
             }
             Statement::Insert { table, rows } => {
-                let (outcome, lsn) = {
+                let (outcome, lsn, events) = {
                     let mut catalog = self.write_catalog();
                     // Stamp check first: a retried INSERT whose response
                     // was lost must come back with the original outcome,
                     // not apply again. The replayed ack still gates on
                     // replication of the *last* local record — the
-                    // original apply may not have shipped yet.
+                    // original apply may not have shipped yet. No events
+                    // either: the original apply already delivered them.
                     if let Some(replayed) = self.check_stamp(&catalog, stamp)? {
-                        (replayed, self.last_lsn())
+                        (replayed, self.last_lsn(), Vec::new())
                     } else {
                         let t = &catalog.table(table).table;
                         // Re-validated under the exclusive lock: a logged
@@ -1224,18 +1372,100 @@ impl Engine {
                         validate_rows(t, &rows)?;
                         let name = t.name().to_string();
                         let rows_inserted = rows.len() as u64;
+                        let first_row = t.n_rows() as RowId;
                         let mut op = LogOp::Insert { table: name.clone(), rows };
                         if let Some(id) = stamp {
                             op = LogOp::Stamped { id, inner: Box::new(op) };
                         }
                         let lsn = self.apply_durable_locked(&mut catalog, op)?;
-                        (StatementOutcome::Inserted { table: name, rows_inserted }, lsn)
+                        // Match the new rows against standing
+                        // subscriptions while still holding the write
+                        // lock: the match set is exactly the delta a
+                        // from-scratch re-run of each subscription would
+                        // see at this point in the insert order.
+                        let (events, subs_matched, subs_index_pruned) =
+                            self.match_subscriptions(&catalog, table, first_row);
+                        if let Some(id) = stamp {
+                            // Overwrite the outcome recovery recorded so
+                            // a deduplicated retry reports the original
+                            // match counters.
+                            catalog.dedup_mut().record(
+                                id,
+                                DedupOutcome::Inserted {
+                                    table: name.clone(),
+                                    rows_inserted,
+                                    subs_matched,
+                                    subs_index_pruned,
+                                },
+                            );
+                        }
+                        (
+                            StatementOutcome::Inserted {
+                                table: name,
+                                rows_inserted,
+                                subs_matched,
+                                subs_index_pruned,
+                            },
+                            lsn,
+                            events,
+                        )
                     }
                 };
                 // Catalog lock dropped: the mutation is durable locally,
                 // but with synchronous replication on, success is only
                 // reported once the standby has it too (zero lost acks
                 // across a failover).
+                self.wait_replicated(lsn, REPL_ACK_TIMEOUT)?;
+                // Notifications go out last — after durability and
+                // replication — so a subscriber can never observe a
+                // match the writer was not yet acknowledged for.
+                self.deliver_matches(events);
+                Ok(outcome)
+            }
+            Statement::Subscribe { query, sql: inner_sql } => {
+                let (outcome, lsn) = {
+                    let mut catalog = self.write_catalog();
+                    if let Some(replayed) = self.check_stamp(&catalog, stamp)? {
+                        (replayed, self.last_lsn())
+                    } else {
+                        let id = catalog.next_subscription_id();
+                        // Pre-validate exactly what replay will do: the
+                        // logged text must re-parse, or it may not reach
+                        // the WAL. (It just parsed above, but against a
+                        // borrowed statement — this is cheap insurance
+                        // that text and parse stay in lockstep.)
+                        let _ = query;
+                        crate::sql::parse(&inner_sql, &catalog)?;
+                        let mut op = LogOp::Subscribe { id, sql: inner_sql };
+                        if let Some(sid) = stamp {
+                            op = LogOp::Stamped { id: sid, inner: Box::new(op) };
+                        }
+                        let lsn = self.apply_durable_locked(&mut catalog, op)?;
+                        (StatementOutcome::Subscribed { id }, lsn)
+                    }
+                };
+                self.wait_replicated(lsn, REPL_ACK_TIMEOUT)?;
+                Ok(outcome)
+            }
+            Statement::Unsubscribe { id } => {
+                let (outcome, lsn) = {
+                    let mut catalog = self.write_catalog();
+                    if let Some(replayed) = self.check_stamp(&catalog, stamp)? {
+                        (replayed, self.last_lsn())
+                    } else {
+                        // Pre-validate: an UNSUBSCRIBE of an unknown id
+                        // must fail typed here, not poison replay.
+                        if catalog.subscription(id).is_none() {
+                            return Err(EngineError::UnknownSubscription(id));
+                        }
+                        let mut op = LogOp::Unsubscribe { id };
+                        if let Some(sid) = stamp {
+                            op = LogOp::Stamped { id: sid, inner: Box::new(op) };
+                        }
+                        let lsn = self.apply_durable_locked(&mut catalog, op)?;
+                        (StatementOutcome::Unsubscribed { id }, lsn)
+                    }
+                };
                 self.wait_replicated(lsn, REPL_ACK_TIMEOUT)?;
                 Ok(outcome)
             }
@@ -1298,10 +1528,16 @@ fn reconstruct_outcome(
     o: &DedupOutcome,
 ) -> Result<StatementOutcome, EngineError> {
     match o {
-        DedupOutcome::Inserted { table, rows_inserted } => Ok(StatementOutcome::Inserted {
-            table: table.clone(),
-            rows_inserted: *rows_inserted,
-        }),
+        DedupOutcome::Inserted { table, rows_inserted, subs_matched, subs_index_pruned } => {
+            Ok(StatementOutcome::Inserted {
+                table: table.clone(),
+                rows_inserted: *rows_inserted,
+                subs_matched: *subs_matched,
+                subs_index_pruned: *subs_index_pruned,
+            })
+        }
+        DedupOutcome::Subscribed { id } => Ok(StatementOutcome::Subscribed { id: *id }),
+        DedupOutcome::Unsubscribed { id } => Ok(StatementOutcome::Unsubscribed { id: *id }),
         DedupOutcome::ModelCreated { name, n_classes, degraded } => {
             let model = catalog.model_by_name(name).ok_or_else(|| EngineError::Internal {
                 detail: format!("deduplicated CREATE of model '{name}' but it is missing"),
@@ -1313,8 +1549,8 @@ fn reconstruct_outcome(
                 degraded: degraded.clone(),
             })
         }
-        // Statement-level stamps only cover INSERT and CREATE MINING
-        // MODEL, both of which record a shaped outcome.
+        // Statement-level stamps only cover statements that record a
+        // shaped outcome.
         DedupOutcome::Applied => Err(EngineError::Internal {
             detail: "recorded dedup outcome has no statement-level shape".to_string(),
         }),

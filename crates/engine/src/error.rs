@@ -102,6 +102,8 @@ pub enum EngineError {
         /// This node's current epoch.
         have: u64,
     },
+    /// `UNSUBSCRIBE` named a subscription id that is not registered.
+    UnknownSubscription(u64),
 }
 
 impl std::fmt::Display for EngineError {
@@ -128,6 +130,9 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::StaleEpoch { sent, have } => {
                 write!(f, "stale replication epoch {sent} (this node is at epoch {have})")
+            }
+            EngineError::UnknownSubscription(id) => {
+                write!(f, "no standing subscription with id {id}")
             }
         }
     }

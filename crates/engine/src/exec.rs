@@ -96,6 +96,14 @@ pub struct ExecMetrics {
     /// chosen index path and fall back to a full scan with the complete
     /// residual predicate (same row set, more pages).
     pub index_fallback: bool,
+    /// (Subscription, row) matches produced while this statement's
+    /// inserted rows were tested against standing subscriptions. Always
+    /// zero for SELECTs — queries do not match subscriptions.
+    pub subs_matched: u64,
+    /// (Subscription, row) candidacies the inverted subscription index
+    /// pruned without evaluating the rewritten predicate. Always zero
+    /// for SELECTs.
+    pub subs_index_pruned: u64,
 }
 
 impl ExecMetrics {
@@ -1230,6 +1238,8 @@ mod tests {
         assert_eq!(s.band_rows, p.band_rows);
         assert_eq!(s.output_rows, p.output_rows);
         assert_eq!(s.index_fallback, p.index_fallback);
+        assert_eq!(s.subs_matched, p.subs_matched);
+        assert_eq!(s.subs_index_pruned, p.subs_index_pruned);
         assert_eq!(s.guard.rows_remaining, p.guard.rows_remaining);
         assert_eq!(s.guard.pages_remaining, p.guard.pages_remaining);
         assert_eq!(

@@ -47,6 +47,8 @@ pub struct FaultInjector {
     repl_drop_stream: AtomicBool,
     repl_stall: AtomicBool,
     repl_duplicate: AtomicBool,
+    notify_overflow_pulse: AtomicBool,
+    sub_index_corrupt: AtomicBool,
 }
 
 impl Default for FaultInjector {
@@ -71,6 +73,8 @@ impl Default for FaultInjector {
             repl_drop_stream: AtomicBool::new(false),
             repl_stall: AtomicBool::new(false),
             repl_duplicate: AtomicBool::new(false),
+            notify_overflow_pulse: AtomicBool::new(false),
+            sub_index_corrupt: AtomicBool::new(false),
         }
     }
 }
@@ -397,6 +401,45 @@ impl FaultInjector {
         self.repl_duplicate.load(Ordering::Relaxed)
     }
 
+    // -- subscription (pub/sub) faults --------------------------------
+
+    /// Arm a notification-queue overflow pulse: the *next* time a
+    /// session enqueues a push notification, the server treats its
+    /// queue as full — the notification is dropped and a gap marker is
+    /// recorded, exactly as a genuinely lagging subscriber would see.
+    /// The write path is never blocked. One-shot: consumed by the
+    /// enqueue that honours it.
+    pub fn set_notify_overflow_pulse(&self, on: bool) {
+        self.notify_overflow_pulse.store(on, Ordering::Relaxed);
+    }
+
+    /// Consumes the overflow-pulse arm (one-shot), returning whether it
+    /// was set.
+    pub fn take_notify_overflow_pulse(&self) -> bool {
+        self.notify_overflow_pulse.swap(false, Ordering::Relaxed)
+    }
+
+    /// True when an overflow pulse is armed (not yet consumed).
+    pub fn notify_overflow_pulse_armed(&self) -> bool {
+        self.notify_overflow_pulse.load(Ordering::Relaxed)
+    }
+
+    /// Arm/disarm subscription-index corruption: the matcher distrusts
+    /// its inverted envelope index and falls back to evaluating every
+    /// registered subscription in full against each inserted row,
+    /// recording a typed health note. Sound by construction — the index
+    /// is only ever a necessary-condition filter, so the fallback
+    /// delivers the identical notification set (just slower).
+    /// Level-triggered: it models a corrupted structure, not one probe.
+    pub fn set_sub_index_corrupt(&self, on: bool) {
+        self.sub_index_corrupt.store(on, Ordering::Relaxed);
+    }
+
+    /// True when the subscription matcher should distrust its index.
+    pub fn sub_index_corrupt_armed(&self) -> bool {
+        self.sub_index_corrupt.load(Ordering::Relaxed)
+    }
+
     /// Disarms every fault.
     pub fn reset(&self) {
         self.set_index_probe_failure(false);
@@ -418,6 +461,8 @@ impl FaultInjector {
         self.set_repl_drop_stream(false);
         self.set_repl_stall(false);
         self.set_repl_duplicate(false);
+        self.set_notify_overflow_pulse(false);
+        self.set_sub_index_corrupt(false);
     }
 
     /// True when any fault is armed.
@@ -441,6 +486,8 @@ impl FaultInjector {
             || self.repl_drop_stream_armed()
             || self.repl_stall_armed()
             || self.repl_duplicate_armed()
+            || self.notify_overflow_pulse_armed()
+            || self.sub_index_corrupt_armed()
     }
 }
 
@@ -507,6 +554,22 @@ mod tests {
         assert!(f.take_repl_duplicate());
         assert!(!f.repl_duplicate_armed());
         assert!(f.repl_stall_armed());
+        f.reset();
+        assert!(!f.any_armed());
+    }
+
+    #[test]
+    fn subscription_faults_round_trip_and_pulse_consumes() {
+        let f = FaultInjector::new();
+        f.set_notify_overflow_pulse(true);
+        f.set_sub_index_corrupt(true);
+        assert!(f.any_armed());
+        // The overflow pulse is one-shot; index corruption is
+        // level-triggered.
+        assert!(f.take_notify_overflow_pulse());
+        assert!(!f.take_notify_overflow_pulse());
+        assert!(f.sub_index_corrupt_armed());
+        assert!(f.sub_index_corrupt_armed());
         f.reset();
         assert!(!f.any_armed());
     }

@@ -41,6 +41,7 @@ mod rewrite;
 mod session;
 mod sql;
 mod stats;
+mod subscribe;
 mod table;
 mod tuner;
 mod vectorized;
@@ -49,7 +50,7 @@ pub use catalog::{Catalog, ModelEntry, TableEntry};
 pub use dedup::{DedupCheck, DedupLimits, DedupOutcome, StatementDedup};
 pub use display::{expr_to_sql, plan_to_string};
 pub use ddl::{create_model, labeled_view, ProjectedModel};
-pub use engine::{Engine, EngineHealth, ModelHealth, QueryOutcome, StatementOutcome};
+pub use engine::{Engine, EngineHealth, ModelHealth, NotifySink, QueryOutcome, StatementOutcome};
 pub use error::{EngineError, GuardResource};
 pub use exec::{execute, execute_guarded, execute_opts, ExecMetrics, ExecOptions, ExecResult};
 pub use fault::FaultInjector;
@@ -65,6 +66,7 @@ pub use rewrite::{envelope_expr_for, rewrite_mining, rewrite_mining_opts};
 pub use session::SessionState;
 pub use sql::{parse, parse_statement, ModelAlgorithm, ParsedQuery, Statement};
 pub use stats::{ColumnStats, TableStats};
+pub use subscribe::{MatchEvent, MatchMetrics, Subscription};
 pub use table::{RowId, Table, ASSUMED_COLUMN_BYTES, DEFAULT_PAGE_BYTES};
 pub use tuner::{tune_indexes, TuningReport};
 pub use vectorized::{CompiledPredicate, DEFAULT_MEMO_CAPACITY};

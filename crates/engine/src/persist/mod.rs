@@ -347,6 +347,22 @@ pub enum LogOp {
         /// The new (strictly higher) epoch.
         epoch: u64,
     },
+    /// `SUBSCRIBE`: registers a standing subscription. The verbatim
+    /// query text rides in the log and is re-parsed against the
+    /// replayed catalog, so recovery reproduces exactly the predicate
+    /// the subscriber registered (tables and models it references were
+    /// logged before it).
+    Subscribe {
+        /// The stable subscription id assigned at registration.
+        id: u64,
+        /// The inner query's verbatim SQL text.
+        sql: String,
+    },
+    /// `UNSUBSCRIBE`: removes a standing subscription.
+    Unsubscribe {
+        /// The subscription id being removed.
+        id: u64,
+    },
 }
 
 const OP_CREATE_TABLE: u8 = 1;
@@ -358,6 +374,8 @@ const OP_RETRAIN: u8 = 6;
 const OP_CLEAN_SHUTDOWN: u8 = 7;
 const OP_STAMPED: u8 = 8;
 const OP_EPOCH_BUMP: u8 = 9;
+const OP_SUBSCRIBE: u8 = 10;
+const OP_UNSUBSCRIBE: u8 = 11;
 
 fn put_rows(w: &mut WireWriter, rows: &[Vec<Member>]) {
     w.put_u32(rows.len() as u32);
@@ -426,6 +444,15 @@ impl LogOp {
                 w.put_u8(OP_EPOCH_BUMP);
                 w.put_u64(*epoch);
             }
+            LogOp::Subscribe { id, sql } => {
+                w.put_u8(OP_SUBSCRIBE);
+                w.put_u64(*id);
+                w.put_str(sql);
+            }
+            LogOp::Unsubscribe { id } => {
+                w.put_u8(OP_UNSUBSCRIBE);
+                w.put_u64(*id);
+            }
         }
     }
 
@@ -473,6 +500,8 @@ impl LogOp {
                 LogOp::Stamped { id, inner: Box::new(inner) }
             }
             OP_EPOCH_BUMP => LogOp::EpochBump { epoch: r.get_u64()? },
+            OP_SUBSCRIBE => LogOp::Subscribe { id: r.get_u64()?, sql: r.get_str()? },
+            OP_UNSUBSCRIBE => LogOp::Unsubscribe { id: r.get_u64()? },
             other => {
                 return Err(EngineError::Corrupt { detail: format!("unknown log op {other}") })
             }
@@ -577,6 +606,11 @@ mod tests {
                 }),
             },
             LogOp::EpochBump { epoch: 3 },
+            LogOp::Subscribe {
+                id: 12,
+                sql: "SELECT * FROM t WHERE PREDICT(m) = 'a'".into(),
+            },
+            LogOp::Unsubscribe { id: 12 },
         ];
         for op in &ops {
             let mut w = WireWriter::new();

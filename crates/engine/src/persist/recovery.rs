@@ -129,6 +129,14 @@ pub(crate) fn apply_op(catalog: &mut Catalog, op: &LogOp) -> Result<(), EngineEr
             catalog.retrain_model_stored(id, model, *opts, Some(stored.clone()))
         }
         LogOp::CleanShutdown => Ok(()),
+        LogOp::Subscribe { id, sql } => {
+            // Re-parse the verbatim query text against the replayed
+            // catalog — the tables and models it references were logged
+            // before it, so a clean prefix always resolves.
+            let query = crate::sql::parse(sql, catalog)?;
+            catalog.add_subscription(*id, sql.clone(), query)
+        }
+        LogOp::Unsubscribe { id } => catalog.remove_subscription(*id),
         LogOp::EpochBump { epoch } => {
             if *epoch <= catalog.epoch() {
                 return Err(EngineError::Corrupt {
@@ -165,7 +173,15 @@ fn summarize_applied(catalog: &Catalog, inner: &LogOp) -> DedupOutcome {
         LogOp::Insert { table, rows } => DedupOutcome::Inserted {
             table: table.clone(),
             rows_inserted: rows.len() as u64,
+            // Replay cannot re-derive (or re-deliver) subscription
+            // matches; the live insert path overwrites these after
+            // matching. A replayed ack reports zero counters, which is
+            // truthful: the retry delivered nothing.
+            subs_matched: 0,
+            subs_index_pruned: 0,
         },
+        LogOp::Subscribe { id, .. } => DedupOutcome::Subscribed { id: *id },
+        LogOp::Unsubscribe { id } => DedupOutcome::Unsubscribed { id: *id },
         LogOp::CreateModel { name, .. } => {
             let (n_classes, degraded) = match catalog.model_by_name(name) {
                 Some(id) => {
@@ -224,6 +240,11 @@ pub(crate) fn build_catalog(
     }
     catalog.set_dedup(state.dedup);
     catalog.set_epoch(state.epoch);
+    for (id, sql) in state.subscriptions {
+        let query = crate::sql::parse(&sql, &catalog)?;
+        catalog.add_subscription(id, sql, query)?;
+    }
+    catalog.clamp_next_subscription_id(state.next_sub_id);
     Ok((catalog, state.last_lsn))
 }
 

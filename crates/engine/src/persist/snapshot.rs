@@ -69,6 +69,13 @@ pub(crate) struct SnapshotState {
     /// Replication epoch as of `last_lsn` (0 when the snapshot predates
     /// the replication format extension).
     pub epoch: u64,
+    /// Standing subscriptions as of `last_lsn` — (id, verbatim query
+    /// text) pairs, re-parsed against the rebuilt catalog (empty when
+    /// the snapshot predates the pub/sub format extension).
+    pub subscriptions: Vec<(u64, String)>,
+    /// Next subscription id to assign (0 in pre-pub/sub snapshots; the
+    /// catalog clamps upward so ids are never reused).
+    pub next_sub_id: u64,
 }
 
 /// Serializes the durable parts of a catalog into snapshot file bytes.
@@ -104,6 +111,12 @@ pub(crate) fn serialize_catalog(catalog: &Catalog, last_lsn: u64) -> Vec<u8> {
     }
     catalog.dedup().encode(&mut w);
     w.put_u64(catalog.epoch());
+    w.put_u32(catalog.n_subscriptions() as u32);
+    for sub in catalog.subscriptions() {
+        w.put_u64(sub.id);
+        w.put_str(&sub.sql);
+    }
+    w.put_u64(catalog.next_subscription_id());
     let payload = w.into_bytes();
     let mut bytes = Vec::with_capacity(SNAPSHOT_MAGIC.len() + 8 + payload.len());
     bytes.extend_from_slice(SNAPSHOT_MAGIC);
@@ -177,12 +190,28 @@ pub(crate) fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotState, EngineError
         if r.is_exhausted() { StatementDedup::default() } else { StatementDedup::decode(&mut r)? };
     // The epoch tail was appended later still; absent means epoch 0.
     let epoch = if r.is_exhausted() { 0 } else { r.get_u64()? };
+    // The subscriptions tail is the newest extension; absent means no
+    // standing subscriptions.
+    let (subscriptions, next_sub_id) = if r.is_exhausted() {
+        (Vec::new(), 0)
+    } else {
+        let n = r.get_u32()? as usize;
+        if n > r.remaining() {
+            return Err(EngineError::Corrupt {
+                detail: "subscription count exceeds snapshot".into(),
+            });
+        }
+        let subs: Vec<(u64, String)> = (0..n)
+            .map(|_| Ok((r.get_u64()?, r.get_str()?)))
+            .collect::<Result<_, EngineError>>()?;
+        (subs, r.get_u64()?)
+    };
     if !r.is_exhausted() {
         return Err(EngineError::Corrupt {
             detail: "trailing bytes inside snapshot payload".to_string(),
         });
     }
-    Ok(SnapshotState { last_lsn, tables, models, dedup, epoch })
+    Ok(SnapshotState { last_lsn, tables, models, dedup, epoch, subscriptions, next_sub_id })
 }
 
 /// Writes a snapshot of `catalog` covering the log through `last_lsn`,
@@ -253,6 +282,25 @@ mod tests {
         assert_eq!(state.tables[0].columns[0].len(), 10);
         assert_eq!(state.tables[0].indexes, vec![vec![0u16]]);
         assert!(state.models.is_empty());
+    }
+
+    #[test]
+    fn subscriptions_ride_the_snapshot() {
+        let mut cat = demo_catalog();
+        let sql = "SELECT * FROM t WHERE a = 'x'";
+        let q = crate::sql::parse(sql, &cat).unwrap();
+        cat.add_subscription(3, sql.to_string(), q).unwrap();
+        // A removed subscription still pins the next-id floor.
+        let q = crate::sql::parse(sql, &cat).unwrap();
+        cat.add_subscription(7, sql.to_string(), q).unwrap();
+        cat.remove_subscription(7).unwrap();
+        let bytes = serialize_catalog(&cat, 9);
+        let state = decode_snapshot(&bytes).unwrap();
+        assert_eq!(state.subscriptions, vec![(3, sql.to_string())]);
+        assert_eq!(state.next_sub_id, 8);
+        for cut in 0..bytes.len() {
+            assert!(decode_snapshot(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -97,6 +97,23 @@ pub enum Statement {
     },
     /// `SET GUARD OFF`: clears every budget (the unlimited guard).
     SetGuardOff,
+    /// `SUBSCRIBE SELECT ...`: registers the query as a standing
+    /// subscription — every subsequently inserted row matching its
+    /// predicate is pushed to the subscriber. `sql` keeps the inner
+    /// query's verbatim text for durable registration (the WAL logs the
+    /// text and re-parses it at replay, so recovery sees the same
+    /// predicate the subscriber registered).
+    Subscribe {
+        /// The parsed inner query (validated against the catalog).
+        query: ParsedQuery,
+        /// The inner query's raw SQL text.
+        sql: String,
+    },
+    /// `UNSUBSCRIBE <id>`: removes a standing subscription.
+    Unsubscribe {
+        /// The subscription id returned by `SUBSCRIBE`.
+        id: u64,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -316,6 +333,18 @@ impl<'a> Parser<'a> {
         }
         if self.eat_kw("SET") {
             return self.set_statement();
+        }
+        if self.eat_kw("UNSUBSCRIBE") {
+            let id = match self.bump() {
+                Some(Tok::Num(n)) if n >= 0.0 && n.fract() == 0.0 => n as u64,
+                other => {
+                    return Err(
+                        self.err(format!("expected a subscription id, got {other:?}"))
+                    )
+                }
+            };
+            self.expect_end()?;
+            return Ok(Statement::Unsubscribe { id });
         }
         Ok(Statement::Select(self.query()?))
     }
@@ -718,6 +747,32 @@ pub fn parse(input: &str, catalog: &Catalog) -> Result<ParsedQuery, EngineError>
 /// Parses one statement (query or DDL) against the catalog.
 pub fn parse_statement(input: &str, catalog: &Catalog) -> Result<Statement, EngineError> {
     let toks = lex(input)?;
+    // `SUBSCRIBE <query>` is handled here rather than in the token
+    // parser because the subscription must keep the inner query's
+    // *verbatim text* (for durable WAL registration) — the byte offset
+    // of the second token slices it out of `input` exactly.
+    if let Some((_, Tok::Ident(kw))) = toks.first() {
+        if kw.eq_ignore_ascii_case("SUBSCRIBE") {
+            let Some(&(start, _)) = toks.get(1) else {
+                return Err(EngineError::Parse {
+                    at: input.len(),
+                    detail: "expected a query after SUBSCRIBE".into(),
+                });
+            };
+            let sql = input[start..].trim().to_string();
+            let mut p = Parser { toks, pos: 1, catalog, schema: None, table: None };
+            let query = p.query()?;
+            if query.explain || query.count_only {
+                return Err(EngineError::Parse {
+                    at: start,
+                    detail: "SUBSCRIBE takes a plain SELECT * query (no EXPLAIN or \
+                             COUNT(*))"
+                        .into(),
+                });
+            }
+            return Ok(Statement::Subscribe { query, sql });
+        }
+    }
     let mut p = Parser { toks, pos: 0, catalog, schema: None, table: None };
     p.statement()
 }
@@ -919,5 +974,40 @@ mod tests {
         let cat = catalog();
         let q = parse("SELECT * FROM [people] WHERE [age] > 63", &cat).unwrap();
         assert_eq!(q.table, 0);
+    }
+
+    #[test]
+    fn parses_subscribe_and_unsubscribe() {
+        let cat = catalog();
+        let s = parse_statement(
+            "SUBSCRIBE SELECT * FROM people WHERE PREDICT(m) = 'c2'",
+            &cat,
+        )
+        .unwrap();
+        match s {
+            Statement::Subscribe { query, sql } => {
+                assert_eq!(query.table, 0);
+                assert_eq!(sql, "SELECT * FROM people WHERE PREDICT(m) = 'c2'");
+                assert!(!query.explain && !query.count_only);
+            }
+            other => panic!("expected Subscribe, got {other:?}"),
+        }
+        // Keyword is case-insensitive; the captured text is verbatim.
+        let s = parse_statement("subscribe select * from people", &cat).unwrap();
+        assert!(matches!(
+            s,
+            Statement::Subscribe { ref sql, .. } if sql == "select * from people"
+        ));
+        assert_eq!(
+            parse_statement("UNSUBSCRIBE 7", &cat).unwrap(),
+            Statement::Unsubscribe { id: 7 }
+        );
+        // EXPLAIN / COUNT(*) / malformed forms reject at parse.
+        assert!(parse_statement("SUBSCRIBE EXPLAIN SELECT * FROM people", &cat).is_err());
+        assert!(parse_statement("SUBSCRIBE SELECT COUNT(*) FROM people", &cat).is_err());
+        assert!(parse_statement("SUBSCRIBE", &cat).is_err());
+        assert!(parse_statement("UNSUBSCRIBE", &cat).is_err());
+        assert!(parse_statement("UNSUBSCRIBE 1.5", &cat).is_err());
+        assert!(parse_statement("UNSUBSCRIBE 7 trailing", &cat).is_err());
     }
 }

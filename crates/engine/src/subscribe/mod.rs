@@ -1,0 +1,62 @@
+//! Standing mining-predicate subscriptions (predicate pub/sub).
+//!
+//! The paper's envelope rewrite turns an opaque `PREDICT(m) = c` into a
+//! sound attribute-space predicate. That move inverts cleanly: instead
+//! of one query scanning many rows, many *standing* queries can be
+//! matched against one arriving row by indexing the registered
+//! envelopes themselves. A client runs `SUBSCRIBE SELECT * FROM t WHERE
+//! ...`, the engine registers the query durably (the WAL logs the
+//! verbatim SQL and re-parses it at replay), and every subsequently
+//! inserted row that satisfies the predicate is pushed back as a
+//! [`MatchEvent`].
+//!
+//! The matcher ([`index::SubIndex`]) groups the subscriptions' envelope
+//! DNF clauses by (column, member-mask) so one inserted row walks
+//! shared clause prefixes instead of evaluating every predicate
+//! independently; candidate subscriptions then evaluate their full
+//! rewritten predicate through a shared [`crate::vectorized` memo
+//! scorer](crate::vectorized), so subscriptions sharing a model pay for
+//! at most one scorer call per row — and exactly-compiled subscriptions
+//! pay zero by construction.
+
+mod index;
+
+pub use index::MatchMetrics;
+pub(crate) use index::{IndexKey, SubIndex};
+
+use crate::expr::Expr;
+use crate::table::RowId;
+use mpq_types::Member;
+
+/// A registered standing subscription.
+#[derive(Debug, Clone)]
+pub struct Subscription {
+    /// Stable id assigned at registration (monotone per catalog).
+    pub id: u64,
+    /// The table the standing query watches.
+    pub table: usize,
+    /// The inner query's verbatim SQL text. Durable registration logs
+    /// this text and re-parses it at recovery, so a replayed catalog
+    /// sees exactly the predicate the subscriber registered.
+    pub sql: String,
+    /// The parsed predicate (as registered, before envelope rewriting —
+    /// the matcher rewrites against the live catalog so retrained
+    /// models take effect).
+    pub(crate) predicate: Expr,
+}
+
+/// One pushed match: an inserted row satisfied a standing subscription.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchEvent {
+    /// The subscription that matched.
+    pub subscription: u64,
+    /// Name of the table the row landed in.
+    pub table: String,
+    /// Row id of the inserted row.
+    pub row_id: RowId,
+    /// The matched row (encoded members, schema order).
+    pub row: Vec<Member>,
+    /// How the match was found (index-pruned vs residual-evaluated vs
+    /// scorer-banded counts for the row that produced it).
+    pub metrics: MatchMetrics,
+}

@@ -59,7 +59,7 @@ fn retried_stamped_insert_applies_exactly_once() {
     let first = e.execute_sql_stamped(INSERT, &mut s, id(0)).unwrap();
     assert!(matches!(
         &first,
-        StatementOutcome::Inserted { table, rows_inserted: 2 } if table == "t"
+        StatementOutcome::Inserted { table, rows_inserted: 2, .. } if table == "t"
     ));
     assert_eq!(rows_in(&e), before + 2);
 

@@ -32,16 +32,18 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod notify;
 pub mod protocol;
 pub mod replication;
 pub mod server;
 pub mod supervisor;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionError, AdmissionStats};
+pub use notify::{NotifyQueue, SubRegistry, DEFAULT_NOTIFY_QUEUE_CAP};
 pub use protocol::{
-    decode_frame, encode_frame, FrameError, Request, Response, ServerError,
+    decode_frame, encode_frame, FrameError, Notification, Request, Response, ServerError,
     DEFAULT_MAX_FRAME_LEN, FRAME_HEADER_LEN, PROTO_VERSION, PROTO_VERSION_V3,
-    PROTO_VERSION_V4,
+    PROTO_VERSION_V4, PROTO_VERSION_V5,
 };
 pub use replication::{start_shipper, PeerError, PeerState, ReplPeer, ShipperConfig, ShipperHandle};
 pub use server::{DrainReport, Server, ServerConfig};

@@ -1,0 +1,296 @@
+//! Server-push plumbing for standing subscriptions (DESIGN.md §14).
+//!
+//! The engine matches inserted rows against the durable subscription
+//! catalog and hands each match to the server through its notify sink.
+//! This module routes those [`MatchEvent`]s to the session that issued
+//! the `SUBSCRIBE`, through a **bounded** per-session queue:
+//!
+//! * The sink side ([`SubRegistry::deliver`]) runs on the *writer's*
+//!   connection thread, immediately after its INSERT was acked. It must
+//!   never block — a slow subscriber cannot be allowed to stall the
+//!   write path — so when a session's queue is full the event is
+//!   dropped and counted.
+//! * The drain side (the subscriber's own connection thread, on its
+//!   25 ms idle tick and after each of its responses) pops
+//!   notifications and writes them as `Notify` frames. Counted drops
+//!   surface as a single [`Notification::Gap`] in stream position —
+//!   strictly after every event that preceded the loss — so a lagging
+//!   subscriber knows exactly that (and how much) it missed, and
+//!   everything it *did* receive is in true insert order.
+//!
+//! Subscription ownership is session-scoped and in-memory: the
+//! subscription itself is durable engine state and survives crashes,
+//! but after its session dies (or after recovery) its matches have no
+//! live queue and are dropped here until some session re-subscribes.
+
+use crate::protocol::Notification;
+use mpq_engine::{FaultInjector, MatchEvent};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Default bound on a session's pending-notification queue. Beyond
+/// this, new matches are dropped and summarized by a gap marker.
+pub const DEFAULT_NOTIFY_QUEUE_CAP: usize = 256;
+
+/// A bounded per-session queue of pending push notifications.
+#[derive(Debug)]
+pub struct NotifyQueue {
+    inner: Mutex<QueueInner>,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct QueueInner {
+    queue: VecDeque<Notification>,
+    /// Matches dropped since the last gap marker was enqueued (or
+    /// popped). Positionally these losses happened *after* everything
+    /// currently in `queue`.
+    dropped: u64,
+}
+
+impl NotifyQueue {
+    fn new(cap: usize) -> NotifyQueue {
+        NotifyQueue {
+            inner: Mutex::new(QueueInner { queue: VecDeque::new(), dropped: 0 }),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues one match, never blocking: on overflow (or an armed
+    /// `notify_overflow_pulse` fault, which force-drops exactly one
+    /// event) the event is counted into the pending gap instead.
+    fn push(&self, n: Notification, faults: &FaultInjector) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        // A pending gap flushes as soon as there is room: it must stay
+        // ordered before any later event.
+        if g.dropped > 0 && g.queue.len() < self.cap {
+            let gap = Notification::Gap { dropped: g.dropped };
+            g.dropped = 0;
+            g.queue.push_back(gap);
+        }
+        if faults.take_notify_overflow_pulse() || g.queue.len() >= self.cap {
+            g.dropped += 1;
+            return;
+        }
+        g.queue.push_back(n);
+    }
+
+    /// Pops the next notification, if any. An outstanding gap with an
+    /// empty queue surfaces here — the consumer learns about the loss
+    /// even if no further match ever arrives.
+    pub fn pop(&self) -> Option<Notification> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(n) = g.queue.pop_front() {
+            return Some(n);
+        }
+        if g.dropped > 0 {
+            let gap = Notification::Gap { dropped: g.dropped };
+            g.dropped = 0;
+            return Some(gap);
+        }
+        None
+    }
+}
+
+/// Routes subscription matches to the sessions that own them.
+#[derive(Debug, Default)]
+pub struct SubRegistry {
+    /// subscription id → owning session id.
+    owners: Mutex<HashMap<u64, u64>>,
+    /// session id → that connection's pending-notification queue.
+    queues: Mutex<HashMap<u64, Arc<NotifyQueue>>>,
+}
+
+impl SubRegistry {
+    /// Creates a queue for a freshly handshaken session.
+    pub fn register_session(&self, session_id: u64, cap: usize) -> Arc<NotifyQueue> {
+        let q = Arc::new(NotifyQueue::new(cap));
+        self.queues
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(session_id, Arc::clone(&q));
+        q
+    }
+
+    /// Tears down a session: its queue goes away, and so does its claim
+    /// on any subscriptions (which remain durable engine state — their
+    /// future matches simply have no live consumer).
+    pub fn drop_session(&self, session_id: u64) {
+        self.queues.lock().unwrap_or_else(|e| e.into_inner()).remove(&session_id);
+        self.owners
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|_, owner| *owner != session_id);
+    }
+
+    /// Records that `session_id` issued the `SUBSCRIBE` that created
+    /// subscription `sub_id` — its matches push to that session.
+    pub fn claim(&self, sub_id: u64, session_id: u64) {
+        self.owners.lock().unwrap_or_else(|e| e.into_inner()).insert(sub_id, session_id);
+    }
+
+    /// Forgets a subscription's owner (after `UNSUBSCRIBE`, from any
+    /// session).
+    pub fn release(&self, sub_id: u64) {
+        self.owners.lock().unwrap_or_else(|e| e.into_inner()).remove(&sub_id);
+    }
+
+    /// Sink entry point: files one engine match into its owner's queue.
+    /// Unowned matches (recovered subscriptions, dead sessions) drop
+    /// silently. Never blocks.
+    pub fn deliver(&self, ev: MatchEvent, faults: &FaultInjector) {
+        let owner = self
+            .owners
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&ev.subscription)
+            .copied();
+        let Some(session_id) = owner else { return };
+        let queue = self
+            .queues
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&session_id)
+            .cloned();
+        let Some(queue) = queue else { return };
+        queue.push(
+            Notification::Match {
+                subscription: ev.subscription,
+                table: ev.table,
+                row_id: ev.row_id,
+                row: ev.row,
+                metrics: ev.metrics,
+            },
+            faults,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_engine::MatchMetrics;
+
+    fn ev(sub: u64, row_id: u32) -> MatchEvent {
+        MatchEvent {
+            subscription: sub,
+            table: "t".to_string(),
+            row_id,
+            row: vec![1, 2],
+            metrics: MatchMetrics::default(),
+        }
+    }
+
+    #[test]
+    fn overflow_drops_new_events_and_surfaces_one_gap_in_order() {
+        let faults = FaultInjector::default();
+        let q = NotifyQueue::new(2);
+        for i in 0..5 {
+            q.push(
+                Notification::Match {
+                    subscription: 1,
+                    table: "t".into(),
+                    row_id: i,
+                    row: vec![],
+                    metrics: MatchMetrics::default(),
+                },
+                &faults,
+            );
+        }
+        // Two queued, three dropped; the gap pops after the survivors.
+        match q.pop().unwrap() {
+            Notification::Match { row_id, .. } => assert_eq!(row_id, 0),
+            g => panic!("{g:?}"),
+        }
+        match q.pop().unwrap() {
+            Notification::Match { row_id, .. } => assert_eq!(row_id, 1),
+            g => panic!("{g:?}"),
+        }
+        assert_eq!(q.pop(), Some(Notification::Gap { dropped: 3 }));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn gap_flushes_before_later_events_once_there_is_room() {
+        let faults = FaultInjector::default();
+        let q = NotifyQueue::new(3);
+        for i in 0..5 {
+            q.push(
+                Notification::Match {
+                    subscription: 1,
+                    table: "t".into(),
+                    row_id: i,
+                    row: vec![],
+                    metrics: MatchMetrics::default(),
+                },
+                &faults,
+            );
+        }
+        // Drain the three survivors; rows 3 and 4 are the pending gap.
+        for want in 0..3 {
+            match q.pop().unwrap() {
+                Notification::Match { row_id, .. } => assert_eq!(row_id, want),
+                g => panic!("{g:?}"),
+            }
+        }
+        // A later push finds room: the gap lands first, then the event.
+        q.push(
+            Notification::Match {
+                subscription: 1,
+                table: "t".into(),
+                row_id: 9,
+                row: vec![],
+                metrics: MatchMetrics::default(),
+            },
+            &faults,
+        );
+        assert_eq!(q.pop(), Some(Notification::Gap { dropped: 2 }));
+        match q.pop().unwrap() {
+            Notification::Match { row_id, .. } => assert_eq!(row_id, 9),
+            g => panic!("{g:?}"),
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_pulse_fault_drops_exactly_one_event() {
+        let faults = FaultInjector::default();
+        let reg = SubRegistry::default();
+        let queue = reg.register_session(7, 16);
+        reg.claim(5, 7);
+        faults.set_notify_overflow_pulse(true);
+        reg.deliver(ev(5, 0), &faults); // eaten by the one-shot pulse
+        reg.deliver(ev(5, 1), &faults); // gap flushes first, then this
+        assert_eq!(queue.pop(), Some(Notification::Gap { dropped: 1 }));
+        match queue.pop().unwrap() {
+            Notification::Match { row_id, .. } => assert_eq!(row_id, 1),
+            g => panic!("{g:?}"),
+        }
+        assert_eq!(queue.pop(), None, "pulse is one-shot");
+        assert!(!faults.notify_overflow_pulse_armed());
+    }
+
+    #[test]
+    fn routing_respects_ownership_and_session_teardown() {
+        let faults = FaultInjector::default();
+        let reg = SubRegistry::default();
+        let qa = reg.register_session(1, 8);
+        let qb = reg.register_session(2, 8);
+        reg.claim(10, 1);
+        reg.claim(20, 2);
+        reg.deliver(ev(10, 0), &faults);
+        reg.deliver(ev(20, 1), &faults);
+        reg.deliver(ev(99, 2), &faults); // unowned: dropped silently
+        assert!(matches!(qa.pop(), Some(Notification::Match { subscription: 10, .. })));
+        assert!(matches!(qb.pop(), Some(Notification::Match { subscription: 20, .. })));
+        assert_eq!(qa.pop(), None);
+        // Session 1 dies: its claim dissolves, later matches go nowhere.
+        reg.drop_session(1);
+        reg.deliver(ev(10, 3), &faults);
+        assert_eq!(qa.pop(), None);
+        // Unsubscribe releases ownership without touching the queue.
+        reg.release(20);
+        reg.deliver(ev(20, 4), &faults);
+        assert_eq!(qb.pop(), None);
+    }
+}

@@ -44,6 +44,7 @@
 //! | S→C | `Error` (133) | a [`ServerError`] |
 //! | S→C | `ReplState` (134) | role `u8`, epoch `u64`, next LSN `u64` (v4) |
 //! | S→C | `ReplAck` (135) | next LSN `u64`, epoch `u64` (v4) |
+//! | S→C | `Notify` (136) | a subscription push: match (sub id, row id, row, match metrics) or gap marker (v6) |
 //!
 //! Version compatibility: a v4 server accepts v3 hellos and answers
 //! them with v3-shaped frames (the `Health` replication tail is
@@ -57,9 +58,11 @@
 //! compare wire results against in-process results with plain `==`.
 
 use mpq_engine::{
-    EngineError, EngineHealth, ExecMetrics, GuardHeadroom, GuardResource, ModelHealth,
-    QueryGuard, QueryOutcome, RecoveryReport, ReplRole, StatementId, StatementOutcome,
+    EngineError, EngineHealth, ExecMetrics, GuardHeadroom, GuardResource, MatchMetrics,
+    ModelHealth, QueryGuard, QueryOutcome, RecoveryReport, ReplRole, RowId, StatementId,
+    StatementOutcome,
 };
+use mpq_types::Member;
 use mpq_types::wire::{crc32, WireError, WireReader, WireWriter};
 use std::time::Duration;
 
@@ -71,14 +74,23 @@ use std::time::Duration;
 /// role/epoch/lag tail on `Health`, and the read-only/stale-epoch
 /// errors; version 5 added the cascade metrics tail on query outcomes
 /// (`cascade_accepts`/`cascade_rejects`/`band_rows`/`scorer_ns`) and
-/// the per-model `cascade_note` tail on `Health`. A v5 server still
-/// accepts [`PROTO_VERSION_V4`] and [`PROTO_VERSION_V3`] hellos and
-/// answers them with frames of the matching shape.
-pub const PROTO_VERSION: u32 = 5;
+/// the per-model `cascade_note` tail on `Health`; version 6 added
+/// standing subscriptions — the `SUBSCRIBE`/`UNSUBSCRIBE` outcomes,
+/// the server-push `Notify` frame, the `subs_matched`/
+/// `subs_index_pruned` tails on `Inserted` and on query metrics, the
+/// subscriptions tail on `Health`, and the unknown-subscription error.
+/// A v6 server still accepts [`PROTO_VERSION_V5`], [`PROTO_VERSION_V4`]
+/// and [`PROTO_VERSION_V3`] hellos and answers them with frames of the
+/// matching shape (`Notify` is never sent to a pre-v6 peer).
+pub const PROTO_VERSION: u32 = 6;
 
 /// The previous protocol version, still accepted by the server's
-/// handshake. A v4 peer understands the replication channel but not
-/// the cascade tails.
+/// handshake. A v5 peer understands the cascade tails but not the
+/// subscription channel.
+pub const PROTO_VERSION_V5: u32 = 5;
+
+/// Still accepted by the server's handshake. A v4 peer understands the
+/// replication channel but not the cascade tails.
 pub const PROTO_VERSION_V4: u32 = 4;
 
 /// The oldest protocol version still accepted by the server's
@@ -192,6 +204,7 @@ const RESP_GOODBYE: u8 = 132;
 const RESP_ERROR: u8 = 133;
 const RESP_REPL_STATE: u8 = 134;
 const RESP_REPL_ACK: u8 = 135;
+const RESP_NOTIFY: u8 = 136;
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -283,6 +296,41 @@ pub enum Response {
         /// The standby's epoch (lets a shipper detect it was deposed
         /// even on the success path).
         epoch: u64,
+    },
+    /// (v6) A server push on a subscriber's connection: an inserted row
+    /// matched one of the session's standing subscriptions, or matches
+    /// were dropped because the session's notification queue
+    /// overflowed. Delivered between request/response exchanges (never
+    /// splitting one), only to peers that negotiated v6.
+    Notify(Notification),
+}
+
+/// The body of a (v6) `Notify` push frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Notification {
+    /// An inserted row matched a standing subscription.
+    Match {
+        /// The subscription that matched.
+        subscription: u64,
+        /// Name of the table the row landed in.
+        table: String,
+        /// Row id of the inserted row.
+        row_id: RowId,
+        /// The matched row (encoded members, schema order).
+        row: Vec<Member>,
+        /// How the matcher found it for the row that produced this
+        /// match: candidacies the inverted index pruned, candidates
+        /// whose rewritten predicate was evaluated, and rows the proxy
+        /// cascade handed to the real scorer.
+        metrics: MatchMetrics,
+    },
+    /// The session's bounded notification queue overflowed: `dropped`
+    /// matches were discarded rather than blocking the write path. The
+    /// subscriber knows its view has a hole and can re-run the standing
+    /// query to resynchronize.
+    Gap {
+        /// Number of matches dropped since the last delivered frame.
+        dropped: u64,
     },
 }
 
@@ -456,8 +504,10 @@ fn get_metrics(r: &mut WireReader<'_>) -> Result<ExecMetrics, WireError> {
 
 /// Encodes a query outcome. The cascade metrics
 /// (`cascade_accepts`/`cascade_rejects`/`band_rows`/`scorer_ns`) ride
-/// as a v5 tail after `cached_plan`; a v4 peer's decoder rejects
-/// trailing bytes, so the tail is omitted for it.
+/// as a v5 tail after `cached_plan`, and the subscription counters
+/// (`subs_matched`/`subs_index_pruned`) as a v6 tail after those; an
+/// older peer's decoder rejects trailing bytes, so each tail is
+/// omitted for peers below its version.
 fn put_query_outcome(w: &mut WireWriter, q: &QueryOutcome, proto_version: u32) {
     w.put_u32(q.rows.len() as u32);
     for &row in &q.rows {
@@ -467,17 +517,22 @@ fn put_query_outcome(w: &mut WireWriter, q: &QueryOutcome, proto_version: u32) {
     w.put_str(&q.plan);
     w.put_bool(q.plan_changed);
     w.put_bool(q.cached_plan);
-    if proto_version >= PROTO_VERSION {
+    if proto_version >= PROTO_VERSION_V5 {
         w.put_u64(q.metrics.cascade_accepts);
         w.put_u64(q.metrics.cascade_rejects);
         w.put_u64(q.metrics.band_rows);
         w.put_u64(q.metrics.scorer_ns);
     }
+    if proto_version >= PROTO_VERSION {
+        w.put_u64(q.metrics.subs_matched);
+        w.put_u64(q.metrics.subs_index_pruned);
+    }
 }
 
-/// Decodes a query outcome from either shape: bytes remaining after
-/// `cached_plan` are the v5 cascade tail; none remaining (a v4 server
-/// answered) leaves the cascade counters at their zero defaults.
+/// Decodes a query outcome from any shape: bytes remaining after
+/// `cached_plan` are the v5 cascade tail, bytes remaining after that
+/// are the v6 subscription tail; counters a shorter (older-server)
+/// payload stops before keep their zero defaults.
 fn get_query_outcome(r: &mut WireReader<'_>) -> Result<QueryOutcome, WireError> {
     let n = r.get_u32()? as usize;
     // Bound the allocation by what the buffer could actually hold.
@@ -498,7 +553,67 @@ fn get_query_outcome(r: &mut WireReader<'_>) -> Result<QueryOutcome, WireError> 
         out.metrics.band_rows = r.get_u64()?;
         out.metrics.scorer_ns = r.get_u64()?;
     }
+    if !r.is_exhausted() {
+        out.metrics.subs_matched = r.get_u64()?;
+        out.metrics.subs_index_pruned = r.get_u64()?;
+    }
     Ok(out)
+}
+
+fn put_match_metrics(w: &mut WireWriter, m: &MatchMetrics) {
+    w.put_u64(m.index_pruned);
+    w.put_u64(m.residual_evaluated);
+    w.put_u64(m.scorer_banded);
+}
+
+fn get_match_metrics(r: &mut WireReader<'_>) -> Result<MatchMetrics, WireError> {
+    Ok(MatchMetrics {
+        index_pruned: r.get_u64()?,
+        residual_evaluated: r.get_u64()?,
+        scorer_banded: r.get_u64()?,
+    })
+}
+
+const NOTIFY_MATCH: u8 = 0;
+const NOTIFY_GAP: u8 = 1;
+
+fn put_notification(w: &mut WireWriter, n: &Notification) {
+    match n {
+        Notification::Match { subscription, table, row_id, row, metrics } => {
+            w.put_u8(NOTIFY_MATCH);
+            w.put_u64(*subscription);
+            w.put_str(table);
+            w.put_u32(*row_id);
+            w.put_u16s(row);
+            put_match_metrics(w, metrics);
+        }
+        Notification::Gap { dropped } => {
+            w.put_u8(NOTIFY_GAP);
+            w.put_u64(*dropped);
+        }
+    }
+}
+
+fn get_notification(r: &mut WireReader<'_>) -> Result<Notification, WireError> {
+    Ok(match r.get_u8()? {
+        NOTIFY_MATCH => {
+            let subscription = r.get_u64()?;
+            let table = r.get_str()?;
+            let row_id = r.get_u32()?;
+            let row = r.get_u16s()?;
+            Notification::Match {
+                subscription,
+                table,
+                row_id,
+                row,
+                metrics: get_match_metrics(r)?,
+            }
+        }
+        NOTIFY_GAP => Notification::Gap { dropped: r.get_u64()? },
+        other => {
+            return Err(WireError::Invalid { detail: format!("notification tag {other}") })
+        }
+    })
 }
 
 fn put_recovery_report(w: &mut WireWriter, rep: &RecoveryReport) {
@@ -568,10 +683,14 @@ fn put_health(w: &mut WireWriter, h: &EngineHealth, proto_version: u32) {
         put_opt_u64(w, h.replica_lag_records);
         put_opt_u64(w, h.replica_lag_bytes);
     }
-    if proto_version >= PROTO_VERSION {
+    if proto_version >= PROTO_VERSION_V5 {
         for m in &h.models {
             put_opt_str(w, m.cascade_note.as_deref());
         }
+    }
+    if proto_version >= PROTO_VERSION {
+        w.put_u64(h.subscriptions as u64);
+        put_opt_str(w, h.sub_index_note.as_deref());
     }
 }
 
@@ -612,6 +731,13 @@ fn get_health(r: &mut WireReader<'_>) -> Result<EngineHealth, WireError> {
             m.cascade_note = get_opt_str(r)?;
         }
     }
+    // v6 appends the subscription count and the degraded-matcher note;
+    // an older server stops before them and the defaults hold.
+    let (subscriptions, sub_index_note) = if r.is_exhausted() {
+        (0, None)
+    } else {
+        (r.get_u64()? as usize, get_opt_str(r)?)
+    };
     Ok(EngineHealth {
         models,
         tables,
@@ -621,6 +747,8 @@ fn get_health(r: &mut WireReader<'_>) -> Result<EngineHealth, WireError> {
         epoch,
         replica_lag_records: lag_records,
         replica_lag_bytes: lag_bytes,
+        subscriptions,
+        sub_index_note,
     })
 }
 
@@ -638,6 +766,7 @@ const ENGERR_IO: u8 = 10;
 const ENGERR_CORRUPT: u8 = 11;
 const ENGERR_READ_ONLY: u8 = 12;
 const ENGERR_STALE_EPOCH: u8 = 13;
+const ENGERR_UNKNOWN_SUBSCRIPTION: u8 = 14;
 
 fn put_engine_error(w: &mut WireWriter, e: &EngineError) {
     match e {
@@ -702,6 +831,10 @@ fn put_engine_error(w: &mut WireWriter, e: &EngineError) {
             w.put_u64(*sent);
             w.put_u64(*have);
         }
+        EngineError::UnknownSubscription(id) => {
+            w.put_u8(ENGERR_UNKNOWN_SUBSCRIPTION);
+            w.put_u64(*id);
+        }
     }
 }
 
@@ -731,6 +864,7 @@ fn get_engine_error(r: &mut WireReader<'_>) -> Result<EngineError, WireError> {
         ENGERR_STALE_EPOCH => {
             EngineError::StaleEpoch { sent: r.get_u64()?, have: r.get_u64()? }
         }
+        ENGERR_UNKNOWN_SUBSCRIPTION => EngineError::UnknownSubscription(r.get_u64()?),
         other => {
             return Err(WireError::Invalid { detail: format!("engine error tag {other}") })
         }
@@ -790,6 +924,8 @@ const OUTCOME_MODEL_CREATED: u8 = 1;
 const OUTCOME_PARALLELISM_SET: u8 = 2;
 const OUTCOME_GUARD_SET: u8 = 3;
 const OUTCOME_INSERTED: u8 = 4;
+const OUTCOME_SUBSCRIBED: u8 = 5;
+const OUTCOME_UNSUBSCRIBED: u8 = 6;
 
 fn put_outcome(w: &mut WireWriter, o: &StatementOutcome, proto_version: u32) {
     match o {
@@ -812,10 +948,24 @@ fn put_outcome(w: &mut WireWriter, o: &StatementOutcome, proto_version: u32) {
             w.put_u8(OUTCOME_GUARD_SET);
             put_guard(w, guard);
         }
-        StatementOutcome::Inserted { table, rows_inserted } => {
+        StatementOutcome::Inserted { table, rows_inserted, subs_matched, subs_index_pruned } => {
             w.put_u8(OUTCOME_INSERTED);
             w.put_str(table);
             w.put_u64(*rows_inserted);
+            // The subscription counters ride as a v6 tail; a pre-v6
+            // peer's decoder rejects trailing bytes.
+            if proto_version >= PROTO_VERSION {
+                w.put_u64(*subs_matched);
+                w.put_u64(*subs_index_pruned);
+            }
+        }
+        StatementOutcome::Subscribed { id } => {
+            w.put_u8(OUTCOME_SUBSCRIBED);
+            w.put_u64(*id);
+        }
+        StatementOutcome::Unsubscribed { id } => {
+            w.put_u8(OUTCOME_UNSUBSCRIBED);
+            w.put_u64(*id);
         }
     }
 }
@@ -833,10 +983,25 @@ fn get_outcome(r: &mut WireReader<'_>) -> Result<StatementOutcome, WireError> {
             StatementOutcome::ParallelismSet { dop: r.get_u64()? as usize }
         }
         OUTCOME_GUARD_SET => StatementOutcome::GuardSet { guard: get_guard(r)? },
-        OUTCOME_INSERTED => StatementOutcome::Inserted {
-            table: r.get_str()?,
-            rows_inserted: r.get_u64()?,
-        },
+        OUTCOME_INSERTED => {
+            let table = r.get_str()?;
+            let rows_inserted = r.get_u64()?;
+            // Remaining bytes are the v6 subscription-counter tail; a
+            // pre-v6 server stops here and the counters stay zero.
+            let (subs_matched, subs_index_pruned) = if r.is_exhausted() {
+                (0, 0)
+            } else {
+                (r.get_u64()?, r.get_u64()?)
+            };
+            StatementOutcome::Inserted {
+                table,
+                rows_inserted,
+                subs_matched,
+                subs_index_pruned,
+            }
+        }
+        OUTCOME_SUBSCRIBED => StatementOutcome::Subscribed { id: r.get_u64()? },
+        OUTCOME_UNSUBSCRIBED => StatementOutcome::Unsubscribed { id: r.get_u64()? },
         other => {
             return Err(WireError::Invalid { detail: format!("outcome tag {other}") })
         }
@@ -972,6 +1137,10 @@ impl Response {
                 w.put_u64(*next_lsn);
                 w.put_u64(*epoch);
             }
+            Response::Notify(n) => {
+                w.put_u8(RESP_NOTIFY);
+                put_notification(&mut w, n);
+            }
         }
         w.into_bytes()
     }
@@ -996,6 +1165,7 @@ impl Response {
                 next_lsn: r.get_u64()?,
             },
             RESP_REPL_ACK => Response::ReplAck { next_lsn: r.get_u64()?, epoch: r.get_u64()? },
+            RESP_NOTIFY => Response::Notify(get_notification(&mut r)?),
             other => {
                 return Err(WireError::Invalid { detail: format!("response tag {other}") })
             }
@@ -1091,6 +1261,8 @@ mod tests {
                     time_remaining_ms: Some(17),
                 },
                 index_fallback: true,
+                subs_matched: 0,
+                subs_index_pruned: 0,
             },
             plan: "index seek ...".into(),
             plan_changed: true,
@@ -1120,6 +1292,8 @@ mod tests {
             epoch: 2,
             replica_lag_records: Some(3),
             replica_lag_bytes: Some(412),
+            subscriptions: 4,
+            sub_index_note: Some("matching naively (corruption fault armed)".into()),
         };
         let resps = [
             Response::Hello { proto_version: 1, session_id: 42, server: "mpq".into() },
@@ -1133,7 +1307,23 @@ mod tests {
             Response::Outcome(StatementOutcome::Inserted {
                 table: "t".into(),
                 rows_inserted: 3,
+                subs_matched: 7,
+                subs_index_pruned: 1893,
             }),
+            Response::Outcome(StatementOutcome::Subscribed { id: 12 }),
+            Response::Outcome(StatementOutcome::Unsubscribed { id: 12 }),
+            Response::Notify(Notification::Match {
+                subscription: 12,
+                table: "t".into(),
+                row_id: 41,
+                row: vec![0, 3, 1],
+                metrics: MatchMetrics {
+                    index_pruned: 98,
+                    residual_evaluated: 2,
+                    scorer_banded: 1,
+                },
+            }),
+            Response::Notify(Notification::Gap { dropped: 17 }),
             Response::Outcome(StatementOutcome::ParallelismSet { dop: 8 }),
             Response::Outcome(StatementOutcome::GuardSet {
                 guard: QueryGuard::default()
@@ -1160,6 +1350,7 @@ mod tests {
                 sent: 1,
                 have: 2,
             })),
+            Response::Error(ServerError::Engine(EngineError::UnknownSubscription(99))),
             Response::ReplState { role: ReplRole::Standby, epoch: 4, next_lsn: 99 },
             Response::ReplAck { next_lsn: 100, epoch: 4 },
         ];
@@ -1179,6 +1370,8 @@ mod tests {
             epoch: 7,
             replica_lag_records: Some(5),
             replica_lag_bytes: Some(333),
+            subscriptions: 0,
+            sub_index_note: None,
         };
         let resp = Response::Health(health);
         // v4 encoding carries the replication tail verbatim.
@@ -1253,12 +1446,85 @@ mod tests {
             epoch: 3,
             replica_lag_records: None,
             replica_lag_bytes: None,
+            subscriptions: 2,
+            sub_index_note: None,
         });
         assert_eq!(Response::decode(&health.encode_versioned(PROTO_VERSION)).unwrap(), health);
         let v4 = Response::decode(&health.encode_versioned(PROTO_VERSION_V4)).unwrap();
         let Response::Health(h) = v4 else { panic!("not a health response") };
         assert_eq!(h.role, ReplRole::Standby, "v4 keeps the replication tail");
         assert_eq!(h.models[0].cascade_note, None, "v4 drops the cascade notes");
+        assert_eq!(h.subscriptions, 0, "v4 drops the subscription tail");
+    }
+
+    #[test]
+    fn subscription_fields_downgrade_to_v5_shape() {
+        // The Inserted counters ride a v6 tail: a v5 encoding drops
+        // them and the decoder restores zeros.
+        let inserted = Response::Outcome(StatementOutcome::Inserted {
+            table: "t".into(),
+            rows_inserted: 2,
+            subs_matched: 5,
+            subs_index_pruned: 40,
+        });
+        assert_eq!(
+            Response::decode(&inserted.encode_versioned(PROTO_VERSION)).unwrap(),
+            inserted
+        );
+        let v5 = Response::decode(&inserted.encode_versioned(PROTO_VERSION_V5)).unwrap();
+        let Response::Outcome(StatementOutcome::Inserted {
+            subs_matched, subs_index_pruned, rows_inserted, ..
+        }) = v5
+        else {
+            panic!("not an inserted outcome")
+        };
+        assert_eq!(rows_inserted, 2);
+        assert_eq!(subs_matched, 0);
+        assert_eq!(subs_index_pruned, 0);
+        assert!(
+            inserted.encode_versioned(PROTO_VERSION_V5).len()
+                < inserted.encode_versioned(PROTO_VERSION).len()
+        );
+        // Same for the query-metrics tail...
+        let query = Response::Outcome(StatementOutcome::Query(QueryOutcome {
+            rows: vec![1],
+            metrics: ExecMetrics {
+                rows_examined: 4,
+                cascade_accepts: 2,
+                subs_matched: 3,
+                subs_index_pruned: 9,
+                ..ExecMetrics::default()
+            },
+            plan: "full scan".into(),
+            plan_changed: false,
+            cached_plan: false,
+        }));
+        assert_eq!(Response::decode(&query.encode_versioned(PROTO_VERSION)).unwrap(), query);
+        let v5 = Response::decode(&query.encode_versioned(PROTO_VERSION_V5)).unwrap();
+        let Response::Outcome(StatementOutcome::Query(q)) = v5 else {
+            panic!("not a query outcome")
+        };
+        assert_eq!(q.metrics.cascade_accepts, 2, "v5 keeps the cascade tail");
+        assert_eq!(q.metrics.subs_matched, 0, "v5 drops the subscription tail");
+        assert_eq!(q.metrics.subs_index_pruned, 0);
+        // ...and for the health subscriptions tail.
+        let health = Response::Health(EngineHealth {
+            models: Vec::new(),
+            tables: 0,
+            cached_plans: 0,
+            recovery: None,
+            role: ReplRole::Primary,
+            epoch: 0,
+            replica_lag_records: None,
+            replica_lag_bytes: None,
+            subscriptions: 11,
+            sub_index_note: Some("degraded".into()),
+        });
+        assert_eq!(Response::decode(&health.encode_versioned(PROTO_VERSION)).unwrap(), health);
+        let v5 = Response::decode(&health.encode_versioned(PROTO_VERSION_V5)).unwrap();
+        let Response::Health(h) = v5 else { panic!("not a health response") };
+        assert_eq!(h.subscriptions, 0);
+        assert_eq!(h.sub_index_note, None);
     }
 
     #[test]
@@ -1271,16 +1537,34 @@ mod tests {
             cached_plan: true,
         }));
         let payload = resp.encode();
-        // The one prefix that is exactly the v4 shape (cascade tail
-        // absent) decodes by design — that is the downgrade path. Every
-        // other strict prefix must fail cleanly.
+        // The prefixes that are exactly an older version's shape
+        // (cascade tail absent, subscription tail absent) decode by
+        // design — those are the downgrade paths. Every other strict
+        // prefix must fail cleanly.
         let v4_len = resp.encode_versioned(PROTO_VERSION_V4).len();
+        let v5_len = resp.encode_versioned(PROTO_VERSION_V5).len();
         for cut in 0..payload.len() {
-            if cut == v4_len {
-                assert!(Response::decode(&payload[..cut]).is_ok(), "v4-shaped cut at {cut}");
+            if cut == v4_len || cut == v5_len {
+                assert!(
+                    Response::decode(&payload[..cut]).is_ok(),
+                    "version-shaped cut at {cut}"
+                );
             } else {
                 assert!(Response::decode(&payload[..cut]).is_err(), "cut at {cut}");
             }
+        }
+        // A torn Notify frame fails cleanly too (no downgrade shapes:
+        // the frame itself is v6-only).
+        let notify = Response::Notify(Notification::Match {
+            subscription: 3,
+            table: "t".into(),
+            row_id: 9,
+            row: vec![1, 2],
+            metrics: MatchMetrics::default(),
+        });
+        let payload = notify.encode();
+        for cut in 0..payload.len() {
+            assert!(Response::decode(&payload[..cut]).is_err(), "notify cut at {cut}");
         }
     }
 }

@@ -20,11 +20,13 @@
 //! stays up.
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionError};
+use crate::notify::{NotifyQueue, SubRegistry, DEFAULT_NOTIFY_QUEUE_CAP};
 use crate::protocol::{
     decode_frame, encode_frame, FrameError, Request, Response, ServerError,
     DEFAULT_MAX_FRAME_LEN, PROTO_VERSION, PROTO_VERSION_V3, PROTO_VERSION_V4,
+    PROTO_VERSION_V5,
 };
-use mpq_engine::{Engine, FaultInjector, SessionState, StatementId};
+use mpq_engine::{Engine, FaultInjector, SessionState, StatementId, StatementOutcome};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -57,6 +59,10 @@ pub struct ServerConfig {
     /// applied whenever the engine's live role is `Standby`, and lifts
     /// by itself at promotion.
     pub read_only: bool,
+    /// Bound on each session's pending-notification queue (standing
+    /// subscriptions, DESIGN.md §14). A subscriber that lags beyond it
+    /// loses matches to a gap marker instead of stalling writers.
+    pub notify_queue_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +74,7 @@ impl Default for ServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             server_name: "mpq-server".to_string(),
             read_only: false,
+            notify_queue_cap: DEFAULT_NOTIFY_QUEUE_CAP,
         }
     }
 }
@@ -116,6 +123,9 @@ struct Shared {
     connections: AtomicU64,
     queries_served: AtomicU64,
     next_session_id: AtomicU64,
+    /// Routes engine subscription matches to the owning sessions'
+    /// bounded push queues.
+    subs: Arc<SubRegistry>,
 }
 
 impl Shared {
@@ -150,6 +160,15 @@ impl Server {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let admission = AdmissionController::new(cfg.admission.clone());
+        let subs = Arc::new(SubRegistry::default());
+        // Install the engine's notify sink: every match a committed
+        // INSERT produces lands in its owner session's bounded queue,
+        // on the *writer's* thread, without ever blocking it.
+        let sink_subs = Arc::clone(&subs);
+        let sink_faults = engine.fault_injector();
+        engine.set_notify_sink(Some(Arc::new(move |ev| {
+            sink_subs.deliver(ev, &sink_faults);
+        })));
         let shared = Arc::new(Shared {
             engine,
             cfg,
@@ -160,6 +179,7 @@ impl Server {
             connections: AtomicU64::new(0),
             queries_served: AtomicU64::new(0),
             next_session_id: AtomicU64::new(1),
+            subs,
         });
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_shared = Arc::clone(&shared);
@@ -217,6 +237,8 @@ impl Server {
         for t in handles {
             let _ = t.join();
         }
+        // The sessions are gone; stop producing notifications for them.
+        self.shared.engine.set_notify_sink(None);
         let checkpoint_lsn = self.shared.engine.checkpoint().ok();
         let stats = self.shared.admission.stats();
         DrainReport {
@@ -279,18 +301,20 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> ConnExit {
     // it must arrive within the read-timeout budget — a pre-Hello
     // connection holds server resources while having proven nothing.
     let mut buf: Vec<u8> = Vec::new();
-    let hello = match read_request(&mut stream, &mut buf, &shared, true) {
+    let hello = match read_request(&mut stream, &mut buf, &shared, true, None, PROTO_VERSION) {
         Ok(Some(req)) => req,
         Ok(None) => return ConnExit::Clean,
         Err(exit) => return exit,
     };
-    // The connection speaks the version the client asked for: v5
-    // natively, v4/v3 for old clients (the shape differences are the
-    // Health replication tail, absent below v4, and the cascade
-    // tails, absent below v5 — older responses omit them).
-    let proto = match hello {
+    // The connection speaks the version the client asked for: v6
+    // natively, v5/v4/v3 for old clients (the shape differences are
+    // the Health replication tail, absent below v4, the cascade tails,
+    // absent below v5, and the subscription machinery — counters,
+    // Notify push frames, SUBSCRIBE/UNSUBSCRIBE — absent below v6).
+    let (proto, session_id) = match hello {
         Request::Hello { proto_version, client: _ }
             if proto_version == PROTO_VERSION
+                || proto_version == PROTO_VERSION_V5
                 || proto_version == PROTO_VERSION_V4
                 || proto_version == PROTO_VERSION_V3 =>
         {
@@ -303,7 +327,7 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> ConnExit {
             if send_response(&mut stream, &resp, proto_version, &faults).is_err() {
                 return ConnExit::Abrupt;
             }
-            proto_version
+            (proto_version, session_id)
         }
         Request::Hello { proto_version, .. } => {
             let _ = send_response(
@@ -331,12 +355,33 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> ConnExit {
         }
     };
 
+    // Push queue: only a v6 peer understands Notify frames, so only a
+    // v6 session gets one (and may SUBSCRIBE).
+    let notify = (proto >= PROTO_VERSION)
+        .then(|| shared.subs.register_session(session_id, shared.cfg.notify_queue_cap));
+    let exit = session_loop(&mut stream, &mut buf, &shared, proto, session_id, notify.as_deref());
+    // Whatever way the connection ended, the session's queue and its
+    // claim on subscriptions go with it (the subscriptions themselves
+    // are durable engine state and survive).
+    shared.subs.drop_session(session_id);
+    exit
+}
+
+fn session_loop(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    shared: &Arc<Shared>,
+    proto: u32,
+    session_id: u64,
+    notify: Option<&NotifyQueue>,
+) -> ConnExit {
+    let faults = shared.engine.fault_injector();
     // Session scope: SET statements on this connection land here, not
     // on the engine-wide defaults.
     let mut session = SessionState::new();
 
     loop {
-        let req = match read_request(&mut stream, &mut buf, &shared, false) {
+        let req = match read_request(stream, buf, shared, false, notify, proto) {
             Ok(Some(req)) => req,
             Ok(None) => return ConnExit::Clean,
             Err(exit) => return exit,
@@ -346,7 +391,20 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> ConnExit {
                 detail: "duplicate Hello".to_string(),
             }),
             Request::Statement { sql, stmt_id } => {
-                handle_statement(&shared, &mut session, &sql, stmt_id)
+                let resp = handle_statement(shared, &mut session, &sql, stmt_id, proto);
+                // Ownership bookkeeping *before* the ack goes out: once
+                // the client sees `Subscribed`, matches from any later
+                // acked INSERT are guaranteed a queue to land in.
+                if let Response::Outcome(outcome) = &resp {
+                    match outcome {
+                        StatementOutcome::Subscribed { id } => {
+                            shared.subs.claim(*id, session_id);
+                        }
+                        StatementOutcome::Unsubscribed { id } => shared.subs.release(*id),
+                        _ => {}
+                    }
+                }
+                resp
             }
             Request::Health => Response::Health(shared.engine.health()),
             Request::Shutdown => {
@@ -354,7 +412,7 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> ConnExit {
                 Response::ShutdownStarted
             }
             Request::Goodbye => {
-                let _ = send_response(&mut stream, &Response::Goodbye, proto, &faults);
+                let _ = send_response(stream, &Response::Goodbye, proto, &faults);
                 let _ = stream.shutdown(SockShutdown::Both);
                 return ConnExit::Clean;
             }
@@ -391,12 +449,35 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> ConnExit {
                 Err(e) => Response::Error(ServerError::Engine(e)),
             },
         };
-        let failed = send_response(&mut stream, &resp, proto, &faults).is_err();
+        let failed = send_response(stream, &resp, proto, &faults).is_err();
         if failed || matches!(resp, Response::Error(ServerError::Protocol { .. })) {
             let _ = stream.shutdown(SockShutdown::Both);
             return ConnExit::Abrupt;
         }
+        // Flush pushes eagerly after each response: the common case is
+        // a session whose own INSERT just matched its own subscription
+        // — the Notify lands right behind the Inserted ack.
+        if let Some(q) = notify {
+            if flush_notifications(stream, q, proto, &faults).is_err() {
+                let _ = stream.shutdown(SockShutdown::Both);
+                return ConnExit::Abrupt;
+            }
+        }
     }
+}
+
+/// Writes every queued notification (matches first, then any gap
+/// marker in stream position) as `Notify` frames.
+fn flush_notifications(
+    stream: &mut TcpStream,
+    queue: &NotifyQueue,
+    proto: u32,
+    faults: &FaultInjector,
+) -> io::Result<()> {
+    while let Some(n) = queue.pop() {
+        send_response(stream, &Response::Notify(n), proto, faults)?;
+    }
+    Ok(())
 }
 
 fn handle_statement(
@@ -404,9 +485,20 @@ fn handle_statement(
     session: &mut SessionState,
     sql: &str,
     stmt_id: Option<StatementId>,
+    proto: u32,
 ) -> Response {
     if shared.is_shutting_down() {
         return Response::Error(ServerError::ShuttingDown);
+    }
+    // A pre-v6 peer has no way to receive the Notify frames a
+    // subscription exists to produce — registering one would be a
+    // silent black hole, so it is a protocol violation instead.
+    if proto < PROTO_VERSION && is_subscription_sql(sql) {
+        return Response::Error(ServerError::Protocol {
+            detail: format!(
+                "SUBSCRIBE/UNSUBSCRIBE require protocol v{PROTO_VERSION} (peer speaks v{proto})"
+            ),
+        });
     }
     // Two refusal sources: a statically read-only server (`--read-only`)
     // and the engine's *live* role — a standby refuses mutations until
@@ -444,13 +536,23 @@ fn handle_statement(
 }
 
 /// True when the statement's leading keyword marks a mutation. The
-/// grammar's only mutating statements are `INSERT` and `CREATE ...`
-/// (model/index), so a keyword test is exact — and it must not parse,
-/// because a read-only server refuses mutations even for tables it
-/// does not know about yet.
+/// grammar's only mutating statements are `INSERT`, `CREATE ...`
+/// (model/index), and `SUBSCRIBE`/`UNSUBSCRIBE` (the subscription
+/// catalog is durable, WAL-logged state), so a keyword test is exact —
+/// and it must not parse, because a read-only server refuses mutations
+/// even for tables it does not know about yet.
 fn is_mutation_sql(sql: &str) -> bool {
     let first = sql.split_whitespace().next().unwrap_or("");
-    first.eq_ignore_ascii_case("insert") || first.eq_ignore_ascii_case("create")
+    first.eq_ignore_ascii_case("insert")
+        || first.eq_ignore_ascii_case("create")
+        || is_subscription_sql(sql)
+}
+
+/// True when the statement's leading keyword is `SUBSCRIBE` or
+/// `UNSUBSCRIBE` — the statements only a v6 peer may issue.
+fn is_subscription_sql(sql: &str) -> bool {
+    let first = sql.split_whitespace().next().unwrap_or("");
+    first.eq_ignore_ascii_case("subscribe") || first.eq_ignore_ascii_case("unsubscribe")
 }
 
 /// Reads one request frame. `Ok(None)` means the connection ended
@@ -458,17 +560,30 @@ fn is_mutation_sql(sql: &str) -> bool {
 /// after a best-effort `Goodbye`). The slow-loris budget starts ticking
 /// once a partial frame exists — or immediately when `timebox_idle` is
 /// set (the handshake read: a pre-Hello connection may not idle).
+///
+/// With a `notify` queue, pending subscription pushes are flushed as
+/// `Notify` frames on every poll tick (the 25 ms read timeout), so a
+/// subscriber sitting idle between requests still receives matches
+/// promptly.
 fn read_request(
     stream: &mut TcpStream,
     buf: &mut Vec<u8>,
     shared: &Shared,
     timebox_idle: bool,
+    notify: Option<&NotifyQueue>,
+    proto: u32,
 ) -> Result<Option<Request>, ConnExit> {
     let faults = shared.engine.fault_injector();
     let mut partial_since: Option<Instant> =
         if timebox_idle { Some(Instant::now()) } else { None };
     let mut chunk = [0u8; 16 * 1024];
     loop {
+        if let Some(q) = notify {
+            if flush_notifications(stream, q, proto, &faults).is_err() {
+                let _ = stream.shutdown(SockShutdown::Both);
+                return Err(ConnExit::Abrupt);
+            }
+        }
         // Try to parse a complete frame off the front of the buffer.
         match decode_frame(buf, shared.cfg.max_frame_len) {
             Ok((payload, consumed)) => {

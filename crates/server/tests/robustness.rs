@@ -123,7 +123,7 @@ fn retried_insert_after_dropped_response_applies_exactly_once() {
         .statement("INSERT INTO t VALUES ('a1', 'pos')")
         .expect("the retry succeeds after the drop");
     assert!(
-        matches!(&out, StatementOutcome::Inserted { table, rows_inserted: 1 } if table == "t"),
+        matches!(&out, StatementOutcome::Inserted { table, rows_inserted: 1, .. } if table == "t"),
         "got {out:?}"
     );
     assert_eq!(rows_in(&engine), before + 1, "exactly once, not twice");

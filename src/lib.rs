@@ -79,8 +79,9 @@ pub mod prelude {
     };
     pub use mpq_engine::{
         execute, execute_guarded, parse, tune_indexes, AccessPath, Catalog, Engine, EngineError,
-        EngineHealth, Expr, FaultInjector, GuardResource, LogOp, MiningPred, OptimizerOptions,
-        QueryGuard, RecoveryReport, SessionState, StatementId, StoredModel, Table,
+        EngineHealth, Expr, FaultInjector, GuardResource, LogOp, MatchEvent, MatchMetrics,
+        MiningPred, NotifySink, OptimizerOptions, QueryGuard, RecoveryReport, SessionState,
+        StatementId, StatementOutcome, StoredModel, Subscription, Table,
     };
     pub use mpq_models::{
         accuracy, BoundaryClustering, Classifier, DecisionTree, Gmm, KMeans, NaiveBayes, RuleSet,
