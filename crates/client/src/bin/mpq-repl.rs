@@ -61,6 +61,19 @@ fn print_outcome(outcome: &StatementOutcome) {
                 q.metrics.elapsed,
                 if q.cached_plan { " [cached plan]" } else { "" },
             );
+            // Adaptive-evaluation counters (protocol v7); zero against
+            // an older server or with SET ADAPTIVE OFF.
+            if q.metrics.clauses_reordered > 0
+                || q.metrics.factor_hits > 0
+                || q.metrics.feedback_entries > 0
+            {
+                println!(
+                    "adaptive: {} clauses reordered, {} factor hits, {} feedback entries",
+                    q.metrics.clauses_reordered,
+                    q.metrics.factor_hits,
+                    q.metrics.feedback_entries,
+                );
+            }
             if q.rows.is_empty() && !q.plan.is_empty() && q.metrics.rows_examined == 0 {
                 // EXPLAIN returns no rows and zero metrics: show the plan.
                 println!("{}", q.plan);
@@ -92,6 +105,9 @@ fn print_outcome(outcome: &StatementOutcome) {
         }
         StatementOutcome::ParallelismSet { dop } => {
             println!("session parallelism set to {dop}");
+        }
+        StatementOutcome::AdaptiveSet { on } => {
+            println!("session adaptive evaluation {}", if *on { "on" } else { "off" });
         }
         StatementOutcome::GuardSet { guard } => {
             println!("session guard set: {guard:?}");

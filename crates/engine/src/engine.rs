@@ -35,7 +35,7 @@ use mpq_types::{AttrId, Member};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
@@ -110,6 +110,10 @@ pub struct QueryOutcome {
 }
 
 /// Result of [`Engine::execute_sql`].
+///
+/// `Query` dwarfs the ack variants; statements are infrequent enough
+/// that boxing it isn't worth the ergonomic cost at every call site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum StatementOutcome {
     /// A SELECT ran (or was explained).
@@ -154,6 +158,11 @@ pub enum StatementOutcome {
     ParallelismSet {
         /// The degree now in effect (after clamping).
         dop: usize,
+    },
+    /// `SET ADAPTIVE {ON|OFF}` toggled adaptive predicate evaluation.
+    AdaptiveSet {
+        /// Whether adaptive evaluation is now in effect.
+        on: bool,
     },
     /// `SET GUARD ...` changed the session's query guard.
     GuardSet {
@@ -278,6 +287,9 @@ pub struct Engine {
     guard: RwLock<QueryGuard>,
     /// Degree of parallelism for query execution (`SET PARALLELISM n`).
     parallelism: AtomicUsize,
+    /// Whether vectorized filters calibrate and reorder DNF clauses at
+    /// runtime (`SET ADAPTIVE {ON|OFF}`).
+    adaptive: AtomicBool,
     /// `Some` when the engine was opened from a durability directory.
     persist: Mutex<Option<PersistState>>,
     /// Replication role, fence, and standby-acknowledgement progress.
@@ -322,6 +334,7 @@ impl Engine {
             plan_cache: Mutex::new(HashMap::new()),
             guard: RwLock::new(QueryGuard::unlimited()),
             parallelism: AtomicUsize::new(default_parallelism()),
+            adaptive: AtomicBool::new(true),
             persist: Mutex::new(None),
             repl: Mutex::new(ReplState::default()),
             repl_cv: Condvar::new(),
@@ -356,6 +369,7 @@ impl Engine {
             plan_cache: Mutex::new(HashMap::new()),
             guard: RwLock::new(QueryGuard::unlimited()),
             parallelism: AtomicUsize::new(default_parallelism()),
+            adaptive: AtomicBool::new(true),
             persist: Mutex::new(Some(PersistState {
                 dir,
                 wal,
@@ -623,6 +637,19 @@ impl Engine {
     /// the serial executor. Also reachable as `SET PARALLELISM n`.
     pub fn set_parallelism(&self, dop: usize) {
         self.parallelism.store(dop.clamp(1, 256), Ordering::Relaxed);
+    }
+
+    /// Whether adaptive predicate evaluation (runtime DNF reordering,
+    /// shared-subexpression factoring, selectivity feedback) is on.
+    pub fn adaptive(&self) -> bool {
+        self.adaptive.load(Ordering::Relaxed)
+    }
+
+    /// Turns adaptive predicate evaluation on or off engine-wide. Off
+    /// restores the fixed compile-time evaluation order exactly. Also
+    /// reachable as `SET ADAPTIVE {ON|OFF}`.
+    pub fn set_adaptive(&self, on: bool) {
+        self.adaptive.store(on, Ordering::Relaxed);
     }
 
     /// The catalog's fault injector (test hook; all faults off by
@@ -1175,7 +1202,7 @@ impl Engine {
                 _ => {
                     let plan =
                         plan_with(&catalog, &opts, parsed.table, parsed.predicate.clone());
-                    cache.insert(cache_key, plan.clone());
+                    cache.insert(cache_key.clone(), plan.clone());
                     (plan, false)
                 }
             }
@@ -1184,12 +1211,15 @@ impl Engine {
         let plan_text = plan_to_string(&plan, &schema, &catalog);
         let plan_changed = plan.access.changed_from_scan();
         let dop = session.parallelism().unwrap_or_else(|| self.parallelism());
+        let adaptive = session.adaptive().unwrap_or_else(|| self.adaptive());
         if parsed.explain {
             // EXPLAIN doubles as the operational status surface: the
-            // effective degree of parallelism, plus (for durable
-            // engines) what recovery found at open time.
+            // effective degree of parallelism and adaptivity, plus (for
+            // durable engines) what recovery found at open time.
             let mut plan_text = plan_text;
             plan_text.push_str(&format!("\nparallelism: {dop}"));
+            plan_text
+                .push_str(&format!("\nadaptive: {}", if adaptive { "on" } else { "off" }));
             if let Some(p) = self.lock_persist().as_ref() {
                 plan_text.push_str(&format!("\n{}", p.report));
             }
@@ -1205,11 +1235,26 @@ impl Engine {
             &plan,
             &catalog,
             session.guard().unwrap_or_else(|| self.guard()),
-            &ExecOptions::with_parallelism(dop),
+            &ExecOptions { adaptive, ..ExecOptions::with_parallelism(dop) },
         )?;
+        let mut metrics = result.metrics;
+        // Fold the calibration's observed clause selectivities into the
+        // table's bounded feedback store; later plannings of repeated
+        // queries cost access paths from what actually happened instead
+        // of the independence assumption. When the fed-back estimates
+        // flip the cheapest access path, the cached plan is evicted so
+        // the very next run of the same SQL re-plans.
+        let stats = &catalog.table(parsed.table).stats;
+        if !result.feedback.is_empty() && stats.feedback().record_all(&result.feedback) {
+            let replanned = plan_with(&catalog, &opts, parsed.table, parsed.predicate);
+            if replanned.access != plan.access {
+                self.lock_cache().remove(&cache_key);
+            }
+        }
+        metrics.feedback_entries = stats.feedback().len() as u64;
         Ok(QueryOutcome {
             rows: result.rows,
-            metrics: result.metrics,
+            metrics,
             plan: plan_text,
             plan_changed,
             cached_plan: cached,
@@ -1328,6 +1373,16 @@ impl Engine {
                     }
                 };
                 Ok(StatementOutcome::ParallelismSet { dop })
+            }
+            Statement::SetAdaptive(on) => {
+                let on = match session.as_mut() {
+                    Some(s) => s.set_adaptive(on),
+                    None => {
+                        self.set_adaptive(on);
+                        self.adaptive()
+                    }
+                };
+                Ok(StatementOutcome::AdaptiveSet { on })
             }
             Statement::SetGuard { resource, limit } => {
                 let guard = match session.as_mut() {
@@ -1802,6 +1857,49 @@ mod tests {
         e.set_parallelism(8);
         let out = e.query("EXPLAIN SELECT * FROM t WHERE d0 = 'm0'").unwrap();
         assert!(out.plan.contains("parallelism: 8"), "plan: {}", out.plan);
+    }
+
+    #[test]
+    fn set_adaptive_statement_round_trips() {
+        let e = engine();
+        assert!(e.adaptive(), "adaptive evaluation is on by default");
+        match e.execute_sql("SET ADAPTIVE OFF").unwrap() {
+            StatementOutcome::AdaptiveSet { on } => assert!(!on),
+            other => panic!("expected AdaptiveSet, got {other:?}"),
+        }
+        assert!(!e.adaptive());
+        // OFF restores fixed-order evaluation with identical results.
+        let sql = "SELECT * FROM t WHERE PREDICT(m) = 'c2' OR d0 = 'm1'";
+        let off = e.query(sql).unwrap();
+        e.set_adaptive(true);
+        let on = e.query(sql).unwrap();
+        assert_eq!(on.rows, off.rows);
+        assert_eq!(on.metrics.model_invocations, off.metrics.model_invocations);
+        // A session-scoped SET stays local and shows up in EXPLAIN.
+        let mut s = SessionState::new();
+        match e.execute_sql_in("SET ADAPTIVE OFF", &mut s).unwrap() {
+            StatementOutcome::AdaptiveSet { on } => assert!(!on),
+            other => panic!("expected AdaptiveSet, got {other:?}"),
+        }
+        assert!(e.adaptive(), "engine default untouched by session SET");
+        let out = e.query_in("EXPLAIN SELECT * FROM t WHERE d0 = 'm0'", &s).unwrap();
+        assert!(out.plan.contains("adaptive: off"), "plan: {}", out.plan);
+        let out = e.query("EXPLAIN SELECT * FROM t WHERE d0 = 'm0'").unwrap();
+        assert!(out.plan.contains("adaptive: on"), "plan: {}", out.plan);
+    }
+
+    #[test]
+    fn feedback_folds_into_table_stats_after_execution() {
+        let e = engine();
+        let sql = "SELECT * FROM t WHERE d0 = 'm0' AND d1 = 'm1'";
+        let first = e.query(sql).unwrap();
+        assert!(
+            first.metrics.feedback_entries > 0,
+            "observed clause selectivities reach the feedback store"
+        );
+        let second = e.query(sql).unwrap();
+        assert_eq!(first.rows, second.rows);
+        assert!(second.metrics.feedback_entries >= first.metrics.feedback_entries);
     }
 
     #[test]

@@ -44,7 +44,10 @@ use crate::fault::FaultInjector;
 use crate::guard::{GuardHeadroom, GuardState, QueryGuard};
 use crate::optimizer::{AccessPath, Plan};
 use crate::table::{RowId, Table};
-use crate::vectorized::{BatchCtx, CompiledPredicate, MemoScorer, DEFAULT_MEMO_CAPACITY};
+use crate::vectorized::{
+    BatchCtx, CalibClock, CompiledPredicate, FeedbackObservation, MemoScorer,
+    CALIBRATION_ROWS, DEFAULT_MEMO_CAPACITY,
+};
 use mpq_types::Member;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -104,6 +107,19 @@ pub struct ExecMetrics {
     /// pruned without evaluating the rewritten predicate. Always zero
     /// for SELECTs.
     pub subs_index_pruned: u64,
+    /// And/Or child positions the adaptive mid-scan re-plan moved away
+    /// from their compile-time order (0 when adaptive evaluation is off,
+    /// when calibration saw no reason to reorder, or on the reference
+    /// interpreter). Deterministic at every parallelism level.
+    pub clauses_reordered: u64,
+    /// Rows answered from a factored shared-subexpression result instead
+    /// of re-evaluating the duplicated subtree (one count per row per
+    /// shared occurrence). Deterministic at every parallelism level.
+    pub factor_hits: u64,
+    /// Entries in the table's selectivity feedback store after this
+    /// statement's observations were folded in. Filled by the engine;
+    /// bare executor calls leave it 0.
+    pub feedback_entries: u64,
 }
 
 impl ExecMetrics {
@@ -120,6 +136,11 @@ pub struct ExecResult {
     pub rows: Vec<RowId>,
     /// Observed metrics.
     pub metrics: ExecMetrics,
+    /// Per-clause selectivities observed during calibration, keyed by
+    /// structural clause fingerprint — the raw material for the
+    /// optimizer's feedback store. Empty when adaptive evaluation was
+    /// off or nothing was observed.
+    pub feedback: Vec<FeedbackObservation>,
 }
 
 /// Tuning knobs for one execution.
@@ -147,6 +168,17 @@ pub struct ExecOptions {
     /// Scorer memo capacity in cached `(model, tuple)` entries;
     /// `0` disables memoization (every prediction hits the model).
     pub memo_capacity: usize,
+    /// `true` (the default) arms adaptive predicate evaluation: the
+    /// compiled predicate observes per-node selectivity and work over
+    /// the first `CALIBRATION_ROWS` scan positions, re-plans the And/Or
+    /// evaluation order mid-scan (scalar-bearing children never move, so
+    /// exactly the same rows reach every model scorer in the same
+    /// order), factors shared scalar-free subexpressions across
+    /// disjuncts, and reports per-clause observed selectivities for the
+    /// optimizer's feedback store. `false` restores the fixed
+    /// compile-time order exactly. Only meaningful with `vectorized`;
+    /// the reference interpreter is always fixed-order.
+    pub adaptive: bool,
 }
 
 impl Default for ExecOptions {
@@ -156,6 +188,7 @@ impl Default for ExecOptions {
             io_stall: None,
             vectorized: true,
             memo_capacity: DEFAULT_MEMO_CAPACITY,
+            adaptive: true,
         }
     }
 }
@@ -307,9 +340,10 @@ fn execute_serial(
     let faults = catalog.faults();
     let memo = memo_for_plan(plan, catalog, opts);
     let schema = table.schema();
-    let compiled = CompiledPredicate::compile(&plan.residual, schema);
+    let adaptive = opts.adaptive && opts.vectorized;
+    let compiled = CompiledPredicate::compile(&plan.residual, schema, adaptive);
     let compiled_skip =
-        plan.skip_or.as_ref().map(|e| CompiledPredicate::compile(e, schema));
+        plan.skip_or.as_ref().map(|e| CompiledPredicate::compile(e, schema, adaptive));
     let residual = &plan.residual;
     let mut m = ExecMetrics::default();
     let mut out: Vec<RowId> = Vec::new();
@@ -334,11 +368,17 @@ fn execute_serial(
         }
         gs.check_deadline()
     };
+    let factor_slots = compiled
+        .factor_slots()
+        .max(compiled_skip.as_ref().map_or(0, |c| c.factor_slots()));
     let mut ctx = BatchCtx {
         table,
         oracle: &memo,
         row_buf: vec![0u16; schema.len()],
         after_scalar_row: &mut after_scalar,
+        factor_pass: vec![None; factor_slots],
+        factor_hits: 0,
+        cancel: None,
     };
 
     match access {
@@ -346,9 +386,15 @@ fn execute_serial(
         AccessPath::FullScan => {
             let rpp = table.rows_per_page();
             let n_rows = table.n_rows();
+            // Calibration positions are row ids; zone-skipped pages
+            // credit their row range so the clock still completes.
+            let clock = CalibClock::new(CALIBRATION_ROWS.min(n_rows as u64));
             for page in 0..table.n_pages() {
+                let first = (page * rpp) as RowId;
+                let last = (page * rpp + rpp).min(n_rows) as RowId;
                 if !compiled.page_may_match(table.page_zones(page)) {
                     m.pages_skipped += 1;
+                    clock.credit_range(first as u64, last as u64);
                     continue;
                 }
                 if faults.scorer_panic_page() == Some(page) {
@@ -360,13 +406,11 @@ fn execute_serial(
                 stall_pages(io_stall, 1);
                 sync_model_metrics(&memo, &mut m);
                 gs.check(&m)?;
-                let first = (page * rpp) as RowId;
-                let last = (page * rpp + rpp).min(n_rows) as RowId;
                 if opts.vectorized {
                     charge_rows_batched(&gs, &mut m, (last - first) as u64)?;
                     sel.clear();
                     sel.extend(first..last);
-                    compiled.filter_batch(&mut sel, &mut ctx)?;
+                    compiled.filter_batch_at(&mut sel, &mut ctx, first as u64, &clock)?;
                     out.extend_from_slice(&sel);
                     sync_model_metrics(&memo, &mut m);
                     gs.check(&m)?;
@@ -393,9 +437,11 @@ fn execute_serial(
             stall_pages(io_stall, m.total_pages());
             if opts.vectorized {
                 charge_rows_batched(&gs, &mut m, rows.len() as u64)?;
+                // Calibration positions are fetch-list indexes here.
+                let clock = CalibClock::new(CALIBRATION_ROWS.min(rows.len() as u64));
                 sel.clear();
                 sel.extend_from_slice(&rows);
-                compiled.filter_batch(&mut sel, &mut ctx)?;
+                compiled.filter_batch_at(&mut sel, &mut ctx, 0, &clock)?;
                 out.extend_from_slice(&sel);
                 sync_model_metrics(&memo, &mut m);
                 gs.check(&m)?;
@@ -434,6 +480,9 @@ fn execute_serial(
             if opts.vectorized {
                 // Maximal runs of rows sharing a residual choice batch
                 // together; runs stay ascending, so output order holds.
+                // Both residuals share one calibration clock; positions
+                // are indexes into the merged union list.
+                let clock = CalibClock::new(CALIBRATION_ROWS.min(union.len() as u64));
                 let mut i = 0;
                 while i < union.len() {
                     let flag = union[i].1;
@@ -449,7 +498,7 @@ fn execute_serial(
                     } else {
                         &compiled
                     };
-                    pred.filter_batch(&mut sel, &mut ctx)?;
+                    pred.filter_batch_at(&mut sel, &mut ctx, i as u64, &clock)?;
                     out.extend_from_slice(&sel);
                     sync_model_metrics(&memo, &mut m);
                     gs.check(&m)?;
@@ -476,10 +525,17 @@ fn execute_serial(
     // scans past the deadline, or fully zone-pruned scans).
     sync_model_metrics(&memo, &mut m);
     gs.check(&m)?;
+    m.clauses_reordered = compiled.reordered_clauses()
+        + compiled_skip.as_ref().map_or(0, |c| c.reordered_clauses());
+    m.factor_hits = ctx.factor_hits;
+    let mut feedback = compiled.feedback();
+    if let Some(c) = &compiled_skip {
+        feedback.extend(c.feedback());
+    }
     m.output_rows = out.len() as u64;
     m.elapsed = start.elapsed();
     m.guard = gs.headroom(&m);
-    Ok(ExecResult { rows: out, metrics: m })
+    Ok(ExecResult { rows: out, metrics: m, feedback })
 }
 
 // ---------------------------------------------------------------------
@@ -497,9 +553,11 @@ const DEADLINE_CHECK_ROWS: u32 = 128;
 enum Job<'a> {
     /// A page-aligned heap range (full scan).
     Scan(Range<RowId>),
-    /// A slice of pre-fetched index rows; the flag selects the
-    /// `skip_or` residual (exact-seek fast path) over the full one.
-    Fetch(&'a [(RowId, bool)]),
+    /// A slice of pre-fetched index rows starting at `offset` within the
+    /// full fetch list (the adaptive calibration position); each row's
+    /// flag selects the `skip_or` residual (exact-seek fast path) over
+    /// the full one.
+    Fetch { rows: &'a [(RowId, bool)], offset: u64 },
 }
 
 /// Budget and cancellation state shared by all workers of one query.
@@ -513,6 +571,9 @@ struct SharedProgress {
     pages: AtomicU64,
     /// Heap pages proven empty by zone maps and skipped.
     skipped: AtomicU64,
+    /// Factored shared-subexpression hits, flushed once per worker at
+    /// exit (per-row additive, so the total is batching-independent).
+    factor_hits: AtomicU64,
     /// Cooperative stop: set after a breach or panic; workers poll it
     /// per page / per scalar row, so no worker does more than one
     /// batch's work past a breach.
@@ -529,6 +590,7 @@ impl SharedProgress {
             rows: AtomicU64::new(0),
             pages: AtomicU64::new(pre_charged_pages),
             skipped: AtomicU64::new(0),
+            factor_hits: AtomicU64::new(0),
             cancel: AtomicBool::new(false),
             failure: Mutex::new(None),
         }
@@ -601,9 +663,10 @@ fn execute_parallel(
     let io_stall = opts.io_stall;
     let memo = memo_for_plan(plan, catalog, opts);
     let schema = table.schema();
-    let compiled = CompiledPredicate::compile(&plan.residual, schema);
+    let adaptive = opts.adaptive && opts.vectorized;
+    let compiled = CompiledPredicate::compile(&plan.residual, schema, adaptive);
     let compiled_skip =
-        plan.skip_or.as_ref().map(|e| CompiledPredicate::compile(e, schema));
+        plan.skip_or.as_ref().map(|e| CompiledPredicate::compile(e, schema, adaptive));
 
     let (access, index_fallback) = effective_access(plan, catalog);
     m.index_fallback = index_fallback;
@@ -647,6 +710,20 @@ fn execute_parallel(
         }
     };
 
+    // One calibration clock per execution: positions are row ids on a
+    // full scan and fetch-list indexes on index paths. Workers claim
+    // jobs in ascending index order, so the calibration positions (the
+    // lowest ones) are always in flight first and a worker waiting for
+    // the clock cannot starve it.
+    let calib_total = match access {
+        AccessPath::FullScan => CALIBRATION_ROWS.min(table.n_rows() as u64),
+        AccessPath::ConstantScan => 0,
+        AccessPath::IndexSeek(_) | AccessPath::IndexUnion(_) => {
+            CALIBRATION_ROWS.min(fetched.len() as u64)
+        }
+    };
+    let clock = CalibClock::new(calib_total);
+
     // Index pages (and index-path heap pages) were checked above;
     // pre-charge them so scan-phase page breaches see the true total.
     let shared = SharedProgress::new(guard, m.total_pages());
@@ -666,6 +743,7 @@ fn execute_parallel(
         io_stall,
         faults,
         vectorized: opts.vectorized,
+        clock: &clock,
     };
 
     std::thread::scope(|scope| {
@@ -703,6 +781,9 @@ fn execute_parallel(
 
     m.rows_examined = shared.rows.load(Ordering::Relaxed);
     m.pages_skipped = shared.skipped.load(Ordering::Relaxed);
+    m.factor_hits = shared.factor_hits.load(Ordering::Relaxed);
+    m.clauses_reordered = compiled.reordered_clauses()
+        + compiled_skip.as_ref().map_or(0, |c| c.reordered_clauses());
     sync_model_metrics(&memo, &mut m);
     if matches!(access, AccessPath::FullScan) {
         m.heap_pages_read = table.n_pages() as u64 - m.pages_skipped;
@@ -714,17 +795,26 @@ fn execute_parallel(
     m.output_rows = out.len() as u64;
     m.elapsed = start.elapsed();
     m.guard = gs.headroom(&m);
-    Ok(ExecResult { rows: out, metrics: m })
+    let mut feedback = compiled.feedback();
+    if let Some(c) = &compiled_skip {
+        feedback.extend(c.feedback());
+    }
+    Ok(ExecResult { rows: out, metrics: m, feedback })
 }
 
 /// Splits the pre-fetched row list into `4 × workers` contiguous
-/// chunks (ascending row order is preserved across chunk boundaries).
+/// chunks (ascending row order is preserved across chunk boundaries),
+/// each carrying its global offset in the fetch list.
 fn chunk_jobs<'a>(fetched: &'a [(RowId, bool)], workers: usize) -> Vec<Job<'a>> {
     if fetched.is_empty() {
         return Vec::new();
     }
     let chunk = fetched.len().div_ceil(workers.max(1) * 4).max(1);
-    fetched.chunks(chunk).map(Job::Fetch).collect()
+    fetched
+        .chunks(chunk)
+        .enumerate()
+        .map(|(i, rows)| Job::Fetch { rows, offset: (i * chunk) as u64 })
+        .collect()
 }
 
 /// Everything a scan worker needs, bundled so job helpers stay readable.
@@ -740,13 +830,15 @@ struct WorkerCtx<'a> {
     io_stall: Option<Duration>,
     faults: &'a FaultInjector,
     vectorized: bool,
+    clock: &'a CalibClock,
 }
 
 /// Sentinel error a worker returns when it observes cooperative
-/// cancellation mid-batch. It never surfaces: `fail` keeps the first
+/// cancellation mid-batch (also raised by the compiled predicate's
+/// calibration wait loop). It never surfaces: `fail` keeps the first
 /// error, and cancellation is only ever set after a real failure (or
 /// this same sentinel racing it) was recorded.
-fn cancelled_sentinel() -> EngineError {
+pub(crate) fn cancelled_sentinel() -> EngineError {
     EngineError::Internal { detail: "query cancelled".into() }
 }
 
@@ -767,11 +859,18 @@ fn run_worker(w: &WorkerCtx<'_>) -> Vec<(usize, Vec<RowId>)> {
         w.shared.check_invocations(w.memo.invocations())?;
         w.gs.check_deadline()
     };
+    let factor_slots = w
+        .compiled
+        .factor_slots()
+        .max(w.compiled_skip.map_or(0, |c| c.factor_slots()));
     let mut ctx = BatchCtx {
         table: w.table,
         oracle: w.memo,
         row_buf: vec![0u16; w.table.schema().len()],
         after_scalar_row: &mut after_scalar,
+        factor_pass: vec![None; factor_slots],
+        factor_hits: 0,
+        cancel: Some(&w.shared.cancel),
     };
     let mut sel: Vec<RowId> = Vec::with_capacity(w.table.rows_per_page());
 
@@ -804,9 +903,10 @@ fn run_worker(w: &WorkerCtx<'_>) -> Vec<(usize, Vec<RowId>)> {
                 &mut hits,
                 &mut rows_since_deadline_check,
             ),
-            Job::Fetch(slice) => fetch_job(
+            Job::Fetch { rows, offset } => fetch_job(
                 w,
-                slice,
+                rows,
+                *offset,
                 &mut ctx,
                 &mut sel,
                 &mut hits,
@@ -823,6 +923,7 @@ fn run_worker(w: &WorkerCtx<'_>) -> Vec<(usize, Vec<RowId>)> {
             }
         }
     }
+    w.shared.factor_hits.fetch_add(ctx.factor_hits, Ordering::Relaxed);
     segments
 }
 
@@ -844,8 +945,11 @@ fn scan_job<O: crate::expr::ModelOracle>(
         if w.shared.cancelled() {
             return Err(cancelled_sentinel());
         }
+        let first = (page * rpp) as RowId;
+        let last = ((page * rpp + rpp).min(table.n_rows()) as RowId).min(range.end);
         if !w.compiled.page_may_match(table.page_zones(page)) {
             w.shared.skipped.fetch_add(1, Ordering::Relaxed);
+            w.clock.credit_range(first as u64, last as u64);
             continue;
         }
         if w.faults.scorer_panic_page() == Some(page) {
@@ -853,13 +957,11 @@ fn scan_job<O: crate::expr::ModelOracle>(
         }
         stall_pages(w.io_stall, 1);
         w.shared.charge_pages(1)?;
-        let first = (page * rpp) as RowId;
-        let last = ((page * rpp + rpp).min(table.n_rows()) as RowId).min(range.end);
         if w.vectorized {
             w.shared.charge_rows((last - first) as u64)?;
             sel.clear();
             sel.extend(first..last);
-            w.compiled.filter_batch(sel, ctx)?;
+            w.compiled.filter_batch_at(sel, ctx, first as u64, w.clock)?;
             hits.extend_from_slice(sel);
             w.gs.check_deadline()?;
         } else {
@@ -878,6 +980,7 @@ fn scan_job<O: crate::expr::ModelOracle>(
 fn fetch_job<O: crate::expr::ModelOracle>(
     w: &WorkerCtx<'_>,
     slice: &[(RowId, bool)],
+    offset: u64,
     ctx: &mut BatchCtx<'_, O>,
     sel: &mut Vec<RowId>,
     hits: &mut Vec<RowId>,
@@ -899,7 +1002,7 @@ fn fetch_job<O: crate::expr::ModelOracle>(
             sel.clear();
             sel.extend(slice[i..j].iter().map(|(r, _)| *r));
             let pred = if flag { w.compiled_skip.unwrap_or(w.compiled) } else { w.compiled };
-            pred.filter_batch(sel, ctx)?;
+            pred.filter_batch_at(sel, ctx, offset + i as u64, w.clock)?;
             hits.extend_from_slice(sel);
             w.gs.check_deadline()?;
             i = j;
@@ -1240,6 +1343,10 @@ mod tests {
         assert_eq!(s.index_fallback, p.index_fallback);
         assert_eq!(s.subs_matched, p.subs_matched);
         assert_eq!(s.subs_index_pruned, p.subs_index_pruned);
+        assert_eq!(s.clauses_reordered, p.clauses_reordered);
+        assert_eq!(s.factor_hits, p.factor_hits);
+        assert_eq!(s.feedback_entries, p.feedback_entries);
+        assert_eq!(serial.feedback, parallel.feedback, "calibration feedback must be dop-deterministic");
         assert_eq!(s.guard.rows_remaining, p.guard.rows_remaining);
         assert_eq!(s.guard.pages_remaining, p.guard.pages_remaining);
         assert_eq!(

@@ -170,6 +170,11 @@ pub struct Plan {
     /// (the only rows that reach the real scorer). Surfaced in EXPLAIN
     /// as `cascade: band ~N%`.
     pub cascades: Vec<(ModelId, f64)>,
+    /// Clauses whose selectivity came from the adaptive feedback store
+    /// (observed by a previous execution of a structurally identical
+    /// clause) rather than the attribute-independence model. Surfaced in
+    /// EXPLAIN as `feedback: N clauses`.
+    pub feedback_clauses: u32,
 }
 
 /// Estimates the selectivity of `expr` under attribute independence.
@@ -192,6 +197,46 @@ pub fn estimate_selectivity(expr: &Expr, stats: &TableStats, catalog: &Catalog) 
         }
         Expr::Not(p) => 1.0 - estimate_selectivity(p, stats, catalog),
         Expr::Mining(mp) => mining_selectivity(mp, catalog),
+    }
+}
+
+/// Estimates the selectivity of `expr`, preferring per-clause
+/// selectivities observed by previous executions (the adaptive feedback
+/// store on [`TableStats`]) over the independence model. Only compound
+/// nodes and mining predicates are looked up — atom selectivities come
+/// from exact member histograms and cannot be improved by observation.
+/// Each hit increments `hits`. With an empty feedback store the fallback
+/// arithmetic is the same expression tree as [`estimate_selectivity`],
+/// so the result is bit-identical and no existing plan changes.
+pub fn estimate_selectivity_with_feedback(
+    expr: &Expr,
+    stats: &TableStats,
+    catalog: &Catalog,
+    hits: &mut u32,
+) -> f64 {
+    match expr {
+        Expr::Const(_) | Expr::Atom(_) => estimate_selectivity(expr, stats, catalog),
+        _ => {
+            if let Some(s) = stats.feedback().selectivity(expr.fingerprint()) {
+                *hits += 1;
+                return s;
+            }
+            match expr {
+                Expr::And(ps) => ps
+                    .iter()
+                    .map(|p| estimate_selectivity_with_feedback(p, stats, catalog, hits))
+                    .product(),
+                Expr::Or(ps) => {
+                    1.0 - ps
+                        .iter()
+                        .map(|p| 1.0 - estimate_selectivity_with_feedback(p, stats, catalog, hits))
+                        .product::<f64>()
+                }
+                Expr::Not(p) => 1.0 - estimate_selectivity_with_feedback(p, stats, catalog, hits),
+                Expr::Mining(mp) => mining_selectivity(mp, catalog),
+                Expr::Const(_) | Expr::Atom(_) => unreachable!("handled above"),
+            }
+        }
     }
 }
 
@@ -253,7 +298,20 @@ pub fn choose_plan(
         .filter(|m| catalog.model(*m).degraded.is_some())
         .collect();
 
-    let sel = estimate_selectivity(&expr, stats, catalog);
+    let sel_independent = estimate_selectivity(&expr, stats, catalog);
+    let mut feedback_clauses = 0u32;
+    let sel = estimate_selectivity_with_feedback(&expr, stats, catalog, &mut feedback_clauses);
+    // Correlation correction: when observed feedback disagrees with the
+    // independence estimate (correlated columns, skewed model output),
+    // scale the index candidates' expected fetched-row counts by the same
+    // ratio. Clamped so a single noisy observation cannot push a plan to
+    // an absurd extreme; exactly 1.0 when the store has nothing to say,
+    // so an empty store reproduces the old costs bit-for-bit.
+    let gamma = if feedback_clauses > 0 && sel_independent > 0.0 {
+        (sel / sel_independent).clamp(0.01, 100.0)
+    } else {
+        1.0
+    };
     // Residual mining models with a proxy table cascade: only the
     // estimated uncertainty-band fraction of rows pays the real scorer.
     let cascades: Vec<(ModelId, f64)> = if opts.compile_models {
@@ -290,6 +348,7 @@ pub fn choose_plan(
             degraded_models,
             compiled_exact: Vec::new(),
             cascades: Vec::new(),
+            feedback_clauses,
         };
     }
 
@@ -317,6 +376,7 @@ pub fn choose_plan(
         degraded_models: degraded_models.clone(),
         compiled_exact: Vec::new(),
         cascades: cascades.clone(),
+        feedback_clauses,
     };
 
     // Fetch cost of `k` expected rows through an unclustered index:
@@ -332,7 +392,7 @@ pub fn choose_plan(
     // Candidate: single index seek over the top-level sargable conjuncts
     // (composite indexes absorb several atoms at once).
     if let Some((seek, s)) = best_seek(&sargable_conjuncts(&expr), entry) {
-        let c = fetch_cost(s * n_rows);
+        let c = fetch_cost((s * gamma).min(1.0) * n_rows);
         if c < best.est_cost {
             best = Plan {
                 table: table_id,
@@ -346,6 +406,7 @@ pub fn choose_plan(
                 degraded_models: degraded_models.clone(),
                 compiled_exact: Vec::new(),
                 cascades: cascades.clone(),
+                feedback_clauses,
             };
         }
     }
@@ -363,7 +424,7 @@ pub fn choose_plan(
         };
         let seek_cost = distinct_indexes * cost.index_seek
             + (seeks.len() as f64 - distinct_indexes) * cost.index_seek * 0.1;
-        let c = seek_cost + fetch_cost(k_total.min(n_rows)) - cost.index_seek; // fetch_cost charges one seek
+        let c = seek_cost + fetch_cost((k_total * gamma).min(n_rows)) - cost.index_seek; // fetch_cost charges one seek
         if c < best.est_cost {
             best = Plan {
                 table: table_id,
@@ -377,6 +438,7 @@ pub fn choose_plan(
                 degraded_models,
                 compiled_exact: Vec::new(),
                 cascades,
+                feedback_clauses,
             };
         }
     }
@@ -698,6 +760,49 @@ mod tests {
             classes: vec![ClassId(0), ClassId(1)],
         });
         assert!((estimate_selectivity(&e, stats, &cat) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_feedback_store_reproduces_independence_exactly() {
+        let cat = catalog();
+        let stats = &cat.table(0).stats;
+        let e = Expr::and(vec![
+            atom(0, AtomPred::Eq(2)),
+            atom(1, AtomPred::Range { lo: 0, hi: 1 }),
+        ]);
+        let mut hits = 0;
+        let fb = estimate_selectivity_with_feedback(&e, stats, &cat, &mut hits);
+        assert_eq!(hits, 0);
+        assert_eq!(fb.to_bits(), estimate_selectivity(&e, stats, &cat).to_bits());
+        let plan = choose_plan(e, 0, &cat.table(0).table.schema().clone(), &cat, &no_zone());
+        assert_eq!(plan.feedback_clauses, 0);
+    }
+
+    #[test]
+    fn feedback_flips_scan_to_seek_when_observation_contradicts_independence() {
+        let cat = catalog();
+        let schema = cat.table(0).table.schema().clone();
+        // Independence says 28.5% * 50% = 14.25% — a full scan. Observed
+        // execution says the columns are strongly anti-correlated and the
+        // conjunction really passes 0.1% of rows, so a seek should win.
+        let e = Expr::and(vec![
+            atom(0, AtomPred::Eq(2)),
+            atom(1, AtomPred::Range { lo: 0, hi: 1 }),
+        ]);
+        let before = choose_plan(e.clone(), 0, &schema, &cat, &no_zone());
+        assert_eq!(before.access, AccessPath::FullScan, "{before:?}");
+        let changed = cat.table(0).stats.feedback().record(
+            &crate::vectorized::FeedbackObservation {
+                fingerprint: e.fingerprint(),
+                rows_in: 100_000,
+                rows_out: 100,
+            },
+        );
+        assert!(changed);
+        let after = choose_plan(e, 0, &schema, &cat, &no_zone());
+        assert!(matches!(after.access, AccessPath::IndexSeek(_)), "{after:?}");
+        assert_eq!(after.feedback_clauses, 1);
+        assert!((after.est_selectivity - 0.001).abs() < 1e-9);
     }
 
     #[test]

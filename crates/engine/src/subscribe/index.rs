@@ -170,6 +170,12 @@ struct CompiledSub {
     id: u64,
     /// Full rewritten predicate — what candidates actually evaluate.
     rewritten: Expr,
+    /// Static verification cost: surviving mining predicates dominate
+    /// (each weighs as much as a thousand plain nodes), then expression
+    /// size. Candidates verify cheapest-first so model-free
+    /// subscriptions populate the shared memo's row state before any
+    /// model-invoking one runs.
+    cost: u64,
     /// No mining predicate survived the rewrite: evaluation never
     /// touches a model. (Read by test assertions; production code gets
     /// the same guarantee for free from `Expr::eval` on a model-free
@@ -256,7 +262,16 @@ impl SubIndex {
                     }
                 }
             }
-            ts.subs.push(CompiledSub { id: sub.id, rewritten, exact });
+            let mut nodes = 0u64;
+            let mut mining = 0u64;
+            rewritten.walk(&mut |e| {
+                nodes += 1;
+                if matches!(e, Expr::Mining(_)) {
+                    mining += 1;
+                }
+            });
+            let cost = mining * 1_000 + nodes;
+            ts.subs.push(CompiledSub { id: sub.id, rewritten, cost, exact });
             for clause in clauses {
                 let key: ClauseKey = clause
                     .atoms
@@ -369,14 +384,24 @@ impl SubIndex {
             }
         }
         let banded0 = memo.band_rows();
+        // Verify cheapest-first: model-free candidates run before any
+        // model-invoking one, warming the shared memo's row entry at
+        // the lowest possible price. The counters below only depend on
+        // the candidate *set*, and the match list re-sorts, so the
+        // order is pure cost — deterministic at any dop.
+        let mut ordered: Vec<u32> = candidates.iter().copied().collect();
+        ordered.sort_by_key(|&slot| (ts.subs[slot as usize].cost, slot));
         let mut matched = Vec::new();
         let mut invocations = 0u64;
-        for &slot in &candidates {
+        for &slot in &ordered {
             let sub = &ts.subs[slot as usize];
             if sub.rewritten.eval(row, memo, &mut invocations) {
                 matched.push(sub.id);
             }
         }
+        // Ids are assigned in registration (slot) order, so ascending
+        // ids restores the documented registration-order contract.
+        matched.sort_unstable();
         let metrics = MatchMetrics {
             index_pruned: n as u64 - candidates.len() as u64,
             residual_evaluated: candidates.len() as u64,

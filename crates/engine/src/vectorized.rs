@@ -1,5 +1,6 @@
-//! Vectorized predicate evaluation: compiled column programs, zone-map
-//! pruning, and the scorer memo cache.
+//! Vectorized predicate evaluation: compiled column programs, adaptive
+//! DNF reordering, shared-subexpression factoring, zone-map pruning,
+//! and the scorer memo cache.
 //!
 //! The paper's §4.2 rewrite turns opaque mining predicates into
 //! data-column predicates; this module exploits that form one layer
@@ -8,8 +9,37 @@
 //! [`CompiledPredicate`] — a flat program whose leaves are per-column
 //! member bitsets — and evaluates it MonetDB/X100-style over selection
 //! vectors, one column at a time. Mining predicates (and `NOT` over
-//! them) stay as [`CompiledNode::Scalar`] escape hatches evaluated
+//! them) stay as [`NodeKind::Scalar`] escape hatches evaluated
 //! row-at-a-time, so the compiled program is exact on every input.
+//!
+//! **Adaptive reordering** (Kim/Ileri/Madden-style rank ordering):
+//! instead of trusting the rewriter's clause order, an adaptive
+//! predicate instruments every node with observed `rows_in`/`rows_out`
+//! counters over the first [`CALIBRATION_ROWS`] rows of the scan, then
+//! re-plans mid-scan: within each maximal run of consecutive
+//! *scalar-free* children, `And` children are sorted by ascending
+//! `cost / (rows_in - rows_out)` and `Or` children by ascending
+//! `cost / rows_out`, where `cost` is the total row-touch count of the
+//! child's subtree during calibration. Dividing the rank's numerator
+//! and denominator by `rows_in` recovers the textbook forms
+//! `cost_per_row / (1 - selectivity)` and `cost_per_row / selectivity`;
+//! keeping the raw totals makes every comparison exact integer
+//! arithmetic, so the reordering decision — and the
+//! `clauses_reordered` counter — is bit-deterministic at every degree
+//! of parallelism (a wall-clock timer would not be). Scalar-bearing
+//! children never move and pure filters never cross one, so the row
+//! set *and order* reaching every `Scalar` leaf is unchanged — which
+//! is what keeps `model_invocations`, memo, and cascade accounting
+//! identical to the fixed-order reference and lets the differential
+//! oracles pin the whole mechanism.
+//!
+//! **Shared-subexpression factoring**: at compile time, structurally
+//! identical scalar-free subtrees appearing under one `Or` in two or
+//! more disjuncts (directly, or as a conjunct of an `And` disjunct)
+//! are assigned a *factor slot*. The `Or` evaluates each factor once
+//! per selection vector; every occurrence becomes a [`NodeKind::FactorRef`]
+//! that intersects with the cached pass set instead of re-evaluating
+//! the subtree. `factor_hits` counts rows answered by the cache.
 //!
 //! The same compiled form doubles as a page-pruning test: a page whose
 //! zone map ([`crate::Table::page_zones`]) is disjoint from a `Col`
@@ -33,8 +63,8 @@ use crate::table::{RowId, Table};
 use mpq_core::{ProxyDecision, ProxyScore};
 use mpq_types::{AttrId, ClassId, Member, MemberSet, Row, Schema};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
 
 /// Default capacity (in cached `(model, tuple)` entries) of the scorer
@@ -42,8 +72,26 @@ use std::time::Instant;
 /// few megabytes; capacity `0` disables memoization entirely.
 pub const DEFAULT_MEMO_CAPACITY: usize = 1 << 16;
 
-/// One node of a compiled predicate program.
-pub(crate) enum CompiledNode {
+/// Rows observed before an adaptive predicate re-plans itself. Counted
+/// by *global scan position* (row id on a full scan, fetch-list index
+/// on index paths), so the calibration set — and every decision made
+/// from it — is identical at every degree of parallelism.
+pub(crate) const CALIBRATION_ROWS: u64 = 4096;
+
+/// One node of a compiled predicate program, tagged with a tree-unique
+/// id indexing its calibration counters.
+#[derive(Clone)]
+pub(crate) struct CompiledNode {
+    /// Pre-order id, unique within one compiled predicate; indexes the
+    /// `rows_in`/`rows_out` slots of [`AdaptiveState`].
+    pub(crate) id: usize,
+    /// What the node computes.
+    pub(crate) kind: NodeKind,
+}
+
+/// The operator of a [`CompiledNode`].
+#[derive(Clone)]
+pub(crate) enum NodeKind {
     /// Constant truth value.
     Const(bool),
     /// Column leaf: row qualifies iff `mask` contains its member in
@@ -59,31 +107,153 @@ pub(crate) enum CompiledNode {
     /// evaluated (model, tuple) set matches short-circuit `&&` exactly.
     And(Vec<CompiledNode>),
     /// Disjunction: children run over not-yet-matched rows only, which
-    /// preserves short-circuit `||` semantics per row.
-    Or(Vec<CompiledNode>),
+    /// preserves short-circuit `||` semantics per row. `factors` are
+    /// the shared subtrees hoisted out of this node's disjuncts; each
+    /// is evaluated once on the incoming selection (before any child)
+    /// and its pass set cached for the [`NodeKind::FactorRef`]
+    /// occurrences below.
+    Or {
+        /// The disjuncts, in evaluation order.
+        children: Vec<CompiledNode>,
+        /// `(slot, representative subtree)` pairs, ascending by slot.
+        factors: Vec<(usize, CompiledNode)>,
+    },
+    /// An occurrence of a factored shared subtree: intersects the
+    /// selection with the pass set the owning `Or` cached under `slot`.
+    /// `node` is the original subtree, kept as a fallback (and for
+    /// zone-map pruning) but never evaluated on the factored path.
+    FactorRef {
+        /// Index into [`BatchCtx::factor_pass`].
+        slot: usize,
+        /// The original (scalar-free) subtree this reference replaced.
+        node: Box<CompiledNode>,
+    },
     /// Escape hatch for mining predicates and `NOT` over them: exact
     /// row-at-a-time tree evaluation through the oracle.
     Scalar(Expr),
 }
 
-/// A predicate compiled for vectorized evaluation and zone-map pruning.
+/// Per-node calibration counters plus the once-published re-planned
+/// tree. Counters are `Relaxed` atomics: every add is commutative and
+/// the publisher synchronizes with all writers through the
+/// [`CalibClock`]'s release/acquire edge, so the published ordering is
+/// a pure function of the calibration row set.
+struct AdaptiveState {
+    rows_in: Vec<AtomicU64>,
+    rows_out: Vec<AtomicU64>,
+    reordered: OnceLock<Reordered>,
+}
+
+/// The re-planned tree plus how many children changed position.
+struct Reordered {
+    root: CompiledNode,
+    moved: u64,
+}
+
+/// One measured data point for the optimizer feedback loop: a clause's
+/// observed input/output row counts over the calibration window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedbackObservation {
+    /// Fingerprint of the normalized clause ([`Expr::fingerprint`]).
+    pub fingerprint: u64,
+    /// Calibration rows the clause was evaluated over. For the k-th
+    /// child of an `And`/`Or` this is conditional on its siblings
+    /// (rows surviving / not yet matched by earlier children), which
+    /// is exactly the form the optimizer's chain-style combination
+    /// multiplies back together.
+    pub rows_in: u64,
+    /// How many of those rows satisfied the clause.
+    pub rows_out: u64,
+}
+
+/// Counts global scan positions processed so far, so every thread can
+/// tell when the calibration window `[0, total)` has been fully
+/// observed. `credit` uses `Release` and `complete` uses `Acquire`,
+/// publishing all (relaxed) counter updates that preceded each credit
+/// to whoever re-plans the tree.
+pub(crate) struct CalibClock {
+    total: u64,
+    done: AtomicU64,
+}
+
+impl CalibClock {
+    /// A clock over a calibration window of `total` scan positions.
+    pub(crate) fn new(total: u64) -> CalibClock {
+        CalibClock { total, done: AtomicU64::new(0) }
+    }
+
+    /// Marks `n` positions of the window observed (evaluated rows).
+    pub(crate) fn credit(&self, n: u64) {
+        if n > 0 {
+            self.done.fetch_add(n, Ordering::Release);
+        }
+    }
+
+    /// Credits the overlap of position range `[first, last)` with the
+    /// calibration window — used when zone maps prune a whole page, so
+    /// skipped positions don't stall re-planning.
+    pub(crate) fn credit_range(&self, first: u64, last: u64) {
+        let capped = last.min(self.total);
+        if first < capped {
+            self.credit(capped - first);
+        }
+    }
+
+    fn complete(&self) -> bool {
+        self.done.load(Ordering::Acquire) >= self.total
+    }
+}
+
+/// A predicate compiled for vectorized evaluation and zone-map pruning,
+/// optionally instrumented for adaptive mid-scan reordering.
 pub struct CompiledPredicate {
     root: CompiledNode,
     n_nodes: usize,
+    n_factor_slots: usize,
+    /// `(fingerprint, node id)` for the root clause and each root-level
+    /// child clause, in source order — the units the feedback loop
+    /// reports on.
+    clause_map: Vec<(u64, usize)>,
+    adaptive: Option<AdaptiveState>,
 }
 
 impl CompiledPredicate {
     /// Compiles `expr` against `schema`. Total: every expression
     /// compiles; shapes with no columnar form become `Scalar` leaves.
-    pub fn compile(expr: &Expr, schema: &Schema) -> CompiledPredicate {
-        let root = compile_node(expr, schema);
+    ///
+    /// With `adaptive` set, shared scalar-free subtrees across
+    /// disjuncts are factored and the tree carries calibration
+    /// counters so [`Self::filter_batch_at`] can re-plan mid-scan.
+    /// With it clear the program evaluates children exactly in the
+    /// rewriter's order — the fixed-order shape the differential
+    /// oracles (and `SET ADAPTIVE OFF`) pin against.
+    pub fn compile(expr: &Expr, schema: &Schema, adaptive: bool) -> CompiledPredicate {
+        let mut root = compile_node(expr, schema);
+        let mut n_factor_slots = 0;
+        if adaptive {
+            factor_tree(&mut root, &mut n_factor_slots);
+        }
+        let mut next_id = 0;
+        assign_ids(&mut root, &mut next_id);
         let n_nodes = count_nodes(&root);
-        CompiledPredicate { root, n_nodes }
+        let clause_map = build_clause_map(expr, &root);
+        let adaptive = adaptive.then(|| AdaptiveState {
+            rows_in: (0..next_id).map(|_| AtomicU64::new(0)).collect(),
+            rows_out: (0..next_id).map(|_| AtomicU64::new(0)).collect(),
+            reordered: OnceLock::new(),
+        });
+        CompiledPredicate { root, n_nodes, n_factor_slots, clause_map, adaptive }
     }
 
     /// Number of nodes in the compiled program.
     pub fn node_count(&self) -> usize {
         self.n_nodes
+    }
+
+    /// Number of factor slots this program caches per selection vector
+    /// (0 unless compiled adaptive and shared subtrees were found).
+    pub(crate) fn factor_slots(&self) -> usize {
+        self.n_factor_slots
     }
 
     /// Whether any row of a page with zone summary `zones` *may*
@@ -98,81 +268,491 @@ impl CompiledPredicate {
 
     /// Filters `sel` (ascending row ids) down to the rows satisfying
     /// the predicate, evaluating column leaves over column slices and
-    /// `Scalar` leaves row-at-a-time through `ctx`. On error `sel` is
-    /// garbage and must be discarded.
+    /// `Scalar` leaves row-at-a-time through `ctx`. Always uses the
+    /// compile-time order (no calibration, no re-planning). On error
+    /// `sel` is garbage and must be discarded.
     pub(crate) fn filter_batch<O: ModelOracle>(
         &self,
         sel: &mut Vec<RowId>,
         ctx: &mut BatchCtx<'_, O>,
     ) -> Result<(), EngineError> {
-        filter(&self.root, sel, ctx)
+        filter(&self.root, sel, ctx, None)
+    }
+
+    /// Position-aware adaptive variant of [`Self::filter_batch`]:
+    /// `pos` is the global scan position of `sel[0]` (row id on a full
+    /// scan, fetch-list index on index paths) and `clock` tracks how
+    /// much of the calibration window the whole execution has covered.
+    ///
+    /// Batches inside the window run instrumented in compile-time
+    /// order; batches past it wait for the window to complete (workers
+    /// holding later positions spin briefly — the window lives in the
+    /// lowest-indexed morsels, whose owners never wait before
+    /// finishing it) and then run the re-planned tree. A straddling
+    /// batch is split at the boundary, which keeps the calibration row
+    /// set exact and position-determined at every dop.
+    pub(crate) fn filter_batch_at<O: ModelOracle>(
+        &self,
+        sel: &mut Vec<RowId>,
+        ctx: &mut BatchCtx<'_, O>,
+        pos: u64,
+        clock: &CalibClock,
+    ) -> Result<(), EngineError> {
+        let Some(ad) = &self.adaptive else {
+            return self.filter_batch(sel, ctx);
+        };
+        let n = sel.len() as u64;
+        if n == 0 {
+            return Ok(());
+        }
+        let total = clock.total;
+        if pos.saturating_add(n) <= total {
+            filter(&self.root, sel, ctx, Some(ad))?;
+            clock.credit(n);
+            return Ok(());
+        }
+        if pos >= total {
+            let planned = self.wait_replanned(ad, clock, ctx.cancel)?;
+            return filter(&planned.root, sel, ctx, None);
+        }
+        // Straddling batch: the calibration window ends inside it.
+        let mut tail = sel.split_off((total - pos) as usize);
+        filter(&self.root, sel, ctx, Some(ad))?;
+        clock.credit(total - pos);
+        let planned = self.wait_replanned(ad, clock, ctx.cancel)?;
+        filter(&planned.root, &mut tail, ctx, None)?;
+        sel.append(&mut tail);
+        Ok(())
+    }
+
+    /// Blocks until the calibration window is fully credited, then
+    /// returns the once-computed re-planned tree. Serial executors
+    /// (`cancel == None`) process positions in ascending order, so the
+    /// window is always complete by the time they get here and the
+    /// loop never spins.
+    fn wait_replanned<'s>(
+        &'s self,
+        ad: &'s AdaptiveState,
+        clock: &CalibClock,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<&'s Reordered, EngineError> {
+        while !clock.complete() {
+            if let Some(c) = cancel {
+                if c.load(Ordering::Relaxed) {
+                    return Err(crate::exec::cancelled_sentinel());
+                }
+            }
+            std::thread::yield_now();
+        }
+        Ok(ad.reordered.get_or_init(|| replan(&self.root, ad)))
+    }
+
+    /// Publishes (if not already) and returns how many children the
+    /// adaptive re-plan moved. 0 for fixed-order programs and for
+    /// calibration sets whose measured ranks keep the source order.
+    pub(crate) fn reordered_clauses(&self) -> u64 {
+        match &self.adaptive {
+            Some(ad) => ad.reordered.get_or_init(|| replan(&self.root, ad)).moved,
+            None => 0,
+        }
+    }
+
+    /// The calibration window's per-clause observations (root clause
+    /// plus each root-level child clause), for the optimizer feedback
+    /// store. Empty when fixed-order or when nothing was observed.
+    pub(crate) fn feedback(&self) -> Vec<FeedbackObservation> {
+        let Some(ad) = &self.adaptive else {
+            return Vec::new();
+        };
+        self.clause_map
+            .iter()
+            .map(|&(fingerprint, id)| FeedbackObservation {
+                fingerprint,
+                rows_in: ad.rows_in[id].load(Ordering::Relaxed),
+                rows_out: ad.rows_out[id].load(Ordering::Relaxed),
+            })
+            .filter(|o| o.rows_in > 0)
+            .collect()
     }
 }
 
 fn compile_node(expr: &Expr, schema: &Schema) -> CompiledNode {
-    match expr {
-        Expr::Const(b) => CompiledNode::Const(*b),
+    let kind = match expr {
+        Expr::Const(b) => NodeKind::Const(*b),
         Expr::Atom(a) => {
             let card = schema.attr(a.attr).domain.cardinality();
-            CompiledNode::Col { col: a.attr.index(), mask: a.pred.member_set(card) }
+            NodeKind::Col { col: a.attr.index(), mask: a.pred.member_set(card) }
         }
-        Expr::And(ps) => {
-            let mut kids: Vec<CompiledNode> =
-                ps.iter().map(|p| compile_node(p, schema)).collect();
-            order_children(&mut kids, true);
-            CompiledNode::And(kids)
-        }
-        Expr::Or(ps) => {
-            let mut kids: Vec<CompiledNode> =
-                ps.iter().map(|p| compile_node(p, schema)).collect();
-            order_children(&mut kids, false);
-            CompiledNode::Or(kids)
-        }
+        Expr::And(ps) => NodeKind::And(ps.iter().map(|p| compile_node(p, schema)).collect()),
+        Expr::Or(ps) => NodeKind::Or {
+            children: ps.iter().map(|p| compile_node(p, schema)).collect(),
+            factors: Vec::new(),
+        },
         // Mining predicates and NOT (normalize pushes NOT down to atoms
         // except over mining predicates) stay scalar.
-        other => CompiledNode::Scalar(other.clone()),
-    }
-}
-
-/// Estimated fraction of a uniform domain a node matches: mask density
-/// for column leaves, independence products for the connectives.
-/// `Scalar` leaves report 1.0 so they never look cheaper than a column
-/// filter.
-fn match_density(node: &CompiledNode) -> f64 {
-    match node {
-        CompiledNode::Const(b) => f64::from(u8::from(*b)),
-        CompiledNode::Col { mask, .. } => {
-            if mask.domain() == 0 {
-                0.0
-            } else {
-                f64::from(mask.len()) / f64::from(mask.domain())
-            }
-        }
-        CompiledNode::And(ps) => ps.iter().map(match_density).product(),
-        CompiledNode::Or(ps) => {
-            1.0 - ps.iter().map(|p| 1.0 - match_density(p)).product::<f64>()
-        }
-        CompiledNode::Scalar(_) => 1.0,
-    }
+        other => NodeKind::Scalar(other.clone()),
+    };
+    CompiledNode { id: 0, kind }
 }
 
 fn has_scalar(node: &CompiledNode) -> bool {
-    match node {
-        CompiledNode::Scalar(_) => true,
-        CompiledNode::And(ps) | CompiledNode::Or(ps) => ps.iter().any(has_scalar),
+    match &node.kind {
+        NodeKind::Scalar(_) => true,
+        NodeKind::And(ps) => ps.iter().any(has_scalar),
+        NodeKind::Or { children, .. } => children.iter().any(has_scalar),
+        // Factored subtrees are scalar-free by construction, and the
+        // fallback is the same subtree.
+        NodeKind::FactorRef { .. } => false,
         _ => false,
     }
 }
 
-/// Reorders each maximal run of consecutive scalar-free children by
-/// estimated match density: ascending for `And` (most selective filter
-/// narrows the selection first), descending for `Or` (largest disjunct
-/// shrinks the not-yet-matched set first). Scalar-bearing children never
-/// move, and pure filters never cross one, so the row set reaching every
-/// scalar leaf — and with it model-invocation accounting against the
-/// row-at-a-time reference — is unchanged: permuting pure filters within
-/// a run cannot change what survives (or matches out of) the run.
-fn order_children(children: &mut [CompiledNode], ascending: bool) {
+fn count_nodes(node: &CompiledNode) -> usize {
+    match &node.kind {
+        NodeKind::And(ps) => 1 + ps.iter().map(count_nodes).sum::<usize>(),
+        NodeKind::Or { children, .. } => {
+            1 + children.iter().map(count_nodes).sum::<usize>()
+        }
+        NodeKind::FactorRef { node, .. } => count_nodes(node),
+        _ => 1,
+    }
+}
+
+fn may_match(node: &CompiledNode, zones: &[MemberSet]) -> bool {
+    match &node.kind {
+        NodeKind::Const(b) => *b,
+        NodeKind::Col { col, mask } => !mask.is_disjoint(&zones[*col]),
+        NodeKind::And(ps) => ps.iter().all(|p| may_match(p, zones)),
+        // Factors are cached computations, not extra disjuncts: the
+        // node's value is the union of its children alone.
+        NodeKind::Or { children, .. } => children.iter().any(|p| may_match(p, zones)),
+        NodeKind::FactorRef { node, .. } => may_match(node, zones),
+        NodeKind::Scalar(_) => true,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared-subexpression factoring (compile time)
+// ---------------------------------------------------------------------
+
+/// A subtree is worth factoring when re-evaluating it beats an
+/// intersection: scalar-free (the cache must never change which rows
+/// reach a model) and at least two nodes (a lone `Col` probe is as
+/// cheap as the intersection that would replace it).
+fn factorable(node: &CompiledNode) -> bool {
+    !has_scalar(node) && count_nodes(node) >= 2
+}
+
+fn placeholder() -> CompiledNode {
+    CompiledNode { id: 0, kind: NodeKind::Const(false) }
+}
+
+/// Replaces `target` with a `FactorRef` to `slot`, remembering the
+/// first replaced subtree as the factor's representative.
+fn replace_with_factor(target: &mut CompiledNode, slot: usize, rep: &mut Option<CompiledNode>) {
+    if rep.is_none() {
+        *rep = Some(target.clone());
+    }
+    let inner = std::mem::replace(target, placeholder());
+    *target = CompiledNode { id: 0, kind: NodeKind::FactorRef { slot, node: Box::new(inner) } };
+}
+
+/// Top-down factoring: detect shared subtrees among this `Or`'s
+/// disjuncts first (on pristine children), then recurse into the factor
+/// representatives and remaining children so nested disjunctions factor
+/// their own sharing. Slots are numbered globally in first-occurrence
+/// order, which makes the factored shape — and `factor_hits` — a pure
+/// function of the input expression.
+fn factor_tree(node: &mut CompiledNode, next_slot: &mut usize) {
+    match &mut node.kind {
+        NodeKind::And(ps) => {
+            for p in ps {
+                factor_tree(p, next_slot);
+            }
+        }
+        NodeKind::Or { children, factors } => {
+            factor_or(children, factors, next_slot);
+            for (_, rep) in factors.iter_mut() {
+                factor_tree(rep, next_slot);
+            }
+            for p in children.iter_mut() {
+                factor_tree(p, next_slot);
+            }
+        }
+        // The fallback under a FactorRef is never evaluated; leave it
+        // pristine.
+        _ => {}
+    }
+}
+
+/// Finds factor candidates among `children`: each disjunct itself, or
+/// each conjunct of an `And` disjunct. A structural key appearing under
+/// two or more *distinct* disjuncts gets a slot; every occurrence is
+/// replaced by a `FactorRef`.
+fn factor_or(
+    children: &mut [CompiledNode],
+    factors: &mut Vec<(usize, CompiledNode)>,
+    next_slot: &mut usize,
+) {
+    // (disjunct index, Some(conjunct index) | None for the disjunct
+    // itself) per structural key, in first-seen key order.
+    let mut order: Vec<u64> = Vec::new();
+    let mut occs: HashMap<u64, Vec<(usize, Option<usize>)>> = HashMap::new();
+    for (di, d) in children.iter().enumerate() {
+        let mut note = |key_node: &CompiledNode, at: Option<usize>| {
+            if factorable(key_node) {
+                let k = structural_key(key_node);
+                occs.entry(k)
+                    .or_insert_with(|| {
+                        order.push(k);
+                        Vec::new()
+                    })
+                    .push((di, at));
+            }
+        };
+        match &d.kind {
+            NodeKind::And(gs) => {
+                for (gi, g) in gs.iter().enumerate() {
+                    note(g, Some(gi));
+                }
+            }
+            _ => note(d, None),
+        }
+    }
+    for k in order {
+        let list = &occs[&k];
+        let mut disjuncts: Vec<usize> = list.iter().map(|&(di, _)| di).collect();
+        disjuncts.dedup(); // pushed in ascending disjunct order
+        if disjuncts.len() < 2 {
+            continue;
+        }
+        let slot = *next_slot;
+        *next_slot += 1;
+        let mut rep = None;
+        for &(di, gi) in list {
+            match gi {
+                Some(g) => {
+                    let NodeKind::And(gs) = &mut children[di].kind else {
+                        unreachable!("occurrence was collected from an And disjunct");
+                    };
+                    replace_with_factor(&mut gs[g], slot, &mut rep);
+                }
+                None => replace_with_factor(&mut children[di], slot, &mut rep),
+            }
+        }
+        factors.push((slot, rep.expect("a factor has at least two occurrences")));
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_u64(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Id-free structural fingerprint of a compiled subtree: two subtrees
+/// share a key iff they compute the same function the same way.
+fn structural_key(node: &CompiledNode) -> u64 {
+    let mut h = FNV_OFFSET;
+    key_node(node, &mut h);
+    h
+}
+
+fn key_node(node: &CompiledNode, h: &mut u64) {
+    match &node.kind {
+        NodeKind::Const(b) => {
+            fnv_u64(h, 1);
+            fnv_u64(h, u64::from(*b));
+        }
+        NodeKind::Col { col, mask } => {
+            fnv_u64(h, 2);
+            fnv_u64(h, *col as u64);
+            fnv_u64(h, u64::from(mask.domain()));
+            for m in 0..mask.domain() {
+                if mask.contains(m) {
+                    fnv_u64(h, u64::from(m));
+                }
+            }
+        }
+        NodeKind::And(ps) => {
+            fnv_u64(h, 3);
+            fnv_u64(h, ps.len() as u64);
+            for p in ps {
+                key_node(p, h);
+            }
+        }
+        NodeKind::Or { children, .. } => {
+            fnv_u64(h, 4);
+            fnv_u64(h, children.len() as u64);
+            for p in children {
+                key_node(p, h);
+            }
+        }
+        // Same slot ⇒ same factored subtree of the same owner.
+        NodeKind::FactorRef { slot, .. } => {
+            fnv_u64(h, 5);
+            fnv_u64(h, *slot as u64);
+        }
+        NodeKind::Scalar(e) => {
+            fnv_u64(h, 6);
+            fnv_u64(h, e.fingerprint());
+        }
+    }
+}
+
+/// Pre-order id assignment over the complete tree — including factor
+/// representatives and `FactorRef` fallbacks — so every counter slot is
+/// distinct. Fallbacks are never evaluated and simply keep zero stats.
+fn assign_ids(node: &mut CompiledNode, next: &mut usize) {
+    node.id = *next;
+    *next += 1;
+    match &mut node.kind {
+        NodeKind::And(ps) => {
+            for p in ps {
+                assign_ids(p, next);
+            }
+        }
+        NodeKind::Or { children, factors } => {
+            for (_, rep) in factors {
+                assign_ids(rep, next);
+            }
+            for p in children {
+                assign_ids(p, next);
+            }
+        }
+        NodeKind::FactorRef { node, .. } => assign_ids(node, next),
+        _ => {}
+    }
+}
+
+/// `(fingerprint, node id)` for the root and each root-level child, in
+/// source order. Root-level children line up positionally because
+/// compilation maps them 1:1 and factoring replaces in place.
+fn build_clause_map(expr: &Expr, root: &CompiledNode) -> Vec<(u64, usize)> {
+    let mut map = vec![(expr.fingerprint(), root.id)];
+    let kids: &[CompiledNode] = match &root.kind {
+        NodeKind::And(ps) => ps,
+        NodeKind::Or { children, .. } => children,
+        _ => &[],
+    };
+    let subs: &[Expr] = match expr {
+        Expr::And(ps) | Expr::Or(ps) => ps,
+        _ => &[],
+    };
+    if kids.len() == subs.len() {
+        for (e, k) in subs.iter().zip(kids) {
+            map.push((e.fingerprint(), k.id));
+        }
+    }
+    map
+}
+
+// ---------------------------------------------------------------------
+// Mid-scan re-planning (rank ordering from calibration counters)
+// ---------------------------------------------------------------------
+
+/// A rank `cost / den` compared without division: exact u128
+/// cross-multiplication, `den == 0` ⇒ infinite (orders after every
+/// finite rank, ties keep source order under the stable sort).
+#[derive(Clone, Copy)]
+struct Rank {
+    cost: u64,
+    den: u64,
+}
+
+impl Rank {
+    fn cmp(self, other: Rank) -> std::cmp::Ordering {
+        match (self.den, other.den) {
+            (0, 0) => std::cmp::Ordering::Equal,
+            (0, _) => std::cmp::Ordering::Greater,
+            (_, 0) => std::cmp::Ordering::Less,
+            _ => (u128::from(self.cost) * u128::from(other.den))
+                .cmp(&(u128::from(other.cost) * u128::from(self.den))),
+        }
+    }
+}
+
+/// Total row-touches of a subtree during calibration: the sum of every
+/// node's `rows_in`, factors included. Proportional to the work the
+/// subtree cost per incoming row — the `cost` numerator of its rank.
+fn subtree_cost(node: &CompiledNode, ad: &AdaptiveState) -> u64 {
+    let mut sum = ad.rows_in[node.id].load(Ordering::Relaxed);
+    match &node.kind {
+        NodeKind::And(ps) => {
+            for p in ps {
+                sum = sum.saturating_add(subtree_cost(p, ad));
+            }
+        }
+        NodeKind::Or { children, factors } => {
+            for (_, rep) in factors {
+                sum = sum.saturating_add(subtree_cost(rep, ad));
+            }
+            for p in children {
+                sum = sum.saturating_add(subtree_cost(p, ad));
+            }
+        }
+        // The fallback never ran; the reference's own intersection work
+        // is its `rows_in`, already counted above.
+        NodeKind::FactorRef { .. } => {}
+        _ => {}
+    }
+    sum
+}
+
+fn rank_of(node: &CompiledNode, conjunction: bool, ad: &AdaptiveState) -> Rank {
+    let rows_in = ad.rows_in[node.id].load(Ordering::Relaxed);
+    let rows_out = ad.rows_out[node.id].load(Ordering::Relaxed);
+    let cost = subtree_cost(node, ad);
+    // cost/(in−out) == (cost/in)/(1−out/in): per-row cost over
+    // rejection rate. cost/out == (cost/in)/(out/in): per-row cost
+    // over match rate.
+    let den = if conjunction { rows_in.saturating_sub(rows_out) } else { rows_out };
+    Rank { cost, den }
+}
+
+/// Clones the calibrated tree and sorts each maximal run of
+/// consecutive scalar-free children by ascending rank. Scalar-bearing
+/// children never move and pure filters never cross one, so the rows
+/// routed to every `Scalar` leaf — set and order — are exactly the
+/// fixed-order reference's.
+fn replan(root: &CompiledNode, ad: &AdaptiveState) -> Reordered {
+    let mut root = root.clone();
+    let mut moved = 0;
+    replan_node(&mut root, ad, &mut moved);
+    Reordered { root, moved }
+}
+
+fn replan_node(node: &mut CompiledNode, ad: &AdaptiveState, moved: &mut u64) {
+    match &mut node.kind {
+        NodeKind::And(ps) => {
+            for p in ps.iter_mut() {
+                replan_node(p, ad, moved);
+            }
+            reorder_runs(ps, true, ad, moved);
+        }
+        NodeKind::Or { children, factors } => {
+            for (_, rep) in factors.iter_mut() {
+                replan_node(rep, ad, moved);
+            }
+            for p in children.iter_mut() {
+                replan_node(p, ad, moved);
+            }
+            reorder_runs(children, false, ad, moved);
+        }
+        _ => {}
+    }
+}
+
+fn reorder_runs(
+    children: &mut [CompiledNode],
+    conjunction: bool,
+    ad: &AdaptiveState,
+    moved: &mut u64,
+) {
     let mut i = 0;
     while i < children.len() {
         if has_scalar(&children[i]) {
@@ -183,36 +763,31 @@ fn order_children(children: &mut [CompiledNode], ascending: bool) {
         while j < children.len() && !has_scalar(&children[j]) {
             j += 1;
         }
-        children[i..j].sort_by(|a, b| {
-            let (da, db) = (match_density(a), match_density(b));
-            if ascending {
-                da.total_cmp(&db)
-            } else {
-                db.total_cmp(&da)
+        if j - i > 1 {
+            let run = &mut children[i..j];
+            let ranks: Vec<Rank> = run.iter().map(|c| rank_of(c, conjunction, ad)).collect();
+            let mut idx: Vec<usize> = (0..run.len()).collect();
+            idx.sort_by(|&a, &b| ranks[a].cmp(ranks[b]));
+            if idx.iter().enumerate().any(|(p, &s)| p != s) {
+                let mut tmp: Vec<Option<CompiledNode>> = run
+                    .iter_mut()
+                    .map(|c| Some(std::mem::replace(c, placeholder())))
+                    .collect();
+                for (p, &s) in idx.iter().enumerate() {
+                    run[p] = tmp[s].take().expect("each source index used exactly once");
+                    if p != s {
+                        *moved += 1;
+                    }
+                }
             }
-        });
+        }
         i = j;
     }
 }
 
-fn count_nodes(node: &CompiledNode) -> usize {
-    match node {
-        CompiledNode::And(ps) | CompiledNode::Or(ps) => {
-            1 + ps.iter().map(count_nodes).sum::<usize>()
-        }
-        _ => 1,
-    }
-}
-
-fn may_match(node: &CompiledNode, zones: &[MemberSet]) -> bool {
-    match node {
-        CompiledNode::Const(b) => *b,
-        CompiledNode::Col { col, mask } => !mask.is_disjoint(&zones[*col]),
-        CompiledNode::And(ps) => ps.iter().all(|p| may_match(p, zones)),
-        CompiledNode::Or(ps) => ps.iter().any(|p| may_match(p, zones)),
-        CompiledNode::Scalar(_) => true,
-    }
-}
+// ---------------------------------------------------------------------
+// Batch evaluation
+// ---------------------------------------------------------------------
 
 /// Per-execution state threaded through batch evaluation.
 pub(crate) struct BatchCtx<'a, O: ModelOracle> {
@@ -229,76 +804,135 @@ pub(crate) struct BatchCtx<'a, O: ModelOracle> {
     /// executors hook invocation-budget and deadline checks here so
     /// breach classification matches the row-at-a-time reference.
     pub after_scalar_row: &'a mut dyn FnMut() -> Result<(), EngineError>,
+    /// Per-slot factor pass sets. An owning `Or` always rewrites its
+    /// slots on the current selection before any `FactorRef` below it
+    /// reads them, so entries never need clearing between batches.
+    pub factor_pass: Vec<Option<Vec<RowId>>>,
+    /// Rows answered from a factor's cached pass set instead of
+    /// re-evaluating the shared subtree. Summed per row, so the total
+    /// is batching- and dop-independent.
+    pub factor_hits: u64,
+    /// Cooperative cancellation flag probed while waiting out the
+    /// calibration window (parallel executor only).
+    pub cancel: Option<&'a AtomicBool>,
 }
 
 fn filter<O: ModelOracle>(
     node: &CompiledNode,
     sel: &mut Vec<RowId>,
     ctx: &mut BatchCtx<'_, O>,
+    stats: Option<&AdaptiveState>,
 ) -> Result<(), EngineError> {
-    match node {
-        CompiledNode::Const(true) => Ok(()),
-        CompiledNode::Const(false) => {
+    let rows_in = sel.len() as u64;
+    let result = match &node.kind {
+        NodeKind::Const(true) => Ok(()),
+        NodeKind::Const(false) => {
             sel.clear();
             Ok(())
         }
-        CompiledNode::Col { col, mask } => {
+        NodeKind::Col { col, mask } => {
             let column = ctx.table.column(*col);
             sel.retain(|&r| mask.contains(column[r as usize]));
             Ok(())
         }
-        CompiledNode::And(ps) => {
+        NodeKind::And(ps) => {
+            let mut res = Ok(());
             for p in ps {
                 if sel.is_empty() {
                     break;
                 }
-                filter(p, sel, ctx)?;
-            }
-            Ok(())
-        }
-        CompiledNode::Or(ps) => {
-            // Each child sees only rows no earlier child matched —
-            // exactly the rows short-circuit `||` would evaluate it on.
-            let mut remaining = std::mem::take(sel);
-            let mut matched: Vec<RowId> = Vec::new();
-            for p in ps {
-                if remaining.is_empty() {
+                res = filter(p, sel, ctx, stats);
+                if res.is_err() {
                     break;
                 }
-                let mut pass = remaining.clone();
-                filter(p, &mut pass, ctx)?;
-                if pass.is_empty() {
-                    continue;
-                }
-                subtract_sorted(&mut remaining, &pass);
-                matched.extend_from_slice(&pass);
             }
-            matched.sort_unstable();
-            *sel = matched;
-            Ok(())
+            res
         }
-        CompiledNode::Scalar(expr) => {
-            let n_cols = ctx.table.schema().len();
-            let mut kept = 0;
-            for i in 0..sel.len() {
-                let row = sel[i];
-                for d in 0..n_cols {
-                    ctx.row_buf[d] = ctx.table.cell(row, d);
-                }
-                // Invocations are counted by the memo oracle (misses),
-                // not by the tree walk — the counter here is discarded.
-                let mut tree_inv = 0u64;
-                let hit = expr.eval(&ctx.row_buf, ctx.oracle, &mut tree_inv);
-                (ctx.after_scalar_row)()?;
-                if hit {
-                    sel[kept] = row;
-                    kept += 1;
-                }
+        NodeKind::Or { children, factors } => or_filter(children, factors, sel, ctx, stats),
+        NodeKind::FactorRef { slot, node } => {
+            if ctx.factor_pass[*slot].is_some() {
+                ctx.factor_hits += rows_in;
+                let pass = ctx.factor_pass[*slot].as_deref().expect("just checked");
+                intersect_sorted(sel, pass);
+                Ok(())
+            } else {
+                // The slot was never primed (fixed-order evaluation of
+                // a factored tree, e.g. tests driving `filter_batch`
+                // directly): fall back to the original subtree.
+                filter(node, sel, ctx, stats)
             }
-            sel.truncate(kept);
-            Ok(())
+        }
+        NodeKind::Scalar(expr) => scalar_filter(expr, sel, ctx),
+    };
+    result?;
+    if let Some(ad) = stats {
+        ad.rows_in[node.id].fetch_add(rows_in, Ordering::Relaxed);
+        ad.rows_out[node.id].fetch_add(sel.len() as u64, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+fn or_filter<O: ModelOracle>(
+    children: &[CompiledNode],
+    factors: &[(usize, CompiledNode)],
+    sel: &mut Vec<RowId>,
+    ctx: &mut BatchCtx<'_, O>,
+    stats: Option<&AdaptiveState>,
+) -> Result<(), EngineError> {
+    // Prime every factor on the incoming selection: each shared
+    // subtree is evaluated once per selection vector, and the
+    // `FactorRef` occurrences below intersect with the cached result.
+    // Factors are scalar-free, so this touches no model.
+    for (slot, rep) in factors {
+        let mut pass = sel.clone();
+        filter(rep, &mut pass, ctx, stats)?;
+        ctx.factor_pass[*slot] = Some(pass);
+    }
+    // Each child sees only rows no earlier child matched — exactly the
+    // rows short-circuit `||` would evaluate it on.
+    let mut remaining = std::mem::take(sel);
+    let mut matched: Vec<RowId> = Vec::new();
+    for p in children {
+        if remaining.is_empty() {
+            break;
+        }
+        let mut pass = remaining.clone();
+        filter(p, &mut pass, ctx, stats)?;
+        if pass.is_empty() {
+            continue;
+        }
+        subtract_sorted(&mut remaining, &pass);
+        matched.extend_from_slice(&pass);
+    }
+    matched.sort_unstable();
+    *sel = matched;
+    Ok(())
+}
+
+fn scalar_filter<O: ModelOracle>(
+    expr: &Expr,
+    sel: &mut Vec<RowId>,
+    ctx: &mut BatchCtx<'_, O>,
+) -> Result<(), EngineError> {
+    let n_cols = ctx.table.schema().len();
+    let mut kept = 0;
+    for i in 0..sel.len() {
+        let row = sel[i];
+        for d in 0..n_cols {
+            ctx.row_buf[d] = ctx.table.cell(row, d);
+        }
+        // Invocations are counted by the memo oracle (misses),
+        // not by the tree walk — the counter here is discarded.
+        let mut tree_inv = 0u64;
+        let hit = expr.eval(&ctx.row_buf, ctx.oracle, &mut tree_inv);
+        (ctx.after_scalar_row)()?;
+        if hit {
+            sel[kept] = row;
+            kept += 1;
         }
     }
+    sel.truncate(kept);
+    Ok(())
 }
 
 /// Removes the (sorted, subset) `pass` rows from the sorted `remaining`
@@ -316,6 +950,24 @@ fn subtract_sorted(remaining: &mut Vec<RowId>, pass: &[RowId]) {
         }
     }
     remaining.truncate(kept);
+}
+
+/// Keeps only the `sel` rows present in the sorted `pass` set, in one
+/// merge pass. `sel` need not be a subset of `pass`, only sorted.
+fn intersect_sorted(sel: &mut Vec<RowId>, pass: &[RowId]) {
+    let mut pi = 0;
+    let mut kept = 0;
+    for i in 0..sel.len() {
+        let r = sel[i];
+        while pi < pass.len() && pass[pi] < r {
+            pi += 1;
+        }
+        if pi < pass.len() && pass[pi] == r {
+            sel[kept] = r;
+            kept += 1;
+        }
+    }
+    sel.truncate(kept);
 }
 
 // ---------------------------------------------------------------------
@@ -540,16 +1192,42 @@ mod tests {
     }
 
     fn run(pred: &CompiledPredicate, t: &Table) -> Vec<RowId> {
+        run_counting(pred, t).0
+    }
+
+    fn run_counting(pred: &CompiledPredicate, t: &Table) -> (Vec<RowId>, u64) {
         let mut after = || Ok(());
         let mut ctx = BatchCtx {
             table: t,
             oracle: &NoModels,
             row_buf: vec![0; t.schema().len()],
             after_scalar_row: &mut after,
+            factor_pass: vec![None; pred.factor_slots()],
+            factor_hits: 0,
+            cancel: None,
         };
         let mut sel: Vec<RowId> = (0..t.n_rows() as RowId).collect();
         pred.filter_batch(&mut sel, &mut ctx).unwrap();
-        sel
+        (sel, ctx.factor_hits)
+    }
+
+    /// Drives the adaptive path end to end: calibration window of
+    /// `calib` rows, one straddling batch over the whole table.
+    fn run_adaptive(pred: &CompiledPredicate, t: &Table, calib: u64) -> (Vec<RowId>, u64) {
+        let mut after = || Ok(());
+        let mut ctx = BatchCtx {
+            table: t,
+            oracle: &NoModels,
+            row_buf: vec![0; t.schema().len()],
+            after_scalar_row: &mut after,
+            factor_pass: vec![None; pred.factor_slots()],
+            factor_hits: 0,
+            cancel: None,
+        };
+        let clock = CalibClock::new(calib.min(t.n_rows() as u64));
+        let mut sel: Vec<RowId> = (0..t.n_rows() as RowId).collect();
+        pred.filter_batch_at(&mut sel, &mut ctx, 0, &clock).unwrap();
+        (sel, pred.reordered_clauses())
     }
 
     fn reference(e: &Expr, t: &Table) -> Vec<RowId> {
@@ -577,9 +1255,83 @@ mod tests {
             ]),
         ];
         for e in &exprs {
-            let c = CompiledPredicate::compile(e, &s);
-            assert_eq!(run(&c, &t), reference(e, &t), "{e:?}");
+            let fixed = CompiledPredicate::compile(e, &s, false);
+            let adaptive = CompiledPredicate::compile(e, &s, true);
+            let want = reference(e, &t);
+            assert_eq!(run(&fixed, &t), want, "fixed {e:?}");
+            assert_eq!(run(&adaptive, &t), want, "adaptive fixed-path {e:?}");
+            let (rows, _) = run_adaptive(&adaptive, &t, 16);
+            assert_eq!(rows, want, "adaptive replanned {e:?}");
         }
+    }
+
+    #[test]
+    fn adaptive_replans_and_stays_exact() {
+        let s = schema();
+        let t = table();
+        let a = |attr, pred| Expr::Atom(Atom { attr: AttrId(attr), pred });
+        // First conjunct keeps ~3/4 of rows, second ~1/4: rank ordering
+        // must swap them once calibrated.
+        let e = Expr::and(vec![
+            a(0, AtomPred::In(mpq_types::MemberSet::of(4, [0, 1, 2]))),
+            a(0, AtomPred::Eq(1)),
+        ]);
+        let pred = CompiledPredicate::compile(&e, &s, true);
+        let (rows, moved) = run_adaptive(&pred, &t, 16);
+        assert_eq!(rows, reference(&e, &t));
+        assert_eq!(moved, 2, "both conjuncts change position");
+        // Publishing is sticky and deterministic.
+        assert_eq!(pred.reordered_clauses(), 2);
+    }
+
+    #[test]
+    fn factoring_shares_subtrees_across_disjuncts() {
+        let s = schema();
+        let t = table();
+        let a = |attr, pred| Expr::Atom(Atom { attr: AttrId(attr), pred });
+        let shared = || {
+            Expr::and(vec![
+                a(0, AtomPred::In(mpq_types::MemberSet::of(4, [1, 2]))),
+                a(1, AtomPred::Range { lo: 0, hi: 1 }),
+            ])
+        };
+        // Or(And(shared, b=x), And(shared, b=z)) — the shared conjunct
+        // appears in both disjuncts and must get one factor slot.
+        let e = Expr::or(vec![
+            Expr::and(vec![shared(), a(1, AtomPred::Eq(0))]),
+            Expr::and(vec![shared(), a(1, AtomPred::Eq(2))]),
+        ]);
+        let pred = CompiledPredicate::compile(&e, &s, true);
+        assert_eq!(pred.factor_slots(), 1);
+        let (rows, hits) = run_counting(&pred, &t);
+        assert_eq!(rows, reference(&e, &t));
+        assert!(hits > 0, "factor cache must answer rows");
+        // Fixed-order compile has no factors and agrees.
+        let fixed = CompiledPredicate::compile(&e, &s, false);
+        assert_eq!(fixed.factor_slots(), 0);
+        assert_eq!(run(&fixed, &t), rows);
+        // The adaptive replanned path agrees too.
+        let (rows2, _) = run_adaptive(&pred, &t, 16);
+        assert_eq!(rows2, rows);
+    }
+
+    #[test]
+    fn feedback_reports_root_and_clauses() {
+        let s = schema();
+        let t = table();
+        let a = |attr, pred| Expr::Atom(Atom { attr: AttrId(attr), pred });
+        let e = Expr::and(vec![a(0, AtomPred::Eq(1)), a(1, AtomPred::Eq(0))]);
+        let pred = CompiledPredicate::compile(&e, &s, true);
+        let (_, _) = run_adaptive(&pred, &t, 64);
+        let obs = pred.feedback();
+        // Root + 2 conjuncts, all observed over the full table.
+        assert_eq!(obs.len(), 3);
+        assert_eq!(obs[0].fingerprint, e.fingerprint());
+        assert_eq!(obs[0].rows_in, 64);
+        // a==1 matches 16 of 64; root matches those with b==0.
+        assert_eq!(obs[1].rows_out, 16);
+        assert_eq!(obs[2].rows_in, 16);
+        assert_eq!(obs[0].rows_out, obs[2].rows_out);
     }
 
     #[test]
@@ -589,6 +1341,7 @@ mod tests {
         let eq0 = CompiledPredicate::compile(
             &Expr::Atom(Atom { attr: AttrId(0), pred: AtomPred::Eq(0) }),
             &s,
+            true,
         );
         // Every page holds member 0 of column a → nothing prunable.
         for page in 0..t.n_pages() {
@@ -598,6 +1351,7 @@ mod tests {
         let b1 = CompiledPredicate::compile(
             &Expr::Atom(Atom { attr: AttrId(1), pred: AtomPred::Eq(1) }),
             &s,
+            true,
         );
         let prunable: Vec<bool> =
             (0..t.n_pages()).map(|p| !b1.page_may_match(t.page_zones(p))).collect();
@@ -614,6 +1368,7 @@ mod tests {
         let mining = CompiledPredicate::compile(
             &Expr::Mining(MiningPred::ClassEq { model: 0, class: ClassId(0) }),
             &s,
+            true,
         );
         assert!((0..t.n_pages()).all(|p| mining.page_may_match(t.page_zones(p))));
     }
@@ -627,5 +1382,24 @@ mod tests {
         assert_eq!(rem, vec![1, 5, 7]);
         subtract_sorted(&mut rem, &[1, 5, 7]);
         assert!(rem.is_empty());
+    }
+
+    #[test]
+    fn intersect_sorted_keeps_common_rows() {
+        let mut sel: Vec<RowId> = vec![1, 2, 5, 8, 9];
+        intersect_sorted(&mut sel, &[0, 2, 3, 8, 11]);
+        assert_eq!(sel, vec![2, 8]);
+        intersect_sorted(&mut sel, &[]);
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn rank_orders_by_exact_cross_multiplication() {
+        use std::cmp::Ordering as O;
+        let r = |cost, den| Rank { cost, den };
+        assert_eq!(r(1, 2).cmp(r(2, 4)), O::Equal);
+        assert_eq!(r(1, 3).cmp(r(1, 2)), O::Less);
+        assert_eq!(r(5, 1).cmp(r(1, 0)), O::Less, "finite beats infinite");
+        assert_eq!(r(1, 0).cmp(r(2, 0)), O::Equal, "infinities tie (stable order)");
     }
 }

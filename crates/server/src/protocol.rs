@@ -78,15 +78,23 @@ use std::time::Duration;
 /// standing subscriptions — the `SUBSCRIBE`/`UNSUBSCRIBE` outcomes,
 /// the server-push `Notify` frame, the `subs_matched`/
 /// `subs_index_pruned` tails on `Inserted` and on query metrics, the
-/// subscriptions tail on `Health`, and the unknown-subscription error.
-/// A v6 server still accepts [`PROTO_VERSION_V5`], [`PROTO_VERSION_V4`]
-/// and [`PROTO_VERSION_V3`] hellos and answers them with frames of the
-/// matching shape (`Notify` is never sent to a pre-v6 peer).
-pub const PROTO_VERSION: u32 = 6;
+/// subscriptions tail on `Health`, and the unknown-subscription error;
+/// version 7 added the adaptive-evaluation counter tail on query
+/// outcomes (`clauses_reordered`/`factor_hits`/`feedback_entries`) and
+/// the `SET ADAPTIVE` outcome.
+/// A v7 server still accepts [`PROTO_VERSION_V6`], [`PROTO_VERSION_V5`],
+/// [`PROTO_VERSION_V4`] and [`PROTO_VERSION_V3`] hellos and answers
+/// them with frames of the matching shape (`Notify` is never sent to a
+/// pre-v6 peer).
+pub const PROTO_VERSION: u32 = 7;
 
 /// The previous protocol version, still accepted by the server's
-/// handshake. A v5 peer understands the cascade tails but not the
-/// subscription channel.
+/// handshake. A v6 peer understands the subscription channel but not
+/// the adaptive-evaluation counter tail.
+pub const PROTO_VERSION_V6: u32 = 6;
+
+/// Still accepted by the server's handshake. A v5 peer understands the
+/// cascade tails but not the subscription channel.
 pub const PROTO_VERSION_V5: u32 = 5;
 
 /// Still accepted by the server's handshake. A v4 peer understands the
@@ -523,9 +531,14 @@ fn put_query_outcome(w: &mut WireWriter, q: &QueryOutcome, proto_version: u32) {
         w.put_u64(q.metrics.band_rows);
         w.put_u64(q.metrics.scorer_ns);
     }
-    if proto_version >= PROTO_VERSION {
+    if proto_version >= PROTO_VERSION_V6 {
         w.put_u64(q.metrics.subs_matched);
         w.put_u64(q.metrics.subs_index_pruned);
+    }
+    if proto_version >= PROTO_VERSION {
+        w.put_u64(q.metrics.clauses_reordered);
+        w.put_u64(q.metrics.factor_hits);
+        w.put_u64(q.metrics.feedback_entries);
     }
 }
 
@@ -556,6 +569,11 @@ fn get_query_outcome(r: &mut WireReader<'_>) -> Result<QueryOutcome, WireError> 
     if !r.is_exhausted() {
         out.metrics.subs_matched = r.get_u64()?;
         out.metrics.subs_index_pruned = r.get_u64()?;
+    }
+    if !r.is_exhausted() {
+        out.metrics.clauses_reordered = r.get_u64()?;
+        out.metrics.factor_hits = r.get_u64()?;
+        out.metrics.feedback_entries = r.get_u64()?;
     }
     Ok(out)
 }
@@ -688,7 +706,7 @@ fn put_health(w: &mut WireWriter, h: &EngineHealth, proto_version: u32) {
             put_opt_str(w, m.cascade_note.as_deref());
         }
     }
-    if proto_version >= PROTO_VERSION {
+    if proto_version >= PROTO_VERSION_V6 {
         w.put_u64(h.subscriptions as u64);
         put_opt_str(w, h.sub_index_note.as_deref());
     }
@@ -926,6 +944,7 @@ const OUTCOME_GUARD_SET: u8 = 3;
 const OUTCOME_INSERTED: u8 = 4;
 const OUTCOME_SUBSCRIBED: u8 = 5;
 const OUTCOME_UNSUBSCRIBED: u8 = 6;
+const OUTCOME_ADAPTIVE_SET: u8 = 7;
 
 fn put_outcome(w: &mut WireWriter, o: &StatementOutcome, proto_version: u32) {
     match o {
@@ -954,7 +973,7 @@ fn put_outcome(w: &mut WireWriter, o: &StatementOutcome, proto_version: u32) {
             w.put_u64(*rows_inserted);
             // The subscription counters ride as a v6 tail; a pre-v6
             // peer's decoder rejects trailing bytes.
-            if proto_version >= PROTO_VERSION {
+            if proto_version >= PROTO_VERSION_V6 {
                 w.put_u64(*subs_matched);
                 w.put_u64(*subs_index_pruned);
             }
@@ -966,6 +985,10 @@ fn put_outcome(w: &mut WireWriter, o: &StatementOutcome, proto_version: u32) {
         StatementOutcome::Unsubscribed { id } => {
             w.put_u8(OUTCOME_UNSUBSCRIBED);
             w.put_u64(*id);
+        }
+        StatementOutcome::AdaptiveSet { on } => {
+            w.put_u8(OUTCOME_ADAPTIVE_SET);
+            w.put_bool(*on);
         }
     }
 }
@@ -1002,6 +1025,7 @@ fn get_outcome(r: &mut WireReader<'_>) -> Result<StatementOutcome, WireError> {
         }
         OUTCOME_SUBSCRIBED => StatementOutcome::Subscribed { id: r.get_u64()? },
         OUTCOME_UNSUBSCRIBED => StatementOutcome::Unsubscribed { id: r.get_u64()? },
+        OUTCOME_ADAPTIVE_SET => StatementOutcome::AdaptiveSet { on: r.get_bool()? },
         other => {
             return Err(WireError::Invalid { detail: format!("outcome tag {other}") })
         }
@@ -1263,6 +1287,9 @@ mod tests {
                 index_fallback: true,
                 subs_matched: 0,
                 subs_index_pruned: 0,
+                clauses_reordered: 2,
+                factor_hits: 6,
+                feedback_entries: 1,
             },
             plan: "index seek ...".into(),
             plan_changed: true,
@@ -1493,6 +1520,9 @@ mod tests {
                 cascade_accepts: 2,
                 subs_matched: 3,
                 subs_index_pruned: 9,
+                clauses_reordered: 5,
+                factor_hits: 17,
+                feedback_entries: 2,
                 ..ExecMetrics::default()
             },
             plan: "full scan".into(),
@@ -1500,6 +1530,14 @@ mod tests {
             cached_plan: false,
         }));
         assert_eq!(Response::decode(&query.encode_versioned(PROTO_VERSION)).unwrap(), query);
+        let v6 = Response::decode(&query.encode_versioned(PROTO_VERSION_V6)).unwrap();
+        let Response::Outcome(StatementOutcome::Query(q)) = v6 else {
+            panic!("not a query outcome")
+        };
+        assert_eq!(q.metrics.subs_matched, 3, "v6 keeps the subscription tail");
+        assert_eq!(q.metrics.clauses_reordered, 0, "v6 drops the adaptive tail");
+        assert_eq!(q.metrics.factor_hits, 0);
+        assert_eq!(q.metrics.feedback_entries, 0);
         let v5 = Response::decode(&query.encode_versioned(PROTO_VERSION_V5)).unwrap();
         let Response::Outcome(StatementOutcome::Query(q)) = v5 else {
             panic!("not a query outcome")
@@ -1507,6 +1545,11 @@ mod tests {
         assert_eq!(q.metrics.cascade_accepts, 2, "v5 keeps the cascade tail");
         assert_eq!(q.metrics.subs_matched, 0, "v5 drops the subscription tail");
         assert_eq!(q.metrics.subs_index_pruned, 0);
+        // The SET ADAPTIVE outcome round-trips.
+        for on in [true, false] {
+            let resp = Response::Outcome(StatementOutcome::AdaptiveSet { on });
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
         // ...and for the health subscriptions tail.
         let health = Response::Health(EngineHealth {
             models: Vec::new(),
@@ -1538,13 +1581,14 @@ mod tests {
         }));
         let payload = resp.encode();
         // The prefixes that are exactly an older version's shape
-        // (cascade tail absent, subscription tail absent) decode by
-        // design — those are the downgrade paths. Every other strict
-        // prefix must fail cleanly.
+        // (cascade tail absent, subscription tail absent, adaptive tail
+        // absent) decode by design — those are the downgrade paths.
+        // Every other strict prefix must fail cleanly.
         let v4_len = resp.encode_versioned(PROTO_VERSION_V4).len();
         let v5_len = resp.encode_versioned(PROTO_VERSION_V5).len();
+        let v6_len = resp.encode_versioned(PROTO_VERSION_V6).len();
         for cut in 0..payload.len() {
-            if cut == v4_len || cut == v5_len {
+            if cut == v4_len || cut == v5_len || cut == v6_len {
                 assert!(
                     Response::decode(&payload[..cut]).is_ok(),
                     "version-shaped cut at {cut}"

@@ -24,7 +24,7 @@ use crate::notify::{NotifyQueue, SubRegistry, DEFAULT_NOTIFY_QUEUE_CAP};
 use crate::protocol::{
     decode_frame, encode_frame, FrameError, Request, Response, ServerError,
     DEFAULT_MAX_FRAME_LEN, PROTO_VERSION, PROTO_VERSION_V3, PROTO_VERSION_V4,
-    PROTO_VERSION_V5,
+    PROTO_VERSION_V5, PROTO_VERSION_V6,
 };
 use mpq_engine::{Engine, FaultInjector, SessionState, StatementId, StatementOutcome};
 use std::io::{self, Read, Write};
@@ -306,14 +306,16 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> ConnExit {
         Ok(None) => return ConnExit::Clean,
         Err(exit) => return exit,
     };
-    // The connection speaks the version the client asked for: v6
-    // natively, v5/v4/v3 for old clients (the shape differences are
+    // The connection speaks the version the client asked for: v7
+    // natively, v6/v5/v4/v3 for old clients (the shape differences are
     // the Health replication tail, absent below v4, the cascade tails,
-    // absent below v5, and the subscription machinery — counters,
-    // Notify push frames, SUBSCRIBE/UNSUBSCRIBE — absent below v6).
+    // absent below v5, the subscription machinery — counters, Notify
+    // push frames, SUBSCRIBE/UNSUBSCRIBE — absent below v6, and the
+    // adaptive-evaluation counter tail, absent below v7).
     let (proto, session_id) = match hello {
         Request::Hello { proto_version, client: _ }
             if proto_version == PROTO_VERSION
+                || proto_version == PROTO_VERSION_V6
                 || proto_version == PROTO_VERSION_V5
                 || proto_version == PROTO_VERSION_V4
                 || proto_version == PROTO_VERSION_V3 =>
@@ -355,9 +357,9 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> ConnExit {
         }
     };
 
-    // Push queue: only a v6 peer understands Notify frames, so only a
-    // v6 session gets one (and may SUBSCRIBE).
-    let notify = (proto >= PROTO_VERSION)
+    // Push queue: only a v6+ peer understands Notify frames, so only
+    // such a session gets one (and may SUBSCRIBE).
+    let notify = (proto >= PROTO_VERSION_V6)
         .then(|| shared.subs.register_session(session_id, shared.cfg.notify_queue_cap));
     let exit = session_loop(&mut stream, &mut buf, &shared, proto, session_id, notify.as_deref());
     // Whatever way the connection ended, the session's queue and its
@@ -493,10 +495,10 @@ fn handle_statement(
     // A pre-v6 peer has no way to receive the Notify frames a
     // subscription exists to produce — registering one would be a
     // silent black hole, so it is a protocol violation instead.
-    if proto < PROTO_VERSION && is_subscription_sql(sql) {
+    if proto < PROTO_VERSION_V6 && is_subscription_sql(sql) {
         return Response::Error(ServerError::Protocol {
             detail: format!(
-                "SUBSCRIBE/UNSUBSCRIBE require protocol v{PROTO_VERSION} (peer speaks v{proto})"
+                "SUBSCRIBE/UNSUBSCRIBE require protocol v{PROTO_VERSION_V6} (peer speaks v{proto})"
             ),
         });
     }
